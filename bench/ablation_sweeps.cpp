@@ -1,0 +1,126 @@
+// Ablations beyond the paper's figures, for the design choices DESIGN.md
+// calls out:
+//   (1) sampling-rate sweep: quality/time of Random vs BRICS from 10 % to
+//       100 % on one graph per class (extends Fig. 4's two points to a
+//       curve; at 100 % BRICS is exact on all present nodes),
+//   (2) reduction-order ablation: single-pass I->C->R vs iterated
+//       fixed-point reduction,
+//   (3) per-block self-calibration ablation is structural (always on), so
+//       instead we report the error split exact/estimated nodes.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+using namespace brics;
+using namespace brics::bench;
+
+namespace {
+
+void rate_sweep() {
+  std::printf("(1) sampling-rate sweep (one graph per class)\n\n");
+  const std::vector<int> w = {12, 7, 11, 11, 11, 11};
+  print_header({"graph", "rate%", "Q(rand)", "Q(brics)", "t_rand", "t_brics"},
+               w);
+  for (const char* name :
+       {"web-copy-a", "soc-rmat", "com-part-a", "road-rural"}) {
+    CsrGraph g = build_dataset(name, bench_scale());
+    std::vector<FarnessSum> actual = exact_farness(g);
+    for (double rate : {0.1, 0.2, 0.4, 0.7, 1.0}) {
+      RunResult rnd = run_estimator(g, actual, config_random(rate), true);
+      RunResult cum =
+          run_estimator(g, actual, config_cumulative(rate), false);
+      print_row({rate == 0.1 ? name : "", fmt(rate * 100, 0),
+                 fmt(rnd.q.quality, 3), fmt(cum.q.quality, 3),
+                 fmt(rnd.seconds, 3), fmt(cum.seconds, 3)},
+                w);
+    }
+  }
+  std::printf("\n");
+}
+
+void iterate_ablation() {
+  std::printf("(2) single-pass vs iterated (fixed-point) reduction\n\n");
+  const std::vector<int> w = {12, 10, 11, 11, 9, 9};
+  print_header({"graph", "mode", "reduced|V|", "rounds", "t_red", "t_est"},
+               w);
+  for (const DatasetInfo& info : dataset_registry()) {
+    CsrGraph g = build_dataset(info.name, bench_scale());
+    for (bool iterate : {false, true}) {
+      EstimateOptions o = config_cumulative(0.4);
+      o.reduce.iterate = iterate;
+      Timer t;
+      EstimateResult est = estimate_farness(g, o);
+      (void)t;
+      print_row({iterate ? "" : info.name, iterate ? "iterated" : "single",
+                 std::to_string(est.reduce_stats.reduced_nodes),
+                 std::to_string(est.reduce_stats.rounds),
+                 fmt(est.times.reduce_s, 3), fmt(est.times.total_s, 3)},
+                w);
+    }
+  }
+  std::printf("\n");
+}
+
+void error_split() {
+  std::printf(
+      "(3) error split: exactly-known vs estimated nodes (BRICS @ 20%%)\n\n");
+  const std::vector<int> w = {12, 10, 10, 12, 12};
+  print_header({"graph", "exact n", "est n", "meanerr(est)", "maxerr(est)"},
+               w);
+  for (const char* name :
+       {"web-copy-a", "soc-rmat", "com-part-a", "road-rural"}) {
+    CsrGraph g = build_dataset(name, bench_scale());
+    std::vector<FarnessSum> actual = exact_farness(g);
+    EstimateResult est = estimate_farness(g, config_cumulative(0.2));
+    NodeId n_exact = 0, n_est = 0;
+    double sum_err = 0.0, max_err = 0.0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const double ar = est.farness[v] / static_cast<double>(actual[v]);
+      if (est.exact[v]) {
+        ++n_exact;
+      } else {
+        ++n_est;
+        sum_err += std::abs(ar - 1.0);
+        max_err = std::max(max_err, std::abs(ar - 1.0));
+      }
+    }
+    print_row({name, std::to_string(n_exact), std::to_string(n_est),
+               fmt(n_est ? sum_err / n_est : 0.0, 4), fmt(max_err, 4)},
+              w);
+  }
+}
+
+void strategy_ablation() {
+  std::printf(
+      "\n(4) sampling strategy: uniform vs degree-weighted (BRICS @ 20%%)\n\n");
+  const std::vector<int> w = {12, 16, 11, 11};
+  print_header({"graph", "strategy", "quality", "meanerr"}, w);
+  for (const char* name :
+       {"web-copy-a", "soc-rmat", "com-part-a", "road-rural"}) {
+    CsrGraph g = build_dataset(name, bench_scale());
+    std::vector<FarnessSum> actual = exact_farness(g);
+    for (SampleStrategy st :
+         {SampleStrategy::kUniform, SampleStrategy::kDegreeWeighted}) {
+      EstimateOptions o = config_cumulative(0.2);
+      o.strategy = st;
+      RunResult r = run_estimator(g, actual, o, false);
+      print_row({st == SampleStrategy::kUniform ? name : "",
+                 st == SampleStrategy::kUniform ? "uniform"
+                                                : "degree-weighted",
+                 fmt(r.q.quality, 3), fmt(r.q.mean_abs_err, 3)},
+                w);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation sweeps (scale=%.2f, repeats=%d)\n\n", bench_scale(),
+              bench_repeats());
+  rate_sweep();
+  iterate_ablation();
+  error_split();
+  strategy_ablation();
+  return 0;
+}

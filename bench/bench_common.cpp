@@ -1,0 +1,107 @@
+#include "bench/bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace brics::bench {
+
+double bench_scale() {
+  if (const char* s = std::getenv("BRICS_BENCH_SCALE")) {
+    double v = std::atof(s);
+    if (v > 0.0 && v <= 1.0) return v;
+  }
+  // Default tuned so the full `for b in build/bench/*` sweep finishes in a
+  // few minutes on a laptop core while keeping every structural signature.
+  return 0.4;
+}
+
+int bench_repeats() {
+  if (const char* s = std::getenv("BRICS_BENCH_REPEATS")) {
+    int v = std::atoi(s);
+    if (v >= 1 && v <= 100) return v;
+  }
+  return 3;
+}
+
+RunResult run_estimator(const CsrGraph& g,
+                        const std::vector<FarnessSum>& actual,
+                        const EstimateOptions& opts, bool random_baseline) {
+  RunResult out;
+  std::vector<double> times;
+  const int reps = bench_repeats();
+  for (int r = 0; r < reps; ++r) {
+    EstimateOptions o = opts;
+    o.seed = opts.seed + static_cast<std::uint64_t>(r) * 977;
+    Timer t;
+    EstimateResult est = random_baseline ? estimate_random_sampling(g, o)
+                                         : estimate_farness(g, o);
+    times.push_back(t.seconds());
+    if (r == reps - 1) {
+      out.q = quality(est.farness, actual);
+      out.last = std::move(est);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  out.seconds = times[times.size() / 2];
+  return out;
+}
+
+EstimateOptions config_random(double rate, std::uint64_t seed) {
+  EstimateOptions o;
+  o.sample_rate = rate;
+  o.seed = seed;
+  return o;
+}
+
+EstimateOptions config_cr(double rate, std::uint64_t seed) {
+  EstimateOptions o;
+  o.sample_rate = rate;
+  o.seed = seed;
+  o.reduce.identical = false;
+  o.use_bcc = false;
+  return o;
+}
+
+EstimateOptions config_icr(double rate, std::uint64_t seed) {
+  EstimateOptions o;
+  o.sample_rate = rate;
+  o.seed = seed;
+  o.use_bcc = false;
+  return o;
+}
+
+EstimateOptions config_cumulative(double rate, std::uint64_t seed) {
+  EstimateOptions o;
+  o.sample_rate = rate;
+  o.seed = seed;
+  o.use_bcc = true;
+  return o;
+}
+
+void print_header(const std::vector<std::string>& cols,
+                  const std::vector<int>& widths) {
+  print_row(cols, widths);
+  int total = 0;
+  for (int w : widths) total += w + 2;
+  std::printf("%s\n", std::string(static_cast<std::size_t>(total), '-')
+                          .c_str());
+}
+
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths) {
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    std::printf("%-*s  ", widths[i], cells[i].c_str());
+  std::printf("\n");
+}
+
+std::string fmt(double v, int prec) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(prec);
+  os << v;
+  return os.str();
+}
+
+}  // namespace brics::bench

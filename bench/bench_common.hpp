@@ -1,0 +1,53 @@
+// Shared infrastructure for the paper-reproduction harnesses.
+//
+// Each fig*/table* binary regenerates one table or figure of the paper on
+// the synthetic dataset registry and prints the same rows/series the paper
+// reports. Absolute numbers differ from the paper's testbed; the *shape*
+// (who wins, by what factor, where the crossovers are) is the reproduction
+// target — see EXPERIMENTS.md.
+//
+// Environment knobs:
+//   BRICS_BENCH_SCALE    dataset scale in (0, 1], default 1.0
+//   BRICS_BENCH_REPEATS  timing repetitions, default 3 (median reported)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "brics/brics.hpp"
+
+namespace brics::bench {
+
+/// Scale factor for dataset sizes, from BRICS_BENCH_SCALE.
+double bench_scale();
+
+/// Timing repetitions, from BRICS_BENCH_REPEATS.
+int bench_repeats();
+
+/// One estimator run measured against ground truth.
+struct RunResult {
+  double seconds = 0.0;   ///< median wall-clock over repeats
+  QualityReport q;
+  EstimateResult last;    ///< result of the final repetition
+};
+
+/// Run an estimator configuration `repeats` times, report median time and
+/// quality against the supplied exact farness values.
+RunResult run_estimator(const CsrGraph& g,
+                        const std::vector<FarnessSum>& actual,
+                        const EstimateOptions& opts, bool random_baseline);
+
+/// Named estimator configurations used across the figures.
+EstimateOptions config_random(double rate, std::uint64_t seed = 1);
+EstimateOptions config_cr(double rate, std::uint64_t seed = 1);      // C+R
+EstimateOptions config_icr(double rate, std::uint64_t seed = 1);     // I+C+R
+EstimateOptions config_cumulative(double rate, std::uint64_t seed = 1);
+
+/// Fixed-width table printing helpers.
+void print_header(const std::vector<std::string>& cols,
+                  const std::vector<int>& widths);
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths);
+std::string fmt(double v, int prec = 2);
+
+}  // namespace brics::bench

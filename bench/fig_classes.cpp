@@ -1,0 +1,84 @@
+// Regenerates the paper's Figs. 6-9: relative speed-up and quality of the
+// optimisation configurations — C+R, I+C+R, Cumulative (I+C+R+BiCC) — over
+// the Random-sampling baseline, per graph class:
+//   Fig. 6 web, Fig. 7 social, Fig. 8 community, Fig. 9 road.
+// All configurations run at a 40 % sampling rate like §IV-C2.
+//
+// One binary per figure: invoked with the class name (the build generates
+// fig6_web, fig7_social, fig8_community, fig9_road wrappers via argv[0]).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_common.hpp"
+
+using namespace brics;
+using namespace brics::bench;
+
+namespace {
+
+struct Config {
+  const char* name;
+  EstimateOptions (*make)(double, std::uint64_t);
+};
+
+int run_class(GraphClass cls, const char* fig) {
+  const double rate = 0.40;
+  std::printf(
+      "%s — relative speed-up of optimisations on %s graphs "
+      "(40%% sampling, scale=%.2f)\n\n",
+      fig, to_string(cls).c_str(), bench_scale());
+
+  const Config configs[] = {
+      {"C+R", config_cr},
+      {"I+C+R", config_icr},
+      {"Cumulative", config_cumulative},
+  };
+  const std::vector<int> w = {12, 11, 9, 9, 9, 9};
+  print_header({"graph", "config", "time_s", "speedup", "quality",
+                "reduced%"},
+               w);
+  for (const DatasetInfo& info : dataset_registry()) {
+    if (info.cls != cls) continue;
+    CsrGraph g = build_dataset(info.name, bench_scale());
+    std::vector<FarnessSum> actual = exact_farness(g);
+    RunResult base = run_estimator(g, actual, config_random(rate), true);
+    print_row({info.name, "Random(S)", fmt(base.seconds, 3), "1.00x",
+               fmt(base.q.quality, 3), "0.0"},
+              w);
+    for (const Config& c : configs) {
+      RunResult r = run_estimator(g, actual, c.make(rate, 1), false);
+      const double reduced_pct =
+          100.0 *
+          static_cast<double>(g.num_nodes() -
+                              r.last.reduce_stats.reduced_nodes) /
+          static_cast<double>(g.num_nodes());
+      print_row({"", c.name, fmt(r.seconds, 3),
+                 fmt(base.seconds / r.seconds, 2) + "x",
+                 fmt(r.q.quality, 3), fmt(reduced_pct, 1)},
+                w);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string which = argc > 1 ? argv[1] : "";
+  if (which.empty()) {
+    // Infer from the binary name (fig6_web etc.).
+    which = argv[0];
+  }
+  if (which.find("web") != std::string::npos)
+    return run_class(GraphClass::kWeb, "Fig. 6");
+  if (which.find("social") != std::string::npos)
+    return run_class(GraphClass::kSocial, "Fig. 7");
+  if (which.find("community") != std::string::npos)
+    return run_class(GraphClass::kCommunity, "Fig. 8");
+  if (which.find("road") != std::string::npos)
+    return run_class(GraphClass::kRoad, "Fig. 9");
+  std::fprintf(stderr,
+               "usage: %s [web|social|community|road]\n", argv[0]);
+  return 2;
+}

@@ -1,0 +1,156 @@
+// Engine micro-benchmarks (google-benchmark): traversal kernels, the three
+// reduction passes, BCC decomposition, and the end-to-end estimators on a
+// fixed mid-size graph. Not a paper figure — regression tracking for the
+// substrate the figures are built on.
+#include <benchmark/benchmark.h>
+
+#include "brics/brics.hpp"
+
+namespace {
+
+using namespace brics;
+
+const CsrGraph& social_graph() {
+  static const CsrGraph g = build_dataset("soc-pref-a", 0.2);
+  return g;
+}
+
+const CsrGraph& road_graph() {
+  static const CsrGraph g = build_dataset("road-grid-a", 0.2);
+  return g;
+}
+
+const CsrGraph& weighted_reduced_road() {
+  static const CsrGraph g = [] {
+    ReducedGraph rg = reduce(road_graph(), ReduceOptions{});
+    return rg.graph;
+  }();
+  return g;
+}
+
+void BM_BfsSocial(benchmark::State& state) {
+  const CsrGraph& g = social_graph();
+  TraversalWorkspace ws;
+  NodeId s = 0;
+  for (auto _ : state) {
+    bfs(g, s, ws);
+    benchmark::DoNotOptimize(ws.dist().data());
+    s = (s + 97) % g.num_nodes();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_BfsSocial);
+
+void BM_BfsRoad(benchmark::State& state) {
+  const CsrGraph& g = road_graph();
+  TraversalWorkspace ws;
+  NodeId s = 0;
+  for (auto _ : state) {
+    bfs(g, s, ws);
+    benchmark::DoNotOptimize(ws.dist().data());
+    s = (s + 97) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_BfsRoad);
+
+void BM_DialCompressedRoad(benchmark::State& state) {
+  const CsrGraph& g = weighted_reduced_road();
+  TraversalWorkspace ws;
+  // Only present (non-isolated) nodes are meaningful sources.
+  NodeId s = 0;
+  while (g.degree(s) == 0) ++s;
+  for (auto _ : state) {
+    dial_sssp(g, s, ws);
+    benchmark::DoNotOptimize(ws.dist().data());
+    do {
+      s = (s + 101) % g.num_nodes();
+    } while (g.degree(s) == 0);
+  }
+}
+BENCHMARK(BM_DialCompressedRoad);
+
+void BM_ReduceIdentical(benchmark::State& state) {
+  const CsrGraph& g = social_graph();
+  for (auto _ : state) {
+    ReduceOptions o;
+    o.chains = o.redundant = false;
+    ReducedGraph rg = reduce(g, o);
+    benchmark::DoNotOptimize(rg.num_present);
+  }
+}
+BENCHMARK(BM_ReduceIdentical);
+
+void BM_ReduceChains(benchmark::State& state) {
+  const CsrGraph& g = road_graph();
+  for (auto _ : state) {
+    ReduceOptions o;
+    o.identical = o.redundant = false;
+    ReducedGraph rg = reduce(g, o);
+    benchmark::DoNotOptimize(rg.num_present);
+  }
+}
+BENCHMARK(BM_ReduceChains);
+
+void BM_ReduceFull(benchmark::State& state) {
+  const CsrGraph& g = social_graph();
+  for (auto _ : state) {
+    ReducedGraph rg = reduce(g, ReduceOptions{});
+    benchmark::DoNotOptimize(rg.num_present);
+  }
+}
+BENCHMARK(BM_ReduceFull);
+
+void BM_BiconnectedComponents(benchmark::State& state) {
+  const CsrGraph& g = social_graph();
+  for (auto _ : state) {
+    BccResult r = biconnected_components(g);
+    benchmark::DoNotOptimize(r.num_blocks());
+  }
+}
+BENCHMARK(BM_BiconnectedComponents);
+
+void BM_EstimateRandom20(benchmark::State& state) {
+  const CsrGraph& g = social_graph();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    EstimateOptions o;
+    o.sample_rate = 0.2;
+    o.seed = seed++;
+    EstimateResult est = estimate_random_sampling(g, o);
+    benchmark::DoNotOptimize(est.farness.data());
+  }
+}
+BENCHMARK(BM_EstimateRandom20);
+
+void BM_EstimateBrics20(benchmark::State& state) {
+  const CsrGraph& g = social_graph();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    EstimateOptions o;
+    o.sample_rate = 0.2;
+    o.seed = seed++;
+    EstimateResult est = estimate_brics(g, o);
+    benchmark::DoNotOptimize(est.farness.data());
+  }
+}
+BENCHMARK(BM_EstimateBrics20);
+
+void BM_LedgerResolve(benchmark::State& state) {
+  const CsrGraph& g = road_graph();
+  ReducedGraph rg = reduce(g, ReduceOptions{});
+  NodeId s = 0;
+  while (!rg.present[s]) ++s;
+  std::vector<Dist> base = sssp_distances(rg.graph, s);
+  std::vector<Dist> dist;
+  for (auto _ : state) {
+    dist = base;
+    rg.ledger.resolve(dist);
+    benchmark::DoNotOptimize(dist.data());
+  }
+}
+BENCHMARK(BM_LedgerResolve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Thread-scaling sweep (the paper runs 40 threads on a Xeon E5-2640 v4;
+// §IV-C1 reports all timings at full thread count). This harness measures
+// both estimators at 1, 2, 4, ... threads up to the hardware limit —
+// on a single-core host it simply reports the 1-thread row, but the
+// parallel structure (sources, blocks) is identical to the paper's.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "util/parallel.hpp"
+
+using namespace brics;
+using namespace brics::bench;
+
+int main() {
+  const int hw = max_threads();
+  std::printf("Thread scaling (hardware threads: %d, scale=%.2f)\n\n", hw,
+              bench_scale());
+  const std::vector<int> w = {12, 8, 11, 11, 11};
+  print_header({"graph", "threads", "t_rand", "t_brics", "speedup"}, w);
+  for (const char* name : {"soc-pref-a", "road-grid-a"}) {
+    CsrGraph g = build_dataset(name, bench_scale());
+    std::vector<FarnessSum> actual = exact_farness(g);
+    for (int t = 1; t <= hw; t *= 2) {
+      set_threads(t);
+      RunResult rnd = run_estimator(g, actual, config_random(0.3), true);
+      RunResult cum =
+          run_estimator(g, actual, config_cumulative(0.3), false);
+      print_row({t == 1 ? name : "", std::to_string(t),
+                 fmt(rnd.seconds, 3), fmt(cum.seconds, 3),
+                 fmt(rnd.seconds / cum.seconds, 2) + "x"},
+                w);
+    }
+    set_threads(hw);
+  }
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "analysis/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "bcc/bcc.hpp"
+#include "graph/connectivity.hpp"
+#include "reduce/reducer.hpp"
+#include "traverse/bfs.hpp"
+#include "traverse/multi_source.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace brics {
+
+std::vector<double> closeness_from_farness(std::span<const double> farness,
+                                           NodeId n) {
+  std::vector<double> out(farness.size(), 0.0);
+  for (std::size_t v = 0; v < farness.size(); ++v)
+    if (farness[v] > 0.0)
+      out[v] = static_cast<double>(n - 1) / farness[v];
+  return out;
+}
+
+namespace {
+
+// Per-thread double accumulation buffers, merged once.
+class HarmonicAccumulator {
+ public:
+  explicit HarmonicAccumulator(NodeId n)
+      : n_(n), bufs_(static_cast<std::size_t>(max_threads())) {}
+
+  void add(std::span<const Dist> dist) {
+    auto& b = bufs_[static_cast<std::size_t>(thread_id())];
+    if (b.empty()) b.assign(n_, 0.0);
+    for (NodeId v = 0; v < n_; ++v)
+      if (dist[v] != kInfDist && dist[v] != 0)
+        b[v] += 1.0 / static_cast<double>(dist[v]);
+  }
+
+  std::vector<double> merge() const {
+    std::vector<double> total(n_, 0.0);
+    for (const auto& b : bufs_) {
+      if (b.empty()) continue;
+      for (NodeId v = 0; v < n_; ++v) total[v] += b[v];
+    }
+    return total;
+  }
+
+ private:
+  NodeId n_;
+  std::vector<std::vector<double>> bufs_;
+};
+
+}  // namespace
+
+std::vector<double> exact_harmonic(const CsrGraph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> sources(n);
+  for (NodeId v = 0; v < n; ++v) sources[v] = v;
+  HarmonicAccumulator acc(n);
+  for_each_source(g, sources,
+                  [&](std::size_t, NodeId, std::span<const Dist> dist) {
+                    acc.add(dist);
+                  });
+  return acc.merge();
+}
+
+std::vector<double> estimate_harmonic(const CsrGraph& g, double sample_rate,
+                                      std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  BRICS_CHECK_MSG(sample_rate > 0.0 && sample_rate <= 1.0,
+                  "sample_rate must be in (0, 1]");
+  const NodeId k = std::clamp<NodeId>(
+      static_cast<NodeId>(std::ceil(sample_rate * n)), 1, n);
+  Rng rng(seed);
+  std::vector<NodeId> sources = sample_without_replacement(n, k, rng);
+  HarmonicAccumulator acc(n);
+  std::vector<std::uint8_t> is_source(n, 0);
+  std::vector<double> exact_value(n, -1.0);
+  for_each_source(g, sources,
+                  [&](std::size_t, NodeId s, std::span<const Dist> dist) {
+                    acc.add(dist);
+                    double h = 0.0;
+                    for (NodeId v = 0; v < n; ++v)
+                      if (dist[v] != kInfDist && dist[v] != 0)
+                        h += 1.0 / static_cast<double>(dist[v]);
+                    exact_value[s] = h;
+                    is_source[s] = 1;
+                  });
+  std::vector<double> sums = acc.merge();
+  const double scale = static_cast<double>(n - 1) / static_cast<double>(k);
+  std::vector<double> out(n, 0.0);
+  for (NodeId v = 0; v < n; ++v)
+    out[v] = is_source[v] ? exact_value[v] : sums[v] * scale;
+  return out;
+}
+
+Dist diameter_lower_bound(const CsrGraph& g, int sweeps, std::uint64_t seed) {
+  if (g.num_nodes() == 0) return 0;
+  Rng rng(seed);
+  TraversalWorkspace ws;
+  NodeId start = static_cast<NodeId>(rng.below(g.num_nodes()));
+  Dist best = 0;
+  for (int i = 0; i < sweeps; ++i) {
+    sssp(g, start, ws);
+    DistanceAggregate a = aggregate_distances(ws.dist());
+    best = std::max(best, a.ecc);
+    // Jump to a farthest node for the next sweep.
+    NodeId far = start;
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      if (ws.dist()[v] != kInfDist && ws.dist()[v] == a.ecc) {
+        far = v;
+        break;
+      }
+    if (far == start) break;
+    start = far;
+  }
+  return best;
+}
+
+std::vector<NodeId> degree_histogram(const CsrGraph& g) {
+  std::uint32_t dmax = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    dmax = std::max(dmax, g.degree(v));
+  std::vector<NodeId> hist(dmax + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+GraphSummary summarize_graph(const CsrGraph& g) {
+  GraphSummary s;
+  s.nodes = g.num_nodes();
+  s.edges = g.num_edges();
+  if (s.nodes == 0) return s;
+  s.min_degree = g.degree(0);
+  for (NodeId v = 0; v < s.nodes; ++v) {
+    const std::uint32_t d = g.degree(v);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d <= 2) ++s.deg_le2;
+  }
+  s.avg_degree =
+      2.0 * static_cast<double>(s.edges) / static_cast<double>(s.nodes);
+  s.components = connected_components(g).count;
+  s.diameter_lb = diameter_lower_bound(g);
+
+  ReducedGraph rg = reduce(g, ReduceOptions{});
+  s.identical_nodes = rg.stats.identical.removed;
+  s.chain_nodes = rg.stats.chains.removed;
+  s.redundant_nodes = rg.stats.redundant.removed;
+
+  BccResult bcc = biconnected_components(g);
+  s.bcc_count = bcc.num_blocks();
+  s.bcc_max = bcc.max_block_size();
+  s.bcc_avg = bcc.avg_block_size();
+  return s;
+}
+
+std::string to_string(const GraphSummary& s) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << "nodes:            " << s.nodes << '\n'
+     << "edges:            " << s.edges << '\n'
+     << "degree (min/avg/max): " << s.min_degree << " / " << s.avg_degree
+     << " / " << s.max_degree << '\n'
+     << "degree<=2 nodes:  " << s.deg_le2 << '\n'
+     << "components:       " << s.components << '\n'
+     << "diameter >=       " << s.diameter_lb << '\n'
+     << "identical nodes:  " << s.identical_nodes << '\n'
+     << "chain nodes:      " << s.chain_nodes << '\n'
+     << "redundant nodes:  " << s.redundant_nodes << '\n'
+     << "BiCC count/max/avg: " << s.bcc_count << " / " << s.bcc_max << " / "
+     << s.bcc_avg << '\n';
+  return os.str();
+}
+
+}  // namespace brics

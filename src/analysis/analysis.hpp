@@ -1,0 +1,61 @@
+// Graph- and centrality-analysis helpers layered on the core estimators:
+// closeness conversions, harmonic centrality, diameter estimation, and the
+// structural summary the CLI and benches print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/estimate.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+/// Closeness centrality from farness: (n-1) / farness(v). Zero-farness
+/// entries (n == 1) map to 0.
+std::vector<double> closeness_from_farness(std::span<const double> farness,
+                                           NodeId n);
+
+/// Exact harmonic centrality: H(v) = sum_{w != v} 1 / d(v, w). More robust
+/// than closeness on almost-disconnected graphs; computed with the same
+/// parallel multi-source engine.
+std::vector<double> exact_harmonic(const CsrGraph& g);
+
+/// Estimated harmonic centrality by uniform source sampling, scaled by
+/// (n-1)/k like the farness baseline.
+std::vector<double> estimate_harmonic(const CsrGraph& g, double sample_rate,
+                                      std::uint64_t seed);
+
+/// Lower bound on the diameter via `sweeps` rounds of the double-sweep
+/// heuristic (BFS to the farthest node, repeat), exact on trees.
+Dist diameter_lower_bound(const CsrGraph& g, int sweeps = 4,
+                          std::uint64_t seed = 1);
+
+/// Degree histogram: hist[d] = number of nodes with degree d.
+std::vector<NodeId> degree_histogram(const CsrGraph& g);
+
+/// Structural summary of a graph (counts, degree stats, reduction and BCC
+/// signature) as printable text.
+struct GraphSummary {
+  NodeId nodes = 0;
+  std::uint64_t edges = 0;
+  std::uint32_t min_degree = 0;
+  std::uint32_t max_degree = 0;
+  double avg_degree = 0.0;
+  NodeId deg_le2 = 0;          ///< nodes with degree <= 2 (chain candidates)
+  NodeId components = 0;
+  Dist diameter_lb = 0;
+  NodeId identical_nodes = 0;  ///< removed by the identical pass
+  NodeId chain_nodes = 0;
+  NodeId redundant_nodes = 0;
+  NodeId bcc_count = 0;
+  NodeId bcc_max = 0;
+  double bcc_avg = 0.0;
+};
+
+GraphSummary summarize_graph(const CsrGraph& g);
+
+/// Render a summary as aligned key/value lines.
+std::string to_string(const GraphSummary& s);
+
+}  // namespace brics

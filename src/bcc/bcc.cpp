@@ -1,0 +1,146 @@
+#include "bcc/bcc.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+struct Frame {
+  NodeId node;
+  NodeId parent;
+  std::uint64_t edge_cursor;  // index into CSR targets of `node`
+  bool skipped_parent = false;
+};
+
+}  // namespace
+
+NodeId BccResult::max_block_size() const {
+  NodeId best = 0;
+  for (const auto& b : blocks_)
+    best = std::max(best, static_cast<NodeId>(b.size()));
+  return best;
+}
+
+double BccResult::avg_block_size() const {
+  if (blocks_.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& b : blocks_) total += b.size();
+  return static_cast<double>(total) / static_cast<double>(blocks_.size());
+}
+
+BccResult biconnected_components(const CsrGraph& g,
+                                 std::span<const std::uint8_t> present) {
+  const NodeId n = g.num_nodes();
+  BRICS_CHECK(present.empty() || present.size() == n);
+  auto is_present = [&](NodeId v) { return present.empty() || present[v]; };
+
+  BccResult res;
+  res.is_cut_.assign(n, 0);
+
+  std::vector<Dist> disc(n, kInfDist), low(n, kInfDist);
+  std::vector<std::pair<NodeId, NodeId>> estack;
+  std::vector<Frame> fstack;
+  std::vector<NodeId> stamp(n, kInvalidNode);  // last block id touching v
+  Dist timer = 0;
+
+  auto pop_block = [&](NodeId p, NodeId u) {
+    const BlockId id = static_cast<BlockId>(res.blocks_.size());
+    std::vector<NodeId> nodes;
+    auto take = [&](NodeId v) {
+      if (stamp[v] != id) {
+        stamp[v] = id;
+        nodes.push_back(v);
+      }
+    };
+    while (true) {
+      BRICS_CHECK(!estack.empty());
+      auto [a, b] = estack.back();
+      estack.pop_back();
+      take(a);
+      take(b);
+      if (a == p && b == u) break;
+    }
+    res.blocks_.push_back(std::move(nodes));
+  };
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (!is_present(root) || disc[root] != kInfDist) continue;
+    if (g.degree(root) == 0 ||
+        std::none_of(g.neighbors(root).begin(), g.neighbors(root).end(),
+                     is_present)) {
+      // Isolated present node: singleton block.
+      disc[root] = timer++;
+      res.blocks_.push_back({root});
+      continue;
+    }
+
+    disc[root] = low[root] = timer++;
+    fstack.push_back({root, kInvalidNode, 0, false});
+    while (!fstack.empty()) {
+      Frame& f = fstack.back();
+      const NodeId u = f.node;
+      auto nb = g.neighbors(u);
+      bool descended = false;
+      while (f.edge_cursor < nb.size()) {
+        const NodeId w = nb[f.edge_cursor++];
+        if (!is_present(w)) continue;
+        if (w == f.parent && !f.skipped_parent) {
+          // The input graph is simple, so exactly one edge leads back to
+          // the DFS parent; skip it once.
+          f.skipped_parent = true;
+          continue;
+        }
+        if (disc[w] == kInfDist) {
+          estack.push_back({u, w});
+          disc[w] = low[w] = timer++;
+          fstack.push_back({w, u, 0, false});
+          descended = true;
+          break;
+        }
+        if (disc[w] < disc[u]) {
+          estack.push_back({u, w});
+          low[u] = std::min(low[u], disc[w]);
+        }
+      }
+      if (descended) continue;
+
+      // u exhausted: fold into parent. (Copy the parent out before the pop
+      // invalidates the frame reference.)
+      const NodeId p = f.parent;
+      fstack.pop_back();
+      if (p == kInvalidNode) break;  // root finished
+      low[p] = std::min(low[p], low[u]);
+      if (low[u] >= disc[p]) pop_block(p, u);
+    }
+    BRICS_CHECK_MSG(estack.empty(), "edge stack not drained at root "
+                                        << root);
+  }
+
+  // Memberships: (node, block) pairs -> CSR. A node is an articulation
+  // point exactly when it belongs to more than one block.
+  std::vector<std::pair<NodeId, BlockId>> pairs;
+  for (BlockId b = 0; b < res.blocks_.size(); ++b)
+    for (NodeId v : res.blocks_[b]) pairs.emplace_back(v, b);
+  std::sort(pairs.begin(), pairs.end());
+  res.member_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (auto& [v, b] : pairs) ++res.member_offsets_[v + 1];
+  for (NodeId v = 0; v < n; ++v)
+    res.member_offsets_[v + 1] += res.member_offsets_[v];
+  res.memberships_.resize(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    res.memberships_[i] = pairs[i].second;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto cnt = res.member_offsets_[v + 1] - res.member_offsets_[v];
+    if (cnt > 1) {
+      res.is_cut_[v] = 1;
+      ++res.num_cuts_;
+    }
+    BRICS_CHECK_MSG(cnt >= 1 || !is_present(v),
+                    "present node " << v << " in no block");
+  }
+  return res;
+}
+
+}  // namespace brics

@@ -1,0 +1,66 @@
+// Biconnected components via iterative Hopcroft–Tarjan (paper §III-D).
+//
+// Operates on the (possibly reduced) CSR graph, restricted to a present-node
+// mask; absent nodes get no block. Every present node belongs to at least
+// one block: isolated present nodes form singleton blocks, and each bridge
+// edge forms a 2-node block. Cut vertices belong to every block they touch.
+//
+// The recursion is converted to an explicit stack (real-world graphs have
+// DFS paths far deeper than any call stack).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+/// Identifier of a biconnected component (block).
+using BlockId = std::uint32_t;
+inline constexpr BlockId kInvalidBlock = static_cast<BlockId>(-1);
+
+class BccResult {
+ public:
+  BlockId num_blocks() const { return static_cast<BlockId>(blocks_.size()); }
+
+  /// Nodes of block b, cut vertices included. Unordered.
+  std::span<const NodeId> block_nodes(BlockId b) const { return blocks_[b]; }
+
+  /// True iff v is an articulation point of the (present) graph.
+  bool is_cut(NodeId v) const { return is_cut_[v] != 0; }
+
+  /// Blocks containing v (size > 1 exactly for cut vertices; empty for
+  /// absent nodes).
+  std::span<const BlockId> blocks_of(NodeId v) const {
+    return {memberships_.data() + member_offsets_[v],
+            memberships_.data() + member_offsets_[v + 1]};
+  }
+
+  /// The single block of a non-cut present node.
+  BlockId home_block(NodeId v) const { return blocks_of(v).front(); }
+
+  /// Number of present cut vertices.
+  NodeId num_cut_vertices() const { return num_cuts_; }
+
+  /// Size of the largest block and mean block size (Table I's Max / Avg).
+  NodeId max_block_size() const;
+  double avg_block_size() const;
+
+ private:
+  friend BccResult biconnected_components(const CsrGraph&,
+                                          std::span<const std::uint8_t>);
+
+  std::vector<std::vector<NodeId>> blocks_;
+  std::vector<std::uint8_t> is_cut_;
+  std::vector<std::uint64_t> member_offsets_;
+  std::vector<BlockId> memberships_;
+  NodeId num_cuts_ = 0;
+};
+
+/// Decompose the subgraph induced by `present` (empty span = all nodes).
+BccResult biconnected_components(const CsrGraph& g,
+                                 std::span<const std::uint8_t> present = {});
+
+}  // namespace brics

@@ -1,0 +1,81 @@
+#include "bcc/bct.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace brics {
+
+BlockCutTree build_bct(const BccResult& bcc, NodeId n) {
+  BlockCutTree t;
+  const BlockId nb = bcc.num_blocks();
+  t.cut_of_node.assign(n, kInvalidCut);
+  for (NodeId v = 0; v < n; ++v) {
+    if (bcc.is_cut(v)) {
+      t.cut_of_node[v] = static_cast<CutId>(t.cut_nodes.size());
+      t.cut_nodes.push_back(v);
+    }
+  }
+  t.block_cuts.assign(nb, {});
+  t.cut_blocks.assign(t.cut_nodes.size(), {});
+  for (BlockId b = 0; b < nb; ++b) {
+    for (NodeId v : bcc.block_nodes(b)) {
+      const CutId c = t.cut_of_node[v];
+      if (c != kInvalidCut) {
+        t.block_cuts[b].push_back(c);
+        t.cut_blocks[c].push_back(b);
+      }
+    }
+  }
+
+  // Root each BCT component at its largest block; BFS assigns parents and a
+  // top-down order over blocks.
+  t.parent_cut.assign(nb, kInvalidCut);
+  t.parent_block.assign(t.cut_nodes.size(), kInvalidBlock);
+  std::vector<std::uint8_t> block_seen(nb, 0), cut_seen(t.cut_nodes.size(), 0);
+  t.top_down.reserve(nb);
+
+  std::vector<BlockId> order(nb);
+  for (BlockId b = 0; b < nb; ++b) order[b] = b;
+  std::sort(order.begin(), order.end(), [&](BlockId a, BlockId b) {
+    return bcc.block_nodes(a).size() > bcc.block_nodes(b).size();
+  });
+
+  std::vector<BlockId> queue;
+  for (BlockId root : order) {
+    if (block_seen[root]) continue;
+    block_seen[root] = 1;
+    queue.clear();
+    queue.push_back(root);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const BlockId b = queue[head];
+      t.top_down.push_back(b);
+      for (CutId c : t.block_cuts[b]) {
+        if (cut_seen[c]) continue;
+        cut_seen[c] = 1;
+        t.parent_block[c] = b;
+        for (BlockId b2 : t.cut_blocks[c]) {
+          if (block_seen[b2]) continue;
+          block_seen[b2] = 1;
+          t.parent_cut[b2] = c;
+          queue.push_back(b2);
+        }
+      }
+    }
+  }
+  BRICS_CHECK(t.top_down.size() == nb);
+
+  // Tree invariant: #BCT edges = #(block, cut) incidences; a tree/forest
+  // over (blocks + cuts) nodes must satisfy edges = nodes - components.
+  std::uint64_t incidences = 0;
+  for (const auto& cs : t.block_cuts) incidences += cs.size();
+  std::uint64_t roots = 0;
+  for (BlockId b = 0; b < nb; ++b)
+    if (t.parent_cut[b] == kInvalidCut) ++roots;
+  BRICS_CHECK_MSG(
+      incidences + roots == static_cast<std::uint64_t>(nb) + t.cut_nodes.size(),
+      "block-cut structure is not a forest");
+  return t;
+}
+
+}  // namespace brics

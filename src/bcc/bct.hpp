@@ -1,0 +1,39 @@
+// Block Cut-vertex Tree (paper Fig. 2): a bipartite tree whose nodes are
+// the biconnected blocks and the cut vertices of a graph. Built on top of a
+// BccResult, with a rooted orientation (per connected component) so the
+// estimator's bottom-up/top-down contribution passes (Algorithm 6) can walk
+// it in topological order.
+#pragma once
+
+#include <vector>
+
+#include "bcc/bcc.hpp"
+
+namespace brics {
+
+/// Index into BlockCutTree::cut_nodes (dense renumbering of cut vertices).
+using CutId = std::uint32_t;
+inline constexpr CutId kInvalidCut = static_cast<CutId>(-1);
+
+struct BlockCutTree {
+  std::vector<NodeId> cut_nodes;       ///< cut index -> graph node id
+  std::vector<CutId> cut_of_node;      ///< node id -> cut index (or invalid)
+  std::vector<std::vector<CutId>> block_cuts;    ///< per block: its cuts
+  std::vector<std::vector<BlockId>> cut_blocks;  ///< per cut: its blocks
+
+  /// Rooted orientation. Roots are the largest block of each BCT component
+  /// (parent_cut == kInvalidCut).
+  std::vector<CutId> parent_cut;     ///< per block
+  std::vector<BlockId> parent_block; ///< per cut
+  std::vector<BlockId> top_down;     ///< blocks, parents before children
+
+  BlockId num_blocks() const {
+    return static_cast<BlockId>(block_cuts.size());
+  }
+  CutId num_cuts() const { return static_cast<CutId>(cut_nodes.size()); }
+};
+
+/// Build the BCT for a decomposition of a graph on n nodes.
+BlockCutTree build_bct(const BccResult& bcc, NodeId n);
+
+}  // namespace brics

@@ -1,0 +1,42 @@
+// Umbrella header: the public API of the BRICS library.
+//
+// Quick start:
+//
+//   #include "brics/brics.hpp"
+//
+//   brics::CsrGraph g = brics::read_edge_list_file("graph.txt");
+//   brics::EstimateOptions opts;
+//   opts.sample_rate = 0.2;                  // 20 % of reduced-graph nodes
+//   auto est = brics::estimate_farness(g, opts);   // full BRICS pipeline
+//   // est.farness[v] ~ sum of distances from v to every other node
+//
+// Pieces, bottom-up:
+//   graph/     CSR graph, builder, edge-list I/O, connectivity
+//   gen/       synthetic generators + the Table-I-like dataset registry
+//   traverse/  BFS and Dial SSSP engines, parallel multi-source driver
+//   reduce/    identical / chain / redundant reductions + ledger
+//   bcc/       biconnected components + block cut-vertex tree
+//   core/      exact farness, sampling estimators, BRICS, quality metrics
+#pragma once
+
+#include "analysis/analysis.hpp"
+#include "bcc/bcc.hpp"
+#include "bcc/bct.hpp"
+#include "core/brics.hpp"
+#include "core/confidence.hpp"
+#include "core/estimate.hpp"
+#include "core/farness.hpp"
+#include "core/pivoting.hpp"
+#include "core/quality.hpp"
+#include "core/sampling.hpp"
+#include "gen/dataset.hpp"
+#include "gen/generators.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/metis_io.hpp"
+#include "graph/reorder.hpp"
+#include "reduce/reducer.hpp"
+#include "reduce/serialize.hpp"
+#include "traverse/bfs.hpp"
+#include "traverse/bidirectional.hpp"

@@ -1,0 +1,37 @@
+// The full BRICS estimator (paper Algorithms 4–6): reductions, biconnected
+// decomposition into a block cut-vertex tree, per-block sampling with cut
+// vertices forced into every block's sample set, and exact cross-block
+// contribution propagation.
+//
+// Error model: cut vertices are always sampled, so d(v, c) is exact for
+// every node v and every cut vertex c of its block; cross-block
+// contributions — (weight, dCarry) pairs pushed bottom-up and top-down over
+// the BCT — are therefore exact for every node. Only the intra-block
+// distance sums of non-sampled nodes are estimated, by scaling over the
+// block's samples. This is the mechanism behind the paper's Fig. 5
+// quality claim.
+#pragma once
+
+#include "core/estimate.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+/// Estimate farness for all nodes of a connected graph using the full
+/// BRICS pipeline. opts.reduce selects the reduction subset (I/C/R);
+/// opts.use_bcc is ignored (this entry point always decomposes — use
+/// estimate_reduced_sampling for the undecomposed variants).
+EstimateResult estimate_brics(const CsrGraph& g, const EstimateOptions& opts);
+
+/// Dispatch on opts.use_bcc between estimate_brics and
+/// estimate_reduced_sampling — the single entry point used by benches.
+EstimateResult estimate_farness(const CsrGraph& g,
+                                const EstimateOptions& opts);
+
+/// Run the BCC estimator on an existing (possibly patched) reduction —
+/// the entry point the dynamic extension uses to skip re-reduction.
+/// opts.reduce is ignored; result.times.reduce_s is left zero.
+EstimateResult estimate_on_reduction(const ReducedGraph& rg,
+                                     const EstimateOptions& opts);
+
+}  // namespace brics

@@ -1,0 +1,83 @@
+#include "core/confidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "traverse/multi_source.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace brics {
+
+ConfidenceResult estimate_with_confidence(const CsrGraph& g,
+                                          const ConfidenceOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BRICS_CHECK_MSG(n >= 2, "confidence estimation needs n >= 2");
+  BRICS_CHECK_MSG(opts.sample_rate > 0.0 && opts.sample_rate <= 1.0,
+                  "sample_rate must be in (0, 1]");
+  ConfidenceResult res;
+  res.farness.assign(n, 0.0);
+  res.stderr_.assign(n, 0.0);
+  res.exact.assign(n, 0);
+
+  const NodeId k = std::clamp<NodeId>(
+      static_cast<NodeId>(std::ceil(opts.sample_rate * n)), 1, n);
+  Rng rng(opts.seed);
+  std::vector<NodeId> sources = sample_without_replacement(n, k, rng);
+  res.samples = k;
+
+  // Per-thread sum and sum-of-squares accumulators.
+  struct Moments {
+    std::vector<double> sum, sumsq;
+  };
+  std::vector<Moments> bufs(static_cast<std::size_t>(max_threads()));
+
+  for_each_source(
+      g, sources, [&](std::size_t, NodeId s, std::span<const Dist> dist) {
+        res.farness[s] =
+            static_cast<double>(aggregate_distances(dist).sum);
+        res.exact[s] = 1;
+        auto& b = bufs[static_cast<std::size_t>(thread_id())];
+        if (b.sum.empty()) {
+          b.sum.assign(n, 0.0);
+          b.sumsq.assign(n, 0.0);
+        }
+        for (NodeId v = 0; v < n; ++v) {
+          if (dist[v] == kInfDist) continue;
+          const double d = static_cast<double>(dist[v]);
+          b.sum[v] += d;
+          b.sumsq[v] += d * d;
+        }
+      });
+
+  std::vector<double> sum(n, 0.0), sumsq(n, 0.0);
+  for (const auto& b : bufs) {
+    if (b.sum.empty()) continue;
+    for (NodeId v = 0; v < n; ++v) {
+      sum[v] += b.sum[v];
+      sumsq[v] += b.sumsq[v];
+    }
+  }
+
+  const double pop = static_cast<double>(n - 1);
+  const double kk = static_cast<double>(k);
+  // Finite-population correction: sampling without replacement from the
+  // n-1 potential targets (k of which were observed).
+  const double fpc =
+      n > 2 ? std::max(0.0, (pop - kk) / (pop - 1.0)) : 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (res.exact[v]) continue;
+    const double mean = sum[v] / kk;
+    res.farness[v] = pop * mean;
+    if (k >= 2) {
+      const double var =
+          std::max(0.0, (sumsq[v] - kk * mean * mean) / (kk - 1.0));
+      res.stderr_[v] = pop * std::sqrt(var / kk) * std::sqrt(fpc);
+    } else {
+      res.stderr_[v] = res.farness[v];  // single sample: no information
+    }
+  }
+  return res;
+}
+
+}  // namespace brics

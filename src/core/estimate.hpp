@@ -1,0 +1,45 @@
+// Common types for all farness estimators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bcc/bcc.hpp"
+#include "graph/types.hpp"
+#include "reduce/reducer.hpp"
+#include "util/timer.hpp"
+
+namespace brics {
+
+/// How traversal sources are drawn from the (block's) population.
+enum class SampleStrategy {
+  kUniform,         ///< the paper's choice: uniform without replacement
+  kDegreeWeighted,  ///< probability proportional to degree (pivot-style)
+};
+
+/// Estimator configuration. The paper's configurations map to:
+///   Random sampling (Alg. 1): estimate_random_sampling()
+///   C+R:        reduce{identical=false}, use_bcc=false
+///   I+C+R:      reduce{all true},        use_bcc=false
+///   Cumulative: reduce{all true},        use_bcc=true  (full BRICS)
+struct EstimateOptions {
+  double sample_rate = 0.2;   ///< fraction of (reduced-graph) nodes sampled
+  std::uint64_t seed = 1;     ///< sampling RNG seed
+  ReduceOptions reduce;       ///< which reductions to apply
+  bool use_bcc = true;        ///< decompose into biconnected blocks
+  SampleStrategy strategy = SampleStrategy::kUniform;
+};
+
+/// Estimator output. farness[v] approximates sum_{w != v} d(v, w); entries
+/// flagged in `exact` carry the exact value (sampled sources, and with BCC
+/// the cross-block part of every node is exact as well).
+struct EstimateResult {
+  std::vector<double> farness;
+  std::vector<std::uint8_t> exact;
+  NodeId samples = 0;        ///< total BFS/SSSP sources used
+  PhaseTimes times;
+  ReduceStats reduce_stats;  ///< zero-initialised when no reduction ran
+  BlockId num_blocks = 0;    ///< 0 when use_bcc == false
+};
+
+}  // namespace brics

@@ -1,0 +1,28 @@
+#include "core/farness.hpp"
+
+#include "traverse/bfs.hpp"
+#include "traverse/multi_source.hpp"
+#include "util/check.hpp"
+
+namespace brics {
+
+std::vector<FarnessSum> exact_farness(const CsrGraph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<FarnessSum> out(n, 0);
+  std::vector<NodeId> sources(n);
+  for (NodeId v = 0; v < n; ++v) sources[v] = v;
+  for_each_source(g, sources,
+                  [&](std::size_t, NodeId s, std::span<const Dist> dist) {
+                    out[s] = aggregate_distances(dist).sum;
+                  });
+  return out;
+}
+
+FarnessSum exact_farness_of(const CsrGraph& g, NodeId v) {
+  BRICS_CHECK(v < g.num_nodes());
+  TraversalWorkspace ws;
+  sssp(g, v, ws);
+  return aggregate_distances(ws.dist()).sum;
+}
+
+}  // namespace brics

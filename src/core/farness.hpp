@@ -1,0 +1,17 @@
+// Exact farness centrality: one SSSP per node, parallel over sources.
+// O(n (m + n)) — the ground truth every estimator is measured against.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+/// Exact farness of every node of a connected graph.
+std::vector<FarnessSum> exact_farness(const CsrGraph& g);
+
+/// Exact farness of a single node (one traversal).
+FarnessSum exact_farness_of(const CsrGraph& g, NodeId v);
+
+}  // namespace brics

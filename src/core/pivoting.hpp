@@ -1,0 +1,40 @@
+// Pivot-based farness estimation (Cohen, Delling, Pajor, Werneck: "Computing
+// classic closeness centrality, at scale", COSN 2014 — the paper's §II
+// basis: "estimates ... can be obtained by combining two popular
+// techniques: sampling and pivoting").
+//
+// Sampling (Algorithm 1) averages the distances each node *observes to* the
+// sampled sources. Pivoting instead assigns every non-sampled node v to its
+// nearest sampled pivot p(v) and uses the pivot's exactly-known farness,
+// corrected by the assignment distance: by the triangle inequality
+//   farness(p) - n d(v,p)  <=  farness(v)  <=  farness(p) + n d(v,p),
+// and the estimator returns farness(p(v)) + bias * d(v, p(v)) * (n - 1)
+// with bias in [-1, 1] (0 = plain pivot value).
+//
+// The hybrid estimator averages the sampling and pivoting predictions —
+// Cohen et al.'s observation that their errors are weakly correlated.
+// All three run off ONE set of traversals, so they cost the same.
+#pragma once
+
+#include "core/estimate.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+enum class PivotCombine {
+  kPivotOnly,   ///< farness(p(v)) + bias correction
+  kHybrid,      ///< mean of sampling and pivoting predictions
+};
+
+struct PivotOptions {
+  double sample_rate = 0.2;
+  std::uint64_t seed = 1;
+  PivotCombine combine = PivotCombine::kHybrid;
+  double bias = 0.0;  ///< distance-correction weight in [-1, 1]
+};
+
+/// Pivot/hybrid farness estimation on a connected graph. Sampled nodes are
+/// exact; every other node gets the selected combined prediction.
+EstimateResult estimate_pivoting(const CsrGraph& g, const PivotOptions& opts);
+
+}  // namespace brics

@@ -1,0 +1,150 @@
+#include "core/postprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+// Sum over j of |off_i - off_j| for sorted offsets, all i, via prefix sums.
+std::vector<double> abs_diff_sums(const std::vector<Dist>& off) {
+  const std::size_t l = off.size();
+  std::vector<double> prefix(l + 1, 0.0), out(l, 0.0);
+  for (std::size_t i = 0; i < l; ++i)
+    prefix[i + 1] = prefix[i] + static_cast<double>(off[i]);
+  for (std::size_t i = 0; i < l; ++i) {
+    const double oi = static_cast<double>(off[i]);
+    const double left = oi * static_cast<double>(i + 1) - prefix[i + 1];
+    const double right =
+        (prefix[l] - prefix[i + 1]) - oi * static_cast<double>(l - i - 1);
+    out[i] = left + right;
+  }
+  return out;
+}
+
+// Sum over j of min(|off_i - off_j|, total - |off_i - off_j|) for sorted
+// offsets (cycle geometry), all i. O(l log l).
+std::vector<double> cyclic_diff_sums(const std::vector<Dist>& off,
+                                     Dist total) {
+  const std::size_t l = off.size();
+  std::vector<double> prefix(l + 1, 0.0), out(l, 0.0);
+  for (std::size_t i = 0; i < l; ++i)
+    prefix[i + 1] = prefix[i] + static_cast<double>(off[i]);
+  const double T = static_cast<double>(total);
+  for (std::size_t i = 0; i < l; ++i) {
+    const double oi = static_cast<double>(off[i]);
+    // Left side (off_j <= off_i), delta = oi - off_j: along-arc wins while
+    // 2 delta <= T, i.e. off_j >= oi - T/2.
+    const Dist lo_bound =
+        2.0 * oi > T ? static_cast<Dist>(std::ceil(oi - T / 2.0)) : 0;
+    const std::size_t lo =
+        std::lower_bound(off.begin(), off.begin() + i + 1, lo_bound) -
+        off.begin();
+    double s = 0.0;
+    // j in [lo, i]: contribute oi - off_j.
+    s += oi * static_cast<double>(i + 1 - lo) - (prefix[i + 1] - prefix[lo]);
+    // j in [0, lo): contribute T - (oi - off_j).
+    s += (T - oi) * static_cast<double>(lo) + prefix[lo];
+    // Right side (off_j > off_i), delta = off_j - oi: along-arc wins while
+    // off_j <= oi + T/2.
+    const double hi_val = oi + T / 2.0;
+    const std::size_t hi =
+        std::upper_bound(off.begin() + i + 1, off.end(),
+                         static_cast<Dist>(hi_val)) -
+        off.begin();
+    // j in (i, hi): contribute off_j - oi.
+    s += (prefix[hi] - prefix[i + 1]) - oi * static_cast<double>(hi - i - 1);
+    // j in [hi, l): contribute T - (off_j - oi).
+    s += (T + oi) * static_cast<double>(l - hi) - (prefix[l] - prefix[hi]);
+    out[i] = s;
+  }
+  return out;
+}
+
+}  // namespace
+
+void refine_removed_estimates(const ReductionLedger& ledger, NodeId n,
+                              std::span<double> farness,
+                              std::span<std::uint8_t> exact) {
+  BRICS_CHECK(farness.size() == n);
+  BRICS_CHECK(exact.size() == n);
+
+  {
+    auto order = ledger.order();
+    for (std::uint32_t i = 0; i < order.size(); ++i) {
+      if (order[i].kind != ReductionLedger::Kind::kIdentical) continue;
+      if (!ledger.record_active(i)) continue;
+      const IdenticalRecord& r = ledger.identical()[order[i].index];
+      farness[r.node] = farness[r.rep];
+      exact[r.node] = exact[r.rep];
+    }
+  }
+
+  // The chain closed forms route every external target through the anchor
+  // u: d(a_i, x) = arc_i + d(u, x). The single exception is a twin y of u
+  // itself removed *before* the chain: y shares u's neighbours, so the
+  // chain reaches y without the d(u, y) = self_dist hop and the formula
+  // over-counts by exactly self_dist(y). (Twins of any other node would
+  // have forced the chain member's degree above 2 — impossible; see the
+  // derivation in this file's header.) Walk records in removal order and
+  // keep the per-anchor correction accumulated so far.
+  std::unordered_map<NodeId, double> twin_overcount;
+  std::vector<double> chain_correction(ledger.chains().size(), 0.0);
+  std::vector<std::uint8_t> chain_active(ledger.chains().size(), 0);
+  {
+    auto order = ledger.order();
+    for (std::uint32_t i = 0; i < order.size(); ++i) {
+      const auto& e = order[i];
+      if (e.kind == ReductionLedger::Kind::kIdentical) {
+        if (!ledger.record_active(i)) continue;
+        const IdenticalRecord& r = ledger.identical()[e.index];
+        twin_overcount[r.rep] += static_cast<double>(r.self_dist);
+      } else if (e.kind == ReductionLedger::Kind::kChain) {
+        chain_active[e.index] = ledger.record_active(i) ? 1 : 0;
+        const ChainRecord& c = ledger.chains()[e.index];
+        auto it = twin_overcount.find(c.u);
+        chain_correction[e.index] =
+            it == twin_overcount.end() ? 0.0 : it->second;
+      }
+    }
+  }
+
+  for (std::size_t ci = 0; ci < ledger.chains().size(); ++ci) {
+    if (!chain_active[ci]) continue;
+    const ChainRecord& c = ledger.chains()[ci];
+    if (!c.pendant() && !c.cycle()) continue;  // through chains keep ests
+    const std::size_t l = c.members.size();
+    const double fu = farness[c.u] - chain_correction[ci];
+    const double pop = static_cast<double>(n) - static_cast<double>(l);
+    if (c.pendant()) {
+      std::vector<double> internal = abs_diff_sums(c.offsets);
+      double off_sum = 0.0;
+      for (Dist o : c.offsets) off_sum += static_cast<double>(o);
+      for (std::size_t i = 0; i < l; ++i) {
+        farness[c.members[i]] = fu +
+                                static_cast<double>(c.offsets[i]) * pop -
+                                off_sum + internal[i];
+        exact[c.members[i]] = exact[c.u];
+      }
+    } else {
+      // Cycle: distances leave through u at min(off, total - off).
+      std::vector<Dist> m(l);
+      for (std::size_t i = 0; i < l; ++i)
+        m[i] = std::min(c.offsets[i], c.total - c.offsets[i]);
+      double m_sum = 0.0;
+      for (Dist v : m) m_sum += static_cast<double>(v);
+      std::vector<double> internal = cyclic_diff_sums(c.offsets, c.total);
+      for (std::size_t i = 0; i < l; ++i) {
+        farness[c.members[i]] = fu + static_cast<double>(m[i]) * pop -
+                                m_sum + internal[i];
+        exact[c.members[i]] = exact[c.u];
+      }
+    }
+  }
+}
+
+}  // namespace brics

@@ -1,0 +1,35 @@
+// Closed-form refinement of removed-node farness estimates.
+//
+// The sampling estimators first produce farness values for present nodes
+// plus accumulator-based estimates for removed ones. For three record kinds
+// a removed node's farness is an exact function of its anchor's farness
+// (paper Facts III.3/III.4 are the sampled-counting special cases):
+//
+//   identical twin y of rep r:        farness(y) = farness(r)
+//   pendant chain a_i (anchor u):     every path from a_i leaves via u, so
+//       farness(a_i) = farness(u) + off_i (n - l) - sum_j off_j
+//                      + sum_{j != i} |off_i - off_j|
+//   cycle chain a_i (anchor u):       with m_i = min(off_i, total - off_i),
+//       farness(a_i) = farness(u) + m_i (n - l) - sum_j m_j
+//                      + sum_{j != i} cyc(i, j),
+//       cyc(i,j) = min(|off_i - off_j|, total - |off_i - off_j|)
+//
+// Through-chain members (two distinct anchors; per-target min) and
+// redundant nodes keep their accumulator estimates. The refined value is
+// exact whenever the anchor's value is exact, which the `exact` mask
+// propagates.
+#pragma once
+
+#include <span>
+
+#include "reduce/ledger.hpp"
+
+namespace brics {
+
+/// Replace removed-node entries of `farness` with anchor-based closed forms
+/// where available. `n` is the full node count of the original graph.
+void refine_removed_estimates(const ReductionLedger& ledger, NodeId n,
+                              std::span<double> farness,
+                              std::span<std::uint8_t> exact);
+
+}  // namespace brics

@@ -1,0 +1,37 @@
+#include "core/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace brics {
+
+std::vector<double> approximation_ratios(std::span<const double> estimated,
+                                         std::span<const FarnessSum> actual) {
+  BRICS_CHECK(estimated.size() == actual.size());
+  std::vector<double> ar(estimated.size());
+  for (std::size_t v = 0; v < estimated.size(); ++v) {
+    BRICS_CHECK_MSG(actual[v] > 0, "actual farness of node "
+                                       << v << " is zero (n < 2?)");
+    ar[v] = estimated[v] / static_cast<double>(actual[v]);
+  }
+  return ar;
+}
+
+QualityReport quality(std::span<const double> estimated,
+                      std::span<const FarnessSum> actual) {
+  std::vector<double> ar = approximation_ratios(estimated, actual);
+  QualityReport q;
+  q.quality = summarize(ar).mean;
+  std::vector<double> abs_err(ar.size());
+  for (std::size_t i = 0; i < ar.size(); ++i)
+    abs_err[i] = std::abs(ar[i] - 1.0);
+  Summary s = summarize(abs_err);
+  q.mean_abs_err = s.mean;
+  q.max_abs_err = s.max;
+  q.p95_abs_err = percentile(abs_err, 95.0);
+  return q;
+}
+
+}  // namespace brics

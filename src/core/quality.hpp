@@ -1,0 +1,31 @@
+// Quality metrics from the paper (§IV-C1): per-node approximation ratio
+//   AR(v) = farness_estimated(v) / farness_actual(v)
+// and Quality = mean AR over all nodes. Quality == 1 means exact; the
+// further from 1 (either side), the worse the estimate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/stats.hpp"
+
+namespace brics {
+
+/// Per-node approximation ratios. `actual` entries must be positive
+/// (guaranteed for connected graphs with n >= 2).
+std::vector<double> approximation_ratios(std::span<const double> estimated,
+                                         std::span<const FarnessSum> actual);
+
+/// Quality = mean AR, plus distribution statistics for error analysis.
+struct QualityReport {
+  double quality = 1.0;        ///< mean AR (the paper's headline metric)
+  double mean_abs_err = 0.0;   ///< mean |AR - 1|
+  double max_abs_err = 0.0;    ///< max |AR - 1|
+  double p95_abs_err = 0.0;    ///< 95th percentile of |AR - 1|
+};
+
+QualityReport quality(std::span<const double> estimated,
+                      std::span<const FarnessSum> actual);
+
+}  // namespace brics

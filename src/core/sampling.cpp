@@ -1,0 +1,154 @@
+#include "core/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/postprocess.hpp"
+#include "graph/connectivity.hpp"
+#include "traverse/multi_source.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace brics {
+namespace {
+
+// Number of samples for a population of `pop` at `rate`, clamped to [1, pop].
+NodeId sample_count(NodeId pop, double rate) {
+  BRICS_CHECK_MSG(rate > 0.0 && rate <= 1.0,
+                  "sample_rate must be in (0, 1], got " << rate);
+  const double k = std::ceil(rate * static_cast<double>(pop));
+  return std::clamp<NodeId>(static_cast<NodeId>(k), 1, pop);
+}
+
+}  // namespace
+
+EstimateResult estimate_random_sampling(const CsrGraph& g,
+                                        const EstimateOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BRICS_CHECK_MSG(n >= 1, "empty graph");
+  BRICS_CHECK_MSG(is_connected(g),
+                  "estimators require a connected graph "
+                  "(preprocess with make_connected / largest_component)");
+  Timer total;
+  EstimateResult res;
+  res.farness.assign(n, 0.0);
+  res.exact.assign(n, 0);
+
+  const NodeId k = sample_count(n, opts.sample_rate);
+  Rng rng(opts.seed);
+  std::vector<NodeId> sources;
+  if (opts.strategy == SampleStrategy::kDegreeWeighted) {
+    std::vector<double> wts(n);
+    for (NodeId v = 0; v < n; ++v)
+      wts[v] = static_cast<double>(g.degree(v));
+    sources = weighted_sample_without_replacement(wts, k, rng);
+  } else {
+    sources = sample_without_replacement(n, k, rng);
+  }
+  res.samples = k;
+
+  Timer traverse;
+  DistanceSumAccumulator acc(n);
+  for_each_source(g, sources,
+                  [&](std::size_t, NodeId s, std::span<const Dist> dist) {
+                    res.farness[s] =
+                        static_cast<double>(aggregate_distances(dist).sum);
+                    res.exact[s] = 1;
+                    acc.add(dist);
+                  });
+  res.times.traverse_s = traverse.seconds();
+
+  Timer combine;
+  std::vector<FarnessSum> sums = acc.merge();
+  const double scale = static_cast<double>(n - 1) / static_cast<double>(k);
+  for (NodeId v = 0; v < n; ++v)
+    if (!res.exact[v])
+      res.farness[v] = static_cast<double>(sums[v]) * scale;
+  res.times.combine_s = combine.seconds();
+  res.times.total_s = total.seconds();
+  return res;
+}
+
+EstimateResult estimate_reduced_sampling(const CsrGraph& g,
+                                         const EstimateOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BRICS_CHECK_MSG(n >= 1, "empty graph");
+  BRICS_CHECK_MSG(is_connected(g),
+                  "estimators require a connected graph "
+                  "(preprocess with make_connected / largest_component)");
+  Timer total;
+  EstimateResult res;
+  res.farness.assign(n, 0.0);
+  res.exact.assign(n, 0);
+
+  Timer reduce_t;
+  ReducedGraph rg = reduce(g, opts.reduce);
+  res.reduce_stats = rg.stats;
+  res.times.reduce_s = reduce_t.seconds();
+
+  std::vector<NodeId> present_nodes;
+  present_nodes.reserve(rg.num_present);
+  for (NodeId v = 0; v < n; ++v)
+    if (rg.present[v]) present_nodes.push_back(v);
+  BRICS_CHECK(!present_nodes.empty());
+
+  const NodeId k = sample_count(rg.num_present, opts.sample_rate);
+  Rng rng(opts.seed);
+  std::vector<NodeId> pick =
+      sample_without_replacement(rg.num_present, k, rng);
+  std::vector<NodeId> sources(k);
+  for (NodeId i = 0; i < k; ++i) sources[i] = present_nodes[pick[i]];
+  res.samples = k;
+
+  Timer traverse;
+  DistanceSumAccumulator acc(n);
+  for_each_source(
+      rg.graph, sources,
+      [&](std::size_t, NodeId s, std::span<const Dist> dist) {
+        // The reduced distance vector becomes a full-graph distance vector
+        // once the ledger reconstructs the removed nodes; the source's
+        // farness is then exact over all n nodes.
+        // (The span aliases the per-thread workspace, which is const here;
+        // resolve in a local copy.)
+        thread_local std::vector<Dist> full;
+        full.assign(dist.begin(), dist.end());
+        rg.ledger.resolve(full);
+        res.farness[s] =
+            static_cast<double>(aggregate_distances(full).sum);
+        res.exact[s] = 1;
+        acc.add(full);
+      });
+  res.times.traverse_s = traverse.seconds();
+
+  Timer combine;
+  std::vector<FarnessSum> sums = acc.merge();
+
+  // Sources are uniform over *present* nodes, not over V: removed nodes
+  // (chain tails, twins) are never sampled, so the plain (n-1)/k scaling is
+  // biased. As in the BCC estimator (DESIGN.md §7.3), learn the correction
+  // from the sampled nodes themselves — their exact farness against the
+  // raw leave-one-out estimate.
+  double beta = 1.0;
+  if (k >= 2) {
+    double exact_sum = 0.0, raw_sum = 0.0;
+    for (NodeId s : sources) {
+      exact_sum += res.farness[s];
+      raw_sum += static_cast<double>(n - 1) *
+                 static_cast<double>(sums[s]) /
+                 static_cast<double>(k - 1);
+    }
+    if (exact_sum > 0.0 && raw_sum > 0.0) beta = exact_sum / raw_sum;
+  }
+  const double scale =
+      beta * static_cast<double>(n - 1) / static_cast<double>(k);
+  for (NodeId v = 0; v < n; ++v)
+    if (!res.exact[v])
+      res.farness[v] = static_cast<double>(sums[v]) * scale;
+  refine_removed_estimates(rg.ledger, n, res.farness, res.exact);
+  res.times.combine_s = combine.seconds();
+  res.times.total_s = total.seconds();
+  return res;
+}
+
+}  // namespace brics

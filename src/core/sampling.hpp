@@ -1,0 +1,27 @@
+// Sampling-based farness estimators without biconnected decomposition.
+//
+//   estimate_random_sampling — the paper's baseline (Algorithm 1): BFS from
+//     k uniform nodes of the input graph; sampled nodes exact, the rest
+//     scaled by (n-1)/k. (The paper's pseudo-code omits the scale factor;
+//     it is required for the reported Quality ≈ 1 values — see DESIGN §3.6.)
+//
+//   estimate_reduced_sampling — the same estimator run on the reduced graph
+//     (paper configurations C+R and I+C+R): reductions shrink the traversal
+//     workload, the ledger reconstructs distances to removed nodes, so each
+//     sampled source still yields its exact farness over the FULL graph.
+#pragma once
+
+#include "core/estimate.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+/// Algorithm 1 on the raw input graph. Ignores opts.reduce / opts.use_bcc.
+EstimateResult estimate_random_sampling(const CsrGraph& g,
+                                        const EstimateOptions& opts);
+
+/// Reduce-then-sample without block decomposition.
+EstimateResult estimate_reduced_sampling(const CsrGraph& g,
+                                         const EstimateOptions& opts);
+
+}  // namespace brics

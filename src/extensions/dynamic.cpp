@@ -1,0 +1,149 @@
+#include "extensions/dynamic.hpp"
+
+#include <unordered_map>
+
+#include "core/brics.hpp"
+#include "core/sampling.hpp"
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+// Which ledger records does an insertion at node e invalidate?
+//   - e removed: its own record (the node is back in play).
+//   - e present: every identical record with rep == e — the rep's
+//     neighbourhood grows, so d(w, twin) == d(w, rep) no longer holds.
+//   - whenever a twin of rep r is spliced, every chain anchored at r: a
+//     spliced (now present) twin is adjacent to the chain's first member in
+//     the original graph, opening a second entry into the chain interior
+//     that the ledger's min-formula does not model.
+// Chains and redundant nodes whose *anchors* gain an edge stay valid: their
+// reconstruction formulas hold under any distance change among present
+// nodes (see DESIGN.md §3.2).
+struct SpliceIndex {
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> twins_of_rep;
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> chains_of_anchor;
+
+  explicit SpliceIndex(const ReductionLedger& ledger) {
+    auto order = ledger.order();
+    for (std::uint32_t i = 0; i < order.size(); ++i) {
+      switch (order[i].kind) {
+        case ReductionLedger::Kind::kIdentical:
+          twins_of_rep[ledger.identical()[order[i].index].rep].push_back(i);
+          break;
+        case ReductionLedger::Kind::kChain: {
+          const ChainRecord& c = ledger.chains()[order[i].index];
+          chains_of_anchor[c.u].push_back(i);
+          if (!c.pendant() && !c.cycle())
+            chains_of_anchor[c.v].push_back(i);
+          break;
+        }
+        case ReductionLedger::Kind::kRedundant:
+          break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+DynamicFarness::DynamicFarness(CsrGraph g, EstimateOptions opts,
+                               std::uint32_t rebuild_threshold)
+    : g_(std::move(g)),
+      opts_(opts),
+      rebuild_threshold_(rebuild_threshold),
+      rg_(1) {
+  rebuild();
+}
+
+void DynamicFarness::rebuild() {
+  rg_ = reduce(g_, opts_.reduce);
+  est_ = estimate_on_reduction(rg_, opts_);
+  patches_since_rebuild_ = 0;
+  ++stats_.full_rebuilds;
+}
+
+void DynamicFarness::insert_edge(NodeId u, NodeId v, Weight w) {
+  BRICS_CHECK(u < g_.num_nodes() && v < g_.num_nodes());
+  if (u == v) return;
+  ++stats_.insertions;
+
+  // Grow the full graph.
+  {
+    GraphBuilder b(g_.num_nodes());
+    b.add_edges(g_.edge_list());
+    b.add_edge(u, v, w);
+    g_ = b.build();
+  }
+
+  if (patches_since_rebuild_ >= rebuild_threshold_) {
+    rebuild();
+    return;
+  }
+
+  // Collect the records to splice (see SpliceIndex).
+  SpliceIndex index(rg_.ledger);
+  std::vector<std::uint32_t> to_splice;
+  std::vector<NodeId> twin_reps;
+  for (NodeId e : {u, v}) {
+    if (rg_.ledger.removed(e)) {
+      const std::uint32_t rec = rg_.ledger.record_of(e);
+      to_splice.push_back(rec);
+      // A spliced twin re-opens chains anchored at its rep.
+      auto order = rg_.ledger.order();
+      if (order[rec].kind == ReductionLedger::Kind::kIdentical)
+        twin_reps.push_back(
+            rg_.ledger.identical()[order[rec].index].rep);
+    } else {
+      auto it = index.twins_of_rep.find(e);
+      if (it != index.twins_of_rep.end()) {
+        bool any = false;
+        for (std::uint32_t rec : it->second)
+          if (rg_.ledger.record_active(rec)) {
+            to_splice.push_back(rec);
+            any = true;
+          }
+        if (any) twin_reps.push_back(e);
+      }
+    }
+  }
+  for (NodeId r : twin_reps) {
+    auto it = index.chains_of_anchor.find(r);
+    if (it == index.chains_of_anchor.end()) continue;
+    for (std::uint32_t rec : it->second)
+      if (rg_.ledger.record_active(rec)) to_splice.push_back(rec);
+  }
+
+  for (std::uint32_t rec : to_splice) {
+    if (!rg_.ledger.record_active(rec)) continue;
+    std::vector<NodeId> restored = rg_.ledger.splice_record(rec);
+    stats_.spliced_nodes += restored.size();
+    for (NodeId x : restored) {
+      rg_.present[x] = 1;
+      ++rg_.num_present;
+    }
+  }
+  ++stats_.patched;
+  ++patches_since_rebuild_;
+
+  // Rebuild the reduced CSR graph: original edges among present nodes plus
+  // the compressed edges of still-active through chains.
+  {
+    GraphBuilder b(g_.num_nodes());
+    for (const Edge& e : g_.edge_list())
+      if (rg_.present[e.u] && rg_.present[e.v]) b.add_edge(e.u, e.v, e.w);
+    auto order = rg_.ledger.order();
+    for (std::uint32_t i = 0; i < order.size(); ++i) {
+      if (order[i].kind != ReductionLedger::Kind::kChain) continue;
+      if (!rg_.ledger.record_active(i)) continue;
+      const ChainRecord& c = rg_.ledger.chains()[order[i].index];
+      if (c.pendant() || c.cycle()) continue;
+      b.add_edge(c.u, c.v, c.total);
+    }
+    rg_.graph = b.build();
+  }
+
+  est_ = estimate_on_reduction(rg_, opts_);
+}
+
+}  // namespace brics

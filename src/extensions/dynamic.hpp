@@ -1,0 +1,75 @@
+// Dynamic farness estimation under edge insertions — the extension the
+// paper's conclusion poses as future work ("Extension of this problem to a
+// dynamic setting is an interesting study").
+//
+// Strategy: cache the reduction of the current graph. An inserted edge
+// (u, v) is classified:
+//   - both endpoints present in the reduced graph: the reductions stay
+//     valid (they are exactness-preserving removals whose certificates only
+//     involve removed nodes' neighbourhoods; a new edge between present
+//     nodes cannot invalidate a pendant/cycle/through reconstruction, but
+//     it CAN shorten paths, so chain min-formulas still hold and twin
+//     equalities may break — twins incident to the new edge are spliced
+//     back). The estimator then re-runs on the patched reduced graph,
+//     skipping the reduction phase entirely.
+//   - an endpoint was removed: the affected records are rolled back by
+//     splicing the removed nodes back into the graph, then the same patched
+//     re-estimation runs.
+// Either way the expensive reduction scan is amortised across insertions;
+// a full rebuild is triggered after `rebuild_threshold` patches to keep the
+// reduced graph from degrading.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimate.hpp"
+#include "graph/csr_graph.hpp"
+#include "reduce/reducer.hpp"
+
+namespace brics {
+
+struct DynamicStats {
+  std::uint64_t insertions = 0;
+  std::uint64_t patched = 0;         ///< handled by patching the reduction
+  std::uint64_t spliced_nodes = 0;   ///< removed nodes restored by patches
+  std::uint64_t full_rebuilds = 0;   ///< reduction recomputed from scratch
+};
+
+/// Maintains farness estimates for a graph under edge insertions.
+class DynamicFarness {
+ public:
+  /// `opts` configures every (re-)estimation; `rebuild_threshold` bounds
+  /// how many patches may accumulate before a clean re-reduction.
+  DynamicFarness(CsrGraph g, EstimateOptions opts,
+                 std::uint32_t rebuild_threshold = 64);
+
+  /// Insert undirected edge {u, v} (ignored if already present) and refresh
+  /// the estimates.
+  void insert_edge(NodeId u, NodeId v, Weight w = 1);
+
+  /// Current estimates (recomputed eagerly by insert_edge). The dynamic
+  /// estimator always runs the full BCC pipeline on the patched reduction.
+  const EstimateResult& estimate() const { return est_; }
+
+  /// The current graph.
+  const CsrGraph& graph() const { return g_; }
+
+  /// The (possibly patched) cached reduction.
+  const ReducedGraph& reduction() const { return rg_; }
+
+  const DynamicStats& stats() const { return stats_; }
+
+ private:
+  void rebuild();
+
+  CsrGraph g_;
+  EstimateOptions opts_;
+  std::uint32_t rebuild_threshold_;
+  std::uint32_t patches_since_rebuild_ = 0;
+  ReducedGraph rg_;
+  EstimateResult est_;
+  DynamicStats stats_;
+};
+
+}  // namespace brics

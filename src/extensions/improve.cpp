@@ -1,0 +1,77 @@
+#include "extensions/improve.hpp"
+
+#include <algorithm>
+
+#include "traverse/bfs.hpp"
+#include "traverse/multi_source.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace brics {
+
+ImproveResult improve_closeness(const CsrGraph& g, NodeId v,
+                                const ImproveOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BRICS_CHECK(v < n);
+  BRICS_CHECK_MSG(g.unit_weights(),
+                  "improve_closeness requires unit weights");
+  BRICS_CHECK(opts.budget >= 1);
+
+  ImproveResult res;
+  res.graph = g;
+
+  // Candidate pool (excluding v itself).
+  std::vector<NodeId> pool;
+  if (opts.candidate_pool == 0 || opts.candidate_pool >= n - 1) {
+    pool.reserve(n - 1);
+    for (NodeId u = 0; u < n; ++u)
+      if (u != v) pool.push_back(u);
+  } else {
+    Rng rng(opts.seed);
+    for (NodeId u :
+         sample_without_replacement(n, opts.candidate_pool + 1, rng))
+      if (u != v) pool.push_back(u);
+    if (pool.size() > opts.candidate_pool) pool.pop_back();
+  }
+
+  TraversalWorkspace ws;
+  sssp(res.graph, v, ws);
+  std::vector<Dist> dv(ws.dist().begin(), ws.dist().end());
+  res.initial_farness = aggregate_distances(dv).sum;
+
+  for (NodeId round = 0; round < opts.budget; ++round) {
+    // Evaluate every candidate's gain in parallel: one traversal from each
+    // candidate, folded into its exact gain against the current d(v, .).
+    std::vector<std::int64_t> gain(pool.size(), -1);
+    for_each_source(
+        res.graph, pool,
+        [&](std::size_t i, NodeId u, std::span<const Dist> du) {
+          if (res.graph.has_edge(v, u) || u == v) return;  // no-op edge
+          std::int64_t gsum = 0;
+          for (NodeId x = 0; x < n; ++x) {
+            const Dist via = du[x] == kInfDist ? kInfDist : du[x] + 1;
+            if (via < dv[x])
+              gsum += static_cast<std::int64_t>(dv[x]) - via;
+          }
+          gain[i] = gsum;
+        });
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pool.size(); ++i)
+      if (gain[i] > gain[best]) best = i;
+    if (pool.empty() || gain[best] <= 0) break;  // no improving edge left
+
+    const NodeId u = pool[best];
+    GraphBuilder b(n);
+    b.add_edges(res.graph.edge_list());
+    b.add_edge(v, u);
+    res.graph = b.build();
+    res.added.push_back(u);
+
+    sssp(res.graph, v, ws);
+    dv.assign(ws.dist().begin(), ws.dist().end());
+    res.farness.push_back(aggregate_distances(dv).sum);
+  }
+  return res;
+}
+
+}  // namespace brics

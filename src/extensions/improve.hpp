@@ -1,0 +1,39 @@
+// Greedily improving a node's closeness centrality by adding incident
+// edges — the problem of Crescenzi, D'Angelo, Severini, Velaj ("Greedily
+// improving our own closeness centrality in a network", TKDD 2016), cited
+// by the paper (§I, [8]) as one of the farness-machinery applications.
+//
+// Given a node v and a budget k, repeatedly add the edge (v, u) that
+// maximally decreases farness(v):
+//   gain(u) = sum_x max(0, d(v, x) - (1 + d(u, x))).
+// The farness function is supermodular, so greedy gives the classic
+// (1 - 1/e) guarantee on the closeness increase; this implementation
+// evaluates gains exactly over a candidate pool (all nodes by default, or a
+// uniform sample for large graphs).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+struct ImproveOptions {
+  NodeId budget = 3;          ///< number of edges to add
+  NodeId candidate_pool = 0;  ///< 0 = all nodes; else sample this many
+  std::uint64_t seed = 1;
+};
+
+struct ImproveResult {
+  std::vector<NodeId> added;        ///< chosen endpoints, in greedy order
+  std::vector<FarnessSum> farness;  ///< farness(v) after each addition
+  FarnessSum initial_farness = 0;
+  CsrGraph graph;                   ///< the graph with the edges added
+};
+
+/// Greedily add up to opts.budget edges incident to v minimising its
+/// farness. Requires a connected unit-weight graph.
+ImproveResult improve_closeness(const CsrGraph& g, NodeId v,
+                                const ImproveOptions& opts = {});
+
+}  // namespace brics

@@ -1,0 +1,117 @@
+#include "extensions/topk.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/brics.hpp"
+#include "graph/connectivity.hpp"
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+// BFS from source that aborts once a lower bound on the farness exceeds
+// `budget`. Returns the exact farness when it completes, kInvalidFarness
+// when pruned. The bound after finishing level L with `visited` nodes and
+// partial sum P is P + (n - visited) * (L + 1): every unvisited node is at
+// distance at least L + 1.
+constexpr FarnessSum kInvalidFarness = ~FarnessSum{0};
+
+struct CutoffBfs {
+  std::vector<Dist> dist;
+  std::vector<NodeId> queue;
+
+  FarnessSum run(const CsrGraph& g, NodeId source, FarnessSum budget,
+                 std::uint64_t& levels_expanded) {
+    const NodeId n = g.num_nodes();
+    dist.assign(n, kInfDist);
+    queue.clear();
+    dist[source] = 0;
+    queue.push_back(source);
+    FarnessSum partial = 0;
+    NodeId visited = 1;
+    std::size_t level_begin = 0, level_end = 1;
+    Dist level = 0;
+    while (level_begin < level_end) {
+      ++levels_expanded;
+      for (std::size_t i = level_begin; i < level_end; ++i) {
+        const NodeId u = queue[i];
+        for (NodeId w : g.neighbors(u)) {
+          if (dist[w] != kInfDist) continue;
+          dist[w] = level + 1;
+          partial += level + 1;
+          ++visited;
+          queue.push_back(w);
+        }
+      }
+      level_begin = level_end;
+      level_end = queue.size();
+      ++level;
+      const FarnessSum lower =
+          partial + static_cast<FarnessSum>(n - visited) * (level + 1);
+      if (visited < n && lower > budget) return kInvalidFarness;
+    }
+    BRICS_CHECK_MSG(visited == n, "graph must be connected");
+    return partial;
+  }
+};
+
+}  // namespace
+
+TopKResult top_k_closeness(const CsrGraph& g, NodeId k,
+                           const TopKOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BRICS_CHECK_MSG(k >= 1 && k <= n, "k must be in [1, n]");
+  BRICS_CHECK_MSG(g.unit_weights(), "top-k requires an unweighted graph");
+
+  TopKResult res;
+
+  // Candidate order: most central first according to a cheap estimate.
+  EstimateOptions eopts = opts.estimate;
+  EstimateResult est = estimate_farness(g, eopts);
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return est.farness[a] < est.farness[b];
+  });
+
+  // Max-heap of the k best (exact) farness values seen so far.
+  std::priority_queue<std::pair<FarnessSum, NodeId>> best;
+  CutoffBfs bfs;
+  NodeId verified = 0;
+  for (NodeId v : order) {
+    if (opts.max_verifications > 0 && verified >= opts.max_verifications) {
+      res.is_exact = false;  // remaining candidates never examined
+      break;
+    }
+    const FarnessSum budget =
+        best.size() < k ? kInvalidFarness - 1 : best.top().first;
+    ++res.traversals;
+    ++verified;
+    const FarnessSum f = bfs.run(g, v, budget, res.levels_expanded);
+    if (f == kInvalidFarness) continue;  // provably not in the top k
+    if (best.size() < k) {
+      best.emplace(f, v);
+    } else if (f < best.top().first) {
+      best.pop();
+      best.emplace(f, v);
+    }
+  }
+
+  res.nodes.resize(best.size());
+  res.farness.resize(best.size());
+  for (std::size_t i = best.size(); i > 0; --i) {
+    res.nodes[i - 1] = best.top().second;
+    res.farness[i - 1] = best.top().first;
+    best.pop();
+  }
+  return res;
+}
+
+NodeId one_median(const CsrGraph& g, const TopKOptions& opts) {
+  TopKResult r = top_k_closeness(g, 1, opts);
+  BRICS_CHECK(!r.nodes.empty());
+  return r.nodes.front();
+}
+
+}  // namespace brics

@@ -1,0 +1,47 @@
+// Top-k closeness centrality and the 1-median (paper §I names both as the
+// standard variants this machinery serves: Okamoto et al. for top-k,
+// Indyk/Thorup for the 1-median).
+//
+// The exact algorithm ranks nodes by farness using cutoff BFS: candidates
+// are visited in ascending order of a BRICS farness estimate (most central
+// first), and each BFS aborts as soon as a level-based lower bound on the
+// final farness exceeds the current k-th best — after a few good candidates
+// the remaining traversals terminate in a handful of levels.
+#pragma once
+
+#include <vector>
+
+#include "core/estimate.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+struct TopKOptions {
+  /// Options for the guiding estimate (sample_rate is the main knob).
+  EstimateOptions estimate;
+  /// Upper bound on exact BFS verifications; 0 = no bound (exact result).
+  NodeId max_verifications = 0;
+};
+
+struct TopKResult {
+  /// The k most closeness-central nodes, most central first.
+  std::vector<NodeId> nodes;
+  /// Exact farness of each returned node.
+  std::vector<FarnessSum> farness;
+  /// Number of BFS traversals that ran (pruned ones included).
+  NodeId traversals = 0;
+  /// Sum of BFS levels expanded, as a work proxy for the pruning ablation.
+  std::uint64_t levels_expanded = 0;
+  /// True when the ranking is provably exact (no verification budget hit).
+  bool is_exact = true;
+};
+
+/// k nodes with the smallest farness (largest closeness) in a connected
+/// graph. Exact unless opts.max_verifications cuts the candidate scan short.
+TopKResult top_k_closeness(const CsrGraph& g, NodeId k,
+                           const TopKOptions& opts = {});
+
+/// The 1-median: a node with minimum farness. Exact.
+NodeId one_median(const CsrGraph& g, const TopKOptions& opts = {});
+
+}  // namespace brics

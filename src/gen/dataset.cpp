@@ -1,0 +1,200 @@
+#include "gen/dataset.hpp"
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "graph/connectivity.hpp"
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+NodeId scaled(double scale, NodeId n) {
+  const double s = std::max(16.0, std::round(scale * static_cast<double>(n)));
+  return static_cast<NodeId>(s);
+}
+
+// Each recipe composes generators, then normalises exactly like the paper's
+// dataset preparation: simple, undirected, connected.
+CsrGraph finish(CsrGraph g) { return make_connected(g); }
+
+// ---- Web graphs: copying model + pendant mass. -------------------------
+CsrGraph web_a(double s, Rng rng) {
+  CsrGraph g = web_copying(scaled(s, 9000), 5, 0.55, 0.7, rng);
+  g = plant_twins(g, scaled(s, 5200), rng);
+  g = attach_pendant_chains(g, scaled(s, 1500), 1, 7, rng);
+  g = add_parallel_chains(g, scaled(s, 420), 1, 4, rng);
+  return finish(std::move(g));
+}
+
+CsrGraph web_b(double s, Rng rng) {
+  CsrGraph g = web_copying(scaled(s, 13000), 7, 0.6, 0.8, rng);
+  g = plant_twins(g, scaled(s, 8500), rng);
+  g = attach_pendant_chains(g, scaled(s, 2000), 1, 6, rng);
+  g = add_parallel_chains(g, scaled(s, 600), 1, 4, rng);
+  return finish(std::move(g));
+}
+
+CsrGraph web_c(double s, Rng rng) {
+  CsrGraph g = barabasi_albert(scaled(s, 8000), 2, rng);
+  g = plant_twins(g, scaled(s, 6500), rng);
+  g = attach_pendant_chains(g, scaled(s, 1400), 1, 7, rng);
+  g = add_parallel_chains(g, scaled(s, 380), 2, 5, rng);
+  return finish(std::move(g));
+}
+
+// ---- Social graphs: preferential attachment + twins + leaves. ----------
+CsrGraph soc_a(double s, Rng rng) {
+  CsrGraph g = barabasi_albert(scaled(s, 14000), 4, rng);
+  g = plant_twins(g, scaled(s, 6500), rng);
+  g = attach_pendant_chains(g, scaled(s, 2600), 1, 3, rng);
+  g = add_parallel_chains(g, scaled(s, 60), 1, 3, rng);
+  return finish(std::move(g));
+}
+
+CsrGraph soc_b(double s, Rng rng) {
+  std::uint32_t scale_bits = 13;
+  if (s < 0.25)
+    scale_bits = 10;
+  else if (s < 0.75)
+    scale_bits = 12;
+  CsrGraph g = rmat(scale_bits, 8, 0.57, 0.19, 0.19, rng);
+  g = largest_component(g).graph;
+  g = plant_twins(g, g.num_nodes() / 2, rng);
+  g = attach_pendant_chains(g, g.num_nodes() / 8, 1, 3, rng);
+  g = add_parallel_chains(g, g.num_nodes() / 120, 1, 3, rng);
+  return finish(std::move(g));
+}
+
+CsrGraph soc_c(double s, Rng rng) {
+  CsrGraph g = barabasi_albert(scaled(s, 22000), 3, rng);
+  g = plant_twins(g, scaled(s, 11000), rng);
+  g = attach_pendant_chains(g, scaled(s, 3200), 1, 2, rng);
+  return finish(std::move(g));
+}
+
+// ---- Community networks: planted partitions, triangle-rich. ------------
+CsrGraph com_a(double s, Rng rng) {
+  CsrGraph g = planted_partition(36, scaled(s, 320), scaled(s, 1200),
+                                 scaled(s, 3200), rng);
+  g = plant_redundant3(g, scaled(s, 900), rng);
+  g = plant_redundant4(g, scaled(s, 250), rng);
+  g = plant_twins(g, scaled(s, 1600), rng);
+  g = attach_pendant_chains(g, scaled(s, 1000), 1, 4, rng);
+  g = add_parallel_chains(g, scaled(s, 500), 1, 3, rng);
+  return finish(std::move(g));
+}
+
+CsrGraph com_b(double s, Rng rng) {
+  CsrGraph g = planted_partition(52, scaled(s, 380), scaled(s, 1500),
+                                 scaled(s, 5200), rng);
+  g = plant_redundant3(g, scaled(s, 1200), rng);
+  g = plant_twins(g, scaled(s, 2200), rng);
+  g = attach_pendant_chains(g, scaled(s, 1500), 1, 4, rng);
+  g = add_parallel_chains(g, scaled(s, 300), 1, 3, rng);
+  return finish(std::move(g));
+}
+
+CsrGraph com_c(double s, Rng rng) {
+  CsrGraph g = barabasi_albert(scaled(s, 12000), 5, rng);
+  g = plant_twins(g, scaled(s, 1300), rng);
+  g = plant_redundant3(g, scaled(s, 1100), rng);
+  g = plant_redundant4(g, scaled(s, 180), rng);
+  g = attach_pendant_chains(g, scaled(s, 2400), 1, 5, rng);
+  return finish(std::move(g));
+}
+
+// ---- Road networks: lattices with heavy edge subdivision. ---------------
+CsrGraph road_a(double s, Rng rng) {
+  NodeId side = scaled(s, 88);
+  side = static_cast<NodeId>(std::sqrt(static_cast<double>(side) * 88.0));
+  CsrGraph g = grid2d(side, side, 0.92, rng);
+  g = largest_component(g).graph;
+  g = subdivide_edges(g, 0.85, 1, 8, rng);
+  g = add_parallel_chains(g, 8, 2, 6, rng);
+  return finish(std::move(g));
+}
+
+CsrGraph road_b(double s, Rng rng) {
+  NodeId side = scaled(s, 140);
+  side = static_cast<NodeId>(std::sqrt(static_cast<double>(side) * 140.0));
+  CsrGraph g = grid2d(side, side, 0.88, rng);
+  g = largest_component(g).graph;
+  g = subdivide_edges(g, 0.8, 1, 6, rng);
+  g = add_parallel_chains(g, 14, 2, 6, rng);
+  return finish(std::move(g));
+}
+
+CsrGraph road_c(double s, Rng rng) {
+  NodeId side = scaled(s, 60);
+  side = static_cast<NodeId>(std::sqrt(static_cast<double>(side) * 60.0));
+  CsrGraph g = grid2d(side, side, 0.95, rng);
+  g = largest_component(g).graph;
+  g = subdivide_edges(g, 0.75, 1, 6, rng);
+  g = attach_pendant_chains(g, g.num_nodes() / 20, 2, 10, rng);
+  return finish(std::move(g));
+}
+
+struct Recipe {
+  DatasetInfo info;
+  CsrGraph (*build)(double, Rng);
+  std::uint64_t seed;
+};
+
+const std::vector<Recipe>& recipes() {
+  static const std::vector<Recipe> r = {
+      {{"web-copy-a", GraphClass::kWeb}, web_a, 101},
+      {{"web-copy-b", GraphClass::kWeb}, web_b, 102},
+      {{"web-hub", GraphClass::kWeb}, web_c, 103},
+      {{"soc-pref-a", GraphClass::kSocial}, soc_a, 201},
+      {{"soc-rmat", GraphClass::kSocial}, soc_b, 202},
+      {{"soc-pref-b", GraphClass::kSocial}, soc_c, 203},
+      {{"com-part-a", GraphClass::kCommunity}, com_a, 301},
+      {{"com-part-b", GraphClass::kCommunity}, com_b, 302},
+      {{"com-cite", GraphClass::kCommunity}, com_c, 303},
+      {{"road-grid-a", GraphClass::kRoad}, road_a, 401},
+      {{"road-grid-b", GraphClass::kRoad}, road_b, 402},
+      {{"road-rural", GraphClass::kRoad}, road_c, 403},
+  };
+  return r;
+}
+
+}  // namespace
+
+std::string to_string(GraphClass c) {
+  switch (c) {
+    case GraphClass::kWeb:
+      return "web";
+    case GraphClass::kSocial:
+      return "social";
+    case GraphClass::kCommunity:
+      return "community";
+    case GraphClass::kRoad:
+      return "road";
+  }
+  return "?";
+}
+
+const std::vector<DatasetInfo>& dataset_registry() {
+  static const std::vector<DatasetInfo> infos = [] {
+    std::vector<DatasetInfo> v;
+    for (const Recipe& r : recipes()) v.push_back(r.info);
+    return v;
+  }();
+  return infos;
+}
+
+CsrGraph build_dataset(const std::string& name, double scale) {
+  BRICS_CHECK_MSG(scale > 0.0 && scale <= 1.0,
+                  "scale must be in (0, 1], got " << scale);
+  for (const Recipe& r : recipes()) {
+    if (r.info.name == name) {
+      Rng rng(r.seed);
+      return r.build(scale, rng);
+    }
+  }
+  BRICS_CHECK_MSG(false, "unknown dataset '" << name << "'");
+  return {};
+}
+
+}  // namespace brics

@@ -1,0 +1,48 @@
+// Dataset registry: synthetic stand-ins for the paper's Table I graphs.
+//
+// The paper evaluates on twelve real-world graphs in four classes (web,
+// social, community, road) from SNAP and the UF Sparse Matrix collection.
+// Those downloads are unavailable offline, so each class is substituted by
+// three generator recipes tuned to reproduce the structural signature the
+// paper's analysis (§IV-C2) attributes to that class:
+//
+//   web       ~40-50 % identical nodes, large pendant/chain mass, many
+//             biconnected components with a heavy small-size tail
+//   social    large degree-1/2 population, ~30-40 % identical nodes, few
+//             redundant nodes, one giant BiCC after reduction
+//   community moderate identical/redundant/chain mass (triangle-rich),
+//             giant BiCC covering ~80 % of the reduced graph
+//   road      70-85 % of nodes with degree <= 2, almost no identical or
+//             redundant nodes, >90 % of nodes in one BiCC
+//
+// Every dataset accepts a scale in (0, 1]: 1.0 is the benchmark size,
+// smaller values shrink node counts proportionally (used by tests). Real
+// SNAP edge lists can replace any of these via graph/graph_io.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+enum class GraphClass { kWeb, kSocial, kCommunity, kRoad };
+
+/// Human-readable class label ("web", "social", ...).
+std::string to_string(GraphClass c);
+
+/// One registry entry.
+struct DatasetInfo {
+  std::string name;
+  GraphClass cls;
+};
+
+/// All twelve datasets, grouped by class in Table I order.
+const std::vector<DatasetInfo>& dataset_registry();
+
+/// Build a dataset by name; throws CheckFailure for unknown names.
+/// The result is always simple, undirected, unit-weight and connected.
+CsrGraph build_dataset(const std::string& name, double scale = 1.0);
+
+}  // namespace brics

@@ -1,0 +1,318 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace brics {
+
+CsrGraph erdos_renyi(NodeId n, std::uint64_t m, Rng& rng) {
+  BRICS_CHECK(n >= 2);
+  GraphBuilder b(n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    NodeId u = static_cast<NodeId>(rng.below(n));
+    NodeId v = static_cast<NodeId>(rng.below(n));
+    if (u != v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+CsrGraph barabasi_albert(NodeId n, std::uint32_t edges_per_node, Rng& rng) {
+  BRICS_CHECK(n >= 2 && edges_per_node >= 1);
+  GraphBuilder b(n);
+  // `ends` holds one entry per edge endpoint; sampling an entry uniformly
+  // is sampling a node proportionally to its degree.
+  std::vector<NodeId> ends;
+  ends.reserve(static_cast<std::size_t>(n) * edges_per_node * 2);
+  ends.push_back(0);  // seed the urn
+  for (NodeId t = 1; t < n; ++t) {
+    const std::uint32_t k = std::min<std::uint32_t>(
+        edges_per_node, static_cast<std::uint32_t>(t));
+    std::vector<NodeId> chosen;
+    chosen.reserve(k);
+    for (std::uint32_t j = 0; j < k; ++j) {
+      NodeId target = ends[rng.below(ends.size())];
+      if (target == t ||
+          std::find(chosen.begin(), chosen.end(), target) != chosen.end()) {
+        target = static_cast<NodeId>(rng.below(t));  // fallback: uniform
+      }
+      chosen.push_back(target);
+    }
+    for (NodeId target : chosen) {
+      if (target == t) continue;
+      b.add_edge(t, target);
+      ends.push_back(t);
+      ends.push_back(target);
+    }
+  }
+  return b.build();
+}
+
+CsrGraph rmat(std::uint32_t scale, std::uint32_t edge_factor, double a,
+              double b, double c, Rng& rng) {
+  BRICS_CHECK(scale >= 1 && scale < 31);
+  BRICS_CHECK(a + b + c <= 1.0 + 1e-9);
+  const NodeId n = NodeId{1} << scale;
+  const std::uint64_t m = static_cast<std::uint64_t>(edge_factor) * n;
+  GraphBuilder builder(n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    NodeId u = 0, v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform01();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+CsrGraph planted_partition(NodeId blocks, NodeId block_size,
+                           std::uint64_t m_in, std::uint64_t m_out,
+                           Rng& rng) {
+  BRICS_CHECK(blocks >= 1 && block_size >= 2);
+  const NodeId n = blocks * block_size;
+  GraphBuilder b(n);
+  for (NodeId blk = 0; blk < blocks; ++blk) {
+    const NodeId base = blk * block_size;
+    for (std::uint64_t i = 0; i < m_in; ++i) {
+      NodeId u = base + static_cast<NodeId>(rng.below(block_size));
+      NodeId v = base + static_cast<NodeId>(rng.below(block_size));
+      if (u != v) b.add_edge(u, v);
+    }
+  }
+  for (std::uint64_t i = 0; i < m_out; ++i) {
+    NodeId u = static_cast<NodeId>(rng.below(n));
+    NodeId v = static_cast<NodeId>(rng.below(n));
+    if (u / block_size != v / block_size) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+CsrGraph grid2d(NodeId rows, NodeId cols, double keep, Rng& rng) {
+  BRICS_CHECK(rows >= 1 && cols >= 1);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols && rng.chance(keep))
+        b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows && rng.chance(keep))
+        b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+CsrGraph random_tree(NodeId n, Rng& rng) {
+  BRICS_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId t = 1; t < n; ++t)
+    b.add_edge(t, static_cast<NodeId>(rng.below(t)));
+  return b.build();
+}
+
+CsrGraph subdivide_edges(const CsrGraph& g, double p, std::uint32_t min_len,
+                         std::uint32_t max_len, Rng& rng) {
+  BRICS_CHECK(min_len >= 1 && min_len <= max_len);
+  std::vector<Edge> edges = g.edge_list();
+  // First count extra nodes so ids can be assigned in one pass.
+  std::vector<std::uint32_t> extra(edges.size(), 0);
+  NodeId total_extra = 0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (rng.chance(p)) {
+      extra[i] = static_cast<std::uint32_t>(
+          rng.range(min_len, max_len));
+      total_extra += extra[i];
+    }
+  }
+  GraphBuilder b(g.num_nodes() + total_extra);
+  NodeId next = g.num_nodes();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (extra[i] == 0) {
+      b.add_edge(edges[i].u, edges[i].v, edges[i].w);
+      continue;
+    }
+    NodeId prev = edges[i].u;
+    for (std::uint32_t j = 0; j < extra[i]; ++j) {
+      b.add_edge(prev, next, 1);
+      prev = next++;
+    }
+    b.add_edge(prev, edges[i].v, 1);
+  }
+  return b.build();
+}
+
+CsrGraph attach_pendant_chains(const CsrGraph& g, NodeId count,
+                               std::uint32_t min_len, std::uint32_t max_len,
+                               Rng& rng) {
+  BRICS_CHECK(min_len >= 1 && min_len <= max_len);
+  BRICS_CHECK(g.num_nodes() >= 1);
+  std::vector<std::uint32_t> lens(count);
+  NodeId total = 0;
+  for (auto& l : lens) {
+    l = static_cast<std::uint32_t>(rng.range(min_len, max_len));
+    total += l;
+  }
+  GraphBuilder b(g.num_nodes() + total);
+  b.add_edges(g.edge_list());
+  NodeId next = g.num_nodes();
+  for (std::uint32_t l : lens) {
+    NodeId prev = static_cast<NodeId>(rng.below(g.num_nodes()));
+    for (std::uint32_t j = 0; j < l; ++j) {
+      b.add_edge(prev, next, 1);
+      prev = next++;
+    }
+  }
+  return b.build();
+}
+
+CsrGraph add_parallel_chains(const CsrGraph& g, NodeId count,
+                             std::uint32_t min_len, std::uint32_t max_len,
+                             Rng& rng) {
+  BRICS_CHECK(min_len >= 1 && min_len <= max_len);
+  std::vector<Edge> edges = g.edge_list();
+  BRICS_CHECK(!edges.empty());
+  // Pick anchor edges and chain lengths up front to size the id space;
+  // duplicating an anchor edge on purpose yields identical (Type-4) chains.
+  std::vector<std::pair<std::size_t, std::uint32_t>> plan(count);
+  NodeId total = 0;
+  for (NodeId i = 0; i < count; ++i) {
+    auto& [ei, len] = plan[i];
+    if (i % 2 == 1) {
+      plan[i] = plan[i - 1];  // deliberate duplicate: an identical chain
+    } else {
+      ei = rng.below(edges.size());
+      len = static_cast<std::uint32_t>(rng.range(min_len, max_len));
+    }
+    total += plan[i].second;
+  }
+  GraphBuilder b(g.num_nodes() + total);
+  b.add_edges(edges);
+  NodeId next = g.num_nodes();
+  for (auto& [ei, len] : plan) {
+    NodeId prev = edges[ei].u;
+    for (std::uint32_t j = 0; j < len; ++j) {
+      b.add_edge(prev, next, 1);
+      prev = next++;
+    }
+    b.add_edge(prev, edges[ei].v, 1);
+  }
+  return b.build();
+}
+
+CsrGraph plant_twins(const CsrGraph& g, NodeId count, Rng& rng) {
+  BRICS_CHECK(g.num_nodes() >= 2);
+  GraphBuilder b(g.num_nodes() + count);
+  b.add_edges(g.edge_list());
+  // Twins are planted in groups of 2-5 copies sharing one prototype. The
+  // prototype itself may stop being their twin (later groups can attach to
+  // it), but copies within a group always remain open twins of each other,
+  // so the planted identical-node mass survives by construction.
+  NodeId next = g.num_nodes();
+  const NodeId end = g.num_nodes() + count;
+  while (next < end) {
+    NodeId proto = static_cast<NodeId>(rng.below(g.num_nodes()));
+    for (int tries = 0; tries < 8 && g.degree(proto) == 0; ++tries)
+      proto = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (g.degree(proto) == 0) break;  // edgeless graph: nothing to copy
+    const NodeId group = std::min<NodeId>(
+        static_cast<NodeId>(rng.range(2, 5)), end - next);
+    auto nb = g.neighbors(proto);
+    auto ws = g.weights(proto);
+    for (NodeId j = 0; j < group; ++j, ++next)
+      for (std::size_t k = 0; k < nb.size(); ++k)
+        b.add_edge(next, nb[k], ws[k]);
+  }
+  return b.build();
+}
+
+CsrGraph plant_redundant3(const CsrGraph& g, NodeId count, Rng& rng) {
+  GraphBuilder b(g.num_nodes() + count);
+  b.add_edges(g.edge_list());
+  NodeId added = 0;
+  for (NodeId tries = 0; tries < count * 8 && added < count; ++tries) {
+    NodeId x = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (g.degree(x) < 2) continue;
+    auto nb = g.neighbors(x);
+    NodeId a = nb[rng.below(nb.size())];
+    NodeId c = nb[rng.below(nb.size())];
+    if (a == c) continue;
+    const NodeId v = g.num_nodes() + added;
+    b.add_edge(a, c);  // close the triangle (merged if already present)
+    b.add_edge(v, x);
+    b.add_edge(v, a);
+    b.add_edge(v, c);
+    ++added;
+  }
+  return b.build();
+}
+
+CsrGraph plant_redundant4(const CsrGraph& g, NodeId count, Rng& rng) {
+  BRICS_CHECK(g.num_nodes() >= 4);
+  GraphBuilder b(g.num_nodes() + count);
+  std::vector<Edge> edges = g.edge_list();
+  BRICS_CHECK(!edges.empty());
+  b.add_edges(edges);
+  NodeId added = 0;
+  for (NodeId tries = 0; tries < count * 8 && added < count; ++tries) {
+    const Edge& e = edges[rng.below(edges.size())];
+    NodeId c = static_cast<NodeId>(rng.below(g.num_nodes()));
+    NodeId d = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (c == d || c == e.u || c == e.v || d == e.u || d == e.v) continue;
+    const NodeId v = g.num_nodes() + added;
+    // 4-cycle u-c-v'-d ensures every neighbour of v touches two others.
+    b.add_edge(e.u, c);
+    b.add_edge(c, e.v);
+    b.add_edge(e.v, d);
+    b.add_edge(d, e.u);
+    b.add_edge(v, e.u);
+    b.add_edge(v, e.v);
+    b.add_edge(v, c);
+    b.add_edge(v, d);
+    ++added;
+  }
+  return b.build();
+}
+
+CsrGraph web_copying(NodeId n, std::uint32_t out_deg, double dup, double copy,
+                     Rng& rng) {
+  BRICS_CHECK(n >= 2 && out_deg >= 1);
+  // Adjacency-by-target accumulated incrementally; the builder canonicalises.
+  std::vector<std::vector<NodeId>> out(n);
+  GraphBuilder b(n);
+  out[0] = {};
+  for (NodeId t = 1; t < n; ++t) {
+    const NodeId proto = static_cast<NodeId>(rng.below(t));
+    if (!out[proto].empty() && rng.chance(dup)) {
+      // Verbatim copy: t becomes an open twin of proto (until later nodes
+      // link to one of them and break the tie — many survive).
+      out[t] = out[proto];
+    } else {
+      const std::uint32_t k =
+          std::min<std::uint32_t>(out_deg, static_cast<std::uint32_t>(t));
+      for (std::uint32_t j = 0; j < k; ++j) {
+        NodeId target;
+        if (!out[proto].empty() && rng.chance(copy))
+          target = out[proto][rng.below(out[proto].size())];
+        else
+          target = static_cast<NodeId>(rng.below(t));
+        if (target != t) out[t].push_back(target);
+      }
+    }
+    for (NodeId target : out[t]) b.add_edge(t, target);
+  }
+  return b.build();
+}
+
+}  // namespace brics

@@ -1,0 +1,89 @@
+// Synthetic graph generators.
+//
+// Two roles: (1) random inputs for property-based tests, (2) building blocks
+// for the dataset registry (gen/dataset.hpp) that substitutes the paper's
+// SNAP / UF Sparse collection graphs with structurally faithful synthetics
+// (DESIGN.md §4). Every generator is deterministic in (parameters, seed) and
+// returns a simple undirected graph; most leave connectivity to the caller
+// (compose with make_connected / largest_component).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/rng.hpp"
+
+namespace brics {
+
+/// G(n, m): m edges sampled uniformly (duplicates merged, so the result may
+/// have slightly fewer edges).
+CsrGraph erdos_renyi(NodeId n, std::uint64_t m, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `edges_per_node` existing nodes chosen proportionally to degree.
+CsrGraph barabasi_albert(NodeId n, std::uint32_t edges_per_node, Rng& rng);
+
+/// R-MAT: 2^scale nodes, edge_factor * 2^scale edges, recursive quadrant
+/// probabilities (a, b, c; d = 1-a-b-c).
+CsrGraph rmat(std::uint32_t scale, std::uint32_t edge_factor, double a,
+              double b, double c, Rng& rng);
+
+/// Planted-partition / stochastic block model: `blocks` equal blocks of
+/// `block_size` nodes, `m_in` intra-block edges per block, `m_out`
+/// inter-block edges total.
+CsrGraph planted_partition(NodeId blocks, NodeId block_size,
+                           std::uint64_t m_in, std::uint64_t m_out, Rng& rng);
+
+/// rows × cols 4-neighbour lattice with each edge kept with probability
+/// `keep` (road-network skeleton; keep < 1 carves irregular street grids).
+CsrGraph grid2d(NodeId rows, NodeId cols, double keep, Rng& rng);
+
+/// Random tree on n nodes (uniform attachment), the extreme all-chain case.
+CsrGraph random_tree(NodeId n, Rng& rng);
+
+// ---- Structure transplants: grow paper-relevant features onto a base. ----
+
+/// Subdivide each edge independently with probability p into a path of
+/// uniform random length in [min_len, max_len] extra nodes — the source of
+/// degree-2 chain mass (road networks: 70–85 % degree <= 2).
+CsrGraph subdivide_edges(const CsrGraph& g, double p, std::uint32_t min_len,
+                         std::uint32_t max_len, Rng& rng);
+
+/// Attach `count` pendant chains of uniform random length in
+/// [min_len, max_len] to random anchor nodes (degree-1 tips; Type-1 chains).
+CsrGraph attach_pendant_chains(const CsrGraph& g, NodeId count,
+                               std::uint32_t min_len, std::uint32_t max_len,
+                               Rng& rng);
+
+/// Add `count` parallel chains: each picks a random existing edge (u, v)
+/// and adds a fresh path u - x_1 .. x_len - v alongside it. Chains with
+/// equal length between the same endpoints are the paper's Type-4
+/// "identical chains" (Table I column Ch.Nodes); longer-than-shortest ones
+/// are Type-3 redundant chains.
+CsrGraph add_parallel_chains(const CsrGraph& g, NodeId count,
+                             std::uint32_t min_len, std::uint32_t max_len,
+                             Rng& rng);
+
+/// Add `count` new nodes, each an open twin of a random existing node
+/// (copies its full neighbour list) — the web-graph "copied page" effect
+/// that yields the paper's 40 %+ identical-node mass.
+CsrGraph plant_twins(const CsrGraph& g, NodeId count, Rng& rng);
+
+/// Add `count` redundant degree-3 nodes: each picks a random node x with
+/// two neighbours a, b, closes the triangle (a, b), and attaches a new node
+/// to {x, a, b} (Fig. 1(e)).
+CsrGraph plant_redundant3(const CsrGraph& g, NodeId count, Rng& rng);
+
+/// Add `count` redundant degree-4 nodes: each picks a random edge (a, b),
+/// picks two more nodes c, d, builds the 4-cycle a-c-b-d, and attaches a
+/// new node to {a, b, c, d} (Fig. 1(f)).
+CsrGraph plant_redundant4(const CsrGraph& g, NodeId count, Rng& rng);
+
+/// Kumar-style copying model for web graphs: node t >= 1 picks a prototype
+/// p < t; with probability `dup` it copies p's entire out-list verbatim
+/// (creating identical nodes), otherwise each of `out_deg` links copies one
+/// of p's targets with probability `copy` and is uniform random otherwise.
+CsrGraph web_copying(NodeId n, std::uint32_t out_deg, double dup, double copy,
+                     Rng& rng);
+
+}  // namespace brics

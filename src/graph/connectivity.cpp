@@ -1,0 +1,98 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace brics {
+
+Components connected_components(const CsrGraph& g) {
+  const NodeId n = g.num_nodes();
+  Components c;
+  c.label.assign(n, kInvalidNode);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    if (c.label[s] != kInvalidNode) continue;
+    const NodeId id = c.count++;
+    c.label[s] = id;
+    c.sizes.push_back(1);
+    queue.clear();
+    queue.push_back(s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      NodeId u = queue[head];
+      for (NodeId w : g.neighbors(u)) {
+        if (c.label[w] == kInvalidNode) {
+          c.label[w] = id;
+          ++c.sizes[id];
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+bool is_connected(const CsrGraph& g) {
+  return connected_components(g).count <= 1;
+}
+
+SubgraphMap induced_subgraph(const CsrGraph& g,
+                             std::span<const NodeId> nodes) {
+  SubgraphMap out;
+  out.to_new.assign(g.num_nodes(), kInvalidNode);
+  out.to_old.assign(nodes.begin(), nodes.end());
+  for (NodeId i = 0; i < out.to_old.size(); ++i) {
+    NodeId old = out.to_old[i];
+    BRICS_CHECK_MSG(old < g.num_nodes(), "node " << old << " out of range");
+    BRICS_CHECK_MSG(out.to_new[old] == kInvalidNode,
+                    "duplicate node " << old << " in subgraph selection");
+    out.to_new[old] = i;
+  }
+  GraphBuilder b(static_cast<NodeId>(out.to_old.size()));
+  for (NodeId i = 0; i < out.to_old.size(); ++i) {
+    NodeId old = out.to_old[i];
+    auto nb = g.neighbors(old);
+    auto ws = g.weights(old);
+    for (std::size_t k = 0; k < nb.size(); ++k) {
+      NodeId j = out.to_new[nb[k]];
+      if (j != kInvalidNode && i < j) b.add_edge(i, j, ws[k]);
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+SubgraphMap largest_component(const CsrGraph& g) {
+  Components c = connected_components(g);
+  NodeId best = 0;
+  for (NodeId i = 1; i < c.count; ++i)
+    if (c.sizes[i] > c.sizes[best]) best = i;
+  std::vector<NodeId> keep;
+  if (c.count > 0) {
+    keep.reserve(c.sizes[best]);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      if (c.label[v] == best) keep.push_back(v);
+  }
+  return induced_subgraph(g, keep);
+}
+
+CsrGraph make_connected(const CsrGraph& g) {
+  Components c = connected_components(g);
+  if (c.count <= 1) return g;
+  NodeId largest = 0;
+  for (NodeId i = 1; i < c.count; ++i)
+    if (c.sizes[i] > c.sizes[largest]) largest = i;
+  // First node of each component serves as its representative.
+  std::vector<NodeId> rep(c.count, kInvalidNode);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (rep[c.label[v]] == kInvalidNode) rep[c.label[v]] = v;
+
+  GraphBuilder b(g.num_nodes());
+  b.add_edges(g.edge_list());
+  for (NodeId i = 0; i < c.count; ++i)
+    if (i != largest) b.add_edge(rep[i], rep[largest], 1);
+  return b.build();
+}
+
+}  // namespace brics

@@ -1,0 +1,46 @@
+// Connected-component analysis and the dataset-preparation step the paper
+// applies to every input ("if the graph is disconnected, we added few edges
+// to make it connected").
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+/// Result of a connected-components labelling.
+struct Components {
+  std::vector<NodeId> label;  ///< label[v] in [0, count)
+  NodeId count = 0;
+  /// Size of each component, indexed by label.
+  std::vector<NodeId> sizes;
+};
+
+/// Label connected components by BFS. O(n + m).
+Components connected_components(const CsrGraph& g);
+
+/// True iff g has exactly one component (empty graph counts as connected).
+bool is_connected(const CsrGraph& g);
+
+/// Mapping produced when extracting an induced subgraph.
+struct SubgraphMap {
+  CsrGraph graph;
+  std::vector<NodeId> to_old;  ///< new id -> old id
+  std::vector<NodeId> to_new;  ///< old id -> new id (kInvalidNode if dropped)
+};
+
+/// Induced subgraph on the largest connected component.
+SubgraphMap largest_component(const CsrGraph& g);
+
+/// Induced subgraph on an arbitrary node subset (edges with both ends kept).
+SubgraphMap induced_subgraph(const CsrGraph& g,
+                             std::span<const NodeId> nodes);
+
+/// Connect a disconnected graph by adding one unit edge between a
+/// representative of each non-largest component and a representative of the
+/// largest one (the paper's dataset normalisation). Returns g unchanged if
+/// already connected.
+CsrGraph make_connected(const CsrGraph& g);
+
+}  // namespace brics

@@ -1,0 +1,128 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace brics {
+
+bool CsrGraph::has_edge(NodeId u, NodeId v) const {
+  auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+Weight CsrGraph::edge_weight(NodeId u, NodeId v) const {
+  auto nb = neighbors(u);
+  auto it = std::lower_bound(nb.begin(), nb.end(), v);
+  BRICS_CHECK_MSG(it != nb.end() && *it == v,
+                  "edge {" << u << "," << v << "} absent");
+  return weights(u)[static_cast<std::size_t>(it - nb.begin())];
+}
+
+void CsrGraph::validate() const {
+  const NodeId n = num_nodes();
+  BRICS_CHECK(offsets_.size() == static_cast<std::size_t>(n) + 1);
+  BRICS_CHECK(offsets_.front() == 0);
+  BRICS_CHECK(offsets_.back() == targets_.size());
+  BRICS_CHECK(targets_.size() == weights_.size());
+  BRICS_CHECK(targets_.size() % 2 == 0);
+  for (NodeId v = 0; v < n; ++v) {
+    auto nb = neighbors(v);
+    auto ws = weights(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      BRICS_CHECK_MSG(nb[i] < n, "target out of range at node " << v);
+      BRICS_CHECK_MSG(nb[i] != v, "self loop at node " << v);
+      BRICS_CHECK_MSG(i == 0 || nb[i - 1] < nb[i],
+                      "adjacency of " << v << " not strictly sorted");
+      BRICS_CHECK_MSG(ws[i] >= 1, "zero weight at node " << v);
+      // Symmetry: the reverse edge must exist with equal weight.
+      BRICS_CHECK_MSG(edge_weight(nb[i], v) == ws[i],
+                      "asymmetric edge {" << v << "," << nb[i] << "}");
+    }
+  }
+}
+
+std::vector<Edge> CsrGraph::edge_list() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    auto nb = neighbors(v);
+    auto ws = weights(v);
+    for (std::size_t i = 0; i < nb.size(); ++i)
+      if (v < nb[i]) out.push_back({v, nb[i], ws[i]});
+  }
+  return out;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v, Weight w) {
+  BRICS_CHECK_MSG(u < n_ && v < n_,
+                  "edge {" << u << "," << v << "} out of range, n=" << n_);
+  BRICS_CHECK(w >= 1);
+  edges_.push_back({u, v, w});
+}
+
+void GraphBuilder::add_edges(std::span<const Edge> edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  for (const Edge& e : edges) add_edge(e.u, e.v, e.w);
+}
+
+CsrGraph GraphBuilder::build() {
+  // Canonicalise: u < v, drop self loops.
+  std::vector<Edge> es;
+  es.reserve(edges_.size());
+  for (Edge e : edges_) {
+    if (e.u == e.v) continue;
+    if (e.u > e.v) std::swap(e.u, e.v);
+    es.push_back(e);
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  std::sort(es.begin(), es.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : (a.v != b.v ? a.v < b.v : a.w < b.w);
+  });
+  // Merge parallel edges, keeping the minimum weight (sorted so first wins).
+  es.erase(std::unique(es.begin(), es.end(),
+                       [](const Edge& a, const Edge& b) {
+                         return a.u == b.u && a.v == b.v;
+                       }),
+           es.end());
+
+  CsrGraph g;
+  g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const Edge& e : es) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (NodeId v = 0; v < n_; ++v) g.offsets_[v + 1] += g.offsets_[v];
+
+  g.targets_.resize(es.size() * 2);
+  g.weights_.resize(es.size() * 2);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(),
+                                    g.offsets_.end() - 1);
+  g.max_weight_ = 1;
+  for (const Edge& e : es) {
+    g.targets_[cursor[e.u]] = e.v;
+    g.weights_[cursor[e.u]++] = e.w;
+    g.targets_[cursor[e.v]] = e.u;
+    g.weights_[cursor[e.v]++] = e.w;
+    g.max_weight_ = std::max(g.max_weight_, e.w);
+  }
+  // Edges were added in ascending-u order per bucket of u but the v-side
+  // insertions interleave; sort each adjacency list by target.
+  for (NodeId v = 0; v < n_; ++v) {
+    auto b = g.offsets_[v], e = g.offsets_[v + 1];
+    std::vector<std::pair<NodeId, Weight>> row;
+    row.reserve(e - b);
+    for (auto i = b; i < e; ++i)
+      row.emplace_back(g.targets_[i], g.weights_[i]);
+    std::sort(row.begin(), row.end());
+    for (auto i = b; i < e; ++i) {
+      g.targets_[i] = row[i - b].first;
+      g.weights_[i] = row[i - b].second;
+    }
+  }
+  return g;
+}
+
+}  // namespace brics

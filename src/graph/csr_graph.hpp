@@ -1,0 +1,110 @@
+// Compressed-sparse-row representation of a simple undirected weighted graph.
+//
+// This is the substrate every other module operates on. Invariants
+// (established by GraphBuilder and asserted by validate()):
+//   - no self loops, no parallel edges (parallel inputs keep the min weight)
+//   - both directions of every undirected edge are stored
+//   - each adjacency list is sorted by target id
+//   - all weights are >= 1
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace brics {
+
+/// An undirected edge with weight, used for graph construction and I/O.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  Weight w = 1;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Number of nodes (ids are 0..n-1; isolated nodes are representable).
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size()) - 1; }
+
+  /// Number of undirected edges.
+  std::uint64_t num_edges() const { return targets_.size() / 2; }
+
+  /// Degree of v (number of distinct neighbours).
+  std::uint32_t degree(NodeId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Neighbours of v, sorted ascending.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  /// Weights parallel to neighbors(v).
+  std::span<const Weight> weights(NodeId v) const {
+    return {weights_.data() + offsets_[v],
+            weights_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff edge {u, v} exists (binary search, O(log deg)).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Weight of edge {u, v}; fails a check if absent.
+  Weight edge_weight(NodeId u, NodeId v) const;
+
+  /// True iff every edge has weight 1 (pure BFS applies).
+  bool unit_weights() const { return max_weight_ == 1; }
+
+  /// Largest edge weight in the graph (1 for empty graphs).
+  Weight max_weight() const { return max_weight_; }
+
+  /// Sum over nodes of degree == 2 * num_edges().
+  std::uint64_t num_directed_edges() const { return targets_.size(); }
+
+  /// Recompute and verify all structural invariants; throws CheckFailure.
+  void validate() const;
+
+  /// All undirected edges, each reported once with u < v.
+  std::vector<Edge> edge_list() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::uint64_t> offsets_{0};
+  std::vector<NodeId> targets_;
+  std::vector<Weight> weights_;
+  Weight max_weight_ = 1;
+};
+
+/// Accumulates edges, then produces a canonical CsrGraph: self loops dropped,
+/// parallel edges merged keeping the minimum weight, adjacency sorted.
+class GraphBuilder {
+ public:
+  /// Create a builder for a graph on n nodes (node ids must be < n).
+  explicit GraphBuilder(NodeId n) : n_(n) {}
+
+  /// Add undirected edge {u, v} with weight w (>= 1). Self loops allowed
+  /// here and silently dropped at build().
+  void add_edge(NodeId u, NodeId v, Weight w = 1);
+
+  /// Bulk add.
+  void add_edges(std::span<const Edge> edges);
+
+  /// Number of nodes declared.
+  NodeId num_nodes() const { return n_; }
+
+  /// Finalise. The builder is left empty and reusable.
+  CsrGraph build();
+
+ private:
+  NodeId n_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace brics

@@ -1,0 +1,80 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/connectivity.hpp"
+#include "util/check.hpp"
+
+namespace brics {
+
+CsrGraph read_edge_list(std::istream& in, ConnectPolicy policy) {
+  std::unordered_map<std::uint64_t, NodeId> ids;
+  std::vector<Edge> edges;
+  std::string line;
+  std::size_t lineno = 0;
+
+  auto intern = [&](std::uint64_t raw) {
+    auto [it, fresh] = ids.emplace(raw, static_cast<NodeId>(ids.size()));
+    (void)fresh;
+    return it->second;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t i = line.find_first_not_of(" \t\r");
+    if (i == std::string::npos) continue;
+    if (line[i] == '#' || line[i] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t a = 0, b = 0;
+    BRICS_CHECK_MSG(static_cast<bool>(ls >> a >> b),
+                    "malformed edge at line " << lineno << ": '" << line
+                                              << "'");
+    std::uint64_t w = 1;
+    ls >> w;  // optional; stays 1 on failure
+    BRICS_CHECK_MSG(w >= 1 && w <= std::numeric_limits<Weight>::max(),
+                    "bad weight at line " << lineno);
+    edges.push_back({intern(a), intern(b), static_cast<Weight>(w)});
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(ids.size()));
+  builder.add_edges(edges);
+  CsrGraph g = builder.build();
+
+  switch (policy) {
+    case ConnectPolicy::kKeepAsIs:
+      return g;
+    case ConnectPolicy::kLargestComponent:
+      return largest_component(g).graph;
+    case ConnectPolicy::kStitchComponents:
+      return make_connected(g);
+  }
+  return g;
+}
+
+CsrGraph read_edge_list_file(const std::string& path, ConnectPolicy policy) {
+  std::ifstream in(path);
+  BRICS_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  return read_edge_list(in, policy);
+}
+
+void write_edge_list(const CsrGraph& g, std::ostream& out) {
+  for (const Edge& e : g.edge_list()) {
+    out << e.u << ' ' << e.v;
+    if (e.w != 1) out << ' ' << e.w;
+    out << '\n';
+  }
+}
+
+void write_edge_list_file(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  BRICS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  write_edge_list(g, out);
+  out.flush();
+  BRICS_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace brics

@@ -1,0 +1,38 @@
+// Edge-list file I/O compatible with SNAP and UF sparse-matrix exports.
+//
+// Format: whitespace-separated "u v [w]" per line; lines starting with '#'
+// or '%' are comments. Node ids are remapped to a dense [0, n) range in
+// first-appearance order. Directed inputs become undirected (the paper's
+// normalisation), and the loader can optionally restrict to the largest
+// connected component or stitch components together.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+/// How to normalise a possibly-disconnected input.
+enum class ConnectPolicy {
+  kKeepAsIs,           ///< no change; caller handles connectivity
+  kLargestComponent,   ///< keep only the largest connected component
+  kStitchComponents,   ///< add edges between components (paper's choice)
+};
+
+/// Parse an edge list from a stream. Throws CheckFailure on malformed input.
+CsrGraph read_edge_list(std::istream& in,
+                        ConnectPolicy policy = ConnectPolicy::kStitchComponents);
+
+/// Parse an edge list from a file path.
+CsrGraph read_edge_list_file(const std::string& path,
+                             ConnectPolicy policy = ConnectPolicy::kStitchComponents);
+
+/// Write "u v w" lines (w omitted when 1).
+void write_edge_list(const CsrGraph& g, std::ostream& out);
+
+/// Write to a file path.
+void write_edge_list_file(const CsrGraph& g, const std::string& path);
+
+}  // namespace brics

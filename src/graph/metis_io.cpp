@@ -1,0 +1,96 @@
+#include "graph/metis_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace brics {
+
+CsrGraph read_metis(std::istream& in) {
+  std::string line;
+  // Header: first non-comment line.
+  std::uint64_t n = 0, m = 0, fmt = 0;
+  while (std::getline(in, line)) {
+    std::size_t i = line.find_first_not_of(" \t\r");
+    if (i == std::string::npos || line[i] == '%') continue;
+    std::istringstream hs(line);
+    BRICS_CHECK_MSG(static_cast<bool>(hs >> n >> m), "bad METIS header");
+    hs >> fmt;  // optional
+    break;
+  }
+  BRICS_CHECK_MSG(n > 0, "empty or missing METIS header");
+  BRICS_CHECK_MSG(fmt == 0 || fmt == 1,
+                  "unsupported METIS fmt " << fmt
+                                           << " (only 0/1 supported)");
+  const bool weighted = fmt == 1;
+
+  GraphBuilder b(static_cast<NodeId>(n));
+  std::uint64_t node = 0, directed_edges = 0;
+  while (node < n && std::getline(in, line)) {
+    std::size_t i = line.find_first_not_of(" \t\r");
+    if (i != std::string::npos && line[i] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t nb;
+    while (ls >> nb) {
+      BRICS_CHECK_MSG(nb >= 1 && nb <= n,
+                      "neighbour " << nb << " out of range at node "
+                                   << node + 1);
+      std::uint64_t w = 1;
+      if (weighted)
+        BRICS_CHECK_MSG(static_cast<bool>(ls >> w),
+                        "missing edge weight at node " << node + 1);
+      BRICS_CHECK_MSG(w >= 1, "bad weight at node " << node + 1);
+      ++directed_edges;
+      // Add each undirected edge once (from its smaller endpoint).
+      if (node < nb - 1)
+        b.add_edge(static_cast<NodeId>(node), static_cast<NodeId>(nb - 1),
+                   static_cast<Weight>(w));
+    }
+    ++node;
+  }
+  BRICS_CHECK_MSG(node == n, "expected " << n << " adjacency lines, got "
+                                         << node);
+  BRICS_CHECK_MSG(directed_edges == 2 * m,
+                  "header claims " << m << " edges but lists "
+                                   << directed_edges << " endpoints");
+  CsrGraph g = b.build();
+  BRICS_CHECK_MSG(g.num_edges() == m,
+                  "asymmetric adjacency: " << g.num_edges()
+                                           << " undirected edges vs header "
+                                           << m);
+  return g;
+}
+
+CsrGraph read_metis_file(const std::string& path) {
+  std::ifstream in(path);
+  BRICS_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  return read_metis(in);
+}
+
+void write_metis(const CsrGraph& g, std::ostream& out) {
+  const bool weighted = !g.unit_weights();
+  out << g.num_nodes() << ' ' << g.num_edges();
+  if (weighted) out << " 1";
+  out << '\n';
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto nb = g.neighbors(v);
+    auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (i) out << ' ';
+      out << nb[i] + 1;
+      if (weighted) out << ' ' << ws[i];
+    }
+    out << '\n';
+  }
+}
+
+void write_metis_file(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  BRICS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  write_metis(g, out);
+  out.flush();
+  BRICS_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace brics

@@ -1,0 +1,25 @@
+// METIS graph-format I/O (the format of the partitioner the paper's related
+// work contrasts against, and of many benchmark collections).
+//
+// Format: header "n m [fmt]" where fmt 1 marks edge weights; then one line
+// per node listing its neighbours (1-indexed), each followed by its weight
+// when fmt == 1. Comment lines start with '%'.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+/// Parse a METIS graph. Throws CheckFailure on malformed input, including
+/// header/edge-count mismatches and asymmetric adjacency.
+CsrGraph read_metis(std::istream& in);
+CsrGraph read_metis_file(const std::string& path);
+
+/// Write METIS format (fmt=1 emitted only when the graph has weights).
+void write_metis(const CsrGraph& g, std::ostream& out);
+void write_metis_file(const CsrGraph& g, const std::string& path);
+
+}  // namespace brics

@@ -1,0 +1,82 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace brics {
+
+void Permutation::validate() const {
+  BRICS_CHECK(new_of.size() == old_of.size());
+  const NodeId n = static_cast<NodeId>(new_of.size());
+  for (NodeId v = 0; v < n; ++v) {
+    BRICS_CHECK_MSG(new_of[v] < n, "new_of out of range at " << v);
+    BRICS_CHECK_MSG(old_of[new_of[v]] == v,
+                    "permutation not inverse at " << v);
+  }
+}
+
+namespace {
+
+Permutation from_old_order(std::vector<NodeId> old_of) {
+  Permutation p;
+  p.old_of = std::move(old_of);
+  p.new_of.assign(p.old_of.size(), kInvalidNode);
+  for (NodeId nw = 0; nw < p.old_of.size(); ++nw)
+    p.new_of[p.old_of[nw]] = nw;
+  p.validate();
+  return p;
+}
+
+}  // namespace
+
+Permutation bfs_order(const CsrGraph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<std::uint8_t> seen(n, 0);
+
+  NodeId root = 0;
+  for (NodeId v = 1; v < n; ++v)
+    if (g.degree(v) > g.degree(root)) root = v;
+
+  // BFS from the hub, then sweep remaining components in id order.
+  std::vector<NodeId> queue;
+  auto bfs_from = [&](NodeId s) {
+    seen[s] = 1;
+    queue.push_back(s);
+    order.push_back(s);
+    for (std::size_t qi = queue.size() - 1; qi < queue.size(); ++qi) {
+      for (NodeId w : g.neighbors(queue[qi])) {
+        if (seen[w]) continue;
+        seen[w] = 1;
+        queue.push_back(w);
+        order.push_back(w);
+      }
+    }
+  };
+  if (n > 0) bfs_from(root);
+  for (NodeId v = 0; v < n; ++v)
+    if (!seen[v]) bfs_from(v);
+  return from_old_order(std::move(order));
+}
+
+Permutation degree_order(const CsrGraph& g) {
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return from_old_order(std::move(order));
+}
+
+CsrGraph apply_permutation(const CsrGraph& g, const Permutation& p) {
+  BRICS_CHECK(p.new_of.size() == g.num_nodes());
+  GraphBuilder b(g.num_nodes());
+  for (const Edge& e : g.edge_list())
+    b.add_edge(p.new_of[e.u], p.new_of[e.v], e.w);
+  return b.build();
+}
+
+}  // namespace brics

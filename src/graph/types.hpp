@@ -1,0 +1,26 @@
+// Fundamental identifier and measure types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace brics {
+
+/// Node identifier. 32 bits covers the graph scales this library targets
+/// (up to ~4 billion nodes); CSR offsets are 64-bit.
+using NodeId = std::uint32_t;
+
+/// Edge weight. Unit for raw input graphs; chain compression introduces
+/// integer weights equal to the compressed path length.
+using Weight = std::uint32_t;
+
+/// A shortest-path distance. kInfDist marks "unreached".
+using Dist = std::uint32_t;
+
+/// Sum of distances (farness). 64-bit: n * diameter can exceed 32 bits.
+using FarnessSum = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
+
+}  // namespace brics

@@ -1,0 +1,235 @@
+#include "reduce/chains.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+// One step of a chain walk: from `cur` (degree 2) move to the neighbour
+// that is not `prev`, returning the traversed edge weight.
+std::pair<NodeId, Weight> step(const CsrGraph& g, NodeId prev, NodeId cur) {
+  auto nb = g.neighbors(cur);
+  auto ws = g.weights(cur);
+  BRICS_CHECK(nb.size() == 2);
+  return nb[0] == prev ? std::pair{nb[1], ws[1]} : std::pair{nb[0], ws[0]};
+}
+
+struct Walk {
+  NodeId endpoint = kInvalidNode;  // first chain-breaking node reached
+  Weight last_w = 0;               // weight of the edge reaching endpoint
+  std::vector<NodeId> interior;    // removable degree-2 nodes, nearest first
+  std::vector<Weight> interior_w;  // weight of the edge *into* each interior
+  bool closed_cycle = false;       // walk returned to the start node
+};
+
+// A node can be a chain interior only if it has degree 2 and is not a
+// pinned anchor of an earlier reduction record.
+bool chain_interior(const CsrGraph& g, const ReductionLedger& ledger,
+                    NodeId v) {
+  return g.degree(v) == 2 && !ledger.pinned(v);
+}
+
+// Walk from start (a chain interior) towards `first`, through chain
+// interiors, until a breaking node or `start` itself is reached.
+Walk walk_chain(const CsrGraph& g, const ReductionLedger& ledger,
+                NodeId start, NodeId first, Weight first_w) {
+  Walk w;
+  NodeId prev = start, cur = first;
+  Weight into = first_w;
+  while (true) {
+    if (cur == start) {
+      w.closed_cycle = true;
+      w.last_w = into;
+      return w;
+    }
+    if (!chain_interior(g, ledger, cur)) {
+      w.endpoint = cur;
+      w.last_w = into;
+      return w;
+    }
+    w.interior.push_back(cur);
+    w.interior_w.push_back(into);
+    auto [next, wt] = step(g, prev, cur);
+    prev = cur;
+    cur = next;
+    into = wt;
+  }
+}
+
+}  // namespace
+
+ChainPassResult remove_chain_nodes(const CsrGraph& g,
+                                   std::vector<std::uint8_t>& present,
+                                   ReductionLedger& ledger) {
+  BRICS_CHECK(present.size() == g.num_nodes());
+  ChainPassResult res;
+  ChainPassStats& st = res.stats;
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint8_t> visited(n, 0);
+
+  // Members ordered from the anchor outwards; offsets are cumulative edge
+  // weights from the anchor.
+  auto emit = [&](NodeId u, NodeId v, std::vector<NodeId> members,
+                  std::vector<Dist> offsets, Dist total) {
+    if (members.empty()) return;  // e.g. a 2-cycle walk with no interior
+    for (NodeId m : members) present[m] = 0;
+    st.removed += static_cast<NodeId>(members.size());
+    ++st.chains;
+    ChainRecord rec;
+    rec.u = u;
+    rec.v = v;
+    rec.total = total;
+    rec.members = std::move(members);
+    rec.offsets = std::move(offsets);
+    ledger.record_chain(std::move(rec));
+  };
+
+  // Through chains grouped by (endpoint pair, along-length) for the
+  // identical-chain statistic (paper Type 4 / Table I "Ch.Nodes").
+  std::map<std::tuple<NodeId, NodeId, Dist>, NodeId> through_seen;
+
+  // ---- Maximal chains with degree-2 interiors. ----
+  for (NodeId c = 0; c < n; ++c) {
+    if (!present[c] || visited[c] || !chain_interior(g, ledger, c)) continue;
+    auto nb = g.neighbors(c);
+    auto ws = g.weights(c);
+    Walk left = walk_chain(g, ledger, c, nb[0], ws[0]);
+    if (left.closed_cycle) {
+      // Whole component is a cycle; keep c as the anchor.
+      std::vector<NodeId> members = std::move(left.interior);
+      std::vector<Dist> offsets;
+      Dist off = 0;
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        off += left.interior_w[i];
+        offsets.push_back(off);
+        visited[members[i]] = 1;
+      }
+      visited[c] = 1;
+      Dist total = off + left.last_w;
+      ++st.cycle_chains;
+      emit(c, c, std::move(members), std::move(offsets), total);
+      continue;
+    }
+    Walk right = walk_chain(g, ledger, c, nb[1], ws[1]);
+    BRICS_CHECK(!right.closed_cycle);
+
+    // Assemble the full chain left.endpoint .. c .. right.endpoint with
+    // members ordered from left.endpoint's side.
+    std::vector<NodeId> members;
+    std::vector<Weight> into;  // weight of edge into each member, from left
+    members.reserve(left.interior.size() + 1 + right.interior.size());
+    for (std::size_t i = left.interior.size(); i > 0; --i)
+      members.push_back(left.interior[i - 1]);
+    // Edge weights reversed: edge into left.interior[i-1] from its left
+    // neighbour is interior_w[i] for i < size, last_w for the outermost.
+    for (std::size_t i = left.interior.size(); i > 0; --i)
+      into.push_back(i == left.interior.size() ? left.last_w
+                                               : left.interior_w[i]);
+    members.push_back(c);
+    into.push_back(left.interior.empty() ? left.last_w : left.interior_w[0]);
+    for (std::size_t i = 0; i < right.interior.size(); ++i) {
+      members.push_back(right.interior[i]);
+      into.push_back(right.interior_w[i]);
+    }
+    for (NodeId m : members) visited[m] = 1;
+
+    NodeId eL = left.endpoint, eR = right.endpoint;
+    // A degree-1 endpoint joins the removable chain unless pinned.
+    const bool l1 = g.degree(eL) == 1 && !ledger.pinned(eL);
+    const bool r1 = g.degree(eR) == 1 && !ledger.pinned(eR);
+
+    auto offsets_from = [&](bool from_left) {
+      std::vector<Dist> offs(members.size());
+      if (from_left) {
+        Dist off = 0;
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          off += into[i];
+          offs[i] = off;
+        }
+      } else {
+        Dist off = 0;
+        for (std::size_t i = members.size(); i > 0; --i) {
+          off += i == members.size() ? right.last_w : into[i];
+          offs[i - 1] = off;
+        }
+      }
+      return offs;
+    };
+    const Dist total = offsets_from(true).back() + right.last_w;
+
+    if (l1 && r1) {
+      // Whole component is a path; keep eL, absorb eR into the chain.
+      auto offs = offsets_from(true);
+      members.push_back(eR);
+      visited[eR] = 1;
+      offs.push_back(total);
+      ++st.pendant_chains;
+      emit(eL, kInvalidNode, std::move(members), std::move(offs), 0);
+    } else if (l1 || r1) {
+      // Pendant chain anchored at the non-leaf end; tip joins the members.
+      if (l1) {
+        std::reverse(members.begin(), members.end());
+        auto offs = offsets_from(false);
+        std::reverse(offs.begin(), offs.end());
+        members.push_back(eL);
+        offs.push_back(total);
+        visited[eL] = 1;
+        ++st.pendant_chains;
+        emit(eR, kInvalidNode, std::move(members), std::move(offs), 0);
+      } else {
+        auto offs = offsets_from(true);
+        members.push_back(eR);
+        offs.push_back(total);
+        visited[eR] = 1;
+        ++st.pendant_chains;
+        emit(eL, kInvalidNode, std::move(members), std::move(offs), 0);
+      }
+    } else if (eL == eR) {
+      ++st.cycle_chains;
+      emit(eL, eL, std::move(members), offsets_from(true), total);
+    } else {
+      ++st.through_chains;
+      NodeId a = std::min(eL, eR), b = std::max(eL, eR);
+      auto [it, fresh] = through_seen.try_emplace({a, b, total}, 0);
+      if (!fresh)
+        st.identical_chain_nodes += static_cast<NodeId>(members.size());
+      ++it->second;
+      res.compressed_edges.push_back({eL, eR, total});
+      emit(eL, eR, std::move(members), offsets_from(true), total);
+    }
+  }
+
+  // ---- Length-0-interior pendants: degree-1 nodes with no degree-2 run.
+  for (NodeId t = 0; t < n; ++t) {
+    if (!present[t] || visited[t] || g.degree(t) != 1 || ledger.pinned(t))
+      continue;
+    NodeId a = g.neighbors(t)[0];
+    Weight w = g.weights(t)[0];
+    if (!present[a]) continue;  // anchor consumed by an earlier chain
+    if (g.degree(a) == 1) {
+      // K2 component: keep one end as the anchor (t is never pinned here;
+      // prefer keeping a when a is pinned).
+      if (visited[a]) continue;
+      const NodeId keep = ledger.pinned(a) ? a : std::min(t, a);
+      const NodeId drop = keep == t ? a : t;
+      if (ledger.pinned(drop)) continue;
+      visited[t] = visited[a] = 1;
+      ++st.pendant_chains;
+      emit(keep, kInvalidNode, {drop}, {w}, 0);
+    } else if (g.degree(a) >= 3 || ledger.pinned(a)) {
+      visited[t] = 1;
+      ++st.pendant_chains;
+      emit(a, kInvalidNode, {t}, {w}, 0);
+    }
+    // degree(a) == 2 is impossible here: the chain scan above would have
+    // visited t as that chain's leaf endpoint.
+  }
+
+  return res;
+}
+
+}  // namespace brics

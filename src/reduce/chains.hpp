@@ -1,0 +1,51 @@
+// Chain-node detection, classification and compression (paper §III-B).
+//
+// A chain is a maximal path u – a_1 … a_ℓ – v whose interior nodes all have
+// degree 2. The paper's four chain types map onto three removal actions:
+//   - pendant chains (Type 1; one end has degree 1): interior + tip removed
+//   - cycle chains (Type 2; u == v): interior removed
+//   - through chains (u != v, both degree != 2): interior removed and the
+//     chain *compressed* into a weighted edge (u, v, along-length); parallel
+//     compressed edges keep the minimum weight, which subsumes Type 3
+//     (longer parallel chain is redundant) and Type 4 (identical chains)
+//     while preserving distances exactly (DESIGN.md §3.1).
+//
+// Degenerate whole-component shapes (the graph is a single path or a single
+// cycle) keep one anchor node and remove the rest.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "reduce/ledger.hpp"
+
+namespace brics {
+
+/// Outcome of one chain pass.
+struct ChainPassStats {
+  NodeId chains = 0;                ///< chains found (any type)
+  NodeId removed = 0;               ///< chain nodes removed
+  NodeId pendant_chains = 0;        ///< Type-1
+  NodeId cycle_chains = 0;          ///< Type-2
+  NodeId through_chains = 0;        ///< compressed to weighted edges
+  NodeId identical_chain_nodes = 0; ///< members of equal-length parallel
+                                    ///< chains beyond the first (Type-4,
+                                    ///< reported in Table I)
+};
+
+/// Extra undirected edges the caller must add when rebuilding the graph
+/// (one per compressed through chain; the builder merges parallels by
+/// minimum weight).
+struct ChainPassResult {
+  ChainPassStats stats;
+  std::vector<Edge> compressed_edges;
+};
+
+/// Detect chains among `present` nodes of g, record removals into the
+/// ledger, update `present`. The caller rebuilds the CSR graph with the
+/// surviving edges plus result.compressed_edges.
+ChainPassResult remove_chain_nodes(const CsrGraph& g,
+                                   std::vector<std::uint8_t>& present,
+                                   ReductionLedger& ledger);
+
+}  // namespace brics

@@ -1,0 +1,185 @@
+#include "reduce/identical.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace brics {
+namespace {
+
+// Order-sensitive hash of a (neighbour, weight) sequence. Adjacency lists
+// are sorted, so equal sets hash equally.
+std::uint64_t hash_adjacency(std::span<const NodeId> nbrs,
+                             std::span<const Weight> wts,
+                             NodeId skip = kInvalidNode,
+                             bool include_self = false, NodeId self = 0) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto feed = [&h](std::uint64_t x) {
+    h ^= mix64(x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  };
+  bool self_emitted = false;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == skip) continue;
+    if (include_self && !self_emitted && nbrs[i] > self) {
+      feed(self);
+      feed(1);
+      self_emitted = true;
+    }
+    feed(nbrs[i]);
+    feed(wts[i]);
+  }
+  if (include_self && !self_emitted) {
+    feed(self);
+    feed(1);
+  }
+  return h;
+}
+
+// Exact open-twin test: equal (neighbour, weight) lists.
+bool open_twins(const CsrGraph& g, NodeId u, NodeId v) {
+  auto nu = g.neighbors(u), nv = g.neighbors(v);
+  auto wu = g.weights(u), wv = g.weights(v);
+  return nu.size() == nv.size() &&
+         std::equal(nu.begin(), nu.end(), nv.begin()) &&
+         std::equal(wu.begin(), wu.end(), wv.begin());
+}
+
+// Exact closed-twin test: u ~ v and N(u)\{v} == N(v)\{u} with equal
+// weights; only called for nodes with all-unit incident weights.
+bool closed_twins(const CsrGraph& g, NodeId u, NodeId v) {
+  if (!g.has_edge(u, v)) return false;
+  auto nu = g.neighbors(u), nv = g.neighbors(v);
+  if (nu.size() != nv.size()) return false;
+  std::size_t i = 0, j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] == v) {
+      ++i;
+      continue;
+    }
+    if (nv[j] == u) {
+      ++j;
+      continue;
+    }
+    if (nu[i] != nv[j]) return false;
+    ++i;
+    ++j;
+  }
+  while (i < nu.size() && nu[i] == v) ++i;
+  while (j < nv.size() && nv[j] == u) ++j;
+  return i == nu.size() && j == nv.size();
+}
+
+bool all_unit_weights(const CsrGraph& g, NodeId v) {
+  for (Weight w : g.weights(v))
+    if (w != 1) return false;
+  return true;
+}
+
+}  // namespace
+
+IdenticalPassStats remove_identical_nodes(const CsrGraph& g,
+                                          std::vector<std::uint8_t>& present,
+                                          ReductionLedger& ledger) {
+  BRICS_CHECK(present.size() == g.num_nodes());
+  IdenticalPassStats stats;
+  const NodeId n = g.num_nodes();
+
+  // ---- Open twins: bucket by adjacency hash, verify, keep smallest id. ----
+  // Hashing every adjacency list is the pass's hot loop (and the costliest
+  // kernel of the whole reduction, per bench/micro_engines) — compute the
+  // hashes in parallel, then fill buckets sequentially.
+  std::vector<std::uint64_t> open_hash(n, 0);
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    const NodeId u = static_cast<NodeId>(v);
+    if (!present[u] || g.degree(u) == 0) continue;
+    open_hash[u] = hash_adjacency(g.neighbors(u), g.weights(u));
+  }
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> buckets;
+  buckets.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!present[v] || g.degree(v) == 0) continue;
+    buckets[open_hash[v]].push_back(v);
+  }
+  for (auto& [h, cand] : buckets) {
+    (void)h;
+    if (cand.size() < 2) continue;
+    // Partition the bucket into exact-equality groups (collision-safe).
+    std::vector<std::uint8_t> grouped(cand.size(), 0);
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      if (grouped[i]) continue;
+      std::vector<NodeId> group{cand[i]};
+      for (std::size_t j = i + 1; j < cand.size(); ++j) {
+        if (grouped[j] || !open_twins(g, cand[i], cand[j])) continue;
+        grouped[j] = 1;
+        group.push_back(cand[j]);
+      }
+      if (group.size() < 2) continue;
+      ++stats.groups;
+      // A pinned member (anchor of an earlier record) must survive, so it
+      // makes the best representative; other pinned members simply stay.
+      NodeId rep = group[0];
+      for (NodeId m : group)
+        if (ledger.pinned(m)) {
+          rep = m;
+          break;
+        }
+      // d(rep, twin) = 2 * cheapest common incident weight.
+      Weight wmin = g.weights(rep)[0];
+      for (Weight w : g.weights(rep)) wmin = std::min(wmin, w);
+      for (NodeId m : group) {
+        if (m == rep || ledger.pinned(m)) continue;
+        ledger.record_identical(m, rep, 2 * wmin);
+        present[m] = 0;
+        ++stats.removed;
+        ++stats.open_removed;
+      }
+    }
+  }
+
+  // ---- Closed twins among the survivors with unit incident weights. ----
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> cbuckets;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!present[v] || g.degree(v) == 0) continue;
+    if (!all_unit_weights(g, v)) continue;
+    cbuckets[hash_adjacency(g.neighbors(v), g.weights(v), kInvalidNode,
+                            /*include_self=*/true, v)]
+        .push_back(v);
+  }
+  for (auto& [h, cand] : cbuckets) {
+    (void)h;
+    if (cand.size() < 2) continue;
+    std::vector<std::uint8_t> grouped(cand.size(), 0);
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      if (grouped[i] || !present[cand[i]]) continue;
+      std::vector<NodeId> group{cand[i]};
+      for (std::size_t j = i + 1; j < cand.size(); ++j) {
+        if (grouped[j] || !present[cand[j]]) continue;
+        if (!closed_twins(g, cand[i], cand[j])) continue;
+        grouped[j] = 1;
+        group.push_back(cand[j]);
+      }
+      if (group.size() < 2) continue;
+      ++stats.groups;
+      NodeId rep = group[0];
+      for (NodeId m : group)
+        if (ledger.pinned(m)) {
+          rep = m;
+          break;
+        }
+      for (NodeId m : group) {
+        if (m == rep || ledger.pinned(m)) continue;
+        ledger.record_identical(m, rep, g.edge_weight(rep, m));
+        present[m] = 0;
+        ++stats.removed;
+        ++stats.closed_removed;
+      }
+    }
+  }
+
+  return stats;
+}
+
+}  // namespace brics

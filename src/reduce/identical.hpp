@@ -1,0 +1,39 @@
+// Identical-node ("twin") detection and removal (paper §III-A).
+//
+// Open twins:   N(u) = N(v), u ∉ N(v)   — same BFS tree from either node.
+// Closed twins: N[u] = N[v], u ∈ N(v)   — exactness-preserving superset the
+//                                         paper's hashing also captures.
+// All members of a twin group share one farness value; all but a
+// representative (the smallest id) are removed and recorded in the ledger.
+//
+// Detection hashes each node's sorted (neighbour, weight) list, then
+// verifies candidate groups by exact comparison — a hash collision can
+// group, never mis-remove. On weighted reduced graphs (iterated reduction)
+// open twins additionally require equal weight vectors; closed twins are
+// only formed among nodes whose incident edges are all unit weight, because
+// the twin-pair edge weight cannot be cancelled out of the hash otherwise.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "reduce/ledger.hpp"
+
+namespace brics {
+
+/// Outcome of one identical-node pass.
+struct IdenticalPassStats {
+  NodeId groups = 0;          ///< twin groups found (size >= 2)
+  NodeId removed = 0;         ///< nodes removed (group sizes minus reps)
+  NodeId open_removed = 0;    ///< of which open twins
+  NodeId closed_removed = 0;  ///< of which closed twins
+};
+
+/// Detect twin groups among `present` nodes of g and record removals into
+/// the ledger; `present` is updated in place. Returns pass statistics.
+/// The caller rebuilds the CSR graph afterwards.
+IdenticalPassStats remove_identical_nodes(const CsrGraph& g,
+                                          std::vector<std::uint8_t>& present,
+                                          ReductionLedger& ledger);
+
+}  // namespace brics

@@ -1,0 +1,176 @@
+#include "reduce/ledger.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace brics {
+
+void ReductionLedger::mark_removed(NodeId v) {
+  BRICS_CHECK_MSG(v < removed_.size(), "node " << v << " out of range");
+  BRICS_CHECK_MSG(!removed_[v], "node " << v << " removed twice");
+  BRICS_CHECK_MSG(!pinned_[v], "node " << v << " is a pinned anchor");
+  removed_[v] = 1;
+  ++num_removed_;
+}
+
+void ReductionLedger::pin(NodeId v) {
+  BRICS_CHECK_MSG(v < removed_.size() && !removed_[v],
+                  "cannot pin absent node " << v);
+  pinned_[v] = 1;
+}
+
+void ReductionLedger::record_identical(NodeId node, NodeId rep,
+                                       Dist self_dist) {
+  BRICS_CHECK_MSG(rep < removed_.size() && !removed_[rep],
+                  "identical rep " << rep << " not present");
+  BRICS_CHECK(node != rep);
+  BRICS_CHECK(self_dist >= 1);
+  mark_removed(node);
+  pin(rep);
+  identical_.push_back({node, rep, self_dist});
+  order_.push_back(
+      {Kind::kIdentical, static_cast<std::uint32_t>(identical_.size() - 1)});
+  active_.push_back(1);
+  record_of_[node] = static_cast<std::uint32_t>(order_.size() - 1);
+}
+
+void ReductionLedger::record_chain(ChainRecord rec) {
+  BRICS_CHECK(!rec.members.empty());
+  BRICS_CHECK(rec.members.size() == rec.offsets.size());
+  BRICS_CHECK_MSG(rec.u < removed_.size() && !removed_[rec.u],
+                  "chain anchor " << rec.u << " not present");
+  if (!rec.pendant()) {
+    BRICS_CHECK_MSG(rec.v < removed_.size() && !removed_[rec.v],
+                    "chain anchor " << rec.v << " not present");
+    BRICS_CHECK(rec.total > rec.offsets.back());
+  }
+  Dist prev = 0;
+  for (std::size_t i = 0; i < rec.members.size(); ++i) {
+    BRICS_CHECK_MSG(rec.offsets[i] > prev || (i == 0 && rec.offsets[i] >= 1),
+                    "chain offsets not increasing");
+    prev = rec.offsets[i];
+    mark_removed(rec.members[i]);
+  }
+  pin(rec.u);
+  if (!rec.pendant() && !rec.cycle()) pin(rec.v);
+  chains_.push_back(std::move(rec));
+  order_.push_back(
+      {Kind::kChain, static_cast<std::uint32_t>(chains_.size() - 1)});
+  active_.push_back(1);
+  for (NodeId m : chains_.back().members)
+    record_of_[m] = static_cast<std::uint32_t>(order_.size() - 1);
+}
+
+void ReductionLedger::record_redundant(NodeId node,
+                                       std::span<const NodeId> nbrs,
+                                       std::span<const Weight> wts) {
+  BRICS_CHECK(nbrs.size() == wts.size());
+  BRICS_CHECK(nbrs.size() >= 1 && nbrs.size() <= 4);
+  RedundantRecord r;
+  r.node = node;
+  r.degree = static_cast<std::uint8_t>(nbrs.size());
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    BRICS_CHECK_MSG(nbrs[i] < removed_.size() && !removed_[nbrs[i]],
+                    "redundant neighbour " << nbrs[i] << " not present");
+    r.nbrs[i] = nbrs[i];
+    r.wts[i] = wts[i];
+  }
+  mark_removed(node);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) pin(nbrs[i]);
+  redundant_.push_back(r);
+  order_.push_back(
+      {Kind::kRedundant, static_cast<std::uint32_t>(redundant_.size() - 1)});
+  active_.push_back(1);
+  record_of_[node] = static_cast<std::uint32_t>(order_.size() - 1);
+}
+
+namespace {
+
+// Saturating add on Dist: kInfDist stays infinite.
+inline Dist dist_add(Dist d, Dist delta) {
+  return d == kInfDist ? kInfDist : d + delta;
+}
+
+}  // namespace
+
+void ReductionLedger::apply_record(const OrderEntry& e,
+                                   std::span<Dist> dist) const {
+  switch (e.kind) {
+    case Kind::kIdentical: {
+      const IdenticalRecord& r = identical_[e.index];
+      const Dist dr = dist[r.rep];
+      // dr == 0 means the source *is* the representative (removed nodes are
+      // never sources, and no other node is at distance 0), in which case
+      // the twin sits at its self-distance rather than on top of the source.
+      dist[r.node] = dr == 0 ? r.self_dist : dr;
+      break;
+    }
+    case Kind::kChain: {
+      const ChainRecord& r = chains_[e.index];
+      const Dist du = dist[r.u];
+      const Dist dv = r.pendant() ? kInfDist : dist[r.v];
+      for (std::size_t i = 0; i < r.members.size(); ++i) {
+        const Dist via_u = dist_add(du, r.offsets[i]);
+        const Dist via_v =
+            r.pendant() ? kInfDist : dist_add(dv, r.total - r.offsets[i]);
+        dist[r.members[i]] = std::min(via_u, via_v);
+      }
+      break;
+    }
+    case Kind::kRedundant: {
+      const RedundantRecord& r = redundant_[e.index];
+      Dist best = kInfDist;
+      for (std::size_t i = 0; i < r.degree; ++i)
+        best = std::min(best, dist_add(dist[r.nbrs[i]], r.wts[i]));
+      dist[r.node] = best;
+      break;
+    }
+  }
+}
+
+void ReductionLedger::resolve(std::span<Dist> dist) const {
+  BRICS_CHECK(dist.size() == removed_.size());
+  for (std::size_t i = order_.size(); i > 0; --i)
+    if (active_[i - 1]) apply_record(order_[i - 1], dist);
+}
+
+void ReductionLedger::resolve_subset(
+    std::span<Dist> dist, std::span<const std::uint32_t> record_ids) const {
+  BRICS_CHECK(dist.size() == removed_.size());
+  for (auto it = record_ids.rbegin(); it != record_ids.rend(); ++it) {
+    BRICS_CHECK(*it < order_.size());
+    if (active_[*it]) apply_record(order_[*it], dist);
+  }
+}
+
+std::vector<NodeId> ReductionLedger::record_nodes(
+    std::uint32_t order_idx) const {
+  BRICS_CHECK(order_idx < order_.size());
+  const OrderEntry& e = order_[order_idx];
+  switch (e.kind) {
+    case Kind::kIdentical:
+      return {identical_[e.index].node};
+    case Kind::kChain:
+      return chains_[e.index].members;
+    case Kind::kRedundant:
+      return {redundant_[e.index].node};
+  }
+  return {};
+}
+
+std::vector<NodeId> ReductionLedger::splice_record(std::uint32_t order_idx) {
+  BRICS_CHECK(order_idx < order_.size());
+  BRICS_CHECK_MSG(active_[order_idx], "record already spliced");
+  active_[order_idx] = 0;
+  std::vector<NodeId> nodes = record_nodes(order_idx);
+  for (NodeId v : nodes) {
+    BRICS_CHECK(removed_[v]);
+    removed_[v] = 0;
+    record_of_[v] = kNoRecord;
+    --num_removed_;
+  }
+  return nodes;
+}
+
+}  // namespace brics

@@ -1,0 +1,140 @@
+// The reduction ledger: an ordered record of every node removal, with enough
+// information to reconstruct exact shortest-path distances to removed nodes
+// from any surviving node (DESIGN.md §3.2).
+//
+// Records reference only nodes that were *present at removal time*. Given a
+// distance vector filled in for the final reduced graph, resolve() replays
+// the records in reverse removal order; each record's referenced anchors are
+// guaranteed to be resolved (or still present) by the time it runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace brics {
+
+/// A twin removal: `node` has the same neighbourhood as `rep`, hence the
+/// same distance to every other node. `self_dist` is d(node, rep): 2·w for
+/// open twins (via a cheapest common neighbour), w(node, rep) for closed.
+struct IdenticalRecord {
+  NodeId node = kInvalidNode;
+  NodeId rep = kInvalidNode;
+  Dist self_dist = 2;
+};
+
+/// A removed chain u – a_1 … a_ℓ – v of former degree-≤2 nodes.
+///   - through chain: u != v, both valid; compressed into edge (u, v, total)
+///   - cycle chain:   v == u
+///   - pendant chain: v == kInvalidNode (the last member has degree 1)
+/// offsets[i] is the along-chain distance from u to members[i]; `total` is
+/// the full u→v along-chain length (unused for pendants).
+struct ChainRecord {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  Dist total = 0;
+  std::vector<NodeId> members;
+  std::vector<Dist> offsets;
+
+  bool pendant() const { return v == kInvalidNode; }
+  bool cycle() const { return v == u; }
+};
+
+/// A redundant degree-3/4 node: no shortest path between other nodes passes
+/// through it, so d(x, node) = min_i d(x, nbr[i]) + w[i] (Algorithm 3).
+struct RedundantRecord {
+  NodeId node = kInvalidNode;
+  std::uint8_t degree = 0;
+  std::array<NodeId, 4> nbrs{kInvalidNode, kInvalidNode, kInvalidNode,
+                             kInvalidNode};
+  std::array<Weight, 4> wts{0, 0, 0, 0};
+};
+
+class ReductionLedger {
+ public:
+  explicit ReductionLedger(NodeId n)
+      : removed_(n, 0), pinned_(n, 0), record_of_(n, kNoRecord) {}
+
+  NodeId num_nodes() const { return static_cast<NodeId>(removed_.size()); }
+  NodeId num_removed() const { return num_removed_; }
+  bool removed(NodeId v) const { return removed_[v] != 0; }
+
+  /// A node referenced as an anchor by any record is *pinned*: later passes
+  /// must not remove it, which guarantees that every record's anchors are
+  /// still present in the final reduced graph. This keeps distance
+  /// resolution single-step and lets the BCC estimator resolve each block's
+  /// removed nodes from block-local distances alone (DESIGN.md §3.5).
+  bool pinned(NodeId v) const { return pinned_[v] != 0; }
+
+  void record_identical(NodeId node, NodeId rep, Dist self_dist);
+  void record_chain(ChainRecord rec);
+  void record_redundant(NodeId node, std::span<const NodeId> nbrs,
+                        std::span<const Weight> wts);
+
+  /// Fill dist[] entries for all removed nodes, assuming entries for all
+  /// present nodes hold exact distances from a fixed present source.
+  /// Entries may be kInfDist when the source cannot reach an anchor (only
+  /// possible for restricted, e.g. per-block, distance vectors).
+  void resolve(std::span<Dist> dist) const;
+
+  /// Resolve a selected subset of records (indices into order()) — used for
+  /// per-block resolution where only the block's homed records apply.
+  /// `record_ids` must be sorted ascending (global removal order); they are
+  /// replayed in reverse.
+  void resolve_subset(std::span<Dist> dist,
+                      std::span<const std::uint32_t> record_ids) const;
+
+  /// Record streams, in removal order within their own kind.
+  std::span<const IdenticalRecord> identical() const { return identical_; }
+  std::span<const ChainRecord> chains() const { return chains_; }
+  std::span<const RedundantRecord> redundant() const { return redundant_; }
+
+  /// Unified removal order: (kind, index-into-kind-stream) per record.
+  enum class Kind : std::uint8_t { kIdentical, kChain, kRedundant };
+  struct OrderEntry {
+    Kind kind;
+    std::uint32_t index;
+  };
+  std::span<const OrderEntry> order() const { return order_; }
+
+  // ---- Dynamic-graph support (extensions/dynamic.hpp). ----
+
+  /// False once a record was spliced back; inactive records are skipped by
+  /// resolve()/resolve_subset() and by the estimators.
+  bool record_active(std::uint32_t order_idx) const {
+    return active_[order_idx] != 0;
+  }
+
+  /// Order index of the record that removed node v (kNoRecord if present).
+  static constexpr std::uint32_t kNoRecord = ~std::uint32_t{0};
+  std::uint32_t record_of(NodeId v) const { return record_of_[v]; }
+
+  /// Deactivate a record and mark its removed nodes present again.
+  /// Returns the restored nodes. Safe because no later record references a
+  /// node that was removed at its recording time.
+  std::vector<NodeId> splice_record(std::uint32_t order_idx);
+
+  /// Nodes removed by a record (1 for identical/redundant, the members for
+  /// chains).
+  std::vector<NodeId> record_nodes(std::uint32_t order_idx) const;
+
+ private:
+  void apply_record(const OrderEntry& e, std::span<Dist> dist) const;
+  void mark_removed(NodeId v);
+  void pin(NodeId v);
+
+  std::vector<std::uint8_t> removed_;
+  std::vector<std::uint8_t> pinned_;
+  std::vector<std::uint32_t> record_of_;
+  std::vector<std::uint8_t> active_;
+  NodeId num_removed_ = 0;
+  std::vector<IdenticalRecord> identical_;
+  std::vector<ChainRecord> chains_;
+  std::vector<RedundantRecord> redundant_;
+  std::vector<OrderEntry> order_;
+};
+
+}  // namespace brics

@@ -1,0 +1,93 @@
+#include "reduce/reducer.hpp"
+
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+// Rebuild a CSR graph containing only edges between present nodes, plus the
+// compressed-chain edges produced by the latest chain pass.
+CsrGraph rebuild(const CsrGraph& g, const std::vector<std::uint8_t>& present,
+                 std::span<const Edge> extra) {
+  GraphBuilder b(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!present[v]) continue;
+    auto nb = g.neighbors(v);
+    auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nb.size(); ++i)
+      if (v < nb[i] && present[nb[i]]) b.add_edge(v, nb[i], ws[i]);
+  }
+  for (const Edge& e : extra) {
+    BRICS_CHECK(present[e.u] && present[e.v]);
+    if (e.u != e.v) b.add_edge(e.u, e.v, e.w);
+  }
+  return b.build();
+}
+
+void accumulate(IdenticalPassStats& a, const IdenticalPassStats& b) {
+  a.groups += b.groups;
+  a.removed += b.removed;
+  a.open_removed += b.open_removed;
+  a.closed_removed += b.closed_removed;
+}
+
+void accumulate(ChainPassStats& a, const ChainPassStats& b) {
+  a.chains += b.chains;
+  a.removed += b.removed;
+  a.pendant_chains += b.pendant_chains;
+  a.cycle_chains += b.cycle_chains;
+  a.through_chains += b.through_chains;
+  a.identical_chain_nodes += b.identical_chain_nodes;
+}
+
+void accumulate(RedundantPassStats& a, const RedundantPassStats& b) {
+  a.removed += b.removed;
+  a.degree3 += b.degree3;
+  a.degree4 += b.degree4;
+}
+
+}  // namespace
+
+ReducedGraph reduce(const CsrGraph& g, const ReduceOptions& opts) {
+  const NodeId n = g.num_nodes();
+  ReducedGraph out(n);
+  out.present.assign(n, 1);
+  out.graph = g;
+  out.stats.input_nodes = n;
+  out.stats.input_edges = g.num_edges();
+
+  const int rounds = opts.iterate ? opts.max_rounds : 1;
+  for (int round = 0; round < rounds; ++round) {
+    NodeId removed_before = out.ledger.num_removed();
+
+    if (opts.identical) {
+      IdenticalPassStats s =
+          remove_identical_nodes(out.graph, out.present, out.ledger);
+      accumulate(out.stats.identical, s);
+      if (s.removed > 0) out.graph = rebuild(out.graph, out.present, {});
+    }
+    if (opts.chains) {
+      ChainPassResult r =
+          remove_chain_nodes(out.graph, out.present, out.ledger);
+      accumulate(out.stats.chains, r.stats);
+      if (r.stats.removed > 0)
+        out.graph = rebuild(out.graph, out.present, r.compressed_edges);
+    }
+    if (opts.redundant) {
+      RedundantPassStats s =
+          remove_redundant_nodes(out.graph, out.present, out.ledger);
+      accumulate(out.stats.redundant, s);
+      if (s.removed > 0) out.graph = rebuild(out.graph, out.present, {});
+    }
+
+    ++out.stats.rounds;
+    if (out.ledger.num_removed() == removed_before) break;  // fixed point
+  }
+
+  out.num_present = n - out.ledger.num_removed();
+  out.stats.reduced_nodes = out.num_present;
+  out.stats.reduced_edges = out.graph.num_edges();
+  return out;
+}
+
+}  // namespace brics

@@ -1,0 +1,58 @@
+// The cumulative reduction pipeline (paper Algorithm 4).
+//
+// Applies, in order: identical-node removal (I), chain removal/compression
+// (C), redundant 3/4-degree removal (R) — each stage optional so the
+// paper's per-class configurations (C+R, I+C+R, Cumulative) are expressible.
+// Node ids are stable: removed nodes simply become isolated in the reduced
+// CSR graph and are flagged absent in `present`.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "reduce/chains.hpp"
+#include "reduce/identical.hpp"
+#include "reduce/ledger.hpp"
+#include "reduce/redundant.hpp"
+
+namespace brics {
+
+/// Which reductions to run. Defaults give the paper's full cumulative mode.
+struct ReduceOptions {
+  bool identical = true;   ///< I — twin removal
+  bool chains = true;      ///< C — chain removal/compression
+  bool redundant = true;   ///< R — redundant 3/4-degree removal
+  /// Re-run the enabled stages until a fixed point (an extension beyond the
+  /// paper's single pass; each extra round only removes more nodes and
+  /// remains exactness-preserving).
+  bool iterate = false;
+  int max_rounds = 16;  ///< safety bound for iterate mode
+};
+
+/// Aggregate statistics across all rounds.
+struct ReduceStats {
+  IdenticalPassStats identical;
+  ChainPassStats chains;
+  RedundantPassStats redundant;
+  int rounds = 0;
+  NodeId input_nodes = 0;
+  std::uint64_t input_edges = 0;
+  NodeId reduced_nodes = 0;          ///< nodes remaining present
+  std::uint64_t reduced_edges = 0;   ///< edges in the reduced graph
+};
+
+/// The reduced graph plus everything needed to undo it logically.
+struct ReducedGraph {
+  CsrGraph graph;                     ///< same id space; removed = isolated
+  std::vector<std::uint8_t> present;  ///< 1 iff node survives
+  NodeId num_present = 0;
+  ReductionLedger ledger;
+  ReduceStats stats;
+
+  explicit ReducedGraph(NodeId n) : ledger(n) {}
+};
+
+/// Run the reduction pipeline on a connected simple graph g.
+ReducedGraph reduce(const CsrGraph& g, const ReduceOptions& opts = {});
+
+}  // namespace brics

@@ -1,0 +1,37 @@
+// Redundant degree-3/4 node removal (paper §III-C, Fig. 1(e),(f)).
+//
+// A node v is redundant when no shortest path between two other nodes needs
+// v: every pair (a, b) of v's neighbours has a detour inside N(v) of length
+// at most w(a,v) + w(v,b) — a direct edge or a two-hop path through another
+// neighbour. On unit-weight graphs this is exactly the paper's criterion
+// (degree 3: neighbours form a triangle; degree 4: every neighbour adjacent
+// to >= 2 other neighbours); on weighted reduced graphs the explicit detour
+// lengths are verified so the optimisation stays exactness-preserving.
+//
+// Removals are processed sequentially against *live* adjacency (neighbours
+// already removed in this pass do not count and cannot serve as detours),
+// because two adjacent redundant nodes may each certify the other's detour.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "reduce/ledger.hpp"
+
+namespace brics {
+
+/// Outcome of one redundant-node pass.
+struct RedundantPassStats {
+  NodeId removed = 0;
+  NodeId degree3 = 0;
+  NodeId degree4 = 0;
+};
+
+/// Detect and remove redundant 3/4-degree nodes among `present` nodes,
+/// recording them in the ledger and updating `present` in place. The caller
+/// rebuilds the CSR graph afterwards.
+RedundantPassStats remove_redundant_nodes(const CsrGraph& g,
+                                          std::vector<std::uint8_t>& present,
+                                          ReductionLedger& ledger);
+
+}  // namespace brics

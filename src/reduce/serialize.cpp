@@ -1,0 +1,223 @@
+#include "reduce/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+constexpr char kMagic[8] = {'B', 'R', 'I', 'C', 'S', 'R', 'G', '1'};
+
+void put_u64(std::ostream& out, std::uint64_t x) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(x >> (8 * i));
+  out.write(buf, 8);
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  char buf[8];
+  in.read(buf, 8);
+  BRICS_CHECK_MSG(in.gcount() == 8, "truncated reduction file");
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i)
+    x |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  return x;
+}
+
+void put_u32(std::ostream& out, std::uint32_t x) {
+  put_u64(out, x);  // simple fixed-width framing; density is not the goal
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  std::uint64_t x = get_u64(in);
+  BRICS_CHECK_MSG(x <= 0xffffffffULL, "u32 field out of range");
+  return static_cast<std::uint32_t>(x);
+}
+
+}  // namespace
+
+void save_reduction(const ReducedGraph& rg, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  const NodeId n = rg.ledger.num_nodes();
+  put_u32(out, n);
+
+  // Reduced graph as an edge list (canonical CSR is rebuilt on load).
+  std::vector<Edge> edges = rg.graph.edge_list();
+  put_u64(out, edges.size());
+  for (const Edge& e : edges) {
+    put_u32(out, e.u);
+    put_u32(out, e.v);
+    put_u32(out, e.w);
+  }
+
+  // Ledger records in removal order + active flags.
+  auto order = rg.ledger.order();
+  put_u64(out, order.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    put_u32(out, static_cast<std::uint32_t>(order[i].kind));
+    put_u32(out, rg.ledger.record_active(i) ? 1 : 0);
+    switch (order[i].kind) {
+      case ReductionLedger::Kind::kIdentical: {
+        const IdenticalRecord& r = rg.ledger.identical()[order[i].index];
+        put_u32(out, r.node);
+        put_u32(out, r.rep);
+        put_u32(out, r.self_dist);
+        break;
+      }
+      case ReductionLedger::Kind::kChain: {
+        const ChainRecord& r = rg.ledger.chains()[order[i].index];
+        put_u32(out, r.u);
+        put_u32(out, r.v);
+        put_u32(out, r.total);
+        put_u64(out, r.members.size());
+        for (std::size_t j = 0; j < r.members.size(); ++j) {
+          put_u32(out, r.members[j]);
+          put_u32(out, r.offsets[j]);
+        }
+        break;
+      }
+      case ReductionLedger::Kind::kRedundant: {
+        const RedundantRecord& r = rg.ledger.redundant()[order[i].index];
+        put_u32(out, r.node);
+        put_u32(out, r.degree);
+        for (std::size_t j = 0; j < r.degree; ++j) {
+          put_u32(out, r.nbrs[j]);
+          put_u32(out, r.wts[j]);
+        }
+        break;
+      }
+    }
+  }
+
+  // Stats (flat numeric payload, same order as the struct).
+  const ReduceStats& st = rg.stats;
+  for (std::uint64_t v : {
+           std::uint64_t{st.identical.groups},
+           std::uint64_t{st.identical.removed},
+           std::uint64_t{st.identical.open_removed},
+           std::uint64_t{st.identical.closed_removed},
+           std::uint64_t{st.chains.chains}, std::uint64_t{st.chains.removed},
+           std::uint64_t{st.chains.pendant_chains},
+           std::uint64_t{st.chains.cycle_chains},
+           std::uint64_t{st.chains.through_chains},
+           std::uint64_t{st.chains.identical_chain_nodes},
+           std::uint64_t{st.redundant.removed},
+           std::uint64_t{st.redundant.degree3},
+           std::uint64_t{st.redundant.degree4},
+           static_cast<std::uint64_t>(st.rounds),
+           std::uint64_t{st.input_nodes}, st.input_edges,
+           std::uint64_t{st.reduced_nodes}, st.reduced_edges})
+    put_u64(out, v);
+  BRICS_CHECK_MSG(out.good(), "write failed");
+}
+
+ReducedGraph load_reduction(std::istream& in) {
+  char magic[8];
+  in.read(magic, 8);
+  BRICS_CHECK_MSG(in.gcount() == 8 && std::memcmp(magic, kMagic, 8) == 0,
+                  "not a BRICS reduction file");
+  const NodeId n = get_u32(in);
+  ReducedGraph rg(n);
+  rg.present.assign(n, 1);
+
+  const std::uint64_t m = get_u64(in);
+  GraphBuilder b(n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    NodeId u = get_u32(in), v = get_u32(in);
+    Weight w = get_u32(in);
+    b.add_edge(u, v, w);
+  }
+  rg.graph = b.build();
+
+  const std::uint64_t nrec = get_u64(in);
+  std::vector<std::uint32_t> inactive;
+  for (std::uint64_t i = 0; i < nrec; ++i) {
+    const std::uint32_t kind = get_u32(in);
+    const bool active = get_u32(in) != 0;
+    switch (static_cast<ReductionLedger::Kind>(kind)) {
+      case ReductionLedger::Kind::kIdentical: {
+        NodeId node = get_u32(in), rep = get_u32(in);
+        Dist sd = get_u32(in);
+        rg.ledger.record_identical(node, rep, sd);
+        rg.present[node] = 0;
+        break;
+      }
+      case ReductionLedger::Kind::kChain: {
+        ChainRecord r;
+        r.u = get_u32(in);
+        r.v = get_u32(in);
+        r.total = get_u32(in);
+        const std::uint64_t len = get_u64(in);
+        BRICS_CHECK_MSG(len >= 1 && len <= n, "bad chain length");
+        for (std::uint64_t j = 0; j < len; ++j) {
+          r.members.push_back(get_u32(in));
+          r.offsets.push_back(get_u32(in));
+        }
+        for (NodeId mm : r.members) rg.present[mm] = 0;
+        rg.ledger.record_chain(std::move(r));
+        break;
+      }
+      case ReductionLedger::Kind::kRedundant: {
+        NodeId node = get_u32(in);
+        const std::uint32_t deg = get_u32(in);
+        BRICS_CHECK_MSG(deg >= 1 && deg <= 4, "bad redundant degree");
+        std::vector<NodeId> nbrs(deg);
+        std::vector<Weight> wts(deg);
+        for (std::uint32_t j = 0; j < deg; ++j) {
+          nbrs[j] = get_u32(in);
+          wts[j] = get_u32(in);
+        }
+        rg.ledger.record_redundant(node, nbrs, wts);
+        rg.present[node] = 0;
+        break;
+      }
+      default:
+        BRICS_CHECK_MSG(false, "unknown record kind " << kind);
+    }
+    if (!active) inactive.push_back(static_cast<std::uint32_t>(i));
+  }
+  for (std::uint32_t i : inactive) {
+    for (NodeId v : rg.ledger.splice_record(i)) rg.present[v] = 1;
+  }
+  rg.num_present = n - rg.ledger.num_removed();
+
+  ReduceStats& st = rg.stats;
+  st.identical.groups = static_cast<NodeId>(get_u64(in));
+  st.identical.removed = static_cast<NodeId>(get_u64(in));
+  st.identical.open_removed = static_cast<NodeId>(get_u64(in));
+  st.identical.closed_removed = static_cast<NodeId>(get_u64(in));
+  st.chains.chains = static_cast<NodeId>(get_u64(in));
+  st.chains.removed = static_cast<NodeId>(get_u64(in));
+  st.chains.pendant_chains = static_cast<NodeId>(get_u64(in));
+  st.chains.cycle_chains = static_cast<NodeId>(get_u64(in));
+  st.chains.through_chains = static_cast<NodeId>(get_u64(in));
+  st.chains.identical_chain_nodes = static_cast<NodeId>(get_u64(in));
+  st.redundant.removed = static_cast<NodeId>(get_u64(in));
+  st.redundant.degree3 = static_cast<NodeId>(get_u64(in));
+  st.redundant.degree4 = static_cast<NodeId>(get_u64(in));
+  st.rounds = static_cast<int>(get_u64(in));
+  st.input_nodes = static_cast<NodeId>(get_u64(in));
+  st.input_edges = get_u64(in);
+  st.reduced_nodes = static_cast<NodeId>(get_u64(in));
+  st.reduced_edges = get_u64(in);
+  return rg;
+}
+
+void save_reduction_file(const ReducedGraph& rg, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  BRICS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  save_reduction(rg, out);
+}
+
+ReducedGraph load_reduction_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  BRICS_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  return load_reduction(in);
+}
+
+}  // namespace brics

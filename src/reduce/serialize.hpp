@@ -1,0 +1,30 @@
+// Binary serialisation of a ReducedGraph — reduce once, reuse across runs.
+//
+// The preprocessing (twin hashing, chain walks, redundancy certificates)
+// costs O(m) per pass; for pipelines that re-estimate many times (parameter
+// sweeps, dynamic warm starts) the reduction can be computed once and
+// persisted. The format stores the reduced edge list, the present mask and
+// the full ledger (records in removal order, with splice flags), and
+// load_reduction() rebuilds by replaying the records — every invariant the
+// ledger enforces at record time is re-checked on load, so a corrupted or
+// hand-edited file fails loudly instead of resolving wrong distances.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "reduce/reducer.hpp"
+
+namespace brics {
+
+/// Serialise rg to a binary stream.
+void save_reduction(const ReducedGraph& rg, std::ostream& out);
+
+/// Parse a reduction back; throws CheckFailure on malformed input.
+ReducedGraph load_reduction(std::istream& in);
+
+/// File-path convenience wrappers.
+void save_reduction_file(const ReducedGraph& rg, const std::string& path);
+ReducedGraph load_reduction_file(const std::string& path);
+
+}  // namespace brics

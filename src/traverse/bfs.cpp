@@ -1,0 +1,97 @@
+#include "traverse/bfs.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace brics {
+
+void TraversalWorkspace::resize(NodeId n, Weight max_w) {
+  dist_.assign(n, kInfDist);
+  queue_.clear();
+  queue_.reserve(n);
+  if (buckets_.size() < static_cast<std::size_t>(max_w) + 1)
+    buckets_.resize(static_cast<std::size_t>(max_w) + 1);
+}
+
+void bfs(const CsrGraph& g, NodeId source, TraversalWorkspace& ws) {
+  BRICS_CHECK_MSG(g.unit_weights(), "bfs() requires unit weights");
+  BRICS_CHECK(source < g.num_nodes());
+  ws.resize(g.num_nodes(), 1);
+  auto& dist = ws.dist_;
+  auto& queue = ws.queue_;
+  dist[source] = 0;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    const Dist du = dist[u];
+    for (NodeId w : g.neighbors(u)) {
+      if (dist[w] == kInfDist) {
+        dist[w] = du + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+}
+
+void dial_sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws) {
+  BRICS_CHECK(source < g.num_nodes());
+  const Weight c = g.max_weight();
+  ws.resize(g.num_nodes(), c);
+  auto& dist = ws.dist_;
+  auto& buckets = ws.buckets_;
+  const std::size_t nb = static_cast<std::size_t>(c) + 1;
+
+  dist[source] = 0;
+  buckets[0].push_back(source);
+  std::size_t remaining = 1;
+  for (Dist d = 0; remaining > 0; ++d) {
+    auto& bucket = buckets[d % nb];
+    // Process bucket d; relaxations may append to buckets d+1 .. d+c, all
+    // distinct modulo nb, so the current bucket is never appended to.
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const NodeId u = bucket[i];
+      if (dist[u] != d) continue;  // stale entry, settled earlier
+      auto nbrs = g.neighbors(u);
+      auto wts = g.weights(u);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const NodeId v = nbrs[k];
+        const Dist cand = d + wts[k];
+        if (cand < dist[v]) {
+          dist[v] = cand;
+          buckets[cand % nb].push_back(v);
+          ++remaining;
+        }
+      }
+    }
+    remaining -= bucket.size();
+    bucket.clear();
+  }
+}
+
+void sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws) {
+  if (g.unit_weights())
+    bfs(g, source, ws);
+  else
+    dial_sssp(g, source, ws);
+}
+
+std::vector<Dist> sssp_distances(const CsrGraph& g, NodeId source) {
+  TraversalWorkspace ws;
+  sssp(g, source, ws);
+  auto d = ws.dist();
+  return {d.begin(), d.end()};
+}
+
+DistanceAggregate aggregate_distances(std::span<const Dist> dist) {
+  DistanceAggregate a;
+  for (Dist d : dist) {
+    if (d == kInfDist) continue;
+    a.sum += d;
+    ++a.reached;
+    a.ecc = std::max(a.ecc, d);
+  }
+  return a;
+}
+
+}  // namespace brics

@@ -1,0 +1,63 @@
+// Single-source shortest paths on CsrGraph.
+//
+// Two engines with a common interface:
+//   - bfs():       frontier BFS, unit weights only.
+//   - dial_sssp(): Dial's bucket algorithm for small integer weights, the
+//                  engine required after chain compression (§3.1 DESIGN.md).
+// sssp() dispatches on CsrGraph::unit_weights().
+//
+// Both fill a caller-provided distance array (kInfDist = unreachable) and
+// reuse caller-provided workspaces so parallel multi-source sweeps do no
+// per-source allocation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+/// Reusable scratch for one traversal thread.
+class TraversalWorkspace {
+ public:
+  /// Prepare for a graph with n nodes and maximum edge weight max_w.
+  void resize(NodeId n, Weight max_w);
+
+  /// Distances from the last traversal run with this workspace.
+  std::span<const Dist> dist() const { return dist_; }
+  std::span<Dist> dist_mut() { return dist_; }
+
+ private:
+  friend void bfs(const CsrGraph&, NodeId, TraversalWorkspace&);
+  friend void dial_sssp(const CsrGraph&, NodeId, TraversalWorkspace&);
+
+  std::vector<Dist> dist_;
+  std::vector<NodeId> queue_;
+  // Circular bucket array for Dial's algorithm, max_w + 1 buckets.
+  std::vector<std::vector<NodeId>> buckets_;
+};
+
+/// Frontier BFS from source. Requires g.unit_weights().
+void bfs(const CsrGraph& g, NodeId source, TraversalWorkspace& ws);
+
+/// Dial's bucket SSSP from source; correct for any integer weights >= 1,
+/// O(m + D) where D is the source's eccentricity.
+void dial_sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws);
+
+/// Dispatch: bfs() on unit-weight graphs, dial_sssp() otherwise.
+void sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws);
+
+/// Convenience single-shot: allocate a workspace, run sssp, return distances.
+std::vector<Dist> sssp_distances(const CsrGraph& g, NodeId source);
+
+/// Sum of finite distances in dist, and the count of finite entries
+/// (including the zero at the source).
+struct DistanceAggregate {
+  FarnessSum sum = 0;
+  NodeId reached = 0;  ///< number of nodes with finite distance
+  Dist ecc = 0;        ///< largest finite distance (eccentricity)
+};
+DistanceAggregate aggregate_distances(std::span<const Dist> dist);
+
+}  // namespace brics

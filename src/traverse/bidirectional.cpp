@@ -1,0 +1,88 @@
+#include "traverse/bidirectional.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace brics {
+
+Dist bidirectional_distance(const CsrGraph& g, NodeId s, NodeId t) {
+  BRICS_CHECK_MSG(g.unit_weights(),
+                  "bidirectional_distance requires unit weights");
+  const NodeId n = g.num_nodes();
+  BRICS_CHECK(s < n && t < n);
+  if (s == t) return 0;
+
+  // Two distance arrays; expand the smaller frontier each round. A meeting
+  // node settles the answer, but the optimum may cross between the current
+  // frontiers, so we track the best sum seen and stop once the combined
+  // search radius reaches it.
+  std::vector<Dist> ds(n, kInfDist), dt(n, kInfDist);
+  std::vector<NodeId> fs{s}, ft{t}, next;
+  ds[s] = 0;
+  dt[t] = 0;
+  Dist radius_s = 0, radius_t = 0;
+  Dist best = kInfDist;
+
+  while (!fs.empty() && !ft.empty()) {
+    if (best != kInfDist && radius_s + radius_t + 1 >= best) return best;
+    const bool expand_s = fs.size() <= ft.size();
+    auto& frontier = expand_s ? fs : ft;
+    auto& mine = expand_s ? ds : dt;
+    auto& theirs = expand_s ? dt : ds;
+    Dist& radius = expand_s ? radius_s : radius_t;
+
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId w : g.neighbors(u)) {
+        if (mine[w] != kInfDist) continue;
+        mine[w] = mine[u] + 1;
+        if (theirs[w] != kInfDist)
+          best = std::min(best,
+                          static_cast<Dist>(mine[w] + theirs[w]));
+        next.push_back(w);
+      }
+    }
+    frontier.swap(next);
+    ++radius;
+  }
+  return best;
+}
+
+Dist point_to_point(const CsrGraph& g, NodeId s, NodeId t) {
+  BRICS_CHECK(s < g.num_nodes() && t < g.num_nodes());
+  if (s == t) return 0;
+  if (g.unit_weights()) return bidirectional_distance(g, s, t);
+  // Dial with early exit: once t is settled (popped from its bucket) its
+  // label is final.
+  const Weight c = g.max_weight();
+  std::vector<Dist> dist(g.num_nodes(), kInfDist);
+  const std::size_t nb = static_cast<std::size_t>(c) + 1;
+  std::vector<std::vector<NodeId>> buckets(nb);
+  dist[s] = 0;
+  buckets[0].push_back(s);
+  std::size_t remaining = 1;
+  for (Dist d = 0; remaining > 0; ++d) {
+    auto& bucket = buckets[d % nb];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const NodeId u = bucket[i];
+      if (dist[u] != d) continue;
+      if (u == t) return d;
+      auto nbrs = g.neighbors(u);
+      auto wts = g.weights(u);
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        const Dist cand = d + wts[j];
+        if (cand < dist[nbrs[j]]) {
+          dist[nbrs[j]] = cand;
+          buckets[cand % nb].push_back(nbrs[j]);
+          ++remaining;
+        }
+      }
+    }
+    remaining -= bucket.size();
+    bucket.clear();
+  }
+  return dist[t];
+}
+
+}  // namespace brics

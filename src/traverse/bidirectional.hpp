@@ -1,0 +1,23 @@
+// Point-to-point shortest-path queries.
+//
+// bidirectional_distance() expands alternating BFS frontiers from both
+// endpoints and meets in the middle — on small-world graphs this touches
+// O(sqrt) of the nodes a full BFS would. Unit-weight graphs only; for
+// weighted (chain-compressed) graphs use point_to_point(), which falls back
+// to a Dial traversal with an early exit once the target settles.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "traverse/bfs.hpp"
+
+namespace brics {
+
+/// Exact d(s, t) by bidirectional BFS; kInfDist when disconnected.
+/// Requires g.unit_weights().
+Dist bidirectional_distance(const CsrGraph& g, NodeId s, NodeId t);
+
+/// Exact d(s, t) on any graph: bidirectional BFS when unit-weight, Dial
+/// with target early-exit otherwise.
+Dist point_to_point(const CsrGraph& g, NodeId s, NodeId t);
+
+}  // namespace brics

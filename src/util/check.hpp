@@ -1,0 +1,49 @@
+// Always-on invariant checking.
+//
+// BRICS_CHECK is used for preconditions on public API boundaries and for
+// internal invariants whose violation would silently corrupt results
+// (estimated centralities are hard to eyeball). The cost of the checks kept
+// in release builds is negligible next to the graph traversals they guard.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace brics {
+
+/// Thrown when a BRICS_CHECK fails. Carries the failed expression text,
+/// source location, and an optional user message.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "BRICS_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace detail
+}  // namespace brics
+
+#define BRICS_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::brics::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define BRICS_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream brics_check_os_;                               \
+      brics_check_os_ << msg;                                           \
+      ::brics::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                    brics_check_os_.str());             \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,44 @@
+// Thin OpenMP veneer.
+//
+// The library parallelises at two grains, matching the paper's design:
+// across BFS sources (random-sampling baseline) and across biconnected
+// blocks plus sources within a block (BRICS). All OpenMP pragmas in the
+// library go through plain `#pragma omp` in the .cpp files; this header only
+// centralises runtime queries so non-OpenMP builds could stub them in one
+// place.
+#pragma once
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace brics {
+
+/// Number of threads an upcoming parallel region will use.
+inline int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Calling thread's index inside a parallel region (0 outside of one).
+inline int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Override the global thread count (used by benchmark harnesses).
+inline void set_threads(int n) {
+#ifdef _OPENMP
+  if (n > 0) omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+}  // namespace brics

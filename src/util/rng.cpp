@@ -1,0 +1,70 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace brics {
+
+std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                      std::uint32_t k,
+                                                      Rng& rng) {
+  BRICS_CHECK_MSG(k <= n, "cannot sample " << k << " of " << n);
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+
+  // For dense samples a partial Fisher–Yates over an index array is faster
+  // and avoids hash-set overhead.
+  if (k * 2 >= n) {
+    std::vector<std::uint32_t> idx(n);
+    for (std::uint32_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      std::uint32_t j =
+          i + static_cast<std::uint32_t>(rng.below(n - i));
+      std::swap(idx[i], idx[j]);
+    }
+    out.assign(idx.begin(), idx.begin() + k);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(k * 2);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    std::uint32_t t = static_cast<std::uint32_t>(rng.below(j + 1));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  out.assign(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> weighted_sample_without_replacement(
+    std::span<const double> weights, std::uint32_t k, Rng& rng) {
+  const std::uint32_t n = static_cast<std::uint32_t>(weights.size());
+  BRICS_CHECK_MSG(k <= n, "cannot sample " << k << " of " << n);
+  // Key = u^(1/w) for u ~ U(0,1); the k largest keys form the sample.
+  // Computed in log space for numeric stability; zero weights map to -inf.
+  std::vector<std::pair<double, std::uint32_t>> keyed(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BRICS_CHECK_MSG(weights[i] >= 0.0, "negative weight at " << i);
+    const double u = rng.uniform01();
+    const double logkey =
+        weights[i] > 0.0
+            ? std::log(std::max(u, 1e-300)) / weights[i]
+            : -std::numeric_limits<double>::infinity();
+    keyed[i] = {logkey, i};
+  }
+  std::partial_sort(keyed.begin(), keyed.begin() + k, keyed.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  std::vector<std::uint32_t> out(k);
+  for (std::uint32_t i = 0; i < k; ++i) out[i] = keyed[i].second;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace brics

@@ -1,0 +1,123 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Every randomised component of the library (generators, samplers) takes an
+// explicit seed so that experiments are reproducible run-to-run and
+// machine-to-machine. We use xoshiro256** seeded through splitmix64 — fast,
+// well-distributed, and trivially forkable for parallel streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace brics {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of a single value (for hashing node ids etc.).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's unbiased multiply-shift method.
+  std::uint64_t below(std::uint64_t bound) {
+    BRICS_CHECK(bound > 0);
+    // Rejection loop guarantees exact uniformity.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      const __uint128_t m = static_cast<__uint128_t>(r) * bound;
+      if (static_cast<std::uint64_t>(m) >= threshold)
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    BRICS_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Derive an independent child stream (for per-thread RNGs).
+  Rng fork() { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Floyd's algorithm: k distinct values uniformly from [0, n), sorted.
+/// O(k) expected time, O(k) space; suitable for k close to n as well.
+std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                      std::uint32_t k,
+                                                      Rng& rng);
+
+/// Weighted sampling without replacement (Efraimidis–Spirakis): k distinct
+/// indices from [0, weights.size()), each included with probability
+/// proportional to its weight at every draw. Zero-weight items are only
+/// chosen once all positive-weight items are exhausted. O(n log n), sorted.
+std::vector<std::uint32_t> weighted_sample_without_replacement(
+    std::span<const double> weights, std::uint32_t k, Rng& rng);
+
+/// In-place Fisher–Yates shuffle.
+template <typename T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::size_t j = rng.below(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace brics

@@ -1,0 +1,54 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace brics {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  s.min = xs[0];
+  s.max = xs[0];
+  double mean = 0.0, m2 = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    ++n;
+    double d = x - mean;
+    mean += d / static_cast<double>(n);
+    m2 += d * (x - mean);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = mean;
+  s.stddev = n > 1 ? std::sqrt(m2 / static_cast<double>(n - 1)) : 0.0;
+  return s;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  BRICS_CHECK(!xs.empty());
+  BRICS_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double geometric_mean(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    BRICS_CHECK_MSG(x > 0.0, "geometric_mean requires positive inputs");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace brics

@@ -1,0 +1,29 @@
+// Small numeric-summary helpers shared by the quality metrics and the
+// benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace brics {
+
+/// Summary statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One-pass mean/stddev/min/max (Welford). Empty input yields zeros.
+Summary summarize(std::span<const double> xs);
+
+/// p-th percentile (0 ≤ p ≤ 100) with linear interpolation; copies + sorts.
+double percentile(std::span<const double> xs, double p);
+
+/// Geometric mean; all inputs must be positive. Empty input yields 1.0.
+double geometric_mean(std::span<const double> xs);
+
+}  // namespace brics

@@ -1,0 +1,38 @@
+// Wall-clock timing used by the benchmark harnesses and the estimators'
+// phase breakdowns.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace brics {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations; `Timer t; ...; acc += t.seconds()`.
+struct PhaseTimes {
+  double reduce_s = 0.0;    ///< identical + chain + redundant detection
+  double bcc_s = 0.0;       ///< biconnected decomposition + BCT build
+  double traverse_s = 0.0;  ///< sampled BFS / Dial runs
+  double combine_s = 0.0;   ///< contribution propagation + post-processing
+  double total_s = 0.0;     ///< end-to-end (≥ sum of phases)
+};
+
+}  // namespace brics

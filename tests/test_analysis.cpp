@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "core/farness.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+TEST(Analysis, ClosenessFromFarness) {
+  std::vector<double> f{4.0, 8.0, 0.0};
+  auto c = closeness_from_farness(f, 5);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 0.5);
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+}
+
+TEST(Analysis, ExactHarmonicPath) {
+  // Path 0-1-2: H(0) = 1 + 1/2, H(1) = 2.
+  CsrGraph g = test::make_graph(3, {{0, 1}, {1, 2}});
+  auto h = exact_harmonic(g);
+  EXPECT_DOUBLE_EQ(h[0], 1.5);
+  EXPECT_DOUBLE_EQ(h[1], 2.0);
+  EXPECT_DOUBLE_EQ(h[2], 1.5);
+}
+
+TEST(Analysis, HarmonicEstimateFullRateIsExact) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 120, 3}.build();
+  auto exact = exact_harmonic(g);
+  auto est = estimate_harmonic(g, 1.0, 7);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_NEAR(est[v], exact[v], 1e-9) << v;
+}
+
+TEST(Analysis, HarmonicEstimateTracksExact) {
+  CsrGraph g = test::RandomGraphCase{"barabasi_albert", 300, 5}.build();
+  auto exact = exact_harmonic(g);
+  auto est = estimate_harmonic(g, 0.4, 11);
+  double worst = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    worst = std::max(worst, std::abs(est[v] / exact[v] - 1.0));
+  EXPECT_LT(worst, 0.35);
+}
+
+TEST(Analysis, DiameterLowerBoundPath) {
+  CsrGraph g = test::make_graph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  EXPECT_EQ(diameter_lower_bound(g), 5u);  // double sweep is exact on trees
+}
+
+TEST(Analysis, DiameterLowerBoundNeverExceedsTrueDiameter) {
+  for (std::uint64_t seed : {2ULL, 5ULL, 9ULL}) {
+    CsrGraph g = test::RandomGraphCase{"grid_subdivided", 150, seed}.build();
+    Dist lb = diameter_lower_bound(g, 4, seed);
+    // True diameter by all-pairs.
+    Dist diam = 0;
+    for (NodeId s = 0; s < g.num_nodes(); ++s)
+      diam = std::max(diam, aggregate_distances(sssp_distances(g, s)).ecc);
+    EXPECT_LE(lb, diam);
+    EXPECT_GE(lb, diam / 2);  // double sweep guarantees >= D/2
+  }
+}
+
+TEST(Analysis, DegreeHistogram) {
+  CsrGraph g = test::make_graph(4, {{0, 1}, {0, 2}, {0, 3}});
+  auto hist = degree_histogram(g);
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 3u);
+  EXPECT_EQ(hist[3], 1u);
+}
+
+TEST(Analysis, SummaryConsistency) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 200, 7}.build();
+  GraphSummary s = summarize_graph(g);
+  EXPECT_EQ(s.nodes, g.num_nodes());
+  EXPECT_EQ(s.edges, g.num_edges());
+  EXPECT_EQ(s.components, 1u);
+  EXPECT_GT(s.identical_nodes + s.chain_nodes, 0u);
+  EXPECT_GE(s.bcc_max, 1u);
+  EXPECT_FALSE(to_string(s).empty());
+}
+
+}  // namespace
+}  // namespace brics

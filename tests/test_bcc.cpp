@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bcc/bcc.hpp"
+#include "bcc/bct.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+TEST(Bcc, SingleBlockForBiconnectedGraph) {
+  CsrGraph g = test::make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  BccResult r = biconnected_components(g);
+  EXPECT_EQ(r.num_blocks(), 1u);
+  EXPECT_EQ(r.block_nodes(0).size(), 4u);
+  EXPECT_EQ(r.num_cut_vertices(), 0u);
+}
+
+TEST(Bcc, TwoTrianglesSharingACutVertex) {
+  CsrGraph g = test::make_graph(
+      5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}});
+  BccResult r = biconnected_components(g);
+  EXPECT_EQ(r.num_blocks(), 2u);
+  EXPECT_TRUE(r.is_cut(2));
+  EXPECT_EQ(r.num_cut_vertices(), 1u);
+  EXPECT_EQ(r.blocks_of(2).size(), 2u);
+  EXPECT_EQ(r.blocks_of(0).size(), 1u);
+}
+
+TEST(Bcc, PathGraphEveryEdgeIsABlock) {
+  CsrGraph g = test::make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  BccResult r = biconnected_components(g);
+  EXPECT_EQ(r.num_blocks(), 3u);
+  EXPECT_TRUE(r.is_cut(1));
+  EXPECT_TRUE(r.is_cut(2));
+  EXPECT_FALSE(r.is_cut(0));
+  EXPECT_FALSE(r.is_cut(3));
+}
+
+TEST(Bcc, IsolatedPresentNodeGetsSingletonBlock) {
+  CsrGraph g = test::make_graph(3, {{0, 1}});
+  BccResult r = biconnected_components(g);
+  EXPECT_EQ(r.num_blocks(), 2u);  // edge block + singleton {2}
+  EXPECT_EQ(r.blocks_of(2).size(), 1u);
+}
+
+TEST(Bcc, PresentMaskRestrictsDecomposition) {
+  CsrGraph g = test::make_graph(
+      5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}});
+  std::vector<std::uint8_t> present{1, 1, 1, 0, 0};
+  BccResult r = biconnected_components(g, present);
+  EXPECT_EQ(r.num_blocks(), 1u);
+  EXPECT_FALSE(r.is_cut(2));
+  EXPECT_TRUE(r.blocks_of(3).empty());
+}
+
+TEST(Bcc, BridgeAndCycleMix) {
+  // Paper Fig. 2-like: cycle {0,1,2,3}, bridge 3-4, triangle {4,5,6}.
+  CsrGraph g = test::make_graph(7, {{0, 1}, {1, 2}, {2, 3}, {3, 0},
+                                    {3, 4}, {4, 5}, {5, 6}, {6, 4}});
+  BccResult r = biconnected_components(g);
+  EXPECT_EQ(r.num_blocks(), 3u);
+  EXPECT_TRUE(r.is_cut(3));
+  EXPECT_TRUE(r.is_cut(4));
+  EXPECT_EQ(r.num_cut_vertices(), 2u);
+  EXPECT_EQ(r.max_block_size(), 4u);
+}
+
+// Property suite: structural invariants of the decomposition.
+class BccProperty : public ::testing::TestWithParam<test::RandomGraphCase> {};
+
+TEST_P(BccProperty, EveryEdgeInExactlyOneBlock) {
+  CsrGraph g = GetParam().build();
+  BccResult r = biconnected_components(g);
+  // Count each edge's containing blocks via node-pair membership of blocks.
+  std::uint64_t edges_in_blocks = 0;
+  for (BlockId b = 0; b < r.num_blocks(); ++b) {
+    auto nodes = r.block_nodes(b);
+    std::set<NodeId> in(nodes.begin(), nodes.end());
+    for (NodeId v : nodes)
+      for (NodeId w : g.neighbors(v))
+        if (v < w && in.count(w)) ++edges_in_blocks;
+  }
+  EXPECT_EQ(edges_in_blocks, g.num_edges());
+}
+
+TEST_P(BccProperty, TwoBlocksShareAtMostOneNode) {
+  CsrGraph g = GetParam().build();
+  BccResult r = biconnected_components(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto bs = r.blocks_of(v);
+    std::set<BlockId> uniq(bs.begin(), bs.end());
+    EXPECT_EQ(uniq.size(), bs.size()) << "node " << v;
+  }
+  // Pairwise intersection <= 1 is implied by checking, per node pair inside
+  // a block, that no other block contains both; spot-check via cut nodes.
+  for (BlockId b = 0; b < r.num_blocks(); ++b) {
+    auto nodes = r.block_nodes(b);
+    for (std::size_t i = 0; i < std::min<std::size_t>(nodes.size(), 8); ++i)
+      for (std::size_t j = i + 1;
+           j < std::min<std::size_t>(nodes.size(), 8); ++j) {
+        auto bi = r.blocks_of(nodes[i]);
+        auto bj = r.blocks_of(nodes[j]);
+        std::vector<BlockId> common;
+        std::set_intersection(bi.begin(), bi.end(), bj.begin(), bj.end(),
+                              std::back_inserter(common));
+        EXPECT_EQ(common.size(), 1u);
+      }
+  }
+}
+
+TEST_P(BccProperty, CutRemovalDisconnects) {
+  CsrGraph g = GetParam().build();
+  BccResult r = biconnected_components(g);
+  // Removing an articulation point increases the component count.
+  NodeId checked = 0;
+  for (NodeId v = 0; v < g.num_nodes() && checked < 5; ++v) {
+    if (!r.is_cut(v)) continue;
+    ++checked;
+    std::vector<NodeId> keep;
+    for (NodeId w = 0; w < g.num_nodes(); ++w)
+      if (w != v) keep.push_back(w);
+    SubgraphMap sub = induced_subgraph(g, keep);
+    EXPECT_FALSE(is_connected(sub.graph)) << "cut " << v;
+  }
+}
+
+TEST_P(BccProperty, NonCutRemovalKeepsConnectivity) {
+  CsrGraph g = GetParam().build();
+  if (g.num_nodes() < 3) return;
+  BccResult r = biconnected_components(g);
+  NodeId checked = 0;
+  for (NodeId v = 0; v < g.num_nodes() && checked < 5; ++v) {
+    if (r.is_cut(v)) continue;
+    ++checked;
+    std::vector<NodeId> keep;
+    for (NodeId w = 0; w < g.num_nodes(); ++w)
+      if (w != v) keep.push_back(w);
+    SubgraphMap sub = induced_subgraph(g, keep);
+    EXPECT_TRUE(is_connected(sub.graph)) << "non-cut " << v;
+  }
+}
+
+TEST_P(BccProperty, BctIsAWellFormedRootedForest) {
+  CsrGraph g = GetParam().build();
+  BccResult r = biconnected_components(g);
+  BlockCutTree t = build_bct(r, g.num_nodes());
+  EXPECT_EQ(t.num_blocks(), r.num_blocks());
+  EXPECT_EQ(t.num_cuts(), r.num_cut_vertices());
+  // Connected graph -> single root.
+  NodeId roots = 0;
+  for (BlockId b = 0; b < t.num_blocks(); ++b)
+    if (t.parent_cut[b] == kInvalidCut) ++roots;
+  EXPECT_EQ(roots, 1u);
+  // Parents precede children in top_down.
+  std::vector<std::uint32_t> pos(t.num_blocks());
+  for (std::uint32_t i = 0; i < t.top_down.size(); ++i)
+    pos[t.top_down[i]] = i;
+  for (BlockId b = 0; b < t.num_blocks(); ++b) {
+    if (t.parent_cut[b] == kInvalidCut) continue;
+    BlockId pb = t.parent_block[t.parent_cut[b]];
+    EXPECT_LT(pos[pb], pos[b]);
+  }
+  // Every cut's parent block contains it.
+  for (CutId c = 0; c < t.num_cuts(); ++c) {
+    auto nodes = r.block_nodes(t.parent_block[c]);
+    EXPECT_TRUE(std::find(nodes.begin(), nodes.end(), t.cut_nodes[c]) !=
+                nodes.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BccProperty,
+                         ::testing::ValuesIn(test::standard_cases()),
+                         test::case_name);
+
+}  // namespace
+}  // namespace brics

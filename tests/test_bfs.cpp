@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_helpers.hpp"
+#include "traverse/bfs.hpp"
+#include "traverse/multi_source.hpp"
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+TEST(Bfs, PathGraphDistances) {
+  CsrGraph g = test::make_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto d = sssp_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<Dist>{0, 1, 2, 3, 4}));
+  d = sssp_distances(g, 2);
+  EXPECT_EQ(d, (std::vector<Dist>{2, 1, 0, 1, 2}));
+}
+
+TEST(Bfs, DisconnectedNodesUnreached) {
+  CsrGraph g = test::make_graph(4, {{0, 1}});
+  auto d = sssp_distances(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kInfDist);
+  EXPECT_EQ(d[3], kInfDist);
+}
+
+TEST(Bfs, RejectsWeightedGraph) {
+  CsrGraph g = test::make_graph(3, {{0, 1, 2}, {1, 2}});
+  TraversalWorkspace ws;
+  EXPECT_THROW(bfs(g, 0, ws), CheckFailure);
+}
+
+TEST(Dial, HandlesWeightedEdges) {
+  // 0 -5- 1 -1- 2, plus a shortcut 0 -3- 2.
+  CsrGraph g = test::make_graph(3, {{0, 1, 5}, {1, 2, 1}, {0, 2, 3}});
+  TraversalWorkspace ws;
+  dial_sssp(g, 0, ws);
+  EXPECT_EQ(ws.dist()[0], 0u);
+  EXPECT_EQ(ws.dist()[1], 4u);  // via 2: 3 + 1 beats direct 5
+  EXPECT_EQ(ws.dist()[2], 3u);
+}
+
+TEST(Dial, MatchesBfsOnUnitWeights) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 150, 5}.build();
+  TraversalWorkspace wa, wb;
+  for (NodeId s = 0; s < g.num_nodes(); s += 13) {
+    bfs(g, s, wa);
+    dial_sssp(g, s, wb);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      ASSERT_EQ(wa.dist()[v], wb.dist()[v]) << "s=" << s << " v=" << v;
+  }
+}
+
+TEST(Dial, MatchesBfsOnSubdividedVsCompressedPath) {
+  // Weighted edge (0,1,4) must behave like a 4-hop path.
+  CsrGraph w = test::make_graph(2, {{0, 1, 4}});
+  TraversalWorkspace ws;
+  dial_sssp(w, 0, ws);
+  EXPECT_EQ(ws.dist()[1], 4u);
+}
+
+TEST(SsspDispatch, PicksEngineByWeights) {
+  CsrGraph unit = test::make_graph(3, {{0, 1}, {1, 2}});
+  CsrGraph weighted = test::make_graph(3, {{0, 1, 2}, {1, 2}});
+  EXPECT_EQ(sssp_distances(unit, 0)[2], 2u);
+  EXPECT_EQ(sssp_distances(weighted, 0)[2], 3u);
+}
+
+TEST(AggregateDistances, SumsFiniteOnly) {
+  std::vector<Dist> d{0, 1, 2, kInfDist, 3};
+  DistanceAggregate a = aggregate_distances(d);
+  EXPECT_EQ(a.sum, 6u);
+  EXPECT_EQ(a.reached, 4u);
+  EXPECT_EQ(a.ecc, 3u);
+}
+
+TEST(ForEachSource, VisitsAllSourcesWithCorrectDistances) {
+  CsrGraph g = test::make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<NodeId> sources{0, 2, 3};
+  std::vector<FarnessSum> sums(4, 0);
+  for_each_source(g, sources,
+                  [&](std::size_t, NodeId s, std::span<const Dist> dist) {
+                    sums[s] = aggregate_distances(dist).sum;
+                  });
+  EXPECT_EQ(sums[0], 6u);  // 1+2+3
+  EXPECT_EQ(sums[2], 4u);  // 2+1+1
+  EXPECT_EQ(sums[3], 6u);
+  EXPECT_EQ(sums[1], 0u);  // not a source
+}
+
+TEST(DistanceSumAccumulator, MergesThreadBuffers) {
+  CsrGraph g = test::make_graph(3, {{0, 1}, {1, 2}});
+  std::vector<NodeId> sources{0, 1, 2};
+  DistanceSumAccumulator acc(3);
+  for_each_source(g, sources,
+                  [&](std::size_t, NodeId, std::span<const Dist> dist) {
+                    acc.add(dist);
+                  });
+  auto total = acc.merge();
+  EXPECT_EQ(total[0], 3u);  // 0 + 1 + 2
+  EXPECT_EQ(total[1], 2u);
+  EXPECT_EQ(total[2], 3u);
+}
+
+// Property sweep: Dial on a chain-compressed-style weighted graph agrees
+// with BFS on the expanded graph.
+class DialExpansion : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DialExpansion, WeightedEqualsSubdivided) {
+  Rng rng(GetParam());
+  CsrGraph base = erdos_renyi(40, 70, rng);
+  base = make_connected(base);
+  // Expanded graph: subdivide every edge into w unit hops.
+  std::vector<Edge> edges = base.edge_list();
+  Rng wrng(GetParam() + 1);
+  std::vector<Weight> ws(edges.size());
+  NodeId extra = 0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    ws[i] = static_cast<Weight>(wrng.range(1, 5));
+    extra += ws[i] - 1;
+  }
+  GraphBuilder wb(base.num_nodes());
+  GraphBuilder eb(base.num_nodes() + extra);
+  NodeId next = base.num_nodes();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    wb.add_edge(edges[i].u, edges[i].v, ws[i]);
+    NodeId prev = edges[i].u;
+    for (Weight j = 1; j < ws[i]; ++j) {
+      eb.add_edge(prev, next);
+      prev = next++;
+    }
+    eb.add_edge(prev, edges[i].v);
+  }
+  CsrGraph weighted = wb.build();
+  CsrGraph expanded = eb.build();
+  TraversalWorkspace wa, wbws;
+  for (NodeId s = 0; s < base.num_nodes(); s += 7) {
+    dial_sssp(weighted, s, wa);
+    bfs(expanded, s, wbws);
+    for (NodeId v = 0; v < base.num_nodes(); ++v)
+      ASSERT_EQ(wa.dist()[v], wbws.dist()[v]) << "s=" << s << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DialExpansion,
+                         ::testing::Values(3, 17, 99, 1234));
+
+}  // namespace
+}  // namespace brics

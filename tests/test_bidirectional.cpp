@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "reduce/reducer.hpp"
+#include "tests/test_helpers.hpp"
+#include "traverse/bidirectional.hpp"
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+TEST(Bidirectional, PathGraph) {
+  CsrGraph g = test::make_graph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  EXPECT_EQ(bidirectional_distance(g, 0, 5), 5u);
+  EXPECT_EQ(bidirectional_distance(g, 2, 3), 1u);
+  EXPECT_EQ(bidirectional_distance(g, 4, 4), 0u);
+}
+
+TEST(Bidirectional, DisconnectedReturnsInf) {
+  CsrGraph g = test::make_graph(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(bidirectional_distance(g, 0, 3), kInfDist);
+}
+
+TEST(Bidirectional, RejectsWeighted) {
+  CsrGraph g = test::make_graph(3, {{0, 1, 2}, {1, 2}});
+  EXPECT_THROW(bidirectional_distance(g, 0, 2), CheckFailure);
+}
+
+TEST(PointToPoint, WeightedUsesDial) {
+  CsrGraph g = test::make_graph(3, {{0, 1, 5}, {1, 2, 1}, {0, 2, 3}});
+  EXPECT_EQ(point_to_point(g, 0, 1), 4u);
+  EXPECT_EQ(point_to_point(g, 0, 2), 3u);
+}
+
+class BidirectionalProperty
+    : public ::testing::TestWithParam<test::RandomGraphCase> {};
+
+TEST_P(BidirectionalProperty, MatchesFullTraversal) {
+  CsrGraph g = GetParam().build();
+  Rng rng(GetParam().seed + 5);
+  for (int i = 0; i < 25; ++i) {
+    NodeId s = NodeId(rng.below(g.num_nodes()));
+    NodeId t = NodeId(rng.below(g.num_nodes()));
+    ASSERT_EQ(point_to_point(g, s, t), sssp_distances(g, s)[t])
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(BidirectionalProperty, MatchesOnCompressedReduction) {
+  // Weighted graphs from chain compression exercise the Dial early-exit
+  // path.
+  CsrGraph g = GetParam().build();
+  ReducedGraph rg = reduce(g, ReduceOptions{});
+  std::vector<NodeId> present;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (rg.present[v]) present.push_back(v);
+  if (present.size() < 2) return;
+  Rng rng(GetParam().seed + 17);
+  for (int i = 0; i < 15; ++i) {
+    NodeId s = present[rng.below(present.size())];
+    NodeId t = present[rng.below(present.size())];
+    ASSERT_EQ(point_to_point(rg.graph, s, t),
+              sssp_distances(rg.graph, s)[t]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BidirectionalProperty,
+                         ::testing::ValuesIn(test::standard_cases()),
+                         test::case_name);
+
+}  // namespace
+}  // namespace brics

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "reduce/chains.hpp"
+#include "tests/test_helpers.hpp"
+#include "traverse/bfs.hpp"
+
+namespace brics {
+namespace {
+
+struct Pass {
+  std::vector<std::uint8_t> present;
+  ReductionLedger ledger;
+  ChainPassResult result;
+
+  explicit Pass(const CsrGraph& g)
+      : present(g.num_nodes(), 1), ledger(g.num_nodes()) {
+    result = remove_chain_nodes(g, present, ledger);
+  }
+};
+
+// Fig. 1(a): pendant chain ending in a degree-1 node (Type 1).
+TEST(ChainNodes, PendantChainRemoved) {
+  // K4 hub {0,1,2,6} (no degree-2 nodes), chain 0-3-4-5 with deg(5)=1.
+  CsrGraph g = test::make_graph(
+      7, {{0, 1}, {0, 2}, {0, 6}, {1, 2}, {1, 6}, {2, 6},
+          {0, 3}, {3, 4}, {4, 5}});
+  Pass p(g);
+  EXPECT_EQ(p.result.stats.pendant_chains, 1u);
+  EXPECT_EQ(p.result.stats.removed, 3u);
+  EXPECT_FALSE(p.present[3]);
+  EXPECT_FALSE(p.present[4]);
+  EXPECT_FALSE(p.present[5]);
+  ASSERT_EQ(p.ledger.chains().size(), 1u);
+  const ChainRecord& r = p.ledger.chains()[0];
+  EXPECT_TRUE(r.pendant());
+  EXPECT_EQ(r.u, 0u);
+  EXPECT_EQ(r.offsets, (std::vector<Dist>{1, 2, 3}));
+}
+
+// Fig. 1(b): cycle chain attached at one node (Type 2).
+TEST(ChainNodes, CycleChainRemoved) {
+  // K4 hub {0,1,2,6} plus cycle 0-3-4-5-0.
+  CsrGraph g = test::make_graph(
+      7, {{0, 1}, {0, 2}, {0, 6}, {1, 2}, {1, 6}, {2, 6},
+          {0, 3}, {3, 4}, {4, 5}, {5, 0}});
+  Pass p(g);
+  EXPECT_EQ(p.result.stats.cycle_chains, 1u);
+  EXPECT_EQ(p.result.stats.removed, 3u);
+  ASSERT_EQ(p.ledger.chains().size(), 1u);
+  const ChainRecord& r = p.ledger.chains()[0];
+  EXPECT_TRUE(r.cycle());
+  EXPECT_EQ(r.total, 4u);
+}
+
+// Fig. 1(c)/(d): parallel chains between the same endpoints (Types 3/4).
+TEST(ChainNodes, ParallelChainsCompressToMinWeightEdge) {
+  // Endpoints 0, 1 anchored to a K4 {5,6,7,8} so neither they nor the
+  // scaffold have degree 2; chain A: 0-2-3-1 (length 3); B: 0-4-1 (len 2).
+  CsrGraph g = test::make_graph(
+      9, {{5, 6}, {5, 7}, {5, 8}, {6, 7}, {6, 8}, {7, 8},
+          {0, 5}, {0, 6}, {1, 7}, {1, 8},
+          {0, 2}, {2, 3}, {3, 1}, {0, 4}, {4, 1}});
+  Pass p(g);
+  EXPECT_EQ(p.result.stats.through_chains, 2u);
+  EXPECT_EQ(p.result.stats.removed, 3u);
+  ASSERT_EQ(p.result.compressed_edges.size(), 2u);
+  Weight min_w = std::min(p.result.compressed_edges[0].w,
+                          p.result.compressed_edges[1].w);
+  Weight max_w = std::max(p.result.compressed_edges[0].w,
+                          p.result.compressed_edges[1].w);
+  EXPECT_EQ(min_w, 2u);
+  EXPECT_EQ(max_w, 3u);
+}
+
+// Type 4: identical (equal-length) chains counted for Table I.
+TEST(ChainNodes, IdenticalChainsCounted) {
+  // Three parallel length-2 chains 0-{2,3,4}-1 plus K4 scaffolding.
+  CsrGraph g = test::make_graph(
+      9, {{5, 6}, {5, 7}, {5, 8}, {6, 7}, {6, 8}, {7, 8},
+          {0, 5}, {0, 6}, {1, 7}, {1, 8},
+          {0, 2}, {2, 1}, {0, 3}, {3, 1}, {0, 4}, {4, 1}});
+  Pass p(g);
+  EXPECT_EQ(p.result.stats.through_chains, 3u);
+  // Chains via 2, 3, 4 all have length 2: two of them are "identical
+  // chains" beyond the first, each contributing its 1 member.
+  EXPECT_EQ(p.result.stats.identical_chain_nodes, 2u);
+}
+
+TEST(ChainNodes, WholePathComponentKeepsOneAnchor) {
+  CsrGraph g = test::make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  Pass p(g);
+  NodeId kept = 0;
+  for (NodeId v = 0; v < 4; ++v) kept += p.present[v];
+  EXPECT_EQ(kept, 1u);
+  EXPECT_EQ(p.result.stats.removed, 3u);
+}
+
+TEST(ChainNodes, WholeCycleComponentKeepsOneAnchor) {
+  CsrGraph g = test::make_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  Pass p(g);
+  NodeId kept = 0;
+  for (NodeId v = 0; v < 5; ++v) kept += p.present[v];
+  EXPECT_EQ(kept, 1u);
+  ASSERT_EQ(p.ledger.chains().size(), 1u);
+  EXPECT_TRUE(p.ledger.chains()[0].cycle());
+  EXPECT_EQ(p.ledger.chains()[0].total, 5u);
+}
+
+TEST(ChainNodes, SingleLeafPendant) {
+  CsrGraph g =
+      test::make_graph(5, {{0, 1}, {1, 2}, {2, 0}, {0, 3}, {0, 4}});
+  Pass p(g);
+  // Leaves 3 and 4 are two single-member pendant chains.
+  EXPECT_EQ(p.result.stats.pendant_chains, 2u);
+  EXPECT_FALSE(p.present[3]);
+  EXPECT_FALSE(p.present[4]);
+}
+
+TEST(ChainNodes, K2ComponentKeepsOneEnd) {
+  CsrGraph g = test::make_graph(2, {{0, 1}});
+  Pass p(g);
+  EXPECT_EQ(int(p.present[0]) + int(p.present[1]), 1);
+  EXPECT_EQ(p.result.stats.removed, 1u);
+}
+
+TEST(ChainNodes, PinnedNodeBreaksChain) {
+  // Path 0-1-2-3-4 between two K4-anchored hubs would normally compress
+  // fully; pinning node 2 (as anchor of a record removing the isolated
+  // dummy node 9) forces two shorter through chains around it.
+  CsrGraph g = test::make_graph(
+      10, {{5, 6}, {5, 7}, {5, 8}, {6, 7}, {6, 8}, {7, 8},
+           {0, 5}, {0, 6}, {4, 7}, {4, 8},
+           {0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  std::vector<std::uint8_t> present(10, 1);
+  ReductionLedger ledger(10);
+  ledger.record_redundant(9, std::vector<NodeId>{2},
+                          std::vector<Weight>{1});
+  present[9] = 0;
+  ChainPassResult r = remove_chain_nodes(g, present, ledger);
+  EXPECT_TRUE(present[2]);  // pinned survives
+  EXPECT_FALSE(present[1]);
+  EXPECT_FALSE(present[3]);
+  EXPECT_EQ(r.stats.through_chains, 2u);
+}
+
+TEST(ChainNodes, WeightedPendantOffsets) {
+  // K4 hub {0,1,2,5}; weighted pendant chain 0 -2- 3 -3- 4.
+  CsrGraph g = test::make_graph(
+      6, {{0, 1}, {0, 2}, {0, 5}, {1, 2}, {1, 5}, {2, 5},
+          {0, 3, 2}, {3, 4, 3}});
+  Pass p(g);
+  ASSERT_EQ(p.ledger.chains().size(), 1u);
+  const ChainRecord& r = p.ledger.chains()[0];
+  EXPECT_TRUE(r.pendant());
+  EXPECT_EQ(r.offsets, (std::vector<Dist>{2, 5}));
+}
+
+}  // namespace
+}  // namespace brics

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/confidence.hpp"
+#include "core/farness.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+TEST(Confidence, ExactNodesHaveZeroError) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 100, 5}.build();
+  ConfidenceOptions o;
+  o.sample_rate = 0.3;
+  ConfidenceResult r = estimate_with_confidence(g, o);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (r.exact[v]) {
+      EXPECT_DOUBLE_EQ(r.stderr_[v], 0.0);
+    }
+  }
+}
+
+TEST(Confidence, FullRateIsExactEverywhere) {
+  CsrGraph g = test::RandomGraphCase{"barabasi_albert", 120, 9}.build();
+  auto actual = exact_farness(g);
+  ConfidenceOptions o;
+  o.sample_rate = 1.0;
+  ConfidenceResult r = estimate_with_confidence(g, o);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(r.farness[v], double(actual[v]));
+    EXPECT_DOUBLE_EQ(r.stderr_[v], 0.0);
+  }
+}
+
+TEST(Confidence, StdErrShrinksWithRate) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 300, 11}.build();
+  double mean_se_low = 0.0, mean_se_high = 0.0;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    ConfidenceOptions lo;
+    lo.sample_rate = 0.1;
+    lo.seed = seed;
+    ConfidenceOptions hi;
+    hi.sample_rate = 0.6;
+    hi.seed = seed;
+    auto rl = estimate_with_confidence(g, lo);
+    auto rh = estimate_with_confidence(g, hi);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      mean_se_low += rl.stderr_[v];
+      mean_se_high += rh.stderr_[v];
+    }
+  }
+  EXPECT_LT(mean_se_high, mean_se_low * 0.6);
+}
+
+TEST(Confidence, EmpiricalCoverageNearNominal) {
+  // Across many nodes and seeds, ~95 % of true values must fall inside the
+  // 1.96-sigma band. Normal approximation + finite population: accept a
+  // generous [85 %, 100 %] envelope to keep the test robust.
+  CsrGraph g = test::RandomGraphCase{"barabasi_albert", 400, 21}.build();
+  auto actual = exact_farness(g);
+  std::uint64_t inside = 0, total = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ConfidenceOptions o;
+    o.sample_rate = 0.2;
+    o.seed = seed;
+    ConfidenceResult r = estimate_with_confidence(g, o);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (r.exact[v]) continue;
+      ++total;
+      if (std::abs(r.farness[v] - double(actual[v])) <=
+          r.half_width(v, 1.96))
+        ++inside;
+    }
+  }
+  const double coverage = double(inside) / double(total);
+  EXPECT_GT(coverage, 0.85);
+}
+
+TEST(Confidence, RejectsTinyGraphs) {
+  CsrGraph g = test::make_graph(1, {});
+  ConfidenceOptions o;
+  EXPECT_THROW(estimate_with_confidence(g, o), CheckFailure);
+}
+
+}  // namespace
+}  // namespace brics

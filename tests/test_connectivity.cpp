@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+TEST(Connectivity, SingleComponent) {
+  CsrGraph g = test::make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  Components c = connected_components(g);
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Connectivity, CountsComponentsAndSizes) {
+  CsrGraph g = test::make_graph(7, {{0, 1}, {2, 3}, {3, 4}});
+  Components c = connected_components(g);
+  EXPECT_EQ(c.count, 4u);  // {0,1}, {2,3,4}, {5}, {6}
+  std::vector<NodeId> sizes = c.sizes;
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<NodeId>{1, 1, 2, 3}));
+}
+
+TEST(Connectivity, LargestComponentExtraction) {
+  CsrGraph g = test::make_graph(7, {{0, 1}, {2, 3}, {3, 4}, {4, 2}});
+  SubgraphMap sub = largest_component(g);
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+  EXPECT_TRUE(is_connected(sub.graph));
+  // Mapping consistency.
+  for (NodeId i = 0; i < sub.graph.num_nodes(); ++i)
+    EXPECT_EQ(sub.to_new[sub.to_old[i]], i);
+}
+
+TEST(Connectivity, MakeConnectedAddsMinimalEdges) {
+  CsrGraph g = test::make_graph(6, {{0, 1}, {2, 3}, {4, 5}});
+  CsrGraph h = make_connected(g);
+  EXPECT_TRUE(is_connected(h));
+  EXPECT_EQ(h.num_edges(), g.num_edges() + 2);  // 3 components -> +2 edges
+}
+
+TEST(Connectivity, MakeConnectedNoOpWhenConnected) {
+  CsrGraph g = test::make_graph(3, {{0, 1}, {1, 2}});
+  CsrGraph h = make_connected(g);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+}
+
+TEST(Connectivity, InducedSubgraphKeepsInternalEdgesOnly) {
+  CsrGraph g =
+      test::make_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}});
+  std::vector<NodeId> keep = {1, 2, 3};
+  SubgraphMap sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);  // 1-2, 2-3, 1-3
+  EXPECT_EQ(sub.to_new[0], kInvalidNode);
+}
+
+TEST(Connectivity, InducedSubgraphPreservesWeights) {
+  CsrGraph g = test::make_graph(4, {{0, 1, 5}, {1, 2, 7}, {2, 3}});
+  std::vector<NodeId> keep = {1, 2};
+  SubgraphMap sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.edge_weight(0, 1), 7u);
+}
+
+}  // namespace
+}  // namespace brics

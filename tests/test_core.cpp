@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/brics.hpp"
+#include "core/farness.hpp"
+#include "core/quality.hpp"
+#include "core/sampling.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+TEST(ExactFarness, PathGraph) {
+  CsrGraph g = test::make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto f = exact_farness(g);
+  EXPECT_EQ(f, (std::vector<FarnessSum>{6, 4, 4, 6}));
+  EXPECT_EQ(exact_farness_of(g, 0), 6u);
+}
+
+TEST(ExactFarness, StarGraphCentreIsClosest) {
+  CsrGraph g = test::make_graph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  auto f = exact_farness(g);
+  EXPECT_EQ(f[0], 4u);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) EXPECT_EQ(f[leaf], 7u);
+}
+
+TEST(ExactFarness, CompleteGraphAllEqual) {
+  CsrGraph g = test::make_graph(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  auto f = exact_farness(g);
+  for (auto v : f) EXPECT_EQ(v, 3u);
+}
+
+TEST(Quality, ExactEstimateScoresOne) {
+  std::vector<FarnessSum> actual{10, 20, 30};
+  std::vector<double> est{10.0, 20.0, 30.0};
+  QualityReport q = quality(est, actual);
+  EXPECT_DOUBLE_EQ(q.quality, 1.0);
+  EXPECT_DOUBLE_EQ(q.max_abs_err, 0.0);
+}
+
+TEST(Quality, ReportsDeviation) {
+  std::vector<FarnessSum> actual{10, 10};
+  std::vector<double> est{11.0, 9.0};
+  QualityReport q = quality(est, actual);
+  EXPECT_DOUBLE_EQ(q.quality, 1.0);  // symmetric errors average out
+  EXPECT_NEAR(q.mean_abs_err, 0.1, 1e-12);
+  EXPECT_NEAR(q.max_abs_err, 0.1, 1e-12);
+}
+
+TEST(Quality, RejectsZeroActual) {
+  std::vector<FarnessSum> actual{0};
+  std::vector<double> est{1.0};
+  EXPECT_THROW(quality(est, actual), CheckFailure);
+}
+
+// ---- Full-rate oracles: sampling every node must give exact farness. ----
+
+class EstimatorOracle : public ::testing::TestWithParam<test::RandomGraphCase> {
+ protected:
+  static EstimateOptions full_rate() {
+    EstimateOptions o;
+    o.sample_rate = 1.0;
+    o.seed = 11;
+    return o;
+  }
+};
+
+TEST_P(EstimatorOracle, RandomSamplingFullRateIsExact) {
+  CsrGraph g = GetParam().build();
+  auto actual = exact_farness(g);
+  auto est = estimate_random_sampling(g, full_rate());
+  ASSERT_EQ(est.farness.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(est.exact[v]);
+    EXPECT_DOUBLE_EQ(est.farness[v], static_cast<double>(actual[v])) << v;
+  }
+}
+
+TEST_P(EstimatorOracle, ReducedSamplingFullRateExactOnPresentNodes) {
+  CsrGraph g = GetParam().build();
+  auto actual = exact_farness(g);
+  EstimateOptions o = full_rate();
+  auto est = estimate_reduced_sampling(g, o);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!est.exact[v]) continue;  // removed nodes stay estimates
+    EXPECT_DOUBLE_EQ(est.farness[v], static_cast<double>(actual[v])) << v;
+  }
+  // At full rate every present node is exact, plus the removed nodes whose
+  // closed-form refinement rests on an exact anchor (twins, pendant and
+  // cycle chain members).
+  EXPECT_GE(static_cast<NodeId>(std::count(est.exact.begin(),
+                                           est.exact.end(), 1)),
+            est.reduce_stats.reduced_nodes);
+}
+
+TEST_P(EstimatorOracle, BricsFullRateExactOnPresentNodes) {
+  CsrGraph g = GetParam().build();
+  auto actual = exact_farness(g);
+  EstimateOptions o = full_rate();
+  auto est = estimate_brics(g, o);
+  NodeId exact_count = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!est.exact[v]) continue;
+    ++exact_count;
+    EXPECT_NEAR(est.farness[v], static_cast<double>(actual[v]), 1e-6)
+        << "node " << v;
+  }
+  EXPECT_GE(exact_count, est.reduce_stats.reduced_nodes);
+}
+
+TEST_P(EstimatorOracle, RefinedRemovedNodesExactAtFullRate) {
+  // Twins and pendant/cycle chain members are exact whenever their anchor
+  // is exact — at full rate, every anchor is.
+  CsrGraph g = GetParam().build();
+  auto actual = exact_farness(g);
+  EstimateOptions o = full_rate();
+  auto est = estimate_brics(g, o);
+  ReducedGraph rg = reduce(g, o.reduce);
+  for (const IdenticalRecord& r : rg.ledger.identical()) {
+    EXPECT_TRUE(est.exact[r.node]);
+    EXPECT_NEAR(est.farness[r.node], static_cast<double>(actual[r.node]),
+                1e-6)
+        << "twin " << r.node;
+  }
+  for (const ChainRecord& c : rg.ledger.chains()) {
+    if (!c.pendant() && !c.cycle()) continue;
+    for (NodeId m : c.members) {
+      EXPECT_TRUE(est.exact[m]);
+      EXPECT_NEAR(est.farness[m], static_cast<double>(actual[m]), 1e-6)
+          << "chain member " << m;
+    }
+  }
+}
+
+TEST_P(EstimatorOracle, BricsEstimatesAreFiniteAndPositive) {
+  CsrGraph g = GetParam().build();
+  if (g.num_nodes() < 2) return;
+  EstimateOptions o;
+  o.sample_rate = 0.3;
+  o.seed = 23;
+  auto est = estimate_brics(g, o);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(std::isfinite(est.farness[v])) << v;
+    EXPECT_GT(est.farness[v], 0.0) << v;
+  }
+}
+
+TEST_P(EstimatorOracle, BricsModerateRateQualityIsReasonable) {
+  CsrGraph g = GetParam().build();
+  if (g.num_nodes() < 20) return;
+  auto actual = exact_farness(g);
+  EstimateOptions o;
+  o.sample_rate = 0.5;
+  o.seed = 31;
+  auto est = estimate_brics(g, o);
+  QualityReport q = quality(est.farness, actual);
+  // Generous envelope: catches sign errors, double counting, unit slips.
+  EXPECT_GT(q.quality, 0.5) << "quality collapsed";
+  EXPECT_LT(q.quality, 2.0) << "quality exploded";
+}
+
+TEST_P(EstimatorOracle, RemovedNodeEstimatesTrackActual) {
+  CsrGraph g = GetParam().build();
+  if (g.num_nodes() < 20) return;
+  auto actual = exact_farness(g);
+  EstimateOptions o = full_rate();
+  auto est = estimate_brics(g, o);
+  // Removed nodes are estimated; at full block sampling their cross-block
+  // part is exact and intra is a scaled mean — demand sane tracking.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (est.exact[v]) continue;
+    double ar = est.farness[v] / static_cast<double>(actual[v]);
+    EXPECT_GT(ar, 0.3) << "node " << v;
+    EXPECT_LT(ar, 3.0) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EstimatorOracle,
+                         ::testing::ValuesIn(test::standard_cases()),
+                         test::case_name);
+
+// ---- Deterministic small-case sanity. ----
+
+TEST(Estimators, TwoNodeGraph) {
+  CsrGraph g = test::make_graph(2, {{0, 1}});
+  EstimateOptions o;
+  o.sample_rate = 1.0;
+  auto est = estimate_brics(g, o);
+  // One node survives reduction; both farness values must be 1.
+  EXPECT_NEAR(est.farness[0], 1.0, 1e-9);
+  EXPECT_NEAR(est.farness[1], 1.0, 1e-9);
+}
+
+TEST(Estimators, TriangleExactEverywhere) {
+  CsrGraph g = test::make_graph(3, {{0, 1}, {1, 2}, {2, 0}});
+  EstimateOptions o;
+  o.sample_rate = 1.0;
+  auto est = estimate_brics(g, o);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_NEAR(est.farness[v], 2.0, 1e-9);
+}
+
+TEST(Estimators, SampleRateValidation) {
+  CsrGraph g = test::make_graph(3, {{0, 1}, {1, 2}});
+  EstimateOptions o;
+  o.sample_rate = 0.0;
+  EXPECT_THROW(estimate_random_sampling(g, o), CheckFailure);
+  o.sample_rate = 1.5;
+  EXPECT_THROW(estimate_random_sampling(g, o), CheckFailure);
+}
+
+TEST(Estimators, DispatchHonoursUseBcc) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 80, 3}.build();
+  EstimateOptions o;
+  o.sample_rate = 1.0;
+  o.use_bcc = true;
+  EXPECT_GT(estimate_farness(g, o).num_blocks, 0u);
+  o.use_bcc = false;
+  EXPECT_EQ(estimate_farness(g, o).num_blocks, 0u);
+}
+
+}  // namespace
+}  // namespace brics

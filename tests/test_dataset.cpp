@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "gen/dataset.hpp"
+#include "graph/connectivity.hpp"
+#include "reduce/reducer.hpp"
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+TEST(Dataset, RegistryHasTwelveInFourClasses) {
+  const auto& reg = dataset_registry();
+  EXPECT_EQ(reg.size(), 12u);
+  int per_class[4] = {0, 0, 0, 0};
+  for (const auto& d : reg) ++per_class[static_cast<int>(d.cls)];
+  for (int c : per_class) EXPECT_EQ(c, 3);
+}
+
+TEST(Dataset, UnknownNameThrows) {
+  EXPECT_THROW(build_dataset("no-such-graph", 0.1), CheckFailure);
+}
+
+TEST(Dataset, BadScaleThrows) {
+  EXPECT_THROW(build_dataset("web-copy-a", 0.0), CheckFailure);
+  EXPECT_THROW(build_dataset("web-copy-a", 1.5), CheckFailure);
+}
+
+TEST(Dataset, BuildsAreDeterministic) {
+  CsrGraph a = build_dataset("soc-pref-a", 0.05);
+  CsrGraph b = build_dataset("soc-pref-a", 0.05);
+  EXPECT_EQ(a.edge_list(), b.edge_list());
+}
+
+class DatasetBuild : public ::testing::TestWithParam<DatasetInfo> {};
+
+TEST_P(DatasetBuild, SmallScaleIsValidConnectedUnitGraph) {
+  CsrGraph g = build_dataset(GetParam().name, 0.05);
+  g.validate();
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.unit_weights());
+  EXPECT_GE(g.num_nodes(), 16u);
+}
+
+TEST_P(DatasetBuild, ClassStructuralSignature) {
+  const DatasetInfo& info = GetParam();
+  CsrGraph g = build_dataset(info.name, 0.1);
+  ReducedGraph rg = reduce(g, ReduceOptions{});
+  const double n = g.num_nodes();
+  const double ident = rg.stats.identical.removed / n;
+  const double chains = rg.stats.chains.removed / n;
+  switch (info.cls) {
+    case GraphClass::kWeb:
+      EXPECT_GT(ident, 0.10) << "web graphs are identical-node heavy";
+      break;
+    case GraphClass::kSocial:
+      EXPECT_GT(ident, 0.05);
+      break;
+    case GraphClass::kCommunity:
+      EXPECT_GT(rg.stats.redundant.removed, 0u)
+          << "community graphs carry redundant 3/4-degree mass";
+      break;
+    case GraphClass::kRoad:
+      EXPECT_GT(chains, 0.5) << "road networks are chain dominated";
+      EXPECT_LT(ident, 0.02);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, DatasetBuild, ::testing::ValuesIn(dataset_registry()),
+    [](const testing::TestParamInfo<DatasetInfo>& info) {
+      std::string s = info.param.name;
+      for (char& c : s)
+        if (c == '-') c = '_';
+      return s;
+    });
+
+}  // namespace
+}  // namespace brics

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/farness.hpp"
+#include "core/quality.hpp"
+#include "extensions/dynamic.hpp"
+#include "tests/test_helpers.hpp"
+#include "traverse/bfs.hpp"
+
+namespace brics {
+namespace {
+
+EstimateOptions full_rate() {
+  EstimateOptions o;
+  o.sample_rate = 1.0;
+  o.seed = 5;
+  return o;
+}
+
+// After any sequence of insertions, the patched reduction must still
+// preserve distances: reduced SSSP + ledger resolution == BFS on the
+// current full graph, from every present source.
+void expect_patched_reduction_exact(const DynamicFarness& dyn) {
+  const CsrGraph& g = dyn.graph();
+  const ReducedGraph& rg = dyn.reduction();
+  TraversalWorkspace wo, wr;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (!rg.present[s]) continue;
+    sssp(g, s, wo);
+    sssp(rg.graph, s, wr);
+    std::vector<Dist> resolved(wr.dist().begin(), wr.dist().end());
+    rg.ledger.resolve(resolved);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      ASSERT_EQ(resolved[v], wo.dist()[v]) << "s=" << s << " v=" << v;
+  }
+}
+
+TEST(DynamicFarness, InsertBetweenPresentNodes) {
+  CsrGraph g = test::make_graph(
+      6, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}});
+  DynamicFarness dyn(g, full_rate());
+  dyn.insert_edge(0, 4);
+  expect_patched_reduction_exact(dyn);
+  auto actual = exact_farness(dyn.graph());
+  for (NodeId v = 0; v < 6; ++v) {
+    if (dyn.estimate().exact[v]) {
+      EXPECT_NEAR(dyn.estimate().farness[v], double(actual[v]), 1e-6) << v;
+    }
+  }
+}
+
+TEST(DynamicFarness, InsertAtRemovedChainNode) {
+  // Pendant chain 0-3-4-5 off a K4 hub; inserting an edge at 4 splices the
+  // whole chain back.
+  CsrGraph g = test::make_graph(
+      7, {{0, 1}, {0, 2}, {0, 6}, {1, 2}, {1, 6}, {2, 6},
+          {0, 3}, {3, 4}, {4, 5}});
+  DynamicFarness dyn(g, full_rate());
+  EXPECT_GT(dyn.reduction().ledger.num_removed(), 0u);
+  dyn.insert_edge(4, 1);
+  EXPECT_FALSE(dyn.reduction().ledger.removed(4));
+  EXPECT_GT(dyn.stats().spliced_nodes, 0u);
+  expect_patched_reduction_exact(dyn);
+}
+
+TEST(DynamicFarness, InsertAtTwinRepSplicesTwins) {
+  // 3, 4 twins over {0, 1}; inserting an edge at the surviving rep breaks
+  // the twin equality and must splice the removed twin back.
+  CsrGraph g = test::make_graph(
+      6, {{0, 1}, {0, 2}, {3, 0}, {3, 1}, {4, 0}, {4, 1}, {2, 5}, {0, 5}});
+  DynamicFarness dyn(g, full_rate());
+  const auto& led = dyn.reduction().ledger;
+  NodeId removed_twin = led.removed(3) ? 3 : 4;
+  NodeId rep = removed_twin == 3 ? 4 : 3;
+  dyn.insert_edge(rep, 5);
+  EXPECT_FALSE(dyn.reduction().ledger.removed(removed_twin));
+  expect_patched_reduction_exact(dyn);
+}
+
+TEST(DynamicFarness, RebuildThresholdTriggers) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 60, 3}.build();
+  DynamicFarness dyn(g, full_rate(), /*rebuild_threshold=*/2);
+  Rng rng(17);
+  for (int i = 0; i < 6; ++i) {
+    NodeId u = NodeId(rng.below(g.num_nodes()));
+    NodeId v = NodeId(rng.below(g.num_nodes()));
+    if (u != v) dyn.insert_edge(u, v);
+  }
+  EXPECT_GE(dyn.stats().full_rebuilds, 2u);  // initial + threshold hits
+  expect_patched_reduction_exact(dyn);
+}
+
+class DynamicProperty : public ::testing::TestWithParam<test::RandomGraphCase> {
+};
+
+TEST_P(DynamicProperty, RandomInsertionsStayExact) {
+  CsrGraph g = GetParam().build();
+  DynamicFarness dyn(g, full_rate(), /*rebuild_threshold=*/100);
+  Rng rng(GetParam().seed * 31 + 7);
+  for (int i = 0; i < 8; ++i) {
+    NodeId u = NodeId(rng.below(g.num_nodes()));
+    NodeId v = NodeId(rng.below(g.num_nodes()));
+    if (u == v) continue;
+    dyn.insert_edge(u, v);
+  }
+  expect_patched_reduction_exact(dyn);
+  // Full-rate estimates on present nodes equal exact farness of the
+  // *current* graph.
+  auto actual = exact_farness(dyn.graph());
+  const auto& est = dyn.estimate();
+  for (NodeId v = 0; v < dyn.graph().num_nodes(); ++v) {
+    if (est.exact[v]) {
+      ASSERT_NEAR(est.farness[v], double(actual[v]), 1e-6) << "node " << v;
+    }
+  }
+}
+
+TEST_P(DynamicProperty, QualityStaysReasonableAtModerateRate) {
+  CsrGraph g = GetParam().build();
+  if (g.num_nodes() < 50) return;
+  EstimateOptions o;
+  o.sample_rate = 0.5;
+  o.seed = 11;
+  DynamicFarness dyn(g, o, 100);
+  Rng rng(GetParam().seed + 99);
+  for (int i = 0; i < 4; ++i) {
+    NodeId u = NodeId(rng.below(g.num_nodes()));
+    NodeId v = NodeId(rng.below(g.num_nodes()));
+    if (u != v) dyn.insert_edge(u, v);
+  }
+  auto actual = exact_farness(dyn.graph());
+  QualityReport q = quality(dyn.estimate().farness, actual);
+  EXPECT_GT(q.quality, 0.5);
+  EXPECT_LT(q.quality, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DynamicProperty,
+                         ::testing::ValuesIn(test::standard_cases()),
+                         test::case_name);
+
+}  // namespace
+}  // namespace brics

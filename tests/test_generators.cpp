@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/connectivity.hpp"
+#include "reduce/reducer.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+TEST(Generators, ErdosRenyiBasics) {
+  Rng rng(1);
+  CsrGraph g = erdos_renyi(200, 600, rng);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  EXPECT_LE(g.num_edges(), 600u);  // duplicates merged
+  EXPECT_GE(g.num_edges(), 400u);  // but not too many collisions
+  g.validate();
+}
+
+TEST(Generators, Deterministic) {
+  Rng a(42), b(42);
+  CsrGraph g1 = erdos_renyi(100, 300, a);
+  CsrGraph g2 = erdos_renyi(100, 300, b);
+  EXPECT_EQ(g1.edge_list(), g2.edge_list());
+}
+
+TEST(Generators, BarabasiAlbertDegreeSkew) {
+  Rng rng(7);
+  CsrGraph g = barabasi_albert(2000, 2, rng);
+  g.validate();
+  std::uint32_t dmax = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    dmax = std::max(dmax, g.degree(v));
+  // Preferential attachment must produce hubs far above the mean (~4).
+  EXPECT_GT(dmax, 30u);
+}
+
+TEST(Generators, RmatShape) {
+  Rng rng(3);
+  CsrGraph g = rmat(10, 8, 0.57, 0.19, 0.19, rng);
+  EXPECT_EQ(g.num_nodes(), 1024u);
+  g.validate();
+}
+
+TEST(Generators, PlantedPartitionIsDenserInside) {
+  Rng rng(5);
+  CsrGraph g = planted_partition(4, 100, 400, 100, rng);
+  std::uint64_t inside = 0, across = 0;
+  for (const Edge& e : g.edge_list())
+    (e.u / 100 == e.v / 100 ? inside : across) += 1;
+  EXPECT_GT(inside, across * 3);
+}
+
+TEST(Generators, GridDegreesBounded) {
+  Rng rng(2);
+  CsrGraph g = grid2d(20, 30, 1.0, rng);
+  EXPECT_EQ(g.num_nodes(), 600u);
+  EXPECT_EQ(g.num_edges(), 19u * 30 + 20u * 29);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_LE(g.degree(v), 4u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(9);
+  CsrGraph g = random_tree(500, rng);
+  EXPECT_EQ(g.num_edges(), 499u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, SubdivideCreatesChainMass) {
+  Rng rng(4);
+  CsrGraph base = grid2d(10, 10, 1.0, rng);
+  CsrGraph g = subdivide_edges(base, 1.0, 2, 2, rng);
+  EXPECT_EQ(g.num_nodes(), base.num_nodes() + 2 * base.num_edges());
+  // Every subdivision node has degree exactly 2.
+  for (NodeId v = base.num_nodes(); v < g.num_nodes(); ++v)
+    EXPECT_EQ(g.degree(v), 2u);
+  // Distances scale by 3 (every edge became a 3-hop path).
+  EXPECT_EQ(sssp_distances(g, 0)[9], 27u);
+}
+
+TEST(Generators, PendantChainsAreChains) {
+  Rng rng(6);
+  CsrGraph base = erdos_renyi(50, 200, rng);
+  base = make_connected(base);
+  CsrGraph g = attach_pendant_chains(base, 10, 3, 3, rng);
+  EXPECT_EQ(g.num_nodes(), base.num_nodes() + 30);
+  ReduceOptions o;
+  o.identical = false;
+  o.redundant = false;
+  ReducedGraph rg = reduce(g, o);
+  EXPECT_GE(rg.stats.chains.removed, 30u);
+}
+
+TEST(Generators, PlantedTwinsAreDetected) {
+  Rng rng(8);
+  CsrGraph base = barabasi_albert(500, 3, rng);
+  CsrGraph g = plant_twins(base, 200, rng);
+  ReduceOptions o;
+  o.chains = false;
+  o.redundant = false;
+  ReducedGraph rg = reduce(g, o);
+  // Groups of 2-5 copies: at least half the planted mass must collapse.
+  EXPECT_GE(rg.stats.identical.removed, 100u);
+}
+
+TEST(Generators, PlantedRedundant3Detected) {
+  Rng rng(10);
+  CsrGraph base = barabasi_albert(400, 3, rng);
+  CsrGraph g = plant_redundant3(base, 50, rng);
+  ReduceOptions o;
+  o.identical = false;
+  o.chains = false;
+  ReducedGraph rg = reduce(g, o);
+  EXPECT_GE(rg.stats.redundant.removed, 40u);
+}
+
+TEST(Generators, PlantedRedundant4Detected) {
+  Rng rng(11);
+  CsrGraph base = barabasi_albert(400, 3, rng);
+  CsrGraph g = plant_redundant4(base, 40, rng);
+  ReduceOptions o;
+  o.identical = false;
+  o.chains = false;
+  ReducedGraph rg = reduce(g, o);
+  EXPECT_GE(rg.stats.redundant.removed, 20u);
+}
+
+TEST(Generators, ParallelChainsYieldIdenticalChainStat) {
+  Rng rng(12);
+  CsrGraph base = barabasi_albert(300, 3, rng);
+  CsrGraph g = add_parallel_chains(base, 40, 2, 4, rng);
+  ReduceOptions o;
+  o.identical = false;
+  o.redundant = false;
+  ReducedGraph rg = reduce(g, o);
+  EXPECT_GT(rg.stats.chains.identical_chain_nodes, 0u);
+  EXPECT_GE(rg.stats.chains.through_chains, 20u);
+}
+
+TEST(Generators, WebCopyingHasTwinMass) {
+  Rng rng(13);
+  CsrGraph g = web_copying(3000, 5, 0.5, 0.7, rng);
+  g = make_connected(g);
+  ReduceOptions o;
+  o.chains = false;
+  o.redundant = false;
+  ReducedGraph rg = reduce(g, o);
+  EXPECT_GT(rg.stats.identical.removed, g.num_nodes() / 20);
+}
+
+}  // namespace
+}  // namespace brics

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/csr_graph.hpp"
+#include "graph/graph_io.hpp"
+#include "tests/test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+TEST(GraphBuilder, BuildsSimpleGraph) {
+  CsrGraph g = test::make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  g.validate();
+}
+
+TEST(GraphBuilder, DropsSelfLoops) {
+  CsrGraph g = test::make_graph(3, {{0, 0}, {0, 1}, {1, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+  g.validate();
+}
+
+TEST(GraphBuilder, MergesParallelEdgesKeepingMinWeight) {
+  CsrGraph g =
+      test::make_graph(2, {{0, 1, 5}, {1, 0, 3}, {0, 1, 9}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge_weight(0, 1), 3u);
+  EXPECT_EQ(g.edge_weight(1, 0), 3u);
+  g.validate();
+}
+
+TEST(GraphBuilder, AdjacencySorted) {
+  CsrGraph g = test::make_graph(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  g.validate();
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeEdge) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), CheckFailure);
+  EXPECT_THROW(b.add_edge(7, 1), CheckFailure);
+}
+
+TEST(GraphBuilder, RejectsZeroWeight) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 1, 0), CheckFailure);
+}
+
+TEST(GraphBuilder, EmptyGraph) {
+  GraphBuilder b(3);
+  CsrGraph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(1), 0u);
+  g.validate();
+}
+
+TEST(CsrGraph, EdgeListRoundTrips) {
+  CsrGraph g = test::make_graph(
+      6, {{0, 1}, {1, 2, 4}, {2, 3}, {3, 4, 2}, {4, 5}, {5, 0}});
+  auto edges = g.edge_list();
+  GraphBuilder b(6);
+  b.add_edges(edges);
+  CsrGraph h = b.build();
+  EXPECT_EQ(h.edge_list(), edges);
+}
+
+TEST(CsrGraph, UnitWeightsFlag) {
+  EXPECT_TRUE(test::make_graph(3, {{0, 1}, {1, 2}}).unit_weights());
+  EXPECT_FALSE(test::make_graph(3, {{0, 1}, {1, 2, 7}}).unit_weights());
+  EXPECT_EQ(test::make_graph(3, {{0, 1}, {1, 2, 7}}).max_weight(), 7u);
+}
+
+TEST(CsrGraph, EdgeWeightOfMissingEdgeThrows) {
+  CsrGraph g = test::make_graph(3, {{0, 1}});
+  EXPECT_THROW(g.edge_weight(0, 2), CheckFailure);
+}
+
+TEST(GraphIo, ReadsEdgeListWithCommentsAndRemap) {
+  std::istringstream in(
+      "# a comment\n"
+      "% another\n"
+      "100 200\n"
+      "200 300\n"
+      "\n"
+      "300 100\n");
+  CsrGraph g = read_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphIo, ReadsOptionalWeights) {
+  std::istringstream in("0 1 4\n1 2\n");
+  CsrGraph g = read_edge_list(in);
+  EXPECT_EQ(g.edge_weight(0, 1), 4u);
+  EXPECT_EQ(g.edge_weight(1, 2), 1u);
+}
+
+TEST(GraphIo, RejectsMalformedLine) {
+  std::istringstream in("0 1\nbroken line\n");
+  EXPECT_THROW(read_edge_list(in), CheckFailure);
+}
+
+TEST(GraphIo, StitchPolicyConnectsComponents) {
+  std::istringstream in("0 1\n2 3\n4 5\n");
+  CsrGraph g = read_edge_list(in, ConnectPolicy::kStitchComponents);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.num_nodes(), 6u);
+}
+
+TEST(GraphIo, LargestComponentPolicy) {
+  std::istringstream in("0 1\n1 2\n2 0\n3 4\n");
+  CsrGraph g = read_edge_list(in, ConnectPolicy::kLargestComponent);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(GraphIo, WriteReadRoundTrip) {
+  CsrGraph g = test::make_graph(5, {{0, 1}, {1, 2, 3}, {2, 3}, {3, 4}});
+  std::ostringstream out;
+  write_edge_list(g, out);
+  std::istringstream in(out.str());
+  CsrGraph h = read_edge_list(in, ConnectPolicy::kKeepAsIs);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.edge_weight(1, 2), 3u);
+}
+
+}  // namespace
+}  // namespace brics

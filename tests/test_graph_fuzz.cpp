@@ -1,0 +1,86 @@
+// Differential mini-fuzz of the graph substrate: random edge soups
+// (duplicates, reversals, self loops, weight collisions) are fed to
+// GraphBuilder and compared, query by query, against a trivial reference
+// implementation built on std::map.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/csr_graph.hpp"
+#include "util/rng.hpp"
+
+namespace brics {
+namespace {
+
+struct ReferenceGraph {
+  NodeId n;
+  std::map<std::pair<NodeId, NodeId>, Weight> edges;
+
+  void add(NodeId u, NodeId v, Weight w) {
+    if (u == v) return;
+    if (u > v) std::swap(u, v);
+    auto [it, fresh] = edges.try_emplace({u, v}, w);
+    if (!fresh) it->second = std::min(it->second, w);
+  }
+
+  std::uint32_t degree(NodeId v) const {
+    std::uint32_t d = 0;
+    for (const auto& [e, w] : edges)
+      if (e.first == v || e.second == v) ++d;
+    return d;
+  }
+};
+
+class GraphFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphFuzz, BuilderMatchesReference) {
+  Rng rng(GetParam());
+  const NodeId n = static_cast<NodeId>(rng.range(2, 60));
+  const int ops = static_cast<int>(rng.range(1, 400));
+
+  GraphBuilder b(n);
+  ReferenceGraph ref{n, {}};
+  for (int i = 0; i < ops; ++i) {
+    NodeId u = static_cast<NodeId>(rng.below(n));
+    NodeId v = static_cast<NodeId>(rng.below(n));
+    Weight w = static_cast<Weight>(rng.range(1, 9));
+    // Random mix of duplicates and reversed duplicates.
+    b.add_edge(u, v, w);
+    ref.add(u, v, w);
+    if (rng.chance(0.3)) {
+      b.add_edge(v, u, w + 1);
+      ref.add(v, u, w + 1);
+    }
+  }
+  CsrGraph g = b.build();
+  g.validate();
+
+  ASSERT_EQ(g.num_edges(), ref.edges.size());
+  for (const auto& [e, w] : ref.edges) {
+    ASSERT_TRUE(g.has_edge(e.first, e.second));
+    ASSERT_TRUE(g.has_edge(e.second, e.first));
+    ASSERT_EQ(g.edge_weight(e.first, e.second), w);
+  }
+  for (NodeId v = 0; v < n; ++v) ASSERT_EQ(g.degree(v), ref.degree(v));
+
+  // Negative queries: a sample of absent pairs.
+  for (int i = 0; i < 30; ++i) {
+    NodeId u = static_cast<NodeId>(rng.below(n));
+    NodeId v = static_cast<NodeId>(rng.below(n));
+    NodeId a = std::min(u, v), c = std::max(u, v);
+    if (a == c || ref.edges.count({a, c})) continue;
+    ASSERT_FALSE(g.has_edge(u, v));
+  }
+
+  // Round trip through the edge list.
+  GraphBuilder b2(n);
+  b2.add_edges(g.edge_list());
+  ASSERT_EQ(b2.build().edge_list(), g.edge_list());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzz,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace brics

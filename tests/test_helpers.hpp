@@ -1,0 +1,91 @@
+// Shared helpers for the BRICS test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/csr_graph.hpp"
+#include "traverse/bfs.hpp"
+#include "util/rng.hpp"
+
+namespace brics::test {
+
+/// Build a graph from an initializer-list of edges on n nodes.
+inline CsrGraph make_graph(NodeId n, const std::vector<Edge>& edges) {
+  GraphBuilder b(n);
+  b.add_edges(edges);
+  return b.build();
+}
+
+/// A named random-graph recipe for parameterized property suites; every
+/// recipe yields a *connected* graph.
+struct RandomGraphCase {
+  std::string name;
+  NodeId approx_n;
+  std::uint64_t seed;
+
+  CsrGraph build() const {
+    Rng rng(seed);
+    CsrGraph g;
+    if (name == "erdos_renyi") {
+      g = erdos_renyi(approx_n, approx_n * 3, rng);
+    } else if (name == "sparse_erdos_renyi") {
+      g = erdos_renyi(approx_n, approx_n + approx_n / 4, rng);
+    } else if (name == "barabasi_albert") {
+      g = barabasi_albert(approx_n, 2, rng);
+    } else if (name == "tree") {
+      g = random_tree(approx_n, rng);
+    } else if (name == "grid_subdivided") {
+      NodeId side = 2;
+      while (side * side < approx_n / 4) ++side;
+      g = grid2d(side, side, 0.9, rng);
+      g = subdivide_edges(g, 0.6, 1, 4, rng);
+    } else if (name == "twins_and_chains") {
+      g = barabasi_albert(std::max<NodeId>(8, approx_n / 2), 2, rng);
+      g = plant_twins(g, approx_n / 4, rng);
+      g = attach_pendant_chains(g, approx_n / 8, 1, 5, rng);
+    } else if (name == "triangle_rich") {
+      g = barabasi_albert(std::max<NodeId>(8, approx_n / 2), 3, rng);
+      g = plant_redundant3(g, approx_n / 4, rng);
+      g = plant_redundant4(g, approx_n / 8, rng);
+    } else if (name == "web_copy") {
+      g = web_copying(approx_n, 4, 0.4, 0.7, rng);
+    } else {
+      g = erdos_renyi(approx_n, approx_n * 2, rng);
+    }
+    return make_connected(g);
+  }
+};
+
+inline std::string case_name(
+    const testing::TestParamInfo<RandomGraphCase>& info) {
+  return info.param.name + "_n" + std::to_string(info.param.approx_n) +
+         "_s" + std::to_string(info.param.seed);
+}
+
+/// The standard sweep used by the property suites.
+inline std::vector<RandomGraphCase> standard_cases() {
+  std::vector<RandomGraphCase> cases;
+  const std::vector<std::string> kinds = {
+      "erdos_renyi",    "sparse_erdos_renyi", "barabasi_albert",
+      "tree",           "grid_subdivided",    "twins_and_chains",
+      "triangle_rich",  "web_copy"};
+  for (const auto& kind : kinds)
+    for (std::uint64_t seed : {7ULL, 19ULL})
+      for (NodeId n : {NodeId{60}, NodeId{220}})
+        cases.push_back({kind, n, seed});
+  return cases;
+}
+
+/// Reference all-pairs distances by per-source BFS/Dial on g.
+inline std::vector<std::vector<Dist>> all_pairs(const CsrGraph& g) {
+  std::vector<std::vector<Dist>> d(g.num_nodes());
+  for (NodeId s = 0; s < g.num_nodes(); ++s) d[s] = sssp_distances(g, s);
+  return d;
+}
+
+}  // namespace brics::test

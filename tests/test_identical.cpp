@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "reduce/identical.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+struct Pass {
+  std::vector<std::uint8_t> present;
+  ReductionLedger ledger;
+  IdenticalPassStats stats;
+
+  explicit Pass(const CsrGraph& g)
+      : present(g.num_nodes(), 1), ledger(g.num_nodes()) {
+    stats = remove_identical_nodes(g, present, ledger);
+  }
+};
+
+TEST(IdenticalNodes, DetectsOpenTwins) {
+  // 3 and 4 both have neighbours {0, 1} and are not adjacent; 2 breaks the
+  // 0/1 symmetry so no other twin group exists.
+  CsrGraph g = test::make_graph(
+      5, {{0, 1}, {0, 2}, {3, 0}, {3, 1}, {4, 0}, {4, 1}});
+  Pass p(g);
+  EXPECT_EQ(p.stats.groups, 1u);
+  EXPECT_EQ(p.stats.removed, 1u);
+  EXPECT_EQ(p.stats.open_removed, 1u);
+  // Exactly one of {3, 4} removed.
+  EXPECT_EQ(int(p.present[3]) + int(p.present[4]), 1);
+  const auto& rec = p.ledger.identical()[0];
+  EXPECT_EQ(rec.self_dist, 2u);  // via a shared neighbour
+}
+
+TEST(IdenticalNodes, OpenAndClosedTwinsInOneGraph) {
+  // {3, 4} open twins over {0, 1}; {0, 1} closed twins (adjacent, same
+  // closed neighbourhood {0, 1, 3, 4}).
+  CsrGraph g = test::make_graph(5, {{0, 1}, {3, 0}, {3, 1}, {4, 0}, {4, 1}});
+  Pass p(g);
+  EXPECT_EQ(p.stats.groups, 2u);
+  EXPECT_EQ(p.stats.open_removed, 1u);
+  EXPECT_EQ(p.stats.closed_removed, 1u);
+}
+
+TEST(IdenticalNodes, DetectsClosedTwins) {
+  // 0 and 1 adjacent, both adjacent to 2 and 3: N[0] == N[1].
+  CsrGraph g = test::make_graph(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  Pass p(g);
+  // All four nodes are pairwise closed twins (K4): one survives per... in
+  // K4 every node has N[v] = V, so all are mutually closed twins.
+  EXPECT_GE(p.stats.closed_removed, 1u);
+  for (const auto& rec : p.ledger.identical())
+    EXPECT_EQ(rec.self_dist, 1u);  // adjacent twins sit at distance 1
+}
+
+TEST(IdenticalNodes, GroupOfThreeKeepsOneRepresentative) {
+  CsrGraph g = test::make_graph(6, {{0, 1},
+                                    {2, 0},
+                                    {2, 1},
+                                    {3, 0},
+                                    {3, 1},
+                                    {4, 0},
+                                    {4, 1},
+                                    {5, 0}});
+  Pass p(g);
+  // {2, 3, 4} share neighbours {0, 1}; 5 has only {0}.
+  EXPECT_EQ(p.stats.removed, 2u);
+  EXPECT_EQ(int(p.present[2]) + int(p.present[3]) + int(p.present[4]), 1);
+  EXPECT_TRUE(p.present[5]);
+}
+
+TEST(IdenticalNodes, NoTwinsNoRemovals) {
+  CsrGraph g = test::make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  Pass p(g);
+  EXPECT_EQ(p.stats.removed, 0u);
+}
+
+TEST(IdenticalNodes, DifferentWeightsAreNotTwins) {
+  // 2 and 3 share the neighbour set {0, 1} but with different weights, so
+  // they are not twins. (0 and 1 *are* twins — {2, 3} with equal weights.)
+  CsrGraph g =
+      test::make_graph(4, {{2, 0, 1}, {2, 1, 1}, {3, 0, 2}, {3, 1, 2}});
+  Pass p(g);
+  EXPECT_TRUE(p.present[2]);
+  EXPECT_TRUE(p.present[3]);
+  for (const auto& rec : p.ledger.identical()) {
+    EXPECT_NE(rec.node, 2u);
+    EXPECT_NE(rec.node, 3u);
+  }
+}
+
+TEST(IdenticalNodes, EqualWeightedTwinsDetectedWithSelfDist) {
+  CsrGraph g =
+      test::make_graph(4, {{2, 0, 3}, {2, 1, 5}, {3, 0, 3}, {3, 1, 5}});
+  Pass p(g);
+  ASSERT_EQ(p.stats.open_removed, 1u);
+  // d(2,3) = 2 * min incident weight = 6.
+  EXPECT_EQ(p.ledger.identical()[0].self_dist, 6u);
+}
+
+TEST(IdenticalNodes, PinnedMemberBecomesRepresentative) {
+  CsrGraph g = test::make_graph(5, {{0, 1}, {3, 0}, {3, 1}, {4, 0}, {4, 1}});
+  std::vector<std::uint8_t> present(5, 1);
+  ReductionLedger ledger(5);
+  // Pin node 4 by making it the anchor of an unrelated record: it must
+  // survive the identical pass as the group representative.
+  ledger.record_redundant(2, std::vector<NodeId>{4},
+                          std::vector<Weight>{1});
+  present[2] = 0;
+  remove_identical_nodes(g, present, ledger);
+  EXPECT_TRUE(present[4]);
+  EXPECT_FALSE(present[3]);
+}
+
+TEST(IdenticalNodes, StarLeavesCollapse) {
+  // Star: leaves 1..5 all share neighbour set {0}.
+  CsrGraph g =
+      test::make_graph(6, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}});
+  Pass p(g);
+  EXPECT_EQ(p.stats.groups, 1u);
+  EXPECT_EQ(p.stats.removed, 4u);
+}
+
+}  // namespace
+}  // namespace brics

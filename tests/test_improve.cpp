@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/farness.hpp"
+#include "extensions/improve.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+TEST(ImproveCloseness, PathEndpointJumpsToCentre) {
+  // Path 0-1-2-3-4-5-6: the best single edge for node 0 links far down the
+  // path; farness must drop strictly.
+  CsrGraph g = test::make_graph(
+      7, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}});
+  ImproveOptions o;
+  o.budget = 1;
+  ImproveResult r = improve_closeness(g, 0, o);
+  ASSERT_EQ(r.added.size(), 1u);
+  EXPECT_LT(r.farness.back(), r.initial_farness);
+  // The optimal target on a path from an endpoint is around 2/3 down.
+  EXPECT_GE(r.added[0], 3u);
+}
+
+TEST(ImproveCloseness, MonotoneDecrease) {
+  CsrGraph g = test::RandomGraphCase{"grid_subdivided", 120, 3}.build();
+  ImproveOptions o;
+  o.budget = 4;
+  ImproveResult r = improve_closeness(g, 0, o);
+  FarnessSum prev = r.initial_farness;
+  for (FarnessSum f : r.farness) {
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(ImproveCloseness, ReportedFarnessMatchesGraph) {
+  CsrGraph g = test::RandomGraphCase{"barabasi_albert", 90, 7}.build();
+  ImproveOptions o;
+  o.budget = 2;
+  ImproveResult r = improve_closeness(g, 5, o);
+  if (!r.farness.empty()) {
+    EXPECT_EQ(r.farness.back(), exact_farness_of(r.graph, 5));
+  }
+  EXPECT_EQ(r.graph.num_edges(), g.num_edges() + r.added.size());
+}
+
+TEST(ImproveCloseness, GreedyFirstPickIsOptimal) {
+  // Exhaustively verify the first greedy pick on a small graph.
+  CsrGraph g = test::RandomGraphCase{"sparse_erdos_renyi", 40, 11}.build();
+  const NodeId v = 0;
+  ImproveOptions o;
+  o.budget = 1;
+  ImproveResult r = improve_closeness(g, v, o);
+  if (r.added.empty()) GTEST_SKIP() << "no improving edge";
+  FarnessSum best = ~FarnessSum{0};
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u == v || g.has_edge(u, v)) continue;
+    GraphBuilder b(g.num_nodes());
+    b.add_edges(g.edge_list());
+    b.add_edge(u, v);
+    best = std::min(best, exact_farness_of(b.build(), v));
+  }
+  EXPECT_EQ(r.farness.back(), best);
+}
+
+TEST(ImproveCloseness, CandidatePoolLimitsWork) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 200, 5}.build();
+  ImproveOptions o;
+  o.budget = 1;
+  o.candidate_pool = 10;
+  ImproveResult r = improve_closeness(g, 3, o);
+  // Improvement not guaranteed from 10 random candidates, but if an edge
+  // was added it must help.
+  if (!r.added.empty()) {
+    EXPECT_LT(r.farness.back(), r.initial_farness);
+  }
+}
+
+TEST(ImproveCloseness, StopsWhenNoGain) {
+  // Star centre: already adjacent to everyone; no edge can help.
+  CsrGraph g = test::make_graph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  ImproveOptions o;
+  o.budget = 3;
+  ImproveResult r = improve_closeness(g, 0, o);
+  EXPECT_TRUE(r.added.empty());
+}
+
+}  // namespace
+}  // namespace brics

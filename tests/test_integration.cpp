@@ -1,0 +1,101 @@
+// End-to-end integration: the full public API path a user of the library
+// takes — build/load a graph, reduce, decompose, estimate, rank — on the
+// dataset registry at test scale, plus cross-estimator consistency checks.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "brics/brics.hpp"
+#include "extensions/topk.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+class DatasetEndToEnd : public ::testing::TestWithParam<DatasetInfo> {};
+
+TEST_P(DatasetEndToEnd, EstimateAllConfigsAndCompareQuality) {
+  CsrGraph g = build_dataset(GetParam().name, 0.04);
+  auto actual = exact_farness(g);
+
+  EstimateOptions rnd;
+  rnd.sample_rate = 0.4;
+  rnd.seed = 3;
+  auto e_rnd = estimate_random_sampling(g, rnd);
+
+  EstimateOptions icr = rnd;
+  icr.use_bcc = false;
+  auto e_icr = estimate_reduced_sampling(g, icr);
+
+  EstimateOptions cum = rnd;
+  cum.use_bcc = true;
+  auto e_cum = estimate_brics(g, cum);
+
+  for (const auto* e : {&e_rnd, &e_icr, &e_cum}) {
+    QualityReport q = quality(e->farness, actual);
+    EXPECT_GT(q.quality, 0.7) << GetParam().name;
+    EXPECT_LT(q.quality, 1.3) << GetParam().name;
+  }
+  // Reductions must shrink the traversal workload on every class.
+  EXPECT_LT(e_cum.reduce_stats.reduced_nodes, g.num_nodes());
+  EXPECT_GT(e_cum.num_blocks, 0u);
+}
+
+TEST_P(DatasetEndToEnd, RoundTripThroughEdgeListIO) {
+  CsrGraph g = build_dataset(GetParam().name, 0.04);
+  std::stringstream buf;
+  write_edge_list(g, buf);
+  CsrGraph h = read_edge_list(buf, ConnectPolicy::kKeepAsIs);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  // Same reduction outcome either way.
+  ReducedGraph ra = reduce(g, ReduceOptions{});
+  ReducedGraph rb = reduce(h, ReduceOptions{});
+  EXPECT_EQ(ra.ledger.num_removed(), rb.ledger.num_removed());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, DatasetEndToEnd, ::testing::ValuesIn(dataset_registry()),
+    [](const testing::TestParamInfo<DatasetInfo>& info) {
+      std::string s = info.param.name;
+      for (char& c : s)
+        if (c == '-') c = '_';
+      return s;
+    });
+
+TEST(Integration, TopKAgreesWithEstimatorOrdering) {
+  CsrGraph g = build_dataset("com-part-a", 0.04);
+  TopKResult top = top_k_closeness(g, 5);
+  auto actual = exact_farness(g);
+  // The returned farness values are exactly the 5 smallest.
+  std::vector<FarnessSum> sorted(actual.begin(), actual.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(top.farness[i], sorted[i]);
+}
+
+TEST(Integration, ExactMaskNeverLies) {
+  CsrGraph g = build_dataset("web-copy-a", 0.04);
+  auto actual = exact_farness(g);
+  EstimateOptions o;
+  o.sample_rate = 0.25;
+  o.seed = 7;
+  auto est = estimate_brics(g, o);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (est.exact[v]) {
+      ASSERT_NEAR(est.farness[v], double(actual[v]), 1e-6) << v;
+    }
+  }
+}
+
+TEST(Integration, PhaseTimesAreRecorded) {
+  CsrGraph g = build_dataset("road-rural", 0.04);
+  EstimateOptions o;
+  o.sample_rate = 0.3;
+  auto est = estimate_brics(g, o);
+  EXPECT_GT(est.times.total_s, 0.0);
+  EXPECT_GE(est.times.total_s,
+            est.times.traverse_s);  // total covers the traversal phase
+}
+
+}  // namespace
+}  // namespace brics

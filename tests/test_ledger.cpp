@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "reduce/ledger.hpp"
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+TEST(Ledger, IdenticalResolution) {
+  ReductionLedger l(4);
+  l.record_identical(/*node=*/2, /*rep=*/1, /*self_dist=*/2);
+  std::vector<Dist> dist{5, 3, kInfDist, 7};
+  l.resolve(dist);
+  EXPECT_EQ(dist[2], 3u);  // copies the representative
+}
+
+TEST(Ledger, IdenticalSelfDistWhenSourceIsRep) {
+  ReductionLedger l(3);
+  l.record_identical(2, 1, 2);
+  std::vector<Dist> dist{4, 0, kInfDist};  // source is node 1 (the rep)
+  l.resolve(dist);
+  EXPECT_EQ(dist[2], 2u);
+}
+
+TEST(Ledger, PendantChainResolution) {
+  ReductionLedger l(5);
+  ChainRecord r;
+  r.u = 0;
+  r.v = kInvalidNode;
+  r.members = {2, 3, 4};
+  r.offsets = {1, 2, 3};
+  l.record_chain(std::move(r));
+  std::vector<Dist> dist{6, 9, kInfDist, kInfDist, kInfDist};
+  l.resolve(dist);
+  EXPECT_EQ(dist[2], 7u);
+  EXPECT_EQ(dist[3], 8u);
+  EXPECT_EQ(dist[4], 9u);
+}
+
+TEST(Ledger, ThroughChainResolutionTakesMin) {
+  ReductionLedger l(5);
+  ChainRecord r;
+  r.u = 0;
+  r.v = 1;
+  r.total = 4;
+  r.members = {2, 3, 4};
+  r.offsets = {1, 2, 3};
+  l.record_chain(std::move(r));
+  // d(u)=10, d(v)=0: member i sits at min(10+i, 0+4-i).
+  std::vector<Dist> dist{10, 0, kInfDist, kInfDist, kInfDist};
+  l.resolve(dist);
+  EXPECT_EQ(dist[2], 3u);
+  EXPECT_EQ(dist[3], 2u);
+  EXPECT_EQ(dist[4], 1u);
+}
+
+TEST(Ledger, CycleChainResolution) {
+  ReductionLedger l(4);
+  ChainRecord r;
+  r.u = 0;
+  r.v = 0;
+  r.total = 4;
+  r.members = {1, 2, 3};
+  r.offsets = {1, 2, 3};
+  l.record_chain(std::move(r));
+  std::vector<Dist> dist{5, kInfDist, kInfDist, kInfDist};
+  l.resolve(dist);
+  EXPECT_EQ(dist[1], 6u);  // 5 + min(1, 3)
+  EXPECT_EQ(dist[2], 7u);  // 5 + min(2, 2)
+  EXPECT_EQ(dist[3], 6u);  // 5 + min(3, 1)
+}
+
+TEST(Ledger, RedundantResolution) {
+  ReductionLedger l(5);
+  l.record_redundant(4, std::vector<NodeId>{0, 1, 2},
+                     std::vector<Weight>{1, 1, 1});
+  std::vector<Dist> dist{7, 3, 9, 1, kInfDist};
+  l.resolve(dist);
+  EXPECT_EQ(dist[4], 4u);  // min(7,3,9) + 1
+}
+
+TEST(Ledger, WeightedRedundantResolution) {
+  ReductionLedger l(4);
+  l.record_redundant(3, std::vector<NodeId>{0, 1},
+                     std::vector<Weight>{5, 2});
+  std::vector<Dist> dist{1, 6, 0, kInfDist};
+  l.resolve(dist);
+  EXPECT_EQ(dist[3], 6u);  // min(1+5, 6+2)
+}
+
+TEST(Ledger, CascadedResolutionReverseOrder) {
+  // Chain anchored at 1; later 1 is removed as a twin of 0. Resolution must
+  // fill 1 first (last record), then the chain members from it.
+  ReductionLedger l(4);
+  ChainRecord r;
+  r.u = 1;
+  r.v = kInvalidNode;
+  r.members = {2, 3};
+  r.offsets = {1, 2};
+  l.record_chain(std::move(r));
+  EXPECT_THROW(l.record_identical(1, 0, 2), CheckFailure);  // 1 is pinned
+}
+
+TEST(Ledger, UnreachableAnchorStaysUnreachable) {
+  ReductionLedger l(3);
+  ChainRecord r;
+  r.u = 0;
+  r.v = kInvalidNode;
+  r.members = {1, 2};
+  r.offsets = {1, 2};
+  l.record_chain(std::move(r));
+  std::vector<Dist> dist{kInfDist, kInfDist, kInfDist};
+  l.resolve(dist);
+  EXPECT_EQ(dist[1], kInfDist);
+  EXPECT_EQ(dist[2], kInfDist);
+}
+
+TEST(Ledger, ResolveSubsetAppliesOnlySelectedRecords) {
+  ReductionLedger l(5);
+  l.record_identical(1, 0, 2);
+  l.record_identical(3, 2, 2);
+  std::vector<Dist> dist{4, kInfDist, 6, kInfDist, 0};
+  std::vector<std::uint32_t> only_second{1};
+  l.resolve_subset(dist, only_second);
+  EXPECT_EQ(dist[3], 6u);
+  EXPECT_EQ(dist[1], kInfDist);  // first record untouched
+}
+
+TEST(Ledger, RejectsDoubleRemoval) {
+  ReductionLedger l(3);
+  l.record_identical(1, 0, 2);
+  EXPECT_THROW(l.record_identical(1, 2, 2), CheckFailure);
+}
+
+TEST(Ledger, RejectsRemovedRep) {
+  ReductionLedger l(3);
+  l.record_identical(1, 0, 2);
+  EXPECT_THROW(l.record_identical(2, 1, 2), CheckFailure);
+}
+
+TEST(Ledger, RejectsRemovingPinnedAnchor) {
+  ReductionLedger l(3);
+  l.record_identical(1, 0, 2);  // pins 0
+  EXPECT_THROW(l.record_identical(0, 2, 2), CheckFailure);
+  EXPECT_TRUE(l.pinned(0));
+  EXPECT_FALSE(l.pinned(2));
+}
+
+TEST(Ledger, CountsRemoved) {
+  ReductionLedger l(6);
+  EXPECT_EQ(l.num_removed(), 0u);
+  l.record_identical(1, 0, 2);
+  ChainRecord r;
+  r.u = 0;
+  r.v = kInvalidNode;
+  r.members = {2, 3};
+  r.offsets = {1, 2};
+  l.record_chain(std::move(r));
+  l.record_redundant(4, std::vector<NodeId>{0}, std::vector<Weight>{1});
+  EXPECT_EQ(l.num_removed(), 4u);
+  EXPECT_TRUE(l.removed(1));
+  EXPECT_TRUE(l.removed(2));
+  EXPECT_TRUE(l.removed(4));
+  EXPECT_FALSE(l.removed(0));
+  EXPECT_EQ(l.order().size(), 3u);
+}
+
+}  // namespace
+}  // namespace brics

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/metis_io.hpp"
+#include "graph/reorder.hpp"
+#include "tests/test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+TEST(MetisIo, ReadsUnweighted) {
+  // Triangle 1-2-3 in METIS 1-indexed format.
+  std::istringstream in(
+      "% a comment\n"
+      "3 3\n"
+      "2 3\n"
+      "1 3\n"
+      "1 2\n");
+  CsrGraph g = read_metis(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(MetisIo, ReadsWeighted) {
+  std::istringstream in(
+      "2 1 1\n"
+      "2 7\n"
+      "1 7\n");
+  CsrGraph g = read_metis(in);
+  EXPECT_EQ(g.edge_weight(0, 1), 7u);
+}
+
+TEST(MetisIo, RejectsEdgeCountMismatch) {
+  std::istringstream in(
+      "3 5\n"
+      "2 3\n"
+      "1 3\n"
+      "1 2\n");
+  EXPECT_THROW(read_metis(in), CheckFailure);
+}
+
+TEST(MetisIo, RejectsOutOfRangeNeighbour) {
+  std::istringstream in(
+      "2 1\n"
+      "3\n"
+      "1\n");
+  EXPECT_THROW(read_metis(in), CheckFailure);
+}
+
+TEST(MetisIo, RejectsMissingLines) {
+  std::istringstream in("3 3\n2 3\n");
+  EXPECT_THROW(read_metis(in), CheckFailure);
+}
+
+TEST(MetisIo, RoundTrip) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 80, 3}.build();
+  std::stringstream buf;
+  write_metis(g, buf);
+  CsrGraph h = read_metis(buf);
+  EXPECT_EQ(h.edge_list(), g.edge_list());
+}
+
+TEST(MetisIo, RoundTripWeighted) {
+  CsrGraph g = test::make_graph(4, {{0, 1, 3}, {1, 2, 5}, {2, 3}, {3, 0}});
+  std::stringstream buf;
+  write_metis(g, buf);
+  CsrGraph h = read_metis(buf);
+  EXPECT_EQ(h.edge_list(), g.edge_list());
+}
+
+TEST(Reorder, DegreeOrderPutsHubsFirst) {
+  CsrGraph g = test::make_graph(
+      5, {{0, 1}, {2, 0}, {2, 1}, {2, 3}, {2, 4}});
+  Permutation p = degree_order(g);
+  EXPECT_EQ(p.old_of[0], 2u);  // degree-4 hub gets id 0
+  p.validate();
+}
+
+TEST(Reorder, BfsOrderIsPermutation) {
+  CsrGraph g = test::RandomGraphCase{"barabasi_albert", 150, 7}.build();
+  Permutation p = bfs_order(g);
+  p.validate();
+}
+
+TEST(Reorder, ToOriginalRoundTrips) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 60, 5}.build();
+  Permutation p = degree_order(g);
+  std::vector<int> by_new(g.num_nodes());
+  for (NodeId nw = 0; nw < g.num_nodes(); ++nw)
+    by_new[nw] = static_cast<int>(p.old_of[nw]) * 10;
+  auto by_old = p.to_original(by_new);
+  for (NodeId old = 0; old < g.num_nodes(); ++old)
+    EXPECT_EQ(by_old[old], static_cast<int>(old) * 10);
+}
+
+class ReorderProperty : public ::testing::TestWithParam<test::RandomGraphCase> {
+};
+
+TEST_P(ReorderProperty, PermutationPreservesDistances) {
+  CsrGraph g = GetParam().build();
+  for (auto make : {bfs_order, degree_order}) {
+    Permutation p = make(g);
+    CsrGraph h = apply_permutation(g, p);
+    EXPECT_EQ(h.num_edges(), g.num_edges());
+    Rng rng(GetParam().seed + 1);
+    for (int i = 0; i < 5; ++i) {
+      NodeId s = NodeId(rng.below(g.num_nodes()));
+      auto dg = sssp_distances(g, s);
+      auto dh = sssp_distances(h, p.new_of[s]);
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        ASSERT_EQ(dg[v], dh[p.new_of[v]]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReorderProperty,
+                         ::testing::ValuesIn(test::standard_cases()),
+                         test::case_name);
+
+}  // namespace
+}  // namespace brics

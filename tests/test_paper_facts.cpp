@@ -1,0 +1,153 @@
+// Numerical verification of the paper's stated Facts (III.1–III.7) on
+// concrete graphs, as executable documentation that the implementation
+// realises the claims the algorithm's correctness rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bcc/bcc.hpp"
+#include "core/brics.hpp"
+#include "core/farness.hpp"
+#include "core/sampling.hpp"
+#include "graph/connectivity.hpp"
+#include "reduce/reducer.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+// Fact III.1 / III.2 (first half): identical nodes have the same farness
+// (and hence closeness) value.
+TEST(PaperFacts, IdenticalNodesShareFarness) {
+  for (std::uint64_t seed : {3ULL, 11ULL, 27ULL}) {
+    CsrGraph g = test::RandomGraphCase{"twins_and_chains", 150, seed}.build();
+    auto f = exact_farness(g);
+    ReduceOptions o;
+    o.chains = o.redundant = false;
+    ReducedGraph rg = reduce(g, o);
+    for (const IdenticalRecord& r : rg.ledger.identical())
+      EXPECT_EQ(f[r.node], f[r.rep]) << "twin " << r.node;
+  }
+}
+
+// Fact III.2 (second half): members of an identical group lie in the same
+// biconnected component.
+TEST(PaperFacts, IdenticalNodesShareBlock) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 200, 5}.build();
+  ReduceOptions o;
+  o.chains = o.redundant = false;
+  ReducedGraph rg = reduce(g, o);
+  BccResult bcc = biconnected_components(g);  // on the ORIGINAL graph
+  for (const IdenticalRecord& r : rg.ledger.identical()) {
+    auto bn = bcc.blocks_of(r.node);
+    auto br = bcc.blocks_of(r.rep);
+    std::vector<BlockId> common;
+    std::set_intersection(bn.begin(), bn.end(), br.begin(), br.end(),
+                          std::back_inserter(common));
+    EXPECT_FALSE(common.empty()) << "twin pair (" << r.node << ", " << r.rep
+                                 << ") split across blocks";
+  }
+}
+
+// Fact III.3/III.4 specialisation: a degree-1 node's farness equals its
+// neighbour's plus (n - 2): d(v, x) = 1 + d(u, x) for all x except u and v.
+TEST(PaperFacts, LeafFarnessOffset) {
+  CsrGraph g = test::make_graph(
+      6, {{0, 1}, {1, 2}, {2, 0}, {0, 3}, {1, 4}, {0, 5}});
+  auto f = exact_farness(g);
+  // Node 3 is a leaf on 0: farness(3) = farness(0) + (n-1) - 2.
+  EXPECT_EQ(f[3], f[0] + 6 - 2);
+  EXPECT_EQ(f[4], f[1] + 6 - 2);
+}
+
+// Fact III.5: a chain's endpoints need not share a biconnected component.
+TEST(PaperFacts, ChainEndpointsMaySpanBlocks) {
+  // Two triangles joined by a path: the path's endpoints (2 and 3) are in
+  // different blocks of the input graph.
+  CsrGraph g = test::make_graph(8, {{0, 1}, {1, 2}, {2, 0},
+                                    {2, 6}, {6, 7}, {7, 3},
+                                    {3, 4}, {4, 5}, {5, 3}});
+  BccResult bcc = biconnected_components(g);
+  auto b2 = bcc.blocks_of(2);
+  auto b3 = bcc.blocks_of(3);
+  std::vector<BlockId> common;
+  std::set_intersection(b2.begin(), b2.end(), b3.begin(), b3.end(),
+                        std::back_inserter(common));
+  EXPECT_TRUE(common.empty());
+}
+
+// Fact III.6: a redundant node's neighbours all lie in one block.
+TEST(PaperFacts, RedundantNeighboursShareBlock) {
+  for (std::uint64_t seed : {2ULL, 13ULL}) {
+    CsrGraph g = test::RandomGraphCase{"triangle_rich", 200, seed}.build();
+    ReduceOptions o;
+    o.identical = o.chains = false;
+    ReducedGraph rg = reduce(g, o);
+    BccResult bcc = biconnected_components(rg.graph, rg.present);
+    for (const RedundantRecord& r : rg.ledger.redundant()) {
+      std::vector<BlockId> common(bcc.blocks_of(r.nbrs[0]).begin(),
+                                  bcc.blocks_of(r.nbrs[0]).end());
+      for (std::size_t i = 1; i < r.degree; ++i) {
+        auto bi = bcc.blocks_of(r.nbrs[i]);
+        std::vector<BlockId> next;
+        std::set_intersection(common.begin(), common.end(), bi.begin(),
+                              bi.end(), std::back_inserter(next));
+        common = std::move(next);
+      }
+      EXPECT_FALSE(common.empty()) << "redundant node " << r.node;
+    }
+  }
+}
+
+// Fact III.7: no shortest path passes through a redundant node — removing
+// it leaves all other pairwise distances unchanged.
+TEST(PaperFacts, NoShortestPathThroughRedundantNode) {
+  CsrGraph g = test::RandomGraphCase{"triangle_rich", 120, 7}.build();
+  ReduceOptions o;
+  o.identical = o.chains = false;
+  ReducedGraph rg = reduce(g, o);
+  if (rg.ledger.redundant().empty()) GTEST_SKIP() << "no redundant nodes";
+  auto before = test::all_pairs(g);
+  std::vector<NodeId> keep;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (rg.present[v]) keep.push_back(v);
+  SubgraphMap sub = induced_subgraph(g, keep);
+  for (NodeId i = 0; i < sub.graph.num_nodes(); ++i) {
+    auto d = sssp_distances(sub.graph, i);
+    for (NodeId j = 0; j < sub.graph.num_nodes(); ++j)
+      ASSERT_EQ(d[j], before[sub.to_old[i]][sub.to_old[j]])
+          << sub.to_old[i] << " -> " << sub.to_old[j];
+  }
+}
+
+// §III-A: the BFS trees from two identical nodes are identical — verified
+// as equality of full distance vectors.
+TEST(PaperFacts, TwinDistanceVectorsEqual) {
+  CsrGraph g = test::RandomGraphCase{"web_copy", 150, 9}.build();
+  ReduceOptions o;
+  o.chains = o.redundant = false;
+  ReducedGraph rg = reduce(g, o);
+  int checked = 0;
+  for (const IdenticalRecord& r : rg.ledger.identical()) {
+    if (++checked > 10) break;
+    auto dn = sssp_distances(g, r.node);
+    auto dr = sssp_distances(g, r.rep);
+    for (NodeId x = 0; x < g.num_nodes(); ++x) {
+      if (x == r.node || x == r.rep) continue;
+      ASSERT_EQ(dn[x], dr[x]);
+    }
+    EXPECT_EQ(dn[r.rep], r.self_dist);
+  }
+}
+
+TEST(PaperFacts, EstimatorsRejectDisconnectedInput) {
+  CsrGraph g = test::make_graph(4, {{0, 1}, {2, 3}});
+  EstimateOptions o;
+  o.sample_rate = 0.5;
+  EXPECT_THROW(estimate_random_sampling(g, o), CheckFailure);
+  EXPECT_THROW(estimate_reduced_sampling(g, o), CheckFailure);
+  EXPECT_THROW(estimate_brics(g, o), CheckFailure);
+}
+
+}  // namespace
+}  // namespace brics

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/farness.hpp"
+#include "core/pivoting.hpp"
+#include "core/quality.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+TEST(Pivoting, FullRateIsExact) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 100, 3}.build();
+  auto actual = exact_farness(g);
+  PivotOptions o;
+  o.sample_rate = 1.0;
+  for (PivotCombine c : {PivotCombine::kPivotOnly, PivotCombine::kHybrid}) {
+    o.combine = c;
+    auto est = estimate_pivoting(g, o);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_TRUE(est.exact[v]);
+      EXPECT_DOUBLE_EQ(est.farness[v], double(actual[v]));
+    }
+  }
+}
+
+TEST(Pivoting, SampledNodesAlwaysExact) {
+  CsrGraph g = test::RandomGraphCase{"barabasi_albert", 200, 7}.build();
+  auto actual = exact_farness(g);
+  PivotOptions o;
+  o.sample_rate = 0.3;
+  auto est = estimate_pivoting(g, o);
+  NodeId exact_count = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!est.exact[v]) continue;
+    ++exact_count;
+    EXPECT_DOUBLE_EQ(est.farness[v], double(actual[v]));
+  }
+  EXPECT_EQ(exact_count, est.samples);
+}
+
+TEST(Pivoting, RejectsBadOptions) {
+  CsrGraph g = test::make_graph(3, {{0, 1}, {1, 2}});
+  PivotOptions o;
+  o.sample_rate = 0.0;
+  EXPECT_THROW(estimate_pivoting(g, o), CheckFailure);
+  o.sample_rate = 0.5;
+  o.bias = 2.0;
+  EXPECT_THROW(estimate_pivoting(g, o), CheckFailure);
+}
+
+class PivotingProperty
+    : public ::testing::TestWithParam<test::RandomGraphCase> {};
+
+TEST_P(PivotingProperty, AllVariantsTrackExact) {
+  CsrGraph g = GetParam().build();
+  if (g.num_nodes() < 30) return;
+  auto actual = exact_farness(g);
+  for (PivotCombine c : {PivotCombine::kPivotOnly, PivotCombine::kHybrid}) {
+    PivotOptions o;
+    o.sample_rate = 0.4;
+    o.seed = 13;
+    o.combine = c;
+    auto est = estimate_pivoting(g, o);
+    QualityReport q = quality(est.farness, actual);
+    EXPECT_GT(q.quality, 0.6) << "combine=" << int(c);
+    EXPECT_LT(q.quality, 1.6) << "combine=" << int(c);
+  }
+}
+
+TEST_P(PivotingProperty, HybridNoWorseThanPivotOnAverage) {
+  CsrGraph g = GetParam().build();
+  if (g.num_nodes() < 60) return;
+  auto actual = exact_farness(g);
+  double err_pivot = 0.0, err_hybrid = 0.0;
+  for (std::uint64_t seed : {3ULL, 11ULL, 29ULL}) {
+    PivotOptions o;
+    o.sample_rate = 0.3;
+    o.seed = seed;
+    o.combine = PivotCombine::kPivotOnly;
+    err_pivot += quality(estimate_pivoting(g, o).farness, actual)
+                     .mean_abs_err;
+    o.combine = PivotCombine::kHybrid;
+    err_hybrid += quality(estimate_pivoting(g, o).farness, actual)
+                      .mean_abs_err;
+  }
+  // Cohen et al.'s observation: the hybrid dominates pivoting alone. Allow
+  // slack for small-sample noise.
+  EXPECT_LT(err_hybrid, err_pivot * 1.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PivotingProperty,
+                         ::testing::ValuesIn(test::standard_cases()),
+                         test::case_name);
+
+}  // namespace
+}  // namespace brics

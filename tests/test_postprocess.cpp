@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/brics.hpp"
+#include "core/farness.hpp"
+#include "core/postprocess.hpp"
+#include "reduce/reducer.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+TEST(Postprocess, TwinCopiesRepValue) {
+  ReductionLedger l(3);
+  l.record_identical(2, 1, 2);
+  std::vector<double> f{10.0, 20.0, 0.0};
+  std::vector<std::uint8_t> exact{1, 1, 0};
+  refine_removed_estimates(l, 3, f, exact);
+  EXPECT_DOUBLE_EQ(f[2], 20.0);
+  EXPECT_TRUE(exact[2]);
+}
+
+TEST(Postprocess, PendantChainClosedForm) {
+  // Path graph 0-1-2-3 collapsed to anchor 0: farness(0) = 6, and the
+  // member values must reconstruct to 4, 4, 6.
+  ReductionLedger l(4);
+  ChainRecord c;
+  c.u = 0;
+  c.v = kInvalidNode;
+  c.members = {1, 2, 3};
+  c.offsets = {1, 2, 3};
+  l.record_chain(std::move(c));
+  std::vector<double> f{6.0, 0, 0, 0};
+  std::vector<std::uint8_t> exact{1, 0, 0, 0};
+  refine_removed_estimates(l, 4, f, exact);
+  EXPECT_DOUBLE_EQ(f[1], 4.0);
+  EXPECT_DOUBLE_EQ(f[2], 4.0);
+  EXPECT_DOUBLE_EQ(f[3], 6.0);
+  EXPECT_TRUE(exact[1] && exact[2] && exact[3]);
+}
+
+TEST(Postprocess, CycleChainClosedForm) {
+  // 4-cycle 0-1-2-3-0 collapsed to anchor 0: farness(0) = 4; members must
+  // reconstruct to their true farness (all 4 on a C4).
+  ReductionLedger l(4);
+  ChainRecord c;
+  c.u = 0;
+  c.v = 0;
+  c.total = 4;
+  c.members = {1, 2, 3};
+  c.offsets = {1, 2, 3};
+  l.record_chain(std::move(c));
+  std::vector<double> f{4.0, 0, 0, 0};
+  std::vector<std::uint8_t> exact{1, 0, 0, 0};
+  refine_removed_estimates(l, 4, f, exact);
+  EXPECT_DOUBLE_EQ(f[1], 4.0);
+  EXPECT_DOUBLE_EQ(f[2], 4.0);
+  EXPECT_DOUBLE_EQ(f[3], 4.0);
+}
+
+TEST(Postprocess, ThroughChainKeepsEstimate) {
+  ReductionLedger l(4);
+  ChainRecord c;
+  c.u = 0;
+  c.v = 3;
+  c.total = 3;
+  c.members = {1, 2};
+  c.offsets = {1, 2};
+  l.record_chain(std::move(c));
+  std::vector<double> f{5.0, 42.0, 43.0, 6.0};
+  std::vector<std::uint8_t> exact{1, 0, 0, 1};
+  refine_removed_estimates(l, 4, f, exact);
+  EXPECT_DOUBLE_EQ(f[1], 42.0);  // untouched
+  EXPECT_DOUBLE_EQ(f[2], 43.0);
+  EXPECT_FALSE(exact[1]);
+}
+
+TEST(Postprocess, InexactAnchorPropagates) {
+  ReductionLedger l(3);
+  ChainRecord c;
+  c.u = 0;
+  c.v = kInvalidNode;
+  c.members = {1, 2};
+  c.offsets = {1, 2};
+  l.record_chain(std::move(c));
+  std::vector<double> f{9.0, 0, 0};
+  std::vector<std::uint8_t> exact{0, 0, 0};  // anchor only estimated
+  refine_removed_estimates(l, 3, f, exact);
+  EXPECT_FALSE(exact[1]);
+  EXPECT_FALSE(exact[2]);
+  EXPECT_GT(f[1], 0.0);  // still refined numerically
+}
+
+TEST(Postprocess, TwinOfAnchorCorrection) {
+  // Star with twins: 0 is the hub; 3 is an open twin of hub-leaf... build
+  // the exact scenario from the derivation: u = 0 with twin 1 (rep 0),
+  // removed before the pendant chain 0-2-3. True farness via brute force.
+  CsrGraph g = test::make_graph(
+      5, {{0, 4}, {1, 4}, {0, 2}, {1, 2}, {2, 3}});
+  // Here N(0) = {2, 4} = N(1): twins. After removing 1, chain 2-3 hangs
+  // off 0 (2 has degree 2, 3 degree 1).
+  ReducedGraph rg = reduce(g, ReduceOptions{});
+  ASSERT_TRUE(rg.ledger.removed(1) || rg.ledger.removed(0));
+  auto actual = exact_farness(g);
+  // Full-rate BRICS must be exact on the chain members despite the twin.
+  EstimateOptions o;
+  o.sample_rate = 1.0;
+  auto est = estimate_brics(g, o);
+  for (NodeId v = 0; v < 5; ++v) {
+    if (!est.exact[v]) continue;
+    EXPECT_NEAR(est.farness[v], double(actual[v]), 1e-9) << v;
+  }
+}
+
+TEST(Postprocess, SplicedRecordSkipped) {
+  ReductionLedger l(3);
+  l.record_identical(2, 1, 2);
+  std::uint32_t rec = l.record_of(2);
+  l.splice_record(rec);
+  std::vector<double> f{10.0, 20.0, 33.0};
+  std::vector<std::uint8_t> exact{1, 1, 0};
+  refine_removed_estimates(l, 3, f, exact);
+  EXPECT_DOUBLE_EQ(f[2], 33.0);  // untouched after splice
+}
+
+}  // namespace
+}  // namespace brics

@@ -1,0 +1,119 @@
+// The load-bearing correctness property of the whole reduction machinery:
+// for every present node s of the reduced graph, running SSSP on the reduced
+// graph and resolving removed nodes through the ledger must reproduce the
+// BFS distances on the original graph EXACTLY — for present and removed
+// targets alike. This exercises identical/chain/redundant detection, chain
+// compression, pinning, and reverse-order resolution in every combination,
+// across a parameterized sweep of graph families and seeds.
+#include <gtest/gtest.h>
+
+#include "reduce/reducer.hpp"
+#include "tests/test_helpers.hpp"
+#include "traverse/bfs.hpp"
+
+namespace brics {
+namespace {
+
+void expect_distances_preserved(const CsrGraph& g, const ReduceOptions& opts,
+                                const std::string& label) {
+  ReducedGraph rg = reduce(g, opts);
+  // Ledger bookkeeping is consistent.
+  NodeId present_count = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NE(rg.present[v] != 0, rg.ledger.removed(v)) << label;
+    present_count += rg.present[v];
+  }
+  EXPECT_EQ(present_count, rg.num_present) << label;
+  rg.graph.validate();
+
+  TraversalWorkspace ws_orig, ws_red;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (!rg.present[s]) continue;
+    sssp(g, s, ws_orig);
+    sssp(rg.graph, s, ws_red);
+    std::vector<Dist> resolved(ws_red.dist().begin(), ws_red.dist().end());
+    rg.ledger.resolve(resolved);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      ASSERT_EQ(resolved[v], ws_orig.dist()[v])
+          << label << " source=" << s << " target=" << v
+          << " present(v)=" << int(rg.present[v]);
+  }
+}
+
+class ReduceProperty : public ::testing::TestWithParam<test::RandomGraphCase> {
+};
+
+TEST_P(ReduceProperty, IdenticalOnlyPreservesDistances) {
+  ReduceOptions o;
+  o.chains = false;
+  o.redundant = false;
+  expect_distances_preserved(GetParam().build(), o, "I");
+}
+
+TEST_P(ReduceProperty, ChainsOnlyPreservesDistances) {
+  ReduceOptions o;
+  o.identical = false;
+  o.redundant = false;
+  expect_distances_preserved(GetParam().build(), o, "C");
+}
+
+TEST_P(ReduceProperty, RedundantOnlyPreservesDistances) {
+  ReduceOptions o;
+  o.identical = false;
+  o.chains = false;
+  expect_distances_preserved(GetParam().build(), o, "R");
+}
+
+TEST_P(ReduceProperty, ChainsPlusRedundantPreservesDistances) {
+  ReduceOptions o;
+  o.identical = false;
+  expect_distances_preserved(GetParam().build(), o, "C+R");
+}
+
+TEST_P(ReduceProperty, FullCumulativePreservesDistances) {
+  expect_distances_preserved(GetParam().build(), ReduceOptions{}, "I+C+R");
+}
+
+TEST_P(ReduceProperty, IteratedReductionPreservesDistances) {
+  ReduceOptions o;
+  o.iterate = true;
+  expect_distances_preserved(GetParam().build(), o, "iterated");
+}
+
+TEST_P(ReduceProperty, ReducedGraphStaysConnectedAmongPresent) {
+  CsrGraph g = GetParam().build();
+  ReducedGraph rg = reduce(g, ReduceOptions{});
+  // All present nodes reachable from any present node.
+  NodeId s = kInvalidNode;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (rg.present[v]) {
+      s = v;
+      break;
+    }
+  ASSERT_NE(s, kInvalidNode);
+  auto dist = sssp_distances(rg.graph, s);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (rg.present[v]) {
+      EXPECT_NE(dist[v], kInfDist) << "present node " << v
+                                   << " unreachable";
+    }
+  }
+}
+
+TEST_P(ReduceProperty, StatsAreConsistent) {
+  CsrGraph g = GetParam().build();
+  ReducedGraph rg = reduce(g, ReduceOptions{});
+  const auto& st = rg.stats;
+  EXPECT_EQ(st.input_nodes, g.num_nodes());
+  EXPECT_EQ(st.reduced_nodes, rg.num_present);
+  EXPECT_EQ(st.identical.removed + st.chains.removed + st.redundant.removed,
+            rg.ledger.num_removed());
+  EXPECT_EQ(rg.num_present + rg.ledger.num_removed(), g.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReduceProperty,
+                         ::testing::ValuesIn(test::standard_cases()),
+                         test::case_name);
+
+}  // namespace
+}  // namespace brics

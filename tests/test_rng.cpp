@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace brics {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo |= v == -2;
+    hi |= v == 2;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(SampleWithoutReplacement, ExactCountDistinctSorted) {
+  Rng rng(9);
+  for (std::uint32_t n : {10u, 100u, 1000u}) {
+    for (std::uint32_t k : {0u, 1u, n / 3, n - 1, n}) {
+      auto s = sample_without_replacement(n, k, rng);
+      EXPECT_EQ(s.size(), k);
+      EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+      std::set<std::uint32_t> uniq(s.begin(), s.end());
+      EXPECT_EQ(uniq.size(), k);
+      for (auto v : s) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(SampleWithoutReplacement, RejectsOversample) {
+  Rng rng(1);
+  EXPECT_THROW(sample_without_replacement(5, 6, rng), CheckFailure);
+}
+
+TEST(SampleWithoutReplacement, RoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> hits(10, 0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t)
+    for (auto v : sample_without_replacement(10, 3, rng)) ++hits[v];
+  for (int h : hits) {
+    EXPECT_GT(h, trials * 3 / 10 * 7 / 10);
+    EXPECT_LT(h, trials * 3 / 10 * 13 / 10);
+  }
+}
+
+TEST(Shuffle, PermutesAllElements) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  shuffle(v, rng);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Mix64, DistinctInputsDistinctOutputs) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace brics

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/brics.hpp"
+#include "reduce/serialize.hpp"
+#include "tests/test_helpers.hpp"
+#include "traverse/bfs.hpp"
+
+namespace brics {
+namespace {
+
+void expect_equivalent(const ReducedGraph& a, const ReducedGraph& b,
+                       const CsrGraph& original) {
+  ASSERT_EQ(a.ledger.num_nodes(), b.ledger.num_nodes());
+  EXPECT_EQ(a.num_present, b.num_present);
+  EXPECT_EQ(a.ledger.num_removed(), b.ledger.num_removed());
+  EXPECT_EQ(a.graph.edge_list(), b.graph.edge_list());
+  EXPECT_EQ(a.present, b.present);
+  EXPECT_EQ(a.stats.identical.removed, b.stats.identical.removed);
+  EXPECT_EQ(a.stats.chains.removed, b.stats.chains.removed);
+  EXPECT_EQ(a.stats.redundant.removed, b.stats.redundant.removed);
+  // Behavioural equivalence: identical resolution results from samples.
+  TraversalWorkspace ws;
+  for (NodeId s = 0; s < original.num_nodes(); s += 7) {
+    if (!a.present[s]) continue;
+    sssp(a.graph, s, ws);
+    std::vector<Dist> da(ws.dist().begin(), ws.dist().end());
+    std::vector<Dist> db = da;
+    a.ledger.resolve(da);
+    b.ledger.resolve(db);
+    ASSERT_EQ(da, db) << "source " << s;
+  }
+}
+
+TEST(Serialize, RoundTripSmallGraph) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 120, 3}.build();
+  ReducedGraph rg = reduce(g, ReduceOptions{});
+  std::stringstream buf;
+  save_reduction(rg, buf);
+  ReducedGraph loaded = load_reduction(buf);
+  expect_equivalent(rg, loaded, g);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream buf("this is not a reduction file at all");
+  EXPECT_THROW(load_reduction(buf), CheckFailure);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 80, 5}.build();
+  ReducedGraph rg = reduce(g, ReduceOptions{});
+  std::stringstream buf;
+  save_reduction(rg, buf);
+  std::string data = buf.str();
+  for (std::size_t cut : {data.size() / 4, data.size() / 2,
+                          data.size() - 3}) {
+    std::stringstream part(data.substr(0, cut));
+    EXPECT_THROW(load_reduction(part), CheckFailure) << "cut " << cut;
+  }
+}
+
+TEST(Serialize, LoadedReductionDrivesEstimator) {
+  CsrGraph g = test::RandomGraphCase{"web_copy", 200, 7}.build();
+  ReducedGraph rg = reduce(g, ReduceOptions{});
+  std::stringstream buf;
+  save_reduction(rg, buf);
+  ReducedGraph loaded = load_reduction(buf);
+  EstimateOptions o;
+  o.sample_rate = 1.0;
+  o.seed = 3;
+  EstimateResult a = estimate_on_reduction(rg, o);
+  EstimateResult b = estimate_on_reduction(loaded, o);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    ASSERT_DOUBLE_EQ(a.farness[v], b.farness[v]) << v;
+}
+
+class SerializeProperty
+    : public ::testing::TestWithParam<test::RandomGraphCase> {};
+
+TEST_P(SerializeProperty, RoundTripAcrossFamilies) {
+  CsrGraph g = GetParam().build();
+  for (bool iterate : {false, true}) {
+    ReduceOptions o;
+    o.iterate = iterate;
+    ReducedGraph rg = reduce(g, o);
+    std::stringstream buf;
+    save_reduction(rg, buf);
+    ReducedGraph loaded = load_reduction(buf);
+    expect_equivalent(rg, loaded, g);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SerializeProperty,
+                         ::testing::ValuesIn(test::standard_cases()),
+                         test::case_name);
+
+}  // namespace
+}  // namespace brics

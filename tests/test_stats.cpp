@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace brics {
+namespace {
+
+TEST(Stats, SummarizeBasics) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.2909944487, 1e-9);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarizeSingle) {
+  std::vector<double> xs{5.0};
+  Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, PercentileEndpointsAndMedian) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 30), 3.0);
+}
+
+TEST(Stats, PercentileRejectsEmptyAndBadP) {
+  std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile({}, 50), CheckFailure);
+  EXPECT_THROW(percentile(xs, -1), CheckFailure);
+  EXPECT_THROW(percentile(xs, 101), CheckFailure);
+}
+
+TEST(Stats, GeometricMean) {
+  std::vector<double> xs{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(xs), 2.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 1.0);
+}
+
+TEST(Stats, GeometricMeanRejectsNonPositive) {
+  std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW(geometric_mean(xs), CheckFailure);
+}
+
+}  // namespace
+}  // namespace brics

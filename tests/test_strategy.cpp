@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/brics.hpp"
+#include "core/farness.hpp"
+#include "core/quality.hpp"
+#include "core/sampling.hpp"
+#include "tests/test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace brics {
+namespace {
+
+TEST(WeightedSampling, ExactCountDistinctSorted) {
+  Rng rng(5);
+  std::vector<double> w{1, 2, 3, 4, 5, 6, 7, 8};
+  for (std::uint32_t k : {0u, 1u, 4u, 8u}) {
+    auto s = weighted_sample_without_replacement(w, k, rng);
+    EXPECT_EQ(s.size(), k);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    std::set<std::uint32_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), k);
+  }
+}
+
+TEST(WeightedSampling, HeavyItemsSampledMoreOften) {
+  Rng rng(9);
+  std::vector<double> w{1.0, 1.0, 1.0, 10.0};
+  int heavy_hits = 0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    auto s = weighted_sample_without_replacement(w, 1, rng);
+    if (s[0] == 3) ++heavy_hits;
+  }
+  // P(heavy) = 10/13 ~ 0.77.
+  EXPECT_GT(heavy_hits, trials * 6 / 10);
+  EXPECT_LT(heavy_hits, trials * 9 / 10);
+}
+
+TEST(WeightedSampling, ZeroWeightsOnlyWhenForced) {
+  Rng rng(3);
+  std::vector<double> w{0.0, 5.0, 0.0, 5.0};
+  for (int t = 0; t < 50; ++t) {
+    auto s = weighted_sample_without_replacement(w, 2, rng);
+    EXPECT_EQ(s, (std::vector<std::uint32_t>{1, 3}));
+  }
+  auto s = weighted_sample_without_replacement(w, 4, rng);
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(WeightedSampling, RejectsOversampleAndNegative) {
+  Rng rng(1);
+  std::vector<double> w{1.0, 2.0};
+  EXPECT_THROW(weighted_sample_without_replacement(w, 3, rng),
+               CheckFailure);
+  std::vector<double> neg{1.0, -1.0};
+  EXPECT_THROW(weighted_sample_without_replacement(neg, 1, rng),
+               CheckFailure);
+}
+
+TEST(SampleStrategy, DegreeWeightedPrefersHubsAsBaselineSources) {
+  CsrGraph g = test::RandomGraphCase{"barabasi_albert", 400, 7}.build();
+  EstimateOptions o;
+  o.sample_rate = 0.1;
+  o.strategy = SampleStrategy::kDegreeWeighted;
+  auto est = estimate_random_sampling(g, o);
+  // Mean degree of the exactly-computed (sampled) nodes must exceed the
+  // graph's mean degree.
+  double deg_sampled = 0.0, count = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (est.exact[v]) {
+      deg_sampled += g.degree(v);
+      ++count;
+    }
+  const double mean_all =
+      2.0 * double(g.num_edges()) / double(g.num_nodes());
+  EXPECT_GT(deg_sampled / count, mean_all * 1.5);
+}
+
+class StrategyProperty : public ::testing::TestWithParam<test::RandomGraphCase> {
+};
+
+TEST_P(StrategyProperty, DegreeWeightedBricsFullRateStillExact) {
+  CsrGraph g = GetParam().build();
+  auto actual = exact_farness(g);
+  EstimateOptions o;
+  o.sample_rate = 1.0;
+  o.strategy = SampleStrategy::kDegreeWeighted;
+  auto est = estimate_brics(g, o);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!est.exact[v]) continue;
+    ASSERT_NEAR(est.farness[v], double(actual[v]), 1e-6) << v;
+  }
+}
+
+TEST_P(StrategyProperty, DegreeWeightedQualityReasonable) {
+  CsrGraph g = GetParam().build();
+  if (g.num_nodes() < 50) return;
+  auto actual = exact_farness(g);
+  EstimateOptions o;
+  o.sample_rate = 0.4;
+  o.seed = 17;
+  o.strategy = SampleStrategy::kDegreeWeighted;
+  auto est = estimate_brics(g, o);
+  QualityReport q = quality(est.farness, actual);
+  EXPECT_GT(q.quality, 0.6);
+  EXPECT_LT(q.quality, 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StrategyProperty,
+                         ::testing::ValuesIn(test::standard_cases()),
+                         test::case_name);
+
+}  // namespace
+}  // namespace brics

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace brics {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(BRICS_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(BRICS_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailureCarriesExpressionAndLocation) {
+  try {
+    BRICS_CHECK(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsFormatted) {
+  try {
+    BRICS_CHECK_MSG(false, "value was " << 42 << "!");
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42!"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  auto bump = [&calls] {
+    ++calls;
+    return true;
+  };
+  BRICS_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.millis(), 15.0);
+  EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  t.reset();
+  EXPECT_LT(t.millis(), 10.0);
+}
+
+TEST(Parallel, ThreadQueriesAreSane) {
+  EXPECT_GE(max_threads(), 1);
+  EXPECT_EQ(thread_id(), 0);  // outside a parallel region
+}
+
+TEST(Parallel, SetThreadsRoundTrips) {
+  const int before = max_threads();
+  set_threads(1);
+  EXPECT_EQ(max_threads(), 1);
+  set_threads(before);
+  EXPECT_EQ(max_threads(), before);
+}
+
+}  // namespace
+}  // namespace brics

@@ -1,0 +1,109 @@
+// Weighted-input coverage: the full pipeline accepts integer-weighted
+// graphs (Dial replaces BFS everywhere), so every exactness property must
+// hold there too. The standard sweep uses unit weights; this suite re-runs
+// the load-bearing properties on randomly weighted graphs.
+#include <gtest/gtest.h>
+
+#include "core/brics.hpp"
+#include "core/farness.hpp"
+#include "core/quality.hpp"
+#include "core/sampling.hpp"
+#include "reduce/reducer.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+struct WeightedCase {
+  std::string base;
+  NodeId n;
+  std::uint64_t seed;
+  Weight max_w;
+};
+
+CsrGraph build_weighted(const WeightedCase& c) {
+  CsrGraph g = test::RandomGraphCase{c.base, c.n, c.seed}.build();
+  Rng rng(c.seed * 7 + 1);
+  GraphBuilder b(g.num_nodes());
+  for (const Edge& e : g.edge_list())
+    b.add_edge(e.u, e.v,
+               static_cast<Weight>(rng.range(1, c.max_w)));
+  return b.build();
+}
+
+std::string wcase_name(const testing::TestParamInfo<WeightedCase>& info) {
+  return info.param.base + "_n" + std::to_string(info.param.n) + "_s" +
+         std::to_string(info.param.seed) + "_w" +
+         std::to_string(info.param.max_w);
+}
+
+std::vector<WeightedCase> weighted_cases() {
+  std::vector<WeightedCase> out;
+  for (const std::string& base :
+       {std::string("erdos_renyi"), std::string("twins_and_chains"),
+        std::string("grid_subdivided"), std::string("triangle_rich")})
+    for (Weight w : {Weight{3}, Weight{9}})
+      out.push_back({base, 140, 5 + w, w});
+  return out;
+}
+
+class WeightedProperty : public ::testing::TestWithParam<WeightedCase> {};
+
+TEST_P(WeightedProperty, ReductionPreservesWeightedDistances) {
+  CsrGraph g = build_weighted(GetParam());
+  ReducedGraph rg = reduce(g, ReduceOptions{});
+  TraversalWorkspace wo, wr;
+  for (NodeId s = 0; s < g.num_nodes(); s += 3) {
+    if (!rg.present[s]) continue;
+    sssp(g, s, wo);
+    sssp(rg.graph, s, wr);
+    std::vector<Dist> resolved(wr.dist().begin(), wr.dist().end());
+    rg.ledger.resolve(resolved);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      ASSERT_EQ(resolved[v], wo.dist()[v]) << "s=" << s << " v=" << v;
+  }
+}
+
+TEST_P(WeightedProperty, BricsFullRateExactOnPresent) {
+  CsrGraph g = build_weighted(GetParam());
+  auto actual = exact_farness(g);
+  EstimateOptions o;
+  o.sample_rate = 1.0;
+  o.seed = 3;
+  auto est = estimate_brics(g, o);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!est.exact[v]) continue;
+    ASSERT_NEAR(est.farness[v], double(actual[v]), 1e-6) << v;
+  }
+}
+
+TEST_P(WeightedProperty, ReducedSamplingFullRateExactOnPresent) {
+  CsrGraph g = build_weighted(GetParam());
+  auto actual = exact_farness(g);
+  EstimateOptions o;
+  o.sample_rate = 1.0;
+  o.seed = 9;
+  auto est = estimate_reduced_sampling(g, o);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!est.exact[v]) continue;
+    ASSERT_NEAR(est.farness[v], double(actual[v]), 1e-6) << v;
+  }
+}
+
+TEST_P(WeightedProperty, ModerateRateQualityReasonable) {
+  CsrGraph g = build_weighted(GetParam());
+  auto actual = exact_farness(g);
+  EstimateOptions o;
+  o.sample_rate = 0.5;
+  o.seed = 21;
+  auto est = estimate_brics(g, o);
+  QualityReport q = quality(est.farness, actual);
+  EXPECT_GT(q.quality, 0.6);
+  EXPECT_LT(q.quality, 1.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WeightedProperty,
+                         ::testing::ValuesIn(weighted_cases()), wcase_name);
+
+}  // namespace
+}  // namespace brics

@@ -1,0 +1,245 @@
+// brics — command-line front end to the library.
+//
+//   brics stats    <edge_list|@dataset>                 structural summary
+//   brics estimate <edge_list|@dataset> [--rate R] [--seed S] [--config C]
+//                  [--out FILE]                         farness estimates
+//   brics exact    <edge_list|@dataset> [--out FILE]    exact farness
+//   brics topk     <edge_list|@dataset> [--k K]         top-k closeness
+//   brics harmonic <edge_list|@dataset> [--rate R]      harmonic centrality
+//   brics distance <edge_list|@dataset> --s A --t B     point-to-point d(s,t)
+//   brics improve  <edge_list|@dataset> --node V [--k K] add edges to boost V
+//   brics generate <dataset> [--scale X] [--out FILE]   emit a registry graph
+//   brics datasets                                      list registry names
+//
+// Graphs are whitespace edge lists (SNAP style); `@name` pulls a synthetic
+// dataset from the registry instead (with --scale, default 0.2).
+// --config is one of: random, cr, icr, cumulative (default cumulative).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "analysis/analysis.hpp"
+#include "brics/brics.hpp"
+#include "extensions/improve.hpp"
+#include "extensions/topk.hpp"
+
+namespace {
+
+using namespace brics;
+
+struct Args {
+  std::string command;
+  std::string input;
+  std::map<std::string, std::string> flags;
+
+  double get_double(const std::string& key, double def) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : std::atof(it->second.c_str());
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t def) const {
+    auto it = flags.find(key);
+    return it == flags.end()
+               ? def
+               : static_cast<std::uint64_t>(std::atoll(it->second.c_str()));
+  }
+  std::string get(const std::string& key, const std::string& def) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : it->second;
+  }
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: brics <stats|estimate|exact|topk|harmonic|distance|improve|"
+      "generate|datasets> "
+      "<edge_list|@dataset> [--rate R] [--seed S] [--config C] [--k K] "
+      "[--scale X] [--out FILE]\n");
+  return 2;
+}
+
+CsrGraph load(const Args& a) {
+  const double scale = a.get_double("scale", 0.2);
+  if (!a.input.empty() && a.input[0] == '@')
+    return build_dataset(a.input.substr(1), scale);
+  return read_edge_list_file(a.input);
+}
+
+EstimateOptions config_from(const Args& a) {
+  EstimateOptions o;
+  o.sample_rate = a.get_double("rate", 0.2);
+  o.seed = a.get_u64("seed", 1);
+  const std::string c = a.get("config", "cumulative");
+  if (c == "cr") {
+    o.reduce.identical = false;
+    o.use_bcc = false;
+  } else if (c == "icr") {
+    o.use_bcc = false;
+  } else if (c == "cumulative") {
+    // defaults
+  } else if (c != "random") {
+    BRICS_CHECK_MSG(false, "unknown --config '" << c << "'");
+  }
+  return o;
+}
+
+void write_values(const Args& a, std::span<const double> values) {
+  const std::string path = a.get("out", "");
+  std::ofstream file;
+  std::FILE* console = stdout;
+  if (!path.empty()) {
+    file.open(path);
+    BRICS_CHECK_MSG(file.good(), "cannot open '" << path << "'");
+    for (std::size_t v = 0; v < values.size(); ++v)
+      file << v << ' ' << values[v] << '\n';
+    std::printf("wrote %zu values to %s\n", values.size(), path.c_str());
+    return;
+  }
+  for (std::size_t v = 0; v < std::min<std::size_t>(values.size(), 20); ++v)
+    std::fprintf(console, "%zu %.2f\n", v, values[v]);
+  if (values.size() > 20)
+    std::printf("... (%zu total; use --out FILE for all)\n", values.size());
+}
+
+int cmd_stats(const Args& a) {
+  CsrGraph g = load(a);
+  std::printf("%s", to_string(summarize_graph(g)).c_str());
+  return 0;
+}
+
+int cmd_estimate(const Args& a) {
+  CsrGraph g = load(a);
+  EstimateOptions o = config_from(a);
+  Timer t;
+  EstimateResult est = a.get("config", "cumulative") == "random"
+                           ? estimate_random_sampling(g, o)
+                           : estimate_farness(g, o);
+  std::printf("# estimated farness (%.3f s, %u sources, %u blocks)\n",
+              t.seconds(), est.samples, est.num_blocks);
+  write_values(a, est.farness);
+  return 0;
+}
+
+int cmd_exact(const Args& a) {
+  CsrGraph g = load(a);
+  Timer t;
+  std::vector<FarnessSum> f = exact_farness(g);
+  std::vector<double> d(f.begin(), f.end());
+  std::printf("# exact farness (%.3f s)\n", t.seconds());
+  write_values(a, d);
+  return 0;
+}
+
+int cmd_topk(const Args& a) {
+  CsrGraph g = load(a);
+  const NodeId k = static_cast<NodeId>(a.get_u64("k", 10));
+  Timer t;
+  TopKResult r = top_k_closeness(g, std::min<NodeId>(k, g.num_nodes()));
+  std::printf("# top-%u closeness (%.3f s, %u traversals)\n", k, t.seconds(),
+              r.traversals);
+  for (std::size_t i = 0; i < r.nodes.size(); ++i)
+    std::printf("%zu node %u farness %llu\n", i + 1, r.nodes[i],
+                static_cast<unsigned long long>(r.farness[i]));
+  return 0;
+}
+
+int cmd_generate(const Args& a) {
+  BRICS_CHECK_MSG(!a.input.empty(), "generate needs a dataset name");
+  std::string name =
+      a.input[0] == '@' ? a.input.substr(1) : a.input;
+  CsrGraph g = build_dataset(name, a.get_double("scale", 0.2));
+  const std::string path = a.get("out", name + ".txt");
+  write_edge_list_file(g, path);
+  std::printf("wrote %u nodes / %llu edges to %s\n", g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()), path.c_str());
+  return 0;
+}
+
+
+int cmd_harmonic(const Args& a) {
+  CsrGraph g = load(a);
+  const double rate = a.get_double("rate", 0.2);
+  Timer t;
+  std::vector<double> h = rate >= 1.0
+                              ? exact_harmonic(g)
+                              : estimate_harmonic(g, rate,
+                                                  a.get_u64("seed", 1));
+  std::printf("# harmonic centrality (%.3f s, rate %.2f)\n", t.seconds(),
+              rate);
+  write_values(a, h);
+  return 0;
+}
+
+int cmd_distance(const Args& a) {
+  CsrGraph g = load(a);
+  const NodeId s = static_cast<NodeId>(a.get_u64("s", 0));
+  const NodeId t = static_cast<NodeId>(a.get_u64("t", 0));
+  Timer timer;
+  Dist d = point_to_point(g, s, t);
+  if (d == kInfDist)
+    std::printf("d(%u, %u) = unreachable (%.4f s)\n", s, t,
+                timer.seconds());
+  else
+    std::printf("d(%u, %u) = %u (%.4f s)\n", s, t, d, timer.seconds());
+  return 0;
+}
+
+int cmd_improve(const Args& a) {
+  CsrGraph g = load(a);
+  ImproveOptions o;
+  o.budget = static_cast<NodeId>(a.get_u64("k", 3));
+  o.candidate_pool = static_cast<NodeId>(a.get_u64("pool", 0));
+  o.seed = a.get_u64("seed", 1);
+  const NodeId v = static_cast<NodeId>(a.get_u64("node", 0));
+  Timer t;
+  ImproveResult r = improve_closeness(g, v, o);
+  std::printf("# improve node %u (%.3f s): farness %llu", v, t.seconds(),
+              static_cast<unsigned long long>(r.initial_farness));
+  for (std::size_t i = 0; i < r.added.size(); ++i)
+    std::printf(" -> %llu (+edge to %u)",
+                static_cast<unsigned long long>(r.farness[i]), r.added[i]);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_datasets() {
+  for (const DatasetInfo& d : dataset_registry())
+    std::printf("%-14s %s\n", d.name.c_str(), to_string(d.cls).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) return usage();
+      a.flags[arg.substr(2)] = argv[++i];
+    } else if (a.input.empty()) {
+      a.input = arg;
+    } else {
+      return usage();
+    }
+  }
+  try {
+    if (a.command == "stats") return cmd_stats(a);
+    if (a.command == "estimate") return cmd_estimate(a);
+    if (a.command == "exact") return cmd_exact(a);
+    if (a.command == "topk") return cmd_topk(a);
+    if (a.command == "harmonic") return cmd_harmonic(a);
+    if (a.command == "distance") return cmd_distance(a);
+    if (a.command == "improve") return cmd_improve(a);
+    if (a.command == "generate") return cmd_generate(a);
+    if (a.command == "datasets") return cmd_datasets();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
