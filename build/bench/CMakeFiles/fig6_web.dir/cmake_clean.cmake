@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_web.dir/fig_classes.cpp.o"
+  "CMakeFiles/fig6_web.dir/fig_classes.cpp.o.d"
+  "fig6_web"
+  "fig6_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig_classes.cpp" "bench/CMakeFiles/fig7_social.dir/fig_classes.cpp.o" "gcc" "bench/CMakeFiles/fig7_social.dir/fig_classes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/brics_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/brics_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/brics_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traverse/CMakeFiles/brics_traverse.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduce/CMakeFiles/brics_reduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/bcc/CMakeFiles/brics_bcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/brics_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/brics_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

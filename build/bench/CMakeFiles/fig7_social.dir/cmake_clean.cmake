@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_social.dir/fig_classes.cpp.o"
+  "CMakeFiles/fig7_social.dir/fig_classes.cpp.o.d"
+  "fig7_social"
+  "fig7_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_community.dir/fig_classes.cpp.o"
+  "CMakeFiles/fig8_community.dir/fig_classes.cpp.o.d"
+  "fig8_community"
+  "fig8_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

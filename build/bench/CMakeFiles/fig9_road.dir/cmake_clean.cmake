@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_road.dir/fig_classes.cpp.o"
+  "CMakeFiles/fig9_road.dir/fig_classes.cpp.o.d"
+  "fig9_road"
+  "fig9_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

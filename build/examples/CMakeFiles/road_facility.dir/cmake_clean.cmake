@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_facility.dir/road_facility.cpp.o"
+  "CMakeFiles/road_facility.dir/road_facility.cpp.o.d"
+  "road_facility"
+  "road_facility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

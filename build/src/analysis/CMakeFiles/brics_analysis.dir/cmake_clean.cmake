@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brics_analysis.dir/analysis.cpp.o"
+  "CMakeFiles/brics_analysis.dir/analysis.cpp.o.d"
+  "libbrics_analysis.a"
+  "libbrics_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brics_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brics_bcc.dir/bcc.cpp.o"
+  "CMakeFiles/brics_bcc.dir/bcc.cpp.o.d"
+  "CMakeFiles/brics_bcc.dir/bct.cpp.o"
+  "CMakeFiles/brics_bcc.dir/bct.cpp.o.d"
+  "libbrics_bcc.a"
+  "libbrics_bcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brics_bcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

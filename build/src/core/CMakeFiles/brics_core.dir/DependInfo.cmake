@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brics.cpp" "src/core/CMakeFiles/brics_core.dir/brics.cpp.o" "gcc" "src/core/CMakeFiles/brics_core.dir/brics.cpp.o.d"
+  "/root/repo/src/core/confidence.cpp" "src/core/CMakeFiles/brics_core.dir/confidence.cpp.o" "gcc" "src/core/CMakeFiles/brics_core.dir/confidence.cpp.o.d"
+  "/root/repo/src/core/farness.cpp" "src/core/CMakeFiles/brics_core.dir/farness.cpp.o" "gcc" "src/core/CMakeFiles/brics_core.dir/farness.cpp.o.d"
+  "/root/repo/src/core/pivoting.cpp" "src/core/CMakeFiles/brics_core.dir/pivoting.cpp.o" "gcc" "src/core/CMakeFiles/brics_core.dir/pivoting.cpp.o.d"
+  "/root/repo/src/core/postprocess.cpp" "src/core/CMakeFiles/brics_core.dir/postprocess.cpp.o" "gcc" "src/core/CMakeFiles/brics_core.dir/postprocess.cpp.o.d"
+  "/root/repo/src/core/quality.cpp" "src/core/CMakeFiles/brics_core.dir/quality.cpp.o" "gcc" "src/core/CMakeFiles/brics_core.dir/quality.cpp.o.d"
+  "/root/repo/src/core/sampling.cpp" "src/core/CMakeFiles/brics_core.dir/sampling.cpp.o" "gcc" "src/core/CMakeFiles/brics_core.dir/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/brics_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/traverse/CMakeFiles/brics_traverse.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduce/CMakeFiles/brics_reduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/bcc/CMakeFiles/brics_bcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/brics_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brics_core.dir/brics.cpp.o"
+  "CMakeFiles/brics_core.dir/brics.cpp.o.d"
+  "CMakeFiles/brics_core.dir/confidence.cpp.o"
+  "CMakeFiles/brics_core.dir/confidence.cpp.o.d"
+  "CMakeFiles/brics_core.dir/farness.cpp.o"
+  "CMakeFiles/brics_core.dir/farness.cpp.o.d"
+  "CMakeFiles/brics_core.dir/pivoting.cpp.o"
+  "CMakeFiles/brics_core.dir/pivoting.cpp.o.d"
+  "CMakeFiles/brics_core.dir/postprocess.cpp.o"
+  "CMakeFiles/brics_core.dir/postprocess.cpp.o.d"
+  "CMakeFiles/brics_core.dir/quality.cpp.o"
+  "CMakeFiles/brics_core.dir/quality.cpp.o.d"
+  "CMakeFiles/brics_core.dir/sampling.cpp.o"
+  "CMakeFiles/brics_core.dir/sampling.cpp.o.d"
+  "libbrics_core.a"
+  "libbrics_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brics_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brics_ext.dir/dynamic.cpp.o"
+  "CMakeFiles/brics_ext.dir/dynamic.cpp.o.d"
+  "CMakeFiles/brics_ext.dir/improve.cpp.o"
+  "CMakeFiles/brics_ext.dir/improve.cpp.o.d"
+  "CMakeFiles/brics_ext.dir/topk.cpp.o"
+  "CMakeFiles/brics_ext.dir/topk.cpp.o.d"
+  "libbrics_ext.a"
+  "libbrics_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brics_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brics_gen.dir/dataset.cpp.o"
+  "CMakeFiles/brics_gen.dir/dataset.cpp.o.d"
+  "CMakeFiles/brics_gen.dir/generators.cpp.o"
+  "CMakeFiles/brics_gen.dir/generators.cpp.o.d"
+  "libbrics_gen.a"
+  "libbrics_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brics_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

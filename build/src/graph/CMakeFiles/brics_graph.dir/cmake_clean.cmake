@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brics_graph.dir/connectivity.cpp.o"
+  "CMakeFiles/brics_graph.dir/connectivity.cpp.o.d"
+  "CMakeFiles/brics_graph.dir/csr_graph.cpp.o"
+  "CMakeFiles/brics_graph.dir/csr_graph.cpp.o.d"
+  "CMakeFiles/brics_graph.dir/graph_io.cpp.o"
+  "CMakeFiles/brics_graph.dir/graph_io.cpp.o.d"
+  "CMakeFiles/brics_graph.dir/metis_io.cpp.o"
+  "CMakeFiles/brics_graph.dir/metis_io.cpp.o.d"
+  "CMakeFiles/brics_graph.dir/reorder.cpp.o"
+  "CMakeFiles/brics_graph.dir/reorder.cpp.o.d"
+  "libbrics_graph.a"
+  "libbrics_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brics_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbrics_graph.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reduce/chains.cpp" "src/reduce/CMakeFiles/brics_reduce.dir/chains.cpp.o" "gcc" "src/reduce/CMakeFiles/brics_reduce.dir/chains.cpp.o.d"
+  "/root/repo/src/reduce/identical.cpp" "src/reduce/CMakeFiles/brics_reduce.dir/identical.cpp.o" "gcc" "src/reduce/CMakeFiles/brics_reduce.dir/identical.cpp.o.d"
+  "/root/repo/src/reduce/ledger.cpp" "src/reduce/CMakeFiles/brics_reduce.dir/ledger.cpp.o" "gcc" "src/reduce/CMakeFiles/brics_reduce.dir/ledger.cpp.o.d"
+  "/root/repo/src/reduce/reducer.cpp" "src/reduce/CMakeFiles/brics_reduce.dir/reducer.cpp.o" "gcc" "src/reduce/CMakeFiles/brics_reduce.dir/reducer.cpp.o.d"
+  "/root/repo/src/reduce/redundant.cpp" "src/reduce/CMakeFiles/brics_reduce.dir/redundant.cpp.o" "gcc" "src/reduce/CMakeFiles/brics_reduce.dir/redundant.cpp.o.d"
+  "/root/repo/src/reduce/serialize.cpp" "src/reduce/CMakeFiles/brics_reduce.dir/serialize.cpp.o" "gcc" "src/reduce/CMakeFiles/brics_reduce.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/brics_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/brics_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brics_reduce.dir/chains.cpp.o"
+  "CMakeFiles/brics_reduce.dir/chains.cpp.o.d"
+  "CMakeFiles/brics_reduce.dir/identical.cpp.o"
+  "CMakeFiles/brics_reduce.dir/identical.cpp.o.d"
+  "CMakeFiles/brics_reduce.dir/ledger.cpp.o"
+  "CMakeFiles/brics_reduce.dir/ledger.cpp.o.d"
+  "CMakeFiles/brics_reduce.dir/reducer.cpp.o"
+  "CMakeFiles/brics_reduce.dir/reducer.cpp.o.d"
+  "CMakeFiles/brics_reduce.dir/redundant.cpp.o"
+  "CMakeFiles/brics_reduce.dir/redundant.cpp.o.d"
+  "CMakeFiles/brics_reduce.dir/serialize.cpp.o"
+  "CMakeFiles/brics_reduce.dir/serialize.cpp.o.d"
+  "libbrics_reduce.a"
+  "libbrics_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brics_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brics_traverse.dir/bfs.cpp.o"
+  "CMakeFiles/brics_traverse.dir/bfs.cpp.o.d"
+  "CMakeFiles/brics_traverse.dir/bidirectional.cpp.o"
+  "CMakeFiles/brics_traverse.dir/bidirectional.cpp.o.d"
+  "libbrics_traverse.a"
+  "libbrics_traverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brics_traverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

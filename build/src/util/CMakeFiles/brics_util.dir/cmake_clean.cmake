@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brics_util.dir/rng.cpp.o"
+  "CMakeFiles/brics_util.dir/rng.cpp.o.d"
+  "CMakeFiles/brics_util.dir/stats.cpp.o"
+  "CMakeFiles/brics_util.dir/stats.cpp.o.d"
+  "libbrics_util.a"
+  "libbrics_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brics_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

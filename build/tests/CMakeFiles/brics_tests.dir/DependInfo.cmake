@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/brics_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_bcc.cpp" "tests/CMakeFiles/brics_tests.dir/test_bcc.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_bcc.cpp.o.d"
+  "/root/repo/tests/test_bfs.cpp" "tests/CMakeFiles/brics_tests.dir/test_bfs.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_bfs.cpp.o.d"
+  "/root/repo/tests/test_bidirectional.cpp" "tests/CMakeFiles/brics_tests.dir/test_bidirectional.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_bidirectional.cpp.o.d"
+  "/root/repo/tests/test_chains.cpp" "tests/CMakeFiles/brics_tests.dir/test_chains.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_chains.cpp.o.d"
+  "/root/repo/tests/test_confidence.cpp" "tests/CMakeFiles/brics_tests.dir/test_confidence.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_confidence.cpp.o.d"
+  "/root/repo/tests/test_connectivity.cpp" "tests/CMakeFiles/brics_tests.dir/test_connectivity.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_connectivity.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/brics_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/brics_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_dynamic.cpp" "tests/CMakeFiles/brics_tests.dir/test_dynamic.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_dynamic.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/brics_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/brics_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_fuzz.cpp" "tests/CMakeFiles/brics_tests.dir/test_graph_fuzz.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_graph_fuzz.cpp.o.d"
+  "/root/repo/tests/test_identical.cpp" "tests/CMakeFiles/brics_tests.dir/test_identical.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_identical.cpp.o.d"
+  "/root/repo/tests/test_improve.cpp" "tests/CMakeFiles/brics_tests.dir/test_improve.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_improve.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/brics_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ledger.cpp" "tests/CMakeFiles/brics_tests.dir/test_ledger.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_ledger.cpp.o.d"
+  "/root/repo/tests/test_metis_reorder.cpp" "tests/CMakeFiles/brics_tests.dir/test_metis_reorder.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_metis_reorder.cpp.o.d"
+  "/root/repo/tests/test_paper_facts.cpp" "tests/CMakeFiles/brics_tests.dir/test_paper_facts.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_paper_facts.cpp.o.d"
+  "/root/repo/tests/test_pivoting.cpp" "tests/CMakeFiles/brics_tests.dir/test_pivoting.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_pivoting.cpp.o.d"
+  "/root/repo/tests/test_postprocess.cpp" "tests/CMakeFiles/brics_tests.dir/test_postprocess.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_postprocess.cpp.o.d"
+  "/root/repo/tests/test_reduce_properties.cpp" "tests/CMakeFiles/brics_tests.dir/test_reduce_properties.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_reduce_properties.cpp.o.d"
+  "/root/repo/tests/test_redundant.cpp" "tests/CMakeFiles/brics_tests.dir/test_redundant.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_redundant.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/brics_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/brics_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/brics_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_strategy.cpp" "tests/CMakeFiles/brics_tests.dir/test_strategy.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_strategy.cpp.o.d"
+  "/root/repo/tests/test_topk.cpp" "tests/CMakeFiles/brics_tests.dir/test_topk.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_topk.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/brics_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_weighted.cpp" "tests/CMakeFiles/brics_tests.dir/test_weighted.cpp.o" "gcc" "tests/CMakeFiles/brics_tests.dir/test_weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/brics_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/brics_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/brics_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/brics_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/traverse/CMakeFiles/brics_traverse.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduce/CMakeFiles/brics_reduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/bcc/CMakeFiles/brics_bcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/brics_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/brics_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brics_cli.dir/brics_cli.cpp.o"
+  "CMakeFiles/brics_cli.dir/brics_cli.cpp.o.d"
+  "brics"
+  "brics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brics_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_datasets "/root/repo/build/tools/brics" "datasets")
+set_tests_properties(cli_datasets PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/tools/brics" "stats" "@road-rural" "--scale" "0.05")
+set_tests_properties(cli_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_estimate "/root/repo/build/tools/brics" "estimate" "@web-copy-a" "--scale" "0.05" "--rate" "0.3")
+set_tests_properties(cli_estimate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_estimate_cr "/root/repo/build/tools/brics" "estimate" "@com-part-a" "--scale" "0.05" "--config" "cr")
+set_tests_properties(cli_estimate_cr PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_topk "/root/repo/build/tools/brics" "topk" "@soc-rmat" "--scale" "0.05" "--k" "5")
+set_tests_properties(cli_topk PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_generate "/root/repo/build/tools/brics" "generate" "road-rural" "--scale" "0.05" "--out" "/root/repo/build/gen_test.txt")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_command "/root/repo/build/tools/brics" "frobnicate")
+set_tests_properties(cli_bad_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_dataset "/root/repo/build/tools/brics" "stats" "@nope")
+set_tests_properties(cli_unknown_dataset PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_harmonic "/root/repo/build/tools/brics" "harmonic" "@soc-rmat" "--scale" "0.05" "--rate" "0.5")
+set_tests_properties(cli_harmonic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_distance "/root/repo/build/tools/brics" "distance" "@road-rural" "--scale" "0.05" "--s" "1" "--t" "40")
+set_tests_properties(cli_distance PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_improve "/root/repo/build/tools/brics" "improve" "@road-rural" "--scale" "0.05" "--node" "7" "--k" "2" "--pool" "50")
+set_tests_properties(cli_improve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
