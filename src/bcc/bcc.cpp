@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/failpoint.hpp"
 #include "util/check.hpp"
 
 namespace brics {
@@ -32,6 +33,7 @@ double BccResult::avg_block_size() const {
 
 BccResult biconnected_components(const CsrGraph& g,
                                  std::span<const std::uint8_t> present) {
+  BRICS_FAILPOINT("bcc.decompose");
   const NodeId n = g.num_nodes();
   BRICS_CHECK(present.empty() || present.size() == n);
   auto is_present = [&](NodeId v) { return present.empty() || present[v]; };

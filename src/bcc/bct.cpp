@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "exec/failpoint.hpp"
 #include "util/check.hpp"
 
 namespace brics {
 
 BlockCutTree build_bct(const BccResult& bcc, NodeId n) {
+  BRICS_FAILPOINT("bcc.bct");
   BlockCutTree t;
   const BlockId nb = bcc.num_blocks();
   t.cut_of_node.assign(n, kInvalidCut);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "bcc/bcc.hpp"
 #include "bcc/bct.hpp"
 #include "core/postprocess.hpp"
 #include "core/sampling.hpp"
+#include "exec/errors.hpp"
 #include "graph/connectivity.hpp"
 #include "traverse/bfs.hpp"
 #include "util/check.hpp"
@@ -147,6 +149,22 @@ void append_record_virtuals(const ReductionLedger& ledger,
   }
 }
 
+// The degraded escape hatch: when reductions, decomposition, or the
+// sampling plan fault or blow the budget, fall back to plain random
+// sampling on the raw graph under the caller's original deadline. The
+// fallback guarantees at least one completed source, so a finite (if
+// coarse) estimate always comes back.
+EstimateResult degraded_fallback(const CsrGraph& g,
+                                 const EstimateOptions& opts,
+                                 const CancelToken& token, ExecPhase phase,
+                                 const Timer& total) {
+  EstimateResult res = estimate_random_sampling_budgeted(g, opts, token);
+  res.degraded = true;
+  res.cut_phase = phase;
+  res.times.total_s = total.seconds();
+  return res;
+}
+
 }  // namespace
 
 EstimateResult estimate_brics(const CsrGraph& g,
@@ -155,28 +173,63 @@ EstimateResult estimate_brics(const CsrGraph& g,
   BRICS_CHECK_MSG(is_connected(g),
                   "estimators require a connected graph "
                   "(preprocess with make_connected / largest_component)");
+  BRICS_CHECK_MSG(opts.sample_rate > 0.0 && opts.sample_rate <= 1.0,
+                  "sample_rate must be in (0, 1], got " << opts.sample_rate);
   Timer total;
+  CancelToken token(opts.budget.timeout_ms);
+
   Timer reduce_t;
-  ReducedGraph rg = reduce(g, opts.reduce);
+  std::optional<ReducedGraph> rg;
+  try {
+    rg.emplace(reduce(g, opts.reduce));
+    if (token.poll()) throw BudgetExceeded(ExecPhase::kReduce);
+  } catch (const std::exception&) {
+    return degraded_fallback(g, opts, token, ExecPhase::kReduce, total);
+  }
   const double reduce_s = reduce_t.seconds();
-  EstimateResult res = estimate_on_reduction(rg, opts);
-  res.times.reduce_s = reduce_s;
-  res.times.total_s = total.seconds();
-  return res;
+
+  // Everything below degrades instead of aborting: a budget blow-out in a
+  // phase that cannot produce partial results surfaces as BudgetExceeded,
+  // any other fault (fail points, violated invariants) is mapped to the
+  // phase it interrupted; both fall back to plain sampling on g.
+  ExecPhase phase = ExecPhase::kBcc;
+  try {
+    EstimateResult res =
+        estimate_on_reduction_budgeted(*rg, opts, token, &phase);
+    res.times.reduce_s = reduce_s;
+    res.times.total_s = total.seconds();
+    return res;
+  } catch (const BudgetExceeded& e) {
+    return degraded_fallback(g, opts, token, e.phase(), total);
+  } catch (const std::exception&) {
+    return degraded_fallback(g, opts, token, phase, total);
+  }
 }
 
 EstimateResult estimate_on_reduction(const ReducedGraph& rg,
                                      const EstimateOptions& opts) {
+  CancelToken token(opts.budget.timeout_ms);
+  return estimate_on_reduction_budgeted(rg, opts, token, nullptr);
+}
+
+EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
+                                              const EstimateOptions& opts,
+                                              const CancelToken& token,
+                                              ExecPhase* phase_out) {
   const NodeId n = rg.ledger.num_nodes();
   BRICS_CHECK_MSG(n >= 1, "empty graph");
   BRICS_CHECK(rg.graph.num_nodes() == n);
   Timer total;
+  auto set_phase = [&](ExecPhase p) {
+    if (phase_out) *phase_out = p;
+  };
   EstimateResult res;
   res.farness.assign(n, 0.0);
   res.exact.assign(n, 0);
   res.reduce_stats = rg.stats;
 
   // ---- Decompose (Algorithm 4, step 7). ----
+  set_phase(ExecPhase::kBcc);
   Timer bcc_t;
   BccResult bcc = biconnected_components(rg.graph, rg.present);
   BlockCutTree bct = build_bct(bcc, n);
@@ -231,6 +284,11 @@ EstimateResult estimate_on_reduction(const ReducedGraph& rg,
   }
   res.times.bcc_s = bcc_t.seconds();
 
+  // The decomposition yields no reusable partial estimate, so a deadline
+  // that fires here surfaces as BudgetExceeded; estimate_brics catches it
+  // and degrades to plain sampling on the raw graph.
+  if (token.poll()) throw BudgetExceeded(ExecPhase::kBcc);
+
   // ---- Sampling plan (Algorithm 5, step 2). ----
   const double rate = opts.sample_rate;
   BRICS_CHECK_MSG(rate > 0.0 && rate <= 1.0,
@@ -267,17 +325,67 @@ EstimateResult estimate_on_reduction(const ReducedGraph& rg,
       }
       for (NodeId i : pick) bw.samples_local.push_back(non_cuts[i]);
     }
-    res.samples += static_cast<NodeId>(bw.samples_local.size());
     bw.dsum_own.assign(bw.cut_count, 0);
     bw.dcc.assign(static_cast<std::size_t>(bw.cut_count) * bw.cut_count, 0);
     bw.ow.assign(bw.cut_count, 0);
     bw.od.assign(bw.cut_count, 0);
   }
 
-  // Flatten (block, sample) pairs for load-balanced parallel traversal.
+  // Every block's mandatory prefix: its cut vertices (their traversals feed
+  // the exact cross-block machinery and may never be shed), or one source
+  // for a cut-less block (so every block retains an intra estimate). The
+  // budget only ever sheds the optional remainder.
+  auto mandatory_of = [&](const BlockWork& bw) -> NodeId {
+    return bw.cut_count > 0 ? bw.cut_count
+                            : std::min<NodeId>(
+                                  1, static_cast<NodeId>(
+                                         bw.samples_local.size()));
+  };
+
+  NodeId planned_total = 0, mandatory_total = 0;
+  for (BlockId b = 0; b < nb; ++b) {
+    planned_total += static_cast<NodeId>(works[b].samples_local.size());
+    mandatory_total += mandatory_of(works[b]);
+  }
+
+  // ---- Source cap (RunBudget::max_sources). ----
+  bool plan_capped = false;
+  const NodeId cap = opts.budget.max_sources;
+  if (cap > 0 && planned_total > cap) {
+    // A cap below the mandatory work can't be honoured by trimming; the
+    // caller degrades to plain capped sampling instead.
+    if (cap < mandatory_total) {
+      set_phase(ExecPhase::kPlan);
+      throw BudgetExceeded(ExecPhase::kPlan);
+    }
+    plan_capped = true;
+    // Shed optional samples round-robin from the back of each block's
+    // pick list — deterministic, and spreads the loss across blocks.
+    NodeId excess = planned_total - cap;
+    while (excess > 0) {
+      bool any = false;
+      for (BlockId b = 0; b < nb && excess > 0; ++b) {
+        BlockWork& bw = works[b];
+        if (bw.samples_local.size() > mandatory_of(bw)) {
+          bw.samples_local.pop_back();
+          --excess;
+          any = true;
+        }
+      }
+      BRICS_CHECK_MSG(any, "source cap below shed-able sample count");
+    }
+  }
+
+  // Flatten (block, sample) pairs for load-balanced parallel traversal,
+  // mandatory tasks first so the deadline can only shed optional ones.
   std::vector<std::pair<BlockId, std::uint32_t>> tasks;
   for (BlockId b = 0; b < nb; ++b)
-    for (std::uint32_t si = 0; si < works[b].samples_local.size(); ++si)
+    for (std::uint32_t si = 0; si < mandatory_of(works[b]); ++si)
+      tasks.emplace_back(b, si);
+  const std::size_t mandatory_tasks = tasks.size();
+  for (BlockId b = 0; b < nb; ++b)
+    for (std::uint32_t si = mandatory_of(works[b]);
+         si < works[b].samples_local.size(); ++si)
       tasks.emplace_back(b, si);
 
   std::vector<FarnessSum> intra_exact(n, 0);
@@ -285,7 +393,9 @@ EstimateResult estimate_on_reduction(const ReducedGraph& rg,
   ThreadSums acc_own(n);   // over samples owned by the block (exact terms)
 
   // ---- P1: sampled traversals inside each block (Algorithm 5 step 2). ----
+  set_phase(ExecPhase::kTraverse);
   Timer traverse_t;
+  std::vector<std::uint8_t> completed(tasks.size(), 0);
 #pragma omp parallel
   {
     TraversalWorkspace ws;
@@ -293,11 +403,14 @@ EstimateResult estimate_on_reduction(const ReducedGraph& rg,
 #pragma omp for schedule(dynamic, 4)
     for (std::int64_t t = 0; t < static_cast<std::int64_t>(tasks.size());
          ++t) {
+      const bool must = static_cast<std::size_t>(t) < mandatory_tasks;
+      if (!must && token.poll()) continue;
       const auto [b, si] = tasks[static_cast<std::size_t>(t)];
       BlockWork& bw = works[b];
       const NodeId ls = bw.samples_local[si];
       const NodeId gs = bw.sub.to_old[ls];
-      sssp(bw.sub.graph, ls, ws);
+      if (!sssp(bw.sub.graph, ls, ws, must ? nullptr : &token)) continue;
+      completed[static_cast<std::size_t>(t)] = 1;
       std::span<const Dist> local = ws.dist();
 
       scratch.fill_block(bw, local);
@@ -336,6 +449,39 @@ EstimateResult estimate_on_reduction(const ReducedGraph& rg,
     }
   }
   res.times.traverse_s = traverse_t.seconds();
+
+  // ---- Degraded traversal: drop the samples that never finished. ----
+  // Everything downstream (beta calibration, the intra-block rescaling,
+  // the exact flags) keys off samples_local, so shrinking it to the
+  // completed set *is* the rescaling-by-achieved-sample-count: each block's
+  // intra estimator divides by its own (now smaller) sample count. The
+  // mandatory prefix always completed, so cut data (dsum_own, dcc) is
+  // intact and cuts stay a prefix of samples_local.
+  std::size_t done_tasks = 0;
+  for (std::uint8_t c : completed) done_tasks += c;
+  const bool traverse_cut = done_tasks < tasks.size();
+  if (traverse_cut) {
+    std::vector<std::vector<NodeId>> kept(nb);
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (!completed[t]) continue;
+      const auto [b, si] = tasks[t];
+      kept[b].push_back(works[b].samples_local[si]);
+    }
+    for (BlockId b = 0; b < nb; ++b)
+      works[b].samples_local = std::move(kept[b]);
+  }
+  res.samples = static_cast<NodeId>(done_tasks);
+  res.planned_samples = planned_total;
+  res.achieved_sample_rate = opts.sample_rate *
+                             static_cast<double>(done_tasks) /
+                             static_cast<double>(planned_total);
+  if (traverse_cut) {
+    res.degraded = true;
+    res.cut_phase = ExecPhase::kTraverse;
+  } else if (plan_capped) {
+    res.degraded = true;
+    res.cut_phase = ExecPhase::kPlan;
+  }
 
   // ---- Tree DP over the BCT (Algorithm 6). ----
   Timer combine_t;

@@ -34,4 +34,16 @@ EstimateResult estimate_farness(const CsrGraph& g,
 EstimateResult estimate_on_reduction(const ReducedGraph& rg,
                                      const EstimateOptions& opts);
 
+/// As estimate_on_reduction but cooperating with an external cancel token,
+/// so fall-back paths share the caller's original deadline. Deadlines that
+/// fire during sampled traversals degrade in place (optional samples are
+/// shed, the result rescaled to the achieved per-block sample counts);
+/// deadlines that fire during decomposition — where no partial result
+/// exists — throw BudgetExceeded for the caller to handle. phase_out, when
+/// non-null, tracks the phase in flight so callers can attribute faults.
+EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
+                                              const EstimateOptions& opts,
+                                              const CancelToken& token,
+                                              ExecPhase* phase_out = nullptr);
+
 }  // namespace brics

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bcc/bcc.hpp"
+#include "exec/budget.hpp"
 #include "graph/types.hpp"
 #include "reduce/reducer.hpp"
 #include "util/timer.hpp"
@@ -28,6 +29,11 @@ struct EstimateOptions {
   ReduceOptions reduce;       ///< which reductions to apply
   bool use_bcc = true;        ///< decompose into biconnected blocks
   SampleStrategy strategy = SampleStrategy::kUniform;
+  /// Wall-clock / source-count limits. When a non-default budget cuts a
+  /// run, the estimators degrade instead of abort (docs/ROBUSTNESS.md):
+  /// the result is built from the sources completed in time and flagged
+  /// below. The default budget is unlimited and changes nothing.
+  RunBudget budget;
 };
 
 /// Estimator output. farness[v] approximates sum_{w != v} d(v, w); entries
@@ -36,10 +42,20 @@ struct EstimateOptions {
 struct EstimateResult {
   std::vector<double> farness;
   std::vector<std::uint8_t> exact;
-  NodeId samples = 0;        ///< total BFS/SSSP sources used
+  NodeId samples = 0;        ///< traversal sources actually completed
   PhaseTimes times;
   ReduceStats reduce_stats;  ///< zero-initialised when no reduction ran
   BlockId num_blocks = 0;    ///< 0 when use_bcc == false
+
+  // Degradation report (docs/ROBUSTNESS.md). A degraded result is still a
+  // valid estimate — coarser, per the rescaled-sample error model — built
+  // from whatever completed before the budget expired or a phase faulted.
+  bool degraded = false;                    ///< some phase was cut/replaced
+  ExecPhase cut_phase = ExecPhase::kNone;   ///< where the cut happened
+  NodeId planned_samples = 0;               ///< sources the plan called for
+  /// Effective sample rate achieved: opts.sample_rate scaled by
+  /// samples / planned_samples (equals opts.sample_rate when not degraded).
+  double achieved_sample_rate = 0.0;
 };
 
 }  // namespace brics

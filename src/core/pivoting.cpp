@@ -23,11 +23,14 @@ EstimateResult estimate_pivoting(const CsrGraph& g,
   res.farness.assign(n, 0.0);
   res.exact.assign(n, 0);
 
-  const NodeId k = std::clamp<NodeId>(
+  const NodeId planned = std::clamp<NodeId>(
       static_cast<NodeId>(std::ceil(opts.sample_rate * n)), 1, n);
+  NodeId k = planned;
+  if (opts.budget.max_sources > 0 && k > opts.budget.max_sources)
+    k = std::max<NodeId>(opts.budget.max_sources, 1);
   Rng rng(opts.seed);
   std::vector<NodeId> sources = sample_without_replacement(n, k, rng);
-  res.samples = k;
+  CancelToken token(opts.budget.timeout_ms);
 
   // One traversal sweep feeds both estimators: the distance-sum
   // accumulator (sampling) and the nearest-pivot assignment (pivoting).
@@ -43,8 +46,10 @@ EstimateResult estimate_pivoting(const CsrGraph& g,
 
   Timer traverse;
   DistanceSumAccumulator acc(n);
-  for_each_source(
-      g, sources, [&](std::size_t, NodeId s, std::span<const Dist> dist) {
+  std::vector<std::uint8_t> completed;
+  const std::size_t done = for_each_source_budgeted(
+      g, sources, token, /*mandatory=*/1, completed,
+      [&](std::size_t, NodeId s, std::span<const Dist> dist) {
         acc.add(dist);
         pivot_farness[s] = aggregate_distances(dist).sum;
         res.exact[s] = 1;
@@ -67,7 +72,21 @@ EstimateResult estimate_pivoting(const CsrGraph& g,
       if (buf[v].d < assign[v].d) assign[v] = buf[v];
   }
   std::vector<FarnessSum> sums = acc.merge();
-  const double scale = static_cast<double>(n - 1) / static_cast<double>(k);
+  const NodeId k_done = static_cast<NodeId>(done);
+  res.samples = k_done;
+  res.planned_samples = planned;
+  res.achieved_sample_rate = opts.sample_rate *
+                             static_cast<double>(k_done) /
+                             static_cast<double>(planned);
+  if (k_done < k) {
+    res.degraded = true;
+    res.cut_phase = ExecPhase::kTraverse;
+  } else if (k < planned) {
+    res.degraded = true;
+    res.cut_phase = ExecPhase::kPlan;
+  }
+  const double scale =
+      static_cast<double>(n - 1) / static_cast<double>(k_done);
 
   for (NodeId v = 0; v < n; ++v) {
     if (res.exact[v]) {

@@ -31,6 +31,9 @@ struct PivotOptions {
   std::uint64_t seed = 1;
   PivotCombine combine = PivotCombine::kHybrid;
   double bias = 0.0;  ///< distance-correction weight in [-1, 1]
+  /// Deadline / source cap; on expiry the estimator degrades to the pivots
+  /// traversed in time (at least one always completes).
+  RunBudget budget;
 };
 
 /// Pivot/hybrid farness estimation on a connected graph. Sampled nodes are

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/postprocess.hpp"
+#include "exec/errors.hpp"
 #include "graph/connectivity.hpp"
 #include "traverse/multi_source.hpp"
 #include "util/check.hpp"
@@ -21,10 +23,38 @@ NodeId sample_count(NodeId pop, double rate) {
   return std::clamp<NodeId>(static_cast<NodeId>(k), 1, pop);
 }
 
+// Apply the max-sources cap to a planned sample count; at least one source
+// always survives so every run yields an estimate.
+NodeId apply_source_cap(NodeId planned, const RunBudget& budget) {
+  if (budget.max_sources == 0 || planned <= budget.max_sources)
+    return planned;
+  return std::max<NodeId>(budget.max_sources, 1);
+}
+
+// Fill in the degradation report shared by every sampling-style estimator:
+// `planned` is what the rate called for, `k` the post-cap plan, `k_done`
+// what the deadline let finish.
+void report_degradation(EstimateResult& res, const EstimateOptions& opts,
+                        NodeId planned, NodeId k, NodeId k_done) {
+  res.samples = k_done;
+  res.planned_samples = planned;
+  res.achieved_sample_rate = opts.sample_rate *
+                             static_cast<double>(k_done) /
+                             static_cast<double>(planned);
+  if (k_done < k) {
+    res.degraded = true;
+    res.cut_phase = ExecPhase::kTraverse;
+  } else if (k < planned) {
+    res.degraded = true;
+    res.cut_phase = ExecPhase::kPlan;
+  }
+}
+
 }  // namespace
 
-EstimateResult estimate_random_sampling(const CsrGraph& g,
-                                        const EstimateOptions& opts) {
+EstimateResult estimate_random_sampling_budgeted(const CsrGraph& g,
+                                                 const EstimateOptions& opts,
+                                                 const CancelToken& token) {
   const NodeId n = g.num_nodes();
   BRICS_CHECK_MSG(n >= 1, "empty graph");
   BRICS_CHECK_MSG(is_connected(g),
@@ -35,7 +65,8 @@ EstimateResult estimate_random_sampling(const CsrGraph& g,
   res.farness.assign(n, 0.0);
   res.exact.assign(n, 0);
 
-  const NodeId k = sample_count(n, opts.sample_rate);
+  const NodeId planned = sample_count(n, opts.sample_rate);
+  const NodeId k = apply_source_cap(planned, opts.budget);
   Rng rng(opts.seed);
   std::vector<NodeId> sources;
   if (opts.strategy == SampleStrategy::kDegreeWeighted) {
@@ -46,28 +77,38 @@ EstimateResult estimate_random_sampling(const CsrGraph& g,
   } else {
     sources = sample_without_replacement(n, k, rng);
   }
-  res.samples = k;
 
   Timer traverse;
   DistanceSumAccumulator acc(n);
-  for_each_source(g, sources,
-                  [&](std::size_t, NodeId s, std::span<const Dist> dist) {
-                    res.farness[s] =
-                        static_cast<double>(aggregate_distances(dist).sum);
-                    res.exact[s] = 1;
-                    acc.add(dist);
-                  });
+  std::vector<std::uint8_t> completed;
+  const std::size_t done = for_each_source_budgeted(
+      g, sources, token, /*mandatory=*/1, completed,
+      [&](std::size_t, NodeId s, std::span<const Dist> dist) {
+        res.farness[s] =
+            static_cast<double>(aggregate_distances(dist).sum);
+        res.exact[s] = 1;
+        acc.add(dist);
+      });
+  const NodeId k_done = static_cast<NodeId>(done);
   res.times.traverse_s = traverse.seconds();
 
   Timer combine;
   std::vector<FarnessSum> sums = acc.merge();
-  const double scale = static_cast<double>(n - 1) / static_cast<double>(k);
+  const double scale =
+      static_cast<double>(n - 1) / static_cast<double>(k_done);
   for (NodeId v = 0; v < n; ++v)
     if (!res.exact[v])
       res.farness[v] = static_cast<double>(sums[v]) * scale;
+  report_degradation(res, opts, planned, k, k_done);
   res.times.combine_s = combine.seconds();
   res.times.total_s = total.seconds();
   return res;
+}
+
+EstimateResult estimate_random_sampling(const CsrGraph& g,
+                                        const EstimateOptions& opts) {
+  CancelToken token(opts.budget.timeout_ms);
+  return estimate_random_sampling_budgeted(g, opts, token);
 }
 
 EstimateResult estimate_reduced_sampling(const CsrGraph& g,
@@ -77,13 +118,32 @@ EstimateResult estimate_reduced_sampling(const CsrGraph& g,
   BRICS_CHECK_MSG(is_connected(g),
                   "estimators require a connected graph "
                   "(preprocess with make_connected / largest_component)");
+  BRICS_CHECK_MSG(opts.sample_rate > 0.0 && opts.sample_rate <= 1.0,
+                  "sample_rate must be in (0, 1], got " << opts.sample_rate);
   Timer total;
+  CancelToken token(opts.budget.timeout_ms);
+
+  Timer reduce_t;
+  std::optional<ReducedGraph> maybe_rg;
+  try {
+    maybe_rg.emplace(reduce(g, opts.reduce));
+    if (token.poll())
+      throw BudgetExceeded(ExecPhase::kReduce);
+  } catch (const std::exception&) {
+    // Reduction faulted or consumed the whole budget: degrade to plain
+    // sampling on the unreduced graph under the same (possibly already
+    // expired) deadline.
+    EstimateResult res = estimate_random_sampling_budgeted(g, opts, token);
+    res.degraded = true;
+    res.cut_phase = ExecPhase::kReduce;
+    res.times.total_s = total.seconds();
+    return res;
+  }
+  const ReducedGraph& rg = *maybe_rg;
+
   EstimateResult res;
   res.farness.assign(n, 0.0);
   res.exact.assign(n, 0);
-
-  Timer reduce_t;
-  ReducedGraph rg = reduce(g, opts.reduce);
   res.reduce_stats = rg.stats;
   res.times.reduce_s = reduce_t.seconds();
 
@@ -93,18 +153,19 @@ EstimateResult estimate_reduced_sampling(const CsrGraph& g,
     if (rg.present[v]) present_nodes.push_back(v);
   BRICS_CHECK(!present_nodes.empty());
 
-  const NodeId k = sample_count(rg.num_present, opts.sample_rate);
+  const NodeId planned = sample_count(rg.num_present, opts.sample_rate);
+  const NodeId k = apply_source_cap(planned, opts.budget);
   Rng rng(opts.seed);
   std::vector<NodeId> pick =
       sample_without_replacement(rg.num_present, k, rng);
   std::vector<NodeId> sources(k);
   for (NodeId i = 0; i < k; ++i) sources[i] = present_nodes[pick[i]];
-  res.samples = k;
 
   Timer traverse;
   DistanceSumAccumulator acc(n);
-  for_each_source(
-      rg.graph, sources,
+  std::vector<std::uint8_t> completed;
+  const std::size_t done = for_each_source_budgeted(
+      rg.graph, sources, token, /*mandatory=*/1, completed,
       [&](std::size_t, NodeId s, std::span<const Dist> dist) {
         // The reduced distance vector becomes a full-graph distance vector
         // once the ledger reconstructs the removed nodes; the source's
@@ -119,6 +180,7 @@ EstimateResult estimate_reduced_sampling(const CsrGraph& g,
         res.exact[s] = 1;
         acc.add(full);
       });
+  const NodeId k_done = static_cast<NodeId>(done);
   res.times.traverse_s = traverse.seconds();
 
   Timer combine;
@@ -130,22 +192,25 @@ EstimateResult estimate_reduced_sampling(const CsrGraph& g,
   // from the sampled nodes themselves — their exact farness against the
   // raw leave-one-out estimate.
   double beta = 1.0;
-  if (k >= 2) {
+  if (k_done >= 2) {
     double exact_sum = 0.0, raw_sum = 0.0;
-    for (NodeId s : sources) {
+    for (NodeId i = 0; i < k; ++i) {
+      if (!completed[i]) continue;
+      const NodeId s = sources[i];
       exact_sum += res.farness[s];
       raw_sum += static_cast<double>(n - 1) *
                  static_cast<double>(sums[s]) /
-                 static_cast<double>(k - 1);
+                 static_cast<double>(k_done - 1);
     }
     if (exact_sum > 0.0 && raw_sum > 0.0) beta = exact_sum / raw_sum;
   }
   const double scale =
-      beta * static_cast<double>(n - 1) / static_cast<double>(k);
+      beta * static_cast<double>(n - 1) / static_cast<double>(k_done);
   for (NodeId v = 0; v < n; ++v)
     if (!res.exact[v])
       res.farness[v] = static_cast<double>(sums[v]) * scale;
   refine_removed_estimates(rg.ledger, n, res.farness, res.exact);
+  report_degradation(res, opts, planned, k, k_done);
   res.times.combine_s = combine.seconds();
   res.times.total_s = total.seconds();
   return res;

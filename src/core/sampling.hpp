@@ -20,8 +20,18 @@ namespace brics {
 EstimateResult estimate_random_sampling(const CsrGraph& g,
                                         const EstimateOptions& opts);
 
-/// Reduce-then-sample without block decomposition.
+/// Reduce-then-sample without block decomposition. If the reduction faults
+/// or blows opts.budget, degrades to plain sampling on the unreduced graph
+/// (result flagged degraded, cut_phase = kReduce).
 EstimateResult estimate_reduced_sampling(const CsrGraph& g,
                                          const EstimateOptions& opts);
+
+/// As estimate_random_sampling but cooperating with an existing cancel
+/// token: the degraded fall-back paths route here so the caller's original
+/// deadline keeps applying. At least one source always completes, even on
+/// an already-cancelled token, so a finite estimate always exists.
+EstimateResult estimate_random_sampling_budgeted(const CsrGraph& g,
+                                                 const EstimateOptions& opts,
+                                                 const CancelToken& token);
 
 }  // namespace brics

@@ -1,0 +1,100 @@
+// Deadline-aware execution control.
+//
+// A RunBudget is a declarative resource limit attached to one estimator
+// run: a wall-clock deadline and/or a cap on traversal sources. The
+// estimators translate it into a CancelToken shared with every traversal
+// thread; cancellation is cooperative and checked at frontier granularity
+// (every ~1k node expansions), so it is OpenMP-safe and costs one relaxed
+// atomic load on the hot path.
+//
+// Budget semantics (see docs/ROBUSTNESS.md):
+//   - Mandatory work — cut-vertex traversals and the first source of every
+//     block — always runs to completion, so the exact cross-block skeleton
+//     of a BRICS estimate is never truncated. Only optional sample sources
+//     are shed when the deadline fires.
+//   - When a budget cuts a run, estimators degrade instead of abort: the
+//     result is rescaled to the achieved sample count and flagged via
+//     EstimateResult::degraded / cut_phase / achieved_sample_rate.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace brics {
+
+/// Pipeline phase identifiers, used to report where a budget cut or an
+/// induced fault forced a degraded result.
+enum class ExecPhase : std::uint8_t {
+  kNone,      ///< nothing was cut
+  kPlan,      ///< the max-sources cap bound the sampling plan
+  kReduce,    ///< reduction blew the budget or faulted
+  kBcc,       ///< decomposition / BCT blew the budget or faulted
+  kTraverse,  ///< the deadline fired during sampled traversals
+};
+
+inline const char* to_string(ExecPhase p) {
+  switch (p) {
+    case ExecPhase::kNone: return "none";
+    case ExecPhase::kPlan: return "plan";
+    case ExecPhase::kReduce: return "reduce";
+    case ExecPhase::kBcc: return "bcc";
+    case ExecPhase::kTraverse: return "traverse";
+  }
+  return "?";
+}
+
+/// Declarative limits for one estimator run. Zero means unlimited; the
+/// default budget never degrades anything.
+struct RunBudget {
+  std::int64_t timeout_ms = 0;  ///< wall-clock budget; 0 = none
+  std::uint32_t max_sources = 0;  ///< cap on traversal sources; 0 = none
+
+  bool unlimited() const { return timeout_ms <= 0 && max_sources == 0; }
+};
+
+/// Cooperative cancellation flag shared between an estimator driver and its
+/// traversal threads. cancelled() is a relaxed atomic load — cheap enough
+/// for hot loops; poll() additionally checks the wall-clock deadline and is
+/// called at frontier granularity. Not copyable (threads share a reference).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// A token that self-cancels once timeout_ms of wall-clock time elapse
+  /// (checked on poll()). timeout_ms <= 0 means no deadline.
+  explicit CancelToken(std::int64_t timeout_ms) {
+    if (timeout_ms > 0) {
+      has_deadline_ = true;
+      deadline_ = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    }
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() const noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Check the deadline (if any) and return the updated cancelled state.
+  /// Const so traversals can poll through a const pointer; the flag is
+  /// logically a communication channel, not object state.
+  bool poll() const noexcept {
+    if (cancelled()) return true;
+    if (has_deadline_ && Clock::now() >= deadline_) cancel();
+    return cancelled();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  mutable std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace brics

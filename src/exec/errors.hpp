@@ -1,0 +1,52 @@
+// Typed error taxonomy (see docs/ROBUSTNESS.md).
+//
+// Three classes of failure leave the library, each with a distinct type so
+// callers (the CLI in particular) can map them to distinct responses:
+//
+//   CheckFailure   (util/check.hpp) — a violated internal invariant; a bug.
+//   InputError     — malformed or adversarial input data; the caller's data
+//                    is at fault, the library state is untouched.
+//   BudgetExceeded — a RunBudget expired at a point where no degraded
+//                    result can be built from work done so far; callers
+//                    holding the raw graph catch it and fall back to plain
+//                    sampling.
+//   FailPointError — an armed fail point fired (test-only fault injection).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "exec/budget.hpp"
+
+namespace brics {
+
+/// Malformed or adversarial input (edge lists, METIS files, serialized
+/// reductions). Maps to CLI exit code 3.
+class InputError : public std::runtime_error {
+ public:
+  explicit InputError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A RunBudget expired where no partial result exists (e.g. mid-reduction
+/// or mid-decomposition). Carries the phase that was executing.
+class BudgetExceeded : public std::runtime_error {
+ public:
+  explicit BudgetExceeded(ExecPhase phase)
+      : std::runtime_error(std::string("run budget exceeded during ") +
+                           to_string(phase) + " phase"),
+        phase_(phase) {}
+
+  ExecPhase phase() const { return phase_; }
+
+ private:
+  ExecPhase phase_;
+};
+
+/// Thrown by BRICS_FAILPOINT when its site is armed (exec/failpoint.hpp).
+class FailPointError : public std::runtime_error {
+ public:
+  explicit FailPointError(const std::string& name)
+      : std::runtime_error("fail point '" + name + "' fired") {}
+};
+
+}  // namespace brics

@@ -1,0 +1,60 @@
+#include "exec/failpoint.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+namespace brics {
+
+struct FailPointRegistry::Impl {
+  std::atomic<int> armed{0};  // fast-path gate: number of armed points
+  std::mutex mu;
+  std::unordered_map<std::string, int> countdown;  // armed name -> skips left
+};
+
+FailPointRegistry& FailPointRegistry::instance() {
+  static FailPointRegistry reg;
+  return reg;
+}
+
+FailPointRegistry::Impl& FailPointRegistry::impl() {
+  static Impl impl;
+  return impl;
+}
+
+void FailPointRegistry::arm(const std::string& name, int skip_hits) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto [it, fresh] = im.countdown.insert_or_assign(name, skip_hits);
+  (void)it;
+  if (fresh) im.armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailPointRegistry::disarm(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  if (im.countdown.erase(name) > 0)
+    im.armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FailPointRegistry::disarm_all() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.armed.store(0, std::memory_order_relaxed);
+  im.countdown.clear();
+}
+
+bool FailPointRegistry::should_fail(const char* name) {
+  Impl& im = impl();
+  if (im.armed.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.countdown.find(name);
+  if (it == im.countdown.end()) return false;
+  if (it->second > 0) {
+    --it->second;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace brics

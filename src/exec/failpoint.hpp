@@ -1,0 +1,79 @@
+// Deterministic fail-point registry for fault-injection testing.
+//
+// A fail point is a named site compiled into the library:
+//
+//   BRICS_FAILPOINT("reduce.pipeline");
+//
+// Unarmed sites cost one relaxed atomic load (the registry keeps a global
+// armed-count; the name lookup only happens when at least one point is
+// armed). Tests arm a site — optionally with a countdown so the Nth hit
+// fires — and the site throws FailPointError, letting tests prove that the
+// pipeline degrades or surfaces a typed error, never crashes, under induced
+// faults in graph I/O, reduction, and BCC construction.
+//
+// The whole mechanism compiles to no-ops with -DBRICS_FAILPOINTS=OFF
+// (production/release builds); see the top-level CMakeLists.
+#pragma once
+
+#include <string>
+
+#include "exec/errors.hpp"
+
+#ifndef BRICS_FAILPOINTS_ENABLED
+#define BRICS_FAILPOINTS_ENABLED 1
+#endif
+
+namespace brics {
+
+/// Process-wide registry of armed fail points. Thread-safe; arming is
+/// test-only so the armed path may take a lock.
+class FailPointRegistry {
+ public:
+  static FailPointRegistry& instance();
+
+  /// Arm `name`; the site throws on its (skip_hits + 1)-th hit.
+  void arm(const std::string& name, int skip_hits = 0);
+
+  void disarm(const std::string& name);
+  void disarm_all();
+
+  /// True when `name` is armed and its countdown has reached zero
+  /// (decrements the countdown otherwise). Fast path when nothing is
+  /// armed: a single relaxed atomic load.
+  bool should_fail(const char* name);
+
+ private:
+  FailPointRegistry() = default;
+  struct Impl;
+  Impl& impl();
+};
+
+/// RAII arm/disarm for tests.
+class ScopedFailPoint {
+ public:
+  explicit ScopedFailPoint(std::string name, int skip_hits = 0)
+      : name_(std::move(name)) {
+    FailPointRegistry::instance().arm(name_, skip_hits);
+  }
+  ~ScopedFailPoint() { FailPointRegistry::instance().disarm(name_); }
+
+  ScopedFailPoint(const ScopedFailPoint&) = delete;
+  ScopedFailPoint& operator=(const ScopedFailPoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace brics
+
+#if BRICS_FAILPOINTS_ENABLED
+#define BRICS_FAILPOINT(name)                                       \
+  do {                                                              \
+    if (::brics::FailPointRegistry::instance().should_fail(name))   \
+      throw ::brics::FailPointError(name);                          \
+  } while (0)
+#else
+#define BRICS_FAILPOINT(name) \
+  do {                        \
+  } while (0)
+#endif

@@ -1,25 +1,57 @@
 #include "graph/graph_io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "exec/errors.hpp"
+#include "exec/failpoint.hpp"
 #include "graph/connectivity.hpp"
 #include "util/check.hpp"
 
 namespace brics {
+namespace {
+
+// Strict unsigned-decimal parse. Rejects signs, garbage, and anything that
+// overflows 64 bits — istream's operator>> silently wraps negative input
+// into huge unsigned values, which is exactly the UB-adjacent narrowing
+// this loader must never feed downstream.
+bool parse_u64(std::string_view tok, std::uint64_t& out) {
+  if (tok.empty()) return false;
+  const char* first = tok.data();
+  const char* last = first + tok.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+[[noreturn]] void bad_input(std::size_t lineno, const std::string& line,
+                            const char* why) {
+  std::ostringstream os;
+  os << "bad edge list input at line " << lineno << " (" << why << "): '"
+     << line << "'";
+  throw InputError(os.str());
+}
+
+}  // namespace
 
 CsrGraph read_edge_list(std::istream& in, ConnectPolicy policy) {
+  BRICS_FAILPOINT("io.edge_list");
   std::unordered_map<std::uint64_t, NodeId> ids;
   std::vector<Edge> edges;
   std::string line;
   std::size_t lineno = 0;
 
-  auto intern = [&](std::uint64_t raw) {
+  auto intern = [&](std::uint64_t raw, std::size_t ln,
+                    const std::string& l) {
     auto [it, fresh] = ids.emplace(raw, static_cast<NodeId>(ids.size()));
-    (void)fresh;
+    // The dense id must stay below the kInvalidNode sentinel: one more
+    // distinct raw id than NodeId can address would otherwise wrap and
+    // silently alias node 0.
+    if (fresh && it->second == kInvalidNode)
+      bad_input(ln, l, "too many distinct node ids for 32-bit NodeId");
     return it->second;
   };
 
@@ -29,16 +61,21 @@ CsrGraph read_edge_list(std::istream& in, ConnectPolicy policy) {
     if (i == std::string::npos) continue;
     if (line[i] == '#' || line[i] == '%') continue;
     std::istringstream ls(line);
-    std::uint64_t a = 0, b = 0;
-    BRICS_CHECK_MSG(static_cast<bool>(ls >> a >> b),
-                    "malformed edge at line " << lineno << ": '" << line
-                                              << "'");
-    std::uint64_t w = 1;
-    ls >> w;  // optional; stays 1 on failure
-    BRICS_CHECK_MSG(w >= 1 && w <= std::numeric_limits<Weight>::max(),
-                    "bad weight at line " << lineno);
-    edges.push_back({intern(a), intern(b), static_cast<Weight>(w)});
+    std::string ta, tb, tw, extra;
+    ls >> ta >> tb;
+    std::uint64_t a = 0, b = 0, w = 1;
+    if (tb.empty() || !parse_u64(ta, a) || !parse_u64(tb, b))
+      bad_input(lineno, line, "malformed endpoints");
+    if (ls >> tw) {
+      if (!parse_u64(tw, w)) bad_input(lineno, line, "malformed weight");
+      if (ls >> extra) bad_input(lineno, line, "trailing tokens");
+    }
+    if (w < 1 || w > std::numeric_limits<Weight>::max())
+      bad_input(lineno, line, "weight out of range");
+    edges.push_back({intern(a, lineno, line), intern(b, lineno, line),
+                     static_cast<Weight>(w)});
   }
+  if (in.bad()) throw InputError("I/O error while reading edge list");
 
   GraphBuilder builder(static_cast<NodeId>(ids.size()));
   builder.add_edges(edges);
@@ -57,7 +94,7 @@ CsrGraph read_edge_list(std::istream& in, ConnectPolicy policy) {
 
 CsrGraph read_edge_list_file(const std::string& path, ConnectPolicy policy) {
   std::ifstream in(path);
-  BRICS_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  if (!in.good()) throw InputError("cannot open '" + path + "'");
   return read_edge_list(in, policy);
 }
 
@@ -71,10 +108,11 @@ void write_edge_list(const CsrGraph& g, std::ostream& out) {
 
 void write_edge_list_file(const CsrGraph& g, const std::string& path) {
   std::ofstream out(path);
-  BRICS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  if (!out.good())
+    throw InputError("cannot open '" + path + "' for writing");
   write_edge_list(g, out);
   out.flush();
-  BRICS_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+  if (!out.good()) throw InputError("write to '" + path + "' failed");
 }
 
 }  // namespace brics

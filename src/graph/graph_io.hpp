@@ -21,7 +21,9 @@ enum class ConnectPolicy {
   kStitchComponents,   ///< add edges between components (paper's choice)
 };
 
-/// Parse an edge list from a stream. Throws CheckFailure on malformed input.
+/// Parse an edge list from a stream. Throws InputError (exec/errors.hpp) on
+/// malformed input: garbage or signed tokens, out-of-range weights, or more
+/// distinct ids than NodeId can address.
 CsrGraph read_edge_list(std::istream& in,
                         ConnectPolicy policy = ConnectPolicy::kStitchComponents);
 

@@ -1,28 +1,60 @@
 #include "graph/metis_io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
+#include "exec/errors.hpp"
+#include "exec/failpoint.hpp"
 #include "util/check.hpp"
 
 namespace brics {
+namespace {
+
+// Strict unsigned-decimal parse (rejects signs, garbage, 64-bit overflow);
+// istream's operator>> would wrap "-1" into a huge unsigned value instead.
+bool parse_u64(std::string_view tok, std::uint64_t& out) {
+  if (tok.empty()) return false;
+  const char* first = tok.data();
+  const char* last = first + tok.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+[[noreturn]] void bad_metis(const std::string& why) {
+  throw InputError("bad METIS input: " + why);
+}
+
+}  // namespace
 
 CsrGraph read_metis(std::istream& in) {
+  BRICS_FAILPOINT("io.metis");
   std::string line;
   // Header: first non-comment line.
   std::uint64_t n = 0, m = 0, fmt = 0;
+  bool have_header = false;
   while (std::getline(in, line)) {
     std::size_t i = line.find_first_not_of(" \t\r");
     if (i == std::string::npos || line[i] == '%') continue;
     std::istringstream hs(line);
-    BRICS_CHECK_MSG(static_cast<bool>(hs >> n >> m), "bad METIS header");
-    hs >> fmt;  // optional
+    std::string tn, tm, tf;
+    hs >> tn >> tm >> tf;
+    if (tm.empty() || !parse_u64(tn, n) || !parse_u64(tm, m))
+      bad_metis("malformed header '" + line + "'");
+    if (!tf.empty() && !parse_u64(tf, fmt))
+      bad_metis("malformed header fmt '" + line + "'");
+    have_header = true;
     break;
   }
-  BRICS_CHECK_MSG(n > 0, "empty or missing METIS header");
-  BRICS_CHECK_MSG(fmt == 0 || fmt == 1,
-                  "unsupported METIS fmt " << fmt
-                                           << " (only 0/1 supported)");
+  if (!have_header || n == 0) bad_metis("empty or missing header");
+  // Node ids are 1-based in the file and narrowed to NodeId below; reserve
+  // the kInvalidNode sentinel.
+  if (n >= static_cast<std::uint64_t>(kInvalidNode))
+    bad_metis("node count " + std::to_string(n) +
+              " exceeds 32-bit NodeId range");
+  if (fmt != 0 && fmt != 1)
+    bad_metis("unsupported fmt " + std::to_string(fmt) +
+              " (only 0/1 supported)");
   const bool weighted = fmt == 1;
 
   GraphBuilder b(static_cast<NodeId>(n));
@@ -31,16 +63,23 @@ CsrGraph read_metis(std::istream& in) {
     std::size_t i = line.find_first_not_of(" \t\r");
     if (i != std::string::npos && line[i] == '%') continue;
     std::istringstream ls(line);
-    std::uint64_t nb;
-    while (ls >> nb) {
-      BRICS_CHECK_MSG(nb >= 1 && nb <= n,
-                      "neighbour " << nb << " out of range at node "
-                                   << node + 1);
+    std::string tok;
+    while (ls >> tok) {
+      std::uint64_t nb = 0;
+      if (!parse_u64(tok, nb))
+        bad_metis("malformed neighbour '" + tok + "' at node " +
+                  std::to_string(node + 1));
+      if (nb < 1 || nb > n)
+        bad_metis("neighbour " + std::to_string(nb) +
+                  " out of range at node " + std::to_string(node + 1));
       std::uint64_t w = 1;
-      if (weighted)
-        BRICS_CHECK_MSG(static_cast<bool>(ls >> w),
-                        "missing edge weight at node " << node + 1);
-      BRICS_CHECK_MSG(w >= 1, "bad weight at node " << node + 1);
+      if (weighted) {
+        if (!(ls >> tok) || !parse_u64(tok, w))
+          bad_metis("missing or malformed edge weight at node " +
+                    std::to_string(node + 1));
+      }
+      if (w < 1 || w > std::numeric_limits<Weight>::max())
+        bad_metis("weight out of range at node " + std::to_string(node + 1));
       ++directed_edges;
       // Add each undirected edge once (from its smaller endpoint).
       if (node < nb - 1)
@@ -49,22 +88,23 @@ CsrGraph read_metis(std::istream& in) {
     }
     ++node;
   }
-  BRICS_CHECK_MSG(node == n, "expected " << n << " adjacency lines, got "
-                                         << node);
-  BRICS_CHECK_MSG(directed_edges == 2 * m,
-                  "header claims " << m << " edges but lists "
-                                   << directed_edges << " endpoints");
+  if (in.bad()) throw InputError("I/O error while reading METIS input");
+  if (node != n)
+    bad_metis("expected " + std::to_string(n) + " adjacency lines, got " +
+              std::to_string(node));
+  if (directed_edges != 2 * m)
+    bad_metis("header claims " + std::to_string(m) + " edges but lists " +
+              std::to_string(directed_edges) + " endpoints");
   CsrGraph g = b.build();
-  BRICS_CHECK_MSG(g.num_edges() == m,
-                  "asymmetric adjacency: " << g.num_edges()
-                                           << " undirected edges vs header "
-                                           << m);
+  if (g.num_edges() != m)
+    bad_metis("asymmetric adjacency: " + std::to_string(g.num_edges()) +
+              " undirected edges vs header " + std::to_string(m));
   return g;
 }
 
 CsrGraph read_metis_file(const std::string& path) {
   std::ifstream in(path);
-  BRICS_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  if (!in.good()) throw InputError("cannot open '" + path + "'");
   return read_metis(in);
 }
 
@@ -87,10 +127,11 @@ void write_metis(const CsrGraph& g, std::ostream& out) {
 
 void write_metis_file(const CsrGraph& g, const std::string& path) {
   std::ofstream out(path);
-  BRICS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  if (!out.good())
+    throw InputError("cannot open '" + path + "' for writing");
   write_metis(g, out);
   out.flush();
-  BRICS_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+  if (!out.good()) throw InputError("write to '" + path + "' failed");
 }
 
 }  // namespace brics

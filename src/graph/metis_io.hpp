@@ -13,7 +13,8 @@
 
 namespace brics {
 
-/// Parse a METIS graph. Throws CheckFailure on malformed input, including
+/// Parse a METIS graph. Throws InputError (exec/errors.hpp) on malformed
+/// input, including
 /// header/edge-count mismatches and asymmetric adjacency.
 CsrGraph read_metis(std::istream& in);
 CsrGraph read_metis_file(const std::string& path);

@@ -1,5 +1,6 @@
 #include "reduce/reducer.hpp"
 
+#include "exec/failpoint.hpp"
 #include "util/check.hpp"
 
 namespace brics {
@@ -49,6 +50,7 @@ void accumulate(RedundantPassStats& a, const RedundantPassStats& b) {
 }  // namespace
 
 ReducedGraph reduce(const CsrGraph& g, const ReduceOptions& opts) {
+  BRICS_FAILPOINT("reduce.pipeline");
   const NodeId n = g.num_nodes();
   ReducedGraph out(n);
   out.present.assign(n, 1);

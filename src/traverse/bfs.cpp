@@ -5,6 +5,14 @@
 #include "util/check.hpp"
 
 namespace brics {
+namespace {
+
+// Cancellation is polled once per kPollStride node expansions: frequent
+// enough that a deadline overrun is bounded by microseconds of extra work,
+// rare enough that the steady_clock read vanishes next to the traversal.
+constexpr std::size_t kPollStride = 1024;
+
+}  // namespace
 
 void TraversalWorkspace::resize(NodeId n, Weight max_w) {
   dist_.assign(n, kInfDist);
@@ -14,7 +22,8 @@ void TraversalWorkspace::resize(NodeId n, Weight max_w) {
     buckets_.resize(static_cast<std::size_t>(max_w) + 1);
 }
 
-void bfs(const CsrGraph& g, NodeId source, TraversalWorkspace& ws) {
+bool bfs(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
+         const CancelToken* cancel) {
   BRICS_CHECK_MSG(g.unit_weights(), "bfs() requires unit weights");
   BRICS_CHECK(source < g.num_nodes());
   ws.resize(g.num_nodes(), 1);
@@ -23,6 +32,7 @@ void bfs(const CsrGraph& g, NodeId source, TraversalWorkspace& ws) {
   dist[source] = 0;
   queue.push_back(source);
   for (std::size_t head = 0; head < queue.size(); ++head) {
+    if (cancel && head % kPollStride == 0 && cancel->poll()) return false;
     const NodeId u = queue[head];
     const Dist du = dist[u];
     for (NodeId w : g.neighbors(u)) {
@@ -32,9 +42,11 @@ void bfs(const CsrGraph& g, NodeId source, TraversalWorkspace& ws) {
       }
     }
   }
+  return true;
 }
 
-void dial_sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws) {
+bool dial_sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
+               const CancelToken* cancel) {
   BRICS_CHECK(source < g.num_nodes());
   const Weight c = g.max_weight();
   ws.resize(g.num_nodes(), c);
@@ -45,11 +57,17 @@ void dial_sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws) {
   dist[source] = 0;
   buckets[0].push_back(source);
   std::size_t remaining = 1;
+  std::size_t settled = 0;
   for (Dist d = 0; remaining > 0; ++d) {
     auto& bucket = buckets[d % nb];
     // Process bucket d; relaxations may append to buckets d+1 .. d+c, all
     // distinct modulo nb, so the current bucket is never appended to.
     for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (cancel && ++settled % kPollStride == 0 && cancel->poll()) {
+        // Leave the workspace reusable: clear every touched bucket.
+        for (auto& b : buckets) b.clear();
+        return false;
+      }
       const NodeId u = bucket[i];
       if (dist[u] != d) continue;  // stale entry, settled earlier
       auto nbrs = g.neighbors(u);
@@ -67,13 +85,13 @@ void dial_sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws) {
     remaining -= bucket.size();
     bucket.clear();
   }
+  return true;
 }
 
-void sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws) {
-  if (g.unit_weights())
-    bfs(g, source, ws);
-  else
-    dial_sssp(g, source, ws);
+bool sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
+          const CancelToken* cancel) {
+  if (g.unit_weights()) return bfs(g, source, ws, cancel);
+  return dial_sssp(g, source, ws, cancel);
 }
 
 std::vector<Dist> sssp_distances(const CsrGraph& g, NodeId source) {

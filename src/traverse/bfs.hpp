@@ -9,11 +9,17 @@
 // Both fill a caller-provided distance array (kInfDist = unreachable) and
 // reuse caller-provided workspaces so parallel multi-source sweeps do no
 // per-source allocation.
+//
+// All engines accept an optional CancelToken, polled at frontier
+// granularity (every ~1k node expansions); a cancelled traversal stops
+// early and returns false, leaving the distance array partially filled —
+// callers must discard it. A null token never cancels and costs nothing.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "exec/budget.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace brics {
@@ -29,8 +35,10 @@ class TraversalWorkspace {
   std::span<Dist> dist_mut() { return dist_; }
 
  private:
-  friend void bfs(const CsrGraph&, NodeId, TraversalWorkspace&);
-  friend void dial_sssp(const CsrGraph&, NodeId, TraversalWorkspace&);
+  friend bool bfs(const CsrGraph&, NodeId, TraversalWorkspace&,
+                  const CancelToken*);
+  friend bool dial_sssp(const CsrGraph&, NodeId, TraversalWorkspace&,
+                        const CancelToken*);
 
   std::vector<Dist> dist_;
   std::vector<NodeId> queue_;
@@ -38,15 +46,20 @@ class TraversalWorkspace {
   std::vector<std::vector<NodeId>> buckets_;
 };
 
-/// Frontier BFS from source. Requires g.unit_weights().
-void bfs(const CsrGraph& g, NodeId source, TraversalWorkspace& ws);
+/// Frontier BFS from source. Requires g.unit_weights(). Returns false iff
+/// the traversal was cancelled before completion.
+bool bfs(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
+         const CancelToken* cancel = nullptr);
 
 /// Dial's bucket SSSP from source; correct for any integer weights >= 1,
-/// O(m + D) where D is the source's eccentricity.
-void dial_sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws);
+/// O(m + D) where D is the source's eccentricity. Returns false iff
+/// cancelled.
+bool dial_sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
+               const CancelToken* cancel = nullptr);
 
 /// Dispatch: bfs() on unit-weight graphs, dial_sssp() otherwise.
-void sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws);
+bool sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
+          const CancelToken* cancel = nullptr);
 
 /// Convenience single-shot: allocate a workspace, run sssp, return distances.
 std::vector<Dist> sssp_distances(const CsrGraph& g, NodeId source);

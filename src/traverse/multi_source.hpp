@@ -38,6 +38,42 @@ void for_each_source(const CsrGraph& g, std::span<const NodeId> sources,
   }
 }
 
+/// Deadline-aware variant of for_each_source. The first `mandatory`
+/// sources always run to completion regardless of the token (estimators
+/// place the work their exactness guarantees depend on there — and at
+/// least one source, so a degraded estimate always exists). The remaining
+/// sources are skipped once the token fires, and a traversal in flight when
+/// the deadline passes is aborted and discarded. fn is only invoked for
+/// sources that completed; completed[i] records which. Returns the number
+/// of completed sources. With a token that never fires, behaviour — and
+/// output, bit for bit — matches for_each_source.
+template <typename Fn>
+std::size_t for_each_source_budgeted(const CsrGraph& g,
+                                     std::span<const NodeId> sources,
+                                     const CancelToken& cancel,
+                                     std::size_t mandatory,
+                                     std::vector<std::uint8_t>& completed,
+                                     Fn&& fn) {
+  const std::int64_t k = static_cast<std::int64_t>(sources.size());
+  completed.assign(sources.size(), 0);
+#pragma omp parallel
+  {
+    TraversalWorkspace ws;
+#pragma omp for schedule(dynamic, 4)
+    for (std::int64_t i = 0; i < k; ++i) {
+      const bool must = static_cast<std::size_t>(i) < mandatory;
+      if (!must && cancel.poll()) continue;
+      const NodeId s = sources[static_cast<std::size_t>(i)];
+      if (!sssp(g, s, ws, must ? nullptr : &cancel)) continue;
+      fn(static_cast<std::size_t>(i), s, ws.dist());
+      completed[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  std::size_t done = 0;
+  for (std::uint8_t c : completed) done += c;
+  return done;
+}
+
 /// Per-thread accumulation buffers merged after the parallel region.
 /// Used to build Σ_{s∈S} d(s, v) for every v without atomics: each thread
 /// owns a private FarnessSum array, merged once at the end.

@@ -1,0 +1,306 @@
+// Tests for the deadline-aware execution layer: CancelToken / RunBudget
+// semantics, fail-point mechanics, graceful degradation of every estimator
+// under source caps, tiny deadlines, and injected reduction/BCC faults —
+// and the guarantee that a generous budget changes nothing at all.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "brics/brics.hpp"
+#include "core/pivoting.hpp"
+#include "exec/budget.hpp"
+#include "exec/errors.hpp"
+#include "exec/failpoint.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+bool all_finite(const std::vector<double>& v) {
+  for (double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+// --------------------------------------------------------------- primitives
+
+TEST(CancelToken, DefaultNeverCancels) {
+  CancelToken t;
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_FALSE(t.poll());
+}
+
+TEST(CancelToken, ManualCancelSticks) {
+  CancelToken t;
+  t.cancel();
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_TRUE(t.poll());
+}
+
+TEST(CancelToken, ZeroTimeoutMeansNoDeadline) {
+  CancelToken t(0);
+  EXPECT_FALSE(t.poll());
+}
+
+TEST(CancelToken, ExpiredDeadlineFiresOnPoll) {
+  CancelToken t(1);
+  // Burn past the 1 ms deadline without sleeping primitives.
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+  EXPECT_TRUE(t.poll());
+  EXPECT_TRUE(t.cancelled());
+}
+
+TEST(RunBudget, UnlimitedDetection) {
+  RunBudget b;
+  EXPECT_TRUE(b.unlimited());
+  b.timeout_ms = 5;
+  EXPECT_FALSE(b.unlimited());
+  b = RunBudget{};
+  b.max_sources = 3;
+  EXPECT_FALSE(b.unlimited());
+}
+
+TEST(FailPoints, UnarmedSiteDoesNotFire) {
+  EXPECT_FALSE(FailPointRegistry::instance().should_fail("exec.test.never"));
+}
+
+TEST(FailPoints, ArmDisarmCycle) {
+  auto& reg = FailPointRegistry::instance();
+  reg.arm("exec.test.a");
+  EXPECT_TRUE(reg.should_fail("exec.test.a"));
+  EXPECT_FALSE(reg.should_fail("exec.test.other"));
+  reg.disarm("exec.test.a");
+  EXPECT_FALSE(reg.should_fail("exec.test.a"));
+}
+
+TEST(FailPoints, CountdownSkipsHits) {
+  auto& reg = FailPointRegistry::instance();
+  reg.arm("exec.test.count", /*skip_hits=*/2);
+  EXPECT_FALSE(reg.should_fail("exec.test.count"));
+  EXPECT_FALSE(reg.should_fail("exec.test.count"));
+  EXPECT_TRUE(reg.should_fail("exec.test.count"));
+  reg.disarm("exec.test.count");
+}
+
+TEST(FailPoints, ScopedDisarmsOnExit) {
+  {
+    ScopedFailPoint fp("exec.test.scoped");
+    EXPECT_TRUE(FailPointRegistry::instance().should_fail("exec.test.scoped"));
+  }
+  EXPECT_FALSE(FailPointRegistry::instance().should_fail("exec.test.scoped"));
+}
+
+// --------------------------------------------- generous budget is invisible
+
+TEST(Budget, GenerousBudgetIsBitIdentical) {
+  for (const auto& c : test::standard_cases()) {
+    CsrGraph g = c.build();
+    EstimateOptions plain;
+    plain.sample_rate = 0.3;
+    EstimateOptions budgeted = plain;
+    budgeted.budget.timeout_ms = 60'000;
+    budgeted.budget.max_sources = g.num_nodes();
+
+    EstimateResult a = estimate_farness(g, plain);
+    EstimateResult b = estimate_farness(g, budgeted);
+    EXPECT_FALSE(a.degraded);
+    EXPECT_FALSE(b.degraded) << c.name;
+    EXPECT_EQ(b.cut_phase, ExecPhase::kNone);
+    ASSERT_EQ(a.farness.size(), b.farness.size());
+    for (std::size_t v = 0; v < a.farness.size(); ++v)
+      EXPECT_EQ(a.farness[v], b.farness[v]) << c.name << " node " << v;
+  }
+}
+
+TEST(Budget, GenerousBudgetRandomSamplingBitIdentical) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 300, 11}.build();
+  EstimateOptions plain;
+  plain.sample_rate = 0.25;
+  EstimateOptions budgeted = plain;
+  budgeted.budget.timeout_ms = 60'000;
+  EstimateResult a = estimate_random_sampling(g, plain);
+  EstimateResult b = estimate_random_sampling(g, budgeted);
+  EXPECT_FALSE(b.degraded);
+  ASSERT_EQ(a.farness.size(), b.farness.size());
+  for (std::size_t v = 0; v < a.farness.size(); ++v)
+    EXPECT_EQ(a.farness[v], b.farness[v]);
+}
+
+// ------------------------------------------------------- source-cap degrade
+
+TEST(Budget, MaxSourcesCapDegradesDeterministically) {
+  CsrGraph g = test::RandomGraphCase{"barabasi_albert", 400, 5}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 0.5;
+  opts.budget.max_sources = 12;
+  EstimateResult est = estimate_farness(g, opts);
+  EXPECT_TRUE(est.degraded);
+  EXPECT_NE(est.cut_phase, ExecPhase::kNone);
+  EXPECT_LE(est.samples, est.planned_samples);
+  EXPECT_GT(est.samples, 0u);
+  EXPECT_GT(est.achieved_sample_rate, 0.0);
+  EXPECT_LT(est.achieved_sample_rate, opts.sample_rate);
+  EXPECT_TRUE(all_finite(est.farness));
+
+  // Deterministic: same cap, same seed, same answer.
+  EstimateResult again = estimate_farness(g, opts);
+  ASSERT_EQ(est.farness.size(), again.farness.size());
+  for (std::size_t v = 0; v < est.farness.size(); ++v)
+    EXPECT_EQ(est.farness[v], again.farness[v]);
+}
+
+TEST(Budget, MaxSourcesCapKeepsEstimateUseful) {
+  // A capped run still tracks exact farness loosely: mean relative error
+  // stays bounded because mandatory cut traversals always complete and the
+  // remainder is rescaled to the achieved sample count.
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 250, 3}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 0.6;
+  opts.budget.max_sources = 25;
+  EstimateResult est = estimate_farness(g, opts);
+  EXPECT_TRUE(est.degraded);
+  std::vector<FarnessSum> exact = exact_farness(g);
+  double rel = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    rel += std::abs(est.farness[v] - static_cast<double>(exact[v])) /
+           static_cast<double>(exact[v]);
+  rel /= g.num_nodes();
+  EXPECT_LT(rel, 0.6);
+}
+
+TEST(Budget, PivotingHonoursSourceCap) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 300, 9}.build();
+  PivotOptions opts;
+  opts.sample_rate = 0.4;
+  opts.budget.max_sources = 10;
+  EstimateResult est = estimate_pivoting(g, opts);
+  EXPECT_TRUE(est.degraded);
+  EXPECT_EQ(est.cut_phase, ExecPhase::kPlan);
+  EXPECT_EQ(est.samples, 10u);
+  EXPECT_TRUE(all_finite(est.farness));
+}
+
+TEST(Budget, RandomSamplingHonoursSourceCap) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 300, 9}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 0.4;
+  opts.budget.max_sources = 7;
+  EstimateResult est = estimate_random_sampling(g, opts);
+  EXPECT_TRUE(est.degraded);
+  EXPECT_EQ(est.cut_phase, ExecPhase::kPlan);
+  EXPECT_EQ(est.samples, 7u);
+  EXPECT_TRUE(all_finite(est.farness));
+}
+
+// ------------------------------------------------------ tiny-deadline degrade
+
+TEST(Budget, TinyDeadlineStillYieldsFiniteEstimate) {
+  // A 1 ms budget on a non-trivial graph: mandatory work ignores the token,
+  // so the estimate must come back finite and flagged, never throw.
+  CsrGraph g = test::RandomGraphCase{"barabasi_albert", 2000, 17}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 0.9;
+  opts.budget.timeout_ms = 1;
+  EstimateResult est = estimate_farness(g, opts);
+  EXPECT_TRUE(all_finite(est.farness));
+  EXPECT_GT(est.samples, 0u);
+  if (est.degraded) {
+    EXPECT_NE(est.cut_phase, ExecPhase::kNone);
+    EXPECT_LE(est.achieved_sample_rate, opts.sample_rate);
+  }
+}
+
+TEST(Budget, TinyDeadlinePlainSampling) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 1500, 23}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 0.9;
+  opts.budget.timeout_ms = 1;
+  EstimateResult est = estimate_random_sampling(g, opts);
+  EXPECT_TRUE(all_finite(est.farness));
+  EXPECT_GT(est.samples, 0u);
+}
+
+TEST(Budget, PreCancelledTokenStillCompletesMandatoryWork) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 120, 2}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 0.5;
+  CancelToken token;
+  token.cancel();
+  EstimateResult est = estimate_random_sampling_budgeted(g, opts, token);
+  EXPECT_TRUE(est.degraded);
+  EXPECT_EQ(est.cut_phase, ExecPhase::kTraverse);
+  EXPECT_EQ(est.samples, 1u);  // the mandatory first source
+  EXPECT_TRUE(all_finite(est.farness));
+}
+
+// ----------------------------------------------- fault-injection fallbacks
+
+TEST(FailPointFallback, ReductionFaultFallsBackToPlainSampling) {
+  CsrGraph g = test::RandomGraphCase{"barabasi_albert", 300, 7}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 0.3;
+  ScopedFailPoint fp("reduce.pipeline");
+  EstimateResult est = estimate_farness(g, opts);
+  EXPECT_TRUE(est.degraded);
+  EXPECT_EQ(est.cut_phase, ExecPhase::kReduce);
+  EXPECT_GT(est.samples, 0u);
+  EXPECT_TRUE(all_finite(est.farness));
+}
+
+TEST(FailPointFallback, BccFaultFallsBackToPlainSampling) {
+  CsrGraph g = test::RandomGraphCase{"barabasi_albert", 300, 7}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 0.3;
+  ScopedFailPoint fp("bcc.decompose");
+  EstimateResult est = estimate_farness(g, opts);
+  EXPECT_TRUE(est.degraded);
+  EXPECT_EQ(est.cut_phase, ExecPhase::kBcc);
+  EXPECT_GT(est.samples, 0u);
+  EXPECT_TRUE(all_finite(est.farness));
+}
+
+TEST(FailPointFallback, BctFaultFallsBackToPlainSampling) {
+  CsrGraph g = test::RandomGraphCase{"barabasi_albert", 300, 7}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 0.3;
+  ScopedFailPoint fp("bcc.bct");
+  EstimateResult est = estimate_farness(g, opts);
+  EXPECT_TRUE(est.degraded);
+  EXPECT_EQ(est.cut_phase, ExecPhase::kBcc);
+  EXPECT_TRUE(all_finite(est.farness));
+}
+
+TEST(FailPointFallback, ReducedSamplingFaultFallsBack) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 200, 13}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 0.3;
+  ScopedFailPoint fp("reduce.pipeline");
+  EstimateResult est = estimate_reduced_sampling(g, opts);
+  EXPECT_TRUE(est.degraded);
+  EXPECT_EQ(est.cut_phase, ExecPhase::kReduce);
+  EXPECT_TRUE(all_finite(est.farness));
+}
+
+TEST(FailPointFallback, FallbackEstimateIsStillAccurate) {
+  // The fallback path is plain sampling on the raw graph — an unbiased
+  // estimator in its own right. Check it against exact farness.
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 250, 29}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 0.8;
+  ScopedFailPoint fp("bcc.decompose");
+  EstimateResult est = estimate_farness(g, opts);
+  ASSERT_TRUE(est.degraded);
+  std::vector<FarnessSum> exact = exact_farness(g);
+  double rel = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    rel += std::abs(est.farness[v] - static_cast<double>(exact[v])) /
+           static_cast<double>(exact[v]);
+  rel /= g.num_nodes();
+  EXPECT_LT(rel, 0.25);
+}
+
+}  // namespace
+}  // namespace brics

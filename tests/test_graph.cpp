@@ -5,6 +5,7 @@
 #include "graph/csr_graph.hpp"
 #include "graph/graph_io.hpp"
 #include "tests/test_helpers.hpp"
+#include "exec/errors.hpp"
 #include "util/check.hpp"
 
 namespace brics {
@@ -108,7 +109,7 @@ TEST(GraphIo, ReadsOptionalWeights) {
 
 TEST(GraphIo, RejectsMalformedLine) {
   std::istringstream in("0 1\nbroken line\n");
-  EXPECT_THROW(read_edge_list(in), CheckFailure);
+  EXPECT_THROW(read_edge_list(in), InputError);
 }
 
 TEST(GraphIo, StitchPolicyConnectsComponents) {

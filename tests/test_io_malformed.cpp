@@ -1,0 +1,156 @@
+// Adversarial-input tests for the graph loaders: every malformed file must
+// surface as a typed InputError — never undefined behaviour, silent
+// wraparound, or a CheckFailure masquerading as a library bug. Also covers
+// the io.* fail points (docs/ROBUSTNESS.md).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "exec/errors.hpp"
+#include "exec/failpoint.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/metis_io.hpp"
+
+namespace brics {
+namespace {
+
+CsrGraph parse_edges(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+CsrGraph parse_metis(const std::string& text) {
+  std::istringstream in(text);
+  return read_metis(in);
+}
+
+// ---------------------------------------------------------------- edge list
+
+TEST(MalformedEdgeList, NegativeNodeId) {
+  // operator>> on unsigned would wrap -3 to ~2^64; the strict parser must
+  // reject the sign outright.
+  EXPECT_THROW(parse_edges("0 1\n2 -3\n"), InputError);
+}
+
+TEST(MalformedEdgeList, NegativeWeight) {
+  EXPECT_THROW(parse_edges("0 1 -5\n"), InputError);
+}
+
+TEST(MalformedEdgeList, ZeroWeight) {
+  EXPECT_THROW(parse_edges("0 1 0\n"), InputError);
+}
+
+TEST(MalformedEdgeList, WeightOverflowsU32) {
+  EXPECT_THROW(parse_edges("0 1 4294967296\n"), InputError);
+}
+
+TEST(MalformedEdgeList, NodeIdOverflowsU64) {
+  EXPECT_THROW(parse_edges("0 99999999999999999999999\n"), InputError);
+}
+
+TEST(MalformedEdgeList, GarbageToken) {
+  EXPECT_THROW(parse_edges("0 1\nfoo bar\n"), InputError);
+}
+
+TEST(MalformedEdgeList, HexAndFloatTokensRejected) {
+  EXPECT_THROW(parse_edges("0x1 2\n"), InputError);
+  EXPECT_THROW(parse_edges("0 1.5\n"), InputError);
+}
+
+TEST(MalformedEdgeList, MissingEndpoint) {
+  EXPECT_THROW(parse_edges("0 1\n7\n"), InputError);
+}
+
+TEST(MalformedEdgeList, TrailingTokens) {
+  EXPECT_THROW(parse_edges("0 1 2 3\n"), InputError);
+}
+
+TEST(MalformedEdgeList, PlusSignRejected) {
+  EXPECT_THROW(parse_edges("0 +1\n"), InputError);
+}
+
+TEST(MalformedEdgeList, LargeRawIdsAreInterned) {
+  // Raw ids above 2^32 are fine as long as the number of DISTINCT ids fits
+  // NodeId; they are remapped densely.
+  CsrGraph g = parse_edges("99999999999 5\n5 7\n");
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(MalformedEdgeList, CommentsAndBlanksStillSkipped) {
+  CsrGraph g = parse_edges("# header\n% other style\n\n0 1\n");
+  EXPECT_EQ(g.num_nodes(), 2u);
+}
+
+TEST(MalformedEdgeList, MissingFile) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/brics-no-such-file.txt"),
+               InputError);
+}
+
+// -------------------------------------------------------------------- METIS
+
+TEST(MalformedMetis, EmptyInput) {
+  EXPECT_THROW(parse_metis(""), InputError);
+}
+
+TEST(MalformedMetis, GarbageHeader) {
+  EXPECT_THROW(parse_metis("three four\n"), InputError);
+}
+
+TEST(MalformedMetis, NegativeHeaderCount) {
+  EXPECT_THROW(parse_metis("-3 2\n"), InputError);
+}
+
+TEST(MalformedMetis, HeaderNodeCountOverflowsNodeId) {
+  // 2^32 - 1 is the kInvalidNode sentinel; n must stay below it.
+  EXPECT_THROW(parse_metis("4294967295 0\n"), InputError);
+}
+
+TEST(MalformedMetis, UnsupportedFormatCode) {
+  EXPECT_THROW(parse_metis("2 1 11\n2\n1\n"), InputError);
+}
+
+TEST(MalformedMetis, NegativeNeighbour) {
+  EXPECT_THROW(parse_metis("2 1\n-2\n1\n"), InputError);
+}
+
+TEST(MalformedMetis, MissingWeightInWeightedMode) {
+  EXPECT_THROW(parse_metis("2 1 1\n2\n1 7\n"), InputError);
+}
+
+TEST(MalformedMetis, ZeroWeight) {
+  EXPECT_THROW(parse_metis("2 1 1\n2 0\n1 0\n"), InputError);
+}
+
+TEST(MalformedMetis, TruncatedAdjacency) {
+  EXPECT_THROW(parse_metis("3 2\n2 3\n1\n"), InputError);
+}
+
+TEST(MalformedMetis, AsymmetricAdjacency) {
+  // Node 1 lists 2 but node 2 lists 3: endpoint count matches 2*m yet the
+  // adjacency is not symmetric.
+  EXPECT_THROW(parse_metis("3 2\n2 3\n3\n1\n"), InputError);
+}
+
+// -------------------------------------------------------- loader fail points
+
+TEST(IoFailPoints, EdgeListSiteFires) {
+  ScopedFailPoint fp("io.edge_list");
+  EXPECT_THROW(parse_edges("0 1\n"), FailPointError);
+}
+
+TEST(IoFailPoints, MetisSiteFires) {
+  ScopedFailPoint fp("io.metis");
+  EXPECT_THROW(parse_metis("2 1\n2\n1\n"), FailPointError);
+}
+
+TEST(IoFailPoints, DisarmedSiteIsFree) {
+  {
+    ScopedFailPoint fp("io.edge_list");
+  }  // disarmed on scope exit
+  EXPECT_NO_THROW(parse_edges("0 1\n"));
+}
+
+}  // namespace
+}  // namespace brics

@@ -5,6 +5,7 @@
 #include "graph/metis_io.hpp"
 #include "graph/reorder.hpp"
 #include "tests/test_helpers.hpp"
+#include "exec/errors.hpp"
 #include "util/check.hpp"
 
 namespace brics {
@@ -39,7 +40,7 @@ TEST(MetisIo, RejectsEdgeCountMismatch) {
       "2 3\n"
       "1 3\n"
       "1 2\n");
-  EXPECT_THROW(read_metis(in), CheckFailure);
+  EXPECT_THROW(read_metis(in), InputError);
 }
 
 TEST(MetisIo, RejectsOutOfRangeNeighbour) {
@@ -47,12 +48,12 @@ TEST(MetisIo, RejectsOutOfRangeNeighbour) {
       "2 1\n"
       "3\n"
       "1\n");
-  EXPECT_THROW(read_metis(in), CheckFailure);
+  EXPECT_THROW(read_metis(in), InputError);
 }
 
 TEST(MetisIo, RejectsMissingLines) {
   std::istringstream in("3 3\n2 3\n");
-  EXPECT_THROW(read_metis(in), CheckFailure);
+  EXPECT_THROW(read_metis(in), InputError);
 }
 
 TEST(MetisIo, RoundTrip) {

@@ -2,6 +2,7 @@
 //
 //   brics stats    <edge_list|@dataset>                 structural summary
 //   brics estimate <edge_list|@dataset> [--rate R] [--seed S] [--config C]
+//                  [--timeout-ms T] [--max-sources K]
 //                  [--out FILE]                         farness estimates
 //   brics exact    <edge_list|@dataset> [--out FILE]    exact farness
 //   brics topk     <edge_list|@dataset> [--k K]         top-k closeness
@@ -14,7 +15,13 @@
 // Graphs are whitespace edge lists (SNAP style); `@name` pulls a synthetic
 // dataset from the registry instead (with --scale, default 0.2).
 // --config is one of: random, cr, icr, cumulative (default cumulative).
+// --timeout-ms / --max-sources set a RunBudget: when it cuts the run, the
+// estimate degrades instead of aborting (docs/ROBUSTNESS.md).
+//
+// Exit codes: 0 success, 2 usage error, 3 bad input, 4 estimate degraded
+// by budget, 5 internal error.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -22,12 +29,25 @@
 
 #include "analysis/analysis.hpp"
 #include "brics/brics.hpp"
+#include "exec/errors.hpp"
 #include "extensions/improve.hpp"
 #include "extensions/topk.hpp"
 
 namespace {
 
 using namespace brics;
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitBadInput = 3;
+constexpr int kExitDegraded = 4;
+constexpr int kExitInternal = 5;
+
+/// A malformed command line (unknown flag value, unparsable number);
+/// reported as usage, exit code 2.
+struct UsageError {
+  std::string what;
+};
 
 struct Args {
   std::string command;
@@ -36,13 +56,25 @@ struct Args {
 
   double get_double(const std::string& key, double def) const {
     auto it = flags.find(key);
-    return it == flags.end() ? def : std::atof(it->second.c_str());
+    if (it == flags.end()) return def;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+      throw UsageError{"--" + key + " expects a number, got '" + it->second +
+                       "'"};
+    return v;
   }
   std::uint64_t get_u64(const std::string& key, std::uint64_t def) const {
     auto it = flags.find(key);
-    return it == flags.end()
-               ? def
-               : static_cast<std::uint64_t>(std::atoll(it->second.c_str()));
+    if (it == flags.end()) return def;
+    char* end = nullptr;
+    const unsigned long long v =
+        std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' ||
+        it->second.find('-') != std::string::npos)
+      throw UsageError{"--" + key + " expects a non-negative integer, got '" +
+                       it->second + "'"};
+    return static_cast<std::uint64_t>(v);
   }
   std::string get(const std::string& key, const std::string& def) const {
     auto it = flags.find(key);
@@ -56,31 +88,43 @@ int usage() {
       "usage: brics <stats|estimate|exact|topk|harmonic|distance|improve|"
       "generate|datasets> "
       "<edge_list|@dataset> [--rate R] [--seed S] [--config C] [--k K] "
-      "[--scale X] [--out FILE]\n");
-  return 2;
+      "[--scale X] [--timeout-ms T] [--max-sources K] [--out FILE]\n"
+      "exit codes: 0 ok, 2 usage, 3 bad input, 4 degraded by budget, "
+      "5 internal error\n");
+  return kExitUsage;
 }
 
 CsrGraph load(const Args& a) {
   const double scale = a.get_double("scale", 0.2);
-  if (!a.input.empty() && a.input[0] == '@')
-    return build_dataset(a.input.substr(1), scale);
+  if (!a.input.empty() && a.input[0] == '@') {
+    try {
+      return build_dataset(a.input.substr(1), scale);
+    } catch (const CheckFailure& e) {
+      // Unknown dataset names / bad scales are caller data, not bugs.
+      throw InputError(e.what());
+    }
+  }
   return read_edge_list_file(a.input);
 }
 
 EstimateOptions config_from(const Args& a) {
   EstimateOptions o;
   o.sample_rate = a.get_double("rate", 0.2);
+  if (o.sample_rate <= 0.0 || o.sample_rate > 1.0)
+    throw UsageError{"--rate must be in (0, 1]"};
   o.seed = a.get_u64("seed", 1);
+  o.budget.timeout_ms =
+      static_cast<std::int64_t>(a.get_u64("timeout-ms", 0));
+  o.budget.max_sources =
+      static_cast<std::uint32_t>(a.get_u64("max-sources", 0));
   const std::string c = a.get("config", "cumulative");
   if (c == "cr") {
     o.reduce.identical = false;
     o.use_bcc = false;
   } else if (c == "icr") {
     o.use_bcc = false;
-  } else if (c == "cumulative") {
-    // defaults
-  } else if (c != "random") {
-    BRICS_CHECK_MSG(false, "unknown --config '" << c << "'");
+  } else if (c != "cumulative" && c != "random") {
+    throw UsageError{"unknown --config '" + c + "'"};
   }
   return o;
 }
@@ -91,7 +135,8 @@ void write_values(const Args& a, std::span<const double> values) {
   std::FILE* console = stdout;
   if (!path.empty()) {
     file.open(path);
-    BRICS_CHECK_MSG(file.good(), "cannot open '" << path << "'");
+    if (!file.good())
+      throw InputError("cannot open '" + path + "' for writing");
     for (std::size_t v = 0; v < values.size(); ++v)
       file << v << ' ' << values[v] << '\n';
     std::printf("wrote %zu values to %s\n", values.size(), path.c_str());
@@ -106,7 +151,7 @@ void write_values(const Args& a, std::span<const double> values) {
 int cmd_stats(const Args& a) {
   CsrGraph g = load(a);
   std::printf("%s", to_string(summarize_graph(g)).c_str());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_estimate(const Args& a) {
@@ -118,8 +163,14 @@ int cmd_estimate(const Args& a) {
                            : estimate_farness(g, o);
   std::printf("# estimated farness (%.3f s, %u sources, %u blocks)\n",
               t.seconds(), est.samples, est.num_blocks);
+  if (est.degraded)
+    std::printf(
+        "# DEGRADED: budget cut the %s phase; %u of %u planned sources, "
+        "effective rate %.4f\n",
+        to_string(est.cut_phase), est.samples, est.planned_samples,
+        est.achieved_sample_rate);
   write_values(a, est.farness);
-  return 0;
+  return est.degraded ? kExitDegraded : kExitOk;
 }
 
 int cmd_exact(const Args& a) {
@@ -129,7 +180,7 @@ int cmd_exact(const Args& a) {
   std::vector<double> d(f.begin(), f.end());
   std::printf("# exact farness (%.3f s)\n", t.seconds());
   write_values(a, d);
-  return 0;
+  return kExitOk;
 }
 
 int cmd_topk(const Args& a) {
@@ -142,19 +193,25 @@ int cmd_topk(const Args& a) {
   for (std::size_t i = 0; i < r.nodes.size(); ++i)
     std::printf("%zu node %u farness %llu\n", i + 1, r.nodes[i],
                 static_cast<unsigned long long>(r.farness[i]));
-  return 0;
+  return kExitOk;
 }
 
 int cmd_generate(const Args& a) {
-  BRICS_CHECK_MSG(!a.input.empty(), "generate needs a dataset name");
+  if (a.input.empty()) throw UsageError{"generate needs a dataset name"};
   std::string name =
       a.input[0] == '@' ? a.input.substr(1) : a.input;
-  CsrGraph g = build_dataset(name, a.get_double("scale", 0.2));
+  CsrGraph g = [&] {
+    try {
+      return build_dataset(name, a.get_double("scale", 0.2));
+    } catch (const CheckFailure& e) {
+      throw InputError(e.what());
+    }
+  }();
   const std::string path = a.get("out", name + ".txt");
   write_edge_list_file(g, path);
   std::printf("wrote %u nodes / %llu edges to %s\n", g.num_nodes(),
               static_cast<unsigned long long>(g.num_edges()), path.c_str());
-  return 0;
+  return kExitOk;
 }
 
 
@@ -169,7 +226,7 @@ int cmd_harmonic(const Args& a) {
   std::printf("# harmonic centrality (%.3f s, rate %.2f)\n", t.seconds(),
               rate);
   write_values(a, h);
-  return 0;
+  return kExitOk;
 }
 
 int cmd_distance(const Args& a) {
@@ -183,7 +240,7 @@ int cmd_distance(const Args& a) {
                 timer.seconds());
   else
     std::printf("d(%u, %u) = %u (%.4f s)\n", s, t, d, timer.seconds());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_improve(const Args& a) {
@@ -201,13 +258,13 @@ int cmd_improve(const Args& a) {
     std::printf(" -> %llu (+edge to %u)",
                 static_cast<unsigned long long>(r.farness[i]), r.added[i]);
   std::printf("\n");
-  return 0;
+  return kExitOk;
 }
 
 int cmd_datasets() {
   for (const DatasetInfo& d : dataset_registry())
     std::printf("%-14s %s\n", d.name.c_str(), to_string(d.cls).c_str());
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -227,6 +284,11 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+  // Error taxonomy -> exit codes (docs/ROBUSTNESS.md): usage mistakes (2)
+  // and malformed input (3) are the caller's fault; a budget-degraded
+  // estimate (4) is a success with a caveat; CheckFailure (5) is a library
+  // invariant violation — a bug worth reporting — and is deliberately
+  // distinguished from the generic catch-all.
   try {
     if (a.command == "stats") return cmd_stats(a);
     if (a.command == "estimate") return cmd_estimate(a);
@@ -237,9 +299,19 @@ int main(int argc, char** argv) {
     if (a.command == "improve") return cmd_improve(a);
     if (a.command == "generate") return cmd_generate(a);
     if (a.command == "datasets") return cmd_datasets();
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "usage error: %s\n", e.what.c_str());
+    return usage();
+  } catch (const InputError& e) {
+    std::fprintf(stderr, "input error: %s\n", e.what());
+    return kExitBadInput;
+  } catch (const CheckFailure& e) {
+    std::fprintf(stderr, "internal error (invariant violated): %s\n",
+                 e.what());
+    return kExitInternal;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitInternal;
   }
   return usage();
 }
