@@ -116,6 +116,7 @@ void strategy_ablation() {
 }  // namespace
 
 int main() {
+  BenchArtifact artifact("ablation_sweeps");
   std::printf("Ablation sweeps (scale=%.2f, repeats=%d)\n\n", bench_scale(),
               bench_repeats());
   rate_sweep();

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
+
+#include "obs/json.hpp"
 
 namespace brics::bench {
 
@@ -82,7 +85,10 @@ EstimateOptions config_cumulative(double rate, std::uint64_t seed) {
 
 void print_header(const std::vector<std::string>& cols,
                   const std::vector<int>& widths) {
-  print_row(cols, widths);
+  if (BenchArtifact* art = BenchArtifact::current()) art->begin_table(cols);
+  for (std::size_t i = 0; i < cols.size(); ++i)
+    std::printf("%-*s  ", widths[i], cols[i].c_str());
+  std::printf("\n");
   int total = 0;
   for (int w : widths) total += w + 2;
   std::printf("%s\n", std::string(static_cast<std::size_t>(total), '-')
@@ -91,6 +97,7 @@ void print_header(const std::vector<std::string>& cols,
 
 void print_row(const std::vector<std::string>& cells,
                const std::vector<int>& widths) {
+  if (BenchArtifact* art = BenchArtifact::current()) art->add_row(cells);
   for (std::size_t i = 0; i < cells.size(); ++i)
     std::printf("%-*s  ", widths[i], cells[i].c_str());
   std::printf("\n");
@@ -102,6 +109,80 @@ std::string fmt(double v, int prec) {
   os.precision(prec);
   os << v;
   return os.str();
+}
+
+namespace {
+BenchArtifact* g_current_artifact = nullptr;
+}  // namespace
+
+BenchArtifact* BenchArtifact::current() { return g_current_artifact; }
+
+BenchArtifact::BenchArtifact(std::string harness)
+    : harness_(std::move(harness)) {
+  g_current_artifact = this;
+}
+
+BenchArtifact::~BenchArtifact() {
+  if (g_current_artifact == this) g_current_artifact = nullptr;
+  const std::string out = path();
+  std::ofstream file(out);
+  if (!file.good()) {
+    std::fprintf(stderr, "warning: cannot write artifact %s\n", out.c_str());
+    return;
+  }
+  file << to_json() << '\n';
+  std::printf("\n[artifact] %s\n", out.c_str());
+}
+
+void BenchArtifact::begin_table(const std::vector<std::string>& cols) {
+  tables_.push_back(Table{cols, {}});
+}
+
+void BenchArtifact::add_row(const std::vector<std::string>& cells) {
+  // A row printed before any header still lands somewhere sensible.
+  if (tables_.empty()) tables_.push_back(Table{});
+  tables_.back().rows.push_back(cells);
+}
+
+std::string BenchArtifact::path() const {
+  if (const char* p = std::getenv("BRICS_BENCH_JSON")) return p;
+  return "BENCH_" + harness_ + ".json";
+}
+
+std::string BenchArtifact::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", kSchemaVersion);
+  w.field("harness", harness_);
+  w.key("params")
+      .begin_object()
+      .field("scale", bench_scale())
+      .field("repeats", bench_repeats())
+      .field("threads", max_threads())
+      .end_object();
+  w.key("tables").begin_array();
+  for (const Table& t : tables_) {
+    w.begin_object().key("columns").begin_array();
+    for (const std::string& c : t.columns) w.value(c);
+    w.end_array().key("rows").begin_array();
+    for (const auto& row : t.rows) {
+      w.begin_array();
+      for (const std::string& cell : row) w.value(cell);
+      w.end_array();
+    }
+    w.end_array().end_object();
+  }
+  w.end_array();
+  // Cumulative pipeline counters over everything the harness ran — the
+  // cheap cross-check that a speedup didn't change the work done.
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  w.key("metrics").begin_object().key("counters").begin_object();
+  for (const auto& [name, v] : snap.counters) w.field(name, v);
+  w.end_object().key("gauges").begin_object();
+  for (const auto& [name, v] : snap.gauges) w.field(name, v);
+  w.end_object().end_object();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace brics::bench

@@ -9,6 +9,7 @@
 // Environment knobs:
 //   BRICS_BENCH_SCALE    dataset scale in (0, 1], default 1.0
 //   BRICS_BENCH_REPEATS  timing repetitions, default 3 (median reported)
+//   BRICS_BENCH_JSON     artifact path, default BENCH_<harness>.json
 #pragma once
 
 #include <string>
@@ -43,11 +44,45 @@ EstimateOptions config_cr(double rate, std::uint64_t seed = 1);      // C+R
 EstimateOptions config_icr(double rate, std::uint64_t seed = 1);     // I+C+R
 EstimateOptions config_cumulative(double rate, std::uint64_t seed = 1);
 
-/// Fixed-width table printing helpers.
+/// Fixed-width table printing helpers. While a BenchArtifact is alive,
+/// every header starts a new artifact table and every row is mirrored
+/// into it, so harnesses get a JSON record of exactly what they printed.
 void print_header(const std::vector<std::string>& cols,
                   const std::vector<int>& widths);
 void print_row(const std::vector<std::string>& cells,
                const std::vector<int>& widths);
 std::string fmt(double v, int prec = 2);
+
+/// JSON artifact for one harness run (schema v1, docs/OBSERVABILITY.md):
+/// run parameters (scale, repeats, threads), every printed table, and the
+/// final metrics snapshot. Construct one at the top of main(); the
+/// destructor writes $BRICS_BENCH_JSON or BENCH_<harness>.json.
+class BenchArtifact {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  explicit BenchArtifact(std::string harness);
+  ~BenchArtifact();
+  BenchArtifact(const BenchArtifact&) = delete;
+  BenchArtifact& operator=(const BenchArtifact&) = delete;
+
+  void begin_table(const std::vector<std::string>& cols);
+  void add_row(const std::vector<std::string>& cells);
+
+  std::string to_json() const;
+  /// Resolved output path ($BRICS_BENCH_JSON beats the default).
+  std::string path() const;
+
+  /// The artifact print_header/print_row mirror into, if any.
+  static BenchArtifact* current();
+
+ private:
+  struct Table {
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+  std::string harness_;
+  std::vector<Table> tables_;
+};
 
 }  // namespace brics::bench

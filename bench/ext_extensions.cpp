@@ -78,6 +78,7 @@ void dynamic_bench() {
 }  // namespace
 
 int main() {
+  BenchArtifact artifact("ext_extensions");
   std::printf("Extension benchmarks (scale=%.2f)\n\n", bench_scale());
   topk_bench();
   dynamic_bench();

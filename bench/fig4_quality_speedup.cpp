@@ -53,6 +53,7 @@ void print_panel(const char* title, const std::vector<PanelRow>& rows) {
 }  // namespace
 
 int main() {
+  BenchArtifact artifact("fig4_quality_speedup");
   std::printf(
       "Fig. 4 — Random sampling vs Cumulative (BRICS), scale=%.2f, "
       "repeats=%d\n\n",

@@ -14,6 +14,7 @@ using namespace brics;
 using namespace brics::bench;
 
 int main() {
+  BenchArtifact artifact("fig5_sampling_quality");
   const double rate = 0.20;
   std::printf(
       "Fig. 5 — Random vs BiCC sampling at equal rate (%.0f%%), "

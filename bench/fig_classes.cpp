@@ -70,14 +70,22 @@ int main(int argc, char** argv) {
     // Infer from the binary name (fig6_web etc.).
     which = argv[0];
   }
-  if (which.find("web") != std::string::npos)
+  if (which.find("web") != std::string::npos) {
+    BenchArtifact artifact("fig6_web");
     return run_class(GraphClass::kWeb, "Fig. 6");
-  if (which.find("social") != std::string::npos)
+  }
+  if (which.find("social") != std::string::npos) {
+    BenchArtifact artifact("fig7_social");
     return run_class(GraphClass::kSocial, "Fig. 7");
-  if (which.find("community") != std::string::npos)
+  }
+  if (which.find("community") != std::string::npos) {
+    BenchArtifact artifact("fig8_community");
     return run_class(GraphClass::kCommunity, "Fig. 8");
-  if (which.find("road") != std::string::npos)
+  }
+  if (which.find("road") != std::string::npos) {
+    BenchArtifact artifact("fig9_road");
     return run_class(GraphClass::kRoad, "Fig. 9");
+  }
   std::fprintf(stderr,
                "usage: %s [web|social|community|road]\n", argv[0]);
   return 2;

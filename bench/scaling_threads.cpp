@@ -12,6 +12,7 @@ using namespace brics;
 using namespace brics::bench;
 
 int main() {
+  BenchArtifact artifact("scaling_threads");
   const int hw = max_threads();
   std::printf("Thread scaling (hardware threads: %d, scale=%.2f)\n\n", hw,
               bench_scale());

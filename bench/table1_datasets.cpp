@@ -10,6 +10,7 @@ using namespace brics;
 using namespace brics::bench;
 
 int main() {
+  BenchArtifact artifact("table1_datasets");
   const double scale = bench_scale();
   std::printf("Table I — dataset characteristics (scale=%.2f)\n\n",
               scale);

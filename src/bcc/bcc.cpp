@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec/failpoint.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace brics {
@@ -142,6 +143,13 @@ BccResult biconnected_components(const CsrGraph& g,
     BRICS_CHECK_MSG(cnt >= 1 || !is_present(v),
                     "present node " << v << " in no block");
   }
+  BRICS_COUNTER(c_blocks, "bcc.blocks");
+  BRICS_COUNTER(c_cuts, "bcc.cut_vertices");
+  BRICS_HISTOGRAM(h_size, "bcc.block_size", pow2_bounds());
+  BRICS_METRICS_ONLY(c_blocks.add(res.num_blocks());
+                     c_cuts.add(res.num_cut_vertices());
+                     for (BlockId b = 0; b < res.num_blocks(); ++b)
+                         h_size.observe(res.block_nodes(b).size());)
   return res;
 }
 

@@ -17,6 +17,7 @@
 //   reduce/    identical / chain / redundant reductions + ledger
 //   bcc/       biconnected components + block cut-vertex tree
 //   core/      exact farness, sampling estimators, BRICS, quality metrics
+//   obs/       metrics registry, span tracing, JSON run reports
 #pragma once
 
 #include "analysis/analysis.hpp"
@@ -36,6 +37,9 @@
 #include "graph/graph_io.hpp"
 #include "graph/metis_io.hpp"
 #include "graph/reorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "reduce/reducer.hpp"
 #include "reduce/serialize.hpp"
 #include "traverse/bfs.hpp"

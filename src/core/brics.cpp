@@ -10,6 +10,9 @@
 #include "core/sampling.hpp"
 #include "exec/errors.hpp"
 #include "graph/connectivity.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "traverse/bfs.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -158,10 +161,15 @@ EstimateResult degraded_fallback(const CsrGraph& g,
                                  const EstimateOptions& opts,
                                  const CancelToken& token, ExecPhase phase,
                                  const Timer& total) {
+  BRICS_COUNTER(c_degraded, "exec.degraded_runs");
+  BRICS_COUNTER_ADD(c_degraded, 1);
   EstimateResult res = estimate_random_sampling_budgeted(g, opts, token);
   res.degraded = true;
   res.cut_phase = phase;
   res.times.total_s = total.seconds();
+  res.times.normalize();
+  record_exec_metrics(res);
+  record_phase_metrics(res.times);
   return res;
 }
 
@@ -178,15 +186,15 @@ EstimateResult estimate_brics(const CsrGraph& g,
   Timer total;
   CancelToken token(opts.budget.timeout_ms);
 
-  Timer reduce_t;
+  double reduce_s = 0.0;
   std::optional<ReducedGraph> rg;
   try {
+    PhaseScope phase_reduce("reduce", reduce_s);
     rg.emplace(reduce(g, opts.reduce));
     if (token.poll()) throw BudgetExceeded(ExecPhase::kReduce);
   } catch (const std::exception&) {
     return degraded_fallback(g, opts, token, ExecPhase::kReduce, total);
   }
-  const double reduce_s = reduce_t.seconds();
 
   // Everything below degrades instead of aborting: a budget blow-out in a
   // phase that cannot produce partial results surfaces as BudgetExceeded,
@@ -198,8 +206,13 @@ EstimateResult estimate_brics(const CsrGraph& g,
         estimate_on_reduction_budgeted(*rg, opts, token, &phase);
     res.times.reduce_s = reduce_s;
     res.times.total_s = total.seconds();
+    res.times.normalize();
+    record_exec_metrics(res);
+    record_phase_metrics(res.times);
     return res;
   } catch (const BudgetExceeded& e) {
+    BRICS_COUNTER(c_cuts, "exec.budget_cuts");
+    BRICS_COUNTER_ADD(c_cuts, 1);
     return degraded_fallback(g, opts, token, e.phase(), total);
   } catch (const std::exception&) {
     return degraded_fallback(g, opts, token, phase, total);
@@ -220,6 +233,7 @@ EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
   BRICS_CHECK_MSG(n >= 1, "empty graph");
   BRICS_CHECK(rg.graph.num_nodes() == n);
   Timer total;
+  BRICS_SPAN(sp_estimate, "estimate.brics");
   auto set_phase = [&](ExecPhase p) {
     if (phase_out) *phase_out = p;
   };
@@ -230,7 +244,8 @@ EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
 
   // ---- Decompose (Algorithm 4, step 7). ----
   set_phase(ExecPhase::kBcc);
-  Timer bcc_t;
+  std::optional<PhaseScope> phase_bcc;
+  phase_bcc.emplace("bcc", res.times.bcc_s);
   BccResult bcc = biconnected_components(rg.graph, rg.present);
   BlockCutTree bct = build_bct(bcc, n);
   const BlockId nb = bcc.num_blocks();
@@ -282,7 +297,7 @@ EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
       works[b].own_mass += vs.size();
     }
   }
-  res.times.bcc_s = bcc_t.seconds();
+  phase_bcc.reset();
 
   // The decomposition yields no reusable partial estimate, so a deadline
   // that fires here surfaces as BudgetExceeded; estimate_brics catches it
@@ -347,6 +362,12 @@ EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
     planned_total += static_cast<NodeId>(works[b].samples_local.size());
     mandatory_total += mandatory_of(works[b]);
   }
+  BRICS_COUNTER(c_planned, "plan.samples_planned");
+  BRICS_COUNTER(c_mandatory, "plan.samples_mandatory");
+  BRICS_COUNTER(c_shed, "plan.samples_shed");
+  BRICS_COUNTER(c_completed, "plan.samples_completed");
+  BRICS_COUNTER_ADD(c_planned, planned_total);
+  BRICS_COUNTER_ADD(c_mandatory, mandatory_total);
 
   // ---- Source cap (RunBudget::max_sources). ----
   bool plan_capped = false;
@@ -359,6 +380,7 @@ EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
       throw BudgetExceeded(ExecPhase::kPlan);
     }
     plan_capped = true;
+    BRICS_COUNTER_ADD(c_shed, planned_total - cap);
     // Shed optional samples round-robin from the back of each block's
     // pick list — deterministic, and spreads the loss across blocks.
     NodeId excess = planned_total - cap;
@@ -394,8 +416,9 @@ EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
 
   // ---- P1: sampled traversals inside each block (Algorithm 5 step 2). ----
   set_phase(ExecPhase::kTraverse);
-  Timer traverse_t;
   std::vector<std::uint8_t> completed(tasks.size(), 0);
+  std::optional<PhaseScope> phase_traverse;
+  phase_traverse.emplace("traverse", res.times.traverse_s);
 #pragma omp parallel
   {
     TraversalWorkspace ws;
@@ -448,7 +471,7 @@ EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
       scratch.clear_block(bw);
     }
   }
-  res.times.traverse_s = traverse_t.seconds();
+  phase_traverse.reset();
 
   // ---- Degraded traversal: drop the samples that never finished. ----
   // Everything downstream (beta calibration, the intra-block rescaling,
@@ -470,6 +493,7 @@ EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
     for (BlockId b = 0; b < nb; ++b)
       works[b].samples_local = std::move(kept[b]);
   }
+  BRICS_COUNTER_ADD(c_completed, done_tasks);
   res.samples = static_cast<NodeId>(done_tasks);
   res.planned_samples = planned_total;
   res.achieved_sample_rate = opts.sample_rate *
@@ -484,7 +508,8 @@ EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
   }
 
   // ---- Tree DP over the BCT (Algorithm 6). ----
-  Timer combine_t;
+  std::optional<PhaseScope> phase_combine;
+  phase_combine.emplace("combine", res.times.combine_s);
   std::vector<FarnessSum> down_w(bct.num_cuts(), 0),
       down_d(bct.num_cuts(), 0);
   std::vector<FarnessSum> sub_w(nb, 0), sub_d_at_p(nb, 0);
@@ -668,8 +693,11 @@ EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
                      static_cast<double>(bw.od_total);
   }
   refine_removed_estimates(rg.ledger, n, res.farness, res.exact);
-  res.times.combine_s = combine_t.seconds();
+  phase_combine.reset();
   res.times.total_s = total.seconds();
+  res.times.normalize();
+  record_exec_metrics(res);
+  record_phase_metrics(res.times);
   return res;
 }
 

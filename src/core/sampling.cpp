@@ -7,6 +7,9 @@
 #include "core/postprocess.hpp"
 #include "exec/errors.hpp"
 #include "graph/connectivity.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "traverse/multi_source.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -41,6 +44,12 @@ void report_degradation(EstimateResult& res, const EstimateOptions& opts,
   res.achieved_sample_rate = opts.sample_rate *
                              static_cast<double>(k_done) /
                              static_cast<double>(planned);
+  BRICS_COUNTER(c_planned, "plan.samples_planned");
+  BRICS_COUNTER(c_completed, "plan.samples_completed");
+  BRICS_COUNTER(c_shed, "plan.samples_shed");
+  BRICS_COUNTER_ADD(c_planned, planned);
+  BRICS_COUNTER_ADD(c_completed, k_done);
+  BRICS_COUNTER_ADD(c_shed, planned - k_done);
   if (k_done < k) {
     res.degraded = true;
     res.cut_phase = ExecPhase::kTraverse;
@@ -61,6 +70,7 @@ EstimateResult estimate_random_sampling_budgeted(const CsrGraph& g,
                   "estimators require a connected graph "
                   "(preprocess with make_connected / largest_component)");
   Timer total;
+  BRICS_SPAN(sp_estimate, "estimate.random_sampling");
   EstimateResult res;
   res.farness.assign(n, 0.0);
   res.exact.assign(n, 0);
@@ -78,7 +88,8 @@ EstimateResult estimate_random_sampling_budgeted(const CsrGraph& g,
     sources = sample_without_replacement(n, k, rng);
   }
 
-  Timer traverse;
+  std::optional<PhaseScope> phase_traverse;
+  phase_traverse.emplace("traverse", res.times.traverse_s);
   DistanceSumAccumulator acc(n);
   std::vector<std::uint8_t> completed;
   const std::size_t done = for_each_source_budgeted(
@@ -90,9 +101,10 @@ EstimateResult estimate_random_sampling_budgeted(const CsrGraph& g,
         acc.add(dist);
       });
   const NodeId k_done = static_cast<NodeId>(done);
-  res.times.traverse_s = traverse.seconds();
+  phase_traverse.reset();
 
-  Timer combine;
+  std::optional<PhaseScope> phase_combine;
+  phase_combine.emplace("combine", res.times.combine_s);
   std::vector<FarnessSum> sums = acc.merge();
   const double scale =
       static_cast<double>(n - 1) / static_cast<double>(k_done);
@@ -100,8 +112,11 @@ EstimateResult estimate_random_sampling_budgeted(const CsrGraph& g,
     if (!res.exact[v])
       res.farness[v] = static_cast<double>(sums[v]) * scale;
   report_degradation(res, opts, planned, k, k_done);
-  res.times.combine_s = combine.seconds();
+  phase_combine.reset();
   res.times.total_s = total.seconds();
+  res.times.normalize();
+  record_exec_metrics(res);
+  record_phase_metrics(res.times);
   return res;
 }
 
@@ -121,11 +136,13 @@ EstimateResult estimate_reduced_sampling(const CsrGraph& g,
   BRICS_CHECK_MSG(opts.sample_rate > 0.0 && opts.sample_rate <= 1.0,
                   "sample_rate must be in (0, 1], got " << opts.sample_rate);
   Timer total;
+  BRICS_SPAN(sp_estimate, "estimate.reduced_sampling");
   CancelToken token(opts.budget.timeout_ms);
 
-  Timer reduce_t;
+  double reduce_s = 0.0;
   std::optional<ReducedGraph> maybe_rg;
   try {
+    PhaseScope phase_reduce("reduce", reduce_s);
     maybe_rg.emplace(reduce(g, opts.reduce));
     if (token.poll())
       throw BudgetExceeded(ExecPhase::kReduce);
@@ -133,10 +150,15 @@ EstimateResult estimate_reduced_sampling(const CsrGraph& g,
     // Reduction faulted or consumed the whole budget: degrade to plain
     // sampling on the unreduced graph under the same (possibly already
     // expired) deadline.
+    BRICS_COUNTER(c_degraded, "exec.degraded_runs");
+    BRICS_COUNTER_ADD(c_degraded, 1);
     EstimateResult res = estimate_random_sampling_budgeted(g, opts, token);
     res.degraded = true;
     res.cut_phase = ExecPhase::kReduce;
     res.times.total_s = total.seconds();
+    res.times.normalize();
+    record_exec_metrics(res);
+    record_phase_metrics(res.times);
     return res;
   }
   const ReducedGraph& rg = *maybe_rg;
@@ -145,7 +167,7 @@ EstimateResult estimate_reduced_sampling(const CsrGraph& g,
   res.farness.assign(n, 0.0);
   res.exact.assign(n, 0);
   res.reduce_stats = rg.stats;
-  res.times.reduce_s = reduce_t.seconds();
+  res.times.reduce_s = reduce_s;
 
   std::vector<NodeId> present_nodes;
   present_nodes.reserve(rg.num_present);
@@ -161,7 +183,8 @@ EstimateResult estimate_reduced_sampling(const CsrGraph& g,
   std::vector<NodeId> sources(k);
   for (NodeId i = 0; i < k; ++i) sources[i] = present_nodes[pick[i]];
 
-  Timer traverse;
+  std::optional<PhaseScope> phase_traverse;
+  phase_traverse.emplace("traverse", res.times.traverse_s);
   DistanceSumAccumulator acc(n);
   std::vector<std::uint8_t> completed;
   const std::size_t done = for_each_source_budgeted(
@@ -181,9 +204,10 @@ EstimateResult estimate_reduced_sampling(const CsrGraph& g,
         acc.add(full);
       });
   const NodeId k_done = static_cast<NodeId>(done);
-  res.times.traverse_s = traverse.seconds();
+  phase_traverse.reset();
 
-  Timer combine;
+  std::optional<PhaseScope> phase_combine;
+  phase_combine.emplace("combine", res.times.combine_s);
   std::vector<FarnessSum> sums = acc.merge();
 
   // Sources are uniform over *present* nodes, not over V: removed nodes
@@ -211,8 +235,11 @@ EstimateResult estimate_reduced_sampling(const CsrGraph& g,
       res.farness[v] = static_cast<double>(sums[v]) * scale;
   refine_removed_estimates(rg.ledger, n, res.farness, res.exact);
   report_degradation(res, opts, planned, k, k_done);
-  res.times.combine_s = combine.seconds();
+  phase_combine.reset();
   res.times.total_s = total.seconds();
+  res.times.normalize();
+  record_exec_metrics(res);
+  record_phase_metrics(res.times);
   return res;
 }
 

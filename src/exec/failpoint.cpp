@@ -4,6 +4,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+
 namespace brics {
 
 struct FailPointRegistry::Impl {
@@ -54,6 +56,8 @@ bool FailPointRegistry::should_fail(const char* name) {
     --it->second;
     return false;
   }
+  BRICS_COUNTER(c_fired, "exec.failpoints_fired");
+  BRICS_COUNTER_ADD(c_fired, 1);
   return true;
 }
 

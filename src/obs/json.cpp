@@ -1,0 +1,304 @@
+#include "obs/json.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace brics {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_elem_.empty()) {
+    if (has_elem_.back()) out_ += ',';
+    has_elem_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!has_elem_.empty());
+  has_elem_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!has_elem_.empty());
+  has_elem_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!has_elem_.empty());
+  if (has_elem_.back()) out_ += ',';
+  has_elem_.back() = true;
+  out_ += '"';
+  append_json_escaped(out_, k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  append_json_escaped(out_, v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  before_value();
+  char buf[32];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  assert(ec == std::errc());
+  out_.append(buf, p);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  char buf[24];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  assert(ec == std::errc());
+  out_.append(buf, p);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  char buf[24];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  assert(ec == std::errc());
+  out_.append(buf, p);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  assert(has_elem_.empty() && !pending_key_);
+  return out_;
+}
+
+namespace {
+
+// Recursive-descent validator. Tracks only a cursor; depth-limited so
+// adversarial nesting cannot blow the stack.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view t) : t_(t) {}
+
+  bool run(std::string* error) {
+    ok_ = value(0);
+    if (ok_) {
+      skip_ws();
+      if (pos_ != t_.size()) fail("trailing characters after document");
+    }
+    if (!ok_ && error) {
+      *error = err_ + " at offset " + std::to_string(err_pos_);
+    }
+    return ok_;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  bool fail(const char* what) {
+    if (ok_) {
+      err_ = what;
+      err_pos_ = pos_;
+      ok_ = false;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < t_.size() && (t_[pos_] == ' ' || t_[pos_] == '\t' ||
+                                t_[pos_] == '\n' || t_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    if (pos_ < t_.size() && t_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (t_.substr(pos_, lit.size()) != lit) return fail("bad literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return fail("expected string");
+    while (pos_ < t_.size()) {
+      const unsigned char c = static_cast<unsigned char>(t_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= t_.size()) return fail("truncated escape");
+        const char e = t_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i, ++pos_) {
+            if (pos_ >= t_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(t_[pos_])))
+              return fail("bad \\u escape");
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape character");
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < t_.size() &&
+           std::isdigit(static_cast<unsigned char>(t_[pos_])))
+      ++pos_;
+    if (pos_ == start) return fail("expected digits");
+    return true;
+  }
+
+  bool number() {
+    eat('-');
+    if (eat('0')) {
+      if (pos_ < t_.size() &&
+          std::isdigit(static_cast<unsigned char>(t_[pos_])))
+        return fail("leading zero");
+    } else if (!digits()) {
+      return false;
+    }
+    if (eat('.') && !digits()) return false;
+    if (pos_ < t_.size() && (t_[pos_] == 'e' || t_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < t_.size() && (t_[pos_] == '+' || t_[pos_] == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= t_.size()) return fail("unexpected end of input");
+    const char c = t_[pos_];
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+      return number();
+    return fail("unexpected character");
+  }
+
+  bool object(int depth) {
+    eat('{');
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'");
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(int depth) {
+    eat('[');
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view t_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string err_;
+  std::size_t err_pos_ = 0;
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text, std::string* error) {
+  return JsonChecker(text).run(error);
+}
+
+}  // namespace brics

@@ -1,0 +1,77 @@
+// Minimal hand-rolled JSON layer for the observability subsystem.
+//
+// JsonWriter emits syntactically valid JSON through a small state machine
+// (no DOM, no allocation beyond the output string); json_valid() is a
+// strict recursive-descent checker used by tests to prove every artifact
+// the library emits round-trips through an independent parser. Neither
+// side depends on anything outside the standard library, keeping obs/
+// zero-dependency as required for bench and CLI artifact export.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace brics {
+
+/// Append `s` to `out` with all JSON string escapes applied (quotes,
+/// backslash, control characters as \u00XX).
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// Streaming JSON writer. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object().key("n").value(42).key("xs").begin_array()
+///    .value(1.5).end_array().end_object();
+///   std::string doc = std::move(w).str();
+///
+/// Misuse (value without key inside an object, str() before the document
+/// closes) is caught by assertions in debug and yields invalid JSON at
+/// worst — callers are library code, not untrusted input.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);  ///< NaN / infinity become null
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& null();
+
+  /// Shorthand for key(k).value(v).
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    return key(k).value(v);
+  }
+
+  /// The finished document; the writer must be back at nesting depth 0.
+  const std::string& str() const;
+
+ private:
+  void before_value();
+
+  std::string out_;
+  // One entry per open container: true once the first element was written
+  // (so the next one needs a comma separator).
+  std::vector<bool> has_elem_;
+  bool pending_key_ = false;
+};
+
+/// Strict JSON syntax check (RFC 8259 grammar: one top-level value, no
+/// trailing garbage, no NaN/Inf literals, no leading zeros, valid escapes).
+/// On failure, *error (if non-null) receives a short description with the
+/// byte offset.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace brics

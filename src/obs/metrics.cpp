@@ -1,0 +1,159 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace brics {
+
+std::size_t metric_thread_slots() {
+  static const std::size_t slots = [] {
+    std::size_t want = std::max<std::size_t>(
+        {64, static_cast<std::size_t>(max_threads()),
+         static_cast<std::size_t>(std::thread::hardware_concurrency())});
+    return std::bit_ceil(want);
+  }();
+  return slots;
+}
+
+Counter::Counter() : slots_(metric_thread_slots()) {}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : slots_)
+    total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (auto& s : slots_) s.v.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::span<const std::uint64_t> bounds)
+    : bounds_(bounds.begin(), bounds.end()) {
+  BRICS_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                  "histogram bounds must be ascending");
+  // One overflow bucket past the last bound; each thread's bucket block is
+  // a contiguous run of padded cells, so threads never share a cache line.
+  stride_ = bounds_.size() + 1;
+  cells_ = std::vector<detail::PaddedCell>(
+      stride_ * metric_thread_slots());
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(stride_, 0);
+  for (std::size_t t = 0; t < metric_thread_slots(); ++t)
+    for (std::size_t b = 0; b < stride_; ++b)
+      out[b] += cells_[t * stride_ + b].v.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t Histogram::total_count() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_)
+    total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+std::span<const std::uint64_t> pow2_bounds() {
+  static const std::vector<std::uint64_t> bounds = [] {
+    std::vector<std::uint64_t> b;
+    for (std::uint64_t v = 1; v <= (1u << 20); v <<= 1) b.push_back(v);
+    return b;
+  }();
+  return bounds;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters) w.field(name, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : gauges) w.field(name, v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name).begin_object();
+    w.key("bounds").begin_array();
+    for (std::uint64_t b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (std::uint64_t c : h.counts) w.value(c);
+    w.end_array();
+    w.field("total", h.total);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter()))
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_
+             .emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(
+    std::string_view name, std::span<const std::uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end())
+    it = hists_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(bounds)))
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : hists_) {
+    MetricsSnapshot::Hist hs;
+    hs.bounds.assign(h->bounds().begin(), h->bounds().end());
+    hs.counts = h->counts();
+    for (std::uint64_t c : hs.counts) hs.total += c;
+    s.histograms[name] = std::move(hs);
+  }
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : hists_) h->reset();
+}
+
+}  // namespace brics

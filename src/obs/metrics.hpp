@@ -1,0 +1,202 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// Hot-path design (docs/OBSERVABILITY.md): every metric keeps one
+// cache-line-padded slot per thread, indexed by the OpenMP thread id, so an
+// increment is a relaxed load + store of a slot no other thread writes —
+// no atomic read-modify-write, no lock, no false sharing. Readers merge the
+// slots on demand (snapshot()), which is allowed to race with writers: each
+// slot read is a relaxed atomic load, so a snapshot taken mid-run is an
+// instantaneously consistent-per-slot (if slightly stale) view.
+//
+// Instrumentation sites in the library go through the BRICS_* macros below;
+// configuring with -DBRICS_METRICS=OFF compiles every one of them to
+// nothing, so the uninstrumented build pays zero cycles and zero bytes.
+// The registry classes themselves stay compiled either way — artifact
+// export and tests always link.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+#ifndef BRICS_METRICS_ENABLED
+#define BRICS_METRICS_ENABLED 1
+#endif
+
+namespace brics {
+
+/// Number of per-thread slots every metric carries (a power of two, fixed
+/// at process start: comfortably above the OpenMP thread count). Thread ids
+/// are masked into range; oversubscribing beyond this many threads only
+/// shares slots (still well-defined, increments may coalesce).
+std::size_t metric_thread_slots();
+
+/// Calling thread's metric slot.
+inline std::size_t metric_slot() {
+  return static_cast<std::size_t>(thread_id()) &
+         (metric_thread_slots() - 1);
+}
+
+namespace detail {
+struct alignas(64) PaddedCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+// Thread-owned slot update: relaxed load + store, no RMW. Exact as long as
+// each slot has a single writer (guaranteed by metric_slot()).
+inline void slot_add(std::atomic<std::uint64_t>& c,
+                     std::uint64_t n) noexcept {
+  c.store(c.load(std::memory_order_relaxed) + n,
+          std::memory_order_relaxed);
+}
+}  // namespace detail
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    detail::slot_add(slots_[metric_slot()].v, n);
+  }
+
+  /// Merged value across all thread slots.
+  std::uint64_t value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  Counter();
+  std::vector<detail::PaddedCell> slots_;
+};
+
+/// Last-write-wins double value (phase durations, rates, flags).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    bits_.store(std::bit_cast<std::uint64_t>(v),
+                std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram over non-negative integer observations. Bucket i
+/// counts values <= bounds[i] (first matching bound); values above the last
+/// bound land in a final overflow bucket.
+class Histogram {
+ public:
+  void observe(std::uint64_t x) noexcept {
+    std::size_t b = 0;
+    while (b < bounds_.size() && x > bounds_[b]) ++b;
+    detail::slot_add(cells_[metric_slot() * stride_ + b].v, 1);
+  }
+
+  std::span<const std::uint64_t> bounds() const { return bounds_; }
+  /// Merged per-bucket counts, size bounds().size() + 1 (overflow last).
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t total_count() const;
+  void reset() noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::span<const std::uint64_t> bounds);
+  std::vector<std::uint64_t> bounds_;
+  std::size_t stride_ = 0;  ///< buckets per thread slot
+  std::vector<detail::PaddedCell> cells_;
+};
+
+/// Power-of-two bucket bounds 1, 2, 4, ..., 2^20 — the default scale for
+/// frontier sizes and block sizes.
+std::span<const std::uint64_t> pow2_bounds();
+
+/// Point-in-time merged view of a registry, ready for JSON export.
+struct MetricsSnapshot {
+  struct Hist {
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
+    std::uint64_t total = 0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Hist> histograms;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  std::string to_json() const;
+};
+
+/// Get-or-create registry of named metrics. Metric handles are stable for
+/// the registry's lifetime, so hot loops resolve a name once (the BRICS_*
+/// macros cache the reference in a function-local static) and never touch
+/// the registry lock again. Instances are independent — tests construct
+/// their own; the library instruments global().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` must be ascending; only consulted on first creation.
+  Histogram& histogram(std::string_view name,
+                       std::span<const std::uint64_t> bounds);
+
+  MetricsSnapshot snapshot() const;
+  /// Zero every metric (names and handles survive). Estimator drivers call
+  /// this between runs to scope a snapshot to one run.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> hists_;
+};
+
+}  // namespace brics
+
+// ---- Instrumentation macros (compile to nothing when BRICS_METRICS=OFF).
+//
+//   BRICS_COUNTER(c, "traverse.edges_relaxed");   // once per scope
+//   BRICS_COUNTER_ADD(c, n);
+//   BRICS_HISTOGRAM(h, "traverse.frontier_size", brics::pow2_bounds());
+//   BRICS_HISTOGRAM_OBSERVE(h, frontier);
+//   BRICS_GAUGE_SET("exec.degraded", 1.0);
+//   BRICS_METRICS_ONLY(std::uint64_t edges = 0;)   // local bookkeeping
+#if BRICS_METRICS_ENABLED
+#define BRICS_METRICS_ONLY(...) __VA_ARGS__
+#define BRICS_COUNTER(var, name)             \
+  static ::brics::Counter& var =             \
+      ::brics::MetricsRegistry::global().counter(name)
+#define BRICS_COUNTER_ADD(var, n) (var).add(n)
+#define BRICS_HISTOGRAM(var, name, bounds)   \
+  static ::brics::Histogram& var =           \
+      ::brics::MetricsRegistry::global().histogram(name, bounds)
+#define BRICS_HISTOGRAM_OBSERVE(var, x) (var).observe(x)
+#define BRICS_GAUGE_SET(name, v) \
+  ::brics::MetricsRegistry::global().gauge(name).set(v)
+#else
+#define BRICS_METRICS_ONLY(...)
+#define BRICS_COUNTER(var, name) static_assert(true)
+#define BRICS_COUNTER_ADD(var, n) ((void)0)
+#define BRICS_HISTOGRAM(var, name, bounds) static_assert(true)
+#define BRICS_HISTOGRAM_OBSERVE(var, x) ((void)0)
+#define BRICS_GAUGE_SET(name, v) ((void)0)
+#endif

@@ -1,0 +1,146 @@
+#include "obs/report.hpp"
+
+#include "obs/json.hpp"
+
+namespace brics {
+
+RunReport make_run_report(std::string tool, std::string dataset,
+                          const CsrGraph& g, const EstimateOptions& opts,
+                          std::string config, const EstimateResult& est,
+                          double wall_s) {
+  RunReport r;
+  r.tool = std::move(tool);
+  r.dataset = std::move(dataset);
+  r.nodes = g.num_nodes();
+  r.edges = g.num_edges();
+  r.config = std::move(config);
+  r.sample_rate = opts.sample_rate;
+  r.seed = opts.seed;
+  r.timeout_ms = opts.budget.timeout_ms;
+  r.max_sources = opts.budget.max_sources;
+  r.threads = max_threads();
+  r.times = est.times;
+  r.samples = est.samples;
+  r.planned_samples = est.planned_samples;
+  r.num_blocks = est.num_blocks;
+  r.reduce = est.reduce_stats;
+  r.degraded = est.degraded;
+  r.cut_phase = to_string(est.cut_phase);
+  r.achieved_sample_rate = est.achieved_sample_rate;
+  r.wall_s = wall_s;
+  r.metrics = MetricsRegistry::global().snapshot();
+  return r;
+}
+
+std::string to_json(const RunReport& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", RunReport::kSchemaVersion);
+  w.field("tool", r.tool);
+  w.field("dataset", r.dataset);
+
+  w.key("graph")
+      .begin_object()
+      .field("nodes", r.nodes)
+      .field("edges", r.edges)
+      .end_object();
+
+  w.key("options")
+      .begin_object()
+      .field("config", r.config)
+      .field("sample_rate", r.sample_rate)
+      .field("seed", r.seed)
+      .field("timeout_ms", r.timeout_ms)
+      .field("max_sources", r.max_sources)
+      .field("threads", r.threads)
+      .end_object();
+
+  w.key("phases")
+      .begin_object()
+      .field("reduce_s", r.times.reduce_s)
+      .field("bcc_s", r.times.bcc_s)
+      .field("traverse_s", r.times.traverse_s)
+      .field("combine_s", r.times.combine_s)
+      .field("other_s", r.times.other_s())
+      .field("total_s", r.times.total_s)
+      .end_object();
+
+  w.key("estimate")
+      .begin_object()
+      .field("samples", r.samples)
+      .field("planned_samples", r.planned_samples)
+      .field("num_blocks", r.num_blocks)
+      .end_object();
+
+  w.key("reduction")
+      .begin_object()
+      .field("rounds", r.reduce.rounds)
+      .field("input_nodes", static_cast<std::uint64_t>(r.reduce.input_nodes))
+      .field("input_edges", r.reduce.input_edges)
+      .field("reduced_nodes",
+             static_cast<std::uint64_t>(r.reduce.reduced_nodes))
+      .field("reduced_edges", r.reduce.reduced_edges)
+      .field("identical_removed",
+             static_cast<std::uint64_t>(r.reduce.identical.removed))
+      .field("chain_removed",
+             static_cast<std::uint64_t>(r.reduce.chains.removed))
+      .field("redundant_removed",
+             static_cast<std::uint64_t>(r.reduce.redundant.removed))
+      .end_object();
+
+  w.key("exec")
+      .begin_object()
+      .field("degraded", r.degraded)
+      .field("cut_phase", r.cut_phase)
+      .field("achieved_sample_rate", r.achieved_sample_rate)
+      .end_object();
+
+  w.field("wall_s", r.wall_s);
+
+  // Embed the snapshot's own JSON shape under "metrics".
+  w.key("metrics")
+      .begin_object()
+      .key("counters")
+      .begin_object();
+  for (const auto& [name, v] : r.metrics.counters) w.field(name, v);
+  w.end_object().key("gauges").begin_object();
+  for (const auto& [name, v] : r.metrics.gauges) w.field(name, v);
+  w.end_object().key("histograms").begin_object();
+  for (const auto& [name, h] : r.metrics.histograms) {
+    w.key(name).begin_object().key("bounds").begin_array();
+    for (std::uint64_t b : h.bounds) w.value(b);
+    w.end_array().key("counts").begin_array();
+    for (std::uint64_t c : h.counts) w.value(c);
+    w.end_array().field("total", h.total).end_object();
+  }
+  w.end_object().end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+void record_exec_metrics(const EstimateResult& est) {
+#if BRICS_METRICS_ENABLED
+  BRICS_GAUGE_SET("exec.degraded", est.degraded ? 1.0 : 0.0);
+  BRICS_GAUGE_SET("exec.cut_phase_code",
+                  static_cast<double>(static_cast<int>(est.cut_phase)));
+  BRICS_GAUGE_SET("exec.achieved_sample_rate", est.achieved_sample_rate);
+#else
+  (void)est;
+#endif
+}
+
+void record_phase_metrics(const PhaseTimes& times) {
+#if BRICS_METRICS_ENABLED
+  BRICS_GAUGE_SET("phase.reduce_s", times.reduce_s);
+  BRICS_GAUGE_SET("phase.bcc_s", times.bcc_s);
+  BRICS_GAUGE_SET("phase.traverse_s", times.traverse_s);
+  BRICS_GAUGE_SET("phase.combine_s", times.combine_s);
+  BRICS_GAUGE_SET("phase.other_s", times.other_s());
+  BRICS_GAUGE_SET("phase.total_s", times.total_s);
+#else
+  (void)times;
+#endif
+}
+
+}  // namespace brics

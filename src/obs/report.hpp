@@ -1,0 +1,86 @@
+// Machine-readable run report: one JSON artifact per estimator run.
+//
+// The report (schema v1, docs/OBSERVABILITY.md) ties together everything a
+// perf PR needs to prove a win against a recorded baseline: graph stats,
+// the options that produced the run, per-phase timings including the
+// residual "other" time, per-technique reduction counts, the exec layer's
+// degradation state (degraded / cut_phase / achieved_sample_rate), and the
+// merged metrics snapshot. brics_cli --metrics-out writes one; the bench
+// harnesses embed the same snapshot in their BENCH_*.json artifacts.
+//
+// Layering: obs/ depends on core/ headers only (POD field reads), never on
+// core's objects — brics_core links brics_obs, not the other way around.
+#pragma once
+
+#include <string>
+
+#include "core/estimate.hpp"
+#include "graph/csr_graph.hpp"
+#include "obs/metrics.hpp"
+
+namespace brics {
+
+/// Everything one run report serialises. Field groups mirror the JSON
+/// object layout; see to_json().
+struct RunReport {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string tool;     ///< producing binary ("brics_cli", harness name)
+  std::string dataset;  ///< input path or @registry-name
+
+  // graph
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+
+  // options
+  std::string config;  ///< random | cr | icr | cumulative
+  double sample_rate = 0.0;
+  std::uint64_t seed = 0;
+  std::int64_t timeout_ms = 0;
+  std::uint32_t max_sources = 0;
+  int threads = 0;
+
+  // phases (seconds; other_s = total - sum of named phases)
+  PhaseTimes times;
+
+  // estimate
+  NodeId samples = 0;
+  NodeId planned_samples = 0;
+  BlockId num_blocks = 0;
+
+  // reduction (per-technique removal counts)
+  ReduceStats reduce;
+
+  // exec / degradation state (PR 1 fields, wired into the same artifact)
+  bool degraded = false;
+  std::string cut_phase;  ///< "none" | "plan" | "reduce" | "bcc" | "traverse"
+  double achieved_sample_rate = 0.0;
+
+  double wall_s = 0.0;  ///< end-to-end wall clock observed by the caller
+
+  MetricsSnapshot metrics;
+};
+
+/// Assemble a report from one finished estimate. Reads the global metrics
+/// registry; callers that want the snapshot scoped to this run reset the
+/// registry before running (the CLI does).
+RunReport make_run_report(std::string tool, std::string dataset,
+                          const CsrGraph& g, const EstimateOptions& opts,
+                          std::string config, const EstimateResult& est,
+                          double wall_s);
+
+/// Serialise (hand-rolled writer, schema-versioned, strict-parser clean).
+std::string to_json(const RunReport& r);
+
+/// Publish the exec layer's degraded-run state as gauges
+/// ("exec.degraded", "exec.cut_phase_code", "exec.achieved_sample_rate")
+/// so a bare metrics snapshot carries the degradation state even without
+/// a full RunReport. No-op when instrumentation is compiled out.
+void record_exec_metrics(const EstimateResult& est);
+
+/// Publish the final phase breakdown as "phase.*_s" gauges (including
+/// total and the other_s residual). No-op when instrumentation is
+/// compiled out.
+void record_phase_metrics(const PhaseTimes& times);
+
+}  // namespace brics

@@ -1,0 +1,61 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace brics {
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* rec = new TraceRecorder();  // never destroyed
+  return *rec;
+}
+
+TraceRecorder::TraceRecorder()
+    : t0_(std::chrono::steady_clock::now()),
+      per_thread_(metric_thread_slots()) {}
+
+void TraceRecorder::enable() {
+  clear();
+  t0_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::clear() {
+  for (auto& buf : per_thread_) buf.clear();
+}
+
+void TraceRecorder::record(const TraceEvent& e) {
+  per_thread_[e.tid].push_back(e);
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> all;
+  for (const auto& buf : per_thread_)
+    all.insert(all.end(), buf.begin(), buf.end());
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return all;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  JsonWriter w;
+  w.begin_object().key("traceEvents").begin_array();
+  for (const TraceEvent& e : events()) {
+    w.begin_object()
+        .field("name", e.name)
+        .field("cat", "brics")
+        .field("ph", "X")
+        .field("ts", e.ts_us)
+        .field("dur", e.dur_us)
+        .field("pid", 1)
+        .field("tid", static_cast<std::uint64_t>(e.tid))
+        .end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+}  // namespace brics

@@ -1,0 +1,146 @@
+// RAII tracing spans with nesting and thread attribution.
+//
+// Recording is off by default: an unarmed Span construct/destruct is one
+// relaxed atomic load each. When the recorder is enabled (CLI --trace-out,
+// tests), every span buffers one complete event into the calling thread's
+// private buffer — no locks on the recording path — and the recorder
+// serialises them as Chrome trace_event JSON, loadable in chrome://tracing
+// or https://ui.perfetto.dev (docs/OBSERVABILITY.md).
+//
+// PhaseScope couples a span with the PhaseTimes bookkeeping the estimators
+// must fill either way; the span/gauge half compiles away under
+// -DBRICS_METRICS=OFF, the timing half stays (it is public API).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace brics {
+
+/// One completed span. Times are microseconds since the recorder was
+/// enabled; tid is the metric slot of the recording thread; depth is the
+/// span-nesting level on that thread (0 = outermost).
+struct TraceEvent {
+  const char* name;  ///< must outlive the recorder (string literals)
+  double ts_us;
+  double dur_us;
+  std::uint32_t tid;
+  std::uint32_t depth;
+};
+
+/// Process-wide trace buffer. Per-thread event vectors are written without
+/// synchronisation by their owning thread; events()/to_chrome_json() must
+/// only run while no span is being recorded (i.e. outside parallel
+/// regions), which is when exporters run anyway.
+class TraceRecorder {
+ public:
+  static TraceRecorder& global();
+
+  /// Drop buffered events and start recording (t = 0 is now).
+  void enable();
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void clear();
+
+  /// All buffered events, merged and sorted by start time.
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}, "X" phase events).
+  std::string to_chrome_json() const;
+
+  /// Recording epoch, for Span internals.
+  std::chrono::steady_clock::time_point epoch() const { return t0_; }
+
+  void record(const TraceEvent& e);
+
+ private:
+  TraceRecorder();
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point t0_;
+  std::vector<std::vector<TraceEvent>> per_thread_;
+};
+
+/// RAII span: records [construction, destruction) on the global recorder
+/// when it is enabled, with automatic per-thread nesting depth.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (!TraceRecorder::global().enabled()) return;
+    name_ = name;
+    start_ = std::chrono::steady_clock::now();
+    depth_ = depth_tls()++;
+  }
+
+  ~Span() {
+    if (!name_) return;
+    --depth_tls();
+    TraceRecorder& rec = TraceRecorder::global();
+    const auto now = std::chrono::steady_clock::now();
+    const double ts = std::chrono::duration<double, std::micro>(
+                          start_ - rec.epoch())
+                          .count();
+    const double dur =
+        std::chrono::duration<double, std::micro>(now - start_).count();
+    rec.record({name_, ts, dur,
+                static_cast<std::uint32_t>(metric_slot()),
+                static_cast<std::uint32_t>(depth_)});
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  static std::uint32_t& depth_tls() {
+    thread_local std::uint32_t depth = 0;
+    return depth;
+  }
+
+  const char* name_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+  std::uint32_t depth_ = 0;
+};
+
+/// Times a region into a PhaseTimes field (accumulating, like the Timer
+/// plumbing it replaces) and — when instrumentation is compiled in — opens
+/// a span and publishes the accumulated total as gauge "phase.<name>_s".
+class PhaseScope {
+ public:
+  PhaseScope(const char* name, double& out) : name_(name), out_(out) {}
+
+  ~PhaseScope() {
+    out_ += timer_.seconds();
+#if BRICS_METRICS_ENABLED
+    MetricsRegistry::global()
+        .gauge(std::string("phase.") + name_ + "_s")
+        .set(out_);
+#endif
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  const char* name_;
+  double& out_;
+  Timer timer_;
+#if BRICS_METRICS_ENABLED
+  Span span_{name_};
+#endif
+};
+
+}  // namespace brics
+
+#if BRICS_METRICS_ENABLED
+#define BRICS_SPAN(var, name) ::brics::Span var(name)
+#else
+#define BRICS_SPAN(var, name) static_assert(true)
+#endif

@@ -1,6 +1,8 @@
 #include "reduce/reducer.hpp"
 
 #include "exec/failpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace brics {
@@ -58,31 +60,42 @@ ReducedGraph reduce(const CsrGraph& g, const ReduceOptions& opts) {
   out.stats.input_nodes = n;
   out.stats.input_edges = g.num_edges();
 
+  BRICS_COUNTER(c_rounds, "reduce.rounds");
+  BRICS_COUNTER(c_identical, "reduce.identical_removed");
+  BRICS_COUNTER(c_chain, "reduce.chain_removed");
+  BRICS_COUNTER(c_redundant, "reduce.redundant_removed");
   const int rounds = opts.iterate ? opts.max_rounds : 1;
   for (int round = 0; round < rounds; ++round) {
     NodeId removed_before = out.ledger.num_removed();
 
     if (opts.identical) {
+      BRICS_SPAN(sp, "reduce.identical");
       IdenticalPassStats s =
           remove_identical_nodes(out.graph, out.present, out.ledger);
       accumulate(out.stats.identical, s);
+      BRICS_COUNTER_ADD(c_identical, s.removed);
       if (s.removed > 0) out.graph = rebuild(out.graph, out.present, {});
     }
     if (opts.chains) {
+      BRICS_SPAN(sp, "reduce.chains");
       ChainPassResult r =
           remove_chain_nodes(out.graph, out.present, out.ledger);
       accumulate(out.stats.chains, r.stats);
+      BRICS_COUNTER_ADD(c_chain, r.stats.removed);
       if (r.stats.removed > 0)
         out.graph = rebuild(out.graph, out.present, r.compressed_edges);
     }
     if (opts.redundant) {
+      BRICS_SPAN(sp, "reduce.redundant");
       RedundantPassStats s =
           remove_redundant_nodes(out.graph, out.present, out.ledger);
       accumulate(out.stats.redundant, s);
+      BRICS_COUNTER_ADD(c_redundant, s.removed);
       if (s.removed > 0) out.graph = rebuild(out.graph, out.present, {});
     }
 
     ++out.stats.rounds;
+    BRICS_COUNTER_ADD(c_rounds, 1);
     if (out.ledger.num_removed() == removed_before) break;  // fixed point
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace brics {
@@ -29,12 +30,29 @@ bool bfs(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
   ws.resize(g.num_nodes(), 1);
   auto& dist = ws.dist_;
   auto& queue = ws.queue_;
+  BRICS_COUNTER(c_sources, "traverse.bfs_sources");
+  BRICS_COUNTER(c_nodes, "traverse.nodes_settled");
+  BRICS_COUNTER(c_edges, "traverse.edges_relaxed");
+  BRICS_COUNTER(c_cancelled, "traverse.cancelled");
+  BRICS_HISTOGRAM(h_frontier, "traverse.frontier_size", pow2_bounds());
+  // Counters accumulate in locals and flush once per traversal so the hot
+  // loop pays at most one add per settled node.
+  BRICS_METRICS_ONLY(std::uint64_t edges = 0; Dist level = 0;
+                     std::size_t level_start = 0;)
   dist[source] = 0;
   queue.push_back(source);
   for (std::size_t head = 0; head < queue.size(); ++head) {
-    if (cancel && head % kPollStride == 0 && cancel->poll()) return false;
+    if (cancel && head % kPollStride == 0 && cancel->poll()) {
+      BRICS_COUNTER_ADD(c_cancelled, 1);
+      return false;
+    }
     const NodeId u = queue[head];
     const Dist du = dist[u];
+    BRICS_METRICS_ONLY(edges += g.degree(u); if (du != level) {
+      h_frontier.observe(head - level_start);
+      level = du;
+      level_start = head;
+    })
     for (NodeId w : g.neighbors(u)) {
       if (dist[w] == kInfDist) {
         dist[w] = du + 1;
@@ -42,6 +60,9 @@ bool bfs(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
       }
     }
   }
+  BRICS_METRICS_ONLY(h_frontier.observe(queue.size() - level_start);
+                     c_sources.add(1); c_nodes.add(queue.size());
+                     c_edges.add(edges);)
   return true;
 }
 
@@ -54,24 +75,35 @@ bool dial_sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
   auto& buckets = ws.buckets_;
   const std::size_t nb = static_cast<std::size_t>(c) + 1;
 
+  BRICS_COUNTER(c_sources, "traverse.dial_sources");
+  BRICS_COUNTER(c_nodes, "traverse.nodes_settled");
+  BRICS_COUNTER(c_edges, "traverse.edges_relaxed");
+  BRICS_COUNTER(c_cancelled, "traverse.cancelled");
+  BRICS_HISTOGRAM(h_frontier, "traverse.frontier_size", pow2_bounds());
+  BRICS_METRICS_ONLY(std::uint64_t edges = 0; std::uint64_t nodes = 0;)
   dist[source] = 0;
   buckets[0].push_back(source);
   std::size_t remaining = 1;
   std::size_t settled = 0;
   for (Dist d = 0; remaining > 0; ++d) {
     auto& bucket = buckets[d % nb];
+    // Bucket size as the frontier proxy (may include stale entries).
+    BRICS_METRICS_ONLY(if (!bucket.empty())
+                           h_frontier.observe(bucket.size());)
     // Process bucket d; relaxations may append to buckets d+1 .. d+c, all
     // distinct modulo nb, so the current bucket is never appended to.
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       if (cancel && ++settled % kPollStride == 0 && cancel->poll()) {
         // Leave the workspace reusable: clear every touched bucket.
         for (auto& b : buckets) b.clear();
+        BRICS_COUNTER_ADD(c_cancelled, 1);
         return false;
       }
       const NodeId u = bucket[i];
       if (dist[u] != d) continue;  // stale entry, settled earlier
       auto nbrs = g.neighbors(u);
       auto wts = g.weights(u);
+      BRICS_METRICS_ONLY(edges += nbrs.size(); ++nodes;)
       for (std::size_t k = 0; k < nbrs.size(); ++k) {
         const NodeId v = nbrs[k];
         const Dist cand = d + wts[k];
@@ -85,6 +117,8 @@ bool dial_sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
     remaining -= bucket.size();
     bucket.clear();
   }
+  BRICS_METRICS_ONLY(c_sources.add(1); c_nodes.add(nodes);
+                     c_edges.add(edges);)
   return true;
 }
 

@@ -25,6 +25,8 @@ Summary summarize(std::span<const double> xs) {
   }
   s.mean = mean;
   s.stddev = n > 1 ? std::sqrt(m2 / static_cast<double>(n - 1)) : 0.0;
+  s.median = percentile(xs, 50.0);
+  s.p95 = percentile(xs, 95.0);
   return s;
 }
 

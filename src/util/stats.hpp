@@ -15,9 +15,12 @@ struct Summary {
   double stddev = 0.0;
   double min = 0.0;
   double max = 0.0;
+  double median = 0.0;  ///< percentile(xs, 50)
+  double p95 = 0.0;     ///< percentile(xs, 95)
 };
 
-/// One-pass mean/stddev/min/max (Welford). Empty input yields zeros.
+/// Mean/stddev/min/max via Welford plus median/p95 via a sorted copy.
+/// Empty input yields zeros.
 Summary summarize(std::span<const double> xs);
 
 /// p-th percentile (0 ≤ p ≤ 100) with linear interpolation; copies + sorts.

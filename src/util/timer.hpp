@@ -33,6 +33,29 @@ struct PhaseTimes {
   double traverse_s = 0.0;  ///< sampled BFS / Dial runs
   double combine_s = 0.0;   ///< contribution propagation + post-processing
   double total_s = 0.0;     ///< end-to-end (≥ sum of phases)
+
+  /// Sum of the named phases (everything except the residual).
+  double sum_phases() const {
+    return reduce_s + bcc_s + traverse_s + combine_s;
+  }
+
+  /// Residual time not attributed to any named phase (plan building,
+  /// allocation, merge overhead). Never negative: normalize() enforces
+  /// total_s >= sum_phases(), and a consumer reading other_s() before
+  /// normalization still gets a clamped value.
+  double other_s() const {
+    const double rest = total_s - sum_phases();
+    return rest > 0.0 ? rest : 0.0;
+  }
+
+  /// Re-establish the total >= sum-of-phases invariant. Phase timers and
+  /// the total timer are read at slightly different instants, so rounding
+  /// can leave total_s a hair below the sum; estimators call this before
+  /// publishing a result so other_s() is exactly total - sum.
+  void normalize() {
+    const double sum = sum_phases();
+    if (total_s < sum) total_s = sum;
+  }
 };
 
 }  // namespace brics

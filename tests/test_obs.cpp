@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "brics/brics.hpp"
+#include "obs/json.hpp"
+#include "util/parallel.hpp"
+
+namespace brics {
+namespace {
+
+// ---- JSON writer / validator -------------------------------------------
+
+TEST(Json, WriterProducesValidObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("int", 42);
+  w.field("neg", std::int64_t{-7});
+  w.field("pi", 3.25);
+  w.field("flag", true);
+  w.field("name", "brics");
+  w.key("arr").begin_array().value(1).value(2).value(3).end_array();
+  w.key("nested").begin_object().field("x", 1.0).end_object();
+  w.end_object();
+  std::string err;
+  EXPECT_TRUE(json_valid(w.str(), &err)) << err << "\n" << w.str();
+}
+
+TEST(Json, EscapingRoundTripsThroughValidator) {
+  const std::string nasty =
+      "quote\" backslash\\ newline\n tab\t ctrl\x01 unicode\xc3\xa9";
+  JsonWriter w;
+  w.begin_object();
+  w.field("k", nasty);
+  w.end_object();
+  std::string err;
+  EXPECT_TRUE(json_valid(w.str(), &err)) << err << "\n" << w.str();
+  // The escaped form must not contain raw control bytes.
+  for (char c : w.str())
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("nan", std::nan(""));
+  w.field("inf", std::numeric_limits<double>::infinity());
+  w.end_object();
+  EXPECT_TRUE(json_valid(w.str()));
+  EXPECT_NE(w.str().find("null"), std::string::npos);
+}
+
+TEST(Json, ValidatorAcceptsCorners) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid("  [1, 2.5, -3e2, \"x\", true, false, null]  "));
+  EXPECT_TRUE(json_valid("{\"a\":{\"b\":[{\"c\":0}]}}"));
+  EXPECT_TRUE(json_valid("\"\\u00e9\\n\\\\\""));
+}
+
+TEST(Json, ValidatorRejectsMalformed) {
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("{\"a\":1,}"));
+  EXPECT_FALSE(json_valid("[1 2]"));
+  EXPECT_FALSE(json_valid("{'a':1}"));
+  EXPECT_FALSE(json_valid("{\"a\":01}"));      // leading zero
+  EXPECT_FALSE(json_valid("\"\\x41\""));        // bad escape
+  EXPECT_FALSE(json_valid("\"unterminated"));
+  EXPECT_FALSE(json_valid("{\"a\":1} trailing"));
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(json_valid(deep));               // depth limit
+}
+
+// ---- Counters / gauges / histograms ------------------------------------
+
+TEST(Metrics, CounterConcurrentSumIsExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.count");
+  constexpr int kIters = 200000;
+#pragma omp parallel for
+  for (int i = 0; i < kIters; ++i) c.add(1);
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kIters));
+}
+
+TEST(Metrics, CounterAddNAndReset) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.add(5);
+  c.add(7);
+  EXPECT_EQ(c.value(), 12u);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);  // handle survives reset
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("g");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  MetricsRegistry reg;
+  const std::vector<std::uint64_t> bounds{10, 20};
+  Histogram& h = reg.histogram("h", bounds);
+  h.observe(0);
+  h.observe(5);
+  h.observe(10);  // boundary: bucket counts values <= bound
+  h.observe(11);
+  h.observe(20);
+  h.observe(21);  // overflow
+  h.observe(1000);
+  std::vector<std::uint64_t> counts = h.counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(h.total_count(), 7u);
+}
+
+TEST(Metrics, HistogramConcurrentTotalIsExact) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", pow2_bounds());
+  constexpr int kIters = 100000;
+#pragma omp parallel for
+  for (int i = 0; i < kIters; ++i)
+    h.observe(static_cast<std::uint64_t>(i) % 1024);
+  EXPECT_EQ(h.total_count(), static_cast<std::uint64_t>(kIters));
+}
+
+TEST(Metrics, Pow2BoundsAscending) {
+  auto b = pow2_bounds();
+  ASSERT_FALSE(b.empty());
+  EXPECT_EQ(b.front(), 1u);
+  for (std::size_t i = 1; i < b.size(); ++i)
+    EXPECT_EQ(b[i], b[i - 1] * 2);
+}
+
+TEST(Metrics, SnapshotJsonIsValid) {
+  MetricsRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("b.gauge").set(1.25);
+  reg.histogram("c.hist", pow2_bounds()).observe(7);
+  MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("a.count"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("b.gauge"), 1.25);
+  EXPECT_EQ(snap.histograms.at("c.hist").total, 1u);
+  std::string err;
+  EXPECT_TRUE(json_valid(snap.to_json(), &err)) << err;
+}
+
+TEST(Metrics, SameNameReturnsSameHandle) {
+  MetricsRegistry reg;
+  EXPECT_EQ(&reg.counter("x"), &reg.counter("x"));
+  EXPECT_EQ(&reg.gauge("y"), &reg.gauge("y"));
+  EXPECT_EQ(&reg.histogram("z", pow2_bounds()),
+            &reg.histogram("z", pow2_bounds()));
+}
+
+// ---- Spans / tracing ----------------------------------------------------
+
+TEST(Trace, SpansNestAndExportValidChromeJson) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.enable();
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+    }
+    Span sibling("sibling");
+  }
+  rec.disable();
+  std::vector<TraceEvent> ev = rec.events();
+  ASSERT_EQ(ev.size(), 3u);
+  // Sorted by start time: outer opened first, then inner, then sibling.
+  EXPECT_STREQ(ev[0].name, "outer");
+  EXPECT_STREQ(ev[1].name, "inner");
+  EXPECT_STREQ(ev[2].name, "sibling");
+  EXPECT_EQ(ev[0].depth, 0u);
+  EXPECT_EQ(ev[1].depth, 1u);
+  EXPECT_EQ(ev[2].depth, 1u);
+  // Containment: inner lies within outer.
+  EXPECT_GE(ev[1].ts_us, ev[0].ts_us);
+  EXPECT_LE(ev[1].ts_us + ev[1].dur_us, ev[0].ts_us + ev[0].dur_us + 1.0);
+  std::string err;
+  EXPECT_TRUE(json_valid(rec.to_chrome_json(), &err)) << err;
+  rec.clear();
+}
+
+TEST(Trace, DisabledRecorderBuffersNothing) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.clear();
+  {
+    Span s("ignored");
+  }
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(Trace, PhaseScopeAccumulatesTime) {
+  double acc = 0.0;
+  {
+    PhaseScope p("unit_test_phase", acc);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  }
+  EXPECT_GT(acc, 0.0);
+  const double first = acc;
+  {
+    PhaseScope p("unit_test_phase", acc);
+  }
+  EXPECT_GE(acc, first);  // accumulates, does not overwrite
+}
+
+// ---- PhaseTimes normalization (satellite: total vs phase sums) ----------
+
+TEST(PhaseTimes, OtherIsResidualAndNeverNegative) {
+  PhaseTimes t;
+  t.reduce_s = 0.1;
+  t.bcc_s = 0.2;
+  t.traverse_s = 0.3;
+  t.combine_s = 0.1;
+  t.total_s = 1.0;
+  EXPECT_DOUBLE_EQ(t.sum_phases(), 0.7);
+  EXPECT_NEAR(t.other_s(), 0.3, 1e-12);
+
+  t.total_s = 0.5;  // inconsistent: phases exceed total
+  EXPECT_DOUBLE_EQ(t.other_s(), 0.0);
+  t.normalize();
+  EXPECT_DOUBLE_EQ(t.total_s, 0.7);  // raised to the phase sum
+  EXPECT_DOUBLE_EQ(t.other_s(), 0.0);
+}
+
+TEST(PhaseTimes, NormalizeKeepsConsistentTotals) {
+  PhaseTimes t;
+  t.traverse_s = 0.4;
+  t.total_s = 1.0;
+  t.normalize();
+  EXPECT_DOUBLE_EQ(t.total_s, 1.0);
+  EXPECT_DOUBLE_EQ(t.other_s(), 0.6);
+}
+
+// ---- Pipeline integration ----------------------------------------------
+
+CsrGraph pipeline_graph() { return build_dataset("road-grid-a", 0.05); }
+
+TEST(ObsPipeline, EstimatePopulatesPhaseTimesConsistently) {
+  CsrGraph g = pipeline_graph();
+  EstimateOptions o;
+  o.sample_rate = 0.2;
+  EstimateResult est = estimate_farness(g, o);
+  EXPECT_GT(est.times.total_s, 0.0);
+  EXPECT_LE(est.times.sum_phases(), est.times.total_s + 1e-9);
+  EXPECT_GE(est.times.other_s(), 0.0);
+}
+
+#if BRICS_METRICS_ENABLED
+
+TEST(ObsPipeline, EstimateFillsTraversalAndPlanCounters) {
+  MetricsRegistry::global().reset();
+  CsrGraph g = pipeline_graph();
+  EstimateOptions o;
+  o.sample_rate = 0.2;
+  EstimateResult est = estimate_farness(g, o);
+  MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  // Either engine may serve the traversals; sources land in one of the two.
+  const auto counter_or_zero = [&](const char* name) -> std::uint64_t {
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0u : it->second;
+  };
+  EXPECT_GT(counter_or_zero("traverse.bfs_sources") +
+                counter_or_zero("traverse.dial_sources"),
+            0u);
+  EXPECT_GT(snap.counters.at("traverse.nodes_settled"), 0u);
+  EXPECT_GT(snap.counters.at("traverse.edges_relaxed"), 0u);
+  EXPECT_GT(snap.counters.at("bcc.blocks"), 0u);
+  EXPECT_EQ(snap.counters.at("plan.samples_completed"),
+            static_cast<std::uint64_t>(est.samples));
+  EXPECT_GT(snap.histograms.at("traverse.frontier_size").total, 0u);
+  // Phase gauges mirror the result's own timings.
+  EXPECT_NEAR(snap.gauges.at("phase.traverse_s"), est.times.traverse_s,
+              1e-9);
+  EXPECT_NEAR(snap.gauges.at("phase.total_s"), est.times.total_s, 1e-9);
+  // Exec state is published even on a clean run.
+  EXPECT_DOUBLE_EQ(snap.gauges.at("exec.degraded"), 0.0);
+}
+
+TEST(ObsPipeline, ReductionCountersMatchStats) {
+  MetricsRegistry::global().reset();
+  CsrGraph g = pipeline_graph();
+  ReducedGraph rg = reduce(g, ReduceOptions{});
+  MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("reduce.identical_removed"),
+            static_cast<std::uint64_t>(rg.stats.identical.removed));
+  EXPECT_EQ(snap.counters.at("reduce.chain_removed"),
+            static_cast<std::uint64_t>(rg.stats.chains.removed));
+  EXPECT_EQ(snap.counters.at("reduce.redundant_removed"),
+            static_cast<std::uint64_t>(rg.stats.redundant.removed));
+}
+
+#else  // BRICS_METRICS_ENABLED == 0
+
+TEST(ObsPipeline, CompiledOutMacrosLeaveRegistryEmpty) {
+  MetricsRegistry::global().reset();
+  CsrGraph g = pipeline_graph();
+  EstimateOptions o;
+  o.sample_rate = 0.2;
+  EstimateResult est = estimate_farness(g, o);
+  EXPECT_GT(est.times.total_s, 0.0);  // timing API works regardless
+  MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+#endif  // BRICS_METRICS_ENABLED
+
+// ---- Run report ---------------------------------------------------------
+
+TEST(RunReport, JsonIsValidAndSchemaVersioned) {
+  CsrGraph g = pipeline_graph();
+  EstimateOptions o;
+  o.sample_rate = 0.2;
+  EstimateResult est = estimate_farness(g, o);
+  RunReport r = make_run_report("test", "@road-grid-a", g, o, "cumulative",
+                                est, est.times.total_s);
+  EXPECT_EQ(RunReport::kSchemaVersion, 1);
+  EXPECT_EQ(r.nodes, static_cast<std::uint64_t>(g.num_nodes()));
+  EXPECT_EQ(r.cut_phase, "none");
+  const std::string js = to_json(r);
+  std::string err;
+  EXPECT_TRUE(json_valid(js, &err)) << err;
+  EXPECT_NE(js.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(js.find("\"phases\""), std::string::npos);
+  EXPECT_NE(js.find("\"reduction\""), std::string::npos);
+  EXPECT_NE(js.find("\"exec\""), std::string::npos);
+  EXPECT_NE(js.find("\"metrics\""), std::string::npos);
+}
+
+TEST(RunReport, DegradedRunCarriesExecState) {
+  CsrGraph g = pipeline_graph();
+  EstimateOptions o;
+  o.sample_rate = 0.5;
+  o.budget.max_sources = 2;  // forces a plan cut
+  EstimateResult est = estimate_farness(g, o);
+  ASSERT_TRUE(est.degraded);
+  RunReport r = make_run_report("test", "@road-grid-a", g, o, "cumulative",
+                                est, est.times.total_s);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.cut_phase, "plan");
+  EXPECT_GT(r.achieved_sample_rate, 0.0);
+  EXPECT_LT(r.achieved_sample_rate, o.sample_rate);
+  EXPECT_TRUE(json_valid(to_json(r)));
+}
+
+}  // namespace
+}  // namespace brics

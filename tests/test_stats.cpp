@@ -49,6 +49,45 @@ TEST(Stats, PercentileRejectsEmptyAndBadP) {
   EXPECT_THROW(percentile(xs, 101), CheckFailure);
 }
 
+TEST(Stats, PercentileSingleElementIsConstant) {
+  std::vector<double> xs{7.5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 7.5);
+}
+
+TEST(Stats, PercentileExtremesMatchMinMaxUnsorted) {
+  std::vector<double> xs{42.0, -3.0, 17.0, 0.5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), -3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 42.0);
+}
+
+TEST(Stats, SummaryMedianAndP95) {
+  // 1..100: median is the 50/51 midpoint, p95 interpolates at rank 95.05.
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+}
+
+TEST(Stats, SummaryMedianSingleAndEmpty) {
+  std::vector<double> xs{3.0};
+  Summary one = summarize(xs);
+  EXPECT_DOUBLE_EQ(one.median, 3.0);
+  EXPECT_DOUBLE_EQ(one.p95, 3.0);
+  Summary none = summarize({});
+  EXPECT_DOUBLE_EQ(none.median, 0.0);
+  EXPECT_DOUBLE_EQ(none.p95, 0.0);
+}
+
+TEST(Stats, SummaryMedianRobustToOutlier) {
+  std::vector<double> xs{1.0, 1.0, 1.0, 1000.0};
+  Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.median, 1.0);
+  EXPECT_GT(s.mean, s.median);
+}
+
 TEST(Stats, GeometricMean) {
   std::vector<double> xs{1.0, 4.0};
   EXPECT_DOUBLE_EQ(geometric_mean(xs), 2.0);

@@ -3,7 +3,8 @@
 //   brics stats    <edge_list|@dataset>                 structural summary
 //   brics estimate <edge_list|@dataset> [--rate R] [--seed S] [--config C]
 //                  [--timeout-ms T] [--max-sources K]
-//                  [--out FILE]                         farness estimates
+//                  [--out FILE] [--metrics-out FILE] [--trace-out FILE]
+//                                                      farness estimates
 //   brics exact    <edge_list|@dataset> [--out FILE]    exact farness
 //   brics topk     <edge_list|@dataset> [--k K]         top-k closeness
 //   brics harmonic <edge_list|@dataset> [--rate R]      harmonic centrality
@@ -17,6 +18,10 @@
 // --config is one of: random, cr, icr, cumulative (default cumulative).
 // --timeout-ms / --max-sources set a RunBudget: when it cuts the run, the
 // estimate degrades instead of aborting (docs/ROBUSTNESS.md).
+// --metrics-out writes a schema-versioned JSON run report (phase timings,
+// reduction counts, traversal counters, exec state); --trace-out writes a
+// Chrome trace_event file viewable in ui.perfetto.dev
+// (docs/OBSERVABILITY.md). Both are no-cost when omitted.
 //
 // Exit codes: 0 success, 2 usage error, 3 bad input, 4 estimate degraded
 // by budget, 5 internal error.
@@ -88,7 +93,8 @@ int usage() {
       "usage: brics <stats|estimate|exact|topk|harmonic|distance|improve|"
       "generate|datasets> "
       "<edge_list|@dataset> [--rate R] [--seed S] [--config C] [--k K] "
-      "[--scale X] [--timeout-ms T] [--max-sources K] [--out FILE]\n"
+      "[--scale X] [--timeout-ms T] [--max-sources K] [--out FILE] "
+      "[--metrics-out FILE] [--trace-out FILE]\n"
       "exit codes: 0 ok, 2 usage, 3 bad input, 4 degraded by budget, "
       "5 internal error\n");
   return kExitUsage;
@@ -154,21 +160,51 @@ int cmd_stats(const Args& a) {
   return kExitOk;
 }
 
+void write_text_file(const std::string& path, const std::string& body,
+                     const char* what) {
+  std::ofstream file(path);
+  if (!file.good())
+    throw InputError("cannot open '" + path + "' for writing");
+  file << body << '\n';
+  std::printf("wrote %s to %s\n", what, path.c_str());
+}
+
 int cmd_estimate(const Args& a) {
   CsrGraph g = load(a);
   EstimateOptions o = config_from(a);
+  const std::string config = a.get("config", "cumulative");
+  const std::string metrics_out = a.get("metrics-out", "");
+  const std::string trace_out = a.get("trace-out", "");
+  // Scope the artifacts to this run: a fresh registry window and (only
+  // when asked for — recording costs a little) a fresh trace epoch.
+  if (!metrics_out.empty()) MetricsRegistry::global().reset();
+  if (!trace_out.empty()) TraceRecorder::global().enable();
   Timer t;
-  EstimateResult est = a.get("config", "cumulative") == "random"
-                           ? estimate_random_sampling(g, o)
-                           : estimate_farness(g, o);
+  EstimateResult est = config == "random" ? estimate_random_sampling(g, o)
+                                          : estimate_farness(g, o);
+  const double wall_s = t.seconds();
+  if (!trace_out.empty()) TraceRecorder::global().disable();
   std::printf("# estimated farness (%.3f s, %u sources, %u blocks)\n",
-              t.seconds(), est.samples, est.num_blocks);
+              wall_s, est.samples, est.num_blocks);
+  std::printf(
+      "# phases: reduce %.3f s, bcc %.3f s, traverse %.3f s, "
+      "combine %.3f s, other %.3f s (total %.3f s)\n",
+      est.times.reduce_s, est.times.bcc_s, est.times.traverse_s,
+      est.times.combine_s, est.times.other_s(), est.times.total_s);
   if (est.degraded)
     std::printf(
         "# DEGRADED: budget cut the %s phase; %u of %u planned sources, "
         "effective rate %.4f\n",
         to_string(est.cut_phase), est.samples, est.planned_samples,
         est.achieved_sample_rate);
+  if (!metrics_out.empty()) {
+    RunReport report = make_run_report("brics_cli", a.input, g, o, config,
+                                       est, wall_s);
+    write_text_file(metrics_out, to_json(report), "run report");
+  }
+  if (!trace_out.empty())
+    write_text_file(trace_out, TraceRecorder::global().to_chrome_json(),
+                    "trace");
   write_values(a, est.farness);
   return est.degraded ? kExitDegraded : kExitOk;
 }
