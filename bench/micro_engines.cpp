@@ -136,6 +136,70 @@ void BM_EstimateBrics20(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimateBrics20);
 
+// Many-small-blocks class: a random tree of small cliques glued at cut
+// vertices, so the BCC decomposition yields hundreds of tiny blocks. This
+// is the shape the batched kernel exists for — per-source OpenMP tasks
+// spend more on scheduling and workspace churn than on the microsecond
+// traversals themselves.
+const ReducedGraph& clique_tree_reduced() {
+  static const ReducedGraph rg = [] {
+    Rng rng(5);
+    constexpr NodeId kCliques = 300;
+    std::vector<NodeId> size(kCliques), start(kCliques);
+    NodeId n = 0;
+    for (NodeId c = 0; c < kCliques; ++c) {
+      size[c] = 4 + static_cast<NodeId>(rng.below(9));  // 4..12
+      start[c] = n;
+      n += size[c];
+    }
+    GraphBuilder b(n);
+    for (NodeId c = 0; c < kCliques; ++c)
+      for (NodeId i = 0; i < size[c]; ++i)
+        for (NodeId j = i + 1; j < size[c]; ++j)
+          b.add_edge(start[c] + i, start[c] + j);
+    // Attach each clique to a random earlier one: the bridge endpoint is a
+    // cut vertex, every clique a separate block.
+    for (NodeId c = 1; c < kCliques; ++c) {
+      const NodeId p = static_cast<NodeId>(rng.below(c));
+      b.add_edge(start[p] + static_cast<NodeId>(rng.below(size[p])),
+                 start[c]);
+    }
+    // Keep the cliques intact (twin removal would shred them): the point
+    // is the per-block traverse schedule, not the reductions.
+    ReduceOptions ro;
+    ro.identical = ro.chains = ro.redundant = false;
+    return reduce(b.build(), ro);
+  }();
+  return rg;
+}
+
+// The stage decomposition makes the Traverse stage benchable in isolation:
+// Decompose + Plan run once, the timed loop is pure traversal schedule.
+// Identical sample plans, identical distance math — the only difference is
+// one batched task per block vs one OpenMP task per source.
+void BM_TraverseManySmallBlocks(benchmark::State& state) {
+  const ReducedGraph& rg = clique_tree_reduced();
+  const KernelChoice kernel = static_cast<KernelChoice>(state.range(0));
+  EstimateOptions o;
+  o.sample_rate = 0.5;
+  o.seed = 1;
+  o.kernel = kernel;
+  CancelToken token;
+  PipelineContext ctx(rg.graph, o, token);
+  const Decomposition dec = DecomposeStage{}.run(ctx, rg);
+  const SamplePlan plan = PlanStage{}.run(ctx, dec, rg.num_present);
+  for (auto _ : state) {
+    TraversalResults trav = TraverseStage{}.run(ctx, rg, dec, plan);
+    benchmark::DoNotOptimize(trav.completed_total);
+  }
+  state.SetLabel(to_string(kernel));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(plan.total_sources()));
+}
+BENCHMARK(BM_TraverseManySmallBlocks)
+    ->Arg(static_cast<int>(KernelChoice::kBatched))
+    ->Arg(static_cast<int>(KernelChoice::kBfs));
+
 void BM_LedgerResolve(benchmark::State& state) {
   const CsrGraph& g = road_graph();
   ReducedGraph rg = reduce(g, ReduceOptions{});

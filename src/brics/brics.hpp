@@ -16,6 +16,8 @@
 //   traverse/  BFS and Dial SSSP engines, parallel multi-source driver
 //   reduce/    identical / chain / redundant reductions + ledger
 //   bcc/       biconnected components + block cut-vertex tree
+//   exec/      run budgets, cancel tokens, error taxonomy, fail points
+//   pipeline/  the staged estimator: context, artifacts, kernels, stages
 //   core/      exact farness, sampling estimators, BRICS, quality metrics
 //   obs/       metrics registry, span tracing, JSON run reports
 #pragma once
@@ -30,6 +32,9 @@
 #include "core/pivoting.hpp"
 #include "core/quality.hpp"
 #include "core/sampling.hpp"
+#include "exec/budget.hpp"
+#include "exec/errors.hpp"
+#include "exec/failpoint.hpp"
 #include "gen/dataset.hpp"
 #include "gen/generators.hpp"
 #include "graph/connectivity.hpp"
@@ -40,6 +45,11 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/artifacts.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/kernels.hpp"
+#include "pipeline/postprocess.hpp"
+#include "pipeline/stages.hpp"
 #include "reduce/reducer.hpp"
 #include "reduce/serialize.hpp"
 #include "traverse/bfs.hpp"

@@ -1,162 +1,35 @@
+// BRICS estimator entry points, expressed as compositions of the pipeline
+// stages in src/pipeline/ (docs/ARCHITECTURE.md):
+//
+//   estimate_brics:  Reduce -> Decompose -> Plan -> Traverse -> Aggregate
+//
+// The stages own all algorithmic content; this file owns the composition —
+// phase accounting, the degraded escape hatch, and the public signatures.
 #include "core/brics.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <optional>
 
-#include "bcc/bcc.hpp"
-#include "bcc/bct.hpp"
-#include "core/postprocess.hpp"
 #include "core/sampling.hpp"
 #include "exec/errors.hpp"
 #include "graph/connectivity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
-#include "traverse/bfs.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/stages.hpp"
 #include "util/check.hpp"
-#include "util/parallel.hpp"
-#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace brics {
 namespace {
 
-// Everything the estimator knows about one biconnected block.
-struct BlockWork {
-  SubgraphMap sub;                    // local block graph + id maps
-  std::vector<NodeId> cuts_local;     // local ids of the block's cut vertices
-  std::vector<NodeId> samples_local;  // cut vertices first, then random picks
-  std::uint32_t cut_count = 0;
-  std::vector<std::uint32_t> records; // ledger order-ids homed here, ascending
-  std::vector<NodeId> virtuals;       // removed (global) nodes homed here
-  std::vector<std::uint8_t> owned;    // per local id: owned by this block?
-  FarnessSum own_mass = 0;            // owned present + homed virtuals
-
-  // P1 scalars per cut (aligned with cuts_local).
-  std::vector<FarnessSum> dsum_own;   // sum of d(c, x) over owned targets
-  std::vector<Dist> dcc;              // cut-pair distances, cut_count^2
-
-  // Tree DP outputs per cut.
-  std::vector<FarnessSum> ow, od;     // outside weight / distance carry
-  FarnessSum od_total = 0;            // sum of od over the block's cuts
-
-  Dist cut_dist(std::size_t i, std::size_t j) const {
-    return dcc[i * cut_count + j];
-  }
-};
-
-// Per-thread scratch for resolving a block's removed nodes on the global id
-// space. Only entries touched by the current block are ever written, and
-// they are re-set to kInfDist afterwards.
-class GlobalResolveScratch {
- public:
-  explicit GlobalResolveScratch(NodeId n) : dist_(n, kInfDist) {}
-
-  std::span<Dist> dist() { return dist_; }
-
-  void fill_block(const BlockWork& bw, std::span<const Dist> local) {
-    for (NodeId lv = 0; lv < bw.sub.to_old.size(); ++lv)
-      dist_[bw.sub.to_old[lv]] = local[lv];
-  }
-
-  void clear_block(const BlockWork& bw) {
-    for (NodeId g : bw.sub.to_old) dist_[g] = kInfDist;
-    for (NodeId g : bw.virtuals) dist_[g] = kInfDist;
-  }
-
- private:
-  std::vector<Dist> dist_;
-};
-
-// Thread-private accumulation arrays merged after each parallel phase.
-class ThreadSums {
- public:
-  explicit ThreadSums(NodeId n) : n_(n), bufs_(max_threads()) {}
-
-  std::vector<FarnessSum>& local() {
-    auto& b = bufs_[static_cast<std::size_t>(thread_id())];
-    if (b.empty()) b.assign(n_, 0);
-    return b;
-  }
-
-  std::vector<FarnessSum> merge() const {
-    std::vector<FarnessSum> total(n_, 0);
-    for (const auto& b : bufs_) {
-      if (b.empty()) continue;
-      for (NodeId v = 0; v < n_; ++v) total[v] += b[v];
-    }
-    return total;
-  }
-
- private:
-  NodeId n_;
-  std::vector<std::vector<FarnessSum>> bufs_;
-};
-
-// Home block of each ledger record: the block containing all its anchors
-// (guaranteed to exist because anchors are pinned and, for through chains,
-// joined by the compressed edge).
-BlockId record_home(const ReductionLedger& ledger, const BccResult& bcc,
-                    const ReductionLedger::OrderEntry& e) {
-  using Kind = ReductionLedger::Kind;
-  switch (e.kind) {
-    case Kind::kIdentical:
-      return bcc.blocks_of(ledger.identical()[e.index].rep).front();
-    case Kind::kChain: {
-      const ChainRecord& r = ledger.chains()[e.index];
-      if (r.pendant() || r.cycle()) return bcc.blocks_of(r.u).front();
-      auto bu = bcc.blocks_of(r.u), bv = bcc.blocks_of(r.v);
-      std::vector<BlockId> common;
-      std::set_intersection(bu.begin(), bu.end(), bv.begin(), bv.end(),
-                            std::back_inserter(common));
-      BRICS_CHECK_MSG(common.size() == 1,
-                      "chain anchors share " << common.size() << " blocks");
-      return common.front();
-    }
-    case Kind::kRedundant: {
-      const RedundantRecord& r = ledger.redundant()[e.index];
-      std::vector<BlockId> common(bcc.blocks_of(r.nbrs[0]).begin(),
-                                  bcc.blocks_of(r.nbrs[0]).end());
-      for (std::size_t i = 1; i < r.degree; ++i) {
-        auto bi = bcc.blocks_of(r.nbrs[i]);
-        std::vector<BlockId> next;
-        std::set_intersection(common.begin(), common.end(), bi.begin(),
-                              bi.end(), std::back_inserter(next));
-        common = std::move(next);
-      }
-      BRICS_CHECK_MSG(!common.empty(),
-                      "redundant anchors share no block");
-      return common.front();
-    }
-  }
-  return kInvalidBlock;
-}
-
-void append_record_virtuals(const ReductionLedger& ledger,
-                            const ReductionLedger::OrderEntry& e,
-                            std::vector<NodeId>& out) {
-  using Kind = ReductionLedger::Kind;
-  switch (e.kind) {
-    case Kind::kIdentical:
-      out.push_back(ledger.identical()[e.index].node);
-      break;
-    case Kind::kChain: {
-      const auto& m = ledger.chains()[e.index].members;
-      out.insert(out.end(), m.begin(), m.end());
-      break;
-    }
-    case Kind::kRedundant:
-      out.push_back(ledger.redundant()[e.index].node);
-      break;
-  }
-}
-
 // The degraded escape hatch: when reductions, decomposition, or the
 // sampling plan fault or blow the budget, fall back to plain random
 // sampling on the raw graph under the caller's original deadline. The
 // fallback guarantees at least one completed source, so a finite (if
-// coarse) estimate always comes back.
+// coarse) estimate always comes back. A deadline during Traverse does NOT
+// route here: the Aggregate stage finishes from the partial traversal
+// results instead (see estimate_on_reduction_budgeted).
 EstimateResult degraded_fallback(const CsrGraph& g,
                                  const EstimateOptions& opts,
                                  const CancelToken& token, ExecPhase phase,
@@ -185,26 +58,26 @@ EstimateResult estimate_brics(const CsrGraph& g,
                   "sample_rate must be in (0, 1], got " << opts.sample_rate);
   Timer total;
   CancelToken token(opts.budget.timeout_ms);
+  PipelineContext ctx(g, opts, token);
 
-  double reduce_s = 0.0;
   std::optional<ReducedGraph> rg;
   try {
-    PhaseScope phase_reduce("reduce", reduce_s);
-    rg.emplace(reduce(g, opts.reduce));
-    if (token.poll()) throw BudgetExceeded(ExecPhase::kReduce);
+    rg.emplace(ReduceStage{}.run(ctx));
   } catch (const std::exception&) {
     return degraded_fallback(g, opts, token, ExecPhase::kReduce, total);
   }
 
   // Everything below degrades instead of aborting: a budget blow-out in a
-  // phase that cannot produce partial results surfaces as BudgetExceeded,
+  // stage that cannot produce partial results surfaces as BudgetExceeded,
   // any other fault (fail points, violated invariants) is mapped to the
-  // phase it interrupted; both fall back to plain sampling on g.
+  // stage it interrupted; both fall back to plain sampling on g. A
+  // deadline during Traverse never lands here — Aggregate finishes from
+  // the partial traversal instead.
   ExecPhase phase = ExecPhase::kBcc;
   try {
     EstimateResult res =
         estimate_on_reduction_budgeted(*rg, opts, token, &phase);
-    res.times.reduce_s = reduce_s;
+    res.times.reduce_s = ctx.times().reduce_s;
     res.times.total_s = total.seconds();
     res.times.normalize();
     record_exec_metrics(res);
@@ -234,466 +107,18 @@ EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
   BRICS_CHECK(rg.graph.num_nodes() == n);
   Timer total;
   BRICS_SPAN(sp_estimate, "estimate.brics");
-  auto set_phase = [&](ExecPhase p) {
-    if (phase_out) *phase_out = p;
-  };
-  EstimateResult res;
-  res.farness.assign(n, 0.0);
-  res.exact.assign(n, 0);
+
+  PipelineContext ctx(rg.graph, opts, token);
+  ctx.set_phase(ExecPhase::kBcc);
+  ctx.mirror_phase(phase_out);
+
+  const Decomposition dec = DecomposeStage{}.run(ctx, rg);
+  const SamplePlan plan = PlanStage{}.run(ctx, dec, rg.num_present);
+  const TraversalResults trav = TraverseStage{}.run(ctx, rg, dec, plan);
+  EstimateResult res = AggregateStage{}.run(ctx, rg, dec, plan, trav);
+
   res.reduce_stats = rg.stats;
-
-  // ---- Decompose (Algorithm 4, step 7). ----
-  set_phase(ExecPhase::kBcc);
-  std::optional<PhaseScope> phase_bcc;
-  phase_bcc.emplace("bcc", res.times.bcc_s);
-  BccResult bcc = biconnected_components(rg.graph, rg.present);
-  BlockCutTree bct = build_bct(bcc, n);
-  const BlockId nb = bcc.num_blocks();
-  res.num_blocks = nb;
-
-  // Ownership: each present node belongs to exactly one owner block — its
-  // home block for non-cuts, the BCT parent block for cuts.
-  std::vector<BlockId> owner(n, kInvalidBlock);
-  for (NodeId v = 0; v < n; ++v) {
-    if (!rg.present[v]) continue;
-    const CutId c = bct.cut_of_node[v];
-    owner[v] = c == kInvalidCut ? bcc.home_block(v) : bct.parent_block[c];
-  }
-
-  // Build per-block work units.
-  std::vector<BlockWork> works(nb);
-  for (BlockId b = 0; b < nb; ++b) {
-    auto nodes = bcc.block_nodes(b);
-    works[b].sub = induced_subgraph(rg.graph, nodes);
-    works[b].owned.assign(nodes.size(), 0);
-    for (NodeId lv = 0; lv < nodes.size(); ++lv) {
-      const NodeId gv = works[b].sub.to_old[lv];
-      if (bcc.is_cut(gv)) {
-        works[b].cuts_local.push_back(lv);
-      }
-      if (owner[gv] == b) {
-        works[b].owned[lv] = 1;
-        ++works[b].own_mass;
-      }
-    }
-    works[b].cut_count =
-        static_cast<std::uint32_t>(works[b].cuts_local.size());
-  }
-
-  // Home every ledger record (and its removed nodes) to a block.
-  std::vector<BlockId> virt_owner(n, kInvalidBlock);
-  {
-    auto order = rg.ledger.order();
-    for (std::uint32_t i = 0; i < order.size(); ++i) {
-      if (!rg.ledger.record_active(i)) continue;
-      const BlockId b = record_home(rg.ledger, bcc, order[i]);
-      works[b].records.push_back(i);
-      std::vector<NodeId> vs;
-      append_record_virtuals(rg.ledger, order[i], vs);
-      for (NodeId v : vs) {
-        virt_owner[v] = b;
-        works[b].virtuals.push_back(v);
-      }
-      works[b].own_mass += vs.size();
-    }
-  }
-  phase_bcc.reset();
-
-  // The decomposition yields no reusable partial estimate, so a deadline
-  // that fires here surfaces as BudgetExceeded; estimate_brics catches it
-  // and degrades to plain sampling on the raw graph.
-  if (token.poll()) throw BudgetExceeded(ExecPhase::kBcc);
-
-  // ---- Sampling plan (Algorithm 5, step 2). ----
-  const double rate = opts.sample_rate;
-  BRICS_CHECK_MSG(rate > 0.0 && rate <= 1.0,
-                  "sample_rate must be in (0, 1], got " << rate);
-  const double k_total =
-      std::ceil(rate * static_cast<double>(rg.num_present));
-  for (BlockId b = 0; b < nb; ++b) {
-    BlockWork& bw = works[b];
-    const NodeId bn = static_cast<NodeId>(bw.sub.to_old.size());
-    // Cut vertices are always sampled and count toward the block's quota.
-    bw.samples_local = bw.cuts_local;
-    const double share = k_total * static_cast<double>(bn) /
-                         static_cast<double>(rg.num_present);
-    NodeId want = static_cast<NodeId>(std::ceil(share));
-    if (bw.cut_count == 0) want = std::max<NodeId>(want, 1);
-    NodeId extra =
-        want > bw.cut_count ? want - bw.cut_count : 0;
-    std::vector<NodeId> non_cuts;
-    non_cuts.reserve(bn - bw.cut_count);
-    for (NodeId lv = 0; lv < bn; ++lv)
-      if (!bcc.is_cut(bw.sub.to_old[lv])) non_cuts.push_back(lv);
-    extra = std::min<NodeId>(extra, static_cast<NodeId>(non_cuts.size()));
-    if (extra > 0) {
-      Rng rng(opts.seed ^ mix64(b + 1));
-      std::vector<NodeId> pick;
-      if (opts.strategy == SampleStrategy::kDegreeWeighted) {
-        std::vector<double> wts(non_cuts.size());
-        for (std::size_t i = 0; i < non_cuts.size(); ++i)
-          wts[i] = static_cast<double>(bw.sub.graph.degree(non_cuts[i]));
-        pick = weighted_sample_without_replacement(wts, extra, rng);
-      } else {
-        pick = sample_without_replacement(
-            static_cast<NodeId>(non_cuts.size()), extra, rng);
-      }
-      for (NodeId i : pick) bw.samples_local.push_back(non_cuts[i]);
-    }
-    bw.dsum_own.assign(bw.cut_count, 0);
-    bw.dcc.assign(static_cast<std::size_t>(bw.cut_count) * bw.cut_count, 0);
-    bw.ow.assign(bw.cut_count, 0);
-    bw.od.assign(bw.cut_count, 0);
-  }
-
-  // Every block's mandatory prefix: its cut vertices (their traversals feed
-  // the exact cross-block machinery and may never be shed), or one source
-  // for a cut-less block (so every block retains an intra estimate). The
-  // budget only ever sheds the optional remainder.
-  auto mandatory_of = [&](const BlockWork& bw) -> NodeId {
-    return bw.cut_count > 0 ? bw.cut_count
-                            : std::min<NodeId>(
-                                  1, static_cast<NodeId>(
-                                         bw.samples_local.size()));
-  };
-
-  NodeId planned_total = 0, mandatory_total = 0;
-  for (BlockId b = 0; b < nb; ++b) {
-    planned_total += static_cast<NodeId>(works[b].samples_local.size());
-    mandatory_total += mandatory_of(works[b]);
-  }
-  BRICS_COUNTER(c_planned, "plan.samples_planned");
-  BRICS_COUNTER(c_mandatory, "plan.samples_mandatory");
-  BRICS_COUNTER(c_shed, "plan.samples_shed");
-  BRICS_COUNTER(c_completed, "plan.samples_completed");
-  BRICS_COUNTER_ADD(c_planned, planned_total);
-  BRICS_COUNTER_ADD(c_mandatory, mandatory_total);
-
-  // ---- Source cap (RunBudget::max_sources). ----
-  bool plan_capped = false;
-  const NodeId cap = opts.budget.max_sources;
-  if (cap > 0 && planned_total > cap) {
-    // A cap below the mandatory work can't be honoured by trimming; the
-    // caller degrades to plain capped sampling instead.
-    if (cap < mandatory_total) {
-      set_phase(ExecPhase::kPlan);
-      throw BudgetExceeded(ExecPhase::kPlan);
-    }
-    plan_capped = true;
-    BRICS_COUNTER_ADD(c_shed, planned_total - cap);
-    // Shed optional samples round-robin from the back of each block's
-    // pick list — deterministic, and spreads the loss across blocks.
-    NodeId excess = planned_total - cap;
-    while (excess > 0) {
-      bool any = false;
-      for (BlockId b = 0; b < nb && excess > 0; ++b) {
-        BlockWork& bw = works[b];
-        if (bw.samples_local.size() > mandatory_of(bw)) {
-          bw.samples_local.pop_back();
-          --excess;
-          any = true;
-        }
-      }
-      BRICS_CHECK_MSG(any, "source cap below shed-able sample count");
-    }
-  }
-
-  // Flatten (block, sample) pairs for load-balanced parallel traversal,
-  // mandatory tasks first so the deadline can only shed optional ones.
-  std::vector<std::pair<BlockId, std::uint32_t>> tasks;
-  for (BlockId b = 0; b < nb; ++b)
-    for (std::uint32_t si = 0; si < mandatory_of(works[b]); ++si)
-      tasks.emplace_back(b, si);
-  const std::size_t mandatory_tasks = tasks.size();
-  for (BlockId b = 0; b < nb; ++b)
-    for (std::uint32_t si = mandatory_of(works[b]);
-         si < works[b].samples_local.size(); ++si)
-      tasks.emplace_back(b, si);
-
-  std::vector<FarnessSum> intra_exact(n, 0);
-  ThreadSums acc(n);       // over all of the block's samples
-  ThreadSums acc_own(n);   // over samples owned by the block (exact terms)
-
-  // ---- P1: sampled traversals inside each block (Algorithm 5 step 2). ----
-  set_phase(ExecPhase::kTraverse);
-  std::vector<std::uint8_t> completed(tasks.size(), 0);
-  std::optional<PhaseScope> phase_traverse;
-  phase_traverse.emplace("traverse", res.times.traverse_s);
-#pragma omp parallel
-  {
-    TraversalWorkspace ws;
-    GlobalResolveScratch scratch(n);
-#pragma omp for schedule(dynamic, 4)
-    for (std::int64_t t = 0; t < static_cast<std::int64_t>(tasks.size());
-         ++t) {
-      const bool must = static_cast<std::size_t>(t) < mandatory_tasks;
-      if (!must && token.poll()) continue;
-      const auto [b, si] = tasks[static_cast<std::size_t>(t)];
-      BlockWork& bw = works[b];
-      const NodeId ls = bw.samples_local[si];
-      const NodeId gs = bw.sub.to_old[ls];
-      if (!sssp(bw.sub.graph, ls, ws, must ? nullptr : &token)) continue;
-      completed[static_cast<std::size_t>(t)] = 1;
-      std::span<const Dist> local = ws.dist();
-
-      scratch.fill_block(bw, local);
-      rg.ledger.resolve_subset(scratch.dist(), bw.records);
-
-      const bool src_is_cut = si < bw.cut_count;
-      const bool src_owned = owner[gs] == b;
-
-      // Distance sums over the block's owned population (present+virtual).
-      FarnessSum own_sum = 0;
-      auto& accbuf = acc.local();
-      auto& ownbuf = acc_own.local();
-      for (NodeId lv = 0; lv < bw.sub.to_old.size(); ++lv) {
-        const NodeId gv = bw.sub.to_old[lv];
-        if (!bw.owned[lv]) continue;
-        own_sum += local[lv];
-        accbuf[gv] += local[lv];
-        if (src_owned) ownbuf[gv] += local[lv];
-      }
-      for (NodeId gv : bw.virtuals) {
-        const Dist d = scratch.dist()[gv];
-        BRICS_CHECK_MSG(d != kInfDist, "unresolved virtual " << gv);
-        own_sum += d;
-        accbuf[gv] += d;
-        if (src_owned) ownbuf[gv] += d;
-      }
-      if (src_owned) intra_exact[gs] = own_sum;  // d(gs, gs) = 0 included
-
-      if (src_is_cut) {
-        bw.dsum_own[si] = own_sum;
-        for (std::uint32_t cj = 0; cj < bw.cut_count; ++cj)
-          bw.dcc[static_cast<std::size_t>(si) * bw.cut_count + cj] =
-              local[bw.cuts_local[cj]];
-      }
-      scratch.clear_block(bw);
-    }
-  }
-  phase_traverse.reset();
-
-  // ---- Degraded traversal: drop the samples that never finished. ----
-  // Everything downstream (beta calibration, the intra-block rescaling,
-  // the exact flags) keys off samples_local, so shrinking it to the
-  // completed set *is* the rescaling-by-achieved-sample-count: each block's
-  // intra estimator divides by its own (now smaller) sample count. The
-  // mandatory prefix always completed, so cut data (dsum_own, dcc) is
-  // intact and cuts stay a prefix of samples_local.
-  std::size_t done_tasks = 0;
-  for (std::uint8_t c : completed) done_tasks += c;
-  const bool traverse_cut = done_tasks < tasks.size();
-  if (traverse_cut) {
-    std::vector<std::vector<NodeId>> kept(nb);
-    for (std::size_t t = 0; t < tasks.size(); ++t) {
-      if (!completed[t]) continue;
-      const auto [b, si] = tasks[t];
-      kept[b].push_back(works[b].samples_local[si]);
-    }
-    for (BlockId b = 0; b < nb; ++b)
-      works[b].samples_local = std::move(kept[b]);
-  }
-  BRICS_COUNTER_ADD(c_completed, done_tasks);
-  res.samples = static_cast<NodeId>(done_tasks);
-  res.planned_samples = planned_total;
-  res.achieved_sample_rate = opts.sample_rate *
-                             static_cast<double>(done_tasks) /
-                             static_cast<double>(planned_total);
-  if (traverse_cut) {
-    res.degraded = true;
-    res.cut_phase = ExecPhase::kTraverse;
-  } else if (plan_capped) {
-    res.degraded = true;
-    res.cut_phase = ExecPhase::kPlan;
-  }
-
-  // ---- Tree DP over the BCT (Algorithm 6). ----
-  std::optional<PhaseScope> phase_combine;
-  phase_combine.emplace("combine", res.times.combine_s);
-  std::vector<FarnessSum> down_w(bct.num_cuts(), 0),
-      down_d(bct.num_cuts(), 0);
-  std::vector<FarnessSum> sub_w(nb, 0), sub_d_at_p(nb, 0);
-  std::vector<FarnessSum> comp_total(nb, 0);
-
-  auto cut_slot = [&](const BlockWork& bw, CutId c) -> std::uint32_t {
-    // Index of global cut c within bw.cuts_local.
-    for (std::uint32_t i = 0; i < bw.cut_count; ++i)
-      if (bct.cut_of_node[bw.sub.to_old[bw.cuts_local[i]]] == c) return i;
-    BRICS_CHECK_MSG(false, "cut not found in block");
-    return 0;
-  };
-
-  // Bottom-up (leaves to roots).
-  for (auto it = bct.top_down.rbegin(); it != bct.top_down.rend(); ++it) {
-    const BlockId b = *it;
-    BlockWork& bw = works[b];
-    const CutId p = bct.parent_cut[b];
-    std::uint32_t pslot = 0;
-    FarnessSum w = bw.own_mass, d_at_p = 0;
-    if (p != kInvalidCut) {
-      pslot = cut_slot(bw, p);
-      d_at_p = bw.dsum_own[pslot];
-    }
-    for (std::uint32_t ci = 0; ci < bw.cut_count; ++ci) {
-      const CutId c = bct.cut_of_node[bw.sub.to_old[bw.cuts_local[ci]]];
-      if (c == p) continue;
-      w += down_w[c];
-      if (p != kInvalidCut)
-        d_at_p += down_d[c] + down_w[c] * bw.cut_dist(pslot, ci);
-    }
-    sub_w[b] = w;
-    sub_d_at_p[b] = d_at_p;
-    if (p != kInvalidCut) {
-      down_w[p] += w;
-      down_d[p] += d_at_p;
-    }
-  }
-
-  // Top-down: finalise (ow, od) per (block, cut) and hand each cut the
-  // "everything above" carry for its child blocks.
-  std::vector<FarnessSum> up_at_d(bct.num_cuts(), 0);
-  for (BlockId b : bct.top_down) {
-    BlockWork& bw = works[b];
-    const CutId p = bct.parent_cut[b];
-    if (p == kInvalidCut) {
-      comp_total[b] = sub_w[b];
-    } else {
-      comp_total[b] = comp_total[bct.parent_block[p]];
-    }
-    for (std::uint32_t ci = 0; ci < bw.cut_count; ++ci) {
-      const CutId c = bct.cut_of_node[bw.sub.to_old[bw.cuts_local[ci]]];
-      if (c == p) {
-        bw.ow[ci] = comp_total[b] - sub_w[b];
-        bw.od[ci] = up_at_d[p] + (down_d[p] - sub_d_at_p[b]);
-      } else {
-        bw.ow[ci] = down_w[c];
-        bw.od[ci] = down_d[c];
-      }
-    }
-    // Per-block mass-conservation invariant.
-    FarnessSum check = bw.own_mass;
-    for (std::uint32_t ci = 0; ci < bw.cut_count; ++ci) check += bw.ow[ci];
-    BRICS_CHECK_MSG(check == comp_total[b],
-                    "BCT mass mismatch in block " << b);
-    bw.od_total = 0;
-    for (std::uint32_t ci = 0; ci < bw.cut_count; ++ci)
-      bw.od_total += bw.od[ci];
-    // Carry for children hanging below each cut of this block.
-    for (std::uint32_t ci = 0; ci < bw.cut_count; ++ci) {
-      const CutId c = bct.cut_of_node[bw.sub.to_old[bw.cuts_local[ci]]];
-      if (bct.parent_block[c] != b) continue;  // carries flow to children
-      FarnessSum d_here = bw.dsum_own[ci];
-      for (std::uint32_t cj = 0; cj < bw.cut_count; ++cj) {
-        if (cj == ci) continue;
-        d_here += bw.ow[cj] * bw.cut_dist(ci, cj) + bw.od[cj];
-      }
-      up_at_d[c] = d_here;
-    }
-  }
-
-  // ---- P2: cut re-traversals push exact cross-block contributions onto
-  // every node of their block (Algorithm 5 step 3 / step 4 prep). ----
-  std::vector<std::pair<BlockId, std::uint32_t>> cut_tasks;
-  for (BlockId b = 0; b < nb; ++b)
-    for (std::uint32_t ci = 0; ci < works[b].cut_count; ++ci)
-      cut_tasks.emplace_back(b, ci);
-
-  ThreadSums cross(n);
-#pragma omp parallel
-  {
-    TraversalWorkspace ws;
-    GlobalResolveScratch scratch(n);
-#pragma omp for schedule(dynamic, 4)
-    for (std::int64_t t = 0;
-         t < static_cast<std::int64_t>(cut_tasks.size()); ++t) {
-      const auto [b, ci] = cut_tasks[static_cast<std::size_t>(t)];
-      BlockWork& bw = works[b];
-      if (bw.ow[ci] == 0) continue;  // nothing behind this cut
-      const NodeId ls = bw.cuts_local[ci];
-      sssp(bw.sub.graph, ls, ws);
-      std::span<const Dist> local = ws.dist();
-      scratch.fill_block(bw, local);
-      rg.ledger.resolve_subset(scratch.dist(), bw.records);
-      auto& buf = cross.local();
-      for (NodeId lv = 0; lv < bw.sub.to_old.size(); ++lv)
-        if (bw.owned[lv]) buf[bw.sub.to_old[lv]] += bw.ow[ci] * local[lv];
-      for (NodeId gv : bw.virtuals)
-        buf[gv] += bw.ow[ci] * scratch.dist()[gv];
-      scratch.clear_block(bw);
-    }
-  }
-
-  // ---- Finalise farness values (Algorithm 5 step 4). ----
-  std::vector<FarnessSum> acc_sum = acc.merge();
-  std::vector<FarnessSum> own_sum_v = acc_own.merge();
-  std::vector<FarnessSum> cross_sum = cross.merge();
-
-  // Sampled present nodes are exact; everyone else scales the intra part.
-  std::vector<std::uint8_t> sampled(n, 0);
-  for (BlockId b = 0; b < nb; ++b)
-    for (NodeId ls : works[b].samples_local)
-      sampled[works[b].sub.to_old[ls]] = 1;
-
-  // Intra-block estimator for a non-sampled node v owned by block B:
-  //   intra(v) = acc_own[v]                                  (exact terms)
-  //            + beta_B * (T - 1 - |S_own|) * acc[v]/|S_all| (remainder)
-  // where T is the owned population, S_own the owned samples (their
-  // distances from v are known exactly), S_all every sample of the block.
-  // The raw remainder (sample-mean distance x unknown-target count) is
-  // biased: forced cut-vertex samples sit centrally and removed nodes
-  // (chain tails, twins) sit farther than the sample mean. Sampled nodes
-  // know their exact intra sums, so each block learns the multiplicative
-  // correction beta_B that makes the remainder unbiased on its own samples.
-  std::vector<double> beta(nb, 1.0);
-  std::vector<NodeId> n_own_samples(nb, 0);
-  for (BlockId b = 0; b < nb; ++b) {
-    BlockWork& bw = works[b];
-    for (NodeId ls : bw.samples_local)
-      if (owner[bw.sub.to_old[ls]] == b) ++n_own_samples[b];
-    const double ns_all = static_cast<double>(bw.samples_local.size());
-    const double ns_own = static_cast<double>(n_own_samples[b]);
-    if (ns_all < 2) continue;
-    const double targets = static_cast<double>(bw.own_mass) - 1.0;
-    // For a sampled owned node s, the unknown-target count is
-    // targets - (ns_own - 1): the other owned samples are known exactly.
-    const double unknown_s = targets - (ns_own - 1.0);
-    if (unknown_s <= 0.0) continue;  // fully sampled block: no remainder
-    double exact_rem = 0.0, raw_rem = 0.0;
-    for (NodeId ls : bw.samples_local) {
-      const NodeId gs = bw.sub.to_old[ls];
-      if (owner[gs] != b) continue;
-      exact_rem += static_cast<double>(intra_exact[gs]) -
-                   static_cast<double>(own_sum_v[gs]);
-      raw_rem += static_cast<double>(acc_sum[gs]) / (ns_all - 1.0) *
-                 unknown_s;
-    }
-    if (raw_rem > 0.0 && exact_rem > 0.0) beta[b] = exact_rem / raw_rem;
-  }
-
-  for (NodeId v = 0; v < n; ++v) {
-    const BlockId b = rg.present[v] ? owner[v] : virt_owner[v];
-    BRICS_CHECK_MSG(b != kInvalidBlock, "node " << v << " has no owner");
-    const BlockWork& bw = works[b];
-    double intra;
-    if (rg.present[v] && sampled[v]) {
-      intra = static_cast<double>(intra_exact[v]);
-      res.exact[v] = 1;
-    } else {
-      // Exact terms to owned samples plus the calibrated remainder.
-      const double ns_all = static_cast<double>(bw.samples_local.size());
-      const double ns_own = static_cast<double>(n_own_samples[b]);
-      const double unknown =
-          static_cast<double>(bw.own_mass) - 1.0 - ns_own;
-      intra = static_cast<double>(own_sum_v[v]);
-      if (ns_all > 0 && unknown > 0)
-        intra += beta[b] * static_cast<double>(acc_sum[v]) / ns_all *
-                 unknown;
-    }
-    res.farness[v] = intra + static_cast<double>(cross_sum[v]) +
-                     static_cast<double>(bw.od_total);
-  }
-  refine_removed_estimates(rg.ledger, n, res.farness, res.exact);
-  phase_combine.reset();
+  res.times = ctx.times();
   res.times.total_s = total.seconds();
   res.times.normalize();
   record_exec_metrics(res);

@@ -18,6 +18,28 @@ enum class SampleStrategy {
   kDegreeWeighted,  ///< probability proportional to degree (pivot-style)
 };
 
+/// Which traversal kernel the Traverse stage runs (docs/ARCHITECTURE.md).
+/// kAuto picks per block: small multi-source blocks batch their sources on
+/// one thread (kBatched), larger blocks keep source-level parallelism with
+/// the engine matching the block's weights (kBfs / kDial). A forced kBfs on
+/// a weighted graph is upgraded to kDial — BFS distances would be wrong.
+enum class KernelChoice : std::uint8_t {
+  kAuto,     ///< per-block size/degree heuristic (default)
+  kBfs,      ///< frontier BFS, one parallel task per source
+  kDial,     ///< Dial bucket SSSP, one parallel task per source
+  kBatched,  ///< all of a block's sources sequentially on one thread
+};
+
+inline const char* to_string(KernelChoice k) {
+  switch (k) {
+    case KernelChoice::kAuto: return "auto";
+    case KernelChoice::kBfs: return "bfs";
+    case KernelChoice::kDial: return "dial";
+    case KernelChoice::kBatched: return "batched";
+  }
+  return "?";
+}
+
 /// Estimator configuration. The paper's configurations map to:
 ///   Random sampling (Alg. 1): estimate_random_sampling()
 ///   C+R:        reduce{identical=false}, use_bcc=false
@@ -29,6 +51,8 @@ struct EstimateOptions {
   ReduceOptions reduce;       ///< which reductions to apply
   bool use_bcc = true;        ///< decompose into biconnected blocks
   SampleStrategy strategy = SampleStrategy::kUniform;
+  /// Traversal kernel for the Traverse stage; kAuto selects per block.
+  KernelChoice kernel = KernelChoice::kAuto;
   /// Wall-clock / source-count limits. When a non-default budget cuts a
   /// run, the estimators degrade instead of abort (docs/ROBUSTNESS.md):
   /// the result is built from the sources completed in time and flagged

@@ -1,5 +1,7 @@
 #include "core/farness.hpp"
 
+#include "exec/budget.hpp"
+#include "pipeline/kernels.hpp"
 #include "traverse/bfs.hpp"
 #include "traverse/multi_source.hpp"
 #include "util/check.hpp"
@@ -11,10 +13,15 @@ std::vector<FarnessSum> exact_farness(const CsrGraph& g) {
   std::vector<FarnessSum> out(n, 0);
   std::vector<NodeId> sources(n);
   for (NodeId v = 0; v < n; ++v) sources[v] = v;
-  for_each_source(g, sources,
-                  [&](std::size_t, NodeId s, std::span<const Dist> dist) {
-                    out[s] = aggregate_distances(dist).sum;
-                  });
+  // Exact farness is the all-mandatory composition of the flat traversal
+  // driver: every source must complete, so the token is never consulted.
+  CancelToken token;
+  std::vector<std::uint8_t> completed;
+  traverse_flat(g, sources, /*mandatory=*/sources.size(), token,
+                KernelChoice::kAuto, completed,
+                [&](std::size_t i, std::span<const Dist> dist) {
+                  out[sources[i]] = aggregate_distances(dist).sum;
+                });
   return out;
 }
 

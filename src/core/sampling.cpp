@@ -1,18 +1,23 @@
+// Flat (undecomposed) sampling estimators, expressed over the same pipeline
+// pieces as BRICS: ReduceStage for the reduction step, pick_sample_sources
+// for source selection, traverse_flat for the budgeted parallel sweep.
 #include "core/sampling.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <optional>
 
-#include "core/postprocess.hpp"
 #include "exec/errors.hpp"
 #include "graph/connectivity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/kernels.hpp"
+#include "pipeline/postprocess.hpp"
+#include "pipeline/stages.hpp"
 #include "traverse/multi_source.hpp"
 #include "util/check.hpp"
-#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace brics {
@@ -59,6 +64,14 @@ void report_degradation(EstimateResult& res, const EstimateOptions& opts,
   }
 }
 
+// Identity candidate list [0, n): the flat estimator samples the whole
+// node set through the same helper the Plan stage uses per block.
+std::vector<NodeId> all_nodes(NodeId n) {
+  std::vector<NodeId> ids(n);
+  for (NodeId v = 0; v < n; ++v) ids[v] = v;
+  return ids;
+}
+
 }  // namespace
 
 EstimateResult estimate_random_sampling_budgeted(const CsrGraph& g,
@@ -78,25 +91,18 @@ EstimateResult estimate_random_sampling_budgeted(const CsrGraph& g,
   const NodeId planned = sample_count(n, opts.sample_rate);
   const NodeId k = apply_source_cap(planned, opts.budget);
   Rng rng(opts.seed);
-  std::vector<NodeId> sources;
-  if (opts.strategy == SampleStrategy::kDegreeWeighted) {
-    std::vector<double> wts(n);
-    for (NodeId v = 0; v < n; ++v)
-      wts[v] = static_cast<double>(g.degree(v));
-    sources = weighted_sample_without_replacement(wts, k, rng);
-  } else {
-    sources = sample_without_replacement(n, k, rng);
-  }
+  const std::vector<NodeId> sources =
+      pick_sample_sources(g, all_nodes(n), k, opts.strategy, rng);
 
   std::optional<PhaseScope> phase_traverse;
   phase_traverse.emplace("traverse", res.times.traverse_s);
   DistanceSumAccumulator acc(n);
   std::vector<std::uint8_t> completed;
-  const std::size_t done = for_each_source_budgeted(
-      g, sources, token, /*mandatory=*/1, completed,
-      [&](std::size_t, NodeId s, std::span<const Dist> dist) {
-        res.farness[s] =
-            static_cast<double>(aggregate_distances(dist).sum);
+  const std::size_t done = traverse_flat(
+      g, sources, /*mandatory=*/1, token, opts.kernel, completed,
+      [&](std::size_t i, std::span<const Dist> dist) {
+        const NodeId s = sources[i];
+        res.farness[s] = static_cast<double>(aggregate_distances(dist).sum);
         res.exact[s] = 1;
         acc.add(dist);
       });
@@ -138,14 +144,11 @@ EstimateResult estimate_reduced_sampling(const CsrGraph& g,
   Timer total;
   BRICS_SPAN(sp_estimate, "estimate.reduced_sampling");
   CancelToken token(opts.budget.timeout_ms);
+  PipelineContext ctx(g, opts, token);
 
-  double reduce_s = 0.0;
   std::optional<ReducedGraph> maybe_rg;
   try {
-    PhaseScope phase_reduce("reduce", reduce_s);
-    maybe_rg.emplace(reduce(g, opts.reduce));
-    if (token.poll())
-      throw BudgetExceeded(ExecPhase::kReduce);
+    maybe_rg.emplace(ReduceStage{}.run(ctx));
   } catch (const std::exception&) {
     // Reduction faulted or consumed the whole budget: degrade to plain
     // sampling on the unreduced graph under the same (possibly already
@@ -167,7 +170,7 @@ EstimateResult estimate_reduced_sampling(const CsrGraph& g,
   res.farness.assign(n, 0.0);
   res.exact.assign(n, 0);
   res.reduce_stats = rg.stats;
-  res.times.reduce_s = reduce_s;
+  res.times.reduce_s = ctx.times().reduce_s;
 
   std::vector<NodeId> present_nodes;
   present_nodes.reserve(rg.num_present);
@@ -178,28 +181,28 @@ EstimateResult estimate_reduced_sampling(const CsrGraph& g,
   const NodeId planned = sample_count(rg.num_present, opts.sample_rate);
   const NodeId k = apply_source_cap(planned, opts.budget);
   Rng rng(opts.seed);
-  std::vector<NodeId> pick =
-      sample_without_replacement(rg.num_present, k, rng);
-  std::vector<NodeId> sources(k);
-  for (NodeId i = 0; i < k; ++i) sources[i] = present_nodes[pick[i]];
+  // Uniform over *present* nodes regardless of opts.strategy — the beta
+  // correction below calibrates against exactly this design.
+  const std::vector<NodeId> sources = pick_sample_sources(
+      rg.graph, present_nodes, k, SampleStrategy::kUniform, rng);
 
   std::optional<PhaseScope> phase_traverse;
   phase_traverse.emplace("traverse", res.times.traverse_s);
   DistanceSumAccumulator acc(n);
   std::vector<std::uint8_t> completed;
-  const std::size_t done = for_each_source_budgeted(
-      rg.graph, sources, token, /*mandatory=*/1, completed,
-      [&](std::size_t, NodeId s, std::span<const Dist> dist) {
+  const std::size_t done = traverse_flat(
+      rg.graph, sources, /*mandatory=*/1, token, opts.kernel, completed,
+      [&](std::size_t i, std::span<const Dist> dist) {
         // The reduced distance vector becomes a full-graph distance vector
         // once the ledger reconstructs the removed nodes; the source's
         // farness is then exact over all n nodes.
         // (The span aliases the per-thread workspace, which is const here;
         // resolve in a local copy.)
+        const NodeId s = sources[i];
         thread_local std::vector<Dist> full;
         full.assign(dist.begin(), dist.end());
         rg.ledger.resolve(full);
-        res.farness[s] =
-            static_cast<double>(aggregate_distances(full).sum);
+        res.farness[s] = static_cast<double>(aggregate_distances(full).sum);
         res.exact[s] = 1;
         acc.add(full);
       });

@@ -11,10 +11,41 @@
 //     sampled source still yields its exact farness over the FULL graph.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "core/estimate.hpp"
 #include "graph/csr_graph.hpp"
+#include "util/rng.hpp"
 
 namespace brics {
+
+/// Draw k distinct traversal sources from `candidates` according to
+/// `strategy`: uniform without replacement, or degree-weighted with each
+/// candidate's degree taken from `g` (Efraimidis–Spirakis). This is the one
+/// place sources are picked — the Plan stage calls it per block over the
+/// block's non-cut vertices, the flat sampling estimators over the whole
+/// (present) node set — so every estimator shares one RNG discipline:
+/// exactly one sampler invocation on `rng`, results in candidate order.
+inline std::vector<NodeId> pick_sample_sources(
+    const CsrGraph& g, std::span<const NodeId> candidates, NodeId k,
+    SampleStrategy strategy, Rng& rng) {
+  std::vector<NodeId> out;
+  if (k == 0 || candidates.empty()) return out;
+  std::vector<NodeId> idx;
+  if (strategy == SampleStrategy::kDegreeWeighted) {
+    std::vector<double> wts(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+      wts[i] = static_cast<double>(g.degree(candidates[i]));
+    idx = weighted_sample_without_replacement(wts, k, rng);
+  } else {
+    idx = sample_without_replacement(
+        static_cast<NodeId>(candidates.size()), k, rng);
+  }
+  out.reserve(idx.size());
+  for (NodeId i : idx) out.push_back(candidates[i]);
+  return out;
+}
 
 /// Algorithm 1 on the raw input graph. Ignores opts.reduce / opts.use_bcc.
 EstimateResult estimate_random_sampling(const CsrGraph& g,

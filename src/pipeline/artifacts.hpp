@@ -1,0 +1,100 @@
+// Typed artifacts flowing between the pipeline stages (docs/ARCHITECTURE.md).
+//
+//   Reduce     : CsrGraph        -> ReducedGraph   (reduce/reducer.hpp)
+//   Decompose  : ReducedGraph    -> Decomposition
+//   Plan       : Decomposition   -> SamplePlan
+//   Traverse   : SamplePlan      -> TraversalResults
+//   Aggregate  : TraversalResults-> EstimateResult (core/estimate.hpp)
+//
+// Each artifact is a plain value: stages never share hidden state, so any
+// stage can be run, inspected, and unit-tested in isolation, and a partial
+// TraversalResults (deadline fired mid-traverse) is still a first-class
+// input that Aggregate can finish — degraded runs aggregate what completed
+// instead of discarding it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bcc/bcc.hpp"
+#include "bcc/bct.hpp"
+#include "core/estimate.hpp"
+#include "graph/connectivity.hpp"
+#include "reduce/reducer.hpp"
+
+namespace brics {
+
+/// Everything Decompose derives about one biconnected block.
+struct BlockInfo {
+  SubgraphMap sub;                    ///< local block graph + id maps
+  std::vector<NodeId> cuts_local;     ///< local ids of the block's cut vertices
+  std::uint32_t cut_count = 0;
+  std::vector<std::uint32_t> records; ///< ledger order-ids homed here, ascending
+  std::vector<NodeId> virtuals;       ///< removed (global) nodes homed here
+  std::vector<std::uint8_t> owned;    ///< per local id: owned by this block?
+  FarnessSum own_mass = 0;            ///< owned present + homed virtuals
+
+  NodeId num_nodes() const {
+    return static_cast<NodeId>(sub.to_old.size());
+  }
+};
+
+/// Decompose artifact: the biconnected structure plus a total ownership map
+/// (every node of the original graph — present or removed — belongs to
+/// exactly one block).
+struct Decomposition {
+  BccResult bcc;
+  BlockCutTree bct;
+  std::vector<BlockId> owner;       ///< per present node: its owner block
+  std::vector<BlockId> virt_owner;  ///< per removed node: its home block
+  std::vector<BlockInfo> blocks;
+
+  BlockId num_blocks() const {
+    return static_cast<BlockId>(blocks.size());
+  }
+};
+
+/// Plan artifact for one block: its traversal sources (block-local ids, cut
+/// vertices first) and the kernel the Traverse stage will run them with.
+struct BlockPlan {
+  std::vector<NodeId> samples;  ///< cut-vertex prefix, then random picks
+  NodeId mandatory = 0;         ///< prefix length the budget may never shed
+  KernelChoice kernel = KernelChoice::kAuto;  ///< resolved; never kAuto here
+};
+
+/// Plan artifact: per-block source lists plus the shed/cap bookkeeping the
+/// degradation report needs.
+struct SamplePlan {
+  std::vector<BlockPlan> blocks;
+  NodeId planned_total = 0;    ///< sources the rate called for (pre-cap)
+  NodeId mandatory_total = 0;
+  bool capped = false;         ///< max_sources shed optional samples
+
+  /// Sources surviving the cap (what Traverse will attempt).
+  NodeId total_sources() const {
+    NodeId t = 0;
+    for (const BlockPlan& b : blocks)
+      t += static_cast<NodeId>(b.samples.size());
+    return t;
+  }
+};
+
+/// Traverse artifact. Possibly partial: when the deadline fires mid-stage
+/// only optional sources are missing (`completed` flags say which), the
+/// mandatory prefix — cut vertices, one source per cut-less block — is
+/// always intact, so Aggregate can always finish.
+struct TraversalResults {
+  struct BlockData {
+    std::vector<std::uint8_t> completed;  ///< per plan sample
+    std::vector<FarnessSum> dsum_own;     ///< per cut: Σ d(c, owned targets)
+    std::vector<Dist> dcc;                ///< cut-pair distances, cut_count²
+  };
+  std::vector<BlockData> blocks;
+  std::vector<FarnessSum> acc;         ///< Σ over a block's samples, per node
+  std::vector<FarnessSum> acc_own;     ///< Σ over owned samples, per node
+  std::vector<FarnessSum> intra_exact; ///< per sampled owned node: exact intra
+  NodeId completed_total = 0;
+  bool cut = false;  ///< deadline shed at least one planned source
+};
+
+}  // namespace brics

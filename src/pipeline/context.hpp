@@ -1,0 +1,78 @@
+// Shared execution state threaded through the pipeline stages.
+//
+// A PipelineContext carries what every stage needs but no artifact should
+// own: the input graph, the caller's options, the run's CancelToken, the
+// wall-clock phase breakdown, and the current ExecPhase (mirrored to an
+// optional caller-owned slot so a fault can be attributed to the stage it
+// interrupted). Stages receive the context by reference, read their inputs
+// from typed artifacts (pipeline/artifacts.hpp), and return the next
+// artifact by value — the context is the only mutable shared state.
+#pragma once
+
+#include <cstdint>
+
+#include "core/estimate.hpp"
+#include "exec/budget.hpp"
+#include "exec/errors.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace brics {
+
+class PipelineContext {
+ public:
+  PipelineContext(const CsrGraph& graph, const EstimateOptions& opts,
+                  const CancelToken& token)
+      : graph_(graph), opts_(opts), token_(token) {}
+
+  PipelineContext(const PipelineContext&) = delete;
+  PipelineContext& operator=(const PipelineContext&) = delete;
+
+  const CsrGraph& graph() const { return graph_; }
+  const EstimateOptions& opts() const { return opts_; }
+  const CancelToken& token() const { return token_; }
+
+  /// Per-phase wall-clock sums; stages open PhaseScopes on these fields.
+  PhaseTimes& times() { return times_; }
+  const PhaseTimes& times() const { return times_; }
+
+  /// Stages declare themselves on entry; a fault escaping a stage is then
+  /// attributed to it (estimate_brics maps std::exception to phase()).
+  void set_phase(ExecPhase p) {
+    phase_ = p;
+    if (mirror_ != nullptr) *mirror_ = p;
+  }
+  ExecPhase phase() const { return phase_; }
+
+  /// Mirror every set_phase into a caller-owned slot, so the phase survives
+  /// the stack unwind when a stage throws.
+  void mirror_phase(ExecPhase* out) {
+    mirror_ = out;
+    if (out != nullptr) *out = phase_;
+  }
+
+  /// Deterministic per-purpose RNG stream: same seed + salt => same stream,
+  /// independent streams for distinct salts (blocks use salt = block id + 1).
+  Rng fork_rng(std::uint64_t salt) const {
+    return Rng(opts_.seed ^ mix64(salt));
+  }
+
+  /// Throw BudgetExceeded(current phase) if the deadline has passed. Called
+  /// at stage boundaries where no partial result exists yet; inside the
+  /// Traverse stage cancellation is cooperative instead (sources shed, not
+  /// thrown — exceptions must not escape OpenMP regions).
+  void check_budget() const {
+    if (token_.poll()) throw BudgetExceeded(phase_);
+  }
+
+ private:
+  const CsrGraph& graph_;
+  const EstimateOptions& opts_;
+  const CancelToken& token_;
+  PhaseTimes times_;
+  ExecPhase phase_ = ExecPhase::kNone;
+  ExecPhase* mirror_ = nullptr;
+};
+
+}  // namespace brics

@@ -1,0 +1,157 @@
+#include "pipeline/kernels.hpp"
+
+#include "traverse/multi_source.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace brics {
+namespace {
+
+// All kernels share the sequential drive loop; only the SSSP engine
+// differs. Engine must match bfs/dial_sssp/sssp's signature.
+template <typename Engine>
+std::size_t drive(Engine&& engine, const CsrGraph& g,
+                  std::span<const NodeId> sources, std::size_t first,
+                  std::size_t count, std::size_t mandatory,
+                  const CancelToken* cancel, TraversalWorkspace& ws,
+                  std::span<std::uint8_t> completed, const SourceSink& sink) {
+  std::size_t done = 0;
+  for (std::size_t i = first; i < first + count; ++i) {
+    const bool must = i < mandatory;
+    if (!must && cancel != nullptr && cancel->poll()) continue;
+    if (!engine(g, sources[i], ws, must ? nullptr : cancel)) continue;
+    sink(i, ws.dist());
+    completed[i] = 1;
+    ++done;
+  }
+  return done;
+}
+
+class FrontierBfsKernel final : public TraversalKernel {
+ public:
+  const char* name() const override { return "bfs"; }
+  std::size_t run(const CsrGraph& g, std::span<const NodeId> sources,
+                  std::size_t first, std::size_t count, std::size_t mandatory,
+                  const CancelToken* cancel, TraversalWorkspace& ws,
+                  std::span<std::uint8_t> completed,
+                  const SourceSink& sink) const override {
+    BRICS_CHECK_MSG(g.unit_weights(),
+                    "bfs kernel on a weighted graph; resolve the choice "
+                    "with select_kernel first");
+    return drive([](const CsrGraph& gg, NodeId s, TraversalWorkspace& w,
+                    const CancelToken* c) { return bfs(gg, s, w, c); },
+                 g, sources, first, count, mandatory, cancel, ws, completed,
+                 sink);
+  }
+};
+
+class DialKernel final : public TraversalKernel {
+ public:
+  const char* name() const override { return "dial"; }
+  std::size_t run(const CsrGraph& g, std::span<const NodeId> sources,
+                  std::size_t first, std::size_t count, std::size_t mandatory,
+                  const CancelToken* cancel, TraversalWorkspace& ws,
+                  std::span<std::uint8_t> completed,
+                  const SourceSink& sink) const override {
+    return drive([](const CsrGraph& gg, NodeId s, TraversalWorkspace& w,
+                    const CancelToken* c) { return dial_sssp(gg, s, w, c); },
+                 g, sources, first, count, mandatory, cancel, ws, completed,
+                 sink);
+  }
+};
+
+// Batched multi-source: delegates to sssp_batch (traverse/multi_source.hpp),
+// which dispatches bfs/dial per the graph's weights. The Traverse stage
+// hands this kernel a whole block's source list in one call.
+class BatchedMultiSourceKernel final : public TraversalKernel {
+ public:
+  const char* name() const override { return "batched"; }
+  std::size_t run(const CsrGraph& g, std::span<const NodeId> sources,
+                  std::size_t first, std::size_t count, std::size_t mandatory,
+                  const CancelToken* cancel, TraversalWorkspace& ws,
+                  std::span<std::uint8_t> completed,
+                  const SourceSink& sink) const override {
+    return sssp_batch(g, sources, first, count, mandatory, cancel, ws,
+                      completed,
+                      [&](std::size_t i, std::span<const Dist> dist) {
+                        sink(i, dist);
+                      });
+  }
+};
+
+// Blocks at or below this node count batch their sources on one thread
+// under kAuto: their traversals are microseconds, so per-source OpenMP
+// tasks spend more on scheduling + workspace cache misses than on the
+// traversal itself. Parallelism across *blocks* is preserved — a graph
+// with many small blocks yields many batched tasks.
+constexpr NodeId kBatchNodeLimit = 256;
+
+}  // namespace
+
+const TraversalKernel& kernel_for(KernelChoice choice) {
+  static const FrontierBfsKernel bfs_kernel;
+  static const DialKernel dial_kernel;
+  static const BatchedMultiSourceKernel batched_kernel;
+  switch (choice) {
+    case KernelChoice::kBfs: return bfs_kernel;
+    case KernelChoice::kDial: return dial_kernel;
+    case KernelChoice::kBatched: return batched_kernel;
+    case KernelChoice::kAuto: break;
+  }
+  BRICS_CHECK_MSG(false, "kAuto is not a kernel; resolve with select_kernel");
+  return dial_kernel;
+}
+
+KernelChoice select_kernel(const CsrGraph& block_g, NodeId num_sources,
+                           KernelChoice requested) {
+  switch (requested) {
+    case KernelChoice::kDial: return KernelChoice::kDial;
+    case KernelChoice::kBatched: return KernelChoice::kBatched;
+    case KernelChoice::kBfs:
+      return block_g.unit_weights() ? KernelChoice::kBfs
+                                    : KernelChoice::kDial;
+    case KernelChoice::kAuto: break;
+  }
+  if (num_sources >= 2 && block_g.num_nodes() <= kBatchNodeLimit)
+    return KernelChoice::kBatched;
+  return block_g.unit_weights() ? KernelChoice::kBfs : KernelChoice::kDial;
+}
+
+std::size_t traverse_flat(const CsrGraph& g, std::span<const NodeId> sources,
+                          std::size_t mandatory, const CancelToken& cancel,
+                          KernelChoice requested,
+                          std::vector<std::uint8_t>& completed,
+                          const SourceSink& sink) {
+  completed.assign(sources.size(), 0);
+  if (sources.empty()) return 0;
+  // Flat sweeps keep source-level parallelism under kAuto: unlike a small
+  // block inside a decomposition there is no outer parallel dimension to
+  // fall back on, so batching would serialise the whole estimator.
+  KernelChoice choice = requested == KernelChoice::kAuto
+                            ? (g.unit_weights() ? KernelChoice::kBfs
+                                                : KernelChoice::kDial)
+                            : select_kernel(g, static_cast<NodeId>(
+                                                   sources.size()),
+                                            requested);
+  const TraversalKernel& kernel = kernel_for(choice);
+  if (choice == KernelChoice::kBatched) {
+    TraversalWorkspace ws;
+    return kernel.run(g, sources, 0, sources.size(), mandatory, &cancel, ws,
+                      completed, sink);
+  }
+  const std::int64_t k = static_cast<std::int64_t>(sources.size());
+#pragma omp parallel
+  {
+    TraversalWorkspace ws;
+#pragma omp for schedule(dynamic, 4)
+    for (std::int64_t i = 0; i < k; ++i) {
+      kernel.run(g, sources, static_cast<std::size_t>(i), 1, mandatory,
+                 &cancel, ws, completed, sink);
+    }
+  }
+  std::size_t done = 0;
+  for (std::uint8_t c : completed) done += c;
+  return done;
+}
+
+}  // namespace brics

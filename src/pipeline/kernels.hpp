@@ -1,0 +1,85 @@
+// Pluggable traversal kernels for the Traverse stage.
+//
+// A TraversalKernel runs a contiguous range of a source list on the CALLING
+// thread, reusing one caller-provided workspace, and hands each completed
+// distance vector to a sink. The Traverse stage decides the parallel shape
+// around the kernel: large blocks get one task per source (source-level
+// parallelism, any kernel, count == 1 per call), small blocks get one task
+// per block with the batched kernel running every source back to back on
+// hot scratch — per-source task scheduling and workspace cache churn would
+// otherwise dominate the traversals themselves.
+//
+// Kernel selection (select_kernel) is a per-block size heuristic:
+//
+//   requested kAuto:  >= 2 sources and a small block  -> kBatched
+//                     otherwise unit weights ? kBfs : kDial
+//   requested kBfs:   honoured on unit-weight graphs, upgraded to kDial on
+//                     weighted ones (BFS distances would be wrong)
+//   requested kDial / kBatched: honoured as-is
+//
+// All kernels produce identical distance vectors, and the estimators
+// accumulate them in exact integer arithmetic, so kernel choice never
+// changes estimator output — only its schedule (verified by the oracle
+// tests in tests/test_pipeline.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/estimate.hpp"
+#include "exec/budget.hpp"
+#include "graph/csr_graph.hpp"
+#include "traverse/bfs.hpp"
+
+namespace brics {
+
+/// Receives each completed traversal: sink(source_index, distances). The
+/// index refers into the kernel's source list; distances alias the
+/// workspace and are only valid during the call.
+using SourceSink =
+    std::function<void(std::size_t, std::span<const Dist>)>;
+
+/// Strategy interface: run sources[first, first + count) sequentially on
+/// the calling thread. Sources with index < mandatory always complete
+/// (never polled, never aborted); others are skipped or aborted once
+/// `cancel` fires. completed[i] is set for each source whose sink ran.
+/// Returns the number of completed sources in the range. Implementations
+/// are stateless and safe to share across threads.
+class TraversalKernel {
+ public:
+  virtual ~TraversalKernel() = default;
+  virtual const char* name() const = 0;
+  virtual std::size_t run(const CsrGraph& g, std::span<const NodeId> sources,
+                          std::size_t first, std::size_t count,
+                          std::size_t mandatory, const CancelToken* cancel,
+                          TraversalWorkspace& ws,
+                          std::span<std::uint8_t> completed,
+                          const SourceSink& sink) const = 0;
+};
+
+/// The shared singleton for a resolved (non-kAuto) choice. kAuto has no
+/// kernel — resolve through select_kernel first.
+const TraversalKernel& kernel_for(KernelChoice choice);
+
+/// Per-block kernel selection heuristic (see header comment). num_sources
+/// is the block's planned source count.
+KernelChoice select_kernel(const CsrGraph& block_g, NodeId num_sources,
+                           KernelChoice requested);
+
+/// Flat traversal driver for the undecomposed estimators (random / reduced
+/// sampling, exact farness): one parallel task per source through the
+/// kernel matching `requested` (kAuto resolves to the weight-matched
+/// engine; kBatched serialises the whole sweep on one thread). The first
+/// `mandatory` sources always complete. Returns the completed count;
+/// completed[i] records which. With a never-firing token, output matches
+/// for_each_source bit for bit.
+std::size_t traverse_flat(const CsrGraph& g, std::span<const NodeId> sources,
+                          std::size_t mandatory, const CancelToken& cancel,
+                          KernelChoice requested,
+                          std::vector<std::uint8_t>& completed,
+                          const SourceSink& sink);
+
+}  // namespace brics

@@ -1,4 +1,4 @@
-#include "core/postprocess.hpp"
+#include "pipeline/postprocess.hpp"
 
 #include <algorithm>
 #include <cmath>

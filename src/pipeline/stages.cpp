@@ -1,0 +1,680 @@
+#include "pipeline/stages.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/sampling.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pipeline/kernels.hpp"
+#include "pipeline/postprocess.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace brics {
+namespace {
+
+// Per-thread scratch for resolving a block's removed nodes on the global id
+// space. Only entries touched by the current block are ever written, and
+// they are re-set to kInfDist afterwards.
+class GlobalResolveScratch {
+ public:
+  explicit GlobalResolveScratch(NodeId n) : dist_(n, kInfDist) {}
+
+  std::span<Dist> dist() { return dist_; }
+
+  void fill_block(const BlockInfo& bi, std::span<const Dist> local) {
+    for (NodeId lv = 0; lv < bi.sub.to_old.size(); ++lv)
+      dist_[bi.sub.to_old[lv]] = local[lv];
+  }
+
+  void clear_block(const BlockInfo& bi) {
+    for (NodeId g : bi.sub.to_old) dist_[g] = kInfDist;
+    for (NodeId g : bi.virtuals) dist_[g] = kInfDist;
+  }
+
+ private:
+  std::vector<Dist> dist_;
+};
+
+// Thread-private accumulation arrays merged after each parallel phase.
+class ThreadSums {
+ public:
+  explicit ThreadSums(NodeId n) : n_(n), bufs_(max_threads()) {}
+
+  std::vector<FarnessSum>& local() {
+    auto& b = bufs_[static_cast<std::size_t>(thread_id())];
+    if (b.empty()) b.assign(n_, 0);
+    return b;
+  }
+
+  std::vector<FarnessSum> merge() const {
+    std::vector<FarnessSum> total(n_, 0);
+    for (const auto& b : bufs_) {
+      if (b.empty()) continue;
+      for (NodeId v = 0; v < n_; ++v) total[v] += b[v];
+    }
+    return total;
+  }
+
+ private:
+  NodeId n_;
+  std::vector<std::vector<FarnessSum>> bufs_;
+};
+
+// Home block of each ledger record: the block containing all its anchors
+// (guaranteed to exist because anchors are pinned and, for through chains,
+// joined by the compressed edge).
+BlockId record_home(const ReductionLedger& ledger, const BccResult& bcc,
+                    const ReductionLedger::OrderEntry& e) {
+  using Kind = ReductionLedger::Kind;
+  switch (e.kind) {
+    case Kind::kIdentical:
+      return bcc.blocks_of(ledger.identical()[e.index].rep).front();
+    case Kind::kChain: {
+      const ChainRecord& r = ledger.chains()[e.index];
+      if (r.pendant() || r.cycle()) return bcc.blocks_of(r.u).front();
+      auto bu = bcc.blocks_of(r.u), bv = bcc.blocks_of(r.v);
+      std::vector<BlockId> common;
+      std::set_intersection(bu.begin(), bu.end(), bv.begin(), bv.end(),
+                            std::back_inserter(common));
+      BRICS_CHECK_MSG(common.size() == 1,
+                      "chain anchors share " << common.size() << " blocks");
+      return common.front();
+    }
+    case Kind::kRedundant: {
+      const RedundantRecord& r = ledger.redundant()[e.index];
+      std::vector<BlockId> common(bcc.blocks_of(r.nbrs[0]).begin(),
+                                  bcc.blocks_of(r.nbrs[0]).end());
+      for (std::size_t i = 1; i < r.degree; ++i) {
+        auto bi = bcc.blocks_of(r.nbrs[i]);
+        std::vector<BlockId> next;
+        std::set_intersection(common.begin(), common.end(), bi.begin(),
+                              bi.end(), std::back_inserter(next));
+        common = std::move(next);
+      }
+      BRICS_CHECK_MSG(!common.empty(), "redundant anchors share no block");
+      return common.front();
+    }
+  }
+  return kInvalidBlock;
+}
+
+void append_record_virtuals(const ReductionLedger& ledger,
+                            const ReductionLedger::OrderEntry& e,
+                            std::vector<NodeId>& out) {
+  using Kind = ReductionLedger::Kind;
+  switch (e.kind) {
+    case Kind::kIdentical:
+      out.push_back(ledger.identical()[e.index].node);
+      break;
+    case Kind::kChain: {
+      const auto& m = ledger.chains()[e.index].members;
+      out.insert(out.end(), m.begin(), m.end());
+      break;
+    }
+    case Kind::kRedundant:
+      out.push_back(ledger.redundant()[e.index].node);
+      break;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ReduceStage
+// ---------------------------------------------------------------------------
+
+ReducedGraph ReduceStage::run(PipelineContext& ctx) const {
+  ctx.set_phase(ExecPhase::kReduce);
+  ReducedGraph rg(0);
+  {
+    PhaseScope scope("reduce", ctx.times().reduce_s);
+    rg = reduce(ctx.graph(), ctx.opts().reduce);
+  }
+  ctx.check_budget();
+  return rg;
+}
+
+// ---------------------------------------------------------------------------
+// DecomposeStage
+// ---------------------------------------------------------------------------
+
+Decomposition DecomposeStage::run(PipelineContext& ctx,
+                                  const ReducedGraph& rg) const {
+  ctx.set_phase(ExecPhase::kBcc);
+  const NodeId n = rg.ledger.num_nodes();
+  Decomposition dec;
+  {
+    PhaseScope scope("bcc", ctx.times().bcc_s);
+    dec.bcc = biconnected_components(rg.graph, rg.present);
+    dec.bct = build_bct(dec.bcc, n);
+    const BlockId nb = dec.bcc.num_blocks();
+
+    // Ownership: each present node belongs to exactly one owner block — its
+    // home block for non-cuts, the BCT parent block for cuts.
+    dec.owner.assign(n, kInvalidBlock);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!rg.present[v]) continue;
+      const CutId c = dec.bct.cut_of_node[v];
+      dec.owner[v] =
+          c == kInvalidCut ? dec.bcc.home_block(v) : dec.bct.parent_block[c];
+    }
+
+    dec.blocks.resize(nb);
+    for (BlockId b = 0; b < nb; ++b) {
+      BlockInfo& bi = dec.blocks[b];
+      auto nodes = dec.bcc.block_nodes(b);
+      bi.sub = induced_subgraph(rg.graph, nodes);
+      bi.owned.assign(nodes.size(), 0);
+      for (NodeId lv = 0; lv < nodes.size(); ++lv) {
+        const NodeId gv = bi.sub.to_old[lv];
+        if (dec.bcc.is_cut(gv)) bi.cuts_local.push_back(lv);
+        if (dec.owner[gv] == b) {
+          bi.owned[lv] = 1;
+          ++bi.own_mass;
+        }
+      }
+      bi.cut_count = static_cast<std::uint32_t>(bi.cuts_local.size());
+    }
+
+    // Home every ledger record (and its removed nodes) to a block.
+    dec.virt_owner.assign(n, kInvalidBlock);
+    auto order = rg.ledger.order();
+    for (std::uint32_t i = 0; i < order.size(); ++i) {
+      if (!rg.ledger.record_active(i)) continue;
+      const BlockId b = record_home(rg.ledger, dec.bcc, order[i]);
+      dec.blocks[b].records.push_back(i);
+      std::vector<NodeId> vs;
+      append_record_virtuals(rg.ledger, order[i], vs);
+      for (NodeId v : vs) {
+        dec.virt_owner[v] = b;
+        dec.blocks[b].virtuals.push_back(v);
+      }
+      dec.blocks[b].own_mass += vs.size();
+    }
+  }
+  // The decomposition yields no reusable partial estimate, so a deadline
+  // that fires here surfaces as BudgetExceeded; estimate_brics catches it
+  // and degrades to plain sampling on the raw graph.
+  ctx.check_budget();
+  return dec;
+}
+
+// ---------------------------------------------------------------------------
+// PlanStage
+// ---------------------------------------------------------------------------
+
+SamplePlan PlanStage::run(PipelineContext& ctx, const Decomposition& dec,
+                          NodeId num_present) const {
+  ctx.set_phase(ExecPhase::kPlan);
+  BRICS_SPAN(sp_plan, "stage.plan");
+  const EstimateOptions& opts = ctx.opts();
+  const double rate = opts.sample_rate;
+  BRICS_CHECK_MSG(rate > 0.0 && rate <= 1.0,
+                  "sample_rate must be in (0, 1], got " << rate);
+  const BlockId nb = dec.num_blocks();
+  const double k_total = std::ceil(rate * static_cast<double>(num_present));
+
+  SamplePlan plan;
+  plan.blocks.resize(nb);
+  for (BlockId b = 0; b < nb; ++b) {
+    const BlockInfo& bi = dec.blocks[b];
+    BlockPlan& bp = plan.blocks[b];
+    const NodeId bn = bi.num_nodes();
+    // Cut vertices are always sampled and count toward the block's quota.
+    bp.samples = bi.cuts_local;
+    const double share = k_total * static_cast<double>(bn) /
+                         static_cast<double>(num_present);
+    NodeId want = static_cast<NodeId>(std::ceil(share));
+    if (bi.cut_count == 0) want = std::max<NodeId>(want, 1);
+    NodeId extra = want > bi.cut_count ? want - bi.cut_count : 0;
+    std::vector<NodeId> non_cuts;
+    non_cuts.reserve(bn - bi.cut_count);
+    for (NodeId lv = 0; lv < bn; ++lv)
+      if (!dec.bcc.is_cut(bi.sub.to_old[lv])) non_cuts.push_back(lv);
+    extra = std::min<NodeId>(extra, static_cast<NodeId>(non_cuts.size()));
+    if (extra > 0) {
+      Rng rng = ctx.fork_rng(static_cast<std::uint64_t>(b) + 1);
+      std::vector<NodeId> pick = pick_sample_sources(
+          bi.sub.graph, non_cuts, extra, opts.strategy, rng);
+      bp.samples.insert(bp.samples.end(), pick.begin(), pick.end());
+    }
+    // Mandatory prefix: the cut vertices (their traversals feed the exact
+    // cross-block machinery and may never be shed), or one source for a
+    // cut-less block so every block retains an intra estimate. Computed
+    // once here; the cap below and the Traverse stage both reuse it.
+    bp.mandatory =
+        bi.cut_count > 0
+            ? bi.cut_count
+            : std::min<NodeId>(1, static_cast<NodeId>(bp.samples.size()));
+    plan.planned_total += static_cast<NodeId>(bp.samples.size());
+    plan.mandatory_total += bp.mandatory;
+  }
+
+  BRICS_COUNTER(c_planned, "plan.samples_planned");
+  BRICS_COUNTER(c_mandatory, "plan.samples_mandatory");
+  BRICS_COUNTER(c_shed, "plan.samples_shed");
+  BRICS_COUNTER_ADD(c_planned, plan.planned_total);
+  BRICS_COUNTER_ADD(c_mandatory, plan.mandatory_total);
+
+  // ---- Source cap (RunBudget::max_sources). ----
+  const NodeId cap = opts.budget.max_sources;
+  if (cap > 0 && plan.planned_total > cap) {
+    // A cap below the mandatory work can't be honoured by trimming; the
+    // caller degrades to plain capped sampling instead.
+    if (cap < plan.mandatory_total) throw BudgetExceeded(ExecPhase::kPlan);
+    plan.capped = true;
+    BRICS_COUNTER_ADD(c_shed, plan.planned_total - cap);
+    // Distribute the surviving optional slots over blocks in one
+    // proportional pass (largest remainder): block b keeps
+    // floor(optional_b * keep_total / optional_total) of its optional
+    // samples, and the rounding leftover goes to the largest fractional
+    // parts (ties to the lower block id). Deterministic, one pass, and
+    // the loss is spread proportionally to each block's optional load.
+    const std::uint64_t keep_total = cap - plan.mandatory_total;
+    const std::uint64_t opt_total = plan.planned_total - plan.mandatory_total;
+    std::vector<NodeId> keep(nb, 0);
+    std::vector<std::pair<std::uint64_t, BlockId>> rem;
+    rem.reserve(nb);
+    std::uint64_t assigned = 0;
+    for (BlockId b = 0; b < nb; ++b) {
+      const BlockPlan& bp = plan.blocks[b];
+      const std::uint64_t optional =
+          bp.samples.size() - static_cast<std::uint64_t>(bp.mandatory);
+      const std::uint64_t prod = optional * keep_total;
+      keep[b] = static_cast<NodeId>(prod / opt_total);
+      assigned += keep[b];
+      if (prod % opt_total != 0) rem.emplace_back(prod % opt_total, b);
+    }
+    std::sort(rem.begin(), rem.end(), [](const auto& x, const auto& y) {
+      return x.first != y.first ? x.first > y.first : x.second < y.second;
+    });
+    std::uint64_t leftover = keep_total - assigned;
+    BRICS_CHECK_MSG(leftover <= rem.size(),
+                    "largest-remainder leftover exceeds fractional blocks");
+    for (std::uint64_t i = 0; i < leftover; ++i) ++keep[rem[i].second];
+    for (BlockId b = 0; b < nb; ++b) {
+      BlockPlan& bp = plan.blocks[b];
+      bp.samples.resize(bp.mandatory + keep[b]);
+    }
+  }
+
+  // Resolve each block's kernel against its post-cap source count.
+  for (BlockId b = 0; b < nb; ++b) {
+    BlockPlan& bp = plan.blocks[b];
+    bp.kernel = select_kernel(dec.blocks[b].sub.graph,
+                              static_cast<NodeId>(bp.samples.size()),
+                              opts.kernel);
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// TraverseStage
+// ---------------------------------------------------------------------------
+
+TraversalResults TraverseStage::run(PipelineContext& ctx,
+                                    const ReducedGraph& rg,
+                                    const Decomposition& dec,
+                                    const SamplePlan& plan) const {
+  ctx.set_phase(ExecPhase::kTraverse);
+  const NodeId n = rg.ledger.num_nodes();
+  const BlockId nb = dec.num_blocks();
+
+  TraversalResults trav;
+  trav.blocks.resize(nb);
+  for (BlockId b = 0; b < nb; ++b) {
+    const std::uint32_t cc = dec.blocks[b].cut_count;
+    trav.blocks[b].completed.assign(plan.blocks[b].samples.size(), 0);
+    trav.blocks[b].dsum_own.assign(cc, 0);
+    trav.blocks[b].dcc.assign(static_cast<std::size_t>(cc) * cc, 0);
+  }
+  trav.intra_exact.assign(n, 0);
+
+  // Parallel shape: a block whose plan chose the batched kernel is ONE
+  // task (all its sources, mandatory prefix included, run back to back on
+  // one thread); every other block contributes one task per source.
+  // Per-source mandatory tasks go first so the deadline can only shed
+  // optional ones — batched tasks protect their own mandatory prefix
+  // internally (the kernel never aborts a source below `mandatory`).
+  struct Task {
+    BlockId b;
+    std::uint32_t first, count;
+  };
+  std::vector<Task> tasks;
+  for (BlockId b = 0; b < nb; ++b) {
+    if (plan.blocks[b].kernel == KernelChoice::kBatched) continue;
+    for (std::uint32_t si = 0; si < plan.blocks[b].mandatory; ++si)
+      tasks.push_back({b, si, 1});
+  }
+  for (BlockId b = 0; b < nb; ++b) {
+    const BlockPlan& bp = plan.blocks[b];
+    if (bp.kernel != KernelChoice::kBatched || bp.samples.empty()) continue;
+    tasks.push_back({b, 0, static_cast<std::uint32_t>(bp.samples.size())});
+  }
+  for (BlockId b = 0; b < nb; ++b) {
+    const BlockPlan& bp = plan.blocks[b];
+    if (bp.kernel == KernelChoice::kBatched) continue;
+    for (std::uint32_t si = bp.mandatory; si < bp.samples.size(); ++si)
+      tasks.push_back({b, si, 1});
+  }
+
+  ThreadSums acc(n);      // over all of the block's samples
+  ThreadSums acc_own(n);  // over samples owned by the block (exact terms)
+
+  PhaseScope scope("traverse", ctx.times().traverse_s);
+  const CancelToken& token = ctx.token();
+#pragma omp parallel
+  {
+    TraversalWorkspace ws;
+    GlobalResolveScratch scratch(n);
+#pragma omp for schedule(dynamic, 4)
+    for (std::int64_t t = 0; t < static_cast<std::int64_t>(tasks.size());
+         ++t) {
+      const Task& task = tasks[static_cast<std::size_t>(t)];
+      const BlockInfo& bi = dec.blocks[task.b];
+      const BlockPlan& bp = plan.blocks[task.b];
+      TraversalResults::BlockData& bd = trav.blocks[task.b];
+      const TraversalKernel& kernel = kernel_for(bp.kernel);
+      // Fold one completed traversal into the accumulators (old P1 body).
+      // Distinct (block, sample) pairs write disjoint slots; acc/acc_own
+      // are per-thread buffers, so the fold is race-free.
+      const SourceSink sink = [&](std::size_t si,
+                                  std::span<const Dist> local) {
+        const NodeId ls = bp.samples[si];
+        const NodeId gs = bi.sub.to_old[ls];
+        scratch.fill_block(bi, local);
+        rg.ledger.resolve_subset(scratch.dist(), bi.records);
+
+        const bool src_is_cut = si < bi.cut_count;
+        const bool src_owned = dec.owner[gs] == task.b;
+
+        // Distance sums over the block's owned population
+        // (present + virtual).
+        FarnessSum own_sum = 0;
+        auto& accbuf = acc.local();
+        auto& ownbuf = acc_own.local();
+        for (NodeId lv = 0; lv < bi.sub.to_old.size(); ++lv) {
+          const NodeId gv = bi.sub.to_old[lv];
+          if (!bi.owned[lv]) continue;
+          own_sum += local[lv];
+          accbuf[gv] += local[lv];
+          if (src_owned) ownbuf[gv] += local[lv];
+        }
+        for (NodeId gv : bi.virtuals) {
+          const Dist d = scratch.dist()[gv];
+          BRICS_CHECK_MSG(d != kInfDist, "unresolved virtual " << gv);
+          own_sum += d;
+          accbuf[gv] += d;
+          if (src_owned) ownbuf[gv] += d;
+        }
+        if (src_owned) trav.intra_exact[gs] = own_sum;  // d(gs,gs)=0 incl.
+
+        if (src_is_cut) {
+          bd.dsum_own[si] = own_sum;
+          for (std::uint32_t cj = 0; cj < bi.cut_count; ++cj)
+            bd.dcc[static_cast<std::size_t>(si) * bi.cut_count + cj] =
+                local[bi.cuts_local[cj]];
+        }
+        scratch.clear_block(bi);
+      };
+      kernel.run(bi.sub.graph, bp.samples, task.first, task.count,
+                 bp.mandatory, &token, ws, bd.completed, sink);
+    }
+  }
+
+  trav.acc = acc.merge();
+  trav.acc_own = acc_own.merge();
+  for (const TraversalResults::BlockData& bd : trav.blocks)
+    for (std::uint8_t c : bd.completed) trav.completed_total += c;
+  trav.cut = trav.completed_total < plan.total_sources();
+  BRICS_COUNTER(c_completed, "plan.samples_completed");
+  BRICS_COUNTER_ADD(c_completed, trav.completed_total);
+  return trav;
+}
+
+// ---------------------------------------------------------------------------
+// AggregateStage
+// ---------------------------------------------------------------------------
+
+EstimateResult AggregateStage::run(PipelineContext& ctx,
+                                   const ReducedGraph& rg,
+                                   const Decomposition& dec,
+                                   const SamplePlan& plan,
+                                   const TraversalResults& trav) const {
+  const NodeId n = rg.ledger.num_nodes();
+  const BlockId nb = dec.num_blocks();
+  const BccResult& bcc = dec.bcc;
+  const BlockCutTree& bct = dec.bct;
+
+  EstimateResult res;
+  res.farness.assign(n, 0.0);
+  res.exact.assign(n, 0);
+  res.num_blocks = nb;
+  res.samples = trav.completed_total;
+  res.planned_samples = plan.planned_total;
+  res.achieved_sample_rate = ctx.opts().sample_rate *
+                             static_cast<double>(trav.completed_total) /
+                             static_cast<double>(plan.planned_total);
+  if (trav.cut) {
+    res.degraded = true;
+    res.cut_phase = ExecPhase::kTraverse;
+  } else if (plan.capped) {
+    res.degraded = true;
+    res.cut_phase = ExecPhase::kPlan;
+  }
+
+  PhaseScope scope("combine", ctx.times().combine_s);
+
+  // Live sample lists: the planned samples whose traversal completed.
+  // Everything downstream (beta calibration, intra rescaling, exact flags)
+  // keys off these, so a partial TraversalResults *is* the
+  // rescaling-by-achieved-sample-count — no re-run needed. The mandatory
+  // prefix always completed, so cuts stay a prefix of every live list and
+  // the cut data (dsum_own, dcc) is intact.
+  std::vector<std::vector<NodeId>> live(nb);
+  for (BlockId b = 0; b < nb; ++b) {
+    const BlockPlan& bp = plan.blocks[b];
+    live[b].reserve(bp.samples.size());
+    for (std::size_t si = 0; si < bp.samples.size(); ++si)
+      if (trav.blocks[b].completed[si]) live[b].push_back(bp.samples[si]);
+  }
+
+  // ---- Tree DP over the BCT (Algorithm 6). ----
+  std::vector<FarnessSum> down_w(bct.num_cuts(), 0),
+      down_d(bct.num_cuts(), 0);
+  std::vector<FarnessSum> sub_w(nb, 0), sub_d_at_p(nb, 0);
+  std::vector<FarnessSum> comp_total(nb, 0);
+  std::vector<std::vector<FarnessSum>> ow(nb), od(nb);
+  std::vector<FarnessSum> od_total(nb, 0);
+  for (BlockId b = 0; b < nb; ++b) {
+    ow[b].assign(dec.blocks[b].cut_count, 0);
+    od[b].assign(dec.blocks[b].cut_count, 0);
+  }
+
+  auto cut_dist = [&](BlockId b, std::size_t i, std::size_t j) -> Dist {
+    return trav.blocks[b].dcc[i * dec.blocks[b].cut_count + j];
+  };
+  auto cut_slot = [&](const BlockInfo& bi, CutId c) -> std::uint32_t {
+    // Index of global cut c within bi.cuts_local.
+    for (std::uint32_t i = 0; i < bi.cut_count; ++i)
+      if (bct.cut_of_node[bi.sub.to_old[bi.cuts_local[i]]] == c) return i;
+    BRICS_CHECK_MSG(false, "cut not found in block");
+    return 0;
+  };
+
+  // Bottom-up (leaves to roots).
+  for (auto it = bct.top_down.rbegin(); it != bct.top_down.rend(); ++it) {
+    const BlockId b = *it;
+    const BlockInfo& bi = dec.blocks[b];
+    const CutId p = bct.parent_cut[b];
+    std::uint32_t pslot = 0;
+    FarnessSum w = bi.own_mass, d_at_p = 0;
+    if (p != kInvalidCut) {
+      pslot = cut_slot(bi, p);
+      d_at_p = trav.blocks[b].dsum_own[pslot];
+    }
+    for (std::uint32_t ci = 0; ci < bi.cut_count; ++ci) {
+      const CutId c = bct.cut_of_node[bi.sub.to_old[bi.cuts_local[ci]]];
+      if (c == p) continue;
+      w += down_w[c];
+      if (p != kInvalidCut)
+        d_at_p += down_d[c] + down_w[c] * cut_dist(b, pslot, ci);
+    }
+    sub_w[b] = w;
+    sub_d_at_p[b] = d_at_p;
+    if (p != kInvalidCut) {
+      down_w[p] += w;
+      down_d[p] += d_at_p;
+    }
+  }
+
+  // Top-down: finalise (ow, od) per (block, cut) and hand each cut the
+  // "everything above" carry for its child blocks.
+  std::vector<FarnessSum> up_at_d(bct.num_cuts(), 0);
+  for (BlockId b : bct.top_down) {
+    const BlockInfo& bi = dec.blocks[b];
+    const CutId p = bct.parent_cut[b];
+    if (p == kInvalidCut) {
+      comp_total[b] = sub_w[b];
+    } else {
+      comp_total[b] = comp_total[bct.parent_block[p]];
+    }
+    for (std::uint32_t ci = 0; ci < bi.cut_count; ++ci) {
+      const CutId c = bct.cut_of_node[bi.sub.to_old[bi.cuts_local[ci]]];
+      if (c == p) {
+        ow[b][ci] = comp_total[b] - sub_w[b];
+        od[b][ci] = up_at_d[p] + (down_d[p] - sub_d_at_p[b]);
+      } else {
+        ow[b][ci] = down_w[c];
+        od[b][ci] = down_d[c];
+      }
+    }
+    // Per-block mass-conservation invariant.
+    FarnessSum check = bi.own_mass;
+    for (std::uint32_t ci = 0; ci < bi.cut_count; ++ci) check += ow[b][ci];
+    BRICS_CHECK_MSG(check == comp_total[b],
+                    "BCT mass mismatch in block " << b);
+    od_total[b] = 0;
+    for (std::uint32_t ci = 0; ci < bi.cut_count; ++ci)
+      od_total[b] += od[b][ci];
+    // Carry for children hanging below each cut of this block.
+    for (std::uint32_t ci = 0; ci < bi.cut_count; ++ci) {
+      const CutId c = bct.cut_of_node[bi.sub.to_old[bi.cuts_local[ci]]];
+      if (bct.parent_block[c] != b) continue;  // carries flow to children
+      FarnessSum d_here = trav.blocks[b].dsum_own[ci];
+      for (std::uint32_t cj = 0; cj < bi.cut_count; ++cj) {
+        if (cj == ci) continue;
+        d_here += ow[b][cj] * cut_dist(b, ci, cj) + od[b][cj];
+      }
+      up_at_d[c] = d_here;
+    }
+  }
+
+  // ---- P2: cut re-traversals push exact cross-block contributions onto
+  // every node of their block (Algorithm 5 step 3 / step 4 prep). ----
+  std::vector<std::pair<BlockId, std::uint32_t>> cut_tasks;
+  for (BlockId b = 0; b < nb; ++b)
+    for (std::uint32_t ci = 0; ci < dec.blocks[b].cut_count; ++ci)
+      cut_tasks.emplace_back(b, ci);
+
+  ThreadSums cross(n);
+#pragma omp parallel
+  {
+    TraversalWorkspace ws;
+    GlobalResolveScratch scratch(n);
+#pragma omp for schedule(dynamic, 4)
+    for (std::int64_t t = 0; t < static_cast<std::int64_t>(cut_tasks.size());
+         ++t) {
+      const auto [b, ci] = cut_tasks[static_cast<std::size_t>(t)];
+      const BlockInfo& bi = dec.blocks[b];
+      if (ow[b][ci] == 0) continue;  // nothing behind this cut
+      const NodeId ls = bi.cuts_local[ci];
+      sssp(bi.sub.graph, ls, ws);
+      std::span<const Dist> local = ws.dist();
+      scratch.fill_block(bi, local);
+      rg.ledger.resolve_subset(scratch.dist(), bi.records);
+      auto& buf = cross.local();
+      for (NodeId lv = 0; lv < bi.sub.to_old.size(); ++lv)
+        if (bi.owned[lv]) buf[bi.sub.to_old[lv]] += ow[b][ci] * local[lv];
+      for (NodeId gv : bi.virtuals)
+        buf[gv] += ow[b][ci] * scratch.dist()[gv];
+      scratch.clear_block(bi);
+    }
+  }
+
+  // ---- Finalise farness values (Algorithm 5 step 4). ----
+  const std::vector<FarnessSum>& acc_sum = trav.acc;
+  const std::vector<FarnessSum>& own_sum_v = trav.acc_own;
+  std::vector<FarnessSum> cross_sum = cross.merge();
+
+  // Sampled present nodes are exact; everyone else scales the intra part.
+  std::vector<std::uint8_t> sampled(n, 0);
+  for (BlockId b = 0; b < nb; ++b)
+    for (NodeId ls : live[b]) sampled[dec.blocks[b].sub.to_old[ls]] = 1;
+
+  // Intra-block estimator for a non-sampled node v owned by block B:
+  //   intra(v) = acc_own[v]                                  (exact terms)
+  //            + beta_B * (T - 1 - |S_own|) * acc[v]/|S_all| (remainder)
+  // where T is the owned population, S_own the owned samples (their
+  // distances from v are known exactly), S_all every sample of the block.
+  // The raw remainder (sample-mean distance x unknown-target count) is
+  // biased: forced cut-vertex samples sit centrally and removed nodes
+  // (chain tails, twins) sit farther than the sample mean. Sampled nodes
+  // know their exact intra sums, so each block learns the multiplicative
+  // correction beta_B that makes the remainder unbiased on its own samples.
+  std::vector<double> beta(nb, 1.0);
+  std::vector<NodeId> n_own_samples(nb, 0);
+  for (BlockId b = 0; b < nb; ++b) {
+    const BlockInfo& bi = dec.blocks[b];
+    for (NodeId ls : live[b])
+      if (dec.owner[bi.sub.to_old[ls]] == b) ++n_own_samples[b];
+    const double ns_all = static_cast<double>(live[b].size());
+    const double ns_own = static_cast<double>(n_own_samples[b]);
+    if (ns_all < 2) continue;
+    const double targets = static_cast<double>(bi.own_mass) - 1.0;
+    // For a sampled owned node s, the unknown-target count is
+    // targets - (ns_own - 1): the other owned samples are known exactly.
+    const double unknown_s = targets - (ns_own - 1.0);
+    if (unknown_s <= 0.0) continue;  // fully sampled block: no remainder
+    double exact_rem = 0.0, raw_rem = 0.0;
+    for (NodeId ls : live[b]) {
+      const NodeId gs = bi.sub.to_old[ls];
+      if (dec.owner[gs] != b) continue;
+      exact_rem += static_cast<double>(trav.intra_exact[gs]) -
+                   static_cast<double>(own_sum_v[gs]);
+      raw_rem +=
+          static_cast<double>(acc_sum[gs]) / (ns_all - 1.0) * unknown_s;
+    }
+    if (raw_rem > 0.0 && exact_rem > 0.0) beta[b] = exact_rem / raw_rem;
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    const BlockId b = rg.present[v] ? dec.owner[v] : dec.virt_owner[v];
+    BRICS_CHECK_MSG(b != kInvalidBlock, "node " << v << " has no owner");
+    const BlockInfo& bi = dec.blocks[b];
+    double intra;
+    if (rg.present[v] && sampled[v]) {
+      intra = static_cast<double>(trav.intra_exact[v]);
+      res.exact[v] = 1;
+    } else {
+      // Exact terms to owned samples plus the calibrated remainder.
+      const double ns_all = static_cast<double>(live[b].size());
+      const double ns_own = static_cast<double>(n_own_samples[b]);
+      const double unknown =
+          static_cast<double>(bi.own_mass) - 1.0 - ns_own;
+      intra = static_cast<double>(own_sum_v[v]);
+      if (ns_all > 0 && unknown > 0)
+        intra +=
+            beta[b] * static_cast<double>(acc_sum[v]) / ns_all * unknown;
+    }
+    res.farness[v] = intra + static_cast<double>(cross_sum[v]) +
+                     static_cast<double>(od_total[b]);
+  }
+  refine_removed_estimates(rg.ledger, n, res.farness, res.exact);
+  return res;
+}
+
+}  // namespace brics

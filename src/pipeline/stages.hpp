@@ -1,0 +1,91 @@
+// The five pipeline stages (docs/ARCHITECTURE.md).
+//
+//   ReduceStage     CsrGraph         -> ReducedGraph
+//   DecomposeStage  ReducedGraph     -> Decomposition
+//   PlanStage       Decomposition    -> SamplePlan
+//   TraverseStage   SamplePlan       -> TraversalResults
+//   AggregateStage  TraversalResults -> EstimateResult
+//
+// Each stage is a stateless class: run() reads its input artifacts, threads
+// the PipelineContext (deadline, phase, timings), and returns the next
+// artifact by value. estimate_brics in src/core/brics.cpp is the canonical
+// composition; tests/test_pipeline.cpp runs each stage standalone.
+//
+// Budget behaviour at stage granularity:
+//   Reduce / Decompose   no partial result exists -> check_budget() throws
+//                        BudgetExceeded at the stage boundary.
+//   Plan                 throws BudgetExceeded(kPlan) only when the
+//                        max-sources cap cannot even cover the mandatory
+//                        work; otherwise it sheds optional samples
+//                        proportionally and marks the plan capped.
+//   Traverse             cooperative: optional sources are shed when the
+//                        deadline fires (exceptions cannot cross the OpenMP
+//                        region); the returned TraversalResults is partial
+//                        but mandatory-complete.
+//   Aggregate            always finishes: it aggregates whatever Traverse
+//                        completed, so a mid-Traverse deadline degrades the
+//                        estimate instead of discarding it.
+#pragma once
+
+#include "pipeline/artifacts.hpp"
+#include "pipeline/context.hpp"
+
+namespace brics {
+
+/// Apply the configured reductions (ctx.opts().reduce) to ctx.graph().
+/// Phase kReduce; throws BudgetExceeded(kReduce) if the deadline passed.
+class ReduceStage {
+ public:
+  ReducedGraph run(PipelineContext& ctx) const;
+};
+
+/// Biconnected decomposition + block-cut tree + total ownership: every
+/// node — present or removed — is assigned to exactly one block, ledger
+/// records are homed to the block containing their anchors, and each
+/// block's induced subgraph and cut-vertex list are materialised.
+/// Phase kBcc; throws BudgetExceeded(kBcc) if the deadline passed.
+class DecomposeStage {
+ public:
+  Decomposition run(PipelineContext& ctx, const ReducedGraph& rg) const;
+};
+
+/// Per-block sampling plan: cut vertices are always sampled (they feed the
+/// exact cross-block machinery), each block gets a population-proportional
+/// share of ceil(rate * num_present) random extras, and a max-sources cap
+/// sheds the optional remainder in ONE proportional largest-remainder pass
+/// (mandatory counts computed once per block). Also resolves each block's
+/// traversal kernel via select_kernel. Phase kPlan; throws
+/// BudgetExceeded(kPlan) iff the cap is below the mandatory total.
+class PlanStage {
+ public:
+  SamplePlan run(PipelineContext& ctx, const Decomposition& dec,
+                 NodeId num_present) const;
+};
+
+/// Run every planned source through its block's kernel, folding distance
+/// vectors into the accumulators the Aggregate stage needs. Blocks whose
+/// plan chose the batched kernel become ONE parallel task (their sources
+/// run back to back on one thread's hot workspace); other blocks keep one
+/// task per source, mandatory tasks ordered first. Phase kTraverse; never
+/// throws on deadline — shed sources are simply absent from the result.
+class TraverseStage {
+ public:
+  TraversalResults run(PipelineContext& ctx, const ReducedGraph& rg,
+                       const Decomposition& dec,
+                       const SamplePlan& plan) const;
+};
+
+/// Finish the estimate from whatever Traverse completed: tree DP over the
+/// BCT for exact cross-block terms, cut re-traversals (P2), per-block beta
+/// calibration of the intra estimator, removed-node closed forms, and the
+/// degradation report. Fills everything in EstimateResult except times and
+/// reduce_stats (the composition owns those). Phase stays kTraverse — a
+/// fault here is attributed to the traversal data it consumed.
+class AggregateStage {
+ public:
+  EstimateResult run(PipelineContext& ctx, const ReducedGraph& rg,
+                     const Decomposition& dec, const SamplePlan& plan,
+                     const TraversalResults& trav) const;
+};
+
+}  // namespace brics

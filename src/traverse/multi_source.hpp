@@ -74,6 +74,33 @@ std::size_t for_each_source_budgeted(const CsrGraph& g,
   return done;
 }
 
+/// Sequential batched driver: run an SSSP from every source on the CALLING
+/// thread, reusing one workspace, invoking fn(i, dist) after each. This is
+/// the engine behind the batched traversal kernel (pipeline/kernels.hpp):
+/// when a block is small, per-source parallel tasks cost more in scheduling
+/// and workspace cache churn than the traversals themselves, so the whole
+/// block becomes one task and its sources run back to back on hot scratch.
+/// Sources with index < mandatory always complete (never polled); the rest
+/// are skipped once `cancel` fires. completed[i] records which.
+/// Returns the number of sources completed in [first, first + count).
+template <typename Fn>
+std::size_t sssp_batch(const CsrGraph& g, std::span<const NodeId> sources,
+                       std::size_t first, std::size_t count,
+                       std::size_t mandatory, const CancelToken* cancel,
+                       TraversalWorkspace& ws,
+                       std::span<std::uint8_t> completed, Fn&& fn) {
+  std::size_t done = 0;
+  for (std::size_t i = first; i < first + count; ++i) {
+    const bool must = i < mandatory;
+    if (!must && cancel != nullptr && cancel->poll()) continue;
+    if (!sssp(g, sources[i], ws, must ? nullptr : cancel)) continue;
+    fn(i, ws.dist());
+    completed[i] = 1;
+    ++done;
+  }
+  return done;
+}
+
 /// Per-thread accumulation buffers merged after the parallel region.
 /// Used to build Σ_{s∈S} d(s, v) for every v without atomics: each thread
 /// owns a private FarnessSum array, merged once at the end.

@@ -1,0 +1,478 @@
+// Stage-by-stage tests for the pipeline decomposition (src/pipeline/):
+// each stage standalone against its artifact contract, kernel equivalence
+// and selection, full-rate oracles for every kernel through every
+// composition, and the resumable-partial-results guarantee (a mid-Traverse
+// deadline aggregates what completed instead of falling back).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/brics.hpp"
+#include "core/farness.hpp"
+#include "core/sampling.hpp"
+#include "exec/errors.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/kernels.hpp"
+#include "pipeline/stages.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+// ER / BA / road-grid / planted-reduction recipes for the oracle sweeps.
+std::vector<test::RandomGraphCase> pipeline_cases() {
+  return {{"erdos_renyi", 180, 7},
+          {"barabasi_albert", 180, 7},
+          {"grid_subdivided", 180, 7},
+          {"twins_and_chains", 180, 7}};
+}
+
+EstimateOptions opts_with(double rate, KernelChoice kernel,
+                          std::uint64_t seed = 11) {
+  EstimateOptions o;
+  o.sample_rate = rate;
+  o.seed = seed;
+  o.kernel = kernel;
+  return o;
+}
+
+std::vector<KernelChoice> all_kernels() {
+  return {KernelChoice::kAuto, KernelChoice::kBfs, KernelChoice::kDial,
+          KernelChoice::kBatched};
+}
+
+// Run Reduce + Decompose + Plan on a fresh context (the common test
+// prologue). Owns a copy of the options: the context only keeps a reference.
+struct StagedRun {
+  CancelToken token;
+  EstimateOptions opts;
+  PipelineContext ctx;
+  ReducedGraph rg;
+  Decomposition dec;
+  SamplePlan plan;
+
+  StagedRun(const CsrGraph& g, EstimateOptions o)
+      : opts(o), ctx(g, opts, token), rg(ReduceStage{}.run(ctx)),
+        dec(DecomposeStage{}.run(ctx, rg)),
+        plan(PlanStage{}.run(ctx, dec, rg.num_present)) {}
+};
+
+// ---------------------------------------------------------------------------
+// ReduceStage
+// ---------------------------------------------------------------------------
+
+TEST(ReduceStage, ProducesReductionAndTimesThePhase) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 120, 7}.build();
+  EstimateOptions opts;
+  CancelToken token;
+  PipelineContext ctx(g, opts, token);
+  ReducedGraph rg = ReduceStage{}.run(ctx);
+  EXPECT_EQ(rg.ledger.num_nodes(), g.num_nodes());
+  EXPECT_LT(rg.num_present, g.num_nodes());  // recipe plants reducible mass
+  EXPECT_GT(ctx.times().reduce_s, 0.0);
+  EXPECT_EQ(ctx.phase(), ExecPhase::kReduce);
+}
+
+TEST(ReduceStage, ExpiredBudgetThrowsReducePhase) {
+  CsrGraph g = test::make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  EstimateOptions opts;
+  CancelToken token;
+  token.cancel();
+  PipelineContext ctx(g, opts, token);
+  try {
+    ReduceStage{}.run(ctx);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.phase(), ExecPhase::kReduce);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DecomposeStage
+// ---------------------------------------------------------------------------
+
+TEST(DecomposeStage, OwnershipPartitionsEveryNode) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 150, 19}.build();
+  EstimateOptions opts;
+  CancelToken token;
+  PipelineContext ctx(g, opts, token);
+  ReducedGraph rg = ReduceStage{}.run(ctx);
+  Decomposition dec = DecomposeStage{}.run(ctx, rg);
+  EXPECT_EQ(ctx.phase(), ExecPhase::kBcc);
+  ASSERT_GE(dec.num_blocks(), 1u);
+
+  // Every node — present or removed — has exactly one owner block, and the
+  // per-block owned masses partition the full node count.
+  FarnessSum total_mass = 0;
+  for (const BlockInfo& bi : dec.blocks) total_mass += bi.own_mass;
+  EXPECT_EQ(total_mass, g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const BlockId owner = rg.present[v] ? dec.owner[v] : dec.virt_owner[v];
+    ASSERT_NE(owner, kInvalidBlock) << "node " << v;
+    ASSERT_LT(owner, dec.num_blocks());
+  }
+
+  // cuts_local lists exactly the block's cut vertices.
+  for (const BlockInfo& bi : dec.blocks) {
+    EXPECT_EQ(bi.cut_count, bi.cuts_local.size());
+    for (NodeId ls : bi.cuts_local)
+      EXPECT_TRUE(dec.bcc.is_cut(bi.sub.to_old[ls]));
+  }
+}
+
+TEST(DecomposeStage, ExpiredBudgetThrowsBccPhase) {
+  CsrGraph g = test::make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  EstimateOptions opts;
+  CancelToken token;
+  PipelineContext ctx(g, opts, token);
+  ReducedGraph rg = ReduceStage{}.run(ctx);
+  token.cancel();
+  try {
+    DecomposeStage{}.run(ctx, rg);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.phase(), ExecPhase::kBcc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PlanStage
+// ---------------------------------------------------------------------------
+
+TEST(PlanStage, CutsFormTheMandatoryPrefix) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 200, 7}.build();
+  StagedRun run(g, opts_with(0.3, KernelChoice::kAuto));
+  ASSERT_EQ(run.plan.blocks.size(), run.dec.blocks.size());
+  for (BlockId b = 0; b < run.dec.num_blocks(); ++b) {
+    const BlockInfo& bi = run.dec.blocks[b];
+    const BlockPlan& bp = run.plan.blocks[b];
+    // Cut vertices lead the sample list and define the mandatory prefix
+    // (one source for cut-less blocks).
+    ASSERT_GE(bp.samples.size(), bi.cut_count);
+    for (std::uint32_t ci = 0; ci < bi.cut_count; ++ci)
+      EXPECT_EQ(bp.samples[ci], bi.cuts_local[ci]);
+    if (bi.cut_count > 0) {
+      EXPECT_EQ(bp.mandatory, bi.cut_count);
+    } else {
+      EXPECT_EQ(bp.mandatory, std::min<NodeId>(1, bp.samples.size()));
+    }
+    EXPECT_NE(bp.kernel, KernelChoice::kAuto) << "kernel left unresolved";
+  }
+  EXPECT_FALSE(run.plan.capped);
+  EXPECT_EQ(run.plan.total_sources(), run.plan.planned_total);
+}
+
+TEST(PlanStage, FullRateSamplesEveryBlockNode) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 120, 7}.build();
+  StagedRun run(g, opts_with(1.0, KernelChoice::kAuto));
+  for (BlockId b = 0; b < run.dec.num_blocks(); ++b)
+    EXPECT_EQ(run.plan.blocks[b].samples.size(),
+              run.dec.blocks[b].num_nodes());
+}
+
+TEST(PlanStage, ProportionalShedHonoursCapExactly) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 220, 19}.build();
+  // First, an uncapped plan to learn the mandatory/planned totals.
+  StagedRun probe(g, opts_with(0.9, KernelChoice::kAuto));
+  const NodeId mandatory = probe.plan.mandatory_total;
+  const NodeId planned = probe.plan.planned_total;
+  ASSERT_LT(mandatory, planned) << "recipe must leave optional samples";
+  const NodeId cap = mandatory + (planned - mandatory) / 2;
+
+  EstimateOptions capped = opts_with(0.9, KernelChoice::kAuto);
+  capped.budget.max_sources = cap;
+  StagedRun run(g, capped);
+  EXPECT_TRUE(run.plan.capped);
+  // The single proportional pass lands on the cap exactly — no iterative
+  // round-robin, no over- or under-shoot.
+  EXPECT_EQ(run.plan.total_sources(), cap);
+  EXPECT_EQ(run.plan.planned_total, planned);  // pre-cap plan unchanged
+  for (BlockId b = 0; b < run.dec.num_blocks(); ++b) {
+    const BlockPlan& bp = run.plan.blocks[b];
+    const BlockPlan& pre = probe.plan.blocks[b];
+    // Mandatory prefix intact; kept optionals are a prefix of the original
+    // pick order and at most the original optional count.
+    ASSERT_GE(bp.samples.size(), bp.mandatory);
+    EXPECT_EQ(bp.mandatory, pre.mandatory);
+    EXPECT_LE(bp.samples.size(), pre.samples.size());
+    for (std::size_t i = 0; i < bp.samples.size(); ++i)
+      EXPECT_EQ(bp.samples[i], pre.samples[i]);
+  }
+}
+
+TEST(PlanStage, CapBelowMandatoryThrowsPlanPhase) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 220, 19}.build();
+  StagedRun probe(g, opts_with(0.5, KernelChoice::kAuto));
+  ASSERT_GT(probe.plan.mandatory_total, 1u);
+
+  EstimateOptions opts = opts_with(0.5, KernelChoice::kAuto);
+  opts.budget.max_sources = probe.plan.mandatory_total - 1;
+  CancelToken token;
+  PipelineContext ctx(g, opts, token);
+  ReducedGraph rg = ReduceStage{}.run(ctx);
+  Decomposition dec = DecomposeStage{}.run(ctx, rg);
+  try {
+    PlanStage{}.run(ctx, dec, rg.num_present);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.phase(), ExecPhase::kPlan);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+TEST(Kernels, EveryKernelMatchesTheSsspReference) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 80, 7}.build();
+  std::vector<NodeId> sources{0, 3, 17, 42};
+  for (KernelChoice choice :
+       {KernelChoice::kBfs, KernelChoice::kDial, KernelChoice::kBatched}) {
+    const TraversalKernel& kernel = kernel_for(choice);
+    TraversalWorkspace ws;
+    std::vector<std::uint8_t> completed(sources.size(), 0);
+    std::vector<std::vector<Dist>> got(sources.size());
+    const std::size_t done = kernel.run(
+        g, sources, 0, sources.size(), sources.size(), nullptr, ws,
+        completed,
+        [&](std::size_t i, std::span<const Dist> dist) {
+          got[i].assign(dist.begin(), dist.end());
+        });
+    EXPECT_EQ(done, sources.size()) << kernel.name();
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      EXPECT_TRUE(completed[i]);
+      EXPECT_EQ(got[i], sssp_distances(g, sources[i]))
+          << kernel.name() << " source " << sources[i];
+    }
+  }
+}
+
+TEST(Kernels, SelectKernelHeuristic) {
+  CsrGraph small = test::RandomGraphCase{"erdos_renyi", 60, 7}.build();
+  CsrGraph big = test::RandomGraphCase{"erdos_renyi", 400, 7}.build();
+  CsrGraph weighted =
+      test::make_graph(4, {{0, 1, 3}, {1, 2, 2}, {2, 3, 5}});
+  ASSERT_LE(small.num_nodes(), 256u);
+  ASSERT_GT(big.num_nodes(), 256u);
+  ASSERT_FALSE(weighted.unit_weights());
+
+  // kAuto: small multi-source blocks batch; singletons and big blocks use
+  // the weight-matched per-source engine.
+  EXPECT_EQ(select_kernel(small, 4, KernelChoice::kAuto),
+            KernelChoice::kBatched);
+  EXPECT_EQ(select_kernel(small, 1, KernelChoice::kAuto),
+            KernelChoice::kBfs);
+  EXPECT_EQ(select_kernel(big, 4, KernelChoice::kAuto), KernelChoice::kBfs);
+  EXPECT_EQ(select_kernel(weighted, 1, KernelChoice::kAuto),
+            KernelChoice::kDial);
+  // Forced choices are honoured, except BFS on weighted graphs (wrong
+  // distances) which upgrades to Dial.
+  EXPECT_EQ(select_kernel(big, 4, KernelChoice::kDial), KernelChoice::kDial);
+  EXPECT_EQ(select_kernel(big, 4, KernelChoice::kBatched),
+            KernelChoice::kBatched);
+  EXPECT_EQ(select_kernel(weighted, 4, KernelChoice::kBfs),
+            KernelChoice::kDial);
+  EXPECT_EQ(select_kernel(big, 4, KernelChoice::kBfs), KernelChoice::kBfs);
+}
+
+// ---------------------------------------------------------------------------
+// TraverseStage
+// ---------------------------------------------------------------------------
+
+TEST(TraverseStage, CompletesEveryPlannedSourceWithoutDeadline) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 160, 7}.build();
+  StagedRun run(g, opts_with(0.4, KernelChoice::kAuto));
+  TraversalResults trav =
+      TraverseStage{}.run(run.ctx, run.rg, run.dec, run.plan);
+  EXPECT_EQ(run.ctx.phase(), ExecPhase::kTraverse);
+  EXPECT_FALSE(trav.cut);
+  EXPECT_EQ(trav.completed_total, run.plan.total_sources());
+  for (BlockId b = 0; b < run.dec.num_blocks(); ++b)
+    for (std::uint8_t c : trav.blocks[b].completed) EXPECT_TRUE(c);
+  EXPECT_GT(run.ctx.times().traverse_s, 0.0);
+}
+
+TEST(TraverseStage, BatchedAndPerSourceKernelsAccumulateIdentically) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 160, 19}.build();
+  StagedRun batched(g, opts_with(0.5, KernelChoice::kBatched));
+  StagedRun persrc(g, opts_with(0.5, KernelChoice::kDial));
+  TraversalResults tb =
+      TraverseStage{}.run(batched.ctx, batched.rg, batched.dec,
+                          batched.plan);
+  TraversalResults tp =
+      TraverseStage{}.run(persrc.ctx, persrc.rg, persrc.dec, persrc.plan);
+  EXPECT_EQ(tb.acc, tp.acc);
+  EXPECT_EQ(tb.acc_own, tp.acc_own);
+  EXPECT_EQ(tb.intra_exact, tp.intra_exact);
+  ASSERT_EQ(tb.blocks.size(), tp.blocks.size());
+  for (std::size_t b = 0; b < tb.blocks.size(); ++b) {
+    EXPECT_EQ(tb.blocks[b].dsum_own, tp.blocks[b].dsum_own);
+    EXPECT_EQ(tb.blocks[b].dcc, tp.blocks[b].dcc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full compositions: 100 %-sampling oracles for every kernel
+// ---------------------------------------------------------------------------
+
+class PipelineOracle : public ::testing::TestWithParam<test::RandomGraphCase> {
+};
+
+// Full-rate exactness matches the seed guarantee (test_core.cpp): every
+// node flagged `exact` — all present nodes plus the anchored removed ones —
+// carries the true farness; redundant-removed nodes stay estimates. On top
+// of that, every kernel must produce the bit-identical result vector.
+TEST_P(PipelineOracle, BricsFullRateIsExactUnderEveryKernel) {
+  CsrGraph g = GetParam().build();
+  auto actual = exact_farness(g);
+  auto reference = estimate_brics(g, opts_with(1.0, KernelChoice::kAuto));
+  for (KernelChoice kernel : all_kernels()) {
+    auto est = estimate_brics(g, opts_with(1.0, kernel));
+    ASSERT_EQ(est.farness.size(), g.num_nodes());
+    EXPECT_FALSE(est.degraded);
+    NodeId exact_count = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_DOUBLE_EQ(est.farness[v], reference.farness[v])
+          << to_string(kernel) << " node " << v;
+      if (!est.exact[v]) continue;
+      ++exact_count;
+      EXPECT_NEAR(est.farness[v], static_cast<double>(actual[v]), 1e-6)
+          << to_string(kernel) << " node " << v;
+    }
+    EXPECT_GE(exact_count, est.reduce_stats.reduced_nodes)
+        << to_string(kernel);
+  }
+}
+
+TEST_P(PipelineOracle, ReducedSamplingFullRateIsExactUnderEveryKernel) {
+  CsrGraph g = GetParam().build();
+  auto actual = exact_farness(g);
+  auto reference =
+      estimate_reduced_sampling(g, opts_with(1.0, KernelChoice::kAuto));
+  for (KernelChoice kernel : all_kernels()) {
+    auto est = estimate_reduced_sampling(g, opts_with(1.0, kernel));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_DOUBLE_EQ(est.farness[v], reference.farness[v])
+          << to_string(kernel) << " node " << v;
+      if (!est.exact[v]) continue;
+      EXPECT_NEAR(est.farness[v], static_cast<double>(actual[v]), 1e-6)
+          << to_string(kernel) << " node " << v;
+    }
+  }
+}
+
+TEST_P(PipelineOracle, RandomSamplingFullRateIsExactUnderEveryKernel) {
+  CsrGraph g = GetParam().build();
+  auto actual = exact_farness(g);
+  for (KernelChoice kernel : all_kernels()) {
+    auto est = estimate_random_sampling(g, opts_with(1.0, kernel));
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      EXPECT_DOUBLE_EQ(est.farness[v], static_cast<double>(actual[v]))
+          << to_string(kernel) << " node " << v;
+  }
+}
+
+// Kernel choice is a scheduling decision, not an estimator change: at any
+// rate the integer accumulators make the estimate bit-identical across
+// kernels (same plan, same distance vectors, exact sums).
+TEST_P(PipelineOracle, KernelChoiceNeverChangesTheEstimate) {
+  CsrGraph g = GetParam().build();
+  auto reference = estimate_brics(g, opts_with(0.3, KernelChoice::kAuto));
+  for (KernelChoice kernel :
+       {KernelChoice::kBfs, KernelChoice::kDial, KernelChoice::kBatched}) {
+    auto est = estimate_brics(g, opts_with(0.3, kernel));
+    ASSERT_EQ(est.samples, reference.samples) << to_string(kernel);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      EXPECT_DOUBLE_EQ(est.farness[v], reference.farness[v])
+          << to_string(kernel) << " node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipelineOracle,
+                         ::testing::ValuesIn(pipeline_cases()),
+                         test::case_name);
+
+// ---------------------------------------------------------------------------
+// Resumable partial results: deadline mid-Traverse
+// ---------------------------------------------------------------------------
+
+// A deadline firing during Traverse must NOT discard completed work: the
+// Aggregate stage finishes from the partial TraversalResults. The degraded
+// estimate still carries the exact farness of every mandatory source (cut
+// vertices and each cut-less block's first sample).
+TEST(PartialResults, MidTraverseDeadlineAggregatesMandatoryWork) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 220, 7}.build();
+  auto actual = exact_farness(g);
+  StagedRun run(g, opts_with(1.0, KernelChoice::kAuto));
+  ASSERT_LT(run.plan.mandatory_total, run.plan.planned_total)
+      << "recipe must leave optional samples to shed";
+
+  // The deadline fires after planning, before any optional traversal.
+  run.token.cancel();
+  TraversalResults trav =
+      TraverseStage{}.run(run.ctx, run.rg, run.dec, run.plan);
+  EXPECT_TRUE(trav.cut);
+  EXPECT_EQ(trav.completed_total, run.plan.mandatory_total);
+
+  EstimateResult res =
+      AggregateStage{}.run(run.ctx, run.rg, run.dec, run.plan, trav);
+  EXPECT_TRUE(res.degraded);
+  EXPECT_EQ(res.cut_phase, ExecPhase::kTraverse);
+  EXPECT_EQ(res.samples, run.plan.mandatory_total);
+  EXPECT_EQ(res.planned_samples, run.plan.planned_total);
+  EXPECT_LT(res.achieved_sample_rate, 1.0);
+  // Not a fallback re-run: the block structure survived into the result.
+  EXPECT_EQ(res.num_blocks, run.dec.num_blocks());
+
+  // Every mandatory source owned by its block keeps its exact farness.
+  NodeId checked = 0;
+  for (BlockId b = 0; b < run.dec.num_blocks(); ++b) {
+    const BlockInfo& bi = run.dec.blocks[b];
+    const BlockPlan& bp = run.plan.blocks[b];
+    for (NodeId si = 0; si < bp.mandatory; ++si) {
+      const NodeId gs = bi.sub.to_old[bp.samples[si]];
+      if (run.dec.owner[gs] != b) continue;
+      EXPECT_TRUE(res.exact[gs]) << "mandatory node " << gs;
+      EXPECT_NEAR(res.farness[gs], static_cast<double>(actual[gs]), 1e-6)
+          << "mandatory node " << gs;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+  // In particular every cut vertex of the reduced graph stays exact.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!run.rg.present[v] || !run.dec.bcc.is_cut(v)) continue;
+    EXPECT_TRUE(res.exact[v]) << "cut vertex " << v;
+    EXPECT_NEAR(res.farness[v], static_cast<double>(actual[v]), 1e-6)
+        << "cut vertex " << v;
+  }
+  // And the non-exact remainder is still a usable estimate, not garbage.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(std::isfinite(res.farness[v]));
+    EXPECT_GT(res.farness[v], 0.0);
+  }
+}
+
+// The manual stage composition and the public API agree exactly.
+TEST(PipelineComposition, ManualStagesMatchEstimateOnReduction) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 180, 19}.build();
+  EstimateOptions opts = opts_with(0.4, KernelChoice::kAuto);
+  StagedRun run(g, opts);
+  TraversalResults trav =
+      TraverseStage{}.run(run.ctx, run.rg, run.dec, run.plan);
+  EstimateResult manual =
+      AggregateStage{}.run(run.ctx, run.rg, run.dec, run.plan, trav);
+
+  EstimateResult api = estimate_on_reduction(run.rg, opts);
+  ASSERT_EQ(manual.farness.size(), api.farness.size());
+  EXPECT_EQ(manual.samples, api.samples);
+  EXPECT_EQ(manual.num_blocks, api.num_blocks);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(manual.farness[v], api.farness[v]) << v;
+    EXPECT_EQ(manual.exact[v], api.exact[v]) << v;
+  }
+}
+
+}  // namespace
+}  // namespace brics

@@ -2,7 +2,7 @@
 
 #include "core/brics.hpp"
 #include "core/farness.hpp"
-#include "core/postprocess.hpp"
+#include "pipeline/postprocess.hpp"
 #include "reduce/reducer.hpp"
 #include "tests/test_helpers.hpp"
 

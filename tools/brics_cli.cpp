@@ -93,7 +93,8 @@ int usage() {
       "usage: brics <stats|estimate|exact|topk|harmonic|distance|improve|"
       "generate|datasets> "
       "<edge_list|@dataset> [--rate R] [--seed S] [--config C] [--k K] "
-      "[--scale X] [--timeout-ms T] [--max-sources K] [--out FILE] "
+      "[--scale X] [--timeout-ms T] [--max-sources K] "
+      "[--kernel auto|bfs|dial|batched] [--out FILE] "
       "[--metrics-out FILE] [--trace-out FILE]\n"
       "exit codes: 0 ok, 2 usage, 3 bad input, 4 degraded by budget, "
       "5 internal error\n");
@@ -131,6 +132,17 @@ EstimateOptions config_from(const Args& a) {
     o.use_bcc = false;
   } else if (c != "cumulative" && c != "random") {
     throw UsageError{"unknown --config '" + c + "'"};
+  }
+  const std::string k = a.get("kernel", "auto");
+  if (k == "bfs") {
+    o.kernel = KernelChoice::kBfs;
+  } else if (k == "dial") {
+    o.kernel = KernelChoice::kDial;
+  } else if (k == "batched") {
+    o.kernel = KernelChoice::kBatched;
+  } else if (k != "auto") {
+    throw UsageError{"unknown --kernel '" + k +
+                     "' (want auto|bfs|dial|batched)"};
   }
   return o;
 }
