@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "obs/json.hpp"
 
@@ -35,6 +36,10 @@ RunResult run_estimator(const CsrGraph& g,
   std::vector<double> times;
   const int reps = bench_repeats();
   for (int r = 0; r < reps; ++r) {
+    // Scope the registry to this repeat: the artifact snapshot then
+    // describes one run, and the diff gate's counter cross-check compares
+    // like with like whatever BRICS_BENCH_REPEATS was.
+    MetricsRegistry::global().reset();
     EstimateOptions o = opts;
     o.seed = opts.seed + static_cast<std::uint64_t>(r) * 977;
     Timer t;
@@ -113,6 +118,48 @@ std::string fmt(double v, int prec) {
 
 namespace {
 BenchArtifact* g_current_artifact = nullptr;
+
+// Provenance for the artifact's env block. The git sha comes from the
+// BRICS_GIT_SHA compile definition (bench/CMakeLists.txt) with a runtime
+// env-var override for out-of-tree runs; "unknown" when neither exists.
+std::string env_git_sha() {
+  if (const char* s = std::getenv("BRICS_GIT_SHA")) return s;
+#ifdef BRICS_GIT_SHA
+  return BRICS_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+std::string env_compiler() {
+#if defined(__clang_version__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__) && defined(__VERSION__)
+  return std::string("gcc ") + __VERSION__;
+#elif defined(__VERSION__)
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string env_cpu_model() {
+#ifdef __linux__
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::size_t b = colon + 1;
+        while (b < line.size() && line[b] == ' ') ++b;
+        return line.substr(b);
+      }
+    }
+  }
+#endif
+  return "unknown";
+}
 }  // namespace
 
 BenchArtifact* BenchArtifact::current() { return g_current_artifact; }
@@ -159,6 +206,16 @@ std::string BenchArtifact::to_json() const {
       .field("scale", bench_scale())
       .field("repeats", bench_repeats())
       .field("threads", max_threads())
+      .end_object();
+  // Provenance: enough to tell whether two artifacts are comparable at all
+  // (same machine, same compiler) before reading any timing into them.
+  w.key("env")
+      .begin_object()
+      .field("git_sha", env_git_sha())
+      .field("compiler", env_compiler())
+      .field("cpu_model", env_cpu_model())
+      .field("hardware_threads",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
       .end_object();
   w.key("tables").begin_array();
   for (const Table& t : tables_) {

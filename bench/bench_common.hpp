@@ -33,7 +33,9 @@ struct RunResult {
 };
 
 /// Run an estimator configuration `repeats` times, report median time and
-/// quality against the supplied exact farness values.
+/// quality against the supplied exact farness values. The global metrics
+/// registry is reset before each repeat, so the artifact's final snapshot
+/// describes exactly one run (the last repeat), not a sum over repeats.
 RunResult run_estimator(const CsrGraph& g,
                         const std::vector<FarnessSum>& actual,
                         const EstimateOptions& opts, bool random_baseline);
@@ -53,13 +55,16 @@ void print_row(const std::vector<std::string>& cells,
                const std::vector<int>& widths);
 std::string fmt(double v, int prec = 2);
 
-/// JSON artifact for one harness run (schema v1, docs/OBSERVABILITY.md):
-/// run parameters (scale, repeats, threads), every printed table, and the
-/// final metrics snapshot. Construct one at the top of main(); the
-/// destructor writes $BRICS_BENCH_JSON or BENCH_<harness>.json.
+/// JSON artifact for one harness run (schema v2, docs/OBSERVABILITY.md):
+/// run parameters (scale, repeats, threads), an `env` provenance block
+/// (git sha, compiler, CPU model, hardware threads) so two artifacts can be
+/// compared knowing *what* produced them, every printed table, and the
+/// final metrics snapshot scoped to the last repeat. Construct one at the
+/// top of main(); the destructor writes $BRICS_BENCH_JSON or
+/// BENCH_<harness>.json.
 class BenchArtifact {
  public:
-  static constexpr int kSchemaVersion = 1;
+  static constexpr int kSchemaVersion = 2;
 
   explicit BenchArtifact(std::string harness);
   ~BenchArtifact();

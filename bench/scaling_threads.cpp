@@ -16,8 +16,10 @@ int main() {
   const int hw = max_threads();
   std::printf("Thread scaling (hardware threads: %d, scale=%.2f)\n\n", hw,
               bench_scale());
-  const std::vector<int> w = {12, 8, 11, 11, 11};
-  print_header({"graph", "threads", "t_rand", "t_brics", "speedup"}, w);
+  const std::vector<int> w = {12, 8, 11, 11, 11, 11, 11};
+  print_header({"graph", "threads", "t_rand", "t_brics", "speedup",
+                "efficiency", "imbalance"},
+               w);
   for (const char* name : {"soc-pref-a", "road-grid-a"}) {
     CsrGraph g = build_dataset(name, bench_scale());
     std::vector<FarnessSum> actual = exact_farness(g);
@@ -26,9 +28,17 @@ int main() {
       RunResult rnd = run_estimator(g, actual, config_random(0.3), true);
       RunResult cum =
           run_estimator(g, actual, config_cumulative(0.3), false);
+      // Per-thread work attribution of the cumulative run's last repeat
+      // (run_estimator resets the registry per repeat, so this describes
+      // exactly one run). Empty in a -DBRICS_METRICS=OFF build.
+      const ParallelStats ps =
+          collect_parallel_stats(MetricsRegistry::global(), t);
+      const bool have = !ps.per_thread.empty();
       print_row({t == 1 ? name : "", std::to_string(t),
                  fmt(rnd.seconds, 3), fmt(cum.seconds, 3),
-                 fmt(rnd.seconds / cum.seconds, 2) + "x"},
+                 fmt(rnd.seconds / cum.seconds, 2) + "x",
+                 have ? fmt(ps.efficiency, 2) : "-",
+                 have ? fmt(ps.imbalance, 2) : "-"},
                 w);
     }
     set_threads(hw);

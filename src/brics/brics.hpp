@@ -43,6 +43,7 @@
 #include "graph/metis_io.hpp"
 #include "graph/reorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/parallel.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/artifacts.hpp"

@@ -1,0 +1,187 @@
+#include "obs/artifact_diff.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+namespace brics {
+namespace {
+
+// Timing cells are printed by bench_common::fmt ("1.234"); anything that
+// fails to parse fully as a number is skipped with a note.
+bool parse_cell(const std::string& s, double& out) {
+  const char* b = s.data();
+  const char* e = s.data() + s.size();
+  auto [p, ec] = std::from_chars(b, e, out);
+  return ec == std::errc() && p == e;
+}
+
+std::string cell_at(const JsonValue& row, std::size_t i) {
+  if (i < row.arr.size() && row.arr[i].is_string())
+    return row.arr[i].str_v;
+  return "";
+}
+
+double tolerance_for(const DiffOptions& opts, const std::string& col) {
+  auto it = opts.col_tol_pct.find(col);
+  return it == opts.col_tol_pct.end() ? opts.tol_pct : it->second;
+}
+
+void note_counter_drift(const JsonValue& old_art, const JsonValue& new_art,
+                        DiffResult& out) {
+  const JsonValue* oc =
+      old_art.get("metrics") ? old_art.get("metrics")->get("counters")
+                             : nullptr;
+  const JsonValue* nc =
+      new_art.get("metrics") ? new_art.get("metrics")->get("counters")
+                             : nullptr;
+  if (oc == nullptr || nc == nullptr) return;
+  for (const auto& [name, ov] : oc->obj) {
+    const JsonValue* nv = nc->find(name);
+    if (nv == nullptr || !nv->is_number() || !ov.is_number()) continue;
+    if (ov.num_v != nv->num_v) {
+      std::ostringstream os;
+      os << "counter drift: " << name << " " << ov.num_v << " -> "
+         << nv->num_v << " (work changed — check before trusting timings)";
+      out.notes.push_back(os.str());
+    }
+  }
+}
+
+}  // namespace
+
+bool is_timing_column(const std::string& name) {
+  if (name == "seconds" || name == "time") return true;
+  if (name.rfind("t_", 0) == 0) return true;
+  if (name.size() >= 2 && name.compare(name.size() - 2, 2, "_s") == 0)
+    return true;
+  return false;
+}
+
+DiffResult diff_artifacts(const JsonValue& old_art, const JsonValue& new_art,
+                          const DiffOptions& opts) {
+  DiffResult out;
+  const JsonValue* harness = new_art.get("harness");
+  const std::string hname =
+      harness != nullptr && harness->is_string() ? harness->str_v : "?";
+  {
+    const JsonValue* oh = old_art.get("harness");
+    if (oh != nullptr && oh->is_string() && oh->str_v != hname)
+      out.notes.push_back("harness mismatch: baseline '" + oh->str_v +
+                          "' vs new '" + hname + "'");
+  }
+
+  const JsonValue* ot = old_art.get("tables");
+  const JsonValue* nt = new_art.get("tables");
+  if (ot == nullptr || nt == nullptr || !ot->is_array() || !nt->is_array()) {
+    out.notes.push_back("artifact missing 'tables' array; nothing compared");
+    note_counter_drift(old_art, new_art, out);
+    return out;
+  }
+  if (ot->arr.size() != nt->arr.size())
+    out.notes.push_back(
+        "table count differs: " + std::to_string(ot->arr.size()) + " vs " +
+        std::to_string(nt->arr.size()) + "; comparing the common prefix");
+
+  const std::size_t ntables = std::min(ot->arr.size(), nt->arr.size());
+  for (std::size_t ti = 0; ti < ntables; ++ti) {
+    const JsonValue& told = ot->arr[ti];
+    const JsonValue& tnew = nt->arr[ti];
+    const JsonValue* ocols = told.get("columns");
+    const JsonValue* ncols = tnew.get("columns");
+    const JsonValue* orows = told.get("rows");
+    const JsonValue* nrows = tnew.get("rows");
+    if (ocols == nullptr || ncols == nullptr || orows == nullptr ||
+        nrows == nullptr)
+      continue;
+
+    // Columns compared by name: a reordered or extended header still
+    // matches as long as the timing columns survive.
+    std::map<std::string, std::size_t> new_col_index;
+    for (std::size_t c = 0; c < ncols->arr.size(); ++c)
+      if (ncols->arr[c].is_string())
+        new_col_index[ncols->arr[c].str_v] = c;
+
+    if (orows->arr.size() != nrows->arr.size())
+      out.notes.push_back("table " + std::to_string(ti) +
+                          ": row count differs (" +
+                          std::to_string(orows->arr.size()) + " vs " +
+                          std::to_string(nrows->arr.size()) +
+                          "); comparing the common prefix");
+
+    const std::size_t nr = std::min(orows->arr.size(), nrows->arr.size());
+    for (std::size_t ri = 0; ri < nr; ++ri) {
+      const JsonValue& rold = orows->arr[ri];
+      const JsonValue& rnew = nrows->arr[ri];
+      const std::string key_old = cell_at(rold, 0);
+      const std::string key_new = cell_at(rnew, 0);
+      if (!key_old.empty() && !key_new.empty() && key_old != key_new) {
+        out.notes.push_back("table " + std::to_string(ti) + " row " +
+                            std::to_string(ri) + ": key '" + key_old +
+                            "' vs '" + key_new + "'; row skipped");
+        continue;
+      }
+      for (std::size_t c = 0; c < ocols->arr.size(); ++c) {
+        if (!ocols->arr[c].is_string()) continue;
+        const std::string& col = ocols->arr[c].str_v;
+        if (!is_timing_column(col)) continue;
+        auto nc_it = new_col_index.find(col);
+        if (nc_it == new_col_index.end()) {
+          out.notes.push_back("table " + std::to_string(ti) + ": column '" +
+                              col + "' missing from new artifact");
+          continue;
+        }
+        double ov = 0.0, nv = 0.0;
+        if (!parse_cell(cell_at(rold, c), ov) ||
+            !parse_cell(cell_at(rnew, nc_it->second), nv))
+          continue;
+        ++out.cells_compared;
+        if (ov < opts.abs_floor_s && nv < opts.abs_floor_s) continue;
+        const double tol = tolerance_for(opts, col);
+        if (ov <= 0.0) continue;
+        const double delta_pct = (nv - ov) / ov * 100.0;
+        DiffFinding f;
+        f.harness = hname;
+        f.table = ti;
+        f.row_key = !key_old.empty() ? key_old : key_new;
+        f.row = ri;
+        f.column = col;
+        f.old_v = ov;
+        f.new_v = nv;
+        f.delta_pct = delta_pct;
+        if (delta_pct > tol)
+          out.regressions.push_back(std::move(f));
+        else if (delta_pct < -tol)
+          out.improvements.push_back(std::move(f));
+      }
+    }
+  }
+  note_counter_drift(old_art, new_art, out);
+  return out;
+}
+
+std::string format_diff(const DiffResult& r) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  const auto line = [&os](const DiffFinding& f, const char* tag) {
+    os << tag << " " << f.harness << " table " << f.table << " row "
+       << f.row;
+    if (!f.row_key.empty()) os << " (" << f.row_key << ")";
+    os << " col " << f.column << ": " << f.old_v << "s -> " << f.new_v
+       << "s (";
+    os.precision(1);
+    os << (f.delta_pct >= 0 ? "+" : "") << f.delta_pct << "%)\n";
+    os.precision(3);
+  };
+  for (const DiffFinding& f : r.regressions) line(f, "REGRESSION");
+  for (const DiffFinding& f : r.improvements) line(f, "improvement");
+  for (const std::string& n : r.notes) os << "note: " << n << "\n";
+  os << (r.ok() ? "PASS" : "FAIL") << ": " << r.cells_compared
+     << " timing cells compared, " << r.regressions.size()
+     << " regression(s), " << r.improvements.size() << " improvement(s), "
+     << r.notes.size() << " note(s)\n";
+  return os.str();
+}
+
+}  // namespace brics

@@ -1,0 +1,76 @@
+// Noise-aware comparison of two bench artifacts (BENCH_*.json).
+//
+// The perf-regression gate: brics-bench-diff (tools/) loads a committed
+// baseline artifact and a freshly generated one, walks the mirrored tables,
+// and flags timing columns that regressed beyond a configurable relative
+// tolerance. Timing cells already hold the median over BRICS_BENCH_REPEATS
+// runs (bench_common's run_estimator), so single-run outliers never reach
+// the diff; the relative tolerance plus an absolute floor absorb the rest
+// of the noise (sub-floor timings are too small to compare meaningfully at
+// any percentage). Counter drift between the artifacts' metrics blocks is
+// reported as a note — changed work is worth a look but is not by itself a
+// regression.
+//
+// Lives in obs/ (not tools/) so the engine is unit-testable against
+// synthetic artifacts; the CLI is a thin wrapper.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace brics {
+
+struct DiffOptions {
+  /// Relative tolerance for timing columns, percent. A new value above
+  /// old * (1 + tol/100) is a regression; below old * (1 - tol/100) an
+  /// improvement.
+  double tol_pct = 10.0;
+  /// Per-column overrides (column name -> percent), beating tol_pct.
+  std::map<std::string, double> col_tol_pct;
+  /// Absolute floor: cells where both values are below this many seconds
+  /// are never flagged (timer granularity noise dominates down there).
+  double abs_floor_s = 0.005;
+};
+
+/// One timing cell whose delta exceeded tolerance.
+struct DiffFinding {
+  std::string harness;
+  std::size_t table = 0;  ///< table index within the artifact
+  std::string row_key;    ///< first cell of the row (dataset name), may be ""
+  std::size_t row = 0;    ///< row index within the table
+  std::string column;
+  double old_v = 0.0;
+  double new_v = 0.0;
+  double delta_pct = 0.0;  ///< (new - old) / old * 100
+};
+
+struct DiffResult {
+  std::vector<DiffFinding> regressions;
+  std::vector<DiffFinding> improvements;
+  /// Structural mismatches (missing tables/rows/columns), counter drift,
+  /// provenance differences — informational, never fail the diff.
+  std::vector<std::string> notes;
+  std::size_t cells_compared = 0;
+
+  bool ok() const { return regressions.empty(); }
+};
+
+/// True for columns the diff treats as timings: "t_*", "*_s", "seconds",
+/// "time". Everything else (quality, speedup ratios, counts) is ignored.
+bool is_timing_column(const std::string& name);
+
+/// Compare two parsed artifacts (schema v1 or v2). Tables are matched by
+/// index, rows by index with the first-cell key cross-checked (a key
+/// mismatch skips the row with a note — the harness changed shape, which
+/// is not a perf regression).
+DiffResult diff_artifacts(const JsonValue& old_art, const JsonValue& new_art,
+                          const DiffOptions& opts);
+
+/// Human-readable multi-line summary naming harness/table/row/column for
+/// every finding, ending with a PASS/REGRESSION verdict line.
+std::string format_diff(const DiffResult& r);
+
+}  // namespace brics

@@ -295,10 +295,264 @@ class JsonChecker {
   std::size_t err_pos_ = 0;
 };
 
+// Recursive-descent parser sharing the checker's grammar (depth limit,
+// strict numbers/escapes) but building a JsonValue tree. Kept separate
+// from JsonChecker: the checker stays allocation-free for its hot use in
+// tests, the parser pays for the DOM only when a tool actually reads a
+// document back.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view t) : t_(t) {}
+
+  bool run(JsonValue& out, std::string* error) {
+    ok_ = value(out, 0);
+    if (ok_) {
+      skip_ws();
+      if (pos_ != t_.size()) fail("trailing characters after document");
+    }
+    if (!ok_ && error)
+      *error = err_ + " at offset " + std::to_string(err_pos_);
+    return ok_;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  bool fail(const char* what) {
+    if (ok_) {
+      err_ = what;
+      err_pos_ = pos_;
+      ok_ = false;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < t_.size() && (t_[pos_] == ' ' || t_[pos_] == '\t' ||
+                                t_[pos_] == '\n' || t_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    if (pos_ < t_.size() && t_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (t_.substr(pos_, lit.size()) != lit) return fail("bad literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool hex4(std::uint32_t& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i, ++pos_) {
+      if (pos_ >= t_.size() ||
+          !std::isxdigit(static_cast<unsigned char>(t_[pos_])))
+        return fail("bad \\u escape");
+      const char c = t_[pos_];
+      out = out * 16 + static_cast<std::uint32_t>(
+                           c <= '9' ? c - '0' : (c | 0x20) - 'a' + 10);
+    }
+    return true;
+  }
+
+  bool string(std::string& out) {
+    out.clear();
+    if (!eat('"')) return fail("expected string");
+    while (pos_ < t_.size()) {
+      const unsigned char c = static_cast<unsigned char>(t_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= t_.size()) return fail("truncated escape");
+        const char e = t_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            std::uint32_t cp = 0;
+            if (!hex4(cp)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+              if (pos_ + 1 >= t_.size() || t_[pos_] != '\\' ||
+                  t_[pos_ + 1] != 'u')
+                return fail("unpaired surrogate");
+              pos_ += 2;
+              std::uint32_t lo = 0;
+              if (!hex4(lo)) return false;
+              if (lo < 0xDC00 || lo > 0xDFFF)
+                return fail("unpaired surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return fail("unpaired surrogate");
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default: return fail("bad escape character");
+        }
+      } else {
+        out += static_cast<char>(c);
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < t_.size() &&
+           std::isdigit(static_cast<unsigned char>(t_[pos_])))
+      ++pos_;
+    if (pos_ == start) return fail("expected digits");
+    return true;
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    eat('-');
+    if (eat('0')) {
+      if (pos_ < t_.size() &&
+          std::isdigit(static_cast<unsigned char>(t_[pos_])))
+        return fail("leading zero");
+    } else if (!digits()) {
+      return false;
+    }
+    if (eat('.') && !digits()) return false;
+    if (pos_ < t_.size() && (t_[pos_] == 'e' || t_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < t_.size() && (t_[pos_] == '+' || t_[pos_] == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    const char* b = t_.data() + start;
+    auto [p, ec] = std::from_chars(b, t_.data() + pos_, out.num_v);
+    if (ec != std::errc() || p != t_.data() + pos_)
+      return fail("unrepresentable number");
+    return true;
+  }
+
+  bool value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= t_.size()) return fail("unexpected end of input");
+    const char c = t_[pos_];
+    if (c == '{') return object(out, depth);
+    if (c == '[') return array(out, depth);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string(out.str_v);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::Kind::kBool;
+      out.bool_v = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.bool_v = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.kind = JsonValue::Kind::kNull;
+      return literal("null");
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+      return number(out);
+    return fail("unexpected character");
+  }
+
+  bool object(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    eat('{');
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string k;
+      if (!string(k)) return false;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'");
+      JsonValue v;
+      if (!value(v, depth + 1)) return false;
+      out.obj.emplace_back(std::move(k), std::move(v));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    eat('[');
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      JsonValue v;
+      if (!value(v, depth + 1)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view t_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string err_;
+  std::size_t err_pos_ = 0;
+};
+
 }  // namespace
 
 bool json_valid(std::string_view text, std::string* error) {
   return JsonChecker(text).run(error);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+bool json_parse(std::string_view text, JsonValue& out, std::string* error) {
+  out = JsonValue{};
+  return JsonParser(text).run(out, error);
 }
 
 }  // namespace brics

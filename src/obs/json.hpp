@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace brics {
@@ -73,5 +74,42 @@ class JsonWriter {
 /// On failure, *error (if non-null) receives a short description with the
 /// byte offset.
 bool json_valid(std::string_view text, std::string* error = nullptr);
+
+/// Parsed JSON document node. A small ordered DOM — enough to read back
+/// the artifacts this library writes (bench artifacts, run reports) in
+/// tools like brics-bench-diff; not a general-purpose JSON library.
+/// Objects preserve insertion order and allow duplicate keys (find returns
+/// the first); numbers are doubles, matching what the writer emits.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_v = false;
+  double num_v = 0.0;
+  std::string str_v;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// First member with this key, or nullptr (also when not an object).
+  const JsonValue* find(std::string_view key) const;
+  /// find() that tolerates a null `this`-like chain: v.get("a") on a
+  /// non-object yields nullptr, so lookups compose without null checks.
+  const JsonValue* get(std::string_view key) const { return find(key); }
+};
+
+/// Parse one JSON document under the same strict grammar as json_valid().
+/// Returns false (and fills *error) on any syntax violation; `out` is only
+/// meaningful on success. \uXXXX escapes decode to UTF-8 (surrogate pairs
+/// included).
+bool json_parse(std::string_view text, JsonValue& out,
+                std::string* error = nullptr);
 
 }  // namespace brics

@@ -1,7 +1,6 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
-#include <thread>
 
 #include "obs/json.hpp"
 #include "util/check.hpp"
@@ -9,16 +8,19 @@
 namespace brics {
 
 std::size_t metric_thread_slots() {
-  static const std::size_t slots = [] {
-    std::size_t want = std::max<std::size_t>(
-        {64, static_cast<std::size_t>(max_threads()),
-         static_cast<std::size_t>(std::thread::hardware_concurrency())});
-    return std::bit_ceil(want);
-  }();
-  return slots;
+  // Exactly the set_threads() ceiling (util/parallel.hpp): thread counts
+  // raised later through set_threads() can never exceed it, so every
+  // OpenMP thread id stays on a private slot even when the raise happens
+  // after the first metric touch fixed this size.
+  return static_cast<std::size_t>(thread_ceiling());
 }
 
 Counter::Counter() : slots_(metric_thread_slots()) {}
+
+std::uint64_t Counter::slot_value(std::size_t slot) const noexcept {
+  return slots_[slot & (slots_.size() - 1)].v.load(
+      std::memory_order_relaxed);
+}
 
 std::uint64_t Counter::value() const noexcept {
   std::uint64_t total = 0;
@@ -132,6 +134,12 @@ Histogram& MetricsRegistry::histogram(
                       std::unique_ptr<Histogram>(new Histogram(bounds)))
              .first;
   return *it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

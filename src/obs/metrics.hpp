@@ -34,10 +34,13 @@
 
 namespace brics {
 
-/// Number of per-thread slots every metric carries (a power of two, fixed
-/// at process start: comfortably above the OpenMP thread count). Thread ids
-/// are masked into range; oversubscribing beyond this many threads only
-/// shares slots (still well-defined, increments may coalesce).
+/// Number of per-thread slots every metric carries: a power of two fixed at
+/// process start, equal to thread_ceiling() (util/parallel.hpp). Because
+/// set_threads() clamps to that same ceiling, a thread-count raise after the
+/// first metric touch still leaves every OpenMP thread id on a private slot
+/// — the single-writer exactness of slot_add never degrades to aliasing.
+/// Thread ids are masked into range as a last-resort guard for callers that
+/// bypass set_threads().
 std::size_t metric_thread_slots();
 
 /// Calling thread's metric slot.
@@ -69,6 +72,9 @@ class Counter {
 
   /// Merged value across all thread slots.
   std::uint64_t value() const noexcept;
+  /// One thread slot's value (relaxed read) — the raw material for the
+  /// per-thread work attribution in obs/parallel.hpp.
+  std::uint64_t slot_value(std::size_t slot) const noexcept;
   void reset() noexcept;
 
  private:
@@ -157,6 +163,10 @@ class MetricsRegistry {
   /// `bounds` must be ascending; only consulted on first creation.
   Histogram& histogram(std::string_view name,
                        std::span<const std::uint64_t> bounds);
+
+  /// Existing counter by name, or nullptr — read-only lookup that never
+  /// materialises a metric (exporters use it to stay side-effect free).
+  const Counter* find_counter(std::string_view name) const;
 
   MetricsSnapshot snapshot() const;
   /// Zero every metric (names and handles survive). Estimator drivers call

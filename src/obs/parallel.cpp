@@ -1,0 +1,58 @@
+#include "obs/parallel.hpp"
+
+#include <algorithm>
+
+namespace brics {
+
+ParallelStats derive_parallel_stats(std::vector<ThreadWork> per_thread,
+                                    int threads) {
+  ParallelStats s;
+  s.per_thread = std::move(per_thread);
+  s.threads = threads;
+  int active = 0;
+  for (const ThreadWork& w : s.per_thread) {
+    s.busy_total_s += w.busy_s;
+    s.busy_max_s = std::max(s.busy_max_s, w.busy_s);
+    if (w.busy_s > 0.0) ++active;
+  }
+  if (active == 0 || s.busy_max_s <= 0.0) return s;
+  s.busy_mean_s = s.busy_total_s / active;
+  s.imbalance = s.busy_max_s / s.busy_mean_s;
+  s.speedup = s.busy_total_s / s.busy_max_s;
+  const int denom = threads > 0 ? threads : active;
+  s.efficiency = s.speedup / denom;
+  return s;
+}
+
+ParallelStats collect_parallel_stats(const MetricsRegistry& reg,
+                                     int threads) {
+#if BRICS_METRICS_ENABLED
+  const Counter* busy = reg.find_counter("traverse.busy_ns");
+  const Counter* edges = reg.find_counter("traverse.edges_relaxed");
+  const Counter* nodes = reg.find_counter("traverse.nodes_settled");
+  const Counter* bfs = reg.find_counter("traverse.bfs_sources");
+  const Counter* dial = reg.find_counter("traverse.dial_sources");
+  const auto slot = [](const Counter* c, std::size_t i) -> std::uint64_t {
+    return c == nullptr ? 0 : c->slot_value(i);
+  };
+  std::vector<ThreadWork> table;
+  for (std::size_t i = 0; i < metric_thread_slots(); ++i) {
+    ThreadWork w;
+    w.slot = static_cast<std::uint32_t>(i);
+    w.busy_s = static_cast<double>(slot(busy, i)) * 1e-9;
+    w.edges = slot(edges, i);
+    w.nodes = slot(nodes, i);
+    w.sources = slot(bfs, i) + slot(dial, i);
+    if (w.busy_s > 0.0 || w.edges != 0 || w.nodes != 0 || w.sources != 0)
+      table.push_back(w);
+  }
+  return derive_parallel_stats(std::move(table), threads);
+#else
+  (void)reg;
+  ParallelStats s;
+  s.threads = threads;
+  return s;
+#endif
+}
+
+}  // namespace brics

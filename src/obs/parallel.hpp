@@ -1,0 +1,66 @@
+// Parallel-efficiency view over the per-thread metric slots.
+//
+// The traversal engines attribute their work to the calling thread's metric
+// slot (traverse.busy_ns / edges_relaxed / nodes_settled / *_sources in
+// traverse/bfs.cpp); this header turns those per-slot values into the
+// numbers a scaling analysis needs: a per-thread work table, the busy-time
+// imbalance ratio (max/mean — the load-skew hazard of shattering-based
+// centrality: one giant biconnected block can starve every other thread),
+// and the speedup/efficiency implied by the busy-time distribution.
+// Surfaced as the `parallel` section of the schema-v2 RunReport
+// (docs/OBSERVABILITY.md) and as the efficiency column of the
+// scaling_threads harness.
+//
+// collect_parallel_stats() only *reads* slots (find_counter + slot_value),
+// so it may run while no traversal is active — which is when reports are
+// assembled. Under -DBRICS_METRICS=OFF it compiles to an empty table and
+// carries no metric-name strings.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace brics {
+
+/// One thread's attributed traversal work (slot = OpenMP thread id).
+struct ThreadWork {
+  std::uint32_t slot = 0;
+  double busy_s = 0.0;          ///< time spent inside traversals
+  std::uint64_t edges = 0;      ///< edges relaxed
+  std::uint64_t nodes = 0;      ///< nodes settled
+  std::uint64_t sources = 0;    ///< traversals completed (bfs + dial)
+};
+
+/// Per-thread table plus the derived balance/efficiency figures.
+struct ParallelStats {
+  int threads = 0;  ///< configured thread count at collection time
+  std::vector<ThreadWork> per_thread;  ///< slots with any work, ascending
+
+  double busy_total_s = 0.0;
+  double busy_max_s = 0.0;
+  double busy_mean_s = 0.0;  ///< over active (busy > 0) threads
+  /// max/mean busy-time over active threads; 1.0 = perfectly balanced.
+  double imbalance = 0.0;
+  /// busy_total / busy_max: the speedup the busy-time distribution
+  /// supports (equals the thread count only under perfect balance).
+  double speedup = 0.0;
+  /// speedup / threads in [0, 1]: parallel efficiency vs the configured
+  /// thread count.
+  double efficiency = 0.0;
+};
+
+/// Pure derivation from a hand-assembled table (unit-testable): sorts
+/// nothing, trusts `per_thread` as given, uses `threads` (or the active
+/// count when threads <= 0) as the efficiency denominator.
+ParallelStats derive_parallel_stats(std::vector<ThreadWork> per_thread,
+                                    int threads);
+
+/// Read the traverse.* attribution slots out of `reg` and derive. Returns
+/// an empty table when instrumentation is compiled out or nothing ran.
+ParallelStats collect_parallel_stats(const MetricsRegistry& reg,
+                                     int threads);
+
+}  // namespace brics

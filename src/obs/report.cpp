@@ -28,6 +28,8 @@ RunReport make_run_report(std::string tool, std::string dataset,
   r.cut_phase = to_string(est.cut_phase);
   r.achieved_sample_rate = est.achieved_sample_rate;
   r.wall_s = wall_s;
+  r.parallel = collect_parallel_stats(MetricsRegistry::global(),
+                                      max_threads());
   r.metrics = MetricsRegistry::global().snapshot();
   return r;
 }
@@ -96,6 +98,32 @@ std::string to_json(const RunReport& r) {
       .end_object();
 
   w.field("wall_s", r.wall_s);
+
+  // v2: per-thread work attribution and the derived balance figures. An
+  // uninstrumented build emits the section with an empty table so parsers
+  // need no schema branch.
+  w.key("parallel")
+      .begin_object()
+      .field("threads", r.parallel.threads)
+      .field("active_threads",
+             static_cast<std::uint64_t>(r.parallel.per_thread.size()))
+      .field("busy_total_s", r.parallel.busy_total_s)
+      .field("busy_max_s", r.parallel.busy_max_s)
+      .field("busy_mean_s", r.parallel.busy_mean_s)
+      .field("imbalance", r.parallel.imbalance)
+      .field("speedup", r.parallel.speedup)
+      .field("efficiency", r.parallel.efficiency);
+  w.key("per_thread").begin_array();
+  for (const ThreadWork& t : r.parallel.per_thread) {
+    w.begin_object()
+        .field("slot", static_cast<std::uint64_t>(t.slot))
+        .field("busy_s", t.busy_s)
+        .field("edges", t.edges)
+        .field("nodes", t.nodes)
+        .field("sources", t.sources)
+        .end_object();
+  }
+  w.end_array().end_object();
 
   // Embed the snapshot's own JSON shape under "metrics".
   w.key("metrics")

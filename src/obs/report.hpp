@@ -1,12 +1,13 @@
 // Machine-readable run report: one JSON artifact per estimator run.
 //
-// The report (schema v1, docs/OBSERVABILITY.md) ties together everything a
+// The report (schema v2, docs/OBSERVABILITY.md) ties together everything a
 // perf PR needs to prove a win against a recorded baseline: graph stats,
 // the options that produced the run, per-phase timings including the
 // residual "other" time, per-technique reduction counts, the exec layer's
-// degradation state (degraded / cut_phase / achieved_sample_rate), and the
-// merged metrics snapshot. brics_cli --metrics-out writes one; the bench
-// harnesses embed the same snapshot in their BENCH_*.json artifacts.
+// degradation state (degraded / cut_phase / achieved_sample_rate), the
+// per-thread parallel-efficiency table (schema v2), and the merged metrics
+// snapshot. brics_cli --metrics-out writes one; the bench harnesses embed
+// the same snapshot in their BENCH_*.json artifacts.
 //
 // Layering: obs/ depends on core/ headers only (POD field reads), never on
 // core's objects — brics_core links brics_obs, not the other way around.
@@ -17,13 +18,16 @@
 #include "core/estimate.hpp"
 #include "graph/csr_graph.hpp"
 #include "obs/metrics.hpp"
+#include "obs/parallel.hpp"
 
 namespace brics {
 
 /// Everything one run report serialises. Field groups mirror the JSON
 /// object layout; see to_json().
 struct RunReport {
-  static constexpr int kSchemaVersion = 1;
+  // v2: adds the "parallel" section (per-thread busy/edges/nodes/sources
+  // plus imbalance/speedup/efficiency derivations).
+  static constexpr int kSchemaVersion = 2;
 
   std::string tool;     ///< producing binary ("brics_cli", harness name)
   std::string dataset;  ///< input path or @registry-name
@@ -57,6 +61,9 @@ struct RunReport {
   double achieved_sample_rate = 0.0;
 
   double wall_s = 0.0;  ///< end-to-end wall clock observed by the caller
+
+  // parallel efficiency (v2): per-thread work attribution + derivations.
+  ParallelStats parallel;
 
   MetricsSnapshot metrics;
 };

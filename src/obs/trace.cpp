@@ -43,6 +43,34 @@ std::vector<TraceEvent> TraceRecorder::events() const {
 std::string TraceRecorder::to_chrome_json() const {
   JsonWriter w;
   w.begin_object().key("traceEvents").begin_array();
+  // Name the per-thread lanes up front ("M" metadata events) so the
+  // viewer labels each worker's row and keeps them in slot order — the
+  // lanes are what make per-thread load imbalance visible at a glance.
+  std::vector<std::uint32_t> tids;
+  for (std::size_t t = 0; t < per_thread_.size(); ++t)
+    if (!per_thread_[t].empty()) tids.push_back(static_cast<std::uint32_t>(t));
+  for (std::uint32_t t : tids) {
+    w.begin_object()
+        .field("name", "thread_name")
+        .field("ph", "M")
+        .field("pid", 1)
+        .field("tid", static_cast<std::uint64_t>(t));
+    w.key("args")
+        .begin_object()
+        .field("name", "worker-" + std::to_string(t))
+        .end_object();
+    w.end_object();
+    w.begin_object()
+        .field("name", "thread_sort_index")
+        .field("ph", "M")
+        .field("pid", 1)
+        .field("tid", static_cast<std::uint64_t>(t));
+    w.key("args")
+        .begin_object()
+        .field("sort_index", static_cast<std::uint64_t>(t))
+        .end_object();
+    w.end_object();
+  }
   for (const TraceEvent& e : events()) {
     w.begin_object()
         .field("name", e.name)

@@ -1,5 +1,6 @@
 #include "pipeline/kernels.hpp"
 
+#include "obs/trace.hpp"
 #include "traverse/multi_source.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -38,6 +39,10 @@ class FrontierBfsKernel final : public TraversalKernel {
     BRICS_CHECK_MSG(g.unit_weights(),
                     "bfs kernel on a weighted graph; resolve the choice "
                     "with select_kernel first");
+    // Kernel spans give the trace export its per-thread work lanes: when
+    // recording is on, every task shows up on the lane of the thread that
+    // ran it, making block/source load imbalance visible on the timeline.
+    BRICS_SPAN(sp, "kernel.bfs");
     return drive([](const CsrGraph& gg, NodeId s, TraversalWorkspace& w,
                     const CancelToken* c) { return bfs(gg, s, w, c); },
                  g, sources, first, count, mandatory, cancel, ws, completed,
@@ -53,6 +58,7 @@ class DialKernel final : public TraversalKernel {
                   const CancelToken* cancel, TraversalWorkspace& ws,
                   std::span<std::uint8_t> completed,
                   const SourceSink& sink) const override {
+    BRICS_SPAN(sp, "kernel.dial");
     return drive([](const CsrGraph& gg, NodeId s, TraversalWorkspace& w,
                     const CancelToken* c) { return dial_sssp(gg, s, w, c); },
                  g, sources, first, count, mandatory, cancel, ws, completed,
@@ -71,6 +77,7 @@ class BatchedMultiSourceKernel final : public TraversalKernel {
                   const CancelToken* cancel, TraversalWorkspace& ws,
                   std::span<std::uint8_t> completed,
                   const SourceSink& sink) const override {
+    BRICS_SPAN(sp, "kernel.batched");
     return sssp_batch(g, sources, first, count, mandatory, cancel, ws,
                       completed,
                       [&](std::size_t i, std::span<const Dist> dist) {

@@ -1,6 +1,7 @@
 #include "traverse/bfs.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
@@ -12,6 +13,19 @@ namespace {
 // enough that a deadline overrun is bounded by microseconds of extra work,
 // rare enough that the steady_clock read vanishes next to the traversal.
 constexpr std::size_t kPollStride = 1024;
+
+#if BRICS_METRICS_ENABLED
+// Nanoseconds since `start`, for the per-thread busy-time attribution
+// (traverse.busy_ns). Nanosecond granularity matters: the batched kernel
+// runs sub-microsecond traversals whose busy time would round to zero in
+// coarser units and make small-block threads look idle.
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+#endif
 
 }  // namespace
 
@@ -34,16 +48,21 @@ bool bfs(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
   BRICS_COUNTER(c_nodes, "traverse.nodes_settled");
   BRICS_COUNTER(c_edges, "traverse.edges_relaxed");
   BRICS_COUNTER(c_cancelled, "traverse.cancelled");
+  BRICS_COUNTER(c_busy, "traverse.busy_ns");
   BRICS_HISTOGRAM(h_frontier, "traverse.frontier_size", pow2_bounds());
   // Counters accumulate in locals and flush once per traversal so the hot
-  // loop pays at most one add per settled node.
+  // loop pays at most one add per settled node. Busy-time is attributed to
+  // the calling thread's slot even for cancelled traversals — the thread
+  // was occupied either way, and the imbalance analysis must see it.
   BRICS_METRICS_ONLY(std::uint64_t edges = 0; Dist level = 0;
-                     std::size_t level_start = 0;)
+                     std::size_t level_start = 0;
+                     const auto busy_start = std::chrono::steady_clock::now();)
   dist[source] = 0;
   queue.push_back(source);
   for (std::size_t head = 0; head < queue.size(); ++head) {
     if (cancel && head % kPollStride == 0 && cancel->poll()) {
       BRICS_COUNTER_ADD(c_cancelled, 1);
+      BRICS_METRICS_ONLY(c_busy.add(elapsed_ns(busy_start));)
       return false;
     }
     const NodeId u = queue[head];
@@ -62,7 +81,8 @@ bool bfs(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
   }
   BRICS_METRICS_ONLY(h_frontier.observe(queue.size() - level_start);
                      c_sources.add(1); c_nodes.add(queue.size());
-                     c_edges.add(edges);)
+                     c_edges.add(edges);
+                     c_busy.add(elapsed_ns(busy_start));)
   return true;
 }
 
@@ -79,8 +99,10 @@ bool dial_sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
   BRICS_COUNTER(c_nodes, "traverse.nodes_settled");
   BRICS_COUNTER(c_edges, "traverse.edges_relaxed");
   BRICS_COUNTER(c_cancelled, "traverse.cancelled");
+  BRICS_COUNTER(c_busy, "traverse.busy_ns");
   BRICS_HISTOGRAM(h_frontier, "traverse.frontier_size", pow2_bounds());
-  BRICS_METRICS_ONLY(std::uint64_t edges = 0; std::uint64_t nodes = 0;)
+  BRICS_METRICS_ONLY(std::uint64_t edges = 0; std::uint64_t nodes = 0;
+                     const auto busy_start = std::chrono::steady_clock::now();)
   dist[source] = 0;
   buckets[0].push_back(source);
   std::size_t remaining = 1;
@@ -97,6 +119,7 @@ bool dial_sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
         // Leave the workspace reusable: clear every touched bucket.
         for (auto& b : buckets) b.clear();
         BRICS_COUNTER_ADD(c_cancelled, 1);
+        BRICS_METRICS_ONLY(c_busy.add(elapsed_ns(busy_start));)
         return false;
       }
       const NodeId u = bucket[i];
@@ -118,7 +141,8 @@ bool dial_sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
     bucket.clear();
   }
   BRICS_METRICS_ONLY(c_sources.add(1); c_nodes.add(nodes);
-                     c_edges.add(edges);)
+                     c_edges.add(edges);
+                     c_busy.add(elapsed_ns(busy_start));)
   return true;
 }
 

@@ -8,6 +8,10 @@
 // place.
 #pragma once
 
+#include <algorithm>
+#include <bit>
+#include <thread>
+
 #ifdef _OPENMP
 #include <omp.h>
 #endif
@@ -32,10 +36,32 @@ inline int thread_id() {
 #endif
 }
 
-/// Override the global thread count (used by benchmark harnesses).
+/// Hard ceiling on the thread count set_threads() will honour: a power of
+/// two, at least 64, covering both hardware_concurrency and whatever
+/// OMP_NUM_THREADS asked for when the process came up. The per-thread
+/// metric slots (obs/metrics.hpp) are sized to exactly this at first use,
+/// so as long as thread counts go through set_threads(), every OpenMP
+/// thread id owns a private slot and the single-writer exactness of the
+/// relaxed load+store counters holds — no aliasing, no lost increments.
+inline int thread_ceiling() {
+  static const int ceiling = [] {
+    unsigned want = 64;
+#ifdef _OPENMP
+    want = std::max(want, static_cast<unsigned>(omp_get_max_threads()));
+#endif
+    want = std::max(want, std::thread::hardware_concurrency());
+    return static_cast<int>(std::bit_ceil(want));
+  }();
+  return ceiling;
+}
+
+/// Override the global thread count (benchmark harnesses, CLI --threads).
+/// Requests above thread_ceiling() are clamped to it: the metric slot
+/// count is fixed at process start, and oversubscribing past it would put
+/// two writers on one slot.
 inline void set_threads(int n) {
 #ifdef _OPENMP
-  if (n > 0) omp_set_num_threads(n);
+  if (n > 0) omp_set_num_threads(std::min(n, thread_ceiling()));
 #else
   (void)n;
 #endif

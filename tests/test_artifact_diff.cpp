@@ -1,0 +1,220 @@
+// JSON DOM parser (obs/json.hpp json_parse) and the bench-artifact diff
+// engine behind brics-bench-diff (obs/artifact_diff.hpp). The diff tests
+// drive the engine with synthetic artifacts so every exit-code path of the
+// tool — pass, regression, structural note — is covered without running a
+// bench.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/artifact_diff.hpp"
+#include "obs/json.hpp"
+
+namespace brics {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue v;
+  std::string err;
+  EXPECT_TRUE(json_parse(text, v, &err)) << err << "\n" << text;
+  return v;
+}
+
+// ---- json_parse ---------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").is_bool());
+  EXPECT_TRUE(parse_ok("true").bool_v);
+  EXPECT_FALSE(parse_ok("false").bool_v);
+  EXPECT_DOUBLE_EQ(parse_ok("42").num_v, 42.0);
+  EXPECT_DOUBLE_EQ(parse_ok("-3.5e2").num_v, -350.0);
+  EXPECT_EQ(parse_ok("\"hi\"").str_v, "hi");
+}
+
+TEST(JsonParse, NestedStructure) {
+  JsonValue v = parse_ok("{\"a\":[1,2,{\"b\":\"x\"}],\"c\":null}");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->arr[0].num_v, 1.0);
+  const JsonValue* b = a->arr[2].find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->str_v, "x");
+  ASSERT_NE(v.find("c"), nullptr);
+  EXPECT_TRUE(v.find("c")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, EscapesAndUnicode) {
+  EXPECT_EQ(parse_ok("\"a\\n\\t\\\\\\\"b\"").str_v, "a\n\t\\\"b");
+  EXPECT_EQ(parse_ok("\"\\u00e9\"").str_v, "\xc3\xa9");       // é
+  EXPECT_EQ(parse_ok("\"\\u0041\"").str_v, "A");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parse_ok("\"\\ud83d\\ude00\"").str_v, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse("", v, &err));
+  EXPECT_FALSE(json_parse("{", v, &err));
+  EXPECT_FALSE(json_parse("{\"a\":1,}", v, &err));
+  EXPECT_FALSE(json_parse("[1 2]", v, &err));
+  EXPECT_FALSE(json_parse("\"\\ud83d\"", v, &err));  // lone surrogate
+  EXPECT_FALSE(json_parse("{\"a\":1} x", v, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonParse, RoundTripsBenchShapedArtifact) {
+  const std::string art =
+      "{\"schema_version\":2,\"harness\":\"fig4\",\"params\":"
+      "{\"scale\":0.15,\"repeats\":2,\"threads\":1},"
+      "\"tables\":[{\"columns\":[\"graph\",\"t_rand\"],"
+      "\"rows\":[[\"road-a\",\"0.120\"]]}]}";
+  JsonValue v = parse_ok(art);
+  EXPECT_DOUBLE_EQ(v.get("schema_version")->num_v, 2.0);
+  EXPECT_EQ(v.get("harness")->str_v, "fig4");
+  const JsonValue& t0 = v.get("tables")->arr[0];
+  EXPECT_EQ(t0.get("rows")->arr[0].arr[1].str_v, "0.120");
+}
+
+// ---- diff engine --------------------------------------------------------
+
+// Minimal artifact: one table, one timing column, one count column.
+std::string art(const std::string& t_brics, const std::string& t_rand,
+                const std::string& harness = "fig4") {
+  return "{\"schema_version\":2,\"harness\":\"" + harness +
+         "\",\"tables\":[{\"columns\":[\"graph\",\"t_rand\",\"t_brics\","
+         "\"quality\"],\"rows\":[[\"road-a\",\"" + t_rand + "\",\"" +
+         t_brics + "\",\"0.98\"]]}],"
+         "\"metrics\":{\"counters\":{\"traverse.edges_relaxed\":1000}}}";
+}
+
+TEST(ArtifactDiff, TimingColumnDetection) {
+  EXPECT_TRUE(is_timing_column("t_rand"));
+  EXPECT_TRUE(is_timing_column("t_brics"));
+  EXPECT_TRUE(is_timing_column("seconds"));
+  EXPECT_TRUE(is_timing_column("time"));
+  EXPECT_TRUE(is_timing_column("total_s"));
+  EXPECT_FALSE(is_timing_column("quality"));
+  EXPECT_FALSE(is_timing_column("speedup"));
+  EXPECT_FALSE(is_timing_column("graph"));
+  EXPECT_FALSE(is_timing_column("threads"));
+}
+
+TEST(ArtifactDiff, IdenticalArtifactsPass) {
+  JsonValue a = parse_ok(art("1.000", "2.000"));
+  DiffResult r = diff_artifacts(a, a, DiffOptions{});
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.regressions.empty());
+  EXPECT_TRUE(r.improvements.empty());
+  EXPECT_EQ(r.cells_compared, 2u);  // t_rand and t_brics; quality ignored
+}
+
+TEST(ArtifactDiff, RegressionBeyondToleranceNamesTheCell) {
+  JsonValue old_a = parse_ok(art("1.000", "2.000"));
+  JsonValue new_a = parse_ok(art("1.300", "2.000"));  // +30% on t_brics
+  DiffOptions opts;
+  opts.tol_pct = 10.0;
+  DiffResult r = diff_artifacts(old_a, new_a, opts);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.regressions.size(), 1u);
+  const DiffFinding& f = r.regressions[0];
+  EXPECT_EQ(f.harness, "fig4");
+  EXPECT_EQ(f.table, 0u);
+  EXPECT_EQ(f.row, 0u);
+  EXPECT_EQ(f.row_key, "road-a");
+  EXPECT_EQ(f.column, "t_brics");
+  EXPECT_DOUBLE_EQ(f.old_v, 1.0);
+  EXPECT_DOUBLE_EQ(f.new_v, 1.3);
+  EXPECT_NEAR(f.delta_pct, 30.0, 1e-9);
+  const std::string text = format_diff(r);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("t_brics"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+}
+
+TEST(ArtifactDiff, ImprovementIsNotARegression) {
+  JsonValue old_a = parse_ok(art("1.000", "2.000"));
+  JsonValue new_a = parse_ok(art("0.500", "2.000"));
+  DiffResult r = diff_artifacts(old_a, new_a, DiffOptions{});
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.improvements.size(), 1u);
+  EXPECT_EQ(r.improvements[0].column, "t_brics");
+}
+
+TEST(ArtifactDiff, WithinToleranceIsQuiet) {
+  JsonValue old_a = parse_ok(art("1.000", "2.000"));
+  JsonValue new_a = parse_ok(art("1.050", "2.000"));  // +5% < 10%
+  DiffResult r = diff_artifacts(old_a, new_a, DiffOptions{});
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.improvements.empty());
+}
+
+TEST(ArtifactDiff, BelowAbsoluteFloorIgnored) {
+  // 1ms -> 4ms is +300% but both sit under the 5ms floor: timer noise.
+  JsonValue old_a = parse_ok(art("0.001", "2.000"));
+  JsonValue new_a = parse_ok(art("0.004", "2.000"));
+  DiffResult r = diff_artifacts(old_a, new_a, DiffOptions{});
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ArtifactDiff, PerColumnToleranceOverride) {
+  JsonValue old_a = parse_ok(art("1.000", "2.000"));
+  JsonValue new_a = parse_ok(art("1.300", "2.900"));  // both +30..45%
+  DiffOptions opts;
+  opts.tol_pct = 10.0;
+  opts.col_tol_pct["t_rand"] = 75.0;  // the noisy baseline column
+  DiffResult r = diff_artifacts(old_a, new_a, opts);
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_EQ(r.regressions[0].column, "t_brics");
+}
+
+TEST(ArtifactDiff, CounterDriftBecomesNote) {
+  JsonValue old_a = parse_ok(art("1.000", "2.000"));
+  std::string changed = art("1.000", "2.000");
+  const std::string from = "\"traverse.edges_relaxed\":1000";
+  changed.replace(changed.find(from), from.size(),
+                  "\"traverse.edges_relaxed\":2000");
+  JsonValue new_a = parse_ok(changed);
+  DiffResult r = diff_artifacts(old_a, new_a, DiffOptions{});
+  EXPECT_TRUE(r.ok());  // drift warns, never fails
+  ASSERT_FALSE(r.notes.empty());
+  EXPECT_NE(r.notes[0].find("traverse.edges_relaxed"), std::string::npos);
+}
+
+TEST(ArtifactDiff, RowKeyMismatchSkipsRowWithNote) {
+  JsonValue old_a = parse_ok(art("1.000", "2.000"));
+  std::string other = art("9.000", "9.000");
+  const std::string from = "\"road-a\"";
+  other.replace(other.find(from), from.size(), "\"web-b\"");
+  JsonValue new_a = parse_ok(other);
+  DiffResult r = diff_artifacts(old_a, new_a, DiffOptions{});
+  EXPECT_TRUE(r.ok());  // skipped, not compared
+  EXPECT_EQ(r.cells_compared, 0u);
+  ASSERT_FALSE(r.notes.empty());
+}
+
+TEST(ArtifactDiff, HarnessMismatchIsANote) {
+  JsonValue old_a = parse_ok(art("1.000", "2.000", "fig4"));
+  JsonValue new_a = parse_ok(art("1.000", "2.000", "fig5"));
+  DiffResult r = diff_artifacts(old_a, new_a, DiffOptions{});
+  EXPECT_TRUE(r.ok());
+  ASSERT_FALSE(r.notes.empty());
+  EXPECT_NE(r.notes[0].find("harness mismatch"), std::string::npos);
+}
+
+TEST(ArtifactDiff, MissingTablesIsANoteNotACrash) {
+  JsonValue old_a = parse_ok("{\"harness\":\"fig4\"}");
+  JsonValue new_a = parse_ok(art("1.000", "2.000"));
+  DiffResult r = diff_artifacts(old_a, new_a, DiffOptions{});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.cells_compared, 0u);
+  ASSERT_FALSE(r.notes.empty());
+}
+
+}  // namespace
+}  // namespace brics

@@ -1,0 +1,252 @@
+// Parallel-efficiency layer (obs/parallel.hpp): derivation math on
+// hand-built tables, slot collection from a registry, the slot-aliasing
+// regression (set_threads raised above the slot count fixed at process
+// start), and snapshot/writer concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "brics/brics.hpp"
+#include "util/parallel.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace brics {
+namespace {
+
+// ---- derive_parallel_stats: pure math on hand-assembled tables ----------
+
+TEST(ParallelStats, DeriveHandComputedValues) {
+  std::vector<ThreadWork> table(2);
+  table[0].slot = 0;
+  table[0].busy_s = 2.0;
+  table[0].edges = 100;
+  table[1].slot = 1;
+  table[1].busy_s = 1.0;
+  table[1].edges = 50;
+  ParallelStats s = derive_parallel_stats(table, 2);
+  EXPECT_EQ(s.threads, 2);
+  ASSERT_EQ(s.per_thread.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.busy_total_s, 3.0);
+  EXPECT_DOUBLE_EQ(s.busy_max_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.busy_mean_s, 1.5);
+  EXPECT_DOUBLE_EQ(s.imbalance, 2.0 / 1.5);
+  EXPECT_DOUBLE_EQ(s.speedup, 1.5);
+  EXPECT_DOUBLE_EQ(s.efficiency, 0.75);
+}
+
+TEST(ParallelStats, DerivePerfectBalance) {
+  std::vector<ThreadWork> table(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    table[i].slot = i;
+    table[i].busy_s = 0.5;
+  }
+  ParallelStats s = derive_parallel_stats(table, 4);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(s.speedup, 4.0);
+  EXPECT_DOUBLE_EQ(s.efficiency, 1.0);
+}
+
+TEST(ParallelStats, DeriveEmptyTableIsAllZero) {
+  ParallelStats s = derive_parallel_stats({}, 8);
+  EXPECT_EQ(s.threads, 8);
+  EXPECT_TRUE(s.per_thread.empty());
+  EXPECT_DOUBLE_EQ(s.busy_total_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.imbalance, 0.0);
+  EXPECT_DOUBLE_EQ(s.speedup, 0.0);
+  EXPECT_DOUBLE_EQ(s.efficiency, 0.0);
+}
+
+TEST(ParallelStats, DeriveSingleActiveThread) {
+  std::vector<ThreadWork> table(1);
+  table[0].busy_s = 1.0;
+  ParallelStats s = derive_parallel_stats(table, 2);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(s.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(s.efficiency, 0.5);  // one of two configured threads busy
+}
+
+TEST(ParallelStats, DeriveZeroThreadsFallsBackToActiveCount) {
+  std::vector<ThreadWork> table(2);
+  table[0].busy_s = 1.0;
+  table[1].busy_s = 1.0;
+  ParallelStats s = derive_parallel_stats(table, 0);
+  EXPECT_DOUBLE_EQ(s.speedup, 2.0);
+  EXPECT_DOUBLE_EQ(s.efficiency, 1.0);  // denominator = active threads
+}
+
+TEST(ParallelStats, DeriveIgnoresIdleSlotsInMean) {
+  // A slot with counters but no busy time (e.g. cancelled before the timer
+  // ticked) contributes to totals but not to the active-thread mean.
+  std::vector<ThreadWork> table(2);
+  table[0].busy_s = 2.0;
+  table[1].busy_s = 0.0;
+  table[1].edges = 10;
+  ParallelStats s = derive_parallel_stats(table, 2);
+  EXPECT_DOUBLE_EQ(s.busy_mean_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.0);
+}
+
+#if BRICS_METRICS_ENABLED
+
+// ---- collect_parallel_stats: slot reads out of a registry ---------------
+
+TEST(ParallelStats, CollectReadsPerSlotAttribution) {
+  MetricsRegistry reg;
+  Counter& busy = reg.counter("traverse.busy_ns");
+  Counter& edges = reg.counter("traverse.edges_relaxed");
+  Counter& srcs = reg.counter("traverse.bfs_sources");
+#ifdef _OPENMP
+#pragma omp parallel num_threads(2)
+  {
+    const std::uint64_t tid =
+        static_cast<std::uint64_t>(omp_get_thread_num());
+    busy.add(1'000'000 * (tid + 1));  // 1ms and 2ms
+    edges.add(10 * (tid + 1));
+    srcs.add(1);
+  }
+  ParallelStats s = collect_parallel_stats(reg, 2);
+  ASSERT_EQ(s.per_thread.size(), 2u);
+  EXPECT_EQ(s.per_thread[0].slot, 0u);
+  EXPECT_EQ(s.per_thread[1].slot, 1u);
+  EXPECT_DOUBLE_EQ(s.per_thread[0].busy_s, 1e-3);
+  EXPECT_DOUBLE_EQ(s.per_thread[1].busy_s, 2e-3);
+  EXPECT_EQ(s.per_thread[0].edges, 10u);
+  EXPECT_EQ(s.per_thread[1].edges, 20u);
+  EXPECT_EQ(s.per_thread[0].sources, 1u);
+  EXPECT_DOUBLE_EQ(s.imbalance, 2e-3 / 1.5e-3);
+#else
+  busy.add(1'000'000);
+  edges.add(10);
+  srcs.add(1);
+  ParallelStats s = collect_parallel_stats(reg, 1);
+  ASSERT_EQ(s.per_thread.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.per_thread[0].busy_s, 1e-3);
+#endif
+}
+
+TEST(ParallelStats, CollectEmptyRegistryIsEmpty) {
+  MetricsRegistry reg;
+  ParallelStats s = collect_parallel_stats(reg, 4);
+  EXPECT_TRUE(s.per_thread.empty());
+  EXPECT_EQ(s.threads, 4);
+}
+
+TEST(ParallelStats, CollectFromRealEstimateRun) {
+  MetricsRegistry::global().reset();
+  CsrGraph g = build_dataset("road-grid-a", 0.05);
+  EstimateOptions o;
+  o.sample_rate = 0.3;
+  estimate_farness(g, o);
+  ParallelStats s =
+      collect_parallel_stats(MetricsRegistry::global(), max_threads());
+  ASSERT_FALSE(s.per_thread.empty());
+  EXPECT_GT(s.busy_total_s, 0.0);
+  std::uint64_t sources = 0, edges = 0;
+  for (const ThreadWork& w : s.per_thread) {
+    sources += w.sources;
+    edges += w.edges;
+  }
+  EXPECT_GT(sources, 0u);
+  EXPECT_GT(edges, 0u);
+}
+
+TEST(RunReportParallel, TwoThreadRunPopulatesParallelSection) {
+  set_threads(2);
+  MetricsRegistry::global().reset();
+  CsrGraph g = build_dataset("road-grid-a", 0.05);
+  EstimateOptions o;
+  o.sample_rate = 0.3;
+  EstimateResult est = estimate_farness(g, o);
+  RunReport r = make_run_report("test", "@road-grid-a", g, o, "cumulative",
+                                est, est.times.total_s);
+  EXPECT_EQ(r.parallel.threads, max_threads());
+  ASSERT_FALSE(r.parallel.per_thread.empty());
+  EXPECT_GT(r.parallel.busy_total_s, 0.0);
+  EXPECT_GE(r.parallel.imbalance, 1.0);
+  const std::string js = to_json(r);
+  EXPECT_NE(js.find("\"parallel\""), std::string::npos);
+  EXPECT_NE(js.find("\"per_thread\""), std::string::npos);
+  set_threads(thread_ceiling());  // restore a generous default
+}
+
+// ---- Slot aliasing regression -------------------------------------------
+//
+// The slot count is fixed at process start (metric_thread_slots() ==
+// thread_ceiling()). Raising the thread count past it must clamp, so two
+// OpenMP threads can never share a slot and single-writer exactness holds.
+
+TEST(MetricSlots, SetThreadsClampsToSlotCount) {
+  const std::size_t slots = metric_thread_slots();
+  EXPECT_EQ(slots, static_cast<std::size_t>(thread_ceiling()));
+  const int before = max_threads();
+  set_threads(static_cast<int>(2 * slots));
+  EXPECT_LE(static_cast<std::size_t>(max_threads()), slots);
+  set_threads(before);
+}
+
+TEST(MetricSlots, CountsStayExactAfterThreadRaise) {
+  const int before = max_threads();
+  set_threads(2 * thread_ceiling());  // clamped, not aliased
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.aliasing");
+  constexpr int kIters = 100000;
+#pragma omp parallel for
+  for (int i = 0; i < kIters; ++i) c.add(1);
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kIters));
+  set_threads(before);
+}
+
+// ---- Snapshot concurrency -----------------------------------------------
+
+TEST(MetricSlots, SnapshotDuringParallelWritesIsMonotonic) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.concurrent");
+  std::atomic<bool> done{false};
+  std::atomic<bool> monotonic{true};
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const std::uint64_t v = reg.snapshot().counters.at("test.concurrent");
+      if (v < last) monotonic.store(false, std::memory_order_relaxed);
+      last = v;
+    }
+  });
+  constexpr int kIters = 200000;
+#pragma omp parallel for
+  for (int i = 0; i < kIters; ++i) c.add(1);
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_TRUE(monotonic.load());
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kIters));
+}
+
+TEST(MetricSlots, SnapshotDuringEstimateDoesNotCrash) {
+  MetricsRegistry::global().reset();
+  std::atomic<bool> done{false};
+  std::atomic<int> snaps{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      MetricsSnapshot s = MetricsRegistry::global().snapshot();
+      (void)s;
+      snaps.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  CsrGraph g = build_dataset("road-grid-a", 0.05);
+  EstimateOptions o;
+  o.sample_rate = 0.3;
+  estimate_farness(g, o);
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_GT(snaps.load(), 0);
+}
+
+#endif  // BRICS_METRICS_ENABLED
+
+}  // namespace
+}  // namespace brics

@@ -1,0 +1,102 @@
+// brics-bench-diff — the perf-regression gate over bench artifacts.
+//
+//   brics-bench-diff OLD.json NEW.json [--tol-pct P] [--col NAME=P]...
+//                    [--abs-floor-ms X]
+//
+// Compares two BENCH_*.json artifacts (docs/OBSERVABILITY.md): timing
+// columns (t_*, *_s, seconds, time) are matched table-by-table and
+// row-by-row, and a new median exceeding the old by more than the relative
+// tolerance is a regression. Cells where both sides sit below the absolute
+// floor are ignored (timer granularity). --col grants a per-column
+// tolerance (repeatable), e.g. --col t_rand=50. Counter drift between the
+// artifacts' metrics blocks is printed as a note — changed work is a
+// reason to distrust a "speedup", not a regression by itself.
+//
+// Exit codes: 0 no regression, 1 regression beyond tolerance, 2 usage
+// error, 3 unreadable/invalid artifact.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/artifact_diff.hpp"
+
+namespace {
+
+using namespace brics;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: brics-bench-diff OLD.json NEW.json [--tol-pct P] "
+               "[--col NAME=P]... [--abs-floor-ms X]\n"
+               "exit codes: 0 ok, 1 regression, 2 usage, 3 bad artifact\n");
+  return 2;
+}
+
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+bool load_artifact(const char* path, JsonValue& out) {
+  std::ifstream file(path);
+  if (!file.good()) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  std::string err;
+  if (!json_parse(buf.str(), out, &err)) {
+    std::fprintf(stderr, "error: '%s' is not valid JSON: %s\n", path,
+                 err.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* old_path = nullptr;
+  const char* new_path = nullptr;
+  DiffOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tol-pct") {
+      if (++i >= argc || !parse_double(argv[i], opts.tol_pct))
+        return usage();
+    } else if (arg == "--abs-floor-ms") {
+      double ms = 0.0;
+      if (++i >= argc || !parse_double(argv[i], ms)) return usage();
+      opts.abs_floor_s = ms / 1000.0;
+    } else if (arg == "--col") {
+      if (++i >= argc) return usage();
+      const char* eq = std::strchr(argv[i], '=');
+      double pct = 0.0;
+      if (eq == nullptr || !parse_double(eq + 1, pct)) return usage();
+      opts.col_tol_pct[std::string(
+          argv[i], static_cast<std::size_t>(eq - argv[i]))] = pct;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else if (old_path == nullptr) {
+      old_path = argv[i];
+    } else if (new_path == nullptr) {
+      new_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (old_path == nullptr || new_path == nullptr) return usage();
+
+  JsonValue old_art, new_art;
+  if (!load_artifact(old_path, old_art) || !load_artifact(new_path, new_art))
+    return 3;
+
+  const DiffResult r = diff_artifacts(old_art, new_art, opts);
+  std::fputs(format_diff(r).c_str(), stdout);
+  return r.ok() ? 0 : 1;
+}

@@ -2,7 +2,7 @@
 //
 //   brics stats    <edge_list|@dataset>                 structural summary
 //   brics estimate <edge_list|@dataset> [--rate R] [--seed S] [--config C]
-//                  [--timeout-ms T] [--max-sources K]
+//                  [--timeout-ms T] [--max-sources K] [--threads N]
 //                  [--out FILE] [--metrics-out FILE] [--trace-out FILE]
 //                                                      farness estimates
 //   brics exact    <edge_list|@dataset> [--out FILE]    exact farness
@@ -18,6 +18,9 @@
 // --config is one of: random, cr, icr, cumulative (default cumulative).
 // --timeout-ms / --max-sources set a RunBudget: when it cuts the run, the
 // estimate degrades instead of aborting (docs/ROBUSTNESS.md).
+// --threads N overrides the OpenMP thread count for the run (clamped to
+// thread_ceiling()), so scaling sweeps don't need OMP_NUM_THREADS; the
+// effective count lands in the run report's parallel section.
 // --metrics-out writes a schema-versioned JSON run report (phase timings,
 // reduction counts, traversal counters, exec state); --trace-out writes a
 // Chrome trace_event file viewable in ui.perfetto.dev
@@ -93,7 +96,7 @@ int usage() {
       "usage: brics <stats|estimate|exact|topk|harmonic|distance|improve|"
       "generate|datasets> "
       "<edge_list|@dataset> [--rate R] [--seed S] [--config C] [--k K] "
-      "[--scale X] [--timeout-ms T] [--max-sources K] "
+      "[--scale X] [--timeout-ms T] [--max-sources K] [--threads N] "
       "[--kernel auto|bfs|dial|batched] [--out FILE] "
       "[--metrics-out FILE] [--trace-out FILE]\n"
       "exit codes: 0 ok, 2 usage, 3 bad input, 4 degraded by budget, "
@@ -184,6 +187,8 @@ void write_text_file(const std::string& path, const std::string& body,
 int cmd_estimate(const Args& a) {
   CsrGraph g = load(a);
   EstimateOptions o = config_from(a);
+  const int threads = static_cast<int>(a.get_u64("threads", 0));
+  if (threads > 0) set_threads(threads);
   const std::string config = a.get("config", "cumulative");
   const std::string metrics_out = a.get("metrics-out", "");
   const std::string trace_out = a.get("trace-out", "");
