@@ -153,4 +153,24 @@ BccResult biconnected_components(const CsrGraph& g,
   return res;
 }
 
+BccRaw BccResult::to_raw() const {
+  BccRaw raw;
+  raw.blocks = blocks_;
+  raw.is_cut = is_cut_;
+  raw.member_offsets = member_offsets_;
+  raw.memberships = memberships_;
+  raw.num_cuts = num_cuts_;
+  return raw;
+}
+
+BccResult BccResult::from_raw(BccRaw raw) {
+  BccResult res;
+  res.blocks_ = std::move(raw.blocks);
+  res.is_cut_ = std::move(raw.is_cut);
+  res.member_offsets_ = std::move(raw.member_offsets);
+  res.memberships_ = std::move(raw.memberships);
+  res.num_cuts_ = raw.num_cuts;
+  return res;
+}
+
 }  // namespace brics

@@ -21,6 +21,17 @@ namespace brics {
 using BlockId = std::uint32_t;
 inline constexpr BlockId kInvalidBlock = static_cast<BlockId>(-1);
 
+/// Flattened public mirror of a BccResult for checkpoint serialization
+/// (exec/recovery.cpp). to_raw/from_raw copy fields verbatim — no
+/// re-derivation — so a round trip reproduces the decomposition exactly.
+struct BccRaw {
+  std::vector<std::vector<NodeId>> blocks;
+  std::vector<std::uint8_t> is_cut;
+  std::vector<std::uint64_t> member_offsets;
+  std::vector<BlockId> memberships;
+  NodeId num_cuts = 0;
+};
+
 class BccResult {
  public:
   BlockId num_blocks() const { return static_cast<BlockId>(blocks_.size()); }
@@ -47,6 +58,9 @@ class BccResult {
   /// Size of the largest block and mean block size (Table I's Max / Avg).
   NodeId max_block_size() const;
   double avg_block_size() const;
+
+  BccRaw to_raw() const;
+  static BccResult from_raw(BccRaw raw);
 
  private:
   friend BccResult biconnected_components(const CsrGraph&,

@@ -16,7 +16,8 @@
 //   traverse/  BFS and Dial SSSP engines, parallel multi-source driver
 //   reduce/    identical / chain / redundant reductions + ledger
 //   bcc/       biconnected components + block cut-vertex tree
-//   exec/      run budgets, cancel tokens, error taxonomy, fail points
+//   exec/      run budgets, cancel tokens, error taxonomy, fail points,
+//              checkpoint/resume, chaos harness
 //   pipeline/  the staged estimator: context, artifacts, kernels, stages
 //   core/      exact farness, sampling estimators, BRICS, quality metrics
 //   obs/       metrics registry, span tracing, JSON run reports
@@ -33,8 +34,12 @@
 #include "core/quality.hpp"
 #include "core/sampling.hpp"
 #include "exec/budget.hpp"
+#include "exec/chaos.hpp"
+#include "exec/checkpoint.hpp"
 #include "exec/errors.hpp"
 #include "exec/failpoint.hpp"
+#include "exec/recovery.hpp"
+#include "exec/resilience.hpp"
 #include "gen/dataset.hpp"
 #include "gen/generators.hpp"
 #include "graph/connectivity.hpp"

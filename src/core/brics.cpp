@@ -11,6 +11,7 @@
 
 #include "core/sampling.hpp"
 #include "exec/errors.hpp"
+#include "exec/recovery.hpp"
 #include "graph/connectivity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -33,7 +34,8 @@ namespace {
 EstimateResult degraded_fallback(const CsrGraph& g,
                                  const EstimateOptions& opts,
                                  const CancelToken& token, ExecPhase phase,
-                                 const Timer& total) {
+                                 const Timer& total, Recovery* rec,
+                                 const RecoveryStats& rstats) {
   BRICS_COUNTER(c_degraded, "exec.degraded_runs");
   BRICS_COUNTER_ADD(c_degraded, 1);
   EstimateResult res = estimate_random_sampling_budgeted(g, opts, token);
@@ -41,6 +43,13 @@ EstimateResult degraded_fallback(const CsrGraph& g,
   res.cut_phase = phase;
   res.times.total_s = total.seconds();
   res.times.normalize();
+  // Retry/quarantine counts accumulated before the fault stay on the
+  // record even though the result came from the fallback path.
+  res.recovery = rstats;
+  if (rec != nullptr)
+    rec->finalize(res.recovery);
+  else
+    res.recovery.cumulative_wall_s = res.times.total_s;
   record_exec_metrics(res);
   record_phase_metrics(res.times);
   return res;
@@ -60,11 +69,24 @@ EstimateResult estimate_brics(const CsrGraph& g,
   CancelToken token(opts.budget.timeout_ms);
   PipelineContext ctx(g, opts, token);
 
+  // Checkpoint/resume is an opt-in property of the whole composition: one
+  // Recovery manager spans Reduce through Traverse, keyed to a hash of
+  // (graph, options) so stale directories are rejected, not consumed.
+  std::optional<Recovery> rec;
+  if (!opts.recovery.checkpoint_dir.empty())
+    rec.emplace(opts.recovery, recovery_config_hash(g, opts));
+  Recovery* recp = rec ? &*rec : nullptr;
+
   std::optional<ReducedGraph> rg;
   try {
-    rg.emplace(ReduceStage{}.run(ctx));
+    if (recp != nullptr) rg = recp->load_reduced();
+    if (!rg) {
+      rg.emplace(ReduceStage{}.run(ctx));
+      if (recp != nullptr) recp->save_reduced(*rg);
+    }
   } catch (const std::exception&) {
-    return degraded_fallback(g, opts, token, ExecPhase::kReduce, total);
+    return degraded_fallback(g, opts, token, ExecPhase::kReduce, total,
+                             recp, ctx.rstats());
   }
 
   // Everything below degrades instead of aborting: a budget blow-out in a
@@ -74,21 +96,25 @@ EstimateResult estimate_brics(const CsrGraph& g,
   // deadline during Traverse never lands here — Aggregate finishes from
   // the partial traversal instead.
   ExecPhase phase = ExecPhase::kBcc;
+  RecoveryStats rstats;
   try {
     EstimateResult res =
-        estimate_on_reduction_budgeted(*rg, opts, token, &phase);
+        estimate_on_reduction_budgeted(*rg, opts, token, &phase, recp,
+                                       &rstats);
     res.times.reduce_s = ctx.times().reduce_s;
     res.times.total_s = total.seconds();
     res.times.normalize();
+    if (recp == nullptr) res.recovery.cumulative_wall_s = res.times.total_s;
     record_exec_metrics(res);
     record_phase_metrics(res.times);
     return res;
   } catch (const BudgetExceeded& e) {
     BRICS_COUNTER(c_cuts, "exec.budget_cuts");
     BRICS_COUNTER_ADD(c_cuts, 1);
-    return degraded_fallback(g, opts, token, e.phase(), total);
+    return degraded_fallback(g, opts, token, e.phase(), total, recp,
+                             rstats);
   } catch (const std::exception&) {
-    return degraded_fallback(g, opts, token, phase, total);
+    return degraded_fallback(g, opts, token, phase, total, recp, rstats);
   }
 }
 
@@ -101,7 +127,9 @@ EstimateResult estimate_on_reduction(const ReducedGraph& rg,
 EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
                                               const EstimateOptions& opts,
                                               const CancelToken& token,
-                                              ExecPhase* phase_out) {
+                                              ExecPhase* phase_out,
+                                              Recovery* rec,
+                                              RecoveryStats* rstats_out) {
   const NodeId n = rg.ledger.num_nodes();
   BRICS_CHECK_MSG(n >= 1, "empty graph");
   BRICS_CHECK(rg.graph.num_nodes() == n);
@@ -111,19 +139,56 @@ EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
   PipelineContext ctx(rg.graph, opts, token);
   ctx.set_phase(ExecPhase::kBcc);
   ctx.mirror_phase(phase_out);
+  ctx.set_recovery(rec);
 
-  const Decomposition dec = DecomposeStage{}.run(ctx, rg);
-  const SamplePlan plan = PlanStage{}.run(ctx, dec, rg.num_present);
-  const TraversalResults trav = TraverseStage{}.run(ctx, rg, dec, plan);
-  EstimateResult res = AggregateStage{}.run(ctx, rg, dec, plan, trav);
+  try {
+    // Each stage boundary is load-or-compute-and-save: a valid segment
+    // skips the stage entirely, anything else (no manager, fresh run,
+    // rejected segment) recomputes and persists the result for the next
+    // attempt. Decomposition and planning are deterministic in (graph,
+    // options), so a partially-populated directory stays consistent.
+    std::optional<Decomposition> dec;
+    if (rec != nullptr) {
+      Decomposition d;
+      if (rec->load_decomposition(d, rg)) dec.emplace(std::move(d));
+    }
+    if (!dec) {
+      dec.emplace(DecomposeStage{}.run(ctx, rg));
+      if (rec != nullptr) rec->save_decomposition(*dec);
+    }
 
-  res.reduce_stats = rg.stats;
-  res.times = ctx.times();
-  res.times.total_s = total.seconds();
-  res.times.normalize();
-  record_exec_metrics(res);
-  record_phase_metrics(res.times);
-  return res;
+    std::optional<SamplePlan> plan;
+    if (rec != nullptr) {
+      SamplePlan p;
+      if (rec->load_plan(p, *dec)) plan.emplace(std::move(p));
+    }
+    if (!plan) {
+      plan.emplace(PlanStage{}.run(ctx, *dec, rg.num_present));
+      if (rec != nullptr) rec->save_plan(*plan);
+    }
+
+    const TraversalResults trav = TraverseStage{}.run(ctx, rg, *dec, *plan);
+    EstimateResult res = AggregateStage{}.run(ctx, rg, *dec, *plan, trav);
+
+    res.reduce_stats = rg.stats;
+    res.times = ctx.times();
+    res.times.total_s = total.seconds();
+    res.times.normalize();
+    res.recovery = ctx.rstats();
+    if (rec != nullptr)
+      rec->finalize(res.recovery);
+    else
+      res.recovery.cumulative_wall_s = res.times.total_s;
+    if (rstats_out != nullptr) *rstats_out = res.recovery;
+    record_exec_metrics(res);
+    record_phase_metrics(res.times);
+    return res;
+  } catch (...) {
+    // The retry/quarantine tallies survive the unwind so the fallback
+    // path can report them.
+    if (rstats_out != nullptr) *rstats_out = ctx.rstats();
+    throw;
+  }
 }
 
 EstimateResult estimate_farness(const CsrGraph& g,

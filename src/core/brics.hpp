@@ -17,6 +17,8 @@
 
 namespace brics {
 
+class Recovery;
+
 /// Estimate farness for all nodes of a connected graph using the full
 /// BRICS pipeline. opts.reduce selects the reduction subset (I/C/R);
 /// opts.use_bcc is ignored (this entry point always decomposes — use
@@ -41,9 +43,14 @@ EstimateResult estimate_on_reduction(const ReducedGraph& rg,
 /// deadlines that fire during decomposition — where no partial result
 /// exists — throw BudgetExceeded for the caller to handle. phase_out, when
 /// non-null, tracks the phase in flight so callers can attribute faults.
-EstimateResult estimate_on_reduction_budgeted(const ReducedGraph& rg,
-                                              const EstimateOptions& opts,
-                                              const CancelToken& token,
-                                              ExecPhase* phase_out = nullptr);
+/// rec, when non-null, is a bound checkpoint manager (exec/recovery.hpp):
+/// Decompose/Plan/Traverse artifacts load from it on resume and persist to
+/// it as stages complete. rstats_out, when non-null, receives the retry /
+/// quarantine accounting even when a stage throws — the fallback path folds
+/// it into its own result.
+EstimateResult estimate_on_reduction_budgeted(
+    const ReducedGraph& rg, const EstimateOptions& opts,
+    const CancelToken& token, ExecPhase* phase_out = nullptr,
+    Recovery* rec = nullptr, RecoveryStats* rstats_out = nullptr);
 
 }  // namespace brics

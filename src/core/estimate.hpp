@@ -6,6 +6,7 @@
 
 #include "bcc/bcc.hpp"
 #include "exec/budget.hpp"
+#include "exec/resilience.hpp"
 #include "graph/types.hpp"
 #include "reduce/reducer.hpp"
 #include "util/timer.hpp"
@@ -58,6 +59,13 @@ struct EstimateOptions {
   /// the result is built from the sources completed in time and flagged
   /// below. The default budget is unlimited and changes nothing.
   RunBudget budget;
+  /// Bounded retry of faulted traversal tasks before quarantine
+  /// (docs/ROBUSTNESS.md); the default absorbs two transient faults.
+  RetryPolicy retry;
+  /// Checkpoint/resume (exec/recovery.hpp). Disabled by default; with a
+  /// checkpoint_dir every stage boundary persists its artifact, and
+  /// resume=true continues from whatever segments survive.
+  RecoveryOptions recovery;
 };
 
 /// Estimator output. farness[v] approximates sum_{w != v} d(v, w); entries
@@ -80,6 +88,11 @@ struct EstimateResult {
   /// Effective sample rate achieved: opts.sample_rate scaled by
   /// samples / planned_samples (equals opts.sample_rate when not degraded).
   double achieved_sample_rate = 0.0;
+
+  /// Resilience accounting (retries, quarantines, checkpoints, attempt
+  /// number, cumulative wall across attempts); zeroed apart from
+  /// cumulative_wall_s == times.total_s when the machinery is idle.
+  RecoveryStats recovery;
 };
 
 }  // namespace brics

@@ -1,0 +1,168 @@
+#include "exec/chaos.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <sstream>
+
+#include "core/brics.hpp"
+#include "core/estimate.hpp"
+#include "exec/errors.hpp"
+#include "exec/failpoint.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/metis_io.hpp"
+#include "util/check.hpp"
+
+namespace brics {
+namespace {
+
+namespace fs = std::filesystem;
+
+void fail_case(ChaosCase& c, const std::string& why) {
+  c.failed = true;
+  c.outcome = "FAIL: " + why;
+}
+
+/// A structurally valid estimate: right shapes, finite non-negative values.
+bool valid_result(const EstimateResult& res, NodeId n) {
+  if (res.farness.size() != n || res.exact.size() != n) return false;
+  for (double f : res.farness)
+    if (!std::isfinite(f) || f < 0.0) return false;
+  return true;
+}
+
+}  // namespace
+
+ChaosReport run_chaos_sweep(const CsrGraph& g, const ChaosOptions& copts) {
+  BRICS_CHECK_MSG(copts.max_hits >= 1, "chaos max_hits must be >= 1");
+  FailPointRegistry& reg = FailPointRegistry::instance();
+  reg.disarm_all();
+
+  fs::create_directories(copts.work_dir);
+  const std::string edge_path = copts.work_dir + "/graph.txt";
+  const std::string metis_path = copts.work_dir + "/graph.metis";
+  const std::string primed_dir = copts.work_dir + "/primed";
+  const std::string ckdir = copts.work_dir + "/ck";
+
+  // Round-trip the input through both on-disk formats once; every case
+  // re-reads them so the io.* sites sit on the sweep's hot path. All runs
+  // use the re-read graph — the edge-list loader renumbers nodes in
+  // first-appearance order, so comparing against an estimate on `g`
+  // directly would compare permuted vectors.
+  write_edge_list_file(g, edge_path);
+  write_metis_file(g, metis_path);
+  const CsrGraph canonical = read_edge_list_file(edge_path);
+
+  EstimateOptions base;
+  base.sample_rate = copts.sample_rate;
+  base.seed = copts.seed;
+
+  const EstimateResult baseline = estimate_brics(canonical, base);
+  BRICS_CHECK_MSG(!baseline.degraded, "chaos baseline run degraded");
+
+  // A complete checkpoint directory, for the cases that can only evaluate
+  // their site on the load path (recovery.load needs segments to load).
+  std::error_code ec;
+  fs::remove_all(primed_dir, ec);
+  {
+    EstimateOptions o = base;
+    o.recovery.checkpoint_dir = primed_dir;
+    const EstimateResult primed = estimate_brics(canonical, o);
+    BRICS_CHECK_MSG(!primed.degraded, "chaos priming run degraded");
+  }
+
+  ChaosReport report;
+  for (const char* site : known_fail_points()) {
+    for (int hit = 1; hit <= copts.max_hits; ++hit) {
+      ChaosCase c;
+      c.site = site;
+      c.hit = hit;
+
+      reg.disarm_all();
+      fs::remove_all(ckdir, ec);
+      const bool load_site = c.site == "recovery.load";
+      if (load_site)
+        fs::copy(primed_dir, ckdir, fs::copy_options::recursive, ec);
+      reg.arm(c.site, hit - 1, /*fire_limit=*/1, FailAction::kThrow);
+
+      bool got_result = false;
+      EstimateResult res;
+      try {
+        // Exercise the I/O sites with fresh reads each case.
+        const CsrGraph gg = read_edge_list_file(edge_path);
+        const CsrGraph gm = read_metis_file(metis_path);
+        BRICS_CHECK(gm.num_nodes() == gg.num_nodes());
+        EstimateOptions o = base;
+        o.recovery.checkpoint_dir = ckdir;
+        o.recovery.resume = load_site;
+        res = estimate_brics(gg, o);
+        got_result = true;
+      } catch (const FailPointError&) {
+        c.outcome = "error:failpoint";
+      } catch (const InputError&) {
+        c.outcome = "error:input";
+      } catch (const CheckFailure& e) {
+        fail_case(c, std::string("invariant violated: ") + e.what());
+      } catch (const std::exception& e) {
+        fail_case(c, std::string("untyped exception: ") + e.what());
+      } catch (...) {
+        fail_case(c, "unknown exception type");
+      }
+
+      // fire_limit=1 disarms the site when it fires, so "still armed"
+      // cleanly separates never-evaluated from injected.
+      c.fired = !reg.armed(c.site);
+      reg.disarm_all();
+
+      if (got_result && !c.failed) {
+        if (!valid_result(res, canonical.num_nodes()))
+          fail_case(c, "estimate returned an invalid result");
+        else
+          c.outcome = res.degraded ? "degraded" : "absorbed";
+      }
+      if (!c.fired && !c.failed) c.outcome = "not-hit";
+
+      // Recoverability: whatever the injection did — typed error, degraded
+      // fallback, absorbed retry — a clean resume against the case's
+      // checkpoint directory must land exactly on the uninjected result.
+      if (c.fired && !c.failed && copts.verify_resume) {
+        c.resume_checked = true;
+        try {
+          EstimateOptions o = base;
+          o.recovery.checkpoint_dir = ckdir;
+          o.recovery.resume = true;
+          const EstimateResult r2 = estimate_brics(canonical, o);
+          if (r2.degraded)
+            fail_case(c, "resume run degraded");
+          else if (r2.farness != baseline.farness)
+            fail_case(c, "resume result differs from baseline");
+        } catch (const std::exception& e) {
+          fail_case(c, std::string("resume threw: ") + e.what());
+        }
+      }
+
+      if (c.failed) ++report.failures;
+      report.cases.push_back(std::move(c));
+    }
+  }
+  reg.disarm_all();
+  return report;
+}
+
+std::string ChaosReport::summary() const {
+  std::map<std::string, int> tally;
+  for (const ChaosCase& c : cases)
+    ++tally[c.failed ? std::string("FAIL") : c.outcome];
+  std::ostringstream out;
+  out << cases.size() << " cases:";
+  for (const auto& [outcome, count] : tally)
+    out << ' ' << outcome << '=' << count;
+  out << '\n';
+  for (const ChaosCase& c : cases)
+    if (c.failed)
+      out << "  " << c.site << " (hit " << c.hit << "): " << c.outcome
+          << '\n';
+  return out.str();
+}
+
+}  // namespace brics

@@ -1,0 +1,61 @@
+// Exhaustive fault-injection sweep over every compiled fail-point site.
+//
+// The chaos harness (driven by tools/brics_chaos) is the executable form of
+// the robustness contract in docs/ROBUSTNESS.md: for EVERY registered fail
+// point, triggered on its 1st..max_hits-th evaluation, an estimator run
+// must end in exactly one of
+//
+//   absorbed   the retry layer ate the fault; the result is not degraded
+//   degraded   a valid coarser estimate with the degradation flags set
+//   error      a typed taxonomy error (InputError / FailPointError)
+//   not-hit    the armed site was never evaluated on this configuration
+//
+// and NEVER in a crash, a CheckFailure, an untyped exception, or a result
+// with non-finite / wrong-shaped farness values. On top of that, every case
+// whose injection actually fired must be recoverable: a follow-up
+// --resume run against the case's checkpoint directory has to reproduce
+// the uninjected baseline bit-for-bit (the sweep runs at 100 % sampling,
+// where farness is exact and integer-valued end to end).
+//
+// The sweep also exercises the graph I/O sites by round-tripping the input
+// through an edge-list and a METIS file in the work directory each case.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+struct ChaosOptions {
+  double sample_rate = 1.0;  ///< 1.0 => resume checks compare bit-exactly
+  std::uint64_t seed = 1;
+  int max_hits = 2;          ///< trigger each site on hits 1..max_hits
+  bool verify_resume = true; ///< fired cases must resume to the baseline
+  std::string work_dir = "chaos-work";  ///< graphs + checkpoint dirs
+};
+
+struct ChaosCase {
+  std::string site;
+  int hit = 1;            ///< which evaluation of the site triggered
+  std::string outcome;    ///< absorbed | degraded | error:* | not-hit | FAIL: ...
+  bool fired = false;     ///< the armed injection actually triggered
+  bool resume_checked = false;
+  bool failed = false;
+};
+
+struct ChaosReport {
+  std::vector<ChaosCase> cases;
+  int failures = 0;
+
+  /// Human-readable per-outcome tally plus every failing case.
+  std::string summary() const;
+};
+
+/// Run the full sweep on a connected graph. Arms and disarms the global
+/// FailPointRegistry internally; leaves it disarmed. Creates work_dir.
+ChaosReport run_chaos_sweep(const CsrGraph& g, const ChaosOptions& copts);
+
+}  // namespace brics

@@ -1,0 +1,196 @@
+#include "exec/checkpoint.hpp"
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace brics {
+namespace {
+
+constexpr char kMagic[8] = {'B', 'R', 'I', 'C', 'S', 'C', 'K', '1'};
+constexpr std::size_t kHeaderSize = 32;  // magic..payload_size
+constexpr std::size_t kTrailerSize = 4;  // crc
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void write_segment(const std::string& dir, const std::string& name,
+                   SegmentKind kind, std::uint64_t config_hash,
+                   std::string_view payload) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    throw CheckpointError("cannot create checkpoint directory '" + dir +
+                          "': " + ec.message());
+
+  std::string blob;
+  blob.reserve(kHeaderSize + payload.size() + kTrailerSize);
+  blob.append(kMagic, sizeof kMagic);
+  put_u32(blob, kCheckpointFormatVersion);
+  put_u32(blob, static_cast<std::uint32_t>(kind));
+  put_u64(blob, config_hash);
+  put_u64(blob, payload.size());
+  blob.append(payload.data(), payload.size());
+  put_u32(blob, crc32(blob.data(), blob.size()));
+
+  const std::string final_path = dir + "/" + name;
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.good())
+      throw CheckpointError("cannot open '" + tmp_path + "' for writing");
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out.good())
+      throw CheckpointError("short write to '" + tmp_path + "'");
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec)
+    throw CheckpointError("cannot rename '" + tmp_path + "' into place: " +
+                          ec.message());
+}
+
+std::string read_segment(const std::string& path, SegmentKind kind,
+                         std::uint64_t config_hash) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good())
+    throw CheckpointError("cannot open checkpoint segment '" + path + "'");
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (blob.size() < kHeaderSize + kTrailerSize)
+    throw CheckpointError("truncated checkpoint segment '" + path + "' (" +
+                          std::to_string(blob.size()) + " bytes)");
+  if (std::memcmp(blob.data(), kMagic, sizeof kMagic) != 0)
+    throw CheckpointError("bad magic in checkpoint segment '" + path + "'");
+  const std::uint32_t version = get_u32(blob.data() + 8);
+  if (version != kCheckpointFormatVersion)
+    throw CheckpointError(
+        "checkpoint format version mismatch in '" + path + "': got " +
+        std::to_string(version) + ", want " +
+        std::to_string(kCheckpointFormatVersion));
+  const std::uint32_t got_kind = get_u32(blob.data() + 12);
+  if (got_kind != static_cast<std::uint32_t>(kind))
+    throw CheckpointError("checkpoint segment '" + path +
+                          "' holds kind " + std::to_string(got_kind) +
+                          ", want " +
+                          std::to_string(static_cast<std::uint32_t>(kind)));
+  const std::uint64_t got_hash = get_u64(blob.data() + 16);
+  if (got_hash != config_hash)
+    throw CheckpointError("checkpoint segment '" + path +
+                          "' was written for a different graph/config");
+  const std::uint64_t payload_size = get_u64(blob.data() + 24);
+  if (blob.size() != kHeaderSize + payload_size + kTrailerSize)
+    throw CheckpointError("truncated checkpoint segment '" + path +
+                          "': header claims " + std::to_string(payload_size) +
+                          " payload bytes");
+  const std::uint32_t want_crc =
+      get_u32(blob.data() + kHeaderSize + payload_size);
+  const std::uint32_t got_crc =
+      crc32(blob.data(), kHeaderSize + payload_size);
+  if (want_crc != got_crc)
+    throw CheckpointError("CRC mismatch in checkpoint segment '" + path +
+                          "'");
+  return blob.substr(kHeaderSize, payload_size);
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void ByteReader::need(std::size_t len) const {
+  if (data_.size() - pos_ < len)
+    throw CheckpointError("truncated checkpoint payload: want " +
+                          std::to_string(len) + " bytes at offset " +
+                          std::to_string(pos_) + ", have " +
+                          std::to_string(data_.size() - pos_));
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+void ByteReader::bytes(void* out, std::size_t len) {
+  need(len);
+  std::memcpy(out, data_.data() + pos_, len);
+  pos_ += len;
+}
+
+}  // namespace brics

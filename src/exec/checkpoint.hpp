@@ -1,0 +1,111 @@
+// Checkpoint segment files: the on-disk substrate of crash recovery
+// (docs/ROBUSTNESS.md).
+//
+// One segment holds one serialized pipeline artifact. The framing is
+// deliberately dumb — fixed little-endian fields, no compression, one CRC:
+//
+//   offset  size  field
+//   0       8     magic "BRICSCK1"
+//   8       4     format version (kCheckpointFormatVersion)
+//   12      4     segment kind (SegmentKind)
+//   16      8     config hash (graph + estimator options fingerprint)
+//   24      8     payload size in bytes
+//   32      n     payload
+//   32+n    4     CRC-32 (IEEE, reflected) over bytes [0, 32+n)
+//
+// Writes go to "<name>.tmp" in the same directory and are renamed into
+// place, so a crash mid-write leaves either the old segment or none —
+// never a torn file with a valid header. Readers validate magic, version,
+// kind, config hash, size and CRC and throw CheckpointError (an
+// InputError, CLI exit 3) on any mismatch; the recovery layer treats that
+// as "no checkpoint" and recomputes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "exec/errors.hpp"
+
+namespace brics {
+
+/// A segment file failed validation (truncated, bit-flipped, wrong
+/// version, or from a different graph/config). InputError taxonomy: the
+/// caller's checkpoint directory is at fault, not the library.
+class CheckpointError : public InputError {
+ public:
+  explicit CheckpointError(const std::string& what) : InputError(what) {}
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `len` bytes.
+/// Chainable: pass a previous result as `seed` to extend.
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+/// Which artifact a segment holds (part of the validated header).
+enum class SegmentKind : std::uint32_t {
+  kReduced = 1,
+  kDecomposition = 2,
+  kPlan = 3,
+  kTraversal = 4,
+  kManifest = 5,
+};
+
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// Atomically write segment `dir`/`name` (directory created on demand).
+/// Throws CheckpointError when the filesystem refuses.
+void write_segment(const std::string& dir, const std::string& name,
+                   SegmentKind kind, std::uint64_t config_hash,
+                   std::string_view payload);
+
+/// Read and fully validate a segment; returns the payload. Throws
+/// CheckpointError on any framing, CRC, version, kind or config mismatch.
+std::string read_segment(const std::string& path, SegmentKind kind,
+                         std::uint64_t config_hash);
+
+/// Append-only little-endian byte buffer for artifact payloads.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void f64(double v);
+  void bytes(const void* data, std::size_t len) {
+    buf_.append(static_cast<const char*>(data), len);
+  }
+
+  const std::string& str() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader over a payload; every underflow
+/// throws CheckpointError("truncated ...") instead of reading garbage.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  void bytes(void* out, std::size_t len);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t len) const;
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace brics

@@ -49,4 +49,17 @@ class FailPointError : public std::runtime_error {
       : std::runtime_error("fail point '" + name + "' fired") {}
 };
 
+/// The Traverse stage lost work its exactness guarantees depend on: a
+/// persistently-failing task took mandatory sources into quarantine, or a
+/// fault escaped mid-fold and poisoned the accumulators. No valid result
+/// can be built from the partial traversal, so the stage throws this and
+/// estimate_brics falls back to plain sampling on the raw graph
+/// (docs/ROBUSTNESS.md). Quarantine of optional-only work does NOT throw —
+/// it lands in the standard degraded accounting instead.
+class QuarantineError : public std::runtime_error {
+ public:
+  explicit QuarantineError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 }  // namespace brics

@@ -1,17 +1,51 @@
 #include "exec/failpoint.hpp"
 
 #include <atomic>
+#include <csignal>
+#include <cstdlib>
 #include <mutex>
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
 
 namespace brics {
+namespace {
+
+// Keep in sync with every BRICS_FAILPOINT site in the library. The chaos
+// driver sweeps this list, and arm_from_spec validates names against it —
+// a typo'd site in BRICS_FAILPOINTS is an error, not a silent no-op.
+constexpr const char* kKnownFailPoints[] = {
+    "io.edge_list",      // graph/graph_io.cpp
+    "io.metis",          // graph/metis_io.cpp
+    "reduce.pipeline",   // reduce/reducer.cpp
+    "bcc.decompose",     // bcc/bcc.cpp
+    "bcc.bct",           // bcc/bct.cpp
+    "plan.build",        // pipeline/stages.cpp (PlanStage)
+    "traverse.task",     // pipeline/stages.cpp (task entry, retryable)
+    "traverse.sink",     // pipeline/stages.cpp (fold entry, retryable)
+    "aggregate.combine", // pipeline/stages.cpp (AggregateStage)
+    "recovery.save",     // exec/recovery.cpp (segment write)
+    "recovery.load",     // exec/recovery.cpp (segment read)
+};
+
+struct ArmState {
+  int skip = 0;        // evaluations to absorb before triggering
+  int fires_left = -1; // firings until self-disarm; -1 = unlimited
+  FailAction action = FailAction::kThrow;
+};
+
+bool is_known(const std::string& name) {
+  for (const char* k : kKnownFailPoints)
+    if (name == k) return true;
+  return false;
+}
+
+}  // namespace
 
 struct FailPointRegistry::Impl {
   std::atomic<int> armed{0};  // fast-path gate: number of armed points
-  std::mutex mu;
-  std::unordered_map<std::string, int> countdown;  // armed name -> skips left
+  mutable std::mutex mu;
+  std::unordered_map<std::string, ArmState> sites;
 };
 
 FailPointRegistry& FailPointRegistry::instance() {
@@ -24,10 +58,16 @@ FailPointRegistry::Impl& FailPointRegistry::impl() {
   return impl;
 }
 
-void FailPointRegistry::arm(const std::string& name, int skip_hits) {
+const FailPointRegistry::Impl& FailPointRegistry::impl() const {
+  return const_cast<FailPointRegistry*>(this)->impl();
+}
+
+void FailPointRegistry::arm(const std::string& name, int skip_hits,
+                            int fire_limit, FailAction action) {
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mu);
-  auto [it, fresh] = im.countdown.insert_or_assign(name, skip_hits);
+  auto [it, fresh] =
+      im.sites.insert_or_assign(name, ArmState{skip_hits, fire_limit, action});
   (void)it;
   if (fresh) im.armed.fetch_add(1, std::memory_order_relaxed);
 }
@@ -35,7 +75,7 @@ void FailPointRegistry::arm(const std::string& name, int skip_hits) {
 void FailPointRegistry::disarm(const std::string& name) {
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mu);
-  if (im.countdown.erase(name) > 0)
+  if (im.sites.erase(name) > 0)
     im.armed.fetch_sub(1, std::memory_order_relaxed);
 }
 
@@ -43,22 +83,113 @@ void FailPointRegistry::disarm_all() {
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mu);
   im.armed.store(0, std::memory_order_relaxed);
-  im.countdown.clear();
+  im.sites.clear();
+}
+
+bool FailPointRegistry::armed(const std::string& name) const {
+  const Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.sites.find(name) != im.sites.end();
 }
 
 bool FailPointRegistry::should_fail(const char* name) {
   Impl& im = impl();
   if (im.armed.load(std::memory_order_relaxed) == 0) return false;
-  std::lock_guard<std::mutex> lock(im.mu);
-  auto it = im.countdown.find(name);
-  if (it == im.countdown.end()) return false;
-  if (it->second > 0) {
-    --it->second;
-    return false;
+  FailAction action;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    auto it = im.sites.find(name);
+    if (it == im.sites.end()) return false;
+    ArmState& st = it->second;
+    if (st.skip > 0) {
+      --st.skip;
+      return false;
+    }
+    action = st.action;
+    if (st.fires_left > 0 && --st.fires_left == 0) {
+      im.sites.erase(it);
+      im.armed.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
   BRICS_COUNTER(c_fired, "exec.failpoints_fired");
   BRICS_COUNTER_ADD(c_fired, 1);
+  if (action == FailAction::kKill) {
+    // Simulated hard crash: no unwinding, no atexit, no flushed buffers —
+    // exactly what the checkpoint/resume machinery must survive.
+    std::raise(SIGKILL);
+  }
   return true;
+}
+
+void FailPointRegistry::arm_from_spec(const std::string& spec) {
+  std::size_t pos = 0;
+  bool saw_entry = false;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find_first_of(",;", pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim surrounding whitespace.
+    const std::size_t b = entry.find_first_not_of(" \t");
+    if (b == std::string::npos) {
+      if (pos > spec.size()) break;
+      continue;  // allow stray separators / blanks between entries
+    }
+    entry = entry.substr(b, entry.find_last_not_of(" \t") - b + 1);
+    saw_entry = true;
+
+    // entry := name [ '=' N ] { ':' modifier }
+    int skip = 0, fire_limit = -1;
+    FailAction action = FailAction::kThrow;
+    std::string head = entry;
+    while (true) {
+      const std::size_t colon = head.rfind(':');
+      if (colon == std::string::npos) break;
+      const std::string mod = head.substr(colon + 1);
+      if (mod == "once") {
+        fire_limit = 1;
+      } else if (mod == "kill") {
+        action = FailAction::kKill;
+      } else {
+        throw InputError("BRICS_FAILPOINTS: unknown modifier ':" + mod +
+                         "' in '" + entry + "' (want :once or :kill)");
+      }
+      head = head.substr(0, colon);
+    }
+    const std::size_t eq = head.find('=');
+    std::string name = head.substr(0, eq);
+    if (eq != std::string::npos) {
+      const std::string num = head.substr(eq + 1);
+      char* endp = nullptr;
+      const long n = std::strtol(num.c_str(), &endp, 10);
+      if (num.empty() || endp == num.c_str() || *endp != '\0' || n < 1)
+        throw InputError("BRICS_FAILPOINTS: bad hit count '" + num +
+                         "' in '" + entry + "' (want an integer >= 1)");
+      skip = static_cast<int>(n - 1);
+    }
+    if (name.empty())
+      throw InputError("BRICS_FAILPOINTS: empty fail-point name in '" +
+                       entry + "'");
+    if (!is_known(name))
+      throw InputError("BRICS_FAILPOINTS: unknown fail point '" + name +
+                       "'");
+    arm(name, skip, fire_limit, action);
+    if (pos > spec.size()) break;
+  }
+  if (!saw_entry && !spec.empty() &&
+      spec.find_first_not_of(" \t,;") == std::string::npos)
+    throw InputError("BRICS_FAILPOINTS: no fail-point entries in '" + spec +
+                     "'");
+}
+
+void FailPointRegistry::arm_from_env() {
+  const char* env = std::getenv("BRICS_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  arm_from_spec(env);
+}
+
+std::span<const char* const> known_fail_points() {
+  return kKnownFailPoints;
 }
 
 }  // namespace brics

@@ -7,14 +7,23 @@
 // Unarmed sites cost one relaxed atomic load (the registry keeps a global
 // armed-count; the name lookup only happens when at least one point is
 // armed). Tests arm a site — optionally with a countdown so the Nth hit
-// fires — and the site throws FailPointError, letting tests prove that the
-// pipeline degrades or surfaces a typed error, never crashes, under induced
-// faults in graph I/O, reduction, and BCC construction.
+// fires, a fire limit so it disarms after firing, and an action — and the
+// site throws FailPointError (or raises SIGKILL for crash-recovery tests),
+// letting tests prove that the pipeline degrades or surfaces a typed
+// error, never crashes, under induced faults anywhere in the pipeline.
+//
+// Sites can also be armed from the environment:
+//
+//   BRICS_FAILPOINTS="traverse.task=5,reduce.pipeline:once" brics ...
+//
+// (grammar in arm_from_spec; malformed specs throw InputError so the CLI
+// exits 3 instead of silently ignoring them).
 //
 // The whole mechanism compiles to no-ops with -DBRICS_FAILPOINTS=OFF
 // (production/release builds); see the top-level CMakeLists.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "exec/errors.hpp"
@@ -25,35 +34,70 @@
 
 namespace brics {
 
+/// What an armed site does when it fires.
+enum class FailAction : std::uint8_t {
+  kThrow,  ///< throw FailPointError (default)
+  kKill,   ///< raise(SIGKILL): an un-catchable crash, for resume tests
+};
+
 /// Process-wide registry of armed fail points. Thread-safe; arming is
 /// test-only so the armed path may take a lock.
 class FailPointRegistry {
  public:
   static FailPointRegistry& instance();
 
-  /// Arm `name`; the site throws on its (skip_hits + 1)-th hit.
-  void arm(const std::string& name, int skip_hits = 0);
+  /// Arm `name`: the site triggers on its (skip_hits + 1)-th evaluation.
+  /// fire_limit bounds how many evaluations trigger after that (the site
+  /// disarms itself when the limit is spent); -1 = every later hit.
+  void arm(const std::string& name, int skip_hits = 0, int fire_limit = -1,
+           FailAction action = FailAction::kThrow);
 
   void disarm(const std::string& name);
   void disarm_all();
 
+  /// True while `name` is armed (a spent fire limit disarms it, so tests
+  /// and the chaos driver can tell "fired" from "site never evaluated").
+  bool armed(const std::string& name) const;
+
   /// True when `name` is armed and its countdown has reached zero
   /// (decrements the countdown otherwise). Fast path when nothing is
-  /// armed: a single relaxed atomic load.
+  /// armed: a single relaxed atomic load. A kKill site raises SIGKILL
+  /// here and never returns.
   bool should_fail(const char* name);
+
+  /// Arm sites from a spec string. Grammar (entries split on ',' or ';'):
+  ///
+  ///   entry   := name [ '=' N ] { ':' modifier }
+  ///   modifier:= 'once' | 'kill'
+  ///
+  /// `name=N` triggers on the Nth evaluation (N >= 1); ':once' disarms
+  /// after one firing; ':kill' raises SIGKILL instead of throwing.
+  /// Unknown site names, bad counts and empty entries throw InputError —
+  /// a malformed injection spec must never be silently ignored.
+  void arm_from_spec(const std::string& spec);
+
+  /// arm_from_spec(getenv("BRICS_FAILPOINTS")); no-op when unset/empty.
+  void arm_from_env();
 
  private:
   FailPointRegistry() = default;
   struct Impl;
   Impl& impl();
+  const Impl& impl() const;
 };
+
+/// Every fail-point site compiled into the library, for exhaustive
+/// enumeration by the chaos driver (tools/brics_chaos).
+std::span<const char* const> known_fail_points();
 
 /// RAII arm/disarm for tests.
 class ScopedFailPoint {
  public:
-  explicit ScopedFailPoint(std::string name, int skip_hits = 0)
+  explicit ScopedFailPoint(std::string name, int skip_hits = 0,
+                           int fire_limit = -1,
+                           FailAction action = FailAction::kThrow)
       : name_(std::move(name)) {
-    FailPointRegistry::instance().arm(name_, skip_hits);
+    FailPointRegistry::instance().arm(name_, skip_hits, fire_limit, action);
   }
   ~ScopedFailPoint() { FailPointRegistry::instance().disarm(name_); }
 

@@ -1,0 +1,560 @@
+#include "exec/recovery.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "exec/checkpoint.hpp"
+#include "exec/failpoint.hpp"
+#include "obs/metrics.hpp"
+#include "reduce/serialize.hpp"
+
+namespace brics {
+namespace {
+
+constexpr const char* kReducedFile = "reduced.ckpt";
+constexpr const char* kDecompositionFile = "decomposition.ckpt";
+constexpr const char* kPlanFile = "plan.ckpt";
+constexpr const char* kTraversalFile = "traversal.ckpt";
+constexpr const char* kManifestFile = "manifest.ckpt";
+
+// ---- payload codec helpers -----------------------------------------------
+
+// A count must leave room for its elements; checked before resize() so a
+// bit-flipped length can't trigger a huge allocation before the reads fail.
+void guard_count(const ByteReader& r, std::uint64_t n, std::size_t elem) {
+  if (n > r.remaining() / elem)
+    throw CheckpointError("checkpoint payload count out of bounds");
+}
+
+template <typename T>
+void put_vec_u32(ByteWriter& w, const std::vector<T>& v) {
+  w.u64(v.size());
+  for (const T& x : v) w.u32(static_cast<std::uint32_t>(x));
+}
+
+template <typename T>
+void get_vec_u32(ByteReader& r, std::vector<T>& v) {
+  const std::uint64_t n = r.u64();
+  guard_count(r, n, 4);
+  v.resize(n);
+  for (auto& x : v) x = static_cast<T>(r.u32());
+}
+
+void put_vec_u64(ByteWriter& w, const std::vector<std::uint64_t>& v) {
+  w.u64(v.size());
+  for (std::uint64_t x : v) w.u64(x);
+}
+
+void get_vec_u64(ByteReader& r, std::vector<std::uint64_t>& v) {
+  const std::uint64_t n = r.u64();
+  guard_count(r, n, 8);
+  v.resize(n);
+  for (auto& x : v) x = r.u64();
+}
+
+void put_vec_u8(ByteWriter& w, const std::vector<std::uint8_t>& v) {
+  w.u64(v.size());
+  w.bytes(v.data(), v.size());
+}
+
+void get_vec_u8(ByteReader& r, std::vector<std::uint8_t>& v) {
+  const std::uint64_t n = r.u64();
+  guard_count(r, n, 1);
+  v.resize(n);
+  r.bytes(v.data(), v.size());
+}
+
+// Graphs travel as edge lists; GraphBuilder rebuilds the canonical CSR, so
+// a round trip reproduces adjacency (and hence traversal output) exactly —
+// the same idiom reduce/serialize.cpp uses.
+void put_graph(ByteWriter& w, const CsrGraph& g) {
+  w.u32(g.num_nodes());
+  const std::vector<Edge> edges = g.edge_list();
+  w.u64(edges.size());
+  for (const Edge& e : edges) {
+    w.u32(e.u);
+    w.u32(e.v);
+    w.u32(e.w);
+  }
+}
+
+CsrGraph get_graph(ByteReader& r) {
+  const NodeId n = r.u32();
+  const std::uint64_t m = r.u64();
+  guard_count(r, m, 12);
+  GraphBuilder b(n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const NodeId u = r.u32();
+    const NodeId v = r.u32();
+    const Weight wt = r.u32();
+    if (u >= n || v >= n)
+      throw CheckpointError("checkpoint graph edge endpoint out of range");
+    b.add_edge(u, v, wt);
+  }
+  return b.build();
+}
+
+void put_subgraph(ByteWriter& w, const SubgraphMap& sub) {
+  put_graph(w, sub.graph);
+  put_vec_u32(w, sub.to_old);
+  put_vec_u32(w, sub.to_new);
+}
+
+SubgraphMap get_subgraph(ByteReader& r) {
+  SubgraphMap sub;
+  sub.graph = get_graph(r);
+  get_vec_u32(r, sub.to_old);
+  get_vec_u32(r, sub.to_new);
+  return sub;
+}
+
+// ---- Decomposition -------------------------------------------------------
+
+std::string encode_decomposition(const Decomposition& dec) {
+  ByteWriter w;
+  const BccRaw raw = dec.bcc.to_raw();
+  w.u64(raw.blocks.size());
+  for (const auto& blk : raw.blocks) put_vec_u32(w, blk);
+  put_vec_u8(w, raw.is_cut);
+  put_vec_u64(w, raw.member_offsets);
+  put_vec_u32(w, raw.memberships);
+  w.u32(raw.num_cuts);
+
+  const BlockCutTree& bct = dec.bct;
+  put_vec_u32(w, bct.cut_nodes);
+  put_vec_u32(w, bct.cut_of_node);
+  w.u64(bct.block_cuts.size());
+  for (const auto& cs : bct.block_cuts) put_vec_u32(w, cs);
+  w.u64(bct.cut_blocks.size());
+  for (const auto& bs : bct.cut_blocks) put_vec_u32(w, bs);
+  put_vec_u32(w, bct.parent_cut);
+  put_vec_u32(w, bct.parent_block);
+  put_vec_u32(w, bct.top_down);
+
+  put_vec_u32(w, dec.owner);
+  put_vec_u32(w, dec.virt_owner);
+
+  w.u64(dec.blocks.size());
+  for (const BlockInfo& bi : dec.blocks) {
+    put_subgraph(w, bi.sub);
+    put_vec_u32(w, bi.cuts_local);
+    w.u32(bi.cut_count);
+    put_vec_u32(w, bi.records);
+    put_vec_u32(w, bi.virtuals);
+    put_vec_u8(w, bi.owned);
+    w.u64(bi.own_mass);
+  }
+  return w.str();
+}
+
+Decomposition decode_decomposition(std::string_view payload,
+                                   const ReducedGraph& rg) {
+  ByteReader r(payload);
+  BccRaw raw;
+  {
+    const std::uint64_t nb = r.u64();
+    guard_count(r, nb, 8);
+    raw.blocks.resize(nb);
+    for (auto& blk : raw.blocks) get_vec_u32(r, blk);
+  }
+  get_vec_u8(r, raw.is_cut);
+  get_vec_u64(r, raw.member_offsets);
+  get_vec_u32(r, raw.memberships);
+  raw.num_cuts = r.u32();
+
+  Decomposition dec;
+  dec.bcc = BccResult::from_raw(std::move(raw));
+
+  BlockCutTree& bct = dec.bct;
+  get_vec_u32(r, bct.cut_nodes);
+  get_vec_u32(r, bct.cut_of_node);
+  {
+    const std::uint64_t nb = r.u64();
+    guard_count(r, nb, 8);
+    bct.block_cuts.resize(nb);
+    for (auto& cs : bct.block_cuts) get_vec_u32(r, cs);
+    const std::uint64_t nc = r.u64();
+    guard_count(r, nc, 8);
+    bct.cut_blocks.resize(nc);
+    for (auto& bs : bct.cut_blocks) get_vec_u32(r, bs);
+  }
+  get_vec_u32(r, bct.parent_cut);
+  get_vec_u32(r, bct.parent_block);
+  get_vec_u32(r, bct.top_down);
+
+  get_vec_u32(r, dec.owner);
+  get_vec_u32(r, dec.virt_owner);
+
+  {
+    const std::uint64_t nb = r.u64();
+    guard_count(r, nb, 8);
+    dec.blocks.resize(nb);
+    for (BlockInfo& bi : dec.blocks) {
+      bi.sub = get_subgraph(r);
+      get_vec_u32(r, bi.cuts_local);
+      bi.cut_count = r.u32();
+      get_vec_u32(r, bi.records);
+      get_vec_u32(r, bi.virtuals);
+      get_vec_u8(r, bi.owned);
+      bi.own_mass = r.u64();
+    }
+  }
+  if (!r.done())
+    throw CheckpointError("trailing bytes in decomposition checkpoint");
+  const NodeId n = rg.ledger.num_nodes();
+  if (dec.owner.size() != n || dec.virt_owner.size() != n ||
+      dec.bcc.num_blocks() != dec.num_blocks() ||
+      dec.bct.num_blocks() != dec.num_blocks())
+    throw CheckpointError(
+        "decomposition checkpoint does not match the reduced graph");
+  return dec;
+}
+
+// ---- SamplePlan ----------------------------------------------------------
+
+std::string encode_plan(const SamplePlan& plan) {
+  ByteWriter w;
+  w.u64(plan.blocks.size());
+  for (const BlockPlan& bp : plan.blocks) {
+    put_vec_u32(w, bp.samples);
+    w.u32(bp.mandatory);
+    w.u8(static_cast<std::uint8_t>(bp.kernel));
+  }
+  w.u32(plan.planned_total);
+  w.u32(plan.mandatory_total);
+  w.u8(plan.capped ? 1 : 0);
+  return w.str();
+}
+
+SamplePlan decode_plan(std::string_view payload, const Decomposition& dec) {
+  ByteReader r(payload);
+  SamplePlan plan;
+  const std::uint64_t nb = r.u64();
+  guard_count(r, nb, 8);
+  plan.blocks.resize(nb);
+  for (BlockPlan& bp : plan.blocks) {
+    get_vec_u32(r, bp.samples);
+    bp.mandatory = r.u32();
+    bp.kernel = static_cast<KernelChoice>(r.u8());
+    if (bp.mandatory > bp.samples.size() ||
+        bp.kernel > KernelChoice::kBatched ||
+        bp.kernel == KernelChoice::kAuto)
+      throw CheckpointError("malformed block plan in plan checkpoint");
+  }
+  plan.planned_total = r.u32();
+  plan.mandatory_total = r.u32();
+  plan.capped = r.u8() != 0;
+  if (!r.done()) throw CheckpointError("trailing bytes in plan checkpoint");
+  if (plan.blocks.size() != dec.num_blocks())
+    throw CheckpointError("plan checkpoint does not match decomposition");
+  return plan;
+}
+
+// ---- TraversalResults ----------------------------------------------------
+
+std::string encode_traversal(const TraversalResults& trav) {
+  ByteWriter w;
+  w.u64(trav.blocks.size());
+  for (const TraversalResults::BlockData& bd : trav.blocks) {
+    put_vec_u8(w, bd.completed);
+    put_vec_u64(w, bd.dsum_own);
+    put_vec_u32(w, bd.dcc);
+  }
+  put_vec_u64(w, trav.acc);
+  put_vec_u64(w, trav.acc_own);
+  put_vec_u64(w, trav.intra_exact);
+  w.u32(trav.completed_total);
+  w.u8(trav.cut ? 1 : 0);
+  return w.str();
+}
+
+TraversalResults decode_traversal(std::string_view payload,
+                                  const Decomposition& dec,
+                                  const SamplePlan& plan) {
+  ByteReader r(payload);
+  TraversalResults trav;
+  const std::uint64_t nb = r.u64();
+  guard_count(r, nb, 8);
+  trav.blocks.resize(nb);
+  for (TraversalResults::BlockData& bd : trav.blocks) {
+    get_vec_u8(r, bd.completed);
+    get_vec_u64(r, bd.dsum_own);
+    get_vec_u32(r, bd.dcc);
+  }
+  get_vec_u64(r, trav.acc);
+  get_vec_u64(r, trav.acc_own);
+  get_vec_u64(r, trav.intra_exact);
+  trav.completed_total = r.u32();
+  trav.cut = r.u8() != 0;
+  if (!r.done())
+    throw CheckpointError("trailing bytes in traversal checkpoint");
+
+  // Shape validation against the plan this traversal claims to extend: a
+  // stale segment from a different run shape is rejected, not resumed.
+  const std::size_t n = dec.owner.size();
+  if (trav.blocks.size() != dec.num_blocks() || trav.acc.size() != n ||
+      trav.acc_own.size() != n || trav.intra_exact.size() != n)
+    throw CheckpointError(
+        "traversal checkpoint does not match decomposition");
+  for (BlockId b = 0; b < trav.blocks.size(); ++b) {
+    const TraversalResults::BlockData& bd = trav.blocks[b];
+    const std::size_t cc = dec.blocks[b].cut_count;
+    if (bd.completed.size() != plan.blocks[b].samples.size() ||
+        bd.dsum_own.size() != cc || bd.dcc.size() != cc * cc)
+      throw CheckpointError("traversal checkpoint does not match plan");
+  }
+  return trav;
+}
+
+}  // namespace
+
+// ---- config hash ---------------------------------------------------------
+
+std::uint64_t recovery_config_hash(const CsrGraph& g,
+                                   const EstimateOptions& opts) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(g.num_nodes());
+  mix(g.num_edges());
+  for (const Edge& e : g.edge_list()) {
+    mix(e.u);
+    mix(e.v);
+    mix(e.w);
+  }
+  std::uint64_t rate_bits;
+  std::memcpy(&rate_bits, &opts.sample_rate, sizeof rate_bits);
+  mix(rate_bits);
+  mix(opts.seed);
+  mix(static_cast<std::uint64_t>(opts.reduce.identical) |
+      static_cast<std::uint64_t>(opts.reduce.chains) << 1 |
+      static_cast<std::uint64_t>(opts.reduce.redundant) << 2 |
+      static_cast<std::uint64_t>(opts.reduce.iterate) << 3 |
+      static_cast<std::uint64_t>(opts.use_bcc) << 4);
+  mix(static_cast<std::uint64_t>(opts.reduce.max_rounds));
+  mix(static_cast<std::uint64_t>(opts.strategy));
+  mix(static_cast<std::uint64_t>(opts.kernel));
+  mix(opts.budget.max_sources);  // changes the plan; timeout does not
+  return h;
+}
+
+// ---- Recovery ------------------------------------------------------------
+
+Recovery::Recovery(const RecoveryOptions& opts, std::uint64_t config_hash)
+    : opts_(opts), hash_(config_hash) {
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.checkpoint_dir, ec);
+  if (!opts_.resume) {
+    // Fresh run: stale segments from an earlier run must not leak into a
+    // later --resume against this directory.
+    for (const char* f : {kReducedFile, kDecompositionFile, kPlanFile,
+                          kTraversalFile, kManifestFile})
+      std::filesystem::remove(path(f), ec);
+  } else {
+    try {
+      const std::string payload =
+          read_segment(path(kManifestFile), SegmentKind::kManifest, hash_);
+      ByteReader r(payload);
+      prior_attempts_ = r.u32();
+      prior_wall_s_ = r.f64();
+    } catch (const std::exception&) {
+      // No usable manifest: treat as the first attempt in this directory.
+    }
+  }
+  stats_.attempt = prior_attempts_ + 1;
+}
+
+namespace {
+
+void count_loaded() {
+  BRICS_COUNTER(c, "recovery.checkpoints_loaded");
+  BRICS_COUNTER_ADD(c, 1);
+}
+void count_rejected() {
+  BRICS_COUNTER(c, "recovery.checkpoints_rejected");
+  BRICS_COUNTER_ADD(c, 1);
+}
+void count_written() {
+  BRICS_COUNTER(c, "recovery.checkpoints_written");
+  BRICS_COUNTER_ADD(c, 1);
+}
+void count_save_failed() {
+  BRICS_COUNTER(c, "recovery.checkpoint_save_failures");
+  BRICS_COUNTER_ADD(c, 1);
+}
+
+bool file_exists(const std::string& p) {
+  std::error_code ec;
+  return std::filesystem::exists(p, ec);
+}
+
+}  // namespace
+
+std::optional<ReducedGraph> Recovery::load_reduced() {
+  if (!opts_.resume) return std::nullopt;
+  const std::string p = path(kReducedFile);
+  if (!file_exists(p)) return std::nullopt;
+  try {
+    BRICS_FAILPOINT("recovery.load");
+    std::istringstream in(read_segment(p, SegmentKind::kReduced, hash_));
+    ReducedGraph rg = load_reduction(in);
+    ++stats_.checkpoints_loaded;
+    stats_.resumed = true;
+    count_loaded();
+    return rg;
+  } catch (const std::exception&) {
+    ++stats_.checkpoints_rejected;
+    count_rejected();
+    return std::nullopt;
+  }
+}
+
+void Recovery::save_reduced(const ReducedGraph& rg) {
+  try {
+    BRICS_FAILPOINT("recovery.save");
+    std::ostringstream out;
+    save_reduction(rg, out);
+    write_segment(opts_.checkpoint_dir, kReducedFile, SegmentKind::kReduced,
+                  hash_, out.str());
+    ++stats_.checkpoints_written;
+    count_written();
+  } catch (const std::exception&) {
+    ++stats_.checkpoint_save_failures;
+    count_save_failed();
+  }
+}
+
+bool Recovery::load_decomposition(Decomposition& dec,
+                                  const ReducedGraph& rg) {
+  if (!opts_.resume) return false;
+  const std::string p = path(kDecompositionFile);
+  if (!file_exists(p)) return false;
+  try {
+    BRICS_FAILPOINT("recovery.load");
+    dec = decode_decomposition(
+        read_segment(p, SegmentKind::kDecomposition, hash_), rg);
+  } catch (const std::exception&) {
+    ++stats_.checkpoints_rejected;
+    count_rejected();
+    return false;
+  }
+  ++stats_.checkpoints_loaded;
+  stats_.resumed = true;
+  count_loaded();
+  return true;
+}
+
+void Recovery::save_decomposition(const Decomposition& dec) {
+  try {
+    BRICS_FAILPOINT("recovery.save");
+    write_segment(opts_.checkpoint_dir, kDecompositionFile,
+                  SegmentKind::kDecomposition, hash_,
+                  encode_decomposition(dec));
+    ++stats_.checkpoints_written;
+    count_written();
+  } catch (const std::exception&) {
+    ++stats_.checkpoint_save_failures;
+    count_save_failed();
+  }
+}
+
+bool Recovery::load_plan(SamplePlan& plan, const Decomposition& dec) {
+  if (!opts_.resume) return false;
+  const std::string p = path(kPlanFile);
+  if (!file_exists(p)) return false;
+  try {
+    BRICS_FAILPOINT("recovery.load");
+    plan = decode_plan(read_segment(p, SegmentKind::kPlan, hash_), dec);
+  } catch (const std::exception&) {
+    ++stats_.checkpoints_rejected;
+    count_rejected();
+    return false;
+  }
+  ++stats_.checkpoints_loaded;
+  stats_.resumed = true;
+  count_loaded();
+  return true;
+}
+
+void Recovery::save_plan(const SamplePlan& plan) {
+  try {
+    BRICS_FAILPOINT("recovery.save");
+    write_segment(opts_.checkpoint_dir, kPlanFile, SegmentKind::kPlan,
+                  hash_, encode_plan(plan));
+    ++stats_.checkpoints_written;
+    count_written();
+  } catch (const std::exception&) {
+    ++stats_.checkpoint_save_failures;
+    count_save_failed();
+  }
+}
+
+bool Recovery::load_traversal(TraversalResults& trav,
+                              const Decomposition& dec,
+                              const SamplePlan& plan) {
+  if (!opts_.resume) return false;
+  const std::string p = path(kTraversalFile);
+  if (!file_exists(p)) return false;
+  try {
+    BRICS_FAILPOINT("recovery.load");
+    trav = decode_traversal(read_segment(p, SegmentKind::kTraversal, hash_),
+                            dec, plan);
+  } catch (const std::exception&) {
+    ++stats_.checkpoints_rejected;
+    count_rejected();
+    return false;
+  }
+  ++stats_.checkpoints_loaded;
+  stats_.resumed = true;
+  count_loaded();
+  return true;
+}
+
+void Recovery::save_traversal(const TraversalResults& trav) {
+  try {
+    BRICS_FAILPOINT("recovery.save");
+    write_segment(opts_.checkpoint_dir, kTraversalFile,
+                  SegmentKind::kTraversal, hash_, encode_traversal(trav));
+    ++stats_.checkpoints_written;
+    count_written();
+  } catch (const std::exception&) {
+    ++stats_.checkpoint_save_failures;
+    count_save_failed();
+  }
+  // Keep the manifest fresh alongside every traversal snapshot so a crash
+  // after this wave still knows the attempt count and elapsed wall clock.
+  write_manifest();
+}
+
+void Recovery::write_manifest() {
+  try {
+    ByteWriter w;
+    w.u32(stats_.attempt);
+    w.f64(cumulative_wall_s());
+    write_segment(opts_.checkpoint_dir, kManifestFile,
+                  SegmentKind::kManifest, hash_, w.str());
+  } catch (const std::exception&) {
+    ++stats_.checkpoint_save_failures;
+    count_save_failed();
+  }
+}
+
+void Recovery::finalize(RecoveryStats& out) {
+  write_manifest();
+  stats_.cumulative_wall_s = cumulative_wall_s();
+  out.checkpoints_written = stats_.checkpoints_written;
+  out.checkpoints_loaded = stats_.checkpoints_loaded;
+  out.checkpoints_rejected = stats_.checkpoints_rejected;
+  out.checkpoint_save_failures = stats_.checkpoint_save_failures;
+  out.attempt = stats_.attempt;
+  out.resumed = stats_.resumed;
+  out.cumulative_wall_s = stats_.cumulative_wall_s;
+}
+
+}  // namespace brics

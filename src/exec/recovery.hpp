@@ -1,0 +1,94 @@
+// Checkpoint/resume manager: persists the pipeline's typed artifacts
+// (pipeline/artifacts.hpp) as CRC-validated segment files
+// (exec/checkpoint.hpp) so a run killed at any phase can continue from the
+// last completed stage — and, mid-Traverse, from the last completed wave
+// of traversal tasks — instead of recomputing the world.
+//
+// Layout of a checkpoint directory:
+//
+//   reduced.ckpt        ReducedGraph   (reduce/serialize.hpp payload)
+//   decomposition.ckpt  Decomposition  (BCC + BCT + ownership + blocks)
+//   plan.ckpt           SamplePlan
+//   traversal.ckpt      TraversalResults, possibly partial: per-block
+//                       completion flags say which sources already folded
+//   manifest.ckpt       attempt count + cumulative wall clock
+//
+// Every segment embeds a config hash fingerprinting the input graph and
+// the estimator options; --resume against a different graph or config
+// rejects the segments and recomputes. All traversal accumulators are
+// integers, so a resumed run at 100% sampling reproduces the uninterrupted
+// result bit-exactly (tests/test_recovery.cpp holds that bar).
+//
+// Failure policy: a load that fails for any reason (missing file, bad CRC,
+// version or config mismatch, malformed payload) counts a rejection and
+// returns false — the stage recomputes. A save that fails counts a
+// failure and the run continues without that snapshot. The manager never
+// throws into the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "exec/resilience.hpp"
+#include "pipeline/artifacts.hpp"
+#include "util/timer.hpp"
+
+namespace brics {
+
+/// Fingerprint of (graph, estimator options): adjacency structure and
+/// weights plus every option that changes pipeline artifacts. Budget and
+/// recovery knobs are deliberately excluded — a resumed run may have a
+/// different timeout.
+std::uint64_t recovery_config_hash(const CsrGraph& g,
+                                   const EstimateOptions& opts);
+
+class Recovery {
+ public:
+  /// Binds to `opts.checkpoint_dir` (created on demand). A fresh run
+  /// (resume == false) clears stale segments; a resume reads the manifest
+  /// to continue the attempt count and cumulative wall clock.
+  Recovery(const RecoveryOptions& opts, std::uint64_t config_hash);
+
+  bool resuming() const { return opts_.resume; }
+  std::uint32_t checkpoint_every() const { return opts_.checkpoint_every; }
+
+  // Stage artifacts: load_* yields a value only when a valid segment was
+  // consumed; save_* persists a stage-complete (or, for traversal,
+  // wave-complete) artifact.
+  std::optional<ReducedGraph> load_reduced();
+  void save_reduced(const ReducedGraph& rg);
+  bool load_decomposition(Decomposition& dec, const ReducedGraph& rg);
+  void save_decomposition(const Decomposition& dec);
+  bool load_plan(SamplePlan& plan, const Decomposition& dec);
+  void save_plan(const SamplePlan& plan);
+  bool load_traversal(TraversalResults& trav, const Decomposition& dec,
+                      const SamplePlan& plan);
+  void save_traversal(const TraversalResults& trav);
+
+  /// Wall clock across attempts: prior attempts' manifest value plus this
+  /// attempt so far.
+  double cumulative_wall_s() const {
+    return prior_wall_s_ + timer_.seconds();
+  }
+
+  /// Fold the manager's accounting into `out` (retry/quarantine fields are
+  /// owned by the pipeline context and left untouched) and persist the
+  /// final manifest.
+  void finalize(RecoveryStats& out);
+
+ private:
+  std::string path(const char* name) const {
+    return opts_.checkpoint_dir + "/" + name;
+  }
+  void write_manifest();
+
+  RecoveryOptions opts_;
+  std::uint64_t hash_;
+  RecoveryStats stats_;
+  std::uint32_t prior_attempts_ = 0;
+  double prior_wall_s_ = 0.0;
+  Timer timer_;
+};
+
+}  // namespace brics

@@ -1,0 +1,54 @@
+// Resilience knobs and accounting shared by the retry and checkpoint
+// machinery (docs/ROBUSTNESS.md).
+//
+// RetryPolicy governs the Traverse stage's per-task fault handling: a task
+// that throws is retried with jittered exponential backoff; a task that
+// keeps failing is quarantined — its optional sources enter the PR-1
+// degraded-result accounting, and lost *mandatory* work escalates to the
+// plain-sampling fallback (quarantine may never silently break the exact
+// cross-block machinery).
+//
+// RecoveryOptions selects checkpointing: with a checkpoint_dir every stage
+// boundary persists its artifact as a CRC-validated segment file
+// (exec/checkpoint.hpp), and resume=true consumes those segments so a
+// crashed run continues from the last completed stage/block.
+//
+// RecoveryStats is the run report's schema-v3 "recovery" section: it is
+// always present on an EstimateResult (zeroed when the machinery is idle).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace brics {
+
+/// Bounded retry for faulted traversal tasks.
+struct RetryPolicy {
+  int max_attempts = 3;          ///< total tries per task (>= 1)
+  std::uint32_t backoff_ms = 1;  ///< base backoff; doubles per retry, jittered
+};
+
+/// Checkpoint/resume configuration.
+struct RecoveryOptions {
+  std::string checkpoint_dir;  ///< empty = checkpointing disabled
+  bool resume = false;         ///< consume existing segments before computing
+  /// Traverse tasks between mid-stage snapshots; 0 = stage end only.
+  std::uint32_t checkpoint_every = 0;
+};
+
+/// Accounting for one run's resilience machinery.
+struct RecoveryStats {
+  std::uint32_t checkpoints_written = 0;   ///< segments persisted
+  std::uint32_t checkpoints_loaded = 0;    ///< segments consumed on resume
+  std::uint32_t checkpoints_rejected = 0;  ///< corrupt/mismatched, recomputed
+  std::uint32_t checkpoint_save_failures = 0;  ///< writes that failed (run on)
+  std::uint32_t retries = 0;            ///< traversal task re-attempts
+  std::uint32_t quarantined_blocks = 0; ///< blocks whose task kept failing
+  std::uint32_t attempt = 1;       ///< 1 = fresh run, N = (N-1)-th resume
+  bool resumed = false;            ///< at least one segment was consumed
+  /// Wall-clock summed over this attempt and every prior one recorded in
+  /// the checkpoint manifest (equals times.total_s for a fresh run).
+  double cumulative_wall_s = 0.0;
+};
+
+}  // namespace brics

@@ -28,6 +28,7 @@ RunReport make_run_report(std::string tool, std::string dataset,
   r.cut_phase = to_string(est.cut_phase);
   r.achieved_sample_rate = est.achieved_sample_rate;
   r.wall_s = wall_s;
+  r.recovery = est.recovery;
   r.parallel = collect_parallel_stats(MetricsRegistry::global(),
                                       max_threads());
   r.metrics = MetricsRegistry::global().snapshot();
@@ -124,6 +125,26 @@ std::string to_json(const RunReport& r) {
         .end_object();
   }
   w.end_array().end_object();
+
+  // v3: resilience accounting — idle runs report attempt 1, resumed false,
+  // zero counters, and cumulative_wall_s == total_s.
+  w.key("recovery")
+      .begin_object()
+      .field("attempt", static_cast<std::uint64_t>(r.recovery.attempt))
+      .field("resumed", r.recovery.resumed)
+      .field("checkpoints_written",
+             static_cast<std::uint64_t>(r.recovery.checkpoints_written))
+      .field("checkpoints_loaded",
+             static_cast<std::uint64_t>(r.recovery.checkpoints_loaded))
+      .field("checkpoints_rejected",
+             static_cast<std::uint64_t>(r.recovery.checkpoints_rejected))
+      .field("checkpoint_save_failures",
+             static_cast<std::uint64_t>(r.recovery.checkpoint_save_failures))
+      .field("retries", static_cast<std::uint64_t>(r.recovery.retries))
+      .field("quarantined_blocks",
+             static_cast<std::uint64_t>(r.recovery.quarantined_blocks))
+      .field("cumulative_wall_s", r.recovery.cumulative_wall_s)
+      .end_object();
 
   // Embed the snapshot's own JSON shape under "metrics".
   w.key("metrics")

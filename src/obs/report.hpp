@@ -1,13 +1,15 @@
 // Machine-readable run report: one JSON artifact per estimator run.
 //
-// The report (schema v2, docs/OBSERVABILITY.md) ties together everything a
+// The report (schema v3, docs/OBSERVABILITY.md) ties together everything a
 // perf PR needs to prove a win against a recorded baseline: graph stats,
 // the options that produced the run, per-phase timings including the
 // residual "other" time, per-technique reduction counts, the exec layer's
 // degradation state (degraded / cut_phase / achieved_sample_rate), the
-// per-thread parallel-efficiency table (schema v2), and the merged metrics
-// snapshot. brics_cli --metrics-out writes one; the bench harnesses embed
-// the same snapshot in their BENCH_*.json artifacts.
+// per-thread parallel-efficiency table (schema v2), the resilience section
+// (schema v3: checkpoints, retries, quarantines, attempt count, cumulative
+// wall clock across attempts), and the merged metrics snapshot. brics_cli
+// --metrics-out writes one; the bench harnesses embed the same snapshot in
+// their BENCH_*.json artifacts.
 //
 // Layering: obs/ depends on core/ headers only (POD field reads), never on
 // core's objects — brics_core links brics_obs, not the other way around.
@@ -27,7 +29,9 @@ namespace brics {
 struct RunReport {
   // v2: adds the "parallel" section (per-thread busy/edges/nodes/sources
   // plus imbalance/speedup/efficiency derivations).
-  static constexpr int kSchemaVersion = 2;
+  // v3: adds the "recovery" section (checkpoint/retry/quarantine
+  // accounting, attempt number, cumulative wall across attempts).
+  static constexpr int kSchemaVersion = 3;
 
   std::string tool;     ///< producing binary ("brics_cli", harness name)
   std::string dataset;  ///< input path or @registry-name
@@ -64,6 +68,9 @@ struct RunReport {
 
   // parallel efficiency (v2): per-thread work attribution + derivations.
   ParallelStats parallel;
+
+  // resilience (v3): checkpoint/retry accounting from the exec layer.
+  RecoveryStats recovery;
 
   MetricsSnapshot metrics;
 };

@@ -20,6 +20,8 @@
 
 namespace brics {
 
+class Recovery;
+
 class PipelineContext {
  public:
   PipelineContext(const CsrGraph& graph, const EstimateOptions& opts,
@@ -58,6 +60,17 @@ class PipelineContext {
     return Rng(opts_.seed ^ mix64(salt));
   }
 
+  /// Optional checkpoint/resume manager (exec/recovery.hpp). Null for
+  /// runs without a checkpoint directory; stages that can persist or
+  /// consume artifacts check it.
+  Recovery* recovery() const { return recovery_; }
+  void set_recovery(Recovery* r) { recovery_ = r; }
+
+  /// Retry/quarantine accounting filled by the Traverse stage; the
+  /// composition merges it into EstimateResult::recovery.
+  RecoveryStats& rstats() { return rstats_; }
+  const RecoveryStats& rstats() const { return rstats_; }
+
   /// Throw BudgetExceeded(current phase) if the deadline has passed. Called
   /// at stage boundaries where no partial result exists yet; inside the
   /// Traverse stage cancellation is cooperative instead (sources shed, not
@@ -73,6 +86,8 @@ class PipelineContext {
   PhaseTimes times_;
   ExecPhase phase_ = ExecPhase::kNone;
   ExecPhase* mirror_ = nullptr;
+  Recovery* recovery_ = nullptr;
+  RecoveryStats rstats_;
 };
 
 }  // namespace brics

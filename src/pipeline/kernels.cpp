@@ -18,6 +18,10 @@ std::size_t drive(Engine&& engine, const CsrGraph& g,
                   std::span<std::uint8_t> completed, const SourceSink& sink) {
   std::size_t done = 0;
   for (std::size_t i = first; i < first + count; ++i) {
+    // Re-entry safety (retry / checkpoint resume): a source whose fold
+    // already ran must not fold again, so kernel.run over a range with
+    // pre-set completion flags is idempotent.
+    if (completed[i]) continue;
     const bool must = i < mandatory;
     if (!must && cancel != nullptr && cancel->poll()) continue;
     if (!engine(g, sources[i], ws, must ? nullptr : cancel)) continue;

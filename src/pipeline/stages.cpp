@@ -1,16 +1,22 @@
 #include "pipeline/stages.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <thread>
 #include <utility>
 
 #include "core/sampling.hpp"
+#include "exec/failpoint.hpp"
+#include "exec/recovery.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/kernels.hpp"
 #include "pipeline/postprocess.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace brics {
 namespace {
@@ -209,6 +215,7 @@ Decomposition DecomposeStage::run(PipelineContext& ctx,
 SamplePlan PlanStage::run(PipelineContext& ctx, const Decomposition& dec,
                           NodeId num_present) const {
   ctx.set_phase(ExecPhase::kPlan);
+  BRICS_FAILPOINT("plan.build");
   BRICS_SPAN(sp_plan, "stage.plan");
   const EstimateOptions& opts = ctx.opts();
   const double rate = opts.sample_rate;
@@ -333,12 +340,30 @@ TraversalResults TraverseStage::run(PipelineContext& ctx,
   }
   trav.intra_exact.assign(n, 0);
 
+  // Resume: adopt a prior attempt's partial traversal. Its accumulators
+  // become the base the live per-thread sums add onto, and its completion
+  // flags make the kernels (and the task build below) skip every source
+  // whose fold already happened — integer sums, so the union of two
+  // partial attempts is bit-identical to one uninterrupted run.
+  Recovery* rec = ctx.recovery();
+  std::vector<FarnessSum> base_acc, base_acc_own;
+  if (rec != nullptr) {
+    TraversalResults prior;
+    if (rec->load_traversal(prior, dec, plan)) {
+      base_acc = std::move(prior.acc);
+      base_acc_own = std::move(prior.acc_own);
+      trav.blocks = std::move(prior.blocks);
+      trav.intra_exact = std::move(prior.intra_exact);
+    }
+  }
+
   // Parallel shape: a block whose plan chose the batched kernel is ONE
   // task (all its sources, mandatory prefix included, run back to back on
   // one thread); every other block contributes one task per source.
   // Per-source mandatory tasks go first so the deadline can only shed
   // optional ones — batched tasks protect their own mandatory prefix
   // internally (the kernel never aborts a source below `mandatory`).
+  // Tasks whose sources all completed in a prior attempt are not rebuilt.
   struct Task {
     BlockId b;
     std::uint32_t first, count;
@@ -347,42 +372,54 @@ TraversalResults TraverseStage::run(PipelineContext& ctx,
   for (BlockId b = 0; b < nb; ++b) {
     if (plan.blocks[b].kernel == KernelChoice::kBatched) continue;
     for (std::uint32_t si = 0; si < plan.blocks[b].mandatory; ++si)
-      tasks.push_back({b, si, 1});
+      if (!trav.blocks[b].completed[si]) tasks.push_back({b, si, 1});
   }
   for (BlockId b = 0; b < nb; ++b) {
     const BlockPlan& bp = plan.blocks[b];
     if (bp.kernel != KernelChoice::kBatched || bp.samples.empty()) continue;
-    tasks.push_back({b, 0, static_cast<std::uint32_t>(bp.samples.size())});
+    bool pending = false;
+    for (std::uint8_t c : trav.blocks[b].completed) pending |= (c == 0);
+    if (pending)
+      tasks.push_back({b, 0, static_cast<std::uint32_t>(bp.samples.size())});
   }
   for (BlockId b = 0; b < nb; ++b) {
     const BlockPlan& bp = plan.blocks[b];
     if (bp.kernel == KernelChoice::kBatched) continue;
     for (std::uint32_t si = bp.mandatory; si < bp.samples.size(); ++si)
-      tasks.push_back({b, si, 1});
+      if (!trav.blocks[b].completed[si]) tasks.push_back({b, si, 1});
   }
 
   ThreadSums acc(n);      // over all of the block's samples
   ThreadSums acc_own(n);  // over samples owned by the block (exact terms)
 
-  PhaseScope scope("traverse", ctx.times().traverse_s);
+  // Retry/quarantine state (docs/ROBUSTNESS.md). Exceptions must never
+  // escape the OpenMP region, so every task catches its own faults: a
+  // pre-fold fault retries with jittered backoff; a task that keeps
+  // failing quarantines its block; a mid-fold fault poisons the
+  // accumulators and escalates after the region.
+  std::vector<std::uint8_t> quarantined(nb, 0);
+  std::atomic<std::uint32_t> retries{0};
+  std::atomic<bool> fold_fault{false};
+  const int max_attempts = std::max(1, ctx.opts().retry.max_attempts);
+  const std::uint32_t backoff_ms = ctx.opts().retry.backoff_ms;
+
   const CancelToken& token = ctx.token();
-#pragma omp parallel
-  {
-    TraversalWorkspace ws;
-    GlobalResolveScratch scratch(n);
-#pragma omp for schedule(dynamic, 4)
-    for (std::int64_t t = 0; t < static_cast<std::int64_t>(tasks.size());
-         ++t) {
-      const Task& task = tasks[static_cast<std::size_t>(t)];
-      const BlockInfo& bi = dec.blocks[task.b];
-      const BlockPlan& bp = plan.blocks[task.b];
-      TraversalResults::BlockData& bd = trav.blocks[task.b];
-      const TraversalKernel& kernel = kernel_for(bp.kernel);
-      // Fold one completed traversal into the accumulators (old P1 body).
-      // Distinct (block, sample) pairs write disjoint slots; acc/acc_own
-      // are per-thread buffers, so the fold is race-free.
-      const SourceSink sink = [&](std::size_t si,
-                                  std::span<const Dist> local) {
+  auto run_task = [&](std::size_t ti, TraversalWorkspace& ws,
+                      GlobalResolveScratch& scratch) {
+    const Task& task = tasks[ti];
+    const BlockInfo& bi = dec.blocks[task.b];
+    const BlockPlan& bp = plan.blocks[task.b];
+    TraversalResults::BlockData& bd = trav.blocks[task.b];
+    const TraversalKernel& kernel = kernel_for(bp.kernel);
+    // Fold one completed traversal into the accumulators (old P1 body).
+    // Distinct (block, sample) pairs write disjoint slots; acc/acc_own
+    // are per-thread buffers, so the fold is race-free.
+    const SourceSink sink = [&](std::size_t si,
+                                std::span<const Dist> local) {
+      // Injection point BEFORE any shared write: a fault here leaves the
+      // accumulators untouched, so the task is safe to retry.
+      BRICS_FAILPOINT("traverse.sink");
+      try {
         const NodeId ls = bp.samples[si];
         const NodeId gs = bi.sub.to_old[ls];
         scratch.fill_block(bi, local);
@@ -419,17 +456,125 @@ TraversalResults TraverseStage::run(PipelineContext& ctx,
                 local[bi.cuts_local[cj]];
         }
         scratch.clear_block(bi);
-      };
-      kernel.run(bi.sub.graph, bp.samples, task.first, task.count,
-                 bp.mandatory, &token, ws, bd.completed, sink);
+      } catch (...) {
+        // Past the first accumulator write a retry would double-count;
+        // poison the stage so the composition falls back instead.
+        fold_fault.store(true, std::memory_order_relaxed);
+        throw;
+      }
+    };
+    for (int attempt = 1;; ++attempt) {
+      try {
+        BRICS_FAILPOINT("traverse.task");
+        kernel.run(bi.sub.graph, bp.samples, task.first, task.count,
+                   bp.mandatory, &token, ws, bd.completed, sink);
+        return;
+      } catch (const std::exception&) {
+        if (fold_fault.load(std::memory_order_relaxed)) return;
+        if (attempt >= max_attempts) {
+#pragma omp atomic write
+          quarantined[task.b] = 1;
+          BRICS_COUNTER(c_quar, "traverse.quarantined_tasks");
+          BRICS_COUNTER_ADD(c_quar, 1);
+          return;
+        }
+        retries.fetch_add(1, std::memory_order_relaxed);
+        BRICS_COUNTER(c_retry, "traverse.retries");
+        BRICS_COUNTER_ADD(c_retry, 1);
+        // Jittered exponential backoff, deterministic per (task, attempt)
+        // so test runs reproduce. Kernel re-entry is idempotent: sources
+        // completed before the fault are flagged and skipped.
+        const std::uint64_t base = static_cast<std::uint64_t>(backoff_ms)
+                                   << (attempt - 1);
+        if (base > 0) {
+          const std::uint64_t jitter =
+              mix64((static_cast<std::uint64_t>(ti) << 8) ^
+                    static_cast<std::uint64_t>(attempt)) %
+              (base + 1);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(base + jitter));
+        }
+      }
+    }
+  };
+
+  // Merge the live per-thread sums (plus any resumed base) into `out` and
+  // refresh the completion accounting. Used both for the final result and
+  // for mid-stage wave snapshots.
+  auto merge_into = [&](TraversalResults& out) {
+    out.acc = acc.merge();
+    out.acc_own = acc_own.merge();
+    if (!base_acc.empty()) {
+      for (NodeId v = 0; v < n; ++v) {
+        out.acc[v] += base_acc[v];
+        out.acc_own[v] += base_acc_own[v];
+      }
+    }
+    out.completed_total = 0;
+    for (const TraversalResults::BlockData& bd : out.blocks)
+      for (std::uint8_t c : bd.completed) out.completed_total += c;
+    out.cut = out.completed_total < plan.total_sources();
+  };
+
+  PhaseScope scope("traverse", ctx.times().traverse_s);
+  // Wave execution: with --checkpoint-every N the task list runs in
+  // chunks of N, and a wave-complete TraversalResults snapshot persists
+  // after each chunk — a SIGKILL mid-stage loses at most one wave. The
+  // barrier between waves is what makes the snapshot consistent: every
+  // completion flag set implies its fold fully merged.
+  const std::size_t nt = tasks.size();
+  std::size_t wave = nt;
+  if (rec != nullptr && rec->checkpoint_every() > 0)
+    wave = std::min<std::size_t>(rec->checkpoint_every(), nt);
+  for (std::size_t begin = 0; begin < nt; begin += wave) {
+    const std::size_t end = std::min(nt, begin + wave);
+#pragma omp parallel
+    {
+      TraversalWorkspace ws;
+      GlobalResolveScratch scratch(n);
+#pragma omp for schedule(dynamic, 4)
+      for (std::int64_t t = static_cast<std::int64_t>(begin);
+           t < static_cast<std::int64_t>(end); ++t) {
+        run_task(static_cast<std::size_t>(t), ws, scratch);
+      }
+    }
+    if (rec != nullptr && end < nt &&
+        !fold_fault.load(std::memory_order_relaxed)) {
+      TraversalResults snap = trav;
+      merge_into(snap);
+      rec->save_traversal(snap);
     }
   }
+  merge_into(trav);
 
-  trav.acc = acc.merge();
-  trav.acc_own = acc_own.merge();
-  for (const TraversalResults::BlockData& bd : trav.blocks)
-    for (std::uint8_t c : bd.completed) trav.completed_total += c;
-  trav.cut = trav.completed_total < plan.total_sources();
+  // Retry/quarantine accounting for the run report.
+  ctx.rstats().retries += retries.load(std::memory_order_relaxed);
+  std::uint32_t quarantined_blocks = 0;
+  bool mandatory_lost = false;
+  for (BlockId b = 0; b < nb; ++b) {
+    if (!quarantined[b]) continue;
+    ++quarantined_blocks;
+    for (std::uint32_t si = 0; si < plan.blocks[b].mandatory; ++si)
+      if (!trav.blocks[b].completed[si]) mandatory_lost = true;
+  }
+  ctx.rstats().quarantined_blocks += quarantined_blocks;
+  if (quarantined_blocks > 0) {
+    BRICS_COUNTER(c_qb, "traverse.quarantined_blocks");
+    BRICS_COUNTER_ADD(c_qb, quarantined_blocks);
+  }
+
+  // A poisoned accumulator can never be checkpointed or aggregated; lost
+  // mandatory work breaks the exact cross-block machinery. Both escalate
+  // (estimate_brics falls back to plain sampling). Quarantined
+  // optional-only work stays: trav.cut already routes it through the
+  // standard degraded accounting.
+  if (fold_fault.load(std::memory_order_relaxed))
+    throw QuarantineError(
+        "traversal fold fault poisoned the accumulators");
+  if (rec != nullptr) rec->save_traversal(trav);
+  if (mandatory_lost)
+    throw QuarantineError("quarantine lost mandatory traversal work");
+
   BRICS_COUNTER(c_completed, "plan.samples_completed");
   BRICS_COUNTER_ADD(c_completed, trav.completed_total);
   return trav;
@@ -444,9 +589,9 @@ EstimateResult AggregateStage::run(PipelineContext& ctx,
                                    const Decomposition& dec,
                                    const SamplePlan& plan,
                                    const TraversalResults& trav) const {
+  BRICS_FAILPOINT("aggregate.combine");
   const NodeId n = rg.ledger.num_nodes();
   const BlockId nb = dec.num_blocks();
-  const BccResult& bcc = dec.bcc;
   const BlockCutTree& bct = dec.bct;
 
   EstimateResult res;

@@ -91,6 +91,9 @@ std::size_t sssp_batch(const CsrGraph& g, std::span<const NodeId> sources,
                        std::span<std::uint8_t> completed, Fn&& fn) {
   std::size_t done = 0;
   for (std::size_t i = first; i < first + count; ++i) {
+    // Sources already flagged completed (retry re-entry, checkpoint
+    // resume) are skipped — their folds must not run twice.
+    if (completed[i]) continue;
     const bool must = i < mandatory;
     if (!must && cancel != nullptr && cancel->poll()) continue;
     if (!sssp(g, sources[i], ws, must ? nullptr : cancel)) continue;

@@ -1,0 +1,386 @@
+// Tests for the resilience layer (docs/ROBUSTNESS.md): checkpoint segment
+// framing and corruption handling, the Recovery manager's load-or-recompute
+// contract, bit-exact checkpoint/resume of full estimator runs, per-task
+// retry and quarantine in the Traverse stage, fail-point spec parsing, and
+// a miniature chaos sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "brics/brics.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "brics_recovery_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    FailPointRegistry::instance().disarm_all();
+  }
+  void TearDown() override {
+    FailPointRegistry::instance().disarm_all();
+    fs::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+// ------------------------------------------------------------- CRC + framing
+
+TEST_F(RecoveryTest, Crc32KnownAnswer) {
+  // The canonical IEEE check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+  // Chaining matches one-shot.
+  const std::uint32_t part = crc32("12345", 5);
+  EXPECT_EQ(crc32("6789", 4, part), 0xCBF43926u);
+}
+
+TEST_F(RecoveryTest, SegmentRoundTrip) {
+  const std::string payload = "hello checkpoint payload";
+  write_segment(dir_, "seg.ckpt", SegmentKind::kManifest, 42, payload);
+  EXPECT_EQ(read_segment(dir_ + "/seg.ckpt", SegmentKind::kManifest, 42),
+            payload);
+  // No stray .tmp left behind after the atomic rename.
+  EXPECT_FALSE(fs::exists(dir_ + "/seg.ckpt.tmp"));
+}
+
+TEST_F(RecoveryTest, SegmentRejectsMissingTruncatedAndCorrupt) {
+  const std::string p = dir_ + "/seg.ckpt";
+  EXPECT_THROW(read_segment(p, SegmentKind::kPlan, 1), CheckpointError);
+
+  write_segment(dir_, "seg.ckpt", SegmentKind::kPlan, 1, "abcdefgh");
+  const std::string good = slurp(p);
+
+  // Truncated: drop the CRC trailer and part of the payload.
+  spit(p, good.substr(0, good.size() - 7));
+  EXPECT_THROW(read_segment(p, SegmentKind::kPlan, 1), CheckpointError);
+
+  // Bit flip in the payload breaks the CRC.
+  std::string flipped = good;
+  flipped[36] = static_cast<char>(flipped[36] ^ 0x40);
+  spit(p, flipped);
+  EXPECT_THROW(read_segment(p, SegmentKind::kPlan, 1), CheckpointError);
+
+  // Version mismatch (byte 8 holds the little-endian format version).
+  std::string wrong_version = good;
+  wrong_version[8] = static_cast<char>(kCheckpointFormatVersion + 1);
+  spit(p, wrong_version);
+  try {
+    read_segment(p, SegmentKind::kPlan, 1);
+    FAIL() << "version mismatch not detected";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+
+  // Wrong kind and wrong config hash are both rejected on the intact file.
+  spit(p, good);
+  EXPECT_THROW(read_segment(p, SegmentKind::kTraversal, 1), CheckpointError);
+  EXPECT_THROW(read_segment(p, SegmentKind::kPlan, 2), CheckpointError);
+
+  // CheckpointError participates in the InputError taxonomy (CLI exit 3).
+  EXPECT_THROW(read_segment(p, SegmentKind::kPlan, 2), InputError);
+}
+
+TEST_F(RecoveryTest, ByteReaderThrowsOnUnderflow) {
+  ByteWriter w;
+  w.u32(7);
+  w.f64(2.5);
+  ByteReader r(w.str());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.f64(), 2.5);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u8(), CheckpointError);
+}
+
+// -------------------------------------------------- Recovery load contract
+
+TEST_F(RecoveryTest, CorruptSegmentFallsBackToRecompute) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 120, 7}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 1.0;
+  opts.recovery.checkpoint_dir = dir_;
+
+  const EstimateResult baseline = estimate_brics(g, opts);
+  ASSERT_FALSE(baseline.degraded);
+  ASSERT_TRUE(fs::exists(dir_ + "/decomposition.ckpt"));
+
+  // Corrupt one mid-pipeline segment; a resume must reject it, recompute,
+  // and still land on the identical result.
+  std::string blob = slurp(dir_ + "/decomposition.ckpt");
+  blob[blob.size() / 2] = static_cast<char>(blob[blob.size() / 2] ^ 0x01);
+  spit(dir_ + "/decomposition.ckpt", blob);
+
+  EstimateOptions resume = opts;
+  resume.recovery.resume = true;
+  const EstimateResult res = estimate_brics(g, resume);
+  EXPECT_FALSE(res.degraded);
+  EXPECT_GE(res.recovery.checkpoints_rejected, 1u);
+  EXPECT_EQ(res.farness, baseline.farness);
+}
+
+TEST_F(RecoveryTest, ConfigChangeRejectsSegments) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 90, 3}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 1.0;
+  opts.recovery.checkpoint_dir = dir_;
+  ASSERT_FALSE(estimate_brics(g, opts).degraded);
+
+  // A different seed is a different config hash: every stale segment is
+  // rejected (or ignored) and the run is computed fresh.
+  EstimateOptions other = opts;
+  other.seed = 999;
+  other.recovery.resume = true;
+  const EstimateResult res = estimate_brics(g, other);
+  EXPECT_FALSE(res.degraded);
+  EXPECT_EQ(res.recovery.checkpoints_loaded, 0u);
+
+  EstimateOptions fresh = other;
+  fresh.recovery = RecoveryOptions{};
+  EXPECT_EQ(res.farness, estimate_brics(g, fresh).farness);
+}
+
+// ------------------------------------------------- checkpoint/resume e2e
+
+TEST_F(RecoveryTest, ResumeFromCompleteCheckpointIsBitExact) {
+  for (const char* kind : {"grid_subdivided", "web_copy"}) {
+    CsrGraph g = test::RandomGraphCase{kind, 150, 19}.build();
+    EstimateOptions plain;
+    plain.sample_rate = 1.0;
+    const EstimateResult baseline = estimate_brics(g, plain);
+
+    const std::string ck = dir_ + "/" + kind;
+    EstimateOptions with_ck = plain;
+    with_ck.recovery.checkpoint_dir = ck;
+    const EstimateResult first = estimate_brics(g, with_ck);
+    EXPECT_FALSE(first.degraded);
+    EXPECT_EQ(first.recovery.attempt, 1u);
+    EXPECT_FALSE(first.recovery.resumed);
+    EXPECT_GE(first.recovery.checkpoints_written, 4u);
+    EXPECT_EQ(first.farness, baseline.farness) << kind;
+
+    EstimateOptions resume = with_ck;
+    resume.recovery.resume = true;
+    const EstimateResult second = estimate_brics(g, resume);
+    EXPECT_FALSE(second.degraded);
+    EXPECT_TRUE(second.recovery.resumed);
+    EXPECT_EQ(second.recovery.attempt, 2u);
+    EXPECT_GE(second.recovery.checkpoints_loaded, 4u);
+    EXPECT_EQ(second.farness, baseline.farness) << kind;
+  }
+}
+
+TEST_F(RecoveryTest, ResumeFromPartialTraversalIsBitExact) {
+#if BRICS_FAILPOINTS_ENABLED
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 200, 19}.build();
+  EstimateOptions plain;
+  plain.sample_rate = 1.0;
+  // Force per-source tasks (batched blocks would collapse to one task
+  // each, leaving too few traverse.task evaluations to inject into).
+  plain.kernel = KernelChoice::kBfs;
+  const EstimateResult baseline = estimate_brics(g, plain);
+
+  // Attempt 1: checkpoint every 2 traversal tasks, then hit a persistent
+  // traverse fault with retries disabled — the run falls back (degraded),
+  // leaving a partial traversal snapshot on disk.
+  EstimateOptions cut = plain;
+  cut.recovery.checkpoint_dir = dir_;
+  cut.recovery.checkpoint_every = 2;
+  cut.retry.max_attempts = 1;
+  {
+    ScopedFailPoint fp("traverse.task", /*skip_hits=*/6);
+    const EstimateResult first = estimate_brics(g, cut);
+    EXPECT_TRUE(first.degraded);
+  }
+
+  // Attempt 2 resumes: adopts the partial wave, completes the rest, and
+  // matches the uninterrupted baseline bit for bit.
+  EstimateOptions resume = cut;
+  resume.retry = RetryPolicy{};
+  resume.recovery.resume = true;
+  const EstimateResult second = estimate_brics(g, resume);
+  EXPECT_FALSE(second.degraded);
+  EXPECT_TRUE(second.recovery.resumed);
+  EXPECT_EQ(second.recovery.attempt, 2u);
+  EXPECT_EQ(second.farness, baseline.farness);
+#else
+  GTEST_SKIP() << "fail points compiled out";
+#endif
+}
+
+TEST_F(RecoveryTest, CumulativeWallClockSpansAttempts) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 80, 5}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 1.0;
+  opts.recovery.checkpoint_dir = dir_;
+  const EstimateResult first = estimate_brics(g, opts);
+  ASSERT_EQ(first.recovery.attempt, 1u);
+  ASSERT_GT(first.recovery.cumulative_wall_s, 0.0);
+
+  // A resumed attempt's own budget is fresh (a new CancelToken per run),
+  // but the manifest accumulates wall clock across attempts.
+  EstimateOptions resume = opts;
+  resume.recovery.resume = true;
+  resume.budget.timeout_ms = 60'000;
+  const EstimateResult second = estimate_brics(g, resume);
+  EXPECT_FALSE(second.degraded);
+  EXPECT_EQ(second.recovery.attempt, 2u);
+  EXPECT_GE(second.recovery.cumulative_wall_s,
+            first.recovery.cumulative_wall_s);
+}
+
+TEST_F(RecoveryTest, IdleRecoveryStatsAreZeroed) {
+  CsrGraph g = test::RandomGraphCase{"tree", 60, 7}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 0.5;
+  const EstimateResult res = estimate_brics(g, opts);
+  EXPECT_EQ(res.recovery.attempt, 1u);
+  EXPECT_FALSE(res.recovery.resumed);
+  EXPECT_EQ(res.recovery.checkpoints_written, 0u);
+  EXPECT_EQ(res.recovery.retries, 0u);
+  EXPECT_EQ(res.recovery.quarantined_blocks, 0u);
+  EXPECT_DOUBLE_EQ(res.recovery.cumulative_wall_s, res.times.total_s);
+}
+
+// --------------------------------------------------- retry and quarantine
+
+#if BRICS_FAILPOINTS_ENABLED
+
+TEST_F(RecoveryTest, RetryAbsorbsTransientTraverseFault) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 150, 7}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 1.0;
+  const EstimateResult baseline = estimate_brics(g, opts);
+
+  ScopedFailPoint fp("traverse.task", /*skip_hits=*/0, /*fire_limit=*/1);
+  const EstimateResult res = estimate_brics(g, opts);
+  EXPECT_FALSE(res.degraded);
+  EXPECT_GE(res.recovery.retries, 1u);
+  EXPECT_EQ(res.recovery.quarantined_blocks, 0u);
+  EXPECT_EQ(res.farness, baseline.farness);
+}
+
+TEST_F(RecoveryTest, RetryAbsorbsTransientSinkFault) {
+  // The sink fail point sits BEFORE any accumulator write, so one firing
+  // is retryable without double-counting.
+  CsrGraph g = test::RandomGraphCase{"grid_subdivided", 120, 11}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 1.0;
+  const EstimateResult baseline = estimate_brics(g, opts);
+
+  ScopedFailPoint fp("traverse.sink", /*skip_hits=*/0, /*fire_limit=*/1);
+  const EstimateResult res = estimate_brics(g, opts);
+  EXPECT_FALSE(res.degraded);
+  EXPECT_GE(res.recovery.retries, 1u);
+  EXPECT_EQ(res.farness, baseline.farness);
+}
+
+TEST_F(RecoveryTest, PersistentTraverseFaultDegrades) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 150, 7}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 1.0;
+  opts.retry.max_attempts = 2;
+
+  ScopedFailPoint fp("traverse.task");  // fires on every attempt
+  const EstimateResult res = estimate_brics(g, opts);
+  // Quarantine swallowed mandatory work, so the run escalated to the
+  // plain-sampling fallback — degraded, but valid and finite.
+  EXPECT_TRUE(res.degraded);
+  ASSERT_EQ(res.farness.size(), g.num_nodes());
+  for (double f : res.farness) EXPECT_TRUE(std::isfinite(f));
+  EXPECT_GE(res.recovery.retries, 1u);
+}
+
+#endif  // BRICS_FAILPOINTS_ENABLED
+
+// ----------------------------------------------------- fail-point specs
+
+TEST_F(RecoveryTest, SpecGrammarArmsSites) {
+  auto& reg = FailPointRegistry::instance();
+  reg.arm_from_spec("traverse.task=2:once, reduce.pipeline");
+  EXPECT_TRUE(reg.armed("traverse.task"));
+  EXPECT_TRUE(reg.armed("reduce.pipeline"));
+  // =2 skips the first evaluation, fires on the second; :once disarms.
+  EXPECT_FALSE(reg.should_fail("traverse.task"));
+  EXPECT_TRUE(reg.should_fail("traverse.task"));
+  EXPECT_FALSE(reg.armed("traverse.task"));
+  EXPECT_FALSE(reg.should_fail("traverse.task"));
+  reg.disarm_all();
+}
+
+TEST_F(RecoveryTest, SpecGrammarRejectsMalformedEntries) {
+  auto& reg = FailPointRegistry::instance();
+  EXPECT_THROW(reg.arm_from_spec("no.such.site"), InputError);
+  EXPECT_THROW(reg.arm_from_spec("traverse.task=0"), InputError);
+  EXPECT_THROW(reg.arm_from_spec("traverse.task=abc"), InputError);
+  EXPECT_THROW(reg.arm_from_spec("=3"), InputError);
+  EXPECT_THROW(reg.arm_from_spec("traverse.task:frobnicate"), InputError);
+  EXPECT_THROW(reg.arm_from_spec(","), InputError);
+  reg.disarm_all();
+}
+
+TEST_F(RecoveryTest, KnownFailPointListIsExhaustive) {
+  // Every site name used in a BRICS_FAILPOINT() call in the library must
+  // be enumerable by the chaos driver; spot-check the set.
+  const auto sites = known_fail_points();
+  EXPECT_GE(sites.size(), 11u);
+  auto has = [&](const std::string& s) {
+    for (const char* k : sites)
+      if (s == k) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("io.edge_list"));
+  EXPECT_TRUE(has("reduce.pipeline"));
+  EXPECT_TRUE(has("bcc.decompose"));
+  EXPECT_TRUE(has("plan.build"));
+  EXPECT_TRUE(has("traverse.task"));
+  EXPECT_TRUE(has("traverse.sink"));
+  EXPECT_TRUE(has("aggregate.combine"));
+  EXPECT_TRUE(has("recovery.save"));
+  EXPECT_TRUE(has("recovery.load"));
+}
+
+// ------------------------------------------------------- mini chaos sweep
+
+#if BRICS_FAILPOINTS_ENABLED
+
+TEST_F(RecoveryTest, MiniChaosSweepIsClean) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 90, 7}.build();
+  ChaosOptions copts;
+  copts.max_hits = 1;
+  copts.work_dir = dir_ + "/chaos";
+  const ChaosReport report = run_chaos_sweep(g, copts);
+  EXPECT_EQ(report.failures, 0) << report.summary();
+  EXPECT_EQ(report.cases.size(), known_fail_points().size());
+  // The sweep must actually inject: most sites sit on the hot path.
+  int fired = 0;
+  for (const ChaosCase& c : report.cases) fired += c.fired ? 1 : 0;
+  EXPECT_GE(fired, 8) << report.summary();
+}
+
+#endif  // BRICS_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace brics

@@ -3,6 +3,8 @@
 //   brics stats    <edge_list|@dataset>                 structural summary
 //   brics estimate <edge_list|@dataset> [--rate R] [--seed S] [--config C]
 //                  [--timeout-ms T] [--max-sources K] [--threads N]
+//                  [--checkpoint-dir D] [--resume] [--checkpoint-every N]
+//                  [--retries K]
 //                  [--out FILE] [--metrics-out FILE] [--trace-out FILE]
 //                                                      farness estimates
 //   brics exact    <edge_list|@dataset> [--out FILE]    exact farness
@@ -21,9 +23,16 @@
 // --threads N overrides the OpenMP thread count for the run (clamped to
 // thread_ceiling()), so scaling sweeps don't need OMP_NUM_THREADS; the
 // effective count lands in the run report's parallel section.
+// --checkpoint-dir D persists pipeline artifacts into D as each stage
+// completes (--checkpoint-every N additionally snapshots mid-Traverse every
+// N tasks); after a crash or kill, the same command plus --resume continues
+// from the last valid segment instead of recomputing (docs/ROBUSTNESS.md).
+// --retries K bounds per-task retry of faulted traversals before
+// quarantine. The BRICS_FAILPOINTS environment variable arms fault
+// injection sites for testing (exec/failpoint.hpp).
 // --metrics-out writes a schema-versioned JSON run report (phase timings,
-// reduction counts, traversal counters, exec state); --trace-out writes a
-// Chrome trace_event file viewable in ui.perfetto.dev
+// reduction counts, traversal counters, exec state, recovery accounting);
+// --trace-out writes a Chrome trace_event file viewable in ui.perfetto.dev
 // (docs/OBSERVABILITY.md). Both are no-cost when omitted.
 //
 // Exit codes: 0 success, 2 usage error, 3 bad input, 4 estimate degraded
@@ -97,7 +106,9 @@ int usage() {
       "generate|datasets> "
       "<edge_list|@dataset> [--rate R] [--seed S] [--config C] [--k K] "
       "[--scale X] [--timeout-ms T] [--max-sources K] [--threads N] "
-      "[--kernel auto|bfs|dial|batched] [--out FILE] "
+      "[--kernel auto|bfs|dial|batched] "
+      "[--checkpoint-dir D] [--resume] [--checkpoint-every N] "
+      "[--retries K] [--out FILE] "
       "[--metrics-out FILE] [--trace-out FILE]\n"
       "exit codes: 0 ok, 2 usage, 3 bad input, 4 degraded by budget, "
       "5 internal error\n");
@@ -147,6 +158,14 @@ EstimateOptions config_from(const Args& a) {
     throw UsageError{"unknown --kernel '" + k +
                      "' (want auto|bfs|dial|batched)"};
   }
+  o.recovery.checkpoint_dir = a.get("checkpoint-dir", "");
+  o.recovery.resume = a.flags.count("resume") > 0;
+  o.recovery.checkpoint_every =
+      static_cast<std::uint32_t>(a.get_u64("checkpoint-every", 0));
+  if (o.recovery.resume && o.recovery.checkpoint_dir.empty())
+    throw UsageError{"--resume requires --checkpoint-dir"};
+  const std::uint64_t retries = a.get_u64("retries", 0);
+  if (retries > 0) o.retry.max_attempts = static_cast<int>(retries);
   return o;
 }
 
@@ -214,6 +233,14 @@ int cmd_estimate(const Args& a) {
         "effective rate %.4f\n",
         to_string(est.cut_phase), est.samples, est.planned_samples,
         est.achieved_sample_rate);
+  if (!o.recovery.checkpoint_dir.empty())
+    std::printf(
+        "# recovery: attempt %u%s, %u checkpoints written, %u loaded, "
+        "%u retries, %u quarantined, cumulative %.3f s\n",
+        est.recovery.attempt, est.recovery.resumed ? " (resumed)" : "",
+        est.recovery.checkpoints_written, est.recovery.checkpoints_loaded,
+        est.recovery.retries, est.recovery.quarantined_blocks,
+        est.recovery.cumulative_wall_s);
   if (!metrics_out.empty()) {
     RunReport report = make_run_report("brics_cli", a.input, g, o, config,
                                        est, wall_s);
@@ -328,7 +355,10 @@ int main(int argc, char** argv) {
   a.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) == 0) {
+    if (arg == "--resume") {
+      // Zero-argument switch; every other --flag consumes a value.
+      a.flags.emplace("resume", "1");
+    } else if (arg.rfind("--", 0) == 0) {
       if (i + 1 >= argc) return usage();
       a.flags[arg.substr(2)] = argv[++i];
     } else if (a.input.empty()) {
@@ -343,6 +373,9 @@ int main(int argc, char** argv) {
   // invariant violation — a bug worth reporting — and is deliberately
   // distinguished from the generic catch-all.
   try {
+    // Arm any BRICS_FAILPOINTS fault-injection spec before the command
+    // runs; a malformed spec is an InputError (exit 3), not a crash.
+    FailPointRegistry::instance().arm_from_env();
     if (a.command == "stats") return cmd_stats(a);
     if (a.command == "estimate") return cmd_estimate(a);
     if (a.command == "exact") return cmd_exact(a);
