@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "obs/json.hpp"
+#include "obs/version.hpp"
 
 namespace brics::bench {
 
@@ -120,16 +121,9 @@ namespace {
 BenchArtifact* g_current_artifact = nullptr;
 
 // Provenance for the artifact's env block. The git sha comes from the
-// BRICS_GIT_SHA compile definition (bench/CMakeLists.txt) with a runtime
-// env-var override for out-of-tree runs; "unknown" when neither exists.
-std::string env_git_sha() {
-  if (const char* s = std::getenv("BRICS_GIT_SHA")) return s;
-#ifdef BRICS_GIT_SHA
-  return BRICS_GIT_SHA;
-#else
-  return "unknown";
-#endif
-}
+// shared configure-time stamp (obs/version.hpp), which already honours a
+// runtime BRICS_GIT_SHA env-var override for out-of-tree runs.
+std::string env_git_sha() { return build_git_sha(); }
 
 std::string env_compiler() {
 #if defined(__clang_version__)

@@ -21,6 +21,7 @@
 //   pipeline/  the staged estimator: context, artifacts, kernels, stages
 //   core/      exact farness, sampling estimators, BRICS, quality metrics
 //   obs/       metrics registry, span tracing, JSON run reports
+//   server/    resident daemon: engine, wire protocol, admission control
 #pragma once
 
 #include "analysis/analysis.hpp"
@@ -58,5 +59,10 @@
 #include "pipeline/stages.hpp"
 #include "reduce/reducer.hpp"
 #include "reduce/serialize.hpp"
+#include "server/admission.hpp"
+#include "server/engine.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "server/server_chaos.hpp"
 #include "traverse/bfs.hpp"
 #include "traverse/bidirectional.hpp"

@@ -96,6 +96,20 @@ void write_segment(const std::string& dir, const std::string& name,
                           ec.message());
 }
 
+std::size_t sweep_orphan_tmp_segments(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  std::size_t removed = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::filesystem::path& p = entry.path();
+    if (p.extension() != ".tmp") continue;
+    if (std::filesystem::remove(p, ec)) ++removed;
+  }
+  return removed;
+}
+
 std::string read_segment(const std::string& path, SegmentKind kind,
                          std::uint64_t config_hash) {
   std::ifstream in(path, std::ios::binary);

@@ -49,6 +49,7 @@ enum class SegmentKind : std::uint32_t {
   kPlan = 3,
   kTraversal = 4,
   kManifest = 5,
+  kGraphState = 6,  ///< server: committed graph version + edge list
 };
 
 inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
@@ -63,6 +64,14 @@ void write_segment(const std::string& dir, const std::string& name,
 /// CheckpointError on any framing, CRC, version, kind or config mismatch.
 std::string read_segment(const std::string& path, SegmentKind kind,
                          std::uint64_t config_hash);
+
+/// Delete orphaned "*.tmp" segments a killed writer left in `dir` and
+/// return how many were removed. A crash between open and rename leaves
+/// the temporary next to the (still valid) previous segment; nothing ever
+/// reads those, so every checkpoint consumer sweeps them at startup
+/// instead of letting them accumulate forever. Missing or unreadable
+/// directories are a no-op.
+std::size_t sweep_orphan_tmp_segments(const std::string& dir);
 
 /// Append-only little-endian byte buffer for artifact payloads.
 class ByteWriter {

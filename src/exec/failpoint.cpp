@@ -26,6 +26,11 @@ constexpr const char* kKnownFailPoints[] = {
     "aggregate.combine", // pipeline/stages.cpp (AggregateStage)
     "recovery.save",     // exec/recovery.cpp (segment write)
     "recovery.load",     // exec/recovery.cpp (segment read)
+    "server.accept",     // server/server.cpp (connection accepted)
+    "server.read",       // server/protocol.cpp (request frame read)
+    "server.write",      // server/protocol.cpp (reply frame write)
+    "server.enqueue",    // server/server.cpp (admission-queue push)
+    "server.apply",      // server/engine.cpp (edge-batch apply)
 };
 
 struct ArmState {

@@ -350,6 +350,10 @@ Recovery::Recovery(const RecoveryOptions& opts, std::uint64_t config_hash)
     : opts_(opts), hash_(config_hash) {
   std::error_code ec;
   std::filesystem::create_directories(opts_.checkpoint_dir, ec);
+  // A writer killed mid-write_segment leaves "<name>.ckpt.tmp" behind;
+  // nothing ever reads those, so sweep them on every startup (fresh AND
+  // resume) instead of letting them accumulate forever.
+  sweep_orphan_tmp_segments(opts_.checkpoint_dir);
   if (!opts_.resume) {
     // Fresh run: stale segments from an earlier run must not leak into a
     // later --resume against this directory.

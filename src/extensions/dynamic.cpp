@@ -64,23 +64,44 @@ void DynamicFarness::rebuild() {
 }
 
 void DynamicFarness::insert_edge(NodeId u, NodeId v, Weight w) {
-  BRICS_CHECK(u < g_.num_nodes() && v < g_.num_nodes());
-  if (u == v) return;
-  ++stats_.insertions;
+  const Edge e{u, v, w};
+  insert_edges(std::span<const Edge>(&e, 1));
+}
 
-  // Grow the full graph.
-  {
-    GraphBuilder b(g_.num_nodes());
-    b.add_edges(g_.edge_list());
-    b.add_edge(u, v, w);
-    g_ = b.build();
+void DynamicFarness::insert_edges(std::span<const Edge> edges) {
+  bool patched = false;
+  bool reduced_fresh = false;  // last mutation was a clean re-reduction
+  for (const Edge& e : edges) {
+    BRICS_CHECK(e.u < g_.num_nodes() && e.v < g_.num_nodes());
+    if (e.u == e.v) continue;
+    ++stats_.insertions;
+
+    // Grow the full graph.
+    {
+      GraphBuilder b(g_.num_nodes());
+      b.add_edges(g_.edge_list());
+      b.add_edge(e.u, e.v, e.w);
+      g_ = b.build();
+    }
+
+    if (patches_since_rebuild_ >= rebuild_threshold_) {
+      rg_ = reduce(g_, opts_.reduce);
+      patches_since_rebuild_ = 0;
+      ++stats_.full_rebuilds;
+      reduced_fresh = true;
+    } else {
+      patch_reduction(e.u, e.v);
+      reduced_fresh = false;
+    }
+    patched = true;
   }
+  if (!patched) return;
+  // A fresh reduction already carries its own CSR; only patches dirty it.
+  if (!reduced_fresh) rebuild_reduced_csr();
+  est_ = estimate_on_reduction(rg_, opts_);
+}
 
-  if (patches_since_rebuild_ >= rebuild_threshold_) {
-    rebuild();
-    return;
-  }
-
+void DynamicFarness::patch_reduction(NodeId u, NodeId v) {
   // Collect the records to splice (see SpliceIndex).
   SpliceIndex index(rg_.ledger);
   std::vector<std::uint32_t> to_splice;
@@ -125,25 +146,23 @@ void DynamicFarness::insert_edge(NodeId u, NodeId v, Weight w) {
   }
   ++stats_.patched;
   ++patches_since_rebuild_;
+}
 
-  // Rebuild the reduced CSR graph: original edges among present nodes plus
-  // the compressed edges of still-active through chains.
-  {
-    GraphBuilder b(g_.num_nodes());
-    for (const Edge& e : g_.edge_list())
-      if (rg_.present[e.u] && rg_.present[e.v]) b.add_edge(e.u, e.v, e.w);
-    auto order = rg_.ledger.order();
-    for (std::uint32_t i = 0; i < order.size(); ++i) {
-      if (order[i].kind != ReductionLedger::Kind::kChain) continue;
-      if (!rg_.ledger.record_active(i)) continue;
-      const ChainRecord& c = rg_.ledger.chains()[order[i].index];
-      if (c.pendant() || c.cycle()) continue;
-      b.add_edge(c.u, c.v, c.total);
-    }
-    rg_.graph = b.build();
+// Rebuild the reduced CSR graph: original edges among present nodes plus
+// the compressed edges of still-active through chains.
+void DynamicFarness::rebuild_reduced_csr() {
+  GraphBuilder b(g_.num_nodes());
+  for (const Edge& e : g_.edge_list())
+    if (rg_.present[e.u] && rg_.present[e.v]) b.add_edge(e.u, e.v, e.w);
+  auto order = rg_.ledger.order();
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    if (order[i].kind != ReductionLedger::Kind::kChain) continue;
+    if (!rg_.ledger.record_active(i)) continue;
+    const ChainRecord& c = rg_.ledger.chains()[order[i].index];
+    if (c.pendant() || c.cycle()) continue;
+    b.add_edge(c.u, c.v, c.total);
   }
-
-  est_ = estimate_on_reduction(rg_, opts_);
+  rg_.graph = b.build();
 }
 
 }  // namespace brics

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/estimate.hpp"
@@ -48,9 +49,22 @@ class DynamicFarness {
   /// the estimates.
   void insert_edge(NodeId u, NodeId v, Weight w = 1);
 
-  /// Current estimates (recomputed eagerly by insert_edge). The dynamic
-  /// estimator always runs the full BCC pipeline on the patched reduction.
+  /// Insert a whole batch, patching the reduction per edge but re-running
+  /// the estimator only once at the end — the server's streaming-update
+  /// path. Self loops are skipped; a batch of nothing but self loops
+  /// leaves the estimates untouched.
+  void insert_edges(std::span<const Edge> edges);
+
+  /// Current estimates (recomputed eagerly by insert_edge/insert_edges).
+  /// The dynamic estimator always runs the full BCC pipeline on the
+  /// patched reduction.
   const EstimateResult& estimate() const { return est_; }
+
+  /// Mutable estimator options for subsequent (re-)estimations — the
+  /// server maps per-request deadlines onto .budget here. Reduction
+  /// options only take effect at the next full rebuild (the cached
+  /// reduction is keyed to the options it was built with).
+  EstimateOptions& options() { return opts_; }
 
   /// The current graph.
   const CsrGraph& graph() const { return g_; }
@@ -62,6 +76,8 @@ class DynamicFarness {
 
  private:
   void rebuild();
+  void patch_reduction(NodeId u, NodeId v);
+  void rebuild_reduced_csr();
 
   CsrGraph g_;
   EstimateOptions opts_;

@@ -1,0 +1,23 @@
+#include "obs/version.hpp"
+
+#include <cstdlib>
+
+#include "obs/report.hpp"
+
+namespace brics {
+
+std::string build_git_sha() {
+  if (const char* s = std::getenv("BRICS_GIT_SHA")) return s;
+#ifdef BRICS_GIT_SHA
+  return BRICS_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_version_string() {
+  return "git " + build_git_sha() + ", run-report schema v" +
+         std::to_string(RunReport::kSchemaVersion);
+}
+
+}  // namespace brics

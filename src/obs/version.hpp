@@ -1,0 +1,22 @@
+// Build provenance: the configure-time git sha and the artifact schema
+// versions, in one place. The sha is stamped into version.cpp via the
+// BRICS_GIT_SHA compile definition (src/obs/CMakeLists.txt runs
+// `git rev-parse --short HEAD` at configure time); a BRICS_GIT_SHA
+// environment variable overrides at run time for out-of-tree builds, and
+// both the bench artifacts' env block and the CLI/server version strings
+// read it from here — one stamp, every consumer.
+#pragma once
+
+#include <string>
+
+namespace brics {
+
+/// Configure-time git sha ("unknown" when built outside a checkout);
+/// a BRICS_GIT_SHA environment variable takes precedence.
+std::string build_git_sha();
+
+/// One-line provenance: "git <sha>, run-report schema v<N>" — what
+/// `brics --version` and the server hello reply report.
+std::string build_version_string();
+
+}  // namespace brics

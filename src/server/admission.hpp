@@ -1,0 +1,91 @@
+// Admission control: the bounded queue between connection readers and the
+// worker pool (docs/ROBUSTNESS.md "Admission control").
+//
+// The invariant the daemon lives by: a request is either served, or shed
+// with an explicit reply — never silently queued without bound, never
+// hung. try_push is the only way in and it refuses when the queue is at
+// capacity; the caller turns that refusal into an OVERLOADED reply while
+// the client still has a healthy connection to hear it on. close() flips
+// the queue into drain mode: pops drain nothing further (workers exit),
+// and the remaining jobs are handed back to the closer so each can be
+// refused with SHUTTING-DOWN instead of being dropped on the floor.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace brics {
+
+template <typename Job>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admit `job` unless the queue is full or closed. Returns false on a
+  /// full queue (caller sheds with OVERLOADED) and on a closed one
+  /// (caller refuses with SHUTTING-DOWN; check closed() to distinguish).
+  bool try_push(Job job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || q_.size() >= capacity_) return false;
+      q_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until a job is available or the queue closes. nullopt = closed:
+  /// the worker should exit its loop.
+  std::optional<Job> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    if (closed_) return std::nullopt;
+    Job job = std::move(q_.front());
+    q_.pop_front();
+    return job;
+  }
+
+  /// Close the queue and return every job still waiting, so the caller
+  /// can refuse each one explicitly. Idempotent (later calls return
+  /// nothing).
+  std::vector<Job> close() {
+    std::vector<Job> rest;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      rest.reserve(q_.size());
+      while (!q_.empty()) {
+        rest.push_back(std::move(q_.front()));
+        q_.pop_front();
+      }
+    }
+    cv_.notify_all();
+    return rest;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> q_;
+  bool closed_ = false;
+};
+
+}  // namespace brics

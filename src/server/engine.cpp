@@ -1,0 +1,267 @@
+#include "server/engine.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "analysis/analysis.hpp"
+#include "exec/checkpoint.hpp"
+#include "exec/failpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "util/timer.hpp"
+
+namespace brics {
+namespace {
+
+constexpr const char* kStateSegment = "graph.state";
+
+void hash_mix(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a over the 8 bytes of v, same scheme as recovery_config_hash.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+}
+
+/// payload := u64 version | u64 num_nodes | u64 num_edges | edges...
+std::string encode_state(std::uint64_t version, const CsrGraph& g) {
+  ByteWriter w;
+  w.u64(version);
+  w.u64(g.num_nodes());
+  const auto edges = g.edge_list();
+  w.u64(edges.size());
+  for (const Edge& e : edges) {
+    w.u32(e.u);
+    w.u32(e.v);
+    w.u32(e.w);
+  }
+  return w.str();
+}
+
+struct DecodedState {
+  std::uint64_t version = 0;
+  CsrGraph graph;
+};
+
+DecodedState decode_state(const std::string& payload) {
+  ByteReader r(payload);
+  DecodedState st;
+  st.version = r.u64();
+  const std::uint64_t n = r.u64();
+  const std::uint64_t m = r.u64();
+  GraphBuilder b(static_cast<NodeId>(n));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const NodeId u = r.u32();
+    const NodeId v = r.u32();
+    const Weight w = r.u32();
+    b.add_edge(u, v, w);
+  }
+  if (!r.done())
+    throw CheckpointError("graph state segment has trailing bytes");
+  st.graph = b.build();
+  return st;
+}
+
+}  // namespace
+
+std::uint64_t engine_state_hash(const EstimateOptions& opts) {
+  std::uint64_t h = 14695981039346656037ull;
+  hash_mix(h, static_cast<std::uint64_t>(opts.sample_rate * 1e9));
+  hash_mix(h, opts.seed);
+  hash_mix(h, static_cast<std::uint64_t>(opts.reduce.identical) |
+                  (static_cast<std::uint64_t>(opts.reduce.chains) << 1) |
+                  (static_cast<std::uint64_t>(opts.reduce.redundant) << 2) |
+                  (static_cast<std::uint64_t>(opts.reduce.iterate) << 3));
+  hash_mix(h, static_cast<std::uint64_t>(opts.use_bcc));
+  hash_mix(h, static_cast<std::uint64_t>(opts.strategy));
+  hash_mix(h, static_cast<std::uint64_t>(opts.kernel));
+  return h;
+}
+
+ServerEngine::ServerEngine(CsrGraph g, EngineOptions opts)
+    : opts_(std::move(opts)),
+      state_hash_(engine_state_hash(opts_.estimate)),
+      dyn_([&]() -> DynamicFarness {
+        // Prefer the last committed state over the seed graph: that is
+        // the restart-after-crash path. An invalid, stale-config or
+        // missing segment falls back to the seed graph silently — the
+        // checkpoint contract is "resume if possible, recompute if not".
+        if (!opts_.state_dir.empty()) {
+          sweep_orphan_tmp_segments(opts_.state_dir);
+          const std::string path =
+              (std::filesystem::path(opts_.state_dir) / kStateSegment)
+                  .string();
+          try {
+            DecodedState st = decode_state(read_segment(
+                path, SegmentKind::kGraphState, state_hash_));
+            version_ = st.version;
+            resumed_ = true;
+            BRICS_COUNTER(c, "server.state_resumed");
+            BRICS_COUNTER_ADD(c, 1);
+            return DynamicFarness(std::move(st.graph), opts_.estimate,
+                                  opts_.rebuild_threshold);
+          } catch (const CheckpointError&) {
+            // fall through to the seed graph
+          }
+        }
+        return DynamicFarness(std::move(g), opts_.estimate,
+                              opts_.rebuild_threshold);
+      }()) {
+  last_estimate_wall_s_ = dyn_.estimate().times.total_s;
+  if (!opts_.state_dir.empty() && !resumed_) {
+    // Commit version 1 so a crash before the first update still restarts
+    // into a committed state.
+    ApplyResult res;
+    commit_locked(&res);
+  }
+}
+
+NodeId ServerEngine::num_nodes() const {
+  std::shared_lock lk(mu_);
+  return dyn_.graph().num_nodes();
+}
+
+std::uint64_t ServerEngine::num_edges() const {
+  std::shared_lock lk(mu_);
+  return dyn_.graph().num_edges();
+}
+
+std::string ServerEngine::stats_text() const {
+  std::shared_lock lk(mu_);
+  return to_string(summarize_graph(dyn_.graph()));
+}
+
+ServerEngine::QueryResult ServerEngine::farness(
+    std::span<const NodeId> nodes, bool closeness) const {
+  std::shared_lock lk(mu_);
+  const EstimateResult& est = dyn_.estimate();
+  const NodeId n = dyn_.graph().num_nodes();
+  QueryResult out;
+  out.version = version_;
+  out.degraded = est.degraded;
+
+  auto row = [&](NodeId v) {
+    if (v >= n)
+      throw InputError("node id " + std::to_string(v) +
+                       " out of range (graph has " + std::to_string(n) +
+                       " nodes)");
+    FarnessEntry e;
+    e.node = v;
+    e.exact = est.exact[v] != 0;
+    if (closeness) {
+      const double f = est.farness[v];
+      e.value = f > 0.0 ? static_cast<double>(n - 1) / f : 0.0;
+    } else {
+      e.value = est.farness[v];
+    }
+    out.entries.push_back(e);
+  };
+
+  if (nodes.empty()) {
+    out.entries.reserve(n);
+    for (NodeId v = 0; v < n; ++v) row(v);
+  } else {
+    out.entries.reserve(nodes.size());
+    for (NodeId v : nodes) row(v);
+  }
+  BRICS_COUNTER(c, "server.queries_served");
+  BRICS_COUNTER_ADD(c, 1);
+  return out;
+}
+
+ServerEngine::TopKQuery ServerEngine::topk(NodeId k,
+                                           std::int64_t deadline_ms) const {
+  std::shared_lock lk(mu_);
+  TopKQuery out;
+  out.version = version_;
+  {
+    std::lock_guard<std::mutex> clk(topk_mu_);
+    if (topk_valid_ && topk_version_ == version_ && topk_k_ == k) {
+      out.result = topk_cache_;
+      BRICS_COUNTER(c, "server.topk_cache_hits");
+      BRICS_COUNTER_ADD(c, 1);
+      return out;
+    }
+  }
+  TopKOptions topts;
+  topts.estimate = opts_.estimate;
+  topts.estimate.budget.timeout_ms = deadline_ms;
+  out.result = top_k_closeness(dyn_.graph(), k, topts);
+  if (out.result.is_exact) {
+    std::lock_guard<std::mutex> clk(topk_mu_);
+    topk_valid_ = true;
+    topk_version_ = out.version;
+    topk_k_ = k;
+    topk_cache_ = out.result;
+  }
+  BRICS_COUNTER(c, "server.topk_served");
+  BRICS_COUNTER_ADD(c, 1);
+  return out;
+}
+
+ServerEngine::ApplyResult ServerEngine::apply_batch(
+    std::span<const Edge> edges, std::int64_t deadline_ms) {
+  std::unique_lock lk(mu_);
+  // The whole batch is transactional: the fail point and validation both
+  // fire before any mutation, so a rejected batch leaves graph, estimate
+  // and version untouched.
+  BRICS_FAILPOINT("server.apply");
+  const NodeId n = dyn_.graph().num_nodes();
+  for (const Edge& e : edges) {
+    if (e.u >= n || e.v >= n)
+      throw InputError("edge (" + std::to_string(e.u) + ", " +
+                       std::to_string(e.v) + ") out of range (graph has " +
+                       std::to_string(n) + " nodes)");
+    if (e.w == 0)
+      throw InputError("edge (" + std::to_string(e.u) + ", " +
+                       std::to_string(e.v) + ") has zero weight");
+  }
+
+  dyn_.options().budget.timeout_ms = deadline_ms;
+  Timer t;
+  dyn_.insert_edges(edges);
+  last_estimate_wall_s_ = t.seconds();
+  dyn_.options().budget.timeout_ms = 0;
+
+  ApplyResult res;
+  std::uint32_t applied = 0;
+  for (const Edge& e : edges)
+    if (e.u != e.v) ++applied;
+  res.applied = applied;
+  res.degraded = dyn_.estimate().degraded;
+  ++version_;
+  commit_locked(&res);
+  BRICS_COUNTER(c, "server.batches_applied");
+  BRICS_COUNTER_ADD(c, 1);
+  return res;
+}
+
+void ServerEngine::commit_locked(ApplyResult* res) {
+  res->version = version_;
+  if (opts_.state_dir.empty()) return;
+  try {
+    write_segment(opts_.state_dir, kStateSegment,
+                  SegmentKind::kGraphState, state_hash_,
+                  encode_state(version_, dyn_.graph()));
+    res->persisted = true;
+    BRICS_COUNTER(c, "server.state_commits");
+    BRICS_COUNTER_ADD(c, 1);
+  } catch (const CheckpointError&) {
+    // Persistence is best-effort: the in-memory state is still correct,
+    // the reply just flags that a crash now would lose this version.
+    res->persisted = false;
+    BRICS_COUNTER(c, "server.state_commit_failures");
+    BRICS_COUNTER_ADD(c, 1);
+  }
+}
+
+std::string ServerEngine::report_json(const std::string& tool) const {
+  std::shared_lock lk(mu_);
+  RunReport rep = make_run_report(
+      tool, "server:v" + std::to_string(version_), dyn_.graph(),
+      opts_.estimate, "cumulative", dyn_.estimate(),
+      last_estimate_wall_s_);
+  return to_json(rep);
+}
+
+}  // namespace brics

@@ -1,0 +1,150 @@
+// Resident centrality engine: the state the daemon serves.
+//
+// A ServerEngine loads a graph once, runs the full BRICS estimate, and
+// then answers queries from that cached result until an edge-update batch
+// advances the graph version. Updates go through the dynamic extension
+// (extensions/dynamic.hpp): the reduction is patched per edge and the
+// estimator re-runs once per batch — on the dirtied biconnected blocks of
+// the patched reduction, not the world.
+//
+// Versioning and crash safety: every committed batch bumps a monotonically
+// increasing graph version and (with a state_dir) atomically persists the
+// full edge list + version as a CRC-validated kGraphState segment
+// (exec/checkpoint.hpp, tmp+rename). Commit happens BEFORE the reply is
+// delivered, so any version a client ever observed survives a SIGKILL: a
+// restarted engine loads the last committed segment and rebuilds its
+// estimate from it. At 100 % sampling every node the estimator flags
+// `exact` carries the true integer farness, so restarted and pre-crash
+// answers agree bit-for-bit on those nodes; reduced-away nodes get a
+// calibrated reconstruction that is deterministic per reduction, and a
+// restart re-reduces from scratch while the live server may be serving a
+// patched reduction — deterministic replays of the same construction path
+// are bit-identical, across paths only exact-flagged nodes are
+// (docs/SERVER.md).
+//
+// Concurrency: one writer, many readers. apply_batch takes the unique
+// lock; every query takes a shared lock and reads the immutable cached
+// estimate. Per-request deadlines map onto the estimator's RunBudget, so
+// a slow re-estimate degrades exactly like the CLI does instead of
+// blocking the write lock forever.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "extensions/dynamic.hpp"
+#include "extensions/topk.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+struct EngineOptions {
+  /// Estimator configuration for the initial estimate and every
+  /// re-estimation (sample_rate, seed, reductions, kernel, retry, ...).
+  EstimateOptions estimate;
+  /// Directory for the committed graph-state segment; empty = volatile
+  /// (state dies with the process).
+  std::string state_dir;
+  /// Patches before the dynamic layer re-reduces from scratch.
+  std::uint32_t rebuild_threshold = 64;
+};
+
+/// One farness/closeness query row.
+struct FarnessEntry {
+  NodeId node = 0;
+  double value = 0.0;
+  bool exact = false;
+};
+
+class ServerEngine {
+ public:
+  /// Construct from `g`, unless `opts.state_dir` holds a valid committed
+  /// state segment for the same estimator options — then that state
+  /// (graph + version) supersedes `g`, which is how a restarted daemon
+  /// resumes from the last committed graph version. Runs the initial
+  /// estimate either way; with a state_dir the initial state is committed
+  /// immediately so even an update-free run is resumable.
+  ServerEngine(CsrGraph g, EngineOptions opts);
+
+  std::uint64_t version() const {
+    std::shared_lock lk(mu_);
+    return version_;
+  }
+  /// True when construction consumed a committed state segment.
+  bool resumed() const { return resumed_; }
+
+  NodeId num_nodes() const;
+  std::uint64_t num_edges() const;
+
+  /// Structural summary of the current graph (analysis/analysis.hpp).
+  std::string stats_text() const;
+
+  struct QueryResult {
+    std::uint64_t version = 0;
+    bool degraded = false;  ///< the cached estimate is budget-degraded
+    std::vector<FarnessEntry> entries;
+  };
+  /// Farness (or closeness = (n-1)/farness) of `nodes` from the cached
+  /// estimate; empty span = all nodes. Throws InputError on bad ids.
+  QueryResult farness(std::span<const NodeId> nodes, bool closeness) const;
+
+  struct TopKQuery {
+    std::uint64_t version = 0;
+    TopKResult result;
+  };
+  /// Exact top-k closeness of the current graph. deadline_ms bounds the
+  /// guiding estimate's budget (0 = none). Results are cached by graph
+  /// version: a repeat of the last (version, k) pair is served from the
+  /// cache without touching the graph; any committed update invalidates
+  /// it by bumping the version. Budget-cut (inexact) results are never
+  /// cached.
+  TopKQuery topk(NodeId k, std::int64_t deadline_ms) const;
+
+  struct ApplyResult {
+    std::uint64_t version = 0;   ///< version after the batch
+    std::uint32_t applied = 0;   ///< edges accepted (self loops skipped)
+    bool degraded = false;       ///< re-estimate was budget-degraded
+    bool persisted = true;       ///< state segment committed (or no dir)
+  };
+  /// Validate and apply an edge batch, re-estimate once (deadline_ms maps
+  /// onto the estimator budget; 0 = none), bump the version and commit the
+  /// state segment. Transactional: validation errors and the server.apply
+  /// fail point reject the whole batch before any mutation. Throws
+  /// InputError for out-of-range endpoints.
+  ApplyResult apply_batch(std::span<const Edge> edges,
+                          std::int64_t deadline_ms);
+
+  /// Schema-v3 run-report fragment for the engine's most recent estimate
+  /// (obs/report.hpp), the per-reply telemetry attached to update replies
+  /// on request.
+  std::string report_json(const std::string& tool) const;
+
+ private:
+  void commit_locked(ApplyResult* res);
+
+  EngineOptions opts_;
+  std::uint64_t state_hash_ = 0;
+  bool resumed_ = false;
+  mutable std::shared_mutex mu_;
+  std::uint64_t version_ = 1;
+  DynamicFarness dyn_;
+  double last_estimate_wall_s_ = 0.0;
+
+  // Version-keyed top-k result cache (single entry; guarded separately so
+  // concurrent farness readers never contend on it).
+  mutable std::mutex topk_mu_;
+  mutable bool topk_valid_ = false;
+  mutable std::uint64_t topk_version_ = 0;
+  mutable NodeId topk_k_ = 0;
+  mutable TopKResult topk_cache_;
+};
+
+/// Fingerprint of the estimator options that shape served results, used as
+/// the state segment's config hash — a state dir written under different
+/// options is rejected and recomputed, never silently served.
+std::uint64_t engine_state_hash(const EstimateOptions& opts);
+
+}  // namespace brics

@@ -1,0 +1,307 @@
+#include "server/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "exec/checkpoint.hpp"
+#include "exec/failpoint.hpp"
+
+namespace brics {
+namespace {
+
+void put_string(ByteWriter& w, const std::string& s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  w.bytes(s.data(), s.size());
+}
+
+std::string get_string(ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  std::string s(n, '\0');
+  r.bytes(s.data(), n);
+  return s;
+}
+
+[[noreturn]] void bad_frame(const char* what) {
+  throw InputError(std::string("protocol: ") + what);
+}
+
+}  // namespace
+
+const char* to_string(ReplyStatus s) {
+  switch (s) {
+    case ReplyStatus::kOk: return "ok";
+    case ReplyStatus::kDegraded: return "degraded";
+    case ReplyStatus::kOverloaded: return "overloaded";
+    case ReplyStatus::kShuttingDown: return "shutting-down";
+    case ReplyStatus::kError: return "error";
+  }
+  return "?";
+}
+
+const char* to_string(WireError e) {
+  switch (e) {
+    case WireError::kNone: return "none";
+    case WireError::kBadRequest: return "bad-request";
+    case WireError::kWedged: return "wedged";
+    case WireError::kFailPoint: return "fail-point";
+    case WireError::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::string encode_request(const Request& r) {
+  ByteWriter w;
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(r.type));
+  w.u32(r.request_id);
+  w.u32(r.deadline_ms);
+  w.u32(r.debug_sleep_ms);
+  switch (r.type) {
+    case MsgType::kHello:
+    case MsgType::kStats:
+    case MsgType::kServerStats:
+      break;
+    case MsgType::kFarness:
+      w.u8(r.closeness ? 1 : 0);
+      w.u32(static_cast<std::uint32_t>(r.nodes.size()));
+      for (NodeId v : r.nodes) w.u32(v);
+      break;
+    case MsgType::kTopK:
+      w.u32(r.k);
+      break;
+    case MsgType::kUpdate:
+      w.u8(r.want_report ? 1 : 0);
+      w.u32(static_cast<std::uint32_t>(r.edges.size()));
+      for (const Edge& e : r.edges) {
+        w.u32(e.u);
+        w.u32(e.v);
+        w.u32(e.w);
+      }
+      break;
+  }
+  return w.str();
+}
+
+Request decode_request(const std::string& payload) {
+  ByteReader rd(payload);
+  const std::uint8_t ver = rd.u8();
+  if (ver != kProtocolVersion)
+    bad_frame("unsupported protocol version");
+  Request r;
+  const std::uint8_t type = rd.u8();
+  if (type < 1 || type > 6) bad_frame("unknown message type");
+  r.type = static_cast<MsgType>(type);
+  r.request_id = rd.u32();
+  r.deadline_ms = rd.u32();
+  r.debug_sleep_ms = rd.u32();
+  switch (r.type) {
+    case MsgType::kHello:
+    case MsgType::kStats:
+    case MsgType::kServerStats:
+      break;
+    case MsgType::kFarness: {
+      r.closeness = rd.u8() != 0;
+      const std::uint32_t n = rd.u32();
+      if (static_cast<std::uint64_t>(n) * 4 > rd.remaining())
+        bad_frame("farness node list overruns frame");
+      r.nodes.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) r.nodes.push_back(rd.u32());
+      break;
+    }
+    case MsgType::kTopK:
+      r.k = rd.u32();
+      break;
+    case MsgType::kUpdate: {
+      r.want_report = rd.u8() != 0;
+      const std::uint32_t n = rd.u32();
+      if (static_cast<std::uint64_t>(n) * 12 > rd.remaining())
+        bad_frame("update edge list overruns frame");
+      r.edges.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        Edge e;
+        e.u = rd.u32();
+        e.v = rd.u32();
+        e.w = rd.u32();
+        r.edges.push_back(e);
+      }
+      break;
+    }
+  }
+  if (!rd.done()) bad_frame("request has trailing bytes");
+  return r;
+}
+
+std::string encode_reply(const Reply& r) {
+  ByteWriter w;
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(r.type));
+  w.u32(r.request_id);
+  w.u8(static_cast<std::uint8_t>(r.status));
+  w.u8(static_cast<std::uint8_t>(r.error));
+  w.u64(r.version);
+  put_string(w, r.message);
+  if (r.status != ReplyStatus::kOk && r.status != ReplyStatus::kDegraded)
+    return w.str();  // non-served replies carry no body
+  switch (r.type) {
+    case MsgType::kHello:
+      w.u64(r.nodes);
+      w.u64(r.edges);
+      w.u8(r.resumed ? 1 : 0);
+      break;
+    case MsgType::kStats:
+    case MsgType::kServerStats:
+      break;  // payload lives in message
+    case MsgType::kFarness:
+      w.u32(static_cast<std::uint32_t>(r.entries.size()));
+      for (const FarnessEntry& e : r.entries) {
+        w.u32(e.node);
+        w.f64(e.value);
+        w.u8(e.exact ? 1 : 0);
+      }
+      break;
+    case MsgType::kTopK:
+      w.u8(r.topk_exact ? 1 : 0);
+      w.u32(static_cast<std::uint32_t>(r.topk_nodes.size()));
+      for (std::size_t i = 0; i < r.topk_nodes.size(); ++i) {
+        w.u32(r.topk_nodes[i]);
+        w.u64(r.topk_farness[i]);
+      }
+      break;
+    case MsgType::kUpdate:
+      w.u32(r.applied);
+      w.u8(r.persisted ? 1 : 0);
+      put_string(w, r.report_json);
+      break;
+  }
+  return w.str();
+}
+
+Reply decode_reply(const std::string& payload) {
+  ByteReader rd(payload);
+  const std::uint8_t ver = rd.u8();
+  if (ver != kProtocolVersion)
+    bad_frame("unsupported protocol version");
+  Reply r;
+  const std::uint8_t type = rd.u8();
+  if (type < 1 || type > 6) bad_frame("unknown message type");
+  r.type = static_cast<MsgType>(type);
+  r.request_id = rd.u32();
+  const std::uint8_t status = rd.u8();
+  if (status > 4) bad_frame("unknown reply status");
+  r.status = static_cast<ReplyStatus>(status);
+  const std::uint8_t err = rd.u8();
+  if (err > 4) bad_frame("unknown error code");
+  r.error = static_cast<WireError>(err);
+  r.version = rd.u64();
+  r.message = get_string(rd);
+  if (r.status != ReplyStatus::kOk && r.status != ReplyStatus::kDegraded) {
+    if (!rd.done()) bad_frame("reply has trailing bytes");
+    return r;
+  }
+  switch (r.type) {
+    case MsgType::kHello:
+      r.nodes = rd.u64();
+      r.edges = rd.u64();
+      r.resumed = rd.u8() != 0;
+      break;
+    case MsgType::kStats:
+    case MsgType::kServerStats:
+      break;
+    case MsgType::kFarness: {
+      const std::uint32_t n = rd.u32();
+      if (static_cast<std::uint64_t>(n) * 13 > rd.remaining())
+        bad_frame("farness entries overrun frame");
+      r.entries.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        FarnessEntry e;
+        e.node = rd.u32();
+        e.value = rd.f64();
+        e.exact = rd.u8() != 0;
+        r.entries.push_back(e);
+      }
+      break;
+    }
+    case MsgType::kTopK: {
+      r.topk_exact = rd.u8() != 0;
+      const std::uint32_t n = rd.u32();
+      if (static_cast<std::uint64_t>(n) * 12 > rd.remaining())
+        bad_frame("topk entries overrun frame");
+      r.topk_nodes.reserve(n);
+      r.topk_farness.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        r.topk_nodes.push_back(rd.u32());
+        r.topk_farness.push_back(rd.u64());
+      }
+      break;
+    }
+    case MsgType::kUpdate:
+      r.applied = rd.u32();
+      r.persisted = rd.u8() != 0;
+      r.report_json = get_string(rd);
+      break;
+  }
+  if (!rd.done()) bad_frame("reply has trailing bytes");
+  return r;
+}
+
+std::optional<std::string> read_frame(int fd) {
+  BRICS_FAILPOINT("server.read");
+  unsigned char hdr[4];
+  std::size_t got = 0;
+  while (got < 4) {
+    const ssize_t n = ::read(fd, hdr + got, 4 - got);
+    if (n == 0) {
+      if (got == 0) return std::nullopt;  // clean EOF between frames
+      bad_frame("EOF inside frame header");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      bad_frame("read failed");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
+                            (static_cast<std::uint32_t>(hdr[1]) << 8) |
+                            (static_cast<std::uint32_t>(hdr[2]) << 16) |
+                            (static_cast<std::uint32_t>(hdr[3]) << 24);
+  if (len > kMaxFrameBytes) bad_frame("oversize frame");
+  std::string payload(len, '\0');
+  got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, payload.data() + got, len - got);
+    if (n == 0) bad_frame("EOF inside frame payload");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      bad_frame("read failed");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return payload;
+}
+
+void write_frame(int fd, const std::string& payload) {
+  BRICS_FAILPOINT("server.write");
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string buf;
+  buf.reserve(4 + payload.size());
+  for (int i = 0; i < 4; ++i)
+    buf.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  buf += payload;
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE here, not process
+    // death — the connection handler logs and drops it.
+    const ssize_t n = ::send(fd, buf.data() + sent, buf.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      bad_frame("write failed (peer gone?)");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace brics

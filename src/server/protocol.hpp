@@ -1,0 +1,124 @@
+// Wire protocol of the resident daemon (docs/SERVER.md).
+//
+// Transport: a stream socket (AF_UNIX) carrying length-prefixed frames —
+// a 4-byte little-endian payload length followed by the payload. Payloads
+// are encoded with the checkpoint layer's ByteWriter/ByteReader, so the
+// codec, bounds checking and failure taxonomy are the ones the segment
+// files already exercise. A frame that fails to decode is a client error:
+// the connection is dropped, never trusted further.
+//
+// Every request carries a protocol version, a client-chosen request id
+// (echoed verbatim in the reply, so clients may pipeline), a deadline in
+// milliseconds (0 = none) that the server maps onto the estimator's
+// RunBudget, and a debug sleep used by the watchdog tests to simulate a
+// wedged worker. Every reply carries the request id, a ReplyStatus, an
+// error code for the kError taxonomy, and the graph version the answer
+// was computed against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "server/engine.hpp"
+
+namespace brics {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Upper bound on a single frame; bigger lengths mean a corrupt or
+/// malicious peer and drop the connection before allocating.
+inline constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,        ///< server identity: build sha, schema, graph shape
+  kStats = 2,        ///< structural summary of the current graph
+  kFarness = 3,      ///< per-node farness/closeness from the cached estimate
+  kTopK = 4,         ///< exact top-k closeness
+  kUpdate = 5,       ///< edge-insert batch (versioned, crash-safe)
+  kServerStats = 6,  ///< server counters (queue, shed, quarantine, ...)
+};
+
+enum class ReplyStatus : std::uint8_t {
+  kOk = 0,
+  kDegraded = 1,      ///< served, but a budget cut the estimate short
+  kOverloaded = 2,    ///< shed by admission control; retry later
+  kShuttingDown = 3,  ///< draining; request was not served
+  kError = 4,         ///< failed; see WireError + message
+};
+
+/// Failure taxonomy carried on kError replies — the wire projection of the
+/// exec layer's exception taxonomy (docs/ROBUSTNESS.md).
+enum class WireError : std::uint8_t {
+  kNone = 0,
+  kBadRequest = 1,  ///< InputError: malformed body, bad node id, bad edge
+  kWedged = 2,      ///< watchdog quarantined the worker serving this
+  kFailPoint = 3,   ///< an armed fail point fired (chaos runs only)
+  kInternal = 4,    ///< anything else; message has the what()
+};
+
+const char* to_string(ReplyStatus s);
+const char* to_string(WireError e);
+
+struct Request {
+  MsgType type = MsgType::kHello;
+  std::uint32_t request_id = 0;
+  std::uint32_t deadline_ms = 0;     ///< 0 = no deadline
+  std::uint32_t debug_sleep_ms = 0;  ///< test hook: stall the worker
+
+  // kFarness
+  bool closeness = false;
+  std::vector<NodeId> nodes;  ///< empty = all nodes
+
+  // kTopK
+  NodeId k = 0;
+
+  // kUpdate
+  bool want_report = false;  ///< attach the schema-v3 run-report fragment
+  std::vector<Edge> edges;
+};
+
+struct Reply {
+  MsgType type = MsgType::kHello;
+  std::uint32_t request_id = 0;
+  ReplyStatus status = ReplyStatus::kOk;
+  WireError error = WireError::kNone;
+  std::uint64_t version = 0;  ///< graph version the answer reflects
+  std::string message;        ///< error text / stats text / hello banner
+
+  // kHello
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+  bool resumed = false;
+
+  // kFarness
+  std::vector<FarnessEntry> entries;
+
+  // kTopK
+  bool topk_exact = true;
+  std::vector<NodeId> topk_nodes;
+  std::vector<std::uint64_t> topk_farness;
+
+  // kUpdate
+  std::uint32_t applied = 0;
+  bool persisted = true;
+  std::string report_json;
+};
+
+std::string encode_request(const Request& r);
+Request decode_request(const std::string& payload);
+std::string encode_reply(const Reply& r);
+Reply decode_reply(const std::string& payload);
+
+/// Read one length-prefixed frame from `fd`. Returns nullopt on clean EOF
+/// before any length byte; throws InputError on a torn frame, an oversize
+/// length, or a read error. Hits the server.read fail point.
+std::optional<std::string> read_frame(int fd);
+
+/// Write one length-prefixed frame to `fd` (send with MSG_NOSIGNAL, so a
+/// vanished peer surfaces as an error instead of SIGPIPE). Throws
+/// InputError on short or failed writes. Hits the server.write fail point.
+void write_frame(int fd, const std::string& payload);
+
+}  // namespace brics

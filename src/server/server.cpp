@@ -1,0 +1,517 @@
+#include "server/server.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "exec/failpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/version.hpp"
+#include "server/admission.hpp"
+#include "server/protocol.hpp"
+
+namespace brics {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// How long drain waits for a quarantined (wedged) worker to surface
+/// before abandoning its thread. An abandoned thread is detached and must
+/// not be counted on — the daemon's contract is that it exits the process
+/// shortly after run() returns.
+constexpr std::int64_t kAbandonGraceMs = 3000;
+
+struct Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Serialized reply writes: pipelined requests from one client get
+  /// whole frames, never interleaved bytes.
+  void send_reply(const Reply& rep) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    write_frame(fd, encode_reply(rep));
+  }
+
+  /// Wake anyone blocked on this socket (reader thread, client) without
+  /// racing the destructor's close().
+  void hang_up() { ::shutdown(fd, SHUT_RDWR); }
+
+  int fd;
+  std::mutex write_mu;
+};
+
+struct Job {
+  Request req;
+  std::shared_ptr<Connection> conn;
+};
+
+struct Worker {
+  std::thread th;
+  std::atomic<bool> quarantined{false};
+  std::atomic<bool> done{false};
+  bool collected = false;  ///< drain bookkeeping (under workers_mu)
+
+  // Current-job stamp, written by the worker and read by the watchdog.
+  std::mutex job_mu;
+  bool busy = false;
+  Clock::time_point busy_since{};
+  std::uint32_t job_id = 0;
+  MsgType job_type = MsgType::kHello;
+  std::shared_ptr<Connection> job_conn;
+};
+
+}  // namespace
+
+struct Server::Impl {
+  Impl(ServerOptions o, ServerEngine& e, std::atomic<bool>& stop)
+      : opts(std::move(o)),
+        engine(e),
+        stop_flag(stop),
+        queue(opts.queue_capacity) {}
+
+  ServerOptions opts;
+  ServerEngine& engine;
+  std::atomic<bool>& stop_flag;
+  BoundedQueue<Job> queue;
+  std::atomic<bool> draining{false};
+  std::atomic<bool> watchdog_stop{false};
+
+  std::mutex workers_mu;
+  std::vector<std::shared_ptr<Worker>> workers;
+
+  std::mutex conns_mu;
+  std::vector<std::weak_ptr<Connection>> conns;
+  std::vector<std::thread> readers;
+
+  std::atomic<std::uint64_t> c_connections{0}, c_requests{0}, c_served{0},
+      c_shed{0}, c_refused{0}, c_errors{0}, c_quarantined{0},
+      c_dropped{0};
+
+  void spawn_worker();
+  void worker_loop(std::shared_ptr<Worker> self);
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void watchdog_loop();
+  void handle(const Request& req, const std::shared_ptr<Connection>& conn);
+  Reply serve(const Request& req);
+  void send_and_count(Connection& conn, const Reply& rep);
+  std::string counters_json();
+};
+
+void Server::Impl::send_and_count(Connection& conn, const Reply& rep) {
+  switch (rep.status) {
+    case ReplyStatus::kOk:
+    case ReplyStatus::kDegraded:
+      ++c_served;
+      break;
+    case ReplyStatus::kOverloaded: {
+      ++c_shed;
+      BRICS_COUNTER(c, "server.requests_shed");
+      BRICS_COUNTER_ADD(c, 1);
+      break;
+    }
+    case ReplyStatus::kShuttingDown:
+      ++c_refused;
+      break;
+    case ReplyStatus::kError:
+      ++c_errors;
+      break;
+  }
+  try {
+    conn.send_reply(rep);
+  } catch (const std::exception&) {
+    // Reply lost (peer gone, or the server.write fail point). Hang up so
+    // the client observes EOF instead of waiting forever for a frame
+    // that will never come — the no-hangs contract.
+    ++c_dropped;
+    conn.hang_up();
+  }
+}
+
+Reply Server::Impl::serve(const Request& req) {
+  Reply rep;
+  rep.type = req.type;
+  rep.request_id = req.request_id;
+  if (req.debug_sleep_ms > 0)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(req.debug_sleep_ms));
+  const std::int64_t deadline =
+      req.deadline_ms > 0 ? req.deadline_ms
+                          : static_cast<std::int64_t>(
+                                opts.default_deadline_ms);
+  try {
+    switch (req.type) {
+      case MsgType::kHello:
+        rep.message = build_version_string();
+        rep.version = engine.version();
+        rep.nodes = engine.num_nodes();
+        rep.edges = engine.num_edges();
+        rep.resumed = engine.resumed();
+        break;
+      case MsgType::kServerStats:
+        rep.message = counters_json();
+        rep.version = engine.version();
+        break;
+      case MsgType::kStats:
+        rep.message = engine.stats_text();
+        rep.version = engine.version();
+        break;
+      case MsgType::kFarness: {
+        auto qr = engine.farness(req.nodes, req.closeness);
+        rep.version = qr.version;
+        rep.entries = std::move(qr.entries);
+        if (qr.degraded) rep.status = ReplyStatus::kDegraded;
+        break;
+      }
+      case MsgType::kTopK: {
+        if (req.k == 0) throw InputError("topk: k must be >= 1");
+        auto tq = engine.topk(req.k, deadline);
+        rep.version = tq.version;
+        rep.topk_exact = tq.result.is_exact;
+        rep.topk_nodes = std::move(tq.result.nodes);
+        rep.topk_farness = std::move(tq.result.farness);
+        if (!rep.topk_exact) rep.status = ReplyStatus::kDegraded;
+        break;
+      }
+      case MsgType::kUpdate: {
+        auto ar = engine.apply_batch(req.edges, deadline);
+        rep.version = ar.version;
+        rep.applied = ar.applied;
+        rep.persisted = ar.persisted;
+        if (ar.degraded) rep.status = ReplyStatus::kDegraded;
+        if (req.want_report)
+          rep.report_json = engine.report_json("brics_serve");
+        break;
+      }
+    }
+  } catch (const FailPointError& e) {
+    rep.status = ReplyStatus::kError;
+    rep.error = WireError::kFailPoint;
+    rep.message = e.what();
+  } catch (const InputError& e) {
+    rep.status = ReplyStatus::kError;
+    rep.error = WireError::kBadRequest;
+    rep.message = e.what();
+  } catch (const std::exception& e) {
+    rep.status = ReplyStatus::kError;
+    rep.error = WireError::kInternal;
+    rep.message = e.what();
+  }
+  return rep;
+}
+
+void Server::Impl::handle(const Request& req,
+                          const std::shared_ptr<Connection>& conn) {
+  Reply rep;
+  rep.type = req.type;
+  rep.request_id = req.request_id;
+
+  // Hello and ServerStats are answered inline by the reader: they touch
+  // no estimator state, so they stay responsive even when the queue is
+  // saturated — exactly when an operator wants to see the counters.
+  if (req.type == MsgType::kHello || req.type == MsgType::kServerStats) {
+    send_and_count(*conn, serve(req));
+    return;
+  }
+
+  if (draining.load(std::memory_order_relaxed)) {
+    rep.status = ReplyStatus::kShuttingDown;
+    rep.message = "server is draining";
+    send_and_count(*conn, rep);
+    return;
+  }
+
+  try {
+    BRICS_FAILPOINT("server.enqueue");
+  } catch (const FailPointError& e) {
+    rep.status = ReplyStatus::kError;
+    rep.error = WireError::kFailPoint;
+    rep.message = e.what();
+    send_and_count(*conn, rep);
+    return;
+  }
+
+  if (!queue.try_push(Job{req, conn})) {
+    if (queue.closed()) {
+      rep.status = ReplyStatus::kShuttingDown;
+      rep.message = "server is draining";
+    } else {
+      rep.status = ReplyStatus::kOverloaded;
+      rep.message = "admission queue full (capacity " +
+                    std::to_string(queue.capacity()) + "); retry later";
+    }
+    send_and_count(*conn, rep);
+  }
+}
+
+void Server::Impl::worker_loop(std::shared_ptr<Worker> self) {
+  while (true) {
+    std::optional<Job> job = queue.pop();
+    if (!job) break;
+    {
+      std::lock_guard<std::mutex> lock(self->job_mu);
+      self->busy = true;
+      self->busy_since = Clock::now();
+      self->job_id = job->req.request_id;
+      self->job_type = job->req.type;
+      self->job_conn = job->conn;
+    }
+    Reply rep = serve(job->req);
+    bool discard;
+    {
+      std::lock_guard<std::mutex> lock(self->job_mu);
+      discard = self->quarantined.load(std::memory_order_relaxed);
+      self->busy = false;
+      self->job_conn.reset();
+    }
+    if (discard) break;  // the watchdog already failed this request
+    send_and_count(*job->conn, rep);
+  }
+  self->done.store(true, std::memory_order_release);
+}
+
+void Server::Impl::spawn_worker() {
+  auto w = std::make_shared<Worker>();
+  std::lock_guard<std::mutex> lock(workers_mu);
+  workers.push_back(w);
+  w->th = std::thread([this, w] { worker_loop(w); });
+}
+
+void Server::Impl::watchdog_loop() {
+  const auto threshold = std::chrono::milliseconds(opts.watchdog_ms);
+  while (!watchdog_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::vector<std::shared_ptr<Worker>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(workers_mu);
+      snapshot = workers;
+    }
+    const auto now = Clock::now();
+    for (const auto& w : snapshot) {
+      if (w->quarantined.load(std::memory_order_relaxed)) continue;
+      std::shared_ptr<Connection> conn;
+      std::uint32_t id = 0;
+      MsgType type = MsgType::kHello;
+      bool wedged = false;
+      {
+        std::lock_guard<std::mutex> lock(w->job_mu);
+        if (w->busy && now - w->busy_since >= threshold) {
+          w->quarantined.store(true, std::memory_order_relaxed);
+          wedged = true;
+          conn = w->job_conn;
+          id = w->job_id;
+          type = w->job_type;
+        }
+      }
+      if (!wedged) continue;
+      ++c_quarantined;
+      BRICS_COUNTER(c, "server.workers_quarantined");
+      BRICS_COUNTER_ADD(c, 1);
+      Reply rep;
+      rep.type = type;
+      rep.request_id = id;
+      rep.status = ReplyStatus::kError;
+      rep.error = WireError::kWedged;
+      rep.message = "request exceeded the watchdog threshold (" +
+                    std::to_string(opts.watchdog_ms) +
+                    " ms); worker quarantined";
+      if (conn) send_and_count(*conn, rep);
+      // Keep the pool at full strength; the wedged thread's eventual
+      // result is discarded by the quarantined flag.
+      spawn_worker();
+    }
+  }
+}
+
+void Server::Impl::reader_loop(std::shared_ptr<Connection> conn) {
+  try {
+    while (true) {
+      std::optional<std::string> frame = read_frame(conn->fd);
+      if (!frame) break;  // clean EOF
+      // A frame that does not decode is an untrusted peer: drop the
+      // connection (we may not even have a request id to reply to).
+      Request req = decode_request(*frame);
+      ++c_requests;
+      handle(req, conn);
+    }
+  } catch (const std::exception&) {
+    ++c_dropped;
+    BRICS_COUNTER(c, "server.connections_dropped");
+    BRICS_COUNTER_ADD(c, 1);
+  }
+  conn->hang_up();
+}
+
+std::string Server::Impl::counters_json() {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"connections\": %llu, \"requests\": %llu, \"served\": %llu, "
+      "\"shed\": %llu, \"refused\": %llu, \"errors\": %llu, "
+      "\"quarantined\": %llu, \"dropped_connections\": %llu, "
+      "\"queue_depth\": %zu, \"queue_capacity\": %zu, \"workers\": %zu, "
+      "\"draining\": %s}",
+      static_cast<unsigned long long>(c_connections.load()),
+      static_cast<unsigned long long>(c_requests.load()),
+      static_cast<unsigned long long>(c_served.load()),
+      static_cast<unsigned long long>(c_shed.load()),
+      static_cast<unsigned long long>(c_refused.load()),
+      static_cast<unsigned long long>(c_errors.load()),
+      static_cast<unsigned long long>(c_quarantined.load()),
+      static_cast<unsigned long long>(c_dropped.load()),
+      queue.size(), queue.capacity(),
+      [this] {
+        std::lock_guard<std::mutex> lock(workers_mu);
+        return workers.size();
+      }(),
+      draining.load() ? "true" : "false");
+  return buf;
+}
+
+Server::Server(CsrGraph g, ServerOptions opts)
+    : engine_(std::make_unique<ServerEngine>(std::move(g), opts.engine)),
+      impl_(std::make_unique<Impl>(std::move(opts), *engine_, stop_)) {}
+
+Server::~Server() = default;
+
+ServerCounters Server::counters() const {
+  const Impl& im = *impl_;
+  ServerCounters c;
+  c.connections = im.c_connections.load();
+  c.requests = im.c_requests.load();
+  c.served = im.c_served.load();
+  c.shed = im.c_shed.load();
+  c.refused = im.c_refused.load();
+  c.errors = im.c_errors.load();
+  c.quarantined = im.c_quarantined.load();
+  c.dropped_conns = im.c_dropped.load();
+  return c;
+}
+
+void Server::run() {
+  Impl& im = *impl_;
+  const std::string& path = im.opts.socket_path;
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    throw InputError("socket path empty or too long: '" + path + "'");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (lfd < 0) throw InputError("socket() failed");
+  ::unlink(path.c_str());  // stale socket from a previous (killed) run
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(lfd);
+    throw InputError("cannot bind " + path + ": " + std::strerror(errno));
+  }
+  if (::listen(lfd, 64) < 0) {
+    ::close(lfd);
+    throw InputError("listen() failed on " + path);
+  }
+
+  for (std::uint32_t i = 0; i < im.opts.num_workers; ++i) im.spawn_worker();
+  std::thread watchdog;
+  if (im.opts.watchdog_ms > 0)
+    watchdog = std::thread([&im] { im.watchdog_loop(); });
+
+  ready_.store(true, std::memory_order_release);
+
+  // Accept loop: 100 ms poll tick so stop() (set by a signal handler's
+  // watcher) is honoured promptly without async-signal-unsafe work.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd p{lfd, POLLIN, 0};
+    const int r = ::poll(&p, 1, 100);
+    if (r <= 0) continue;  // timeout or EINTR
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) continue;
+    try {
+      BRICS_FAILPOINT("server.accept");
+    } catch (const FailPointError&) {
+      // Absorbed: the client sees an immediate EOF and the server keeps
+      // accepting — a refused connection, not a crashed daemon.
+      ::close(cfd);
+      continue;
+    }
+    ++im.c_connections;
+    auto conn = std::make_shared<Connection>(cfd);
+    std::lock_guard<std::mutex> lock(im.conns_mu);
+    im.conns.push_back(conn);
+    im.readers.emplace_back(
+        [&im, conn] { im.reader_loop(conn); });
+  }
+
+  // ---- graceful drain -------------------------------------------------
+  ::close(lfd);
+  ::unlink(path.c_str());
+  im.draining.store(true, std::memory_order_relaxed);
+
+  // Refuse everything still queued, explicitly.
+  for (Job& job : im.queue.close()) {
+    Reply rep;
+    rep.type = job.req.type;
+    rep.request_id = job.req.request_id;
+    rep.status = ReplyStatus::kShuttingDown;
+    rep.message = "server is draining";
+    im.send_and_count(*job.conn, rep);
+  }
+
+  // Join workers: in-flight requests finish and reply. The workers vector
+  // can still grow (watchdog replacements), so scan until stable; a
+  // quarantined worker gets a bounded grace period, then is abandoned.
+  while (true) {
+    std::shared_ptr<Worker> w;
+    {
+      std::lock_guard<std::mutex> lock(im.workers_mu);
+      for (auto& cand : im.workers)
+        if (!cand->collected) {
+          cand->collected = true;
+          w = cand;
+          break;
+        }
+    }
+    if (!w) break;
+    if (!w->quarantined.load()) {
+      w->th.join();
+      continue;
+    }
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(kAbandonGraceMs);
+    while (!w->done.load(std::memory_order_acquire) &&
+           Clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (w->done.load(std::memory_order_acquire))
+      w->th.join();
+    else
+      w->th.detach();  // truly wedged; the process exits right after run()
+  }
+
+  im.watchdog_stop.store(true, std::memory_order_relaxed);
+  if (watchdog.joinable()) watchdog.join();
+
+  // Hang up every connection so its reader unblocks, then collect them.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(im.conns_mu);
+    for (auto& wp : im.conns)
+      if (auto c = wp.lock()) c->hang_up();
+    readers.swap(im.readers);
+  }
+  for (std::thread& t : readers) t.join();
+  ready_.store(false, std::memory_order_release);
+}
+
+}  // namespace brics

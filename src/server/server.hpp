@@ -1,0 +1,99 @@
+// The resident centrality daemon (docs/SERVER.md).
+//
+// Thread architecture:
+//
+//   accept loop (run())      poll + accept on the AF_UNIX listener,
+//                            100 ms tick so stop() is honoured promptly
+//   1 reader / connection    reads frames, decodes, serves Hello and
+//                            ServerStats inline, admits the rest through
+//                            the BoundedQueue (or sheds: OVERLOADED /
+//                            SHUTTING-DOWN)
+//   N workers                pop jobs, serve against the ServerEngine,
+//                            write the reply on the job's connection
+//   watchdog (optional)      scans worker busy-stamps; a worker stuck
+//                            past the threshold is quarantined — its
+//                            request fails with a WEDGED error reply, a
+//                            replacement worker joins the pool, and the
+//                            stuck thread's eventual result is discarded
+//
+// Replies are written under a per-connection mutex, so pipelined requests
+// from one client never interleave frames. Update replies are only sent
+// after the engine has committed the new graph version to disk
+// (commit-then-reply): any version a client has seen survives SIGKILL.
+//
+// Drain (stop()): the accept loop closes the listener, readers refuse new
+// work with SHUTTING-DOWN, every job still queued is refused the same way,
+// in-flight jobs finish and reply, workers are joined (a quarantined
+// thread gets a bounded grace period, then is abandoned), and connections
+// are shut down. No request is ever silently dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "server/engine.hpp"
+
+namespace brics {
+
+struct ServerOptions {
+  /// Filesystem path of the AF_UNIX listening socket (unlinked on start
+  /// and on clean exit).
+  std::string socket_path;
+  std::uint32_t num_workers = 2;
+  std::size_t queue_capacity = 16;
+  /// A worker busy longer than this is quarantined by the watchdog;
+  /// 0 disables the watchdog.
+  std::int64_t watchdog_ms = 0;
+  /// Deadline applied to requests that carry none; 0 = unlimited.
+  std::uint32_t default_deadline_ms = 0;
+  EngineOptions engine;
+};
+
+/// Counter snapshot served on kServerStats and logged at exit.
+struct ServerCounters {
+  std::uint64_t connections = 0;   ///< accepted
+  std::uint64_t requests = 0;      ///< decoded frames
+  std::uint64_t served = 0;        ///< replied kOk or kDegraded
+  std::uint64_t shed = 0;          ///< replied kOverloaded
+  std::uint64_t refused = 0;       ///< replied kShuttingDown
+  std::uint64_t errors = 0;        ///< replied kError
+  std::uint64_t quarantined = 0;   ///< workers the watchdog removed
+  std::uint64_t dropped_conns = 0; ///< connections dropped on torn frames
+};
+
+class Server {
+ public:
+  Server(CsrGraph g, ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and serve until stop() is called. Returns after the
+  /// full drain. Throws InputError when the socket cannot be bound.
+  void run();
+
+  /// Request a graceful drain; safe to call from any thread, idempotent.
+  /// (Signal handlers set a flag the accept loop polls instead — see
+  /// tools/brics_serve.cpp.)
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// True once run() has bound the socket and is accepting; lets tests
+  /// start the server on a thread and wait for readiness.
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+
+  const ServerEngine& engine() const { return *engine_; }
+  ServerCounters counters() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<ServerEngine> engine_;
+  std::unique_ptr<Impl> impl_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> ready_{false};
+};
+
+}  // namespace brics

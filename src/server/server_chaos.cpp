@@ -1,0 +1,314 @@
+#include "server/server_chaos.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "exec/failpoint.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+
+namespace brics {
+namespace {
+
+// ---- raw client-side frame I/O (no fail points — see header) ----------
+
+bool raw_write(int fd, const std::string& payload) {
+  std::string buf;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i)
+    buf.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  buf += payload;
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    const ssize_t n =
+        ::send(fd, buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> raw_read(int fd) {
+  unsigned char hdr[4];
+  std::size_t got = 0;
+  while (got < 4) {
+    const ssize_t n = ::read(fd, hdr + got, 4 - got);
+    if (n == 0) return std::nullopt;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
+                            (static_cast<std::uint32_t>(hdr[1]) << 8) |
+                            (static_cast<std::uint32_t>(hdr[2]) << 16) |
+                            (static_cast<std::uint32_t>(hdr[3]) << 24);
+  if (len > kMaxFrameBytes) return std::nullopt;
+  std::string payload(len, '\0');
+  got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, payload.data() + got, len - got);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return std::nullopt;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return payload;
+}
+
+int connect_unix(const std::string& path) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0)
+      return fd;
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return -1;
+}
+
+/// Send one request, read one reply. nullopt = connection-level failure
+/// (EOF, drop) — which the sweep classifies as an absorbed fault.
+std::optional<Reply> roundtrip(int fd, const Request& req) {
+  if (!raw_write(fd, encode_request(req))) return std::nullopt;
+  auto frame = raw_read(fd);
+  if (!frame) return std::nullopt;
+  return decode_reply(*frame);
+}
+
+std::vector<double> engine_values(const ServerEngine& eng) {
+  auto qr = eng.farness({}, /*closeness=*/false);
+  std::vector<double> vals;
+  vals.reserve(qr.entries.size());
+  for (const FarnessEntry& e : qr.entries) vals.push_back(e.value);
+  return vals;
+}
+
+std::vector<double> oracle_fresh(const CsrGraph& g,
+                                 const EstimateOptions& opts) {
+  ServerEngine eng(g, EngineOptions{opts, /*state_dir=*/"", 64});
+  return engine_values(eng);
+}
+
+/// Oracle for the server's own v2 state: replay the exact code path the
+/// daemon runs (initial estimate on `g`, then a patched apply of `e`).
+/// Patched and fresh reductions can differ on the values of reduced-away
+/// nodes (their reconstruction is calibrated, not exact), so bit-equality
+/// only holds between runs that build the reduction the same way —
+/// patched state is compared against a patched replay, a restarted
+/// (freshly reduced) engine against a fresh build.
+std::vector<double> oracle_patched(const CsrGraph& g,
+                                   const EstimateOptions& opts,
+                                   const Edge& e) {
+  ServerEngine eng(g, EngineOptions{opts, /*state_dir=*/"", 64});
+  eng.apply_batch(std::span<const Edge>(&e, 1), /*deadline_ms=*/0);
+  return engine_values(eng);
+}
+
+bool same_values(const std::vector<FarnessEntry>& got,
+                 const std::vector<double>& want) {
+  if (got.size() != want.size()) return false;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    if (got[i].value != want[i]) return false;  // exact: bit equality
+  return true;
+}
+
+}  // namespace
+
+ChaosReport run_server_chaos_sweep(const CsrGraph& g,
+                                   const ServerChaosOptions& copts) {
+  namespace fs = std::filesystem;
+  fs::create_directories(copts.work_dir);
+
+  EstimateOptions est;
+  est.sample_rate = 1.0;  // exact => bit-identical oracle comparisons
+  est.seed = 1;
+
+  // The scripted exchange inserts one edge between the endpoints of the
+  // graph's node range; precompute deterministic oracles for both
+  // versions, one per reduction-construction path (see oracle_patched).
+  const Edge probe{0, g.num_nodes() - 1, 1};
+  const std::vector<double> v1_vals = oracle_fresh(g, est);
+  const std::vector<double> v2_patched = oracle_patched(g, est, probe);
+  const std::vector<double> v2_fresh = [&] {
+    GraphBuilder b(g.num_nodes());
+    b.add_edges(g.edge_list());
+    b.add_edge(probe.u, probe.v, probe.w);
+    return oracle_fresh(b.build(), est);
+  }();
+
+  ChaosReport report;
+  auto& reg = FailPointRegistry::instance();
+  reg.disarm_all();
+
+  int case_id = 0;
+  for (const char* site_c : known_fail_points()) {
+    const std::string site = site_c;
+    if (site.rfind("server.", 0) != 0) continue;
+    for (int hit = 1; hit <= copts.max_hits; ++hit) {
+      ChaosCase cc;
+      cc.site = site;
+      cc.hit = hit;
+
+      const std::string tag = "case-" + std::to_string(case_id++);
+      const std::string sock =
+          (fs::path(copts.work_dir) / (tag + ".sock")).string();
+      const std::string state =
+          (fs::path(copts.work_dir) / (tag + "-state")).string();
+      // A state dir left by a previous sweep (possibly over a different
+      // graph: the config hash covers options, the committed state owns
+      // the graph) would be resumed — every case must start fresh.
+      std::error_code ec;
+      fs::remove_all(state, ec);
+      fs::remove(sock, ec);
+
+      ServerOptions sopts;
+      sopts.socket_path = sock;
+      sopts.num_workers = 2;
+      sopts.queue_capacity = 8;
+      sopts.engine.estimate = est;
+      sopts.engine.state_dir = state;
+
+      Server server(g, sopts);
+      std::string server_error;
+      std::thread th([&] {
+        try {
+          server.run();
+        } catch (const std::exception& e) {
+          server_error = e.what();
+        }
+      });
+      while (!server.ready() && server_error.empty())
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+      reg.arm(site, /*skip_hits=*/hit - 1, /*fire_limit=*/1,
+              FailAction::kThrow);
+
+      // Scripted exchange: update, then query, on one connection.
+      bool interrupted = false;
+      bool failpoint_reply = false;
+      const int fd = connect_unix(sock);
+      if (fd < 0) {
+        interrupted = true;
+      } else {
+        Request upd;
+        upd.type = MsgType::kUpdate;
+        upd.request_id = 1;
+        upd.edges.push_back(probe);
+        auto r1 = roundtrip(fd, upd);
+        if (!r1) {
+          interrupted = true;
+        } else if (r1->status == ReplyStatus::kError) {
+          if (r1->error == WireError::kFailPoint) failpoint_reply = true;
+        }
+        if (!interrupted) {
+          Request q;
+          q.type = MsgType::kFarness;
+          q.request_id = 2;
+          auto r2 = roundtrip(fd, q);
+          if (!r2) interrupted = true;
+          else if (r2->status == ReplyStatus::kError &&
+                   r2->error == WireError::kFailPoint)
+            failpoint_reply = true;
+        }
+        ::close(fd);
+      }
+
+      cc.fired = !reg.armed(site);  // :once self-disarms when it fires
+      reg.disarm(site);
+
+      // Post-fault service check: a fresh connection must get answers
+      // bit-identical to the oracle of the committed version.
+      std::uint64_t observed_version = 0;
+      std::string failure;
+      {
+        const int vfd = connect_unix(sock);
+        if (vfd < 0) {
+          failure = "server unreachable after fault";
+        } else {
+          Request q;
+          q.type = MsgType::kFarness;
+          q.request_id = 3;
+          auto rv = roundtrip(vfd, q);
+          if (!rv || (rv->status != ReplyStatus::kOk &&
+                      rv->status != ReplyStatus::kDegraded)) {
+            failure = "post-fault query failed";
+          } else {
+            observed_version = rv->version;
+            // The live server is in patched state after an applied
+            // update; compare against the patched replay.
+            const std::vector<double>& want =
+                rv->version >= 2 ? v2_patched : v1_vals;
+            for (const FarnessEntry& e : rv->entries)
+              if (!std::isfinite(e.value)) failure = "non-finite farness";
+            if (failure.empty() && !same_values(rv->entries, want))
+              failure = "post-fault farness differs from oracle (v" +
+                        std::to_string(rv->version) + ")";
+          }
+          ::close(vfd);
+        }
+      }
+
+      server.stop();
+      th.join();
+      if (!server_error.empty()) failure = "server died: " + server_error;
+
+      // Commit-then-reply: a restart over the same state dir must resume
+      // at exactly the version the post-fault query observed.
+      if (failure.empty()) {
+        ServerEngine resumed(g, EngineOptions{est, state, 64});
+        cc.resume_checked = true;
+        if (!resumed.resumed()) {
+          failure = "restart did not resume from committed state";
+        } else if (resumed.version() != observed_version) {
+          failure = "resumed version " +
+                    std::to_string(resumed.version()) + " != observed " +
+                    std::to_string(observed_version);
+        } else {
+          // A restarted engine reduces the committed graph from scratch;
+          // compare against the fresh-build oracle for that version.
+          auto qr = resumed.farness({}, false);
+          if (!same_values(qr.entries,
+                           observed_version >= 2 ? v2_fresh : v1_vals))
+            failure = "resumed farness differs from oracle";
+        }
+      }
+
+      if (!failure.empty()) {
+        cc.failed = true;
+        cc.outcome = "FAIL: " + failure;
+        ++report.failures;
+      } else if (!cc.fired) {
+        cc.outcome = "not-hit";
+      } else if (failpoint_reply) {
+        cc.outcome = "error:fail-point";
+      } else {
+        cc.outcome = "absorbed";
+      }
+      report.cases.push_back(cc);
+    }
+  }
+  reg.disarm_all();
+  return report;
+}
+
+}  // namespace brics

@@ -1,0 +1,42 @@
+// Fault-injection sweep over the daemon's fail-point sites
+// (server.accept / server.read / server.write / server.enqueue /
+// server.apply), the server-side sibling of exec/chaos.hpp.
+//
+// Each case boots a real in-process Server on its own socket, arms one
+// site on its k-th evaluation, runs a scripted client exchange (update
+// batch + farness query), and then verifies the robustness contract:
+//
+//   - every fault lands in the taxonomy: an explicit fail-point error
+//     reply ("error:fail-point") or an absorbed connection drop
+//     ("absorbed") — never a hang, a crash, or a poisoned answer;
+//   - after the fault, a fresh connection gets farness answers that are
+//     BIT-IDENTICAL to an independently computed oracle for whichever
+//     graph version the server actually committed (the sweep runs at
+//     100 % sampling, where estimates are exact);
+//   - after a clean drain, a restarted engine over the same state dir
+//     resumes at exactly the committed version with the same answers
+//     (the commit-then-reply guarantee, checked per case).
+//
+// The sweep runs the client in-process over raw frame I/O on purpose:
+// protocol.hpp's read_frame/write_frame hit the very fail points under
+// test, and a client tripping them would corrupt the sweep.
+#pragma once
+
+#include <string>
+
+#include "exec/chaos.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace brics {
+
+struct ServerChaosOptions {
+  int max_hits = 2;  ///< trigger each site on evaluations 1..max_hits
+  std::string work_dir = "server-chaos-work";  ///< sockets + state dirs
+};
+
+/// Run the sweep on a connected graph. Arms and disarms the global
+/// FailPointRegistry internally; leaves it disarmed.
+ChaosReport run_server_chaos_sweep(const CsrGraph& g,
+                                   const ServerChaosOptions& copts);
+
+}  // namespace brics

@@ -1,0 +1,110 @@
+#!/bin/sh
+# Server soak smoke (docs/SERVER.md): the daemon's acceptance test.
+#
+#   1. Start brics_serve with a state dir, a small admission queue and the
+#      watchdog, optionally with one chaos fail point armed via
+#      BRICS_FAILPOINTS ($4).
+#   2. Hammer it with concurrent clients: zero hangs required — every
+#      request is answered or explicitly shed (the client exits non-zero
+#      on any hang).
+#   3. SIGKILL the daemon, restart over the same state dir: it must
+#      resume from the last committed graph version, and two independent
+#      restarts must serve bit-identical farness answers.
+#   4. SIGTERM the daemon: clean drain, exit 0, socket unlinked.
+#
+# usage: server_soak.sh <brics_serve> <brics_client> <work_dir> [failpoints]
+set -eu
+
+SERVE=$1
+CLIENT=$2
+WORK=$3
+FAILPOINTS=${4:-}
+
+# The watchdog must stay far above the worst-case honest request latency,
+# or sanitizer builds (TSan is ~10x, and the soak adds 4-way CPU
+# contention) get legitimate updates quarantined as wedged. Deterministic
+# watchdog coverage lives in the LiveServer gtest via debug_sleep.
+WATCHDOG_MS=${BRICS_SOAK_WATCHDOG_MS:-60000}
+RECV_TIMEOUT_MS=${BRICS_SOAK_RECV_TIMEOUT_MS:-120000}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+STATE="$WORK/state"
+# sockaddr_un caps the path at ~107 bytes; keep the socket in /tmp.
+SOCK=$(mktemp -u /tmp/brics_soak_XXXXXX.sock)
+trap 'rm -f "$SOCK"' EXIT
+
+fail() { echo "server_soak: FAIL — $1" >&2; exit 1; }
+
+wait_ready() { # $1 = log file, $2 = pid
+  i=0
+  while ! grep -q '^ready$' "$1" 2>/dev/null; do
+    kill -0 "$2" 2>/dev/null || { cat "$1" >&2; fail "server died before ready"; }
+    i=$((i + 1))
+    [ "$i" -gt 300 ] && { cat "$1" >&2; fail "server never became ready"; }
+    sleep 0.1
+  done
+}
+
+start_server() { # $1 = log file, $2 = failpoint spec (may be empty)
+  if [ -n "$2" ]; then
+    BRICS_FAILPOINTS="$2" "$SERVE" @road-rural --scale 0.03 --rate 1 \
+      --socket "$SOCK" --state-dir "$STATE" --workers 2 --queue 4 \
+      --watchdog-ms "$WATCHDOG_MS" > "$1" 2>&1 &
+  else
+    "$SERVE" @road-rural --scale 0.03 --rate 1 \
+      --socket "$SOCK" --state-dir "$STATE" --workers 2 --queue 4 \
+      --watchdog-ms "$WATCHDOG_MS" > "$1" 2>&1 &
+  fi
+  PID=$!
+  wait_ready "$1" "$PID"
+}
+
+hello_version() { # prints the version the server reports
+  "$CLIENT" "$SOCK" hello | sed -n 's/.*version=\([0-9]*\).*/\1/p' | head -1
+}
+
+# --- 1+2: soak against a live (possibly fault-injected) daemon ----------
+start_server "$WORK/serve1.log" "$FAILPOINTS"
+
+"$CLIENT" "$SOCK" soak --clients 4 --requests 25 --update-every 10 \
+  --recv-timeout-ms "$RECV_TIMEOUT_MS" > "$WORK/soak.log" 2>&1 \
+  || { cat "$WORK/soak.log" >&2; fail "soak reported hangs or died"; }
+cat "$WORK/soak.log"
+
+V_BEFORE=$(hello_version)
+[ -n "$V_BEFORE" ] || fail "could not read version from hello"
+[ "$V_BEFORE" -gt 1 ] || fail "soak applied no updates (version=$V_BEFORE)"
+
+# --- 3: SIGKILL, restart, resume check ---------------------------------
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+rm -f "$SOCK"
+
+start_server "$WORK/serve2.log" ""
+"$CLIENT" "$SOCK" hello | tee "$WORK/hello2.txt"
+grep -q 'resumed=true' "$WORK/hello2.txt" \
+  || fail "restart did not resume from committed state"
+V_AFTER=$(hello_version)
+[ "$V_AFTER" = "$V_BEFORE" ] \
+  || fail "resumed version $V_AFTER != last committed $V_BEFORE"
+"$CLIENT" "$SOCK" farness > "$WORK/far1.txt" \
+  || fail "post-restart farness query failed"
+
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+rm -f "$SOCK"
+
+start_server "$WORK/serve3.log" ""
+"$CLIENT" "$SOCK" farness > "$WORK/far2.txt" \
+  || fail "second-restart farness query failed"
+cmp "$WORK/far1.txt" "$WORK/far2.txt" \
+  || fail "restarted answers are not bit-identical"
+
+# --- 4: SIGTERM = clean drain, exit 0, socket unlinked ------------------
+kill -TERM "$PID"
+if wait "$PID"; then :; else fail "clean drain exited non-zero ($?)"; fi
+[ ! -S "$SOCK" ] || fail "socket not unlinked after drain"
+grep -q 'drained' "$WORK/serve3.log" || true
+
+echo "server_soak: OK (soaked, killed, resumed v$V_BEFORE bit-identical, drained)"

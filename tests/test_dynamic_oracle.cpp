@@ -1,0 +1,123 @@
+// Bit-equality oracles for the dynamic edge-insert path (docs/SERVER.md),
+// across all four dataset classes (gen/dataset.hpp):
+//
+//  - at 100 % sampling, every node the re-estimate flags `exact` must
+//    carry the true integer farness of the grown graph — ASSERT_EQ
+//    against an all-sources BFS recompute, no tolerance;
+//  - a batched insert_edges must land in exactly the state a sequential
+//    insert_edge replay of the same edges lands in, bit for bit (the
+//    daemon applies batches, the original API applied single edges);
+//  - a batch of nothing but self loops must leave the estimate untouched.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/farness.hpp"
+#include "extensions/dynamic.hpp"
+#include "gen/dataset.hpp"
+#include "graph/connectivity.hpp"
+
+namespace brics {
+namespace {
+
+EstimateOptions full_rate() {
+  EstimateOptions o;
+  o.sample_rate = 1.0;
+  o.seed = 7;
+  return o;
+}
+
+// One representative dataset per GraphClass: web, social, community, road.
+const char* kDatasets[] = {"web-copy-a", "soc-rmat", "com-part-a",
+                           "road-rural"};
+
+CsrGraph dataset_graph(const char* name) {
+  return make_connected(build_dataset(name, 0.03));
+}
+
+// Deterministic probe batch spread across the id range (self loops and
+// duplicates are the dynamic layer's job to absorb).
+std::vector<Edge> probe_edges(const CsrGraph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<Edge> candidates = {
+      {0, n - 1, 1},         {n / 3, (2 * n) / 3, 1}, {1, n / 2, 1},
+      {n / 4, n - 2, 1},     {n / 5, (4 * n) / 5, 1},
+  };
+  std::vector<Edge> edges;
+  for (const Edge& e : candidates)
+    if (e.u != e.v) edges.push_back(e);
+  return edges;
+}
+
+TEST(DynamicOracle, ExactNodesMatchFullRecomputeAfterBatch) {
+  for (const char* name : kDatasets) {
+    SCOPED_TRACE(name);
+    CsrGraph g = dataset_graph(name);
+    DynamicFarness dyn(g, full_rate());
+    const std::vector<Edge> edges = probe_edges(g);
+    dyn.insert_edges(std::span<const Edge>(edges));
+
+    const EstimateResult& est = dyn.estimate();
+    ASSERT_FALSE(est.degraded);
+    const std::vector<FarnessSum> truth = exact_farness(dyn.graph());
+    ASSERT_EQ(est.farness.size(), truth.size());
+
+    std::size_t exact_nodes = 0;
+    for (NodeId v = 0; v < dyn.graph().num_nodes(); ++v) {
+      ASSERT_TRUE(std::isfinite(est.farness[v])) << "node " << v;
+      if (!est.exact[v]) continue;
+      ++exact_nodes;
+      // Bit equality: an exact node at rate 1.0 is the integer farness.
+      ASSERT_EQ(est.farness[v], static_cast<double>(truth[v]))
+          << "node " << v;
+    }
+    // The oracle is vacuous if nothing is exact; at 100 % sampling the
+    // sampled survivors of the reduction all are.
+    EXPECT_GT(exact_nodes, 0u);
+  }
+}
+
+TEST(DynamicOracle, BatchMatchesSequentialReplayBitForBit) {
+  for (const char* name : kDatasets) {
+    SCOPED_TRACE(name);
+    CsrGraph g = dataset_graph(name);
+    const std::vector<Edge> edges = probe_edges(g);
+
+    DynamicFarness batch(g, full_rate());
+    batch.insert_edges(std::span<const Edge>(edges));
+    DynamicFarness seq(g, full_rate());
+    for (const Edge& e : edges) seq.insert_edge(e.u, e.v, e.w);
+
+    // Both paths patch the same reduction with the same edges and end on
+    // one estimate of the same final state: identical output, bit for bit.
+    const EstimateResult& a = batch.estimate();
+    const EstimateResult& b = seq.estimate();
+    ASSERT_EQ(a.farness.size(), b.farness.size());
+    for (std::size_t v = 0; v < a.farness.size(); ++v) {
+      ASSERT_EQ(a.farness[v], b.farness[v]) << "node " << v;
+      ASSERT_EQ(a.exact[v], b.exact[v]) << "node " << v;
+    }
+    ASSERT_EQ(batch.graph().num_edges(), seq.graph().num_edges());
+  }
+}
+
+TEST(DynamicOracle, SelfLoopOnlyBatchIsANoOp) {
+  CsrGraph g = dataset_graph("road-rural");
+  DynamicFarness dyn(g, full_rate());
+  const std::vector<double> before = dyn.estimate().farness;
+  const std::uint64_t edges_before = dyn.graph().num_edges();
+
+  const std::vector<Edge> loops = {{3, 3, 1}, {0, 0, 1}};
+  dyn.insert_edges(std::span<const Edge>(loops));
+
+  EXPECT_EQ(dyn.graph().num_edges(), edges_before);
+  const std::vector<double>& after = dyn.estimate().farness;
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t v = 0; v < before.size(); ++v)
+    ASSERT_EQ(before[v], after[v]) << "node " << v;
+}
+
+}  // namespace
+}  // namespace brics

@@ -345,7 +345,7 @@ TEST_F(RecoveryTest, KnownFailPointListIsExhaustive) {
   // Every site name used in a BRICS_FAILPOINT() call in the library must
   // be enumerable by the chaos driver; spot-check the set.
   const auto sites = known_fail_points();
-  EXPECT_GE(sites.size(), 11u);
+  EXPECT_GE(sites.size(), 16u);
   auto has = [&](const std::string& s) {
     for (const char* k : sites)
       if (s == k) return true;
@@ -358,6 +358,12 @@ TEST_F(RecoveryTest, KnownFailPointListIsExhaustive) {
   EXPECT_TRUE(has("traverse.task"));
   EXPECT_TRUE(has("traverse.sink"));
   EXPECT_TRUE(has("aggregate.combine"));
+  // Daemon sites (docs/SERVER.md), swept by brics_chaos --server.
+  EXPECT_TRUE(has("server.accept"));
+  EXPECT_TRUE(has("server.read"));
+  EXPECT_TRUE(has("server.write"));
+  EXPECT_TRUE(has("server.enqueue"));
+  EXPECT_TRUE(has("server.apply"));
   EXPECT_TRUE(has("recovery.save"));
   EXPECT_TRUE(has("recovery.load"));
 }
@@ -381,6 +387,49 @@ TEST_F(RecoveryTest, MiniChaosSweepIsClean) {
 }
 
 #endif  // BRICS_FAILPOINTS_ENABLED
+
+// ------------------------------------------------- orphan .tmp recovery
+
+// A writer killed between the tmp write and the rename leaves
+// "<name>.ckpt.tmp" behind. Startup must sweep those (they are never
+// read), and a resume over a directory littered with them must still be
+// bit-exact — regression test for the orphan-segment sweep.
+TEST_F(RecoveryTest, StartupSweepsOrphanTmpSegments) {
+  fs::create_directories(dir_);
+  spit(dir_ + "/reduced.ckpt.tmp", "half-written");
+  spit(dir_ + "/traversal.ckpt.tmp", std::string(1024, '\xff'));
+  spit(dir_ + "/keep.ckpt", "not an orphan");
+
+  EXPECT_EQ(sweep_orphan_tmp_segments(dir_), 2u);
+  EXPECT_FALSE(fs::exists(dir_ + "/reduced.ckpt.tmp"));
+  EXPECT_FALSE(fs::exists(dir_ + "/traversal.ckpt.tmp"));
+  EXPECT_TRUE(fs::exists(dir_ + "/keep.ckpt"));
+  // Idempotent on a clean directory; silent on a missing one.
+  EXPECT_EQ(sweep_orphan_tmp_segments(dir_), 0u);
+  EXPECT_EQ(sweep_orphan_tmp_segments(dir_ + "/nope"), 0u);
+}
+
+TEST_F(RecoveryTest, ResumeSweepsOrphansAndStaysBitExact) {
+  CsrGraph g = test::RandomGraphCase{"erdos_renyi", 90, 3}.build();
+  EstimateOptions opts;
+  opts.sample_rate = 1.0;
+  opts.recovery.checkpoint_dir = dir_;
+  const EstimateResult first = estimate_brics(g, opts);
+  ASSERT_FALSE(first.degraded);
+
+  // Simulate a crash mid-commit: orphan tmps alongside valid segments.
+  spit(dir_ + "/reduced.ckpt.tmp", "torn");
+  spit(dir_ + "/plan.ckpt.tmp", "torn");
+
+  EstimateOptions resume = opts;
+  resume.recovery.resume = true;
+  const EstimateResult second = estimate_brics(g, resume);
+  EXPECT_FALSE(second.degraded);
+  EXPECT_TRUE(second.recovery.resumed);
+  EXPECT_EQ(second.farness, first.farness);
+  EXPECT_FALSE(fs::exists(dir_ + "/reduced.ckpt.tmp"));
+  EXPECT_FALSE(fs::exists(dir_ + "/plan.ckpt.tmp"));
+}
 
 }  // namespace
 }  // namespace brics

@@ -1,0 +1,586 @@
+// Tests for the resident daemon (docs/SERVER.md): wire-protocol codec
+// roundtrips and malformed-frame rejection, the bounded admission queue's
+// shed/drain contract, the ServerEngine's versioned crash-safe state
+// (commit, resume, config-hash rejection, orphan-.tmp sweep, transactional
+// batch validation, version-keyed top-k cache), and an in-process Server
+// exercised over a live AF_UNIX socket: request/reply, overload shedding
+// with an explicit OVERLOADED reply, watchdog quarantine of a wedged
+// worker, and a clean drain.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/errors.hpp"
+#include "exec/failpoint.hpp"
+#include "gen/dataset.hpp"
+#include "graph/connectivity.hpp"
+#include "server/admission.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------ protocol
+
+// The codec serializes only the body fields of the frame's own MsgType
+// (and for replies, only on served statuses), so roundtrips are per type.
+Request update_request() {
+  Request r;
+  r.type = MsgType::kUpdate;
+  r.request_id = 0xDEADBEEF;
+  r.deadline_ms = 1500;
+  r.debug_sleep_ms = 7;
+  r.want_report = true;
+  r.edges = {{0, 1, 1}, {2, 3, 5}};
+  return r;
+}
+
+TEST(ServerProtocol, RequestRoundtripPerType) {
+  {
+    const Request r = update_request();
+    const Request d = decode_request(encode_request(r));
+    EXPECT_EQ(d.type, r.type);
+    EXPECT_EQ(d.request_id, r.request_id);
+    EXPECT_EQ(d.deadline_ms, r.deadline_ms);
+    EXPECT_EQ(d.debug_sleep_ms, r.debug_sleep_ms);
+    EXPECT_EQ(d.want_report, r.want_report);
+    ASSERT_EQ(d.edges.size(), r.edges.size());
+    for (std::size_t i = 0; i < r.edges.size(); ++i) {
+      EXPECT_EQ(d.edges[i].u, r.edges[i].u);
+      EXPECT_EQ(d.edges[i].v, r.edges[i].v);
+      EXPECT_EQ(d.edges[i].w, r.edges[i].w);
+    }
+  }
+  {
+    Request r;
+    r.type = MsgType::kFarness;
+    r.request_id = 9;
+    r.closeness = true;
+    r.nodes = {3, 1, 4, 1, 5};
+    const Request d = decode_request(encode_request(r));
+    EXPECT_EQ(d.type, r.type);
+    EXPECT_EQ(d.closeness, r.closeness);
+    EXPECT_EQ(d.nodes, r.nodes);
+  }
+  {
+    Request r;
+    r.type = MsgType::kTopK;
+    r.k = 11;
+    const Request d = decode_request(encode_request(r));
+    EXPECT_EQ(d.type, r.type);
+    EXPECT_EQ(d.k, r.k);
+  }
+  for (MsgType t :
+       {MsgType::kHello, MsgType::kStats, MsgType::kServerStats}) {
+    Request r;
+    r.type = t;
+    r.request_id = 77;
+    const Request d = decode_request(encode_request(r));
+    EXPECT_EQ(d.type, t);
+    EXPECT_EQ(d.request_id, 77u);
+  }
+}
+
+TEST(ServerProtocol, ReplyRoundtripPerType) {
+  {
+    Reply r;
+    r.type = MsgType::kFarness;
+    r.request_id = 42;
+    r.status = ReplyStatus::kDegraded;
+    r.version = 17;
+    r.entries = {{0, 12.5, true}, {7, 99.0, false}};
+    const Reply d = decode_reply(encode_reply(r));
+    EXPECT_EQ(d.type, r.type);
+    EXPECT_EQ(d.request_id, r.request_id);
+    EXPECT_EQ(d.status, r.status);
+    EXPECT_EQ(d.error, WireError::kNone);
+    EXPECT_EQ(d.version, r.version);
+    ASSERT_EQ(d.entries.size(), r.entries.size());
+    for (std::size_t i = 0; i < r.entries.size(); ++i) {
+      EXPECT_EQ(d.entries[i].node, r.entries[i].node);
+      EXPECT_EQ(d.entries[i].value, r.entries[i].value);
+      EXPECT_EQ(d.entries[i].exact, r.entries[i].exact);
+    }
+  }
+  {
+    Reply r;
+    r.type = MsgType::kHello;
+    r.message = "brics daemon";
+    r.version = 2;
+    r.nodes = 100;
+    r.edges = 250;
+    r.resumed = true;
+    const Reply d = decode_reply(encode_reply(r));
+    EXPECT_EQ(d.message, r.message);
+    EXPECT_EQ(d.nodes, r.nodes);
+    EXPECT_EQ(d.edges, r.edges);
+    EXPECT_EQ(d.resumed, r.resumed);
+  }
+  {
+    Reply r;
+    r.type = MsgType::kTopK;
+    r.topk_exact = false;
+    r.topk_nodes = {5, 6};
+    r.topk_farness = {111, 222};
+    const Reply d = decode_reply(encode_reply(r));
+    EXPECT_EQ(d.topk_exact, r.topk_exact);
+    EXPECT_EQ(d.topk_nodes, r.topk_nodes);
+    EXPECT_EQ(d.topk_farness, r.topk_farness);
+  }
+  {
+    Reply r;
+    r.type = MsgType::kUpdate;
+    r.applied = 3;
+    r.persisted = false;
+    r.report_json = "{\"schema_version\":3}";
+    const Reply d = decode_reply(encode_reply(r));
+    EXPECT_EQ(d.applied, r.applied);
+    EXPECT_EQ(d.persisted, r.persisted);
+    EXPECT_EQ(d.report_json, r.report_json);
+  }
+  {
+    // Non-served replies carry no type body, only the taxonomy header.
+    Reply r;
+    r.type = MsgType::kFarness;
+    r.status = ReplyStatus::kOverloaded;
+    r.message = "admission queue full";
+    r.entries = {{0, 1.0, true}};  // must NOT survive the wire
+    const Reply d = decode_reply(encode_reply(r));
+    EXPECT_EQ(d.status, ReplyStatus::kOverloaded);
+    EXPECT_EQ(d.message, r.message);
+    EXPECT_TRUE(d.entries.empty());
+  }
+  {
+    Reply r;
+    r.type = MsgType::kFarness;
+    r.status = ReplyStatus::kError;
+    r.error = WireError::kWedged;
+    r.message = "watchdog quarantined worker";
+    const Reply d = decode_reply(encode_reply(r));
+    EXPECT_EQ(d.status, ReplyStatus::kError);
+    EXPECT_EQ(d.error, WireError::kWedged);
+    EXPECT_EQ(d.message, r.message);
+  }
+}
+
+TEST(ServerProtocol, MalformedPayloadsAreInputErrors) {
+  // Truncated request: cut a valid encoding anywhere and decoding throws.
+  const std::string good = encode_request(update_request());
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, good.size() - 1})
+    EXPECT_THROW(decode_request(good.substr(0, cut)), InputError)
+        << "cut at " << cut;
+  // Trailing garbage is as corrupt as a short frame.
+  EXPECT_THROW(decode_request(good + "x"), InputError);
+  EXPECT_THROW(decode_reply(std::string("\x01\x02", 2)), InputError);
+}
+
+// ----------------------------------------------------- admission queue
+
+TEST(AdmissionQueue, ShedsAtCapacityAndDrainsOnClose) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: caller sheds with OVERLOADED
+  EXPECT_EQ(q.size(), 2u);
+
+  auto popped = q.pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(*popped, 1);
+
+  // close() hands back what is still queued so each job can be refused
+  // explicitly, and is idempotent.
+  const std::vector<int> rest = q.close();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], 2);
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.try_push(4));
+  EXPECT_FALSE(q.pop().has_value());  // workers exit
+  EXPECT_TRUE(q.close().empty());
+}
+
+TEST(AdmissionQueue, PopBlocksUntilPushOrClose) {
+  BoundedQueue<int> q(4);
+  std::optional<int> got;
+  std::thread consumer([&] { got = q.pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(q.try_push(7));
+  consumer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 7);
+}
+
+// -------------------------------------------------------- ServerEngine
+
+// Tiny static graph for tests that do not need dataset structure.
+const CsrGraph& g_ref() {
+  static const CsrGraph g = test::make_graph(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  return g;
+}
+
+class ServerEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "brics_server_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    FailPointRegistry::instance().disarm_all();
+  }
+  void TearDown() override {
+    FailPointRegistry::instance().disarm_all();
+    fs::remove_all(dir_);
+  }
+
+  static EstimateOptions exact_opts() {
+    EstimateOptions o;
+    o.sample_rate = 1.0;
+    o.seed = 3;
+    return o;
+  }
+
+  static CsrGraph small_graph() {
+    return make_connected(build_dataset("road-rural", 0.02));
+  }
+
+  static std::vector<double> values(const ServerEngine& eng) {
+    auto qr = eng.farness({}, false);
+    std::vector<double> vals;
+    for (const FarnessEntry& e : qr.entries) vals.push_back(e.value);
+    return vals;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ServerEngineTest, CommitsEveryVersionAndResumesTheLastOne) {
+  const CsrGraph g = small_graph();
+  const Edge probe{0, g.num_nodes() - 1, 1};
+
+  {
+    ServerEngine eng(g, EngineOptions{exact_opts(), dir_, 64});
+    EXPECT_FALSE(eng.resumed());
+    EXPECT_EQ(eng.version(), 1u);
+    auto res = eng.apply_batch(std::span<const Edge>(&probe, 1), 0);
+    EXPECT_EQ(res.version, 2u);
+    EXPECT_EQ(res.applied, 1u);
+    EXPECT_TRUE(res.persisted);
+  }  // SIGKILL stand-in: the engine dies, only the committed segment stays
+
+  ServerEngine back(g, EngineOptions{exact_opts(), dir_, 64});
+  EXPECT_TRUE(back.resumed());
+  EXPECT_EQ(back.version(), 2u);
+  EXPECT_EQ(back.num_edges(), g.num_edges() + 1);
+
+  // The resumed engine re-reduces its committed graph from scratch, so it
+  // must agree bit for bit with a fresh engine built on the grown graph.
+  GraphBuilder b(g.num_nodes());
+  b.add_edges(g.edge_list());
+  b.add_edge(probe.u, probe.v, probe.w);
+  ServerEngine fresh(b.build(), EngineOptions{exact_opts(), "", 64});
+  const std::vector<double> want = values(fresh);
+  const std::vector<double> got = values(back);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t v = 0; v < got.size(); ++v)
+    ASSERT_EQ(got[v], want[v]) << "node " << v;
+}
+
+TEST_F(ServerEngineTest, RejectsStateWrittenUnderDifferentOptions) {
+  const CsrGraph g = small_graph();
+  { ServerEngine eng(g, EngineOptions{exact_opts(), dir_, 64}); }
+
+  EstimateOptions other = exact_opts();
+  other.seed = 99;  // different fingerprint => recompute, never serve
+  EXPECT_NE(engine_state_hash(other), engine_state_hash(exact_opts()));
+  ServerEngine eng(g, EngineOptions{other, dir_, 64});
+  EXPECT_FALSE(eng.resumed());
+  EXPECT_EQ(eng.version(), 1u);
+}
+
+TEST_F(ServerEngineTest, SweepsOrphanTmpSegmentsAtStartup) {
+  fs::create_directories(dir_);
+  const std::string orphan = dir_ + "/graph.state.ckpt.tmp";
+  std::ofstream(orphan, std::ios::binary) << "torn half-written segment";
+  ASSERT_TRUE(fs::exists(orphan));
+
+  ServerEngine eng(g_ref(), EngineOptions{exact_opts(), dir_, 64});
+  EXPECT_FALSE(fs::exists(orphan)) << "startup must sweep orphan .tmp";
+  EXPECT_FALSE(eng.resumed());  // the orphan was never a committed state
+}
+
+TEST_F(ServerEngineTest, ApplyBatchValidationIsTransactional) {
+  const CsrGraph g = small_graph();
+  ServerEngine eng(g, EngineOptions{exact_opts(), dir_, 64});
+  const std::vector<double> before = values(eng);
+
+  // One good edge + one out-of-range endpoint: the whole batch must be
+  // rejected before any mutation.
+  const std::vector<Edge> bad = {{0, 1, 1}, {0, g.num_nodes() + 5, 1}};
+  EXPECT_THROW(eng.apply_batch(std::span<const Edge>(bad), 0), InputError);
+  EXPECT_EQ(eng.version(), 1u);
+  EXPECT_EQ(eng.num_edges(), g.num_edges());
+  const std::vector<double> after = values(eng);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t v = 0; v < before.size(); ++v)
+    ASSERT_EQ(before[v], after[v]) << "node " << v;
+
+  // Zero-weight edges are invalid too.
+  const Edge zero{0, 1, 0};
+  EXPECT_THROW(eng.apply_batch(std::span<const Edge>(&zero, 1), 0),
+               InputError);
+
+  // Bad query ids are InputError as well, not a crash.
+  const std::vector<NodeId> bogus = {g.num_nodes()};
+  EXPECT_THROW(eng.farness(std::span<const NodeId>(bogus), false),
+               InputError);
+}
+
+TEST_F(ServerEngineTest, TopKIsCachedByGraphVersion) {
+  const CsrGraph g = small_graph();
+  ServerEngine eng(g, EngineOptions{exact_opts(), "", 64});
+
+  auto first = eng.topk(3, 0);
+  auto second = eng.topk(3, 0);  // same (version, k): served from cache
+  EXPECT_EQ(first.version, second.version);
+  EXPECT_EQ(first.result.nodes, second.result.nodes);
+  EXPECT_EQ(first.result.farness, second.result.farness);
+
+  const Edge probe{0, g.num_nodes() - 1, 1};
+  eng.apply_batch(std::span<const Edge>(&probe, 1), 0);
+  auto third = eng.topk(3, 0);  // version bump invalidated the cache
+  EXPECT_EQ(third.version, 2u);
+  ASSERT_EQ(third.result.nodes.size(), 3u);
+}
+
+// ----------------------------------------------- live in-process server
+
+int connect_unix(const std::string& path) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      return fd;
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+Reply ask(int fd, const Request& req) {
+  write_frame(fd, encode_request(req));
+  auto frame = read_frame(fd);
+  if (!frame) throw InputError("server closed the connection");
+  Reply rep = decode_reply(*frame);
+  EXPECT_EQ(rep.request_id, req.request_id);
+  return rep;
+}
+
+class LiveServerTest : public ServerEngineTest {
+ protected:
+  // Socket paths must fit sockaddr_un::sun_path; keep them short and
+  // relative to the test's working directory.
+  std::string sock_path() {
+    static int n = 0;
+    return "live_srv_" + std::to_string(::getpid()) + "_" +
+           std::to_string(n++) + ".sock";
+  }
+
+  void start(ServerOptions opts) {
+    opts.engine.estimate = exact_opts();
+    sock_ = sock_path();
+    opts.socket_path = sock_;
+    server_ = std::make_unique<Server>(small_graph(), std::move(opts));
+    thread_ = std::thread([this] { server_->run(); });
+    while (!server_->ready())
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  void stop() {
+    if (!server_) return;
+    server_->stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void TearDown() override {
+    stop();
+    server_.reset();
+    fs::remove(sock_);
+    ServerEngineTest::TearDown();
+  }
+
+  std::string sock_;
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+};
+
+TEST_F(LiveServerTest, ServesTheFullRequestMenu) {
+  ServerOptions opts;
+  opts.engine.state_dir = dir_;
+  start(opts);
+
+  const int fd = connect_unix(sock_);
+  ASSERT_GE(fd, 0);
+
+  Request hello;
+  hello.type = MsgType::kHello;
+  hello.request_id = 1;
+  Reply h = ask(fd, hello);
+  EXPECT_EQ(h.status, ReplyStatus::kOk);
+  EXPECT_EQ(h.version, 1u);
+  EXPECT_GT(h.nodes, 0u);
+  EXPECT_FALSE(h.resumed);
+  // The hello banner carries the build identity (satellite: --version /
+  // server hello report the configure-time sha + schema version).
+  EXPECT_NE(h.message.find("schema"), std::string::npos) << h.message;
+
+  Request stats;
+  stats.type = MsgType::kStats;
+  stats.request_id = 2;
+  Reply s = ask(fd, stats);
+  EXPECT_EQ(s.status, ReplyStatus::kOk);
+  EXPECT_FALSE(s.message.empty());
+
+  Request far;
+  far.type = MsgType::kFarness;
+  far.request_id = 3;
+  far.nodes = {0, 1};
+  Reply f = ask(fd, far);
+  EXPECT_EQ(f.status, ReplyStatus::kOk);
+  ASSERT_EQ(f.entries.size(), 2u);
+  EXPECT_EQ(f.entries[0].node, 0u);
+  EXPECT_EQ(f.entries[1].node, 1u);
+
+  Request topk;
+  topk.type = MsgType::kTopK;
+  topk.request_id = 4;
+  topk.k = 3;
+  Reply t = ask(fd, topk);
+  EXPECT_EQ(t.status, ReplyStatus::kOk);
+  ASSERT_EQ(t.topk_nodes.size(), 3u);
+
+  Request upd;
+  upd.type = MsgType::kUpdate;
+  upd.request_id = 5;
+  upd.edges = {{0, h.nodes > 2 ? static_cast<NodeId>(h.nodes - 1) : 1, 1}};
+  Reply u = ask(fd, upd);
+  EXPECT_EQ(u.status, ReplyStatus::kOk);
+  EXPECT_EQ(u.version, 2u);
+  EXPECT_EQ(u.applied, 1u);
+  EXPECT_TRUE(u.persisted);
+
+  Request sstats;
+  sstats.type = MsgType::kServerStats;
+  sstats.request_id = 6;
+  Reply ss = ask(fd, sstats);
+  EXPECT_EQ(ss.status, ReplyStatus::kOk);
+  EXPECT_NE(ss.message.find("queue_depth"), std::string::npos);
+
+  ::close(fd);
+  stop();
+  // Clean drain unlinks the listening socket.
+  EXPECT_FALSE(fs::exists(sock_));
+  const ServerCounters c = server_->counters();
+  EXPECT_GE(c.connections, 1u);
+  EXPECT_GE(c.served, 6u);
+  EXPECT_EQ(c.shed, 0u);
+}
+
+TEST_F(LiveServerTest, ShedsWithExplicitOverloadedReplyWhenSaturated) {
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 1;
+  start(opts);
+
+  const int fd = connect_unix(sock_);
+  ASSERT_GE(fd, 0);
+
+  // Wedge the single worker, then pipeline more requests than the queue
+  // admits. Every request must be answered — served or explicitly shed.
+  Request sleepy;
+  sleepy.type = MsgType::kFarness;
+  sleepy.request_id = 100;
+  sleepy.debug_sleep_ms = 400;
+  write_frame(fd, encode_request(sleepy));
+
+  constexpr int kExtra = 5;
+  for (int i = 0; i < kExtra; ++i) {
+    Request far;
+    far.type = MsgType::kFarness;
+    far.request_id = static_cast<std::uint32_t>(101 + i);
+    far.nodes = {0};
+    write_frame(fd, encode_request(far));
+  }
+
+  std::map<std::uint32_t, ReplyStatus> replies;
+  for (int i = 0; i < kExtra + 1; ++i) {
+    auto frame = read_frame(fd);
+    ASSERT_TRUE(frame.has_value()) << "reply " << i << " never arrived";
+    const Reply rep = decode_reply(*frame);
+    replies[rep.request_id] = rep.status;
+  }
+  ::close(fd);
+
+  ASSERT_EQ(replies.size(), static_cast<std::size_t>(kExtra + 1))
+      << "every request must get exactly one reply";
+  int shed = 0, served = 0;
+  for (const auto& [id, status] : replies) {
+    if (status == ReplyStatus::kOverloaded) ++shed;
+    if (status == ReplyStatus::kOk || status == ReplyStatus::kDegraded)
+      ++served;
+  }
+  EXPECT_GE(shed, 1) << "a saturated queue must shed";
+  EXPECT_EQ(shed + served, kExtra + 1);
+  EXPECT_EQ(server_->counters().shed, static_cast<std::uint64_t>(shed));
+}
+
+TEST_F(LiveServerTest, WatchdogQuarantinesAWedgedWorker) {
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.watchdog_ms = 100;
+  start(opts);
+
+  const int fd = connect_unix(sock_);
+  ASSERT_GE(fd, 0);
+
+  Request wedged;
+  wedged.type = MsgType::kFarness;
+  wedged.request_id = 1;
+  wedged.debug_sleep_ms = 600;  // well past the 100 ms threshold
+  Reply r = ask(fd, wedged);
+  EXPECT_EQ(r.status, ReplyStatus::kError);
+  EXPECT_EQ(r.error, WireError::kWedged);
+
+  // The replacement worker keeps the pool serving.
+  Request far;
+  far.type = MsgType::kFarness;
+  far.request_id = 2;
+  far.nodes = {0};
+  Reply ok = ask(fd, far);
+  EXPECT_EQ(ok.status, ReplyStatus::kOk);
+  ::close(fd);
+
+  EXPECT_GE(server_->counters().quarantined, 1u);
+  // Drain must complete even with a quarantined worker in the pool.
+  stop();
+}
+
+}  // namespace
+}  // namespace brics

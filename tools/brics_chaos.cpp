@@ -2,6 +2,13 @@
 //
 //   brics_chaos <edge_list|@dataset> [--scale X] [--rate R] [--seed S]
 //               [--max-hits N] [--work-dir D] [--no-verify-resume]
+//               [--server]
+//
+// With --server the sweep targets the daemon's sites instead
+// (server.accept/read/write/enqueue/apply): each case boots an
+// in-process Server, injects the fault into a live client exchange, and
+// verifies the explicit-reply taxonomy plus bit-exact post-fault and
+// restart-resume answers (src/server/server_chaos.hpp).
 //
 // Arms every fail-point site compiled into the library, one case per
 // (site, trigger-on-Nth-hit) pair, and asserts that each injected run ends
@@ -17,6 +24,7 @@
 #include <string>
 
 #include "brics/brics.hpp"
+#include "server/server_chaos.hpp"
 
 namespace {
 
@@ -26,7 +34,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: brics_chaos <edge_list|@dataset> [--scale X] "
                "[--rate R] [--seed S] [--max-hits N] [--work-dir D] "
-               "[--no-verify-resume]\n"
+               "[--no-verify-resume] [--server]\n"
                "exit codes: 0 ok, 1 chaos failures, 2 usage, 3 bad input\n");
   return 2;
 }
@@ -37,6 +45,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string input = argv[1];
   double scale = 0.2;
+  bool server_mode = false;
   ChaosOptions copts;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -44,7 +53,9 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return nullptr;
       return argv[++i];
     };
-    if (arg == "--no-verify-resume") {
+    if (arg == "--server") {
+      server_mode = true;
+    } else if (arg == "--no-verify-resume") {
       copts.verify_resume = false;
     } else if (arg == "--scale") {
       const char* v = next();
@@ -84,12 +95,20 @@ int main(int argc, char** argv) {
       return read_edge_list_file(input);
     }();
     g = make_connected(g);
-    std::printf("chaos sweep: %u nodes, %llu edges, %zu sites x %d hits\n",
-                g.num_nodes(),
+    std::printf("chaos sweep%s: %u nodes, %llu edges, %zu sites x %d hits\n",
+                server_mode ? " (server)" : "", g.num_nodes(),
                 static_cast<unsigned long long>(g.num_edges()),
                 known_fail_points().size(), copts.max_hits);
 
-    const ChaosReport report = run_chaos_sweep(g, copts);
+    const ChaosReport report = [&] {
+      if (server_mode) {
+        ServerChaosOptions sopts;
+        sopts.max_hits = copts.max_hits;
+        sopts.work_dir = copts.work_dir;
+        return run_server_chaos_sweep(g, sopts);
+      }
+      return run_chaos_sweep(g, copts);
+    }();
     std::printf("%s", report.summary().c_str());
     if (report.failures > 0) {
       std::fprintf(stderr, "chaos: %d case(s) FAILED\n", report.failures);

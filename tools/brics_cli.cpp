@@ -36,7 +36,10 @@
 // (docs/OBSERVABILITY.md). Both are no-cost when omitted.
 //
 // Exit codes: 0 success, 2 usage error, 3 bad input, 4 estimate degraded
-// by budget, 5 internal error.
+// by budget, 5 internal error, 6 output stream failed (closed pipe, full
+// disk). SIGPIPE is ignored so `brics ... | head` ends with code 6, not
+// signal death.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +52,7 @@
 #include "exec/errors.hpp"
 #include "extensions/improve.hpp"
 #include "extensions/topk.hpp"
+#include "obs/version.hpp"
 
 namespace {
 
@@ -59,6 +63,7 @@ constexpr int kExitUsage = 2;
 constexpr int kExitBadInput = 3;
 constexpr int kExitDegraded = 4;
 constexpr int kExitInternal = 5;
+constexpr int kExitIo = 6;
 
 /// A malformed command line (unknown flag value, unparsable number);
 /// reported as usage, exit code 2.
@@ -103,7 +108,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: brics <stats|estimate|exact|topk|harmonic|distance|improve|"
-      "generate|datasets> "
+      "generate|datasets|version> "
       "<edge_list|@dataset> [--rate R] [--seed S] [--config C] [--k K] "
       "[--scale X] [--timeout-ms T] [--max-sources K] [--threads N] "
       "[--kernel auto|bfs|dial|batched] "
@@ -111,7 +116,7 @@ int usage() {
       "[--retries K] [--out FILE] "
       "[--metrics-out FILE] [--trace-out FILE]\n"
       "exit codes: 0 ok, 2 usage, 3 bad input, 4 degraded by budget, "
-      "5 internal error\n");
+      "5 internal error, 6 output stream failed\n");
   return kExitUsage;
 }
 
@@ -347,9 +352,18 @@ int cmd_datasets() {
   return kExitOk;
 }
 
+int cmd_version() {
+  std::printf("brics (%s, checkpoint format v%u)\n",
+              build_version_string().c_str(), kCheckpointFormatVersion);
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A closed downstream pipe must surface as a write error (exit 6), not
+  // kill the process with SIGPIPE (docs/ROBUSTNESS.md).
+  std::signal(SIGPIPE, SIG_IGN);
   if (argc < 2) return usage();
   Args a;
   a.command = argv[1];
@@ -376,15 +390,27 @@ int main(int argc, char** argv) {
     // Arm any BRICS_FAILPOINTS fault-injection spec before the command
     // runs; a malformed spec is an InputError (exit 3), not a crash.
     FailPointRegistry::instance().arm_from_env();
-    if (a.command == "stats") return cmd_stats(a);
-    if (a.command == "estimate") return cmd_estimate(a);
-    if (a.command == "exact") return cmd_exact(a);
-    if (a.command == "topk") return cmd_topk(a);
-    if (a.command == "harmonic") return cmd_harmonic(a);
-    if (a.command == "distance") return cmd_distance(a);
-    if (a.command == "improve") return cmd_improve(a);
-    if (a.command == "generate") return cmd_generate(a);
-    if (a.command == "datasets") return cmd_datasets();
+    int rc = -1;
+    if (a.command == "stats") rc = cmd_stats(a);
+    else if (a.command == "estimate") rc = cmd_estimate(a);
+    else if (a.command == "exact") rc = cmd_exact(a);
+    else if (a.command == "topk") rc = cmd_topk(a);
+    else if (a.command == "harmonic") rc = cmd_harmonic(a);
+    else if (a.command == "distance") rc = cmd_distance(a);
+    else if (a.command == "improve") rc = cmd_improve(a);
+    else if (a.command == "generate") rc = cmd_generate(a);
+    else if (a.command == "datasets") rc = cmd_datasets();
+    else if (a.command == "version" || a.command == "--version")
+      rc = cmd_version();
+    else return usage();
+    // With SIGPIPE ignored, writes into a closed pipe (or a full disk)
+    // fail silently inside stdio; the sticky error flag is the only
+    // evidence. Surface it as an explicit exit code.
+    if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+      std::fprintf(stderr, "error: write to stdout failed\n");
+      return kExitIo;
+    }
+    return rc;
   } catch (const UsageError& e) {
     std::fprintf(stderr, "usage error: %s\n", e.what.c_str());
     return usage();

@@ -1,0 +1,376 @@
+// brics_client — demo client + soak driver for brics_serve
+// (docs/SERVER.md).
+//
+//   brics_client <socket> hello
+//   brics_client <socket> stats
+//   brics_client <socket> server-stats
+//   brics_client <socket> farness [--nodes a,b,c] [--closeness]
+//                          [--deadline-ms N]
+//   brics_client <socket> topk --k K [--deadline-ms N]
+//   brics_client <socket> update --edges u:v[:w],... [--deadline-ms N]
+//                          [--report]
+//   brics_client <socket> sleep --ms N      (debug: wedge a worker)
+//   brics_client <socket> soak --clients N --requests M
+//                          [--update-every K] [--deadline-ms N]
+//                          [--recv-timeout-ms T]
+//
+// The soak mode is the no-hangs contract, executable: N concurrent
+// connections each fire M requests (farness / topk / update mix) and
+// every single one must end in a reply or a visible connection error
+// within the receive timeout — a silent hang fails the run.
+//
+// Exit codes: 0 ok, 2 usage, 3 error reply, 4 degraded, 5 connection or
+// protocol failure, 6 overloaded, 7 server shutting down. Soak: 0 when no
+// request hung, 1 otherwise.
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "exec/errors.hpp"
+#include "server/protocol.hpp"
+
+namespace {
+
+using namespace brics;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: brics_client <socket> "
+      "hello|stats|server-stats|farness|topk|update|sleep|soak [options]\n"
+      "exit codes: 0 ok, 2 usage, 3 error reply, 4 degraded,\n"
+      "            5 connection failure, 6 overloaded, 7 shutting down\n");
+  return 2;
+}
+
+int connect_unix(const std::string& path, int recv_timeout_ms) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One request/reply exchange; throws InputError on transport failure.
+Reply roundtrip(int fd, const Request& req) {
+  write_frame(fd, encode_request(req));
+  auto frame = read_frame(fd);
+  if (!frame) throw InputError("connection closed by server");
+  return decode_reply(*frame);
+}
+
+void print_reply(const Reply& rep) {
+  std::printf("status=%s version=%llu", to_string(rep.status),
+              static_cast<unsigned long long>(rep.version));
+  if (rep.status == ReplyStatus::kError)
+    std::printf(" error=%s", to_string(rep.error));
+  if (!rep.message.empty()) std::printf("\n%s", rep.message.c_str());
+  std::printf("\n");
+  switch (rep.type) {
+    case MsgType::kHello:
+      std::printf("nodes=%llu edges=%llu resumed=%s\n",
+                  static_cast<unsigned long long>(rep.nodes),
+                  static_cast<unsigned long long>(rep.edges),
+                  rep.resumed ? "true" : "false");
+      break;
+    case MsgType::kFarness:
+      for (const FarnessEntry& e : rep.entries)
+        std::printf("%u %.17g%s\n", e.node, e.value,
+                    e.exact ? "" : " ~");
+      break;
+    case MsgType::kTopK:
+      for (std::size_t i = 0; i < rep.topk_nodes.size(); ++i)
+        std::printf("%u %llu\n", rep.topk_nodes[i],
+                    static_cast<unsigned long long>(rep.topk_farness[i]));
+      if (!rep.topk_exact) std::printf("(inexact: budget cut)\n");
+      break;
+    case MsgType::kUpdate:
+      std::printf("applied=%u persisted=%s\n", rep.applied,
+                  rep.persisted ? "true" : "false");
+      if (!rep.report_json.empty())
+        std::printf("%s\n", rep.report_json.c_str());
+      break;
+    default:
+      break;
+  }
+}
+
+int status_exit_code(const Reply& rep) {
+  switch (rep.status) {
+    case ReplyStatus::kOk: return 0;
+    case ReplyStatus::kDegraded: return 4;
+    case ReplyStatus::kOverloaded: return 6;
+    case ReplyStatus::kShuttingDown: return 7;
+    case ReplyStatus::kError: return 3;
+  }
+  return 3;
+}
+
+bool parse_nodes(const std::string& spec, std::vector<NodeId>* out) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(spec.c_str() + pos, &end, 10);
+    if (end == spec.c_str() + pos) return false;
+    out->push_back(static_cast<NodeId>(v));
+    pos = static_cast<std::size_t>(end - spec.c_str());
+    if (pos < spec.size()) {
+      if (spec[pos] != ',') return false;
+      ++pos;
+    }
+  }
+  return true;
+}
+
+bool parse_edges(const std::string& spec, std::vector<Edge>* out) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    Edge e;
+    char* end = nullptr;
+    e.u = static_cast<NodeId>(std::strtoul(spec.c_str() + pos, &end, 10));
+    if (end == spec.c_str() + pos || *end != ':') return false;
+    pos = static_cast<std::size_t>(end - spec.c_str()) + 1;
+    e.v = static_cast<NodeId>(std::strtoul(spec.c_str() + pos, &end, 10));
+    if (end == spec.c_str() + pos) return false;
+    pos = static_cast<std::size_t>(end - spec.c_str());
+    e.w = 1;
+    if (pos < spec.size() && spec[pos] == ':') {
+      ++pos;
+      e.w = static_cast<Weight>(std::strtoul(spec.c_str() + pos, &end, 10));
+      if (end == spec.c_str() + pos) return false;
+      pos = static_cast<std::size_t>(end - spec.c_str());
+    }
+    out->push_back(e);
+    if (pos < spec.size()) {
+      if (spec[pos] != ',') return false;
+      ++pos;
+    }
+  }
+  return !out->empty();
+}
+
+struct SoakTotals {
+  std::atomic<std::uint64_t> sent{0}, ok{0}, degraded{0}, overloaded{0},
+      shutdown{0}, errors{0}, dropped{0}, hangs{0};
+};
+
+void soak_thread(const std::string& sock, int tid, int requests,
+                 int update_every, std::uint32_t deadline_ms,
+                 int recv_timeout_ms, SoakTotals* totals) {
+  int fd = connect_unix(sock, recv_timeout_ms);
+  std::uint64_t nodes = 0;
+  if (fd >= 0) {
+    Request hello;
+    hello.type = MsgType::kHello;
+    try {
+      nodes = roundtrip(fd, hello).nodes;
+    } catch (const std::exception&) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  for (int i = 0; i < requests; ++i) {
+    if (fd < 0) {
+      // Visible connection failure: reconnect and keep going. The
+      // request that was in flight counts as dropped, never as a hang.
+      fd = connect_unix(sock, recv_timeout_ms);
+      if (fd < 0) {
+        ++totals->dropped;
+        ++totals->sent;
+        continue;
+      }
+    }
+    Request req;
+    req.request_id = static_cast<std::uint32_t>(tid * 1000003 + i);
+    req.deadline_ms = deadline_ms;
+    const std::uint64_t n = nodes > 0 ? nodes : 1;
+    if (update_every > 0 && i % update_every == update_every - 1) {
+      req.type = MsgType::kUpdate;
+      Edge e;
+      e.u = static_cast<NodeId>((tid * 31 + i * 7) % n);
+      e.v = static_cast<NodeId>((tid * 17 + i * 13 + 1) % n);
+      e.w = 1;
+      req.edges.push_back(e);
+    } else if (i % 5 == 3) {
+      req.type = MsgType::kTopK;
+      req.k = 3;
+    } else {
+      req.type = MsgType::kFarness;
+      req.nodes.push_back(static_cast<NodeId>(i % n));
+    }
+    ++totals->sent;
+    try {
+      const Reply rep = roundtrip(fd, req);
+      if (rep.request_id != req.request_id)
+        throw InputError("reply id mismatch");
+      switch (rep.status) {
+        case ReplyStatus::kOk: ++totals->ok; break;
+        case ReplyStatus::kDegraded: ++totals->degraded; break;
+        case ReplyStatus::kOverloaded: ++totals->overloaded; break;
+        case ReplyStatus::kShuttingDown: ++totals->shutdown; break;
+        case ReplyStatus::kError: ++totals->errors; break;
+      }
+    } catch (const std::exception& e) {
+      // SO_RCVTIMEO expiry surfaces as a read failure: that is a HANG —
+      // the server went silent on a live connection.
+      if (std::strstr(e.what(), "read failed") != nullptr &&
+          (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        ++totals->hangs;
+      } else {
+        ++totals->dropped;
+      }
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  if (argc < 3) return usage();
+  const std::string sock = argv[1];
+  const std::string cmd = argv[2];
+
+  Request req;
+  std::uint32_t deadline_ms = 0;
+  int clients = 4, requests = 50, update_every = 10;
+  int recv_timeout_ms = 30000;
+  bool want_report = false;
+  std::vector<NodeId> nodes;
+  std::vector<Edge> edges;
+  std::uint32_t sleep_ms = 0;
+  NodeId k = 0;
+  bool closeness = false;
+
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--deadline-ms" && (v = next())) {
+      deadline_ms = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--nodes" && (v = next())) {
+      if (!parse_nodes(v, &nodes)) return usage();
+    } else if (arg == "--closeness") {
+      closeness = true;
+    } else if (arg == "--k" && (v = next())) {
+      k = static_cast<NodeId>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--edges" && (v = next())) {
+      if (!parse_edges(v, &edges)) return usage();
+    } else if (arg == "--report") {
+      want_report = true;
+    } else if (arg == "--ms" && (v = next())) {
+      sleep_ms = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--clients" && (v = next())) {
+      clients = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--requests" && (v = next())) {
+      requests = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--update-every" && (v = next())) {
+      update_every = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--recv-timeout-ms" && (v = next())) {
+      recv_timeout_ms = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else {
+      return usage();
+    }
+  }
+
+  if (cmd == "soak") {
+    if (clients < 1 || requests < 1) return usage();
+    SoakTotals totals;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int t = 0; t < clients; ++t)
+      threads.emplace_back(soak_thread, sock, t, requests, update_every,
+                           deadline_ms, recv_timeout_ms, &totals);
+    for (std::thread& th : threads) th.join();
+    std::printf(
+        "soak: sent=%llu ok=%llu degraded=%llu overloaded=%llu "
+        "shutdown=%llu errors=%llu dropped=%llu hangs=%llu\n",
+        static_cast<unsigned long long>(totals.sent.load()),
+        static_cast<unsigned long long>(totals.ok.load()),
+        static_cast<unsigned long long>(totals.degraded.load()),
+        static_cast<unsigned long long>(totals.overloaded.load()),
+        static_cast<unsigned long long>(totals.shutdown.load()),
+        static_cast<unsigned long long>(totals.errors.load()),
+        static_cast<unsigned long long>(totals.dropped.load()),
+        static_cast<unsigned long long>(totals.hangs.load()));
+    if (totals.hangs.load() > 0) {
+      std::fprintf(stderr, "soak: FAIL — %llu request(s) hung\n",
+                   static_cast<unsigned long long>(totals.hangs.load()));
+      return 1;
+    }
+    return 0;
+  }
+
+  if (cmd == "hello") {
+    req.type = MsgType::kHello;
+  } else if (cmd == "stats") {
+    req.type = MsgType::kStats;
+  } else if (cmd == "server-stats") {
+    req.type = MsgType::kServerStats;
+  } else if (cmd == "farness") {
+    req.type = MsgType::kFarness;
+    req.nodes = nodes;
+    req.closeness = closeness;
+  } else if (cmd == "topk") {
+    req.type = MsgType::kTopK;
+    req.k = k;
+  } else if (cmd == "update") {
+    req.type = MsgType::kUpdate;
+    req.edges = edges;
+    req.want_report = want_report;
+  } else if (cmd == "sleep") {
+    req.type = MsgType::kStats;
+    req.debug_sleep_ms = sleep_ms;
+  } else {
+    return usage();
+  }
+  req.request_id = 1;
+  req.deadline_ms = deadline_ms;
+
+  const int fd = connect_unix(sock, recv_timeout_ms);
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot connect to %s: %s\n", sock.c_str(),
+                 std::strerror(errno));
+    return 5;
+  }
+  try {
+    const Reply rep = roundtrip(fd, req);
+    ::close(fd);
+    print_reply(rep);
+    return status_exit_code(rep);
+  } catch (const std::exception& e) {
+    ::close(fd);
+    std::fprintf(stderr, "transport error: %s\n", e.what());
+    return 5;
+  }
+}

@@ -1,0 +1,158 @@
+// brics_serve — the resident centrality daemon (docs/SERVER.md).
+//
+//   brics_serve <edge_list|@dataset> --socket PATH [--scale X] [--rate R]
+//               [--seed S] [--workers N] [--queue N] [--watchdog-ms N]
+//               [--state-dir D] [--default-deadline-ms N]
+//
+// Loads (or, with --state-dir, resumes) the graph, runs the initial
+// estimate, then serves protocol requests on the AF_UNIX socket until
+// SIGTERM/SIGINT triggers a graceful drain: in-flight requests finish,
+// queued ones are refused with SHUTTING-DOWN, and the last committed
+// graph version is already on disk (commit-then-reply), so a restart
+// resumes exactly where clients last saw the server.
+//
+// BRICS_FAILPOINTS is honoured like in brics_cli — the soak harness arms
+// server.* sites through it.
+//
+// Exit codes: 0 clean drain, 2 usage, 3 bad input.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "brics/brics.hpp"
+#include "obs/version.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using namespace brics;
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: brics_serve <edge_list|@dataset> --socket PATH [--scale X]\n"
+      "                   [--rate R] [--seed S] [--workers N] [--queue N]\n"
+      "                   [--watchdog-ms N] [--state-dir D]\n"
+      "                   [--default-deadline-ms N]\n"
+      "exit codes: 0 clean drain, 2 usage, 3 bad input\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A client that disconnects mid-reply must surface as a dropped
+  // connection, not process death.
+  std::signal(SIGPIPE, SIG_IGN);
+  if (argc < 2) return usage();
+  std::string input = argv[1];
+  double scale = 0.2;
+  ServerOptions sopts;
+  sopts.engine.estimate.sample_rate = 1.0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--socket" && (v = next())) {
+      sopts.socket_path = v;
+    } else if (arg == "--scale" && (v = next())) {
+      scale = std::strtod(v, nullptr);
+    } else if (arg == "--rate" && (v = next())) {
+      sopts.engine.estimate.sample_rate = std::strtod(v, nullptr);
+    } else if (arg == "--seed" && (v = next())) {
+      sopts.engine.estimate.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--workers" && (v = next())) {
+      sopts.num_workers =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (sopts.num_workers == 0) return usage();
+    } else if (arg == "--queue" && (v = next())) {
+      sopts.queue_capacity =
+          static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+      if (sopts.queue_capacity == 0) return usage();
+    } else if (arg == "--watchdog-ms" && (v = next())) {
+      sopts.watchdog_ms = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--state-dir" && (v = next())) {
+      sopts.engine.state_dir = v;
+    } else if (arg == "--default-deadline-ms" && (v = next())) {
+      sopts.default_deadline_ms =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else {
+      return usage();
+    }
+  }
+  if (sopts.socket_path.empty()) return usage();
+
+  try {
+    FailPointRegistry::instance().arm_from_env();
+    CsrGraph g = [&] {
+      if (!input.empty() && input[0] == '@') {
+        try {
+          return build_dataset(input.substr(1), scale);
+        } catch (const CheckFailure& e) {
+          throw InputError(e.what());
+        }
+      }
+      return read_edge_list_file(input);
+    }();
+    g = make_connected(g);
+
+    Server server(std::move(g), sopts);
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    // Relay signals into the server's drain flag from a normal thread;
+    // the handler itself only touches the atomic.
+    std::thread relay([&server] {
+      while (!g_stop.load(std::memory_order_relaxed) && !server.ready())
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      while (!g_stop.load(std::memory_order_relaxed))
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      server.stop();
+    });
+
+    const ServerEngine& eng = server.engine();
+    std::printf("brics_serve (%s)\n", build_version_string().c_str());
+    std::printf(
+        "serving %u nodes, %llu edges on %s (version %llu%s)\n",
+        eng.num_nodes(), static_cast<unsigned long long>(eng.num_edges()),
+        sopts.socket_path.c_str(),
+        static_cast<unsigned long long>(eng.version()),
+        eng.resumed() ? ", resumed from state dir" : "");
+    std::printf("ready\n");
+    std::fflush(stdout);
+
+    server.run();
+
+    g_stop.store(true, std::memory_order_relaxed);
+    relay.join();
+    const ServerCounters c = server.counters();
+    std::printf(
+        "drained: connections=%llu requests=%llu served=%llu shed=%llu "
+        "refused=%llu errors=%llu quarantined=%llu dropped=%llu\n",
+        static_cast<unsigned long long>(c.connections),
+        static_cast<unsigned long long>(c.requests),
+        static_cast<unsigned long long>(c.served),
+        static_cast<unsigned long long>(c.shed),
+        static_cast<unsigned long long>(c.refused),
+        static_cast<unsigned long long>(c.errors),
+        static_cast<unsigned long long>(c.quarantined),
+        static_cast<unsigned long long>(c.dropped_conns));
+    return 0;
+  } catch (const InputError& e) {
+    std::fprintf(stderr, "input error: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+}
