@@ -1,0 +1,150 @@
+// Betweenness scaling sweep (ISSUE 8): the staged pipeline estimator
+// (measures/betweenness.hpp) against the flat sampled Brandes baseline
+// across sample rates, plus a thread-scaling row at a fixed rate. Both
+// estimators answer the same question, so the reproduction target is the
+// same shape as the farness figures: where the decomposition pays for
+// itself and how quality degrades with the sampling rate.
+//
+// Quality is reported as the mean relative error over nodes with nonzero
+// exact betweenness plus top-10 set overlap — the AR-based QualityReport
+// does not apply because exact BC is legitimately zero on leaves.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "bench/bench_common.hpp"
+#include "util/parallel.hpp"
+
+using namespace brics;
+using namespace brics::bench;
+
+namespace {
+
+struct BcQuality {
+  double mean_rel_err = 0.0;  ///< mean |est - exact| / exact, exact > 0
+  double top10 = 1.0;         ///< |top10(est) ∩ top10(exact)| / 10
+};
+
+BcQuality bc_quality(const std::vector<double>& est,
+                     const std::vector<double>& exact) {
+  BcQuality q;
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    if (exact[v] <= 0.0) continue;
+    sum += std::abs(est[v] - exact[v]) / exact[v];
+    ++counted;
+  }
+  q.mean_rel_err = counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+
+  const std::size_t k = std::min<std::size_t>(10, exact.size());
+  auto topk = [&](const std::vector<double>& vals) {
+    std::vector<NodeId> ids(vals.size());
+    std::iota(ids.begin(), ids.end(), 0u);
+    std::partial_sort(ids.begin(), ids.begin() + static_cast<long>(k),
+                      ids.end(), [&](NodeId a, NodeId b) {
+                        if (vals[a] != vals[b]) return vals[a] > vals[b];
+                        return a < b;
+                      });
+    ids.resize(k);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  const std::vector<NodeId> te = topk(est);
+  const std::vector<NodeId> tx = topk(exact);
+  std::vector<NodeId> both;
+  std::set_intersection(te.begin(), te.end(), tx.begin(), tx.end(),
+                        std::back_inserter(both));
+  q.top10 = k == 0 ? 1.0
+                   : static_cast<double>(both.size()) / static_cast<double>(k);
+  return q;
+}
+
+/// Median wall-clock over bench_repeats() runs; seeds vary per repeat the
+/// same way run_estimator does so repeats are not byte-identical replays.
+struct BcRun {
+  double seconds = 0.0;
+  EstimateResult last;
+};
+
+BcRun run_bc(const CsrGraph& g, const EstimateOptions& opts) {
+  BcRun out;
+  std::vector<double> times;
+  const int reps = bench_repeats();
+  for (int r = 0; r < reps; ++r) {
+    MetricsRegistry::global().reset();
+    EstimateOptions o = opts;
+    o.seed = opts.seed + static_cast<std::uint64_t>(r) * 977;
+    Timer t;
+    EstimateResult est = estimate_centrality(g, o);
+    times.push_back(t.seconds());
+    if (r == reps - 1) out.last = std::move(est);
+  }
+  std::sort(times.begin(), times.end());
+  out.seconds = times[times.size() / 2];
+  return out;
+}
+
+EstimateOptions bc_opts(double rate, bool use_bcc) {
+  EstimateOptions o;
+  o.measure = Measure::kBetweenness;
+  o.sample_rate = rate;
+  o.seed = 1;
+  o.use_bcc = use_bcc;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  BenchArtifact artifact("bc_scaling");
+  std::printf("Betweenness scaling (scale=%.2f, repeats=%d)\n\n",
+              bench_scale(), bench_repeats());
+
+  // --- rate sweep: flat sampled Brandes vs the staged pipeline ----------
+  const std::vector<int> w = {12, 6, 9, 9, 9, 9, 7, 9, 7};
+  print_header({"graph", "rate", "t_flat", "t_brics", "speedup", "err_flat",
+                "top_f", "err_brics", "top_b"},
+               w);
+  for (const char* name : {"web-copy-a", "road-rural"}) {
+    CsrGraph g = make_connected(build_dataset(name, bench_scale()));
+    const std::vector<double> exact = exact_betweenness(g);
+    bool first = true;
+    for (double rate : {0.1, 0.3, 1.0}) {
+      const BcRun flat = run_bc(g, bc_opts(rate, /*use_bcc=*/false));
+      const BcRun brics = run_bc(g, bc_opts(rate, /*use_bcc=*/true));
+      const BcQuality qf = bc_quality(flat.last.farness, exact);
+      const BcQuality qb = bc_quality(brics.last.farness, exact);
+      print_row({first ? name : "", fmt(rate, 1), fmt(flat.seconds, 3),
+                 fmt(brics.seconds, 3),
+                 fmt(flat.seconds / brics.seconds, 2) + "x",
+                 fmt(qf.mean_rel_err, 4), fmt(qf.top10, 2),
+                 fmt(qb.mean_rel_err, 4), fmt(qb.top10, 2)},
+                w);
+      first = false;
+    }
+  }
+
+  // --- thread scaling at a fixed rate -----------------------------------
+  const int hw = max_threads();
+  std::printf("\n");
+  const std::vector<int> tw = {12, 8, 9, 9, 9};
+  print_header({"graph", "threads", "t_flat", "t_brics", "speedup"}, tw);
+  {
+    CsrGraph g = make_connected(build_dataset("soc-rmat", bench_scale()));
+    bool first = true;
+    for (int t = 1; t <= hw; t *= 2) {
+      set_threads(t);
+      const BcRun flat = run_bc(g, bc_opts(0.3, /*use_bcc=*/false));
+      const BcRun brics = run_bc(g, bc_opts(0.3, /*use_bcc=*/true));
+      print_row({first ? "soc-rmat" : "", std::to_string(t),
+                 fmt(flat.seconds, 3), fmt(brics.seconds, 3),
+                 fmt(flat.seconds / brics.seconds, 2) + "x"},
+                tw);
+      first = false;
+    }
+    set_threads(hw);
+  }
+  return 0;
+}

@@ -48,6 +48,9 @@
 #include "graph/graph_io.hpp"
 #include "graph/metis_io.hpp"
 #include "graph/reorder.hpp"
+#include "measures/accum.hpp"
+#include "measures/betweenness.hpp"
+#include "measures/brandes.hpp"
 #include "obs/metrics.hpp"
 #include "obs/parallel.hpp"
 #include "obs/report.hpp"

@@ -13,6 +13,26 @@
 
 namespace brics {
 
+/// Which centrality the pipeline computes. The staged substrate (Reduce →
+/// Decompose → Plan → Traverse → Aggregate) is measure-agnostic; the
+/// measure selects the reduction subset that preserves the quantity (path
+/// lengths for farness, path counts for betweenness), the traversal kernel
+/// payload (distance sums vs dependency accumulation), and the aggregate
+/// resolvers (ledger closed forms vs BCT distance DP). docs/ARCHITECTURE.md
+/// documents the Measure abstraction and the ledger resolver contract.
+enum class Measure : std::uint8_t {
+  kFarness,      ///< Σ_w d(v, w) — the paper's workload
+  kBetweenness,  ///< Brandes dependency sums Σ_{s≠v≠t} σ_st(v)/σ_st
+};
+
+inline const char* to_string(Measure m) {
+  switch (m) {
+    case Measure::kFarness: return "farness";
+    case Measure::kBetweenness: return "betweenness";
+  }
+  return "?";
+}
+
 /// How traversal sources are drawn from the (block's) population.
 enum class SampleStrategy {
   kUniform,         ///< the paper's choice: uniform without replacement
@@ -47,6 +67,7 @@ inline const char* to_string(KernelChoice k) {
 ///   I+C+R:      reduce{all true},        use_bcc=false
 ///   Cumulative: reduce{all true},        use_bcc=true  (full BRICS)
 struct EstimateOptions {
+  Measure measure = Measure::kFarness;  ///< which centrality to estimate
   double sample_rate = 0.2;   ///< fraction of (reduced-graph) nodes sampled
   std::uint64_t seed = 1;     ///< sampling RNG seed
   ReduceOptions reduce;       ///< which reductions to apply
@@ -72,6 +93,11 @@ struct EstimateOptions {
 /// flagged in `exact` carry the exact value (sampled sources, and with BCC
 /// the cross-block part of every node is exact as well).
 struct EstimateResult {
+  Measure measure = Measure::kFarness;  ///< what `farness` holds
+  /// Per-node centrality values. For Measure::kFarness, approximate
+  /// sum_{w != v} d(v, w); for Measure::kBetweenness, approximate Brandes
+  /// dependency sums over ordered pairs (no normalization). The field name
+  /// predates the Measure abstraction and is kept for API stability.
   std::vector<double> farness;
   std::vector<std::uint8_t> exact;
   NodeId samples = 0;        ///< traversal sources actually completed

@@ -8,6 +8,7 @@
 #include "core/brics.hpp"
 #include "core/estimate.hpp"
 #include "exec/errors.hpp"
+#include "measures/betweenness.hpp"
 #include "exec/failpoint.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/metis_io.hpp"
@@ -54,10 +55,11 @@ ChaosReport run_chaos_sweep(const CsrGraph& g, const ChaosOptions& copts) {
   const CsrGraph canonical = read_edge_list_file(edge_path);
 
   EstimateOptions base;
+  base.measure = copts.measure;
   base.sample_rate = copts.sample_rate;
   base.seed = copts.seed;
 
-  const EstimateResult baseline = estimate_brics(canonical, base);
+  const EstimateResult baseline = estimate_centrality(canonical, base);
   BRICS_CHECK_MSG(!baseline.degraded, "chaos baseline run degraded");
 
   // A complete checkpoint directory, for the cases that can only evaluate
@@ -67,7 +69,7 @@ ChaosReport run_chaos_sweep(const CsrGraph& g, const ChaosOptions& copts) {
   {
     EstimateOptions o = base;
     o.recovery.checkpoint_dir = primed_dir;
-    const EstimateResult primed = estimate_brics(canonical, o);
+    const EstimateResult primed = estimate_centrality(canonical, o);
     BRICS_CHECK_MSG(!primed.degraded, "chaos priming run degraded");
   }
 
@@ -95,7 +97,7 @@ ChaosReport run_chaos_sweep(const CsrGraph& g, const ChaosOptions& copts) {
         EstimateOptions o = base;
         o.recovery.checkpoint_dir = ckdir;
         o.recovery.resume = load_site;
-        res = estimate_brics(gg, o);
+        res = estimate_centrality(gg, o);
         got_result = true;
       } catch (const FailPointError&) {
         c.outcome = "error:failpoint";
@@ -131,7 +133,7 @@ ChaosReport run_chaos_sweep(const CsrGraph& g, const ChaosOptions& copts) {
           EstimateOptions o = base;
           o.recovery.checkpoint_dir = ckdir;
           o.recovery.resume = true;
-          const EstimateResult r2 = estimate_brics(canonical, o);
+          const EstimateResult r2 = estimate_centrality(canonical, o);
           if (r2.degraded)
             fail_case(c, "resume run degraded");
           else if (r2.farness != baseline.farness)

@@ -25,11 +25,17 @@
 #include <string>
 #include <vector>
 
+#include "core/estimate.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace brics {
 
 struct ChaosOptions {
+  /// Which centrality the sweep drives. Betweenness runs the same site
+  /// enumeration through estimate_betweenness — including the kBcTraversal
+  /// checkpoint segment — with the identical bit-exact resume contract
+  /// (the Q64.64 accumulation is deterministic at any rate).
+  Measure measure = Measure::kFarness;
   double sample_rate = 1.0;  ///< 1.0 => resume checks compare bit-exactly
   std::uint64_t seed = 1;
   int max_hits = 2;          ///< trigger each site on hits 1..max_hits

@@ -49,7 +49,8 @@ enum class SegmentKind : std::uint32_t {
   kPlan = 3,
   kTraversal = 4,
   kManifest = 5,
-  kGraphState = 6,  ///< server: committed graph version + edge list
+  kGraphState = 6,    ///< server: committed graph version + edge list
+  kBcTraversal = 7,   ///< measures: partial betweenness accumulators
 };
 
 inline constexpr std::uint32_t kCheckpointFormatVersion = 1;

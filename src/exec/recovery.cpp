@@ -18,6 +18,9 @@ constexpr const char* kDecompositionFile = "decomposition.ckpt";
 constexpr const char* kPlanFile = "plan.ckpt";
 constexpr const char* kTraversalFile = "traversal.ckpt";
 constexpr const char* kManifestFile = "manifest.ckpt";
+// Measure-specific segments saved through the generic load/save_segment
+// surface; listed here so fresh runs clear them like the stage segments.
+constexpr const char* kBcTraversalFile = "bc_traversal.ckpt";
 
 // ---- payload codec helpers -----------------------------------------------
 
@@ -336,10 +339,14 @@ std::uint64_t recovery_config_hash(const CsrGraph& g,
       static_cast<std::uint64_t>(opts.reduce.chains) << 1 |
       static_cast<std::uint64_t>(opts.reduce.redundant) << 2 |
       static_cast<std::uint64_t>(opts.reduce.iterate) << 3 |
-      static_cast<std::uint64_t>(opts.use_bcc) << 4);
+      static_cast<std::uint64_t>(opts.use_bcc) << 4 |
+      static_cast<std::uint64_t>(opts.reduce.pendant_only) << 5);
   mix(static_cast<std::uint64_t>(opts.reduce.max_rounds));
   mix(static_cast<std::uint64_t>(opts.strategy));
   mix(static_cast<std::uint64_t>(opts.kernel));
+  // A farness checkpoint directory must never feed a betweenness run (and
+  // vice versa): the traversal accumulators mean different things.
+  mix(static_cast<std::uint64_t>(opts.measure));
   mix(opts.budget.max_sources);  // changes the plan; timeout does not
   return h;
 }
@@ -358,7 +365,7 @@ Recovery::Recovery(const RecoveryOptions& opts, std::uint64_t config_hash)
     // Fresh run: stale segments from an earlier run must not leak into a
     // later --resume against this directory.
     for (const char* f : {kReducedFile, kDecompositionFile, kPlanFile,
-                          kTraversalFile, kManifestFile})
+                          kTraversalFile, kManifestFile, kBcTraversalFile})
       std::filesystem::remove(path(f), ec);
   } else {
     try {
@@ -533,6 +540,41 @@ void Recovery::save_traversal(const TraversalResults& trav) {
   }
   // Keep the manifest fresh alongside every traversal snapshot so a crash
   // after this wave still knows the attempt count and elapsed wall clock.
+  write_manifest();
+}
+
+bool Recovery::load_segment(const char* name, SegmentKind kind,
+                            std::string& payload) {
+  if (!opts_.resume) return false;
+  const std::string p = path(name);
+  if (!file_exists(p)) return false;
+  try {
+    BRICS_FAILPOINT("recovery.load");
+    payload = read_segment(p, kind, hash_);
+  } catch (const std::exception&) {
+    ++stats_.checkpoints_rejected;
+    count_rejected();
+    return false;
+  }
+  ++stats_.checkpoints_loaded;
+  stats_.resumed = true;
+  count_loaded();
+  return true;
+}
+
+void Recovery::save_segment(const char* name, SegmentKind kind,
+                            std::string_view payload) {
+  try {
+    BRICS_FAILPOINT("recovery.save");
+    write_segment(opts_.checkpoint_dir, name, kind, hash_, payload);
+    ++stats_.checkpoints_written;
+    count_written();
+  } catch (const std::exception&) {
+    ++stats_.checkpoint_save_failures;
+    count_save_failed();
+  }
+  // Like save_traversal: segment savers run mid-stage (wave snapshots), so
+  // keep the manifest's attempt/wall accounting fresh alongside them.
   write_manifest();
 }
 

@@ -29,7 +29,9 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
+#include "exec/checkpoint.hpp"
 #include "exec/resilience.hpp"
 #include "pipeline/artifacts.hpp"
 #include "util/timer.hpp"
@@ -65,6 +67,18 @@ class Recovery {
   bool load_traversal(TraversalResults& trav, const Decomposition& dec,
                       const SamplePlan& plan);
   void save_traversal(const TraversalResults& trav);
+
+  /// Generic segment surface for measure-specific artifacts (e.g. the
+  /// betweenness traversal accumulators in src/measures/). The caller owns
+  /// encode/decode and any shape validation against its own inputs; the
+  /// manager owns framing, config-hash gating, the rejection/save-failure
+  /// accounting, and the never-throw-into-the-pipeline policy. `name` is a
+  /// file name inside the checkpoint directory; fresh runs clear it along
+  /// with the stage segments (kKnownSegmentFiles).
+  bool load_segment(const char* name, SegmentKind kind,
+                    std::string& payload);
+  void save_segment(const char* name, SegmentKind kind,
+                    std::string_view payload);
 
   /// Wall clock across attempts: prior attempts' manifest value plus this
   /// attempt so far.

@@ -1,0 +1,83 @@
+// Exact Q64.64 fixed-point accumulation for betweenness contributions.
+//
+// Brandes dependencies are rationals (sums of σ-ratios) that the traversal
+// computes in double. Summing doubles directly would make the result depend
+// on accumulation ORDER — thread schedule, kernel task shape, resume
+// partitioning — and the subsystem promises the opposite: the same plan
+// always produces bit-identical output (tests/test_betweenness.cpp).
+//
+// The fix: each per-(source, node) contribution is quantized ONCE to a
+// 128-bit fixed-point value with 64 fractional bits, and everything
+// downstream is integer arithmetic modulo 2^128 — associative and
+// commutative, so partial sums merge in any order, across any number of
+// threads, and across checkpoint/resume boundaries, without changing a bit.
+// Contributions that are integers (σ == 1 everywhere: trees, cliques with
+// pendants) quantize exactly, which is what makes the pipeline bitwise
+// equal to the exact oracle on those graph classes.
+//
+// Range: |value| < 2^63. Betweenness sums are bounded by (n-1)^2 < 2^62 for
+// n < 2^31, so quantization never saturates on any graph the NodeId type
+// can address.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace brics {
+
+/// Two's-complement Q64.64 accumulator backed by unsigned __int128.
+/// Value semantics only; the zero-initialised state is the empty sum.
+struct BcAccum {
+  unsigned __int128 raw = 0;
+
+  /// Quantize a double to Q64.64 (truncation toward zero, deterministic).
+  static unsigned __int128 quantize(double x) {
+    const bool neg = x < 0.0;
+    if (neg) x = -x;
+    const double hi = std::floor(x);
+    // ldexp scales by an exact power of two; frac < 1 keeps the product
+    // below 2^64, where every double is representable, so the cast is
+    // well-defined and the low word deterministic.
+    const std::uint64_t lo =
+        static_cast<std::uint64_t>(std::ldexp(x - hi, 64));
+    unsigned __int128 q =
+        (static_cast<unsigned __int128>(static_cast<std::uint64_t>(hi))
+         << 64) |
+        lo;
+    return neg ? static_cast<unsigned __int128>(0) - q : q;
+  }
+
+  void add(double x) { raw += quantize(x); }
+  void add_raw(unsigned __int128 q) { raw += q; }
+  void add_int(std::uint64_t x) {
+    raw += static_cast<unsigned __int128>(x) << 64;
+  }
+
+  std::uint64_t hi() const { return static_cast<std::uint64_t>(raw >> 64); }
+  std::uint64_t lo() const { return static_cast<std::uint64_t>(raw); }
+  static BcAccum from_words(std::uint64_t hi, std::uint64_t lo) {
+    BcAccum a;
+    a.raw = (static_cast<unsigned __int128>(hi) << 64) | lo;
+    return a;
+  }
+
+  /// Convert the exact sum to double (one rounding, at the very end).
+  /// Interprets the two's-complement sign, so transient negative partial
+  /// sums (twin-class fix-ups) convert correctly too.
+  double to_double() const {
+    unsigned __int128 v = raw;
+    const bool neg = (v >> 127) != 0;
+    if (neg) v = static_cast<unsigned __int128>(0) - v;
+    const double d =
+        static_cast<double>(static_cast<std::uint64_t>(v >> 64)) +
+        std::ldexp(static_cast<double>(static_cast<std::uint64_t>(v)), -64);
+    return neg ? -d : d;
+  }
+
+  BcAccum& operator+=(const BcAccum& o) {
+    raw += o.raw;
+    return *this;
+  }
+};
+
+}  // namespace brics

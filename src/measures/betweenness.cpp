@@ -1,0 +1,849 @@
+#include "measures/betweenness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "core/brics.hpp"
+#include "exec/checkpoint.hpp"
+#include "exec/errors.hpp"
+#include "exec/failpoint.hpp"
+#include "exec/recovery.hpp"
+#include "graph/connectivity.hpp"
+#include "measures/brandes.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "pipeline/kernels.hpp"
+#include "pipeline/stages.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace brics {
+
+ReduceOptions bc_reduce_options(const ReduceOptions& req) {
+  ReduceOptions r = req;
+  // Only the degree-1 peel preserves shortest-path multiplicities: twin
+  // removal merges parallel paths, cycle/through-chain compression rewrites
+  // them, redundant removal assumes they don't matter. chains/iterate/
+  // max_rounds pass through so --no-reduce style configs still apply.
+  r.identical = false;
+  r.redundant = false;
+  r.pendant_only = true;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Mass DP
+// ---------------------------------------------------------------------------
+
+BcMasses compute_bc_masses(const ReducedGraph& rg, const Decomposition& dec) {
+  const NodeId n = rg.ledger.num_nodes();
+  const BlockId nb = dec.num_blocks();
+  const BlockCutTree& bct = dec.bct;
+  BcMasses m;
+  m.node_mass.assign(n, 0);
+  m.tree_sq.assign(n, 0);
+
+  // Pendant trees fold onto their (pinned, hence present) anchors. The
+  // Decompose homing of chain records is NOT reused here: a record anchored
+  // at a cut vertex is homed to an arbitrary containing block, but its mass
+  // must sit on the anchor itself, on whichever side of each cut the anchor
+  // is — node_mass keyed by node, not by block, gets that for free.
+  auto order = rg.ledger.order();
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    if (!rg.ledger.record_active(i)) continue;
+    BRICS_CHECK_MSG(order[i].kind == ReductionLedger::Kind::kChain,
+                    "betweenness requires a pendant-only reduction");
+    const ChainRecord& r = rg.ledger.chains()[order[i].index];
+    BRICS_CHECK_MSG(r.pendant(),
+                    "betweenness requires a pendant-only reduction");
+    BRICS_CHECK_MSG(rg.present[r.u], "pendant anchor was removed");
+    const std::uint64_t len = r.members.size();
+    m.node_mass[r.u] += len;
+    m.tree_sq[r.u] += len * len;
+  }
+  for (NodeId v = 0; v < n; ++v)
+    if (rg.present[v]) m.node_mass[v] += 1;
+
+  m.own_w.assign(nb, 0);
+  m.sub_w.assign(nb, 0);
+  m.comp_total.assign(nb, 0);
+  m.out_w.resize(nb);
+  for (BlockId b = 0; b < nb; ++b) {
+    const BlockInfo& bi = dec.blocks[b];
+    m.out_w[b].assign(bi.cut_count, 0);
+    for (NodeId lv = 0; lv < bi.num_nodes(); ++lv)
+      if (bi.owned[lv]) m.own_w[b] += m.node_mass[bi.sub.to_old[lv]];
+  }
+
+  // Bottom-up: sub_w[b] = mass of the BCT subtree at-and-below b, excluding
+  // b's parent cut (which its parent block owns).
+  std::vector<std::uint64_t> down_w(bct.num_cuts(), 0);
+  for (auto it = bct.top_down.rbegin(); it != bct.top_down.rend(); ++it) {
+    const BlockId b = *it;
+    const BlockInfo& bi = dec.blocks[b];
+    const CutId p = bct.parent_cut[b];
+    std::uint64_t w = m.own_w[b];
+    for (std::uint32_t ci = 0; ci < bi.cut_count; ++ci) {
+      const CutId c = bct.cut_of_node[bi.sub.to_old[bi.cuts_local[ci]]];
+      if (c != p) w += down_w[c];
+    }
+    m.sub_w[b] = w;
+    if (p != kInvalidCut) down_w[p] += w;
+  }
+
+  // Top-down: component totals inherit root-block sub_w; out_w[b][ci] is
+  // the mass strictly beyond that cut (the cut's own node_mass excluded —
+  // the closed forms and target weights both want the cut counted exactly
+  // once, on the node itself).
+  for (BlockId b : bct.top_down) {
+    const BlockInfo& bi = dec.blocks[b];
+    const CutId p = bct.parent_cut[b];
+    m.comp_total[b] =
+        p == kInvalidCut ? m.sub_w[b] : m.comp_total[bct.parent_block[p]];
+    std::uint64_t check = m.own_w[b];
+    for (std::uint32_t ci = 0; ci < bi.cut_count; ++ci) {
+      const NodeId gc = bi.sub.to_old[bi.cuts_local[ci]];
+      const CutId c = bct.cut_of_node[gc];
+      if (c == p) {
+        m.out_w[b][ci] = m.comp_total[b] - m.sub_w[b] - m.node_mass[gc];
+        check += m.node_mass[gc];
+      } else {
+        m.out_w[b][ci] = down_w[c];
+      }
+      check += m.out_w[b][ci];
+    }
+    BRICS_CHECK_MSG(check == m.comp_total[b],
+                    "BC mass mismatch in block " << b);
+  }
+
+  // Per-cut conservation: the graph-side groups of S \ {cut} partition the
+  // component minus the cut's own mass.
+  for (CutId c = 0; c < bct.num_cuts(); ++c) {
+    const NodeId gc = bct.cut_nodes[c];
+    std::uint64_t group_sum = 0, T = 0;
+    for (BlockId b : bct.cut_blocks[c]) {
+      const BlockInfo& bi = dec.blocks[b];
+      T = m.comp_total[b] - m.node_mass[gc];
+      for (std::uint32_t ci = 0; ci < bi.cut_count; ++ci)
+        if (bi.sub.to_old[bi.cuts_local[ci]] == gc)
+          group_sum += T - m.out_w[b][ci];
+    }
+    BRICS_CHECK_MSG(group_sum == T, "BC cut-group mismatch at cut " << c);
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint codec (kBcTraversal)
+// ---------------------------------------------------------------------------
+
+std::string encode_bc_traversal(const BcTraversalResults& trav) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(trav.blocks.size()));
+  for (const BcTraversalResults::BlockData& bd : trav.blocks) {
+    w.u32(static_cast<std::uint32_t>(bd.completed.size()));
+    if (!bd.completed.empty())
+      w.bytes(bd.completed.data(), bd.completed.size());
+    w.u32(static_cast<std::uint32_t>(bd.acc_cut.size()));
+    for (const BcAccum& a : bd.acc_cut) {
+      w.u64(a.hi());
+      w.u64(a.lo());
+    }
+    for (const BcAccum& a : bd.acc_opt) {
+      w.u64(a.hi());
+      w.u64(a.lo());
+    }
+  }
+  return w.str();
+}
+
+bool decode_bc_traversal(const std::string& payload, const Decomposition& dec,
+                         const SamplePlan& plan, BcTraversalResults& out) {
+  try {
+    ByteReader r(payload);
+    const std::uint32_t nb = r.u32();
+    if (nb != dec.num_blocks()) return false;
+    out.blocks.assign(nb, {});
+    for (BlockId b = 0; b < nb; ++b) {
+      BcTraversalResults::BlockData& bd = out.blocks[b];
+      const std::uint32_t ns = r.u32();
+      if (ns != plan.blocks[b].samples.size()) return false;
+      bd.completed.assign(ns, 0);
+      if (ns > 0) r.bytes(bd.completed.data(), ns);
+      const std::uint32_t nl = r.u32();
+      if (nl != dec.blocks[b].num_nodes()) return false;
+      bd.acc_cut.resize(nl);
+      bd.acc_opt.resize(nl);
+      for (std::uint32_t lv = 0; lv < nl; ++lv) {
+        const std::uint64_t hi = r.u64(), lo = r.u64();
+        bd.acc_cut[lv] = BcAccum::from_words(hi, lo);
+      }
+      for (std::uint32_t lv = 0; lv < nl; ++lv) {
+        const std::uint64_t hi = r.u64(), lo = r.u64();
+        bd.acc_opt[lv] = BcAccum::from_words(hi, lo);
+      }
+    }
+    if (!r.done()) return false;
+    out.completed_total = 0;
+    for (const BcTraversalResults::BlockData& bd : out.blocks)
+      for (std::uint8_t c : bd.completed) out.completed_total += c;
+    out.cut = out.completed_total < plan.total_sources();
+    return true;
+  } catch (const CheckpointError&) {
+    return false;
+  }
+}
+
+namespace {
+
+constexpr const char* kBcSegmentName = "bc_traversal.ckpt";
+
+// ---------------------------------------------------------------------------
+// Twin source classes
+// ---------------------------------------------------------------------------
+//
+// The farness pipeline REMOVES identical-neighbourhood nodes; betweenness
+// cannot (σ through the shared neighbours changes), but it can still avoid
+// traversing them: swapping two twins is a graph automorphism, so one
+// representative pass determines every class member's contribution. Valid
+// only when the plan covers the whole block (each class source's
+// contribution is then owed exactly once, unscaled) on a unit-weight block
+// graph, for sources of unit mass (mass-carrying twins are NOT
+// interchangeable — their pendant trees differ).
+
+struct BlockDedup {
+  static constexpr std::uint32_t kNoClass = ~std::uint32_t{0};
+  bool active = false;
+  std::vector<std::vector<NodeId>> classes;  ///< local ids, ascending, ≥2
+  std::vector<std::uint32_t> class_of;       ///< per local id
+  std::vector<NodeId> rep;  ///< per class: the member with the smallest
+                            ///< SAMPLE index (keeps a cut-less block's
+                            ///< mandatory first sample a representative)
+};
+
+BlockDedup build_block_dedup(const BlockInfo& bi, const BlockPlan& bp,
+                             const Decomposition& dec, const BcMasses& masses,
+                             std::span<const std::uint32_t> sample_of) {
+  BlockDedup dd;
+  const NodeId bn = bi.num_nodes();
+  // Full coverage: cuts are the sample prefix and every non-cut local is a
+  // sample too (rate 1.0 and no cap). Anything less and scaling would owe
+  // skipped members a share they never contribute.
+  if (bp.samples.size() != bn || !bi.sub.graph.unit_weights()) return dd;
+
+  auto eligible = [&](NodeId lv) {
+    const NodeId gv = bi.sub.to_old[lv];
+    return !dec.bcc.is_cut(gv) && masses.node_mass[gv] == 1;
+  };
+  auto key_of = [&](NodeId lv, bool closed) {
+    std::vector<NodeId> key(bi.sub.graph.neighbors(lv).begin(),
+                            bi.sub.graph.neighbors(lv).end());
+    if (closed) key.push_back(lv);
+    std::sort(key.begin(), key.end());
+    return key;
+  };
+
+  dd.class_of.assign(bn, BlockDedup::kNoClass);
+  // Closed twins first (adjacent, same closed neighbourhood), then open
+  // twins among the remainder — a node joins at most one class.
+  for (const bool closed : {true, false}) {
+    std::map<std::vector<NodeId>, std::vector<NodeId>> groups;
+    for (NodeId lv = 0; lv < bn; ++lv)
+      if (eligible(lv) && dd.class_of[lv] == BlockDedup::kNoClass)
+        groups[key_of(lv, closed)].push_back(lv);
+    for (auto& [key, members] : groups) {
+      if (members.size() < 2) continue;
+      const std::uint32_t id = static_cast<std::uint32_t>(dd.classes.size());
+      for (NodeId lv : members) dd.class_of[lv] = id;
+      NodeId rep = members.front();
+      for (NodeId lv : members)
+        if (sample_of[lv] < sample_of[rep]) rep = lv;
+      dd.classes.push_back(std::move(members));
+      dd.rep.push_back(rep);
+    }
+  }
+  dd.active = !dd.classes.empty();
+  return dd;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BcTraverseStage
+// ---------------------------------------------------------------------------
+
+BcTraversalResults BcTraverseStage::run(PipelineContext& ctx,
+                                        const Decomposition& dec,
+                                        const SamplePlan& plan,
+                                        const BcMasses& masses) const {
+  ctx.set_phase(ExecPhase::kTraverse);
+  const BlockId nb = dec.num_blocks();
+
+  BcTraversalResults trav;
+  trav.blocks.resize(nb);
+  for (BlockId b = 0; b < nb; ++b) {
+    const NodeId bn = dec.blocks[b].num_nodes();
+    trav.blocks[b].completed.assign(plan.blocks[b].samples.size(), 0);
+    trav.blocks[b].acc_cut.assign(bn, BcAccum{});
+    trav.blocks[b].acc_opt.assign(bn, BcAccum{});
+  }
+
+  // Resume: a prior attempt's accumulators become the base and its
+  // completion flags make the kernels skip already-folded sources. Q64.64
+  // sums are integers, so the union of two partial attempts is
+  // bit-identical to one uninterrupted run.
+  Recovery* rec = ctx.recovery();
+  if (rec != nullptr) {
+    std::string payload;
+    if (rec->load_segment(kBcSegmentName, SegmentKind::kBcTraversal,
+                          payload)) {
+      BcTraversalResults prior;
+      if (decode_bc_traversal(payload, dec, plan, prior))
+        trav = std::move(prior);
+    }
+  }
+
+  // Per-block derived tables, shared read-only across the parallel region:
+  // target weights (node_mass + out_w at cuts), sample index per local id,
+  // and the twin source classes.
+  std::vector<std::vector<std::uint64_t>> tw(nb);
+  std::vector<std::vector<std::uint32_t>> sample_of(nb);
+  std::vector<BlockDedup> dedup(nb);
+  constexpr std::uint32_t kNotSampled = ~std::uint32_t{0};
+  for (BlockId b = 0; b < nb; ++b) {
+    const BlockInfo& bi = dec.blocks[b];
+    const BlockPlan& bp = plan.blocks[b];
+    const NodeId bn = bi.num_nodes();
+    tw[b].resize(bn);
+    for (NodeId lv = 0; lv < bn; ++lv)
+      tw[b][lv] = masses.node_mass[bi.sub.to_old[lv]];
+    for (std::uint32_t ci = 0; ci < bi.cut_count; ++ci)
+      tw[b][bi.cuts_local[ci]] += masses.out_w[b][ci];
+    sample_of[b].assign(bn, kNotSampled);
+    for (std::uint32_t si = 0; si < bp.samples.size(); ++si)
+      sample_of[b][bp.samples[si]] = si;
+    dedup[b] = build_block_dedup(bi, bp, dec, masses, sample_of[b]);
+    // Pre-mark non-representative members completed so the kernels (and
+    // the task build below) skip their traversals; the representative's
+    // fold covers them. Cleared again at stage end for any class whose
+    // representative did not complete.
+    if (dedup[b].active) {
+      for (std::uint32_t cls = 0; cls < dedup[b].classes.size(); ++cls)
+        for (NodeId lv : dedup[b].classes[cls])
+          if (lv != dedup[b].rep[cls])
+            trav.blocks[b].completed[sample_of[b][lv]] = 1;
+    }
+  }
+
+  // Task shape, retry/quarantine and wave checkpointing mirror the farness
+  // Traverse stage: batched blocks are one task, other blocks one task per
+  // source with the mandatory (cut) prefix first.
+  struct Task {
+    BlockId b;
+    std::uint32_t first, count;
+  };
+  std::vector<Task> tasks;
+  for (BlockId b = 0; b < nb; ++b) {
+    if (plan.blocks[b].kernel == KernelChoice::kBatched) continue;
+    for (std::uint32_t si = 0; si < plan.blocks[b].mandatory; ++si)
+      if (!trav.blocks[b].completed[si]) tasks.push_back({b, si, 1});
+  }
+  for (BlockId b = 0; b < nb; ++b) {
+    const BlockPlan& bp = plan.blocks[b];
+    if (bp.kernel != KernelChoice::kBatched || bp.samples.empty()) continue;
+    bool pending = false;
+    for (std::uint8_t c : trav.blocks[b].completed) pending |= (c == 0);
+    if (pending)
+      tasks.push_back({b, 0, static_cast<std::uint32_t>(bp.samples.size())});
+  }
+  for (BlockId b = 0; b < nb; ++b) {
+    const BlockPlan& bp = plan.blocks[b];
+    if (bp.kernel == KernelChoice::kBatched) continue;
+    for (std::uint32_t si = bp.mandatory; si < bp.samples.size(); ++si)
+      if (!trav.blocks[b].completed[si]) tasks.push_back({b, si, 1});
+  }
+
+  // Distinct (block, sample) tasks may target the SAME accumulator slots
+  // (every source folds into its whole block), so folds serialize on a
+  // per-block mutex — order-insensitive integer adds make that sound.
+  std::vector<std::mutex> block_mu(nb);
+  std::vector<std::uint8_t> quarantined(nb, 0);
+  std::atomic<std::uint32_t> retries{0};
+  std::atomic<bool> fold_fault{false};
+  const int max_attempts = std::max(1, ctx.opts().retry.max_attempts);
+  const std::uint32_t backoff_ms = ctx.opts().retry.backoff_ms;
+
+  const CancelToken& token = ctx.token();
+  auto run_task = [&](std::size_t ti, TraversalWorkspace& tws,
+                      BcWorkspace& bws) {
+    const Task& task = tasks[ti];
+    const BlockInfo& bi = dec.blocks[task.b];
+    const BlockPlan& bp = plan.blocks[task.b];
+    BcTraversalResults::BlockData& bd = trav.blocks[task.b];
+    const BlockDedup& dd = dedup[task.b];
+    const TraversalKernel& kernel = kernel_for(bp.kernel);
+    const NodeId bn = bi.num_nodes();
+    if (bws.sigma.size() != bn)
+      bws.resize(bn, bi.sub.graph.max_weight());
+
+    const SourceSink sink = [&](std::size_t si,
+                                std::span<const Dist> local) {
+      // Injection point BEFORE any shared write: a fault here leaves the
+      // accumulators untouched, so the task is safe to retry.
+      BRICS_FAILPOINT("traverse.sink");
+      try {
+        const NodeId ls = bp.samples[si];
+        const bool src_is_cut = si < bi.cut_count;
+        bc_dependency_pass(bi.sub.graph, ls, local, tw[task.b], bws);
+        const double sm = static_cast<double>(tw[task.b][ls]);
+        const std::uint32_t cls =
+            dd.active && !src_is_cut ? dd.class_of[ls] : BlockDedup::kNoClass;
+
+        std::lock_guard<std::mutex> lock(block_mu[task.b]);
+        std::vector<BcAccum>& dst = src_is_cut ? bd.acc_cut : bd.acc_opt;
+        if (cls == BlockDedup::kNoClass) {
+          for (NodeId v : bws.order)
+            if (v != ls) dst[v].add(sm * bws.delta[v]);
+        } else {
+          // One representative pass settles the whole class: outside nodes
+          // receive k·δ (each of the k automorphic sources contributes the
+          // same dependency), members receive (k-1)·q from the other
+          // members — δ at any member is class-invariant, and taking it
+          // from the smallest member id pins the quantized value so the
+          // fold never depends on which member became the representative.
+          const std::vector<NodeId>& members = dd.classes[cls];
+          const double k = static_cast<double>(members.size());
+          for (NodeId v : bws.order) {
+            if (v == ls) continue;
+            if (std::binary_search(members.begin(), members.end(), v))
+              continue;
+            dst[v].add(k * bws.delta[v]);
+          }
+          const NodeId qm = members[0] == ls ? members[1] : members[0];
+          const unsigned __int128 q =
+              BcAccum::quantize((k - 1.0) * bws.delta[qm]);
+          for (NodeId mv : members) dst[mv].add_raw(q);
+        }
+      } catch (...) {
+        // Past the first accumulator write a retry would double-count;
+        // poison the stage so the composition falls back instead.
+        fold_fault.store(true, std::memory_order_relaxed);
+        throw;
+      }
+    };
+    for (int attempt = 1;; ++attempt) {
+      try {
+        BRICS_FAILPOINT("traverse.task");
+        kernel.run(bi.sub.graph, bp.samples, task.first, task.count,
+                   bp.mandatory, &token, tws, bd.completed, sink);
+        return;
+      } catch (const std::exception&) {
+        if (fold_fault.load(std::memory_order_relaxed)) return;
+        if (attempt >= max_attempts) {
+#pragma omp atomic write
+          quarantined[task.b] = 1;
+          BRICS_COUNTER(c_quar, "traverse.quarantined_tasks");
+          BRICS_COUNTER_ADD(c_quar, 1);
+          return;
+        }
+        retries.fetch_add(1, std::memory_order_relaxed);
+        BRICS_COUNTER(c_retry, "traverse.retries");
+        BRICS_COUNTER_ADD(c_retry, 1);
+        const std::uint64_t base = static_cast<std::uint64_t>(backoff_ms)
+                                   << (attempt - 1);
+        if (base > 0) {
+          const std::uint64_t jitter =
+              mix64((static_cast<std::uint64_t>(ti) << 8) ^
+                    static_cast<std::uint64_t>(attempt)) %
+              (base + 1);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(base + jitter));
+        }
+      }
+    }
+  };
+
+  auto refresh_totals = [&]() {
+    trav.completed_total = 0;
+    for (const BcTraversalResults::BlockData& bd : trav.blocks)
+      for (std::uint8_t c : bd.completed) trav.completed_total += c;
+    trav.cut = trav.completed_total < plan.total_sources();
+  };
+
+  PhaseScope scope("traverse", ctx.times().traverse_s);
+  const std::size_t nt = tasks.size();
+  std::size_t wave = nt;
+  if (rec != nullptr && rec->checkpoint_every() > 0)
+    wave = std::min<std::size_t>(rec->checkpoint_every(), nt);
+  for (std::size_t begin = 0; begin < nt; begin += wave) {
+    const std::size_t end = std::min(nt, begin + wave);
+#pragma omp parallel
+    {
+      TraversalWorkspace tws;
+      BcWorkspace bws;
+#pragma omp for schedule(dynamic, 4)
+      for (std::int64_t t = static_cast<std::int64_t>(begin);
+           t < static_cast<std::int64_t>(end); ++t) {
+        run_task(static_cast<std::size_t>(t), tws, bws);
+      }
+    }
+    // Wave barrier: no task is in flight, so the accumulators and flags
+    // form a consistent snapshot without taking the block mutexes.
+    if (rec != nullptr && end < nt &&
+        !fold_fault.load(std::memory_order_relaxed)) {
+      refresh_totals();
+      rec->save_segment(kBcSegmentName, SegmentKind::kBcTraversal,
+                        encode_bc_traversal(trav));
+    }
+  }
+
+  // Un-mark twin members whose representative never ran: their
+  // contributions are absent, and the Aggregate ratios must know it.
+  for (BlockId b = 0; b < nb; ++b) {
+    if (!dedup[b].active) continue;
+    for (std::uint32_t cls = 0; cls < dedup[b].classes.size(); ++cls) {
+      if (trav.blocks[b].completed[sample_of[b][dedup[b].rep[cls]]])
+        continue;
+      for (NodeId lv : dedup[b].classes[cls])
+        if (lv != dedup[b].rep[cls])
+          trav.blocks[b].completed[sample_of[b][lv]] = 0;
+    }
+  }
+  refresh_totals();
+
+  ctx.rstats().retries += retries.load(std::memory_order_relaxed);
+  std::uint32_t quarantined_blocks = 0;
+  bool mandatory_lost = false;
+  for (BlockId b = 0; b < nb; ++b) {
+    if (!quarantined[b]) continue;
+    ++quarantined_blocks;
+    for (std::uint32_t si = 0; si < plan.blocks[b].mandatory; ++si)
+      if (!trav.blocks[b].completed[si]) mandatory_lost = true;
+  }
+  ctx.rstats().quarantined_blocks += quarantined_blocks;
+  if (quarantined_blocks > 0) {
+    BRICS_COUNTER(c_qb, "traverse.quarantined_blocks");
+    BRICS_COUNTER_ADD(c_qb, quarantined_blocks);
+  }
+
+  if (fold_fault.load(std::memory_order_relaxed))
+    throw QuarantineError("traversal fold fault poisoned the accumulators");
+  if (rec != nullptr)
+    rec->save_segment(kBcSegmentName, SegmentKind::kBcTraversal,
+                      encode_bc_traversal(trav));
+  if (mandatory_lost)
+    throw QuarantineError("quarantine lost mandatory traversal work");
+
+  BRICS_COUNTER(c_completed, "plan.samples_completed");
+  BRICS_COUNTER_ADD(c_completed, trav.completed_total);
+  return trav;
+}
+
+// ---------------------------------------------------------------------------
+// BcAggregateStage
+// ---------------------------------------------------------------------------
+
+EstimateResult BcAggregateStage::run(PipelineContext& ctx,
+                                     const ReducedGraph& rg,
+                                     const Decomposition& dec,
+                                     const SamplePlan& plan,
+                                     const BcTraversalResults& trav,
+                                     const BcMasses& masses) const {
+  BRICS_FAILPOINT("aggregate.combine");
+  const NodeId n = rg.ledger.num_nodes();
+  const BlockId nb = dec.num_blocks();
+  const BlockCutTree& bct = dec.bct;
+
+  EstimateResult res;
+  res.measure = Measure::kBetweenness;
+  res.farness.assign(n, 0.0);
+  res.exact.assign(n, 0);
+  res.num_blocks = nb;
+  res.samples = trav.completed_total;
+  res.planned_samples = plan.planned_total;
+  res.achieved_sample_rate = ctx.opts().sample_rate *
+                             static_cast<double>(trav.completed_total) /
+                             static_cast<double>(plan.planned_total);
+  if (trav.cut) {
+    res.degraded = true;
+    res.cut_phase = ExecPhase::kTraverse;
+  } else if (plan.capped) {
+    res.degraded = true;
+    res.cut_phase = ExecPhase::kPlan;
+  }
+
+  PhaseScope scope("combine", ctx.times().combine_s);
+
+  // Per-block sampling ratio: the optional (non-cut source) accumulator
+  // estimates the full non-cut source mass by scaling the achieved mass up.
+  // A full block (every non-cut source folded — twin members count via
+  // their representative) keeps ratio 1 and stays on the exact integer
+  // path: its accumulators merge raw and convert once.
+  std::vector<double> ratio(nb, 1.0);
+  std::vector<std::uint8_t> full(nb, 1);
+  for (BlockId b = 0; b < nb; ++b) {
+    const BlockInfo& bi = dec.blocks[b];
+    const BlockPlan& bp = plan.blocks[b];
+    std::uint64_t noncut_total = 0, achieved = 0;
+    for (NodeId lv = 0; lv < bi.num_nodes(); ++lv)
+      if (!dec.bcc.is_cut(bi.sub.to_old[lv]))
+        noncut_total += masses.node_mass[bi.sub.to_old[lv]];
+    for (std::size_t si = bi.cut_count; si < bp.samples.size(); ++si)
+      if (trav.blocks[b].completed[si])
+        achieved += masses.node_mass[bi.sub.to_old[bp.samples[si]]];
+    if (achieved != noncut_total) {
+      full[b] = 0;
+      if (achieved > 0)
+        ratio[b] = static_cast<double>(noncut_total) /
+                   static_cast<double>(achieved);
+    }
+  }
+
+  auto cut_slot = [&](const BlockInfo& bi, NodeId gv) -> std::uint32_t {
+    for (std::uint32_t ci = 0; ci < bi.cut_count; ++ci)
+      if (bi.sub.to_old[bi.cuts_local[ci]] == gv) return ci;
+    BRICS_CHECK_MSG(false, "cut not found in block");
+    return 0;
+  };
+
+  // Present nodes: closed form for the FORCED pairs (every ordered pair
+  // whose endpoints sit in different components of S \ {v}: the pendant
+  // chains are one group each, the graph side one group per containing
+  // block) plus the σ-weighted traversal sums from v's block(s).
+  for (NodeId v = 0; v < n; ++v) {
+    if (!rg.present[v]) continue;
+    const BlockId ob = dec.owner[v];
+    BRICS_CHECK_MSG(ob != kInvalidBlock, "node " << v << " has no owner");
+    const std::uint64_t C = masses.comp_total[ob];
+    const std::uint64_t T = C - masses.node_mass[v];
+    std::uint64_t closed = (C - 1) * (C - 1) - masses.tree_sq[v];
+    BcAccum total;
+    double scaled = 0.0;
+    bool all_full = true;
+    const CutId c = bct.cut_of_node[v];
+    if (c == kInvalidCut) {
+      closed -= T * T;
+      const BlockInfo& bi = dec.blocks[ob];
+      const NodeId lv = bi.sub.to_new[v];
+      total += trav.blocks[ob].acc_cut[lv];
+      if (full[ob]) {
+        total += trav.blocks[ob].acc_opt[lv];
+      } else {
+        scaled += ratio[ob] * trav.blocks[ob].acc_opt[lv].to_double();
+        all_full = false;
+      }
+    } else {
+      for (BlockId b : bct.cut_blocks[c]) {
+        const BlockInfo& bi = dec.blocks[b];
+        const NodeId lv = bi.sub.to_new[v];
+        const std::uint64_t M = T - masses.out_w[b][cut_slot(bi, v)];
+        closed -= M * M;
+        total += trav.blocks[b].acc_cut[lv];
+        if (full[b]) {
+          total += trav.blocks[b].acc_opt[lv];
+        } else {
+          scaled += ratio[b] * trav.blocks[b].acc_opt[lv].to_double();
+          all_full = false;
+        }
+      }
+    }
+    total.add_int(closed);
+    res.farness[v] = total.to_double() + scaled;
+    res.exact[v] = all_full ? 1 : 0;
+  }
+
+  // Removed chain members: every pair through one is forced (the chain is
+  // the only route), so the value is the pure group product — `below`
+  // nodes hang beyond the member, everything else lies through the anchor.
+  auto order = rg.ledger.order();
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    if (!rg.ledger.record_active(i)) continue;
+    const ChainRecord& r = rg.ledger.chains()[order[i].index];
+    const BlockId b = dec.virt_owner[r.members.front()];
+    BRICS_CHECK_MSG(b != kInvalidBlock, "chain has no home block");
+    const std::uint64_t C = masses.comp_total[b];
+    for (std::size_t idx = 0; idx < r.members.size(); ++idx) {
+      const std::uint64_t below = r.members.size() - 1 - idx;
+      res.farness[r.members[idx]] =
+          static_cast<double>(2 * below * (C - 1 - below));
+      res.exact[r.members[idx]] = 1;
+    }
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Composition
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Degraded escape hatch, mirroring estimate_brics: any fault or budget
+// blow-out outside the Traverse stage falls back to flat sampled
+// betweenness on the raw graph under the caller's original deadline.
+EstimateResult bc_degraded_fallback(const CsrGraph& g,
+                                    const EstimateOptions& opts,
+                                    const CancelToken& token, ExecPhase phase,
+                                    const Timer& total, Recovery* rec,
+                                    const RecoveryStats& rstats) {
+  BRICS_COUNTER(c_degraded, "exec.degraded_runs");
+  BRICS_COUNTER_ADD(c_degraded, 1);
+  EstimateResult res = estimate_betweenness_sampling_budgeted(g, opts, token);
+  res.degraded = true;
+  res.cut_phase = phase;
+  res.times.total_s = total.seconds();
+  res.times.normalize();
+  res.recovery = rstats;
+  if (rec != nullptr)
+    rec->finalize(res.recovery);
+  else
+    res.recovery.cumulative_wall_s = res.times.total_s;
+  record_exec_metrics(res);
+  record_phase_metrics(res.times);
+  return res;
+}
+
+EstimateResult estimate_bc_on_reduction_budgeted(
+    const ReducedGraph& rg, const EstimateOptions& opts,
+    const CancelToken& token, ExecPhase* phase_out, Recovery* rec,
+    RecoveryStats* rstats_out) {
+  const NodeId n = rg.ledger.num_nodes();
+  BRICS_CHECK_MSG(n >= 1, "empty graph");
+  BRICS_CHECK(rg.graph.num_nodes() == n);
+  Timer total;
+  BRICS_SPAN(sp_estimate, "estimate.brics_bc");
+
+  PipelineContext ctx(rg.graph, opts, token);
+  ctx.set_phase(ExecPhase::kBcc);
+  ctx.mirror_phase(phase_out);
+  ctx.set_recovery(rec);
+
+  try {
+    std::optional<Decomposition> dec;
+    if (rec != nullptr) {
+      Decomposition d;
+      if (rec->load_decomposition(d, rg)) dec.emplace(std::move(d));
+    }
+    if (!dec) {
+      dec.emplace(DecomposeStage{}.run(ctx, rg));
+      if (rec != nullptr) rec->save_decomposition(*dec);
+    }
+
+    std::optional<SamplePlan> plan;
+    if (rec != nullptr) {
+      SamplePlan p;
+      if (rec->load_plan(p, *dec)) plan.emplace(std::move(p));
+    }
+    if (!plan) {
+      plan.emplace(PlanStage{}.run(ctx, *dec, rg.num_present));
+      if (rec != nullptr) rec->save_plan(*plan);
+    }
+
+    // The mass DP is deterministic in (reduction, decomposition) and cheap
+    // next to any traversal, so it recomputes every attempt instead of
+    // earning its own segment.
+    const BcMasses masses = compute_bc_masses(rg, *dec);
+
+    const BcTraversalResults trav =
+        BcTraverseStage{}.run(ctx, *dec, *plan, masses);
+    EstimateResult res =
+        BcAggregateStage{}.run(ctx, rg, *dec, *plan, trav, masses);
+
+    res.reduce_stats = rg.stats;
+    res.times = ctx.times();
+    res.times.total_s = total.seconds();
+    res.times.normalize();
+    res.recovery = ctx.rstats();
+    if (rec != nullptr)
+      rec->finalize(res.recovery);
+    else
+      res.recovery.cumulative_wall_s = res.times.total_s;
+    if (rstats_out != nullptr) *rstats_out = res.recovery;
+    record_exec_metrics(res);
+    record_phase_metrics(res.times);
+    return res;
+  } catch (...) {
+    if (rstats_out != nullptr) *rstats_out = ctx.rstats();
+    throw;
+  }
+}
+
+}  // namespace
+
+EstimateResult estimate_betweenness(const CsrGraph& g,
+                                    const EstimateOptions& opts) {
+  BRICS_CHECK_MSG(g.num_nodes() >= 1, "empty graph");
+  BRICS_CHECK_MSG(is_connected(g),
+                  "estimators require a connected graph "
+                  "(preprocess with make_connected / largest_component)");
+  BRICS_CHECK_MSG(opts.sample_rate > 0.0 && opts.sample_rate <= 1.0,
+                  "sample_rate must be in (0, 1], got " << opts.sample_rate);
+  // Force the measure-consistent configuration: the reduction subset that
+  // preserves path counts, and the measure tag the config hash (and hence
+  // checkpoint compatibility) keys on. A farness checkpoint directory can
+  // never feed a betweenness run, and vice versa.
+  EstimateOptions eopts = opts;
+  eopts.measure = Measure::kBetweenness;
+  eopts.reduce = bc_reduce_options(opts.reduce);
+  if (!eopts.use_bcc) return estimate_betweenness_sampling(g, eopts);
+
+  Timer total;
+  CancelToken token(eopts.budget.timeout_ms);
+  PipelineContext ctx(g, eopts, token);
+
+  std::optional<Recovery> rec;
+  if (!eopts.recovery.checkpoint_dir.empty())
+    rec.emplace(eopts.recovery, recovery_config_hash(g, eopts));
+  Recovery* recp = rec ? &*rec : nullptr;
+
+  std::optional<ReducedGraph> rg;
+  try {
+    if (recp != nullptr) rg = recp->load_reduced();
+    if (!rg) {
+      rg.emplace(ReduceStage{}.run(ctx));
+      if (recp != nullptr) recp->save_reduced(*rg);
+    }
+  } catch (const std::exception&) {
+    return bc_degraded_fallback(g, eopts, token, ExecPhase::kReduce, total,
+                                recp, ctx.rstats());
+  }
+
+  ExecPhase phase = ExecPhase::kBcc;
+  RecoveryStats rstats;
+  try {
+    EstimateResult res = estimate_bc_on_reduction_budgeted(
+        *rg, eopts, token, &phase, recp, &rstats);
+    res.times.reduce_s = ctx.times().reduce_s;
+    res.times.total_s = total.seconds();
+    res.times.normalize();
+    if (recp == nullptr) res.recovery.cumulative_wall_s = res.times.total_s;
+    record_exec_metrics(res);
+    record_phase_metrics(res.times);
+    return res;
+  } catch (const BudgetExceeded& e) {
+    BRICS_COUNTER(c_cuts, "exec.budget_cuts");
+    BRICS_COUNTER_ADD(c_cuts, 1);
+    return bc_degraded_fallback(g, eopts, token, e.phase(), total, recp,
+                                rstats);
+  } catch (const std::exception&) {
+    return bc_degraded_fallback(g, eopts, token, phase, total, recp, rstats);
+  }
+}
+
+EstimateResult estimate_centrality(const CsrGraph& g,
+                                   const EstimateOptions& opts) {
+  return opts.measure == Measure::kBetweenness ? estimate_betweenness(g, opts)
+                                               : estimate_farness(g, opts);
+}
+
+}  // namespace brics

@@ -1,0 +1,145 @@
+// Betweenness centrality on the shared reduction/pipeline substrate
+// (DESIGN.md §8, ISSUE 8): the second consumer of the staged
+// Reduce → Decompose → Plan → Traverse → Aggregate pipeline.
+//
+// Farness decomposes over DISTANCES; betweenness decomposes over PATH
+// COUNTS, which changes what each stage is allowed to do:
+//
+//   Reduce     only the degree-1 (pendant-chain) peel preserves shortest-
+//              path counts, so the measure forces ReduceOptions::pendant_only
+//              (cycle/through-chain compression, twin and redundant removal
+//              all merge or reroute paths). What remains after the peel is
+//              the 2-core plus the pinned tree skeleton.
+//   Decompose  unchanged — biconnected blocks + BCT, shared artifact.
+//   Plan       unchanged — cut vertices mandatory, rate-proportional
+//              extras, shared artifact (and checkpoint segment).
+//   Traverse   per-block WEIGHTED Brandes passes (measures/brandes.hpp):
+//              every block node carries the full-graph mass standing behind
+//              it — its own pendant trees (node_mass) plus, at cut
+//              vertices, everything beyond the cut (out_w) — so one
+//              block-local pass accounts for all real source/target pairs
+//              routed through that entry/exit.
+//   Aggregate  closed forms for the pairs FORCED through a vertex (pendant
+//              trees, cut separations — integer group algebra, the ledger
+//              resolver contract) plus the σ-weighted traversal sums,
+//              spliced per block through the cut vertices.
+//
+// Every (source, node) contribution is quantized once to Q64.64
+// (measures/accum.hpp) and summed in integers, so the estimator is bitwise
+// deterministic across kernels, thread counts and checkpoint/resume; on
+// graphs where every pair has a unique shortest path (trees, cliques with
+// pendants) the quantization is exact and the pipeline reproduces the
+// independent exact_betweenness oracle bit for bit at sample rate 1.0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/estimate.hpp"
+#include "exec/budget.hpp"
+#include "measures/accum.hpp"
+#include "pipeline/artifacts.hpp"
+#include "pipeline/context.hpp"
+
+namespace brics {
+
+class Recovery;
+
+/// The reduction subset that preserves shortest-path counts: pendant-chain
+/// peeling only, iterated to the 2-core. Twin/redundant removal and
+/// cycle/through-chain compression are forced OFF regardless of `req` —
+/// they preserve path lengths but not path multiplicities.
+ReduceOptions bc_reduce_options(const ReduceOptions& req);
+
+/// Integer mass bookkeeping for the decomposed estimator: how much
+/// full-graph population stands behind every block node.
+struct BcMasses {
+  /// Per node: 1 + total size of the pendant trees peeled onto it
+  /// (0 for removed nodes — their mass lives on their anchor).
+  std::vector<std::uint64_t> node_mass;
+  /// Per node: Σ ℓ² over its peeled pendant chains (group algebra of the
+  /// closed forms: each chain is one component of S∖v).
+  std::vector<std::uint64_t> tree_sq;
+  std::vector<std::uint64_t> own_w;       ///< per block: Σ node_mass, owned
+  std::vector<std::uint64_t> sub_w;       ///< per block: BCT-subtree mass
+  std::vector<std::uint64_t> comp_total;  ///< per block: its component's mass
+  /// Per block, per cut slot (index into BlockInfo::cuts_local): the mass
+  /// strictly beyond that cut, NOT counting the cut's own node_mass.
+  std::vector<std::vector<std::uint64_t>> out_w;
+};
+
+/// Bottom-up/top-down mass DP over the BCT. Requires a pendant-only
+/// reduction (asserts that every active ledger record is a pendant chain).
+/// Validates per-block mass conservation:
+///   own_w[b] + Σ_ci out_w[b][ci] + node_mass(parent cut) == comp_total[b].
+BcMasses compute_bc_masses(const ReducedGraph& rg, const Decomposition& dec);
+
+/// Traverse artifact: per-block Q64.64 accumulators over block-LOCAL node
+/// ids. Cut-source contributions (mandatory, never scaled) and optional
+/// noncut-source contributions (scaled by the achieved-mass ratio at
+/// aggregation) are kept apart so a partial traversal degrades into a
+/// scaled estimate instead of a biased one.
+struct BcTraversalResults {
+  struct BlockData {
+    std::vector<std::uint8_t> completed;  ///< per plan sample
+    std::vector<BcAccum> acc_cut;         ///< per local node
+    std::vector<BcAccum> acc_opt;         ///< per local node
+  };
+  std::vector<BlockData> blocks;
+  NodeId completed_total = 0;
+  bool cut = false;  ///< deadline shed at least one planned source
+};
+
+/// Checkpoint codec for the kBcTraversal segment (Recovery's generic
+/// load_segment/save_segment surface). decode validates every per-block
+/// shape against the decomposition and plan; any mismatch returns false
+/// and the caller recomputes.
+std::string encode_bc_traversal(const BcTraversalResults& trav);
+bool decode_bc_traversal(const std::string& payload, const Decomposition& dec,
+                         const SamplePlan& plan, BcTraversalResults& out);
+
+/// Run every planned source through its block's kernel as a weighted
+/// Brandes pass. Shares the farness Traverse stage's whole execution
+/// envelope: batched-vs-per-source task shape, mandatory-first ordering,
+/// bounded retry with jittered backoff, block quarantine, fold-fault
+/// poisoning, wave-granular checkpoints ("bc_traversal.ckpt") and resume.
+/// Twin source classes (same neighbourhood, unit mass) are collapsed to
+/// one representative traversal per class when the plan covers the whole
+/// block — the path-count analogue of the farness identical-node reduction,
+/// applied at sampling time because removing twins would break σ.
+class BcTraverseStage {
+ public:
+  BcTraversalResults run(PipelineContext& ctx, const Decomposition& dec,
+                         const SamplePlan& plan,
+                         const BcMasses& masses) const;
+};
+
+/// Finish the estimate: closed forms for forced pairs (pendant trees, cut
+/// separations, removed chain members), cut/optional accumulator splicing
+/// with per-block achieved-mass ratios, exact flags, and the degradation
+/// report. Always finishes from whatever Traverse completed.
+class BcAggregateStage {
+ public:
+  EstimateResult run(PipelineContext& ctx, const ReducedGraph& rg,
+                     const Decomposition& dec, const SamplePlan& plan,
+                     const BcTraversalResults& trav,
+                     const BcMasses& masses) const;
+};
+
+/// The composed BRICS betweenness estimator. use_bcc=false runs the flat
+/// sampled estimator (measures/brandes.hpp) on the raw graph; otherwise
+/// the staged pipeline runs with the measure-forced reduction subset, the
+/// same checkpoint/resume machinery as farness (plus the kBcTraversal
+/// segment), and the same degraded escape hatch (flat sampled betweenness
+/// on the raw graph under the original deadline).
+EstimateResult estimate_betweenness(const CsrGraph& g,
+                                    const EstimateOptions& opts);
+
+/// Measure dispatcher: the one entry point callers (CLI, server, benches)
+/// route through. kFarness → estimate_farness, kBetweenness →
+/// estimate_betweenness.
+EstimateResult estimate_centrality(const CsrGraph& g,
+                                   const EstimateOptions& opts);
+
+}  // namespace brics

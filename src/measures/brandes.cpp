@@ -1,0 +1,258 @@
+#include "measures/brandes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+#include "core/sampling.hpp"
+#include "graph/connectivity.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "pipeline/kernels.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace brics {
+namespace {
+
+// Sort ws.order (currently ascending node id) into ascending (dist, id).
+// Counting sort when the distance range is in the same ballpark as the
+// reached set (always true for BFS distances); stable, so the id tie-break
+// comes for free. Comparison sort otherwise (heavily weighted chains can
+// stretch distances far past the node count).
+void sort_by_distance(std::span<const Dist> dist, Dist maxd,
+                      BcWorkspace& ws) {
+  const std::size_t reached = ws.order.size();
+  if (static_cast<std::size_t>(maxd) <= 4 * reached + 64) {
+    ws.bucket.assign(static_cast<std::size_t>(maxd) + 2, 0);
+    for (NodeId v : ws.order) ++ws.bucket[dist[v] + 1];
+    for (std::size_t d = 1; d < ws.bucket.size(); ++d)
+      ws.bucket[d] += ws.bucket[d - 1];
+    ws.sorted.resize(reached);
+    for (NodeId v : ws.order) ws.sorted[ws.bucket[dist[v]]++] = v;
+    ws.order.swap(ws.sorted);
+  } else {
+    std::stable_sort(ws.order.begin(), ws.order.end(),
+                     [&](NodeId a, NodeId b) { return dist[a] < dist[b]; });
+  }
+}
+
+}  // namespace
+
+void bc_dependency_pass(const CsrGraph& g, NodeId source,
+                        std::span<const Dist> dist,
+                        std::span<const std::uint64_t> tw, BcWorkspace& ws) {
+  const NodeId n = g.num_nodes();
+  BRICS_CHECK(dist.size() == n && ws.sigma.size() == n);
+  BRICS_CHECK(dist[source] == 0);
+
+  ws.order.clear();
+  Dist maxd = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (dist[v] == kInfDist) continue;
+    ws.order.push_back(v);
+    ws.sigma[v] = 0.0;
+    ws.delta[v] = 0.0;
+    maxd = std::max(maxd, dist[v]);
+  }
+  sort_by_distance(dist, maxd, ws);
+
+  // Forward: σ_u = Σ σ_v over DAG predecessors (strictly smaller distance,
+  // so finalized by the ascending sweep). Pulling in CSR adjacency order
+  // keeps the floating-point sum bit-deterministic.
+  ws.sigma[source] = 1.0;
+  for (NodeId u : ws.order) {
+    if (u == source) continue;
+    const std::uint64_t du = dist[u];
+    auto nb = g.neighbors(u);
+    auto wt = g.weights(u);
+    double s = 0.0;
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const NodeId v = nb[i];
+      if (dist[v] != kInfDist &&
+          static_cast<std::uint64_t>(dist[v]) + wt[i] == du)
+        s += ws.sigma[v];
+    }
+    ws.sigma[u] = s;
+  }
+
+  // Backward: δ(v) = Σ over DAG successors u of σ_v/σ_u · (tw(u) + δ(u)).
+  // Successors have strictly larger distance, so the descending sweep reads
+  // only finalized values — again pulled in CSR order.
+  for (auto it = ws.order.rbegin(); it != ws.order.rend(); ++it) {
+    const NodeId v = *it;
+    const std::uint64_t dv = dist[v];
+    auto nb = g.neighbors(v);
+    auto wt = g.weights(v);
+    double d = 0.0;
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const NodeId u = nb[i];
+      if (dist[u] == kInfDist ||
+          dv + wt[i] != static_cast<std::uint64_t>(dist[u]))
+        continue;
+      const double tu = tw.empty() ? 1.0 : static_cast<double>(tw[u]);
+      d += ws.sigma[v] / ws.sigma[u] * (tu + ws.delta[u]);
+    }
+    ws.delta[v] = d;
+  }
+}
+
+std::vector<double> exact_betweenness(const CsrGraph& g) {
+  const NodeId n = g.num_nodes();
+  BRICS_CHECK_MSG(n >= 1, "empty graph");
+  BRICS_SPAN(sp, "measures.exact_betweenness");
+  std::vector<std::vector<BcAccum>> acc(
+      static_cast<std::size_t>(max_threads()));
+  const std::int64_t count = n;
+#pragma omp parallel
+  {
+    BcWorkspace ws;
+    ws.resize(n, g.max_weight());
+    std::vector<BcAccum>& mine = acc[static_cast<std::size_t>(thread_id())];
+    mine.resize(n);
+#pragma omp for schedule(dynamic, 4)
+    for (std::int64_t i = 0; i < count; ++i) {
+      const NodeId s = static_cast<NodeId>(i);
+      sssp(g, s, ws.trav);
+      bc_dependency_pass(g, s, ws.trav.dist(), {}, ws);
+      for (NodeId v : ws.order)
+        if (v != s) mine[v].add(ws.delta[v]);
+    }
+  }
+  std::vector<BcAccum> sum(n);
+  for (const auto& part : acc) {
+    if (part.empty()) continue;
+    for (NodeId v = 0; v < n; ++v) sum[v] += part[v];
+  }
+  std::vector<double> out(n);
+  for (NodeId v = 0; v < n; ++v) out[v] = sum[v].to_double();
+  return out;
+}
+
+namespace {
+
+// Sampling bookkeeping, mirroring the farness estimators (core/sampling.cpp
+// keeps its copies file-local on purpose: the two files share a design, not
+// a contract).
+NodeId sample_count(NodeId pop, double rate) {
+  BRICS_CHECK_MSG(rate > 0.0 && rate <= 1.0,
+                  "sample_rate must be in (0, 1], got " << rate);
+  const double k = std::ceil(rate * static_cast<double>(pop));
+  return std::clamp<NodeId>(static_cast<NodeId>(k), 1, pop);
+}
+
+NodeId apply_source_cap(NodeId planned, const RunBudget& budget) {
+  if (budget.max_sources == 0 || planned <= budget.max_sources)
+    return planned;
+  return std::max<NodeId>(budget.max_sources, 1);
+}
+
+void report_degradation(EstimateResult& res, const EstimateOptions& opts,
+                        NodeId planned, NodeId k, NodeId k_done) {
+  res.samples = k_done;
+  res.planned_samples = planned;
+  res.achieved_sample_rate = opts.sample_rate *
+                             static_cast<double>(k_done) /
+                             static_cast<double>(planned);
+  BRICS_COUNTER(c_planned, "plan.samples_planned");
+  BRICS_COUNTER(c_completed, "plan.samples_completed");
+  BRICS_COUNTER(c_shed, "plan.samples_shed");
+  BRICS_COUNTER_ADD(c_planned, planned);
+  BRICS_COUNTER_ADD(c_completed, k_done);
+  BRICS_COUNTER_ADD(c_shed, planned - k_done);
+  if (k_done < k) {
+    res.degraded = true;
+    res.cut_phase = ExecPhase::kTraverse;
+  } else if (k < planned) {
+    res.degraded = true;
+    res.cut_phase = ExecPhase::kPlan;
+  }
+}
+
+std::vector<NodeId> all_nodes(NodeId n) {
+  std::vector<NodeId> ids(n);
+  for (NodeId v = 0; v < n; ++v) ids[v] = v;
+  return ids;
+}
+
+}  // namespace
+
+EstimateResult estimate_betweenness_sampling_budgeted(
+    const CsrGraph& g, const EstimateOptions& opts,
+    const CancelToken& token) {
+  const NodeId n = g.num_nodes();
+  BRICS_CHECK_MSG(n >= 1, "empty graph");
+  BRICS_CHECK_MSG(is_connected(g),
+                  "estimators require a connected graph "
+                  "(preprocess with make_connected / largest_component)");
+  Timer total;
+  BRICS_SPAN(sp_estimate, "estimate.bc_sampling");
+  EstimateResult res;
+  res.measure = Measure::kBetweenness;
+  res.farness.assign(n, 0.0);
+  res.exact.assign(n, 0);
+
+  const NodeId planned = sample_count(n, opts.sample_rate);
+  const NodeId k = apply_source_cap(planned, opts.budget);
+  Rng rng(opts.seed);
+  const std::vector<NodeId> sources =
+      pick_sample_sources(g, all_nodes(n), k, opts.strategy, rng);
+
+  std::optional<PhaseScope> phase_traverse;
+  phase_traverse.emplace("traverse", res.times.traverse_s);
+  std::vector<std::vector<BcAccum>> acc(
+      static_cast<std::size_t>(max_threads()));
+  std::vector<BcWorkspace> scratch(acc.size());
+  std::vector<std::uint8_t> completed;
+  const std::size_t done = traverse_flat(
+      g, sources, /*mandatory=*/1, token, opts.kernel, completed,
+      [&](std::size_t i, std::span<const Dist> dist) {
+        const std::size_t t = static_cast<std::size_t>(thread_id());
+        if (acc[t].empty()) acc[t].resize(n);
+        BcWorkspace& ws = scratch[t];
+        if (ws.sigma.size() != n) ws.resize(n, g.max_weight());
+        const NodeId s = sources[i];
+        bc_dependency_pass(g, s, dist, {}, ws);
+        for (NodeId v : ws.order)
+          if (v != s) acc[t][v].add(ws.delta[v]);
+      });
+  const NodeId k_done = static_cast<NodeId>(done);
+  phase_traverse.reset();
+
+  std::optional<PhaseScope> phase_combine;
+  phase_combine.emplace("combine", res.times.combine_s);
+  std::vector<BcAccum> sum(n);
+  for (const auto& part : acc) {
+    if (part.empty()) continue;
+    for (NodeId v = 0; v < n; ++v) sum[v] += part[v];
+  }
+  // Brandes–Pich: each completed source contributes its full dependency
+  // vector; scaling by n / k_done makes the sum unbiased for the all-sources
+  // total. At k_done == n the scale is exactly 1.0 and the conversion below
+  // reproduces exact_betweenness() bit for bit (same quantized terms, same
+  // integer sum, one final rounding).
+  const bool full = k_done == n;
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(k_done);
+  for (NodeId v = 0; v < n; ++v)
+    res.farness[v] = full ? sum[v].to_double() : sum[v].to_double() * scale;
+  if (full) res.exact.assign(n, 1);
+  report_degradation(res, opts, planned, k, k_done);
+  phase_combine.reset();
+  res.times.total_s = total.seconds();
+  res.times.normalize();
+  record_exec_metrics(res);
+  record_phase_metrics(res.times);
+  return res;
+}
+
+EstimateResult estimate_betweenness_sampling(const CsrGraph& g,
+                                             const EstimateOptions& opts) {
+  CancelToken token(opts.budget.timeout_ms);
+  return estimate_betweenness_sampling_budgeted(g, opts, token);
+}
+
+}  // namespace brics

@@ -1,0 +1,89 @@
+// Brandes dependency accumulation: the traversal kernel of the betweenness
+// subsystem (DESIGN.md §8, ISSUE 8).
+//
+// For one source s, Brandes (2001) computes every node's dependency
+//
+//   δ_s(v) = Σ_{t != s,v}  σ_st(v) / σ_st
+//
+// (the fraction of shortest s→t paths through v, summed over targets t) in
+// one forward pass (path counts σ, ascending distance) and one backward
+// pass (δ, descending distance) over the shortest-path DAG. Summing δ_s(v)
+// over all sources s yields the unnormalized ordered-pair betweenness.
+//
+// This module provides the per-source pass over a distance vector that some
+// SSSP engine already produced — the same contract as the farness
+// aggregation, so the pass plugs into traverse_flat / the staged Traverse
+// kernels as a sink. The decomposed estimator (measures/betweenness.cpp)
+// supplies per-node target weights `tw` so a block-local pass accounts for
+// the full-graph mass hiding behind cut vertices and pendant chains; the
+// flat paths here run unweighted (tw empty ⇔ all ones).
+//
+// Both passes are pull-based: a node reads finalized neighbor values in CSR
+// adjacency order, so the result is bit-deterministic regardless of how
+// equal-distance nodes are ordered — the property the Q64.64 accumulation
+// contract (measures/accum.hpp) builds on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/estimate.hpp"
+#include "exec/budget.hpp"
+#include "graph/csr_graph.hpp"
+#include "measures/accum.hpp"
+#include "traverse/bfs.hpp"
+
+namespace brics {
+
+/// Per-thread scratch for dependency passes. `trav` serves callers that
+/// also run the SSSP themselves (exact_betweenness); the staged kernels
+/// bring their own distances and leave it untouched.
+struct BcWorkspace {
+  TraversalWorkspace trav;
+  std::vector<double> sigma;   ///< shortest-path counts from the source
+  std::vector<double> delta;   ///< dependencies, valid for nodes in `order`
+  std::vector<NodeId> order;   ///< reached nodes, ascending (dist, id)
+  std::vector<NodeId> bucket;  ///< counting-sort offsets
+  std::vector<NodeId> sorted;  ///< counting-sort output scratch
+
+  void resize(NodeId n, Weight max_w) {
+    trav.resize(n, max_w);
+    sigma.assign(n, 0.0);
+    delta.assign(n, 0.0);
+    order.reserve(n);
+  }
+};
+
+/// Run the two Brandes passes for `source` over `dist` (a complete distance
+/// vector on g; kInfDist entries are skipped). Fills ws.sigma, ws.delta and
+/// ws.order for every reached node. `tw[v]` weights node v as a TARGET:
+/// δ picks up tw(u) instead of 1 at each DAG edge head. Pass an empty span
+/// for unit weights. ws must be resized for g beforehand.
+void bc_dependency_pass(const CsrGraph& g, NodeId source,
+                        std::span<const Dist> dist,
+                        std::span<const std::uint64_t> tw, BcWorkspace& ws);
+
+/// Exact unnormalized betweenness: one dependency pass per node, parallel
+/// over sources, per-thread Q64.64 partial sums merged exactly. This is the
+/// independent oracle the pipeline tests compare against — it shares the
+/// per-source pass with the estimators but none of the decomposition
+/// machinery. Requires a connected graph.
+std::vector<double> exact_betweenness(const CsrGraph& g);
+
+/// Flat sampled estimator (Brandes–Pich): dependency passes from k sampled
+/// sources, every node scaled by n / k_done. No reductions, no
+/// decomposition — this is the baseline the BRICS betweenness estimator is
+/// measured against, and the degraded-mode fallback when the staged
+/// pipeline faults. exact[] is all-ones iff every source ran (k_done == n:
+/// the scale is exactly 1 and the result is bitwise exact_betweenness),
+/// all-zeros otherwise — a sampled source does NOT learn its own exact
+/// betweenness, unlike farness.
+EstimateResult estimate_betweenness_sampling(const CsrGraph& g,
+                                             const EstimateOptions& opts);
+
+/// As above but cooperating with an existing deadline token (the degraded
+/// fallback path re-uses whatever budget remains).
+EstimateResult estimate_betweenness_sampling_budgeted(
+    const CsrGraph& g, const EstimateOptions& opts, const CancelToken& token);
+
+}  // namespace brics

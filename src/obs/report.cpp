@@ -14,6 +14,7 @@ RunReport make_run_report(std::string tool, std::string dataset,
   r.nodes = g.num_nodes();
   r.edges = g.num_edges();
   r.config = std::move(config);
+  r.measure = to_string(est.measure);
   r.sample_rate = opts.sample_rate;
   r.seed = opts.seed;
   r.timeout_ms = opts.budget.timeout_ms;
@@ -51,6 +52,7 @@ std::string to_json(const RunReport& r) {
   w.key("options")
       .begin_object()
       .field("config", r.config)
+      .field("measure", r.measure)
       .field("sample_rate", r.sample_rate)
       .field("seed", r.seed)
       .field("timeout_ms", r.timeout_ms)

@@ -31,7 +31,9 @@ struct RunReport {
   // plus imbalance/speedup/efficiency derivations).
   // v3: adds the "recovery" section (checkpoint/retry/quarantine
   // accounting, attempt number, cumulative wall across attempts).
-  static constexpr int kSchemaVersion = 3;
+  // v4: adds options.measure ("farness" | "betweenness") — which
+  // centrality the pipeline computed.
+  static constexpr int kSchemaVersion = 4;
 
   std::string tool;     ///< producing binary ("brics_cli", harness name)
   std::string dataset;  ///< input path or @registry-name
@@ -41,7 +43,8 @@ struct RunReport {
   std::uint64_t edges = 0;
 
   // options
-  std::string config;  ///< random | cr | icr | cumulative
+  std::string config;   ///< random | cr | icr | cumulative
+  std::string measure;  ///< farness | betweenness (v4)
   double sample_rate = 0.0;
   std::uint64_t seed = 0;
   std::int64_t timeout_ms = 0;

@@ -64,7 +64,8 @@ Walk walk_chain(const CsrGraph& g, const ReductionLedger& ledger,
 
 ChainPassResult remove_chain_nodes(const CsrGraph& g,
                                    std::vector<std::uint8_t>& present,
-                                   ReductionLedger& ledger) {
+                                   ReductionLedger& ledger,
+                                   bool pendant_only) {
   BRICS_CHECK(present.size() == g.num_nodes());
   ChainPassResult res;
   ChainPassStats& st = res.stats;
@@ -109,6 +110,7 @@ ChainPassResult remove_chain_nodes(const CsrGraph& g,
         visited[members[i]] = 1;
       }
       visited[c] = 1;
+      if (pendant_only) continue;  // whole-cycle component stays intact
       Dist total = off + left.last_w;
       ++st.cycle_chains;
       emit(c, c, std::move(members), std::move(offsets), total);
@@ -189,9 +191,11 @@ ChainPassResult remove_chain_nodes(const CsrGraph& g,
         emit(eL, kInvalidNode, std::move(members), std::move(offs), 0);
       }
     } else if (eL == eR) {
+      if (pendant_only) continue;  // cycle chain: nodes stay present
       ++st.cycle_chains;
       emit(eL, eL, std::move(members), offsets_from(true), total);
     } else {
+      if (pendant_only) continue;  // through chain: no compression either
       ++st.through_chains;
       NodeId a = std::min(eL, eR), b = std::max(eL, eR);
       auto [it, fresh] = through_seen.try_emplace({a, b, total}, 0);

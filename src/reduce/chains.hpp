@@ -44,8 +44,16 @@ struct ChainPassResult {
 /// Detect chains among `present` nodes of g, record removals into the
 /// ledger, update `present`. The caller rebuilds the CSR graph with the
 /// surviving edges plus result.compressed_edges.
+///
+/// With pendant_only set, only pendant chains (Type 1, including the
+/// whole-component path/K2 degenerates) are removed; cycle and through
+/// chains are left untouched — no compression, no ledger records. Iterated
+/// to a fixed point this is exactly the degree-1 peel to the graph's
+/// 2-core (plus pinned tree skeleton), the only chain action that
+/// preserves shortest-path counts between survivors (betweenness mode).
 ChainPassResult remove_chain_nodes(const CsrGraph& g,
                                    std::vector<std::uint8_t>& present,
-                                   ReductionLedger& ledger);
+                                   ReductionLedger& ledger,
+                                   bool pendant_only = false);
 
 }  // namespace brics

@@ -78,8 +78,8 @@ ReducedGraph reduce(const CsrGraph& g, const ReduceOptions& opts) {
     }
     if (opts.chains) {
       BRICS_SPAN(sp, "reduce.chains");
-      ChainPassResult r =
-          remove_chain_nodes(out.graph, out.present, out.ledger);
+      ChainPassResult r = remove_chain_nodes(out.graph, out.present,
+                                             out.ledger, opts.pendant_only);
       accumulate(out.stats.chains, r.stats);
       BRICS_COUNTER_ADD(c_chain, r.stats.removed);
       if (r.stats.removed > 0)

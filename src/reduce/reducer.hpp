@@ -22,6 +22,13 @@ struct ReduceOptions {
   bool identical = true;   ///< I — twin removal
   bool chains = true;      ///< C — chain removal/compression
   bool redundant = true;   ///< R — redundant 3/4-degree removal
+  /// Restrict the chain pass to pendant chains (tree appendages). Pendant
+  /// removal is the iterated-degree-1 peel towards the 2-core and — unlike
+  /// through-chain compression, twin removal, or redundant removal — it
+  /// preserves shortest-path COUNTS between surviving nodes, not just
+  /// lengths. The betweenness measure requires this mode; farness never
+  /// sets it (docs/ARCHITECTURE.md, Measure abstraction).
+  bool pendant_only = false;
   /// Re-run the enabled stages until a fixed point (an extension beyond the
   /// paper's single pass; each extra round only removes more nodes and
   /// remains exactness-preserving).

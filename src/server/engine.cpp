@@ -1,11 +1,13 @@
 #include "server/engine.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <utility>
 
 #include "analysis/analysis.hpp"
 #include "exec/checkpoint.hpp"
 #include "exec/failpoint.hpp"
+#include "measures/betweenness.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "util/timer.hpp"
@@ -75,6 +77,7 @@ std::uint64_t engine_state_hash(const EstimateOptions& opts) {
   hash_mix(h, static_cast<std::uint64_t>(opts.use_bcc));
   hash_mix(h, static_cast<std::uint64_t>(opts.strategy));
   hash_mix(h, static_cast<std::uint64_t>(opts.kernel));
+  hash_mix(h, static_cast<std::uint64_t>(opts.measure));
   return h;
 }
 
@@ -195,6 +198,97 @@ ServerEngine::TopKQuery ServerEngine::topk(NodeId k,
     topk_cache_ = out.result;
   }
   BRICS_COUNTER(c, "server.topk_served");
+  BRICS_COUNTER_ADD(c, 1);
+  return out;
+}
+
+void ServerEngine::with_bc_estimate(
+    std::int64_t deadline_ms,
+    const std::function<void(const EstimateResult&)>& fn) const {
+  {
+    std::lock_guard<std::mutex> clk(bc_mu_);
+    if (bc_valid_ && bc_version_ == version_) {
+      BRICS_COUNTER(c, "server.bc_cache_hits");
+      BRICS_COUNTER_ADD(c, 1);
+      fn(bc_cache_);
+      return;
+    }
+  }
+  EstimateOptions eo = opts_.estimate;
+  eo.measure = Measure::kBetweenness;
+  eo.budget.timeout_ms = deadline_ms;
+  EstimateResult est = estimate_betweenness(dyn_.graph(), eo);
+  fn(est);
+  BRICS_COUNTER(c, "server.bc_estimates");
+  BRICS_COUNTER_ADD(c, 1);
+  // Budget-degraded estimates are served but never cached: the next query
+  // (perhaps with a roomier deadline) recomputes. Losing a race to another
+  // equally deterministic compute of the same version is fine — keep the
+  // incumbent rather than mutate a vector a reader may hold.
+  if (est.degraded) return;
+  std::lock_guard<std::mutex> clk(bc_mu_);
+  if (!(bc_valid_ && bc_version_ == version_)) {
+    bc_valid_ = true;
+    bc_version_ = version_;
+    bc_cache_ = std::move(est);
+  }
+}
+
+ServerEngine::QueryResult ServerEngine::bc(std::span<const NodeId> nodes,
+                                           std::int64_t deadline_ms) const {
+  std::shared_lock lk(mu_);
+  const NodeId n = dyn_.graph().num_nodes();
+  for (NodeId v : nodes)
+    if (v >= n)
+      throw InputError("node id " + std::to_string(v) +
+                       " out of range (graph has " + std::to_string(n) +
+                       " nodes)");
+  QueryResult out;
+  out.version = version_;
+  with_bc_estimate(deadline_ms, [&](const EstimateResult& est) {
+    out.degraded = est.degraded;
+    auto row = [&](NodeId v) {
+      out.entries.push_back(
+          FarnessEntry{v, est.farness[v], est.exact[v] != 0});
+    };
+    if (nodes.empty()) {
+      out.entries.reserve(n);
+      for (NodeId v = 0; v < n; ++v) row(v);
+    } else {
+      out.entries.reserve(nodes.size());
+      for (NodeId v : nodes) row(v);
+    }
+  });
+  BRICS_COUNTER(c, "server.bc_queries_served");
+  BRICS_COUNTER_ADD(c, 1);
+  return out;
+}
+
+ServerEngine::QueryResult ServerEngine::topk_bc(
+    NodeId k, std::int64_t deadline_ms) const {
+  std::shared_lock lk(mu_);
+  const NodeId n = dyn_.graph().num_nodes();
+  k = std::min(k, n);
+  QueryResult out;
+  out.version = version_;
+  with_bc_estimate(deadline_ms, [&](const EstimateResult& est) {
+    out.degraded = est.degraded;
+    std::vector<NodeId> order(n);
+    for (NodeId v = 0; v < n; ++v) order[v] = v;
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [&](NodeId a, NodeId b) {
+                        if (est.farness[a] != est.farness[b])
+                          return est.farness[a] > est.farness[b];
+                        return a < b;
+                      });
+    out.entries.reserve(k);
+    for (NodeId i = 0; i < k; ++i) {
+      const NodeId v = order[i];
+      out.entries.push_back(
+          FarnessEntry{v, est.farness[v], est.exact[v] != 0});
+    }
+  });
+  BRICS_COUNTER(c, "server.topk_bc_served");
   BRICS_COUNTER_ADD(c, 1);
   return out;
 }

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -103,6 +104,19 @@ class ServerEngine {
   /// cached.
   TopKQuery topk(NodeId k, std::int64_t deadline_ms) const;
 
+  /// Betweenness of `nodes` (empty = all) from a lazily computed,
+  /// version-keyed estimate: the first BC query after a committed update
+  /// runs estimate_betweenness (same options as the farness estimate, the
+  /// measure-forced reduction subset, deadline_ms on the budget) and the
+  /// result is cached until the graph version moves. Budget-degraded
+  /// estimates are served but never cached. Throws InputError on bad ids.
+  QueryResult bc(std::span<const NodeId> nodes,
+                 std::int64_t deadline_ms) const;
+
+  /// Top-k betweenness, derived from the same version-keyed BC cache
+  /// (descending by value, ties by node id). k is clamped to n.
+  QueryResult topk_bc(NodeId k, std::int64_t deadline_ms) const;
+
   struct ApplyResult {
     std::uint64_t version = 0;   ///< version after the batch
     std::uint32_t applied = 0;   ///< edges accepted (self loops skipped)
@@ -140,6 +154,18 @@ class ServerEngine {
   mutable std::uint64_t topk_version_ = 0;
   mutable NodeId topk_k_ = 0;
   mutable TopKResult topk_cache_;
+
+  // Version-keyed betweenness estimate (lazy; same invalidation contract
+  // as the top-k cache: any committed version bump supersedes it). The
+  // caller must hold mu_ shared; `fn` runs against either the cached or a
+  // freshly computed estimate, never a torn one.
+  void with_bc_estimate(std::int64_t deadline_ms,
+                        const std::function<void(const EstimateResult&)>& fn)
+      const;
+  mutable std::mutex bc_mu_;
+  mutable bool bc_valid_ = false;
+  mutable std::uint64_t bc_version_ = 0;
+  mutable EstimateResult bc_cache_;
 };
 
 /// Fingerprint of the estimator options that shape served results, used as

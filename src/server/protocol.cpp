@@ -69,7 +69,12 @@ std::string encode_request(const Request& r) {
       w.u32(static_cast<std::uint32_t>(r.nodes.size()));
       for (NodeId v : r.nodes) w.u32(v);
       break;
+    case MsgType::kBc:
+      w.u32(static_cast<std::uint32_t>(r.nodes.size()));
+      for (NodeId v : r.nodes) w.u32(v);
+      break;
     case MsgType::kTopK:
+    case MsgType::kTopKBc:
       w.u32(r.k);
       break;
     case MsgType::kUpdate:
@@ -92,7 +97,7 @@ Request decode_request(const std::string& payload) {
     bad_frame("unsupported protocol version");
   Request r;
   const std::uint8_t type = rd.u8();
-  if (type < 1 || type > 6) bad_frame("unknown message type");
+  if (type < 1 || type > 8) bad_frame("unknown message type");
   r.type = static_cast<MsgType>(type);
   r.request_id = rd.u32();
   r.deadline_ms = rd.u32();
@@ -111,7 +116,16 @@ Request decode_request(const std::string& payload) {
       for (std::uint32_t i = 0; i < n; ++i) r.nodes.push_back(rd.u32());
       break;
     }
+    case MsgType::kBc: {
+      const std::uint32_t n = rd.u32();
+      if (static_cast<std::uint64_t>(n) * 4 > rd.remaining())
+        bad_frame("bc node list overruns frame");
+      r.nodes.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) r.nodes.push_back(rd.u32());
+      break;
+    }
     case MsgType::kTopK:
+    case MsgType::kTopKBc:
       r.k = rd.u32();
       break;
     case MsgType::kUpdate: {
@@ -155,6 +169,8 @@ std::string encode_reply(const Reply& r) {
     case MsgType::kServerStats:
       break;  // payload lives in message
     case MsgType::kFarness:
+    case MsgType::kBc:
+    case MsgType::kTopKBc:
       w.u32(static_cast<std::uint32_t>(r.entries.size()));
       for (const FarnessEntry& e : r.entries) {
         w.u32(e.node);
@@ -186,7 +202,7 @@ Reply decode_reply(const std::string& payload) {
     bad_frame("unsupported protocol version");
   Reply r;
   const std::uint8_t type = rd.u8();
-  if (type < 1 || type > 6) bad_frame("unknown message type");
+  if (type < 1 || type > 8) bad_frame("unknown message type");
   r.type = static_cast<MsgType>(type);
   r.request_id = rd.u32();
   const std::uint8_t status = rd.u8();
@@ -210,7 +226,9 @@ Reply decode_reply(const std::string& payload) {
     case MsgType::kStats:
     case MsgType::kServerStats:
       break;
-    case MsgType::kFarness: {
+    case MsgType::kFarness:
+    case MsgType::kBc:
+    case MsgType::kTopKBc: {
       const std::uint32_t n = rd.u32();
       if (static_cast<std::uint64_t>(n) * 13 > rd.remaining())
         bad_frame("farness entries overrun frame");

@@ -26,7 +26,9 @@
 
 namespace brics {
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+// v2: adds kBc / kTopKBc (betweenness queries, ISSUE 8). Both sides of
+// this repo speak v2; a version mismatch drops the connection.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 /// Upper bound on a single frame; bigger lengths mean a corrupt or
 /// malicious peer and drop the connection before allocating.
 inline constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
@@ -38,6 +40,8 @@ enum class MsgType : std::uint8_t {
   kTopK = 4,         ///< exact top-k closeness
   kUpdate = 5,       ///< edge-insert batch (versioned, crash-safe)
   kServerStats = 6,  ///< server counters (queue, shed, quarantine, ...)
+  kBc = 7,           ///< per-node betweenness from the version-keyed cache
+  kTopKBc = 8,       ///< top-k betweenness, derived from the same cache
 };
 
 enum class ReplyStatus : std::uint8_t {
@@ -67,11 +71,11 @@ struct Request {
   std::uint32_t deadline_ms = 0;     ///< 0 = no deadline
   std::uint32_t debug_sleep_ms = 0;  ///< test hook: stall the worker
 
-  // kFarness
-  bool closeness = false;
+  // kFarness / kBc
+  bool closeness = false;     ///< kFarness only
   std::vector<NodeId> nodes;  ///< empty = all nodes
 
-  // kTopK
+  // kTopK / kTopKBc
   NodeId k = 0;
 
   // kUpdate
@@ -92,7 +96,7 @@ struct Reply {
   std::uint64_t edges = 0;
   bool resumed = false;
 
-  // kFarness
+  // kFarness / kBc / kTopKBc (for kTopKBc: descending by value)
   std::vector<FarnessEntry> entries;
 
   // kTopK

@@ -186,6 +186,21 @@ Reply Server::Impl::serve(const Request& req) {
         if (!rep.topk_exact) rep.status = ReplyStatus::kDegraded;
         break;
       }
+      case MsgType::kBc: {
+        auto qr = engine.bc(req.nodes, deadline);
+        rep.version = qr.version;
+        rep.entries = std::move(qr.entries);
+        if (qr.degraded) rep.status = ReplyStatus::kDegraded;
+        break;
+      }
+      case MsgType::kTopKBc: {
+        if (req.k == 0) throw InputError("topk-bc: k must be >= 1");
+        auto qr = engine.topk_bc(req.k, deadline);
+        rep.version = qr.version;
+        rep.entries = std::move(qr.entries);
+        if (qr.degraded) rep.status = ReplyStatus::kDegraded;
+        break;
+      }
       case MsgType::kUpdate: {
         auto ar = engine.apply_batch(req.edges, deadline);
         rep.version = ar.version;

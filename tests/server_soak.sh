@@ -90,6 +90,12 @@ V_AFTER=$(hello_version)
   || fail "resumed version $V_AFTER != last committed $V_BEFORE"
 "$CLIENT" "$SOCK" farness > "$WORK/far1.txt" \
   || fail "post-restart farness query failed"
+# Betweenness rides the same resident state: the restarted daemon must
+# answer BC and top-k-BC queries, bit-identically across restarts.
+"$CLIENT" "$SOCK" bc > "$WORK/bc1.txt" \
+  || fail "post-restart bc query failed"
+"$CLIENT" "$SOCK" topk-bc --k 5 > "$WORK/topkbc1.txt" \
+  || fail "post-restart topk-bc query failed"
 
 kill -9 "$PID" 2>/dev/null || true
 wait "$PID" 2>/dev/null || true
@@ -100,6 +106,14 @@ start_server "$WORK/serve3.log" ""
   || fail "second-restart farness query failed"
 cmp "$WORK/far1.txt" "$WORK/far2.txt" \
   || fail "restarted answers are not bit-identical"
+"$CLIENT" "$SOCK" bc > "$WORK/bc2.txt" \
+  || fail "second-restart bc query failed"
+cmp "$WORK/bc1.txt" "$WORK/bc2.txt" \
+  || fail "restarted bc answers are not bit-identical"
+"$CLIENT" "$SOCK" topk-bc --k 5 > "$WORK/topkbc2.txt" \
+  || fail "second-restart topk-bc query failed"
+cmp "$WORK/topkbc1.txt" "$WORK/topkbc2.txt" \
+  || fail "restarted topk-bc answers are not bit-identical"
 
 # --- 4: SIGTERM = clean drain, exit 0, socket unlinked ------------------
 kill -TERM "$PID"

@@ -1,0 +1,304 @@
+// Betweenness subsystem (src/measures/): the exact oracle on hand-checked
+// graphs, the decomposed pipeline against the oracle at full sampling —
+// bitwise on unique-shortest-path graph classes, 1e-9-relative in general —
+// bitwise kernel-insensitivity, the closed-form ledger corrections for
+// peeled pendant chains, and sampled-mode sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "gen/dataset.hpp"
+#include "gen/generators.hpp"
+#include "graph/connectivity.hpp"
+#include "measures/betweenness.hpp"
+#include "measures/brandes.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+using test::make_graph;
+
+EstimateOptions bc_opts(double rate = 1.0) {
+  EstimateOptions opts;
+  opts.measure = Measure::kBetweenness;
+  opts.sample_rate = rate;
+  opts.seed = 7;
+  return opts;
+}
+
+void expect_bitwise(const std::vector<double>& got,
+                    const std::vector<double>& want, const char* tag) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t v = 0; v < got.size(); ++v)
+    ASSERT_EQ(got[v], want[v]) << tag << " node " << v;
+}
+
+void expect_close(const std::vector<double>& got,
+                  const std::vector<double>& want, const char* tag) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    const double tol = 1e-9 * std::max(1.0, std::abs(want[v]));
+    ASSERT_NEAR(got[v], want[v], tol) << tag << " node " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exact oracle on hand-checked graphs (unnormalized, ordered pairs).
+// ---------------------------------------------------------------------------
+
+TEST(Betweenness, OracleHandValuesPath4) {
+  // 0-1-2-3: each interior node carries the two ordered pairs that span it
+  // plus the far endpoint's pairs.
+  const CsrGraph g = make_graph(4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}});
+  const std::vector<double> bc = exact_betweenness(g);
+  EXPECT_EQ(bc[0], 0.0);
+  EXPECT_EQ(bc[1], 4.0);  // (0,2),(0,3),(2,0),(3,0)
+  EXPECT_EQ(bc[2], 4.0);
+  EXPECT_EQ(bc[3], 0.0);
+}
+
+TEST(Betweenness, OracleHandValuesStar) {
+  const CsrGraph g =
+      make_graph(5, {{0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {0, 4, 1}});
+  const std::vector<double> bc = exact_betweenness(g);
+  EXPECT_EQ(bc[0], 12.0);  // 4 * 3 ordered leaf pairs
+  for (NodeId v = 1; v < 5; ++v) EXPECT_EQ(bc[v], 0.0);
+}
+
+TEST(Betweenness, OracleHandValuesBowtie) {
+  // Two triangles sharing node 2: only cross pairs route through it.
+  const CsrGraph g = make_graph(5, {{0, 1, 1},
+                                    {0, 2, 1},
+                                    {1, 2, 1},
+                                    {2, 3, 1},
+                                    {2, 4, 1},
+                                    {3, 4, 1}});
+  const std::vector<double> bc = exact_betweenness(g);
+  EXPECT_EQ(bc[2], 8.0);  // 2 * 2 cross pairs, both directions
+  for (NodeId v : {0u, 1u, 3u, 4u}) EXPECT_EQ(bc[v], 0.0);
+}
+
+TEST(Betweenness, OracleSplitsEqualPaths) {
+  // 4-cycle: each (u, u+2) pair has two shortest paths, half a pair per
+  // intermediate and direction.
+  const CsrGraph g =
+      make_graph(4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1}});
+  const std::vector<double> bc = exact_betweenness(g);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(bc[v], 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Flat sampled estimator: at k == n it IS the oracle, bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(Betweenness, FlatFullRateIsOracleBitwise) {
+  Rng rng(11);
+  const CsrGraph g = make_connected(erdos_renyi(150, 450, rng));
+  const std::vector<double> oracle = exact_betweenness(g);
+  EstimateOptions opts = bc_opts(1.0);
+  opts.use_bcc = false;
+  const EstimateResult res = estimate_betweenness(g, opts);
+  EXPECT_EQ(res.measure, Measure::kBetweenness);
+  expect_bitwise(res.farness, oracle, "flat");
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(res.exact[v], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Decomposed pipeline vs oracle at sample rate 1.0.
+// ---------------------------------------------------------------------------
+
+struct PipelineCase {
+  const char* name;
+  bool integer_sigma;  // unique shortest paths => bitwise oracle equality
+};
+
+class BetweennessPipeline : public ::testing::TestWithParam<PipelineCase> {};
+
+CsrGraph build_case(const std::string& name) {
+  Rng rng(29);
+  if (name == "tree")
+    return make_connected(random_tree(180, rng));
+  if (name == "tree_chains") {
+    CsrGraph g = random_tree(90, rng);
+    return make_connected(attach_pendant_chains(g, 25, 1, 6, rng));
+  }
+  if (name == "cliques_pendants") {
+    // Disjoint cliques bridged through a path, pendants attached: every
+    // pair has a unique shortest path (cliques are distance-1 inside).
+    GraphBuilder b(23);
+    auto clique = [&](NodeId base) {
+      for (NodeId i = 0; i < 5; ++i)
+        for (NodeId j = i + 1; j < 5; ++j) b.add_edge(base + i, base + j, 1);
+    };
+    clique(0);
+    clique(5);
+    clique(10);
+    b.add_edge(4, 15, 1);   // bridge node chain: 4-15-16-5
+    b.add_edge(15, 16, 1);
+    b.add_edge(16, 5, 1);
+    b.add_edge(9, 10, 1);
+    for (NodeId i = 0; i < 6; ++i) b.add_edge(i, 17 + i, 1);  // pendants
+    return b.build();
+  }
+  if (name == "twins_and_chains") {
+    CsrGraph g = barabasi_albert(60, 2, rng);
+    g = plant_twins(g, 20, rng);
+    return make_connected(attach_pendant_chains(g, 15, 1, 5, rng));
+  }
+  if (name == "grid_subdivided") {
+    CsrGraph g = grid2d(7, 7, 0.9, rng);
+    return make_connected(subdivide_edges(g, 0.5, 1, 3, rng));
+  }
+  return make_connected(build_dataset(name, 0.03));
+}
+
+TEST_P(BetweennessPipeline, FullRateMatchesOracle) {
+  const PipelineCase& c = GetParam();
+  const CsrGraph g = build_case(c.name);
+  ASSERT_GE(g.num_nodes(), 3u);
+  const std::vector<double> oracle = exact_betweenness(g);
+  const EstimateResult res = estimate_betweenness(g, bc_opts(1.0));
+  EXPECT_EQ(res.measure, Measure::kBetweenness);
+  EXPECT_FALSE(res.degraded);
+  if (c.integer_sigma)
+    expect_bitwise(res.farness, oracle, c.name);
+  else
+    expect_close(res.farness, oracle, c.name);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(res.exact[v], 1) << "node " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphClasses, BetweennessPipeline,
+    ::testing::Values(PipelineCase{"tree", true},
+                      PipelineCase{"tree_chains", true},
+                      PipelineCase{"cliques_pendants", true},
+                      PipelineCase{"twins_and_chains", false},
+                      PipelineCase{"grid_subdivided", false},
+                      PipelineCase{"web-copy-a", false},
+                      PipelineCase{"soc-rmat", false},
+                      PipelineCase{"com-part-a", false},
+                      PipelineCase{"road-rural", false}),
+    [](const auto& info) {
+      std::string n = info.param.name;
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+// ---------------------------------------------------------------------------
+// Kernel insensitivity: the quantized accumulation makes the pipeline
+// bitwise identical under every kernel choice (and hence every schedule).
+// ---------------------------------------------------------------------------
+
+TEST(Betweenness, CrossKernelBitEquality) {
+  const CsrGraph g = build_case("web-copy-a");
+  std::vector<std::vector<double>> runs;
+  for (KernelChoice k : {KernelChoice::kAuto, KernelChoice::kBfs,
+                         KernelChoice::kDial, KernelChoice::kBatched}) {
+    EstimateOptions opts = bc_opts(1.0);
+    opts.kernel = k;
+    runs.push_back(estimate_betweenness(g, opts).farness);
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i)
+    expect_bitwise(runs[i], runs[0], "kernel");
+}
+
+// ---------------------------------------------------------------------------
+// Ledger closed forms: peeled pendant-chain members carry pure forced-pair
+// counts — integers, so they match the oracle bitwise even on graphs where
+// sigma is fractional elsewhere. Random trees and cliques-with-pendants are
+// the issue's named property classes.
+// ---------------------------------------------------------------------------
+
+TEST(Betweenness, RemovedChainMembersExactOnRandomTrees) {
+  for (std::uint64_t seed : {3u, 17u, 99u}) {
+    Rng rng(seed);
+    const CsrGraph g = make_connected(random_tree(120, rng));
+    const std::vector<double> oracle = exact_betweenness(g);
+    const EstimateResult res = estimate_betweenness(g, bc_opts(1.0));
+    const ReducedGraph rg = reduce(g, bc_reduce_options({}));
+    ASSERT_GT(rg.ledger.num_removed(), 0u);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!rg.ledger.removed(v)) continue;
+      ASSERT_EQ(res.farness[v], oracle[v]) << "removed node " << v;
+      ASSERT_EQ(res.exact[v], 1);
+    }
+  }
+}
+
+TEST(Betweenness, RemovedChainMembersExactOnCliquesWithPendants) {
+  const CsrGraph g = build_case("cliques_pendants");
+  const std::vector<double> oracle = exact_betweenness(g);
+  const EstimateResult res = estimate_betweenness(g, bc_opts(1.0));
+  const ReducedGraph rg = reduce(g, bc_reduce_options({}));
+  ASSERT_GT(rg.ledger.num_removed(), 0u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!rg.ledger.removed(v)) continue;
+    ASSERT_EQ(res.farness[v], oracle[v]) << "removed node " << v;
+    ASSERT_EQ(res.exact[v], 1);
+  }
+}
+
+// The measure must refuse sigma-breaking reductions regardless of what the
+// caller configured.
+TEST(Betweenness, ReduceOptionsForcePendantOnly) {
+  ReduceOptions req;
+  req.identical = true;
+  req.redundant = true;
+  const ReduceOptions r = bc_reduce_options(req);
+  EXPECT_FALSE(r.identical);
+  EXPECT_FALSE(r.redundant);
+  EXPECT_TRUE(r.pendant_only);
+}
+
+// ---------------------------------------------------------------------------
+// Sampled mode: deterministic, non-negative, degradation-flagged, and
+// close on aggregate mass.
+// ---------------------------------------------------------------------------
+
+TEST(Betweenness, SampledEstimateSanity) {
+  const CsrGraph g = build_case("web-copy-a");
+  const std::vector<double> oracle = exact_betweenness(g);
+  const EstimateResult res = estimate_betweenness(g, bc_opts(0.3));
+  double est_total = 0.0, oracle_total = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_GE(res.farness[v], 0.0) << "node " << v;
+    est_total += res.farness[v];
+    oracle_total += oracle[v];
+  }
+  ASSERT_GT(oracle_total, 0.0);
+  EXPECT_NEAR(est_total / oracle_total, 1.0, 0.35);
+  // Two runs with the same seed are identical (quantized accumulation).
+  const EstimateResult res2 = estimate_betweenness(g, bc_opts(0.3));
+  expect_bitwise(res2.farness, res.farness, "repeat");
+}
+
+TEST(Betweenness, SourceCapFlagsPlanDegradation) {
+  const CsrGraph g = build_case("web-copy-a");
+  EstimateOptions opts = bc_opts(1.0);
+  opts.use_bcc = false;
+  opts.budget.max_sources = 10;
+  const EstimateResult res = estimate_betweenness(g, opts);
+  EXPECT_TRUE(res.degraded);
+  EXPECT_EQ(res.cut_phase, ExecPhase::kPlan);
+  EXPECT_EQ(res.samples, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher.
+// ---------------------------------------------------------------------------
+
+TEST(Betweenness, EstimateCentralityDispatches) {
+  const CsrGraph g = build_case("tree_chains");
+  EstimateOptions opts = bc_opts(1.0);
+  EXPECT_EQ(estimate_centrality(g, opts).measure, Measure::kBetweenness);
+  opts.measure = Measure::kFarness;
+  EXPECT_EQ(estimate_centrality(g, opts).measure, Measure::kFarness);
+}
+
+}  // namespace
+}  // namespace brics

@@ -331,13 +331,15 @@ TEST(RunReport, JsonIsValidAndSchemaVersioned) {
   EstimateResult est = estimate_farness(g, o);
   RunReport r = make_run_report("test", "@road-grid-a", g, o, "cumulative",
                                 est, est.times.total_s);
-  EXPECT_EQ(RunReport::kSchemaVersion, 3);
+  EXPECT_EQ(RunReport::kSchemaVersion, 4);
   EXPECT_EQ(r.nodes, static_cast<std::uint64_t>(g.num_nodes()));
   EXPECT_EQ(r.cut_phase, "none");
+  EXPECT_EQ(r.measure, "farness");
   const std::string js = to_json(r);
   std::string err;
   EXPECT_TRUE(json_valid(js, &err)) << err;
-  EXPECT_NE(js.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(js.find("\"schema_version\":4"), std::string::npos);
+  EXPECT_NE(js.find("\"measure\":\"farness\""), std::string::npos);
   EXPECT_NE(js.find("\"phases\""), std::string::npos);
   EXPECT_NE(js.find("\"reduction\""), std::string::npos);
   EXPECT_NE(js.find("\"exec\""), std::string::npos);

@@ -230,6 +230,71 @@ TEST_F(RecoveryTest, ResumeFromPartialTraversalIsBitExact) {
 #endif
 }
 
+// Betweenness rides the same Recovery manager through its own segment kind
+// (kBcTraversal, "bc_traversal.ckpt"); the resume contract is identical
+// because the Q64.64 accumulation is order-independent and integer-summed.
+
+TEST_F(RecoveryTest, BcResumeFromCompleteCheckpointIsBitExact) {
+  CsrGraph g = test::RandomGraphCase{"grid_subdivided", 150, 19}.build();
+  EstimateOptions plain;
+  plain.measure = Measure::kBetweenness;
+  plain.sample_rate = 1.0;
+  const EstimateResult baseline = estimate_centrality(g, plain);
+
+  EstimateOptions with_ck = plain;
+  with_ck.recovery.checkpoint_dir = dir_;
+  const EstimateResult first = estimate_centrality(g, with_ck);
+  EXPECT_FALSE(first.degraded);
+  EXPECT_FALSE(first.recovery.resumed);
+  EXPECT_GE(first.recovery.checkpoints_written, 4u);
+  EXPECT_TRUE(fs::exists(dir_ + "/bc_traversal.ckpt"));
+  EXPECT_EQ(first.farness, baseline.farness);
+
+  EstimateOptions resume = with_ck;
+  resume.recovery.resume = true;
+  const EstimateResult second = estimate_centrality(g, resume);
+  EXPECT_FALSE(second.degraded);
+  EXPECT_TRUE(second.recovery.resumed);
+  EXPECT_EQ(second.recovery.attempt, 2u);
+  EXPECT_GE(second.recovery.checkpoints_loaded, 4u);
+  EXPECT_EQ(second.farness, baseline.farness);
+}
+
+TEST_F(RecoveryTest, BcResumeFromPartialTraversalIsBitExact) {
+#if BRICS_FAILPOINTS_ENABLED
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 200, 19}.build();
+  EstimateOptions plain;
+  plain.measure = Measure::kBetweenness;
+  plain.sample_rate = 1.0;
+  plain.kernel = KernelChoice::kBfs;
+  const EstimateResult baseline = estimate_centrality(g, plain);
+
+  // Attempt 1 checkpoints every 2 BC traversal tasks, then dies on a
+  // persistent traverse fault with retries off — degraded, with a partial
+  // kBcTraversal wave on disk.
+  EstimateOptions cut = plain;
+  cut.recovery.checkpoint_dir = dir_;
+  cut.recovery.checkpoint_every = 2;
+  cut.retry.max_attempts = 1;
+  {
+    ScopedFailPoint fp("traverse.task", /*skip_hits=*/6);
+    const EstimateResult first = estimate_centrality(g, cut);
+    EXPECT_TRUE(first.degraded);
+  }
+
+  EstimateOptions resume = cut;
+  resume.retry = RetryPolicy{};
+  resume.recovery.resume = true;
+  const EstimateResult second = estimate_centrality(g, resume);
+  EXPECT_FALSE(second.degraded);
+  EXPECT_TRUE(second.recovery.resumed);
+  EXPECT_EQ(second.recovery.attempt, 2u);
+  EXPECT_EQ(second.farness, baseline.farness);
+#else
+  GTEST_SKIP() << "fail points compiled out";
+#endif
+}
+
 TEST_F(RecoveryTest, CumulativeWallClockSpansAttempts) {
   CsrGraph g = test::RandomGraphCase{"erdos_renyi", 80, 5}.build();
   EstimateOptions opts;
@@ -381,6 +446,20 @@ TEST_F(RecoveryTest, MiniChaosSweepIsClean) {
   EXPECT_EQ(report.failures, 0) << report.summary();
   EXPECT_EQ(report.cases.size(), known_fail_points().size());
   // The sweep must actually inject: most sites sit on the hot path.
+  int fired = 0;
+  for (const ChaosCase& c : report.cases) fired += c.fired ? 1 : 0;
+  EXPECT_GE(fired, 8) << report.summary();
+}
+
+TEST_F(RecoveryTest, MiniChaosSweepIsCleanForBetweenness) {
+  CsrGraph g = test::RandomGraphCase{"twins_and_chains", 90, 7}.build();
+  ChaosOptions copts;
+  copts.measure = Measure::kBetweenness;
+  copts.max_hits = 1;
+  copts.work_dir = dir_ + "/chaos";
+  const ChaosReport report = run_chaos_sweep(g, copts);
+  EXPECT_EQ(report.failures, 0) << report.summary();
+  EXPECT_EQ(report.cases.size(), known_fail_points().size());
   int fired = 0;
   for (const ChaosCase& c : report.cases) fired += c.fired ? 1 : 0;
   EXPECT_GE(fired, 8) << report.summary();

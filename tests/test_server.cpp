@@ -12,6 +12,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -25,6 +26,7 @@
 #include "exec/failpoint.hpp"
 #include "gen/dataset.hpp"
 #include "graph/connectivity.hpp"
+#include "measures/brandes.hpp"
 #include "server/admission.hpp"
 #include "server/protocol.hpp"
 #include "server/server.hpp"
@@ -85,6 +87,23 @@ TEST(ServerProtocol, RequestRoundtripPerType) {
     EXPECT_EQ(d.type, r.type);
     EXPECT_EQ(d.k, r.k);
   }
+  {
+    Request r;
+    r.type = MsgType::kBc;
+    r.request_id = 12;
+    r.nodes = {2, 7, 1};
+    const Request d = decode_request(encode_request(r));
+    EXPECT_EQ(d.type, r.type);
+    EXPECT_EQ(d.nodes, r.nodes);
+  }
+  {
+    Request r;
+    r.type = MsgType::kTopKBc;
+    r.k = 4;
+    const Request d = decode_request(encode_request(r));
+    EXPECT_EQ(d.type, r.type);
+    EXPECT_EQ(d.k, r.k);
+  }
   for (MsgType t :
        {MsgType::kHello, MsgType::kStats, MsgType::kServerStats}) {
     Request r;
@@ -141,6 +160,23 @@ TEST(ServerProtocol, ReplyRoundtripPerType) {
     EXPECT_EQ(d.topk_exact, r.topk_exact);
     EXPECT_EQ(d.topk_nodes, r.topk_nodes);
     EXPECT_EQ(d.topk_farness, r.topk_farness);
+  }
+  {
+    // kBc / kTopKBc carry the same entry rows as kFarness.
+    for (MsgType t : {MsgType::kBc, MsgType::kTopKBc}) {
+      Reply r;
+      r.type = t;
+      r.version = 5;
+      r.entries = {{3, 42.25, true}, {1, 7.5, false}};
+      const Reply d = decode_reply(encode_reply(r));
+      EXPECT_EQ(d.type, t);
+      ASSERT_EQ(d.entries.size(), r.entries.size());
+      for (std::size_t i = 0; i < r.entries.size(); ++i) {
+        EXPECT_EQ(d.entries[i].node, r.entries[i].node);
+        EXPECT_EQ(d.entries[i].value, r.entries[i].value);
+        EXPECT_EQ(d.entries[i].exact, r.entries[i].exact);
+      }
+    }
   }
   {
     Reply r;
@@ -367,6 +403,60 @@ TEST_F(ServerEngineTest, TopKIsCachedByGraphVersion) {
   ASSERT_EQ(third.result.nodes.size(), 3u);
 }
 
+TEST_F(ServerEngineTest, BcIsVersionKeyedAndOracleChecked) {
+  const CsrGraph g = make_connected(small_graph());
+  ServerEngine eng(g, EngineOptions{exact_opts(), "", 64});
+
+  // At sample rate 1.0 the served values must agree with the independent
+  // flat Brandes oracle on the same graph.
+  auto check_against = [](const ServerEngine::QueryResult& qr,
+                          const CsrGraph& graph) {
+    const std::vector<double> oracle = exact_betweenness(graph);
+    ASSERT_EQ(qr.entries.size(), oracle.size());
+    for (const FarnessEntry& e : qr.entries) {
+      const double want = oracle[e.node];
+      const double tol = 1e-9 * std::max(1.0, std::abs(want));
+      ASSERT_NEAR(e.value, want, tol) << "node " << e.node;
+      EXPECT_TRUE(e.exact);
+    }
+  };
+
+  auto first = eng.bc({}, 0);
+  EXPECT_EQ(first.version, 1u);
+  EXPECT_FALSE(first.degraded);
+  check_against(first, g);
+
+  // Same version: the cache serves, bit for bit.
+  auto second = eng.bc({}, 0);
+  ASSERT_EQ(second.entries.size(), first.entries.size());
+  for (std::size_t i = 0; i < first.entries.size(); ++i)
+    ASSERT_EQ(second.entries[i].value, first.entries[i].value);
+
+  // Top-k is derived from the same cache: descending, consistent values.
+  auto tk = eng.topk_bc(5, 0);
+  ASSERT_EQ(tk.entries.size(), 5u);
+  for (std::size_t i = 1; i < tk.entries.size(); ++i)
+    EXPECT_GE(tk.entries[i - 1].value, tk.entries[i].value);
+  for (const FarnessEntry& e : tk.entries)
+    EXPECT_EQ(e.value, first.entries[e.node].value);
+
+  // A committed update bumps the version and invalidates the cache: the
+  // next query recomputes against the grown graph and must match the
+  // oracle on that graph, not the stale one.
+  const Edge probe{0, g.num_nodes() - 1, 1};
+  eng.apply_batch(std::span<const Edge>(&probe, 1), 0);
+  auto third = eng.bc({}, 0);
+  EXPECT_EQ(third.version, 2u);
+  GraphBuilder b(g.num_nodes());
+  b.add_edges(g.edge_list());
+  b.add_edge(probe.u, probe.v, probe.w);
+  check_against(third, b.build());
+
+  // Bad query ids are InputError, same taxonomy as farness.
+  const std::vector<NodeId> bogus = {g.num_nodes()};
+  EXPECT_THROW(eng.bc(std::span<const NodeId>(bogus), 0), InputError);
+}
+
 // ----------------------------------------------- live in-process server
 
 int connect_unix(const std::string& path) {
@@ -476,6 +566,26 @@ TEST_F(LiveServerTest, ServesTheFullRequestMenu) {
   EXPECT_EQ(t.status, ReplyStatus::kOk);
   ASSERT_EQ(t.topk_nodes.size(), 3u);
 
+  Request bc;
+  bc.type = MsgType::kBc;
+  bc.request_id = 14;
+  bc.nodes = {0, 1};
+  Reply bcr = ask(fd, bc);
+  EXPECT_EQ(bcr.status, ReplyStatus::kOk);
+  ASSERT_EQ(bcr.entries.size(), 2u);
+  EXPECT_EQ(bcr.entries[0].node, 0u);
+  EXPECT_TRUE(bcr.entries[0].exact);
+
+  Request tbc;
+  tbc.type = MsgType::kTopKBc;
+  tbc.request_id = 15;
+  tbc.k = 3;
+  Reply tbcr = ask(fd, tbc);
+  EXPECT_EQ(tbcr.status, ReplyStatus::kOk);
+  ASSERT_EQ(tbcr.entries.size(), 3u);
+  EXPECT_GE(tbcr.entries[0].value, tbcr.entries[1].value);
+  EXPECT_GE(tbcr.entries[1].value, tbcr.entries[2].value);
+
   Request upd;
   upd.type = MsgType::kUpdate;
   upd.request_id = 5;
@@ -499,7 +609,7 @@ TEST_F(LiveServerTest, ServesTheFullRequestMenu) {
   EXPECT_FALSE(fs::exists(sock_));
   const ServerCounters c = server_->counters();
   EXPECT_GE(c.connections, 1u);
-  EXPECT_GE(c.served, 6u);
+  EXPECT_GE(c.served, 8u);
   EXPECT_EQ(c.shed, 0u);
 }
 

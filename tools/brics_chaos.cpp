@@ -1,8 +1,8 @@
 // brics_chaos — exhaustive fail-point sweep (docs/ROBUSTNESS.md).
 //
 //   brics_chaos <edge_list|@dataset> [--scale X] [--rate R] [--seed S]
-//               [--max-hits N] [--work-dir D] [--no-verify-resume]
-//               [--server]
+//               [--measure farness|betweenness] [--max-hits N]
+//               [--work-dir D] [--no-verify-resume] [--server]
 //
 // With --server the sweep targets the daemon's sites instead
 // (server.accept/read/write/enqueue/apply): each case boots an
@@ -33,7 +33,8 @@ using namespace brics;
 int usage() {
   std::fprintf(stderr,
                "usage: brics_chaos <edge_list|@dataset> [--scale X] "
-               "[--rate R] [--seed S] [--max-hits N] [--work-dir D] "
+               "[--rate R] [--seed S] [--measure farness|betweenness] "
+               "[--max-hits N] [--work-dir D] "
                "[--no-verify-resume] [--server]\n"
                "exit codes: 0 ok, 1 chaos failures, 2 usage, 3 bad input\n");
   return 2;
@@ -65,6 +66,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       copts.sample_rate = std::strtod(v, nullptr);
+    } else if (arg == "--measure") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      if (std::strcmp(v, "betweenness") == 0) {
+        copts.measure = Measure::kBetweenness;
+      } else if (std::strcmp(v, "farness") != 0) {
+        return usage();
+      }
     } else if (arg == "--seed") {
       const char* v = next();
       if (v == nullptr) return usage();

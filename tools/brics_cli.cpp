@@ -2,12 +2,13 @@
 //
 //   brics stats    <edge_list|@dataset>                 structural summary
 //   brics estimate <edge_list|@dataset> [--rate R] [--seed S] [--config C]
-//                  [--timeout-ms T] [--max-sources K] [--threads N]
-//                  [--checkpoint-dir D] [--resume] [--checkpoint-every N]
-//                  [--retries K]
+//                  [--measure M] [--timeout-ms T] [--max-sources K]
+//                  [--threads N] [--checkpoint-dir D] [--resume]
+//                  [--checkpoint-every N] [--retries K]
 //                  [--out FILE] [--metrics-out FILE] [--trace-out FILE]
-//                                                      farness estimates
-//   brics exact    <edge_list|@dataset> [--out FILE]    exact farness
+//                                                      centrality estimates
+//   brics exact    <edge_list|@dataset> [--measure M] [--out FILE]
+//                                                      exact centrality
 //   brics topk     <edge_list|@dataset> [--k K]         top-k closeness
 //   brics harmonic <edge_list|@dataset> [--rate R]      harmonic centrality
 //   brics distance <edge_list|@dataset> --s A --t B     point-to-point d(s,t)
@@ -18,6 +19,10 @@
 // Graphs are whitespace edge lists (SNAP style); `@name` pulls a synthetic
 // dataset from the registry instead (with --scale, default 0.2).
 // --config is one of: random, cr, icr, cumulative (default cumulative).
+// --measure is farness (default) or betweenness; betweenness runs the same
+// staged pipeline with the path-count-preserving reduction subset
+// (docs/ARCHITECTURE.md), and `--config random` maps to flat Brandes–Pich
+// sampling on the raw graph.
 // --timeout-ms / --max-sources set a RunBudget: when it cuts the run, the
 // estimate degrades instead of aborting (docs/ROBUSTNESS.md).
 // --threads N overrides the OpenMP thread count for the run (clamped to
@@ -111,7 +116,7 @@ int usage() {
       "generate|datasets|version> "
       "<edge_list|@dataset> [--rate R] [--seed S] [--config C] [--k K] "
       "[--scale X] [--timeout-ms T] [--max-sources K] [--threads N] "
-      "[--kernel auto|bfs|dial|batched] "
+      "[--measure farness|betweenness] [--kernel auto|bfs|dial|batched] "
       "[--checkpoint-dir D] [--resume] [--checkpoint-every N] "
       "[--retries K] [--out FILE] "
       "[--metrics-out FILE] [--trace-out FILE]\n"
@@ -151,6 +156,13 @@ EstimateOptions config_from(const Args& a) {
     o.use_bcc = false;
   } else if (c != "cumulative" && c != "random") {
     throw UsageError{"unknown --config '" + c + "'"};
+  }
+  const std::string m = a.get("measure", "farness");
+  if (m == "betweenness") {
+    o.measure = Measure::kBetweenness;
+  } else if (m != "farness") {
+    throw UsageError{"unknown --measure '" + m +
+                     "' (want farness|betweenness)"};
   }
   const std::string k = a.get("kernel", "auto");
   if (k == "bfs") {
@@ -220,13 +232,19 @@ int cmd_estimate(const Args& a) {
   // when asked for — recording costs a little) a fresh trace epoch.
   if (!metrics_out.empty()) MetricsRegistry::global().reset();
   if (!trace_out.empty()) TraceRecorder::global().enable();
+  // `--config random` means the flat unreduced estimator for either
+  // measure: Alg. 1 for farness, Brandes–Pich sampling for betweenness.
+  if (config == "random" && o.measure == Measure::kBetweenness)
+    o.use_bcc = false;
   Timer t;
-  EstimateResult est = config == "random" ? estimate_random_sampling(g, o)
-                                          : estimate_farness(g, o);
+  EstimateResult est =
+      config == "random" && o.measure == Measure::kFarness
+          ? estimate_random_sampling(g, o)
+          : estimate_centrality(g, o);
   const double wall_s = t.seconds();
   if (!trace_out.empty()) TraceRecorder::global().disable();
-  std::printf("# estimated farness (%.3f s, %u sources, %u blocks)\n",
-              wall_s, est.samples, est.num_blocks);
+  std::printf("# estimated %s (%.3f s, %u sources, %u blocks)\n",
+              to_string(est.measure), wall_s, est.samples, est.num_blocks);
   std::printf(
       "# phases: reduce %.3f s, bcc %.3f s, traverse %.3f s, "
       "combine %.3f s, other %.3f s (total %.3f s)\n",
@@ -260,10 +278,19 @@ int cmd_estimate(const Args& a) {
 
 int cmd_exact(const Args& a) {
   CsrGraph g = load(a);
+  const std::string m = a.get("measure", "farness");
+  if (m != "farness" && m != "betweenness")
+    throw UsageError{"unknown --measure '" + m +
+                     "' (want farness|betweenness)"};
   Timer t;
-  std::vector<FarnessSum> f = exact_farness(g);
-  std::vector<double> d(f.begin(), f.end());
-  std::printf("# exact farness (%.3f s)\n", t.seconds());
+  std::vector<double> d;
+  if (m == "betweenness") {
+    d = exact_betweenness(g);
+  } else {
+    std::vector<FarnessSum> f = exact_farness(g);
+    d.assign(f.begin(), f.end());
+  }
+  std::printf("# exact %s (%.3f s)\n", m.c_str(), t.seconds());
   write_values(a, d);
   return kExitOk;
 }

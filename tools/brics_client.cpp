@@ -6,7 +6,9 @@
 //   brics_client <socket> server-stats
 //   brics_client <socket> farness [--nodes a,b,c] [--closeness]
 //                          [--deadline-ms N]
+//   brics_client <socket> bc [--nodes a,b,c] [--deadline-ms N]
 //   brics_client <socket> topk --k K [--deadline-ms N]
+//   brics_client <socket> topk-bc --k K [--deadline-ms N]
 //   brics_client <socket> update --edges u:v[:w],... [--deadline-ms N]
 //                          [--report]
 //   brics_client <socket> sleep --ms N      (debug: wedge a worker)
@@ -46,7 +48,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: brics_client <socket> "
-      "hello|stats|server-stats|farness|topk|update|sleep|soak [options]\n"
+      "hello|stats|server-stats|farness|bc|topk|topk-bc|update|sleep|soak "
+      "[options]\n"
       "exit codes: 0 ok, 2 usage, 3 error reply, 4 degraded,\n"
       "            5 connection failure, 6 overloaded, 7 shutting down\n");
   return 2;
@@ -98,6 +101,8 @@ void print_reply(const Reply& rep) {
                   rep.resumed ? "true" : "false");
       break;
     case MsgType::kFarness:
+    case MsgType::kBc:
+    case MsgType::kTopKBc:
       for (const FarnessEntry& e : rep.entries)
         std::printf("%u %.17g%s\n", e.node, e.value,
                     e.exact ? "" : " ~");
@@ -217,6 +222,15 @@ void soak_thread(const std::string& sock, int tid, int requests,
       req.edges.push_back(e);
     } else if (i % 5 == 3) {
       req.type = MsgType::kTopK;
+      req.k = 3;
+    } else if (i % 5 == 1) {
+      // Interleave betweenness with the farness/topk/update mix: the BC
+      // cache is rebuilt lazily after every committed update, so this
+      // exercises invalidation under concurrency, not just lookups.
+      req.type = MsgType::kBc;
+      req.nodes.push_back(static_cast<NodeId>(i % n));
+    } else if (i % 10 == 4) {
+      req.type = MsgType::kTopKBc;
       req.k = 3;
     } else {
       req.type = MsgType::kFarness;
@@ -341,8 +355,14 @@ int main(int argc, char** argv) {
     req.type = MsgType::kFarness;
     req.nodes = nodes;
     req.closeness = closeness;
+  } else if (cmd == "bc") {
+    req.type = MsgType::kBc;
+    req.nodes = nodes;
   } else if (cmd == "topk") {
     req.type = MsgType::kTopK;
+    req.k = k;
+  } else if (cmd == "topk-bc") {
+    req.type = MsgType::kTopKBc;
     req.k = k;
   } else if (cmd == "update") {
     req.type = MsgType::kUpdate;
