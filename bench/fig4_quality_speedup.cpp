@@ -5,6 +5,11 @@
 //       that 20 % BRICS samples beat 30 % random samples on both axes.
 // Speed-up = time(random) / time(cumulative), as in §IV-C1. Each dataset
 // and its exact ground truth are built once and reused by both panels.
+//
+// Panel (c) re-runs the Cumulative 40 % configuration on the compact
+// (delta+varint) adjacency backend: the perf gate watches its timing and
+// memory columns, and the `equal` cell asserts bit-identical farness
+// against the plain-CSR run from panel (a).
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
@@ -19,6 +24,27 @@ struct PanelRow {
   std::string cls;
   RunResult rnd, cum;
 };
+
+struct SubstrateRow {
+  std::string name;
+  double t_plain = 0.0, t_compact = 0.0;
+  double adj_mb = 0.0, bytes_per_edge = 0.0, ratio = 0.0;
+  bool equal = false;
+};
+
+void print_substrate(const std::vector<SubstrateRow>& rows) {
+  std::printf("(c) Cumulative @ 40%% on the compact adjacency backend\n\n");
+  const std::vector<int> w = {12, 9, 10, 9, 14, 7, 7};
+  print_header({"graph", "t_plain", "t_compact", "adj_mb", "bytes_per_edge",
+                "ratio", "equal"},
+               w);
+  for (const SubstrateRow& r : rows)
+    print_row({r.name, fmt(r.t_plain, 3), fmt(r.t_compact, 3),
+               fmt(r.adj_mb, 2), fmt(r.bytes_per_edge, 2), fmt(r.ratio, 2),
+               r.equal ? "yes" : "NO"},
+              w);
+  std::printf("\n");
+}
 
 void print_panel(const char* title, const std::vector<PanelRow>& rows) {
   std::printf("%s\n\n", title);
@@ -60,6 +86,7 @@ int main() {
       bench_scale(), bench_repeats());
 
   std::vector<PanelRow> panel_a, panel_b;
+  std::vector<SubstrateRow> panel_c;
   for (const DatasetInfo& info : dataset_registry()) {
     CsrGraph g = build_dataset(info.name, bench_scale());
     std::vector<FarnessSum> actual = exact_farness(g);
@@ -69,12 +96,38 @@ int main() {
     PanelRow b{info.name, to_string(info.cls),
                run_estimator(g, actual, config_random(0.30), true),
                run_estimator(g, actual, config_cumulative(0.20), false)};
+
+    const std::uint64_t plain_bytes = g.adjacency_bytes();
+    CsrGraph gc = g;
+    gc.compress();
+    EstimateOptions copts = config_cumulative(0.40);
+    copts.storage = AdjacencyStorage::kCompact;
+    const RunResult compact = run_estimator(gc, actual, copts, false);
+    SubstrateRow c;
+    c.name = info.name;
+    c.t_plain = a.cum.seconds;
+    c.t_compact = compact.seconds;
+    c.adj_mb = static_cast<double>(gc.adjacency_bytes()) / (1024.0 * 1024.0);
+    c.bytes_per_edge = static_cast<double>(gc.adjacency_bytes()) /
+                       static_cast<double>(gc.num_directed_edges());
+    c.ratio = static_cast<double>(gc.adjacency_bytes()) /
+              static_cast<double>(plain_bytes);
+    c.equal = compact.last.farness == a.cum.last.farness;
+
     panel_a.push_back(std::move(a));
     panel_b.push_back(std::move(b));
+    panel_c.push_back(std::move(c));
   }
 
   print_panel("(a) 40%% sampling rate for both approaches", panel_a);
   print_panel("(b) Cumulative @ 20%% vs Random @ 30%%", panel_b);
+  print_substrate(panel_c);
+  for (const SubstrateRow& r : panel_c)
+    if (!r.equal) {
+      std::printf("FATAL: compact farness differs from plain on %s\n",
+                  r.name.c_str());
+      return 1;
+    }
   std::printf(
       "Expected shape (paper): Cumulative quality >= random per class;\n"
       "panel (b): 20%% Cumulative matches/beats 30%% Random on both axes.\n");

@@ -1,0 +1,149 @@
+// Memory-substrate harness: proves the compact adjacency backend's two
+// contracts and emits the byte/RSS columns the perf gate watches.
+//
+//   (1) Table "substrate" — every registry dataset in plain vs compact
+//       mode: adjacency bytes, bytes per directed edge, compression ratio,
+//       estimate wall time, and a bit-equality check of the full farness
+//       output between the modes (the `equal` column must read "yes" on
+//       every row).
+//   (2) Table "rmat_streamed" — a large R-MAT built by replaying the RNG
+//       through both builder passes (no edge-list materialisation),
+//       compressed in place, farness estimated in compact mode. This is
+//       the row the CI memory-budget job runs under a hard `ulimit -v`:
+//       completing at all within the budget is the pass criterion, and the
+//       rss_mb / bytes_per_edge columns document where memory went.
+//
+// Extra knobs (bench_common's BRICS_BENCH_* still apply):
+//   BRICS_BENCH_RMAT_SCALE  log2 node count for table 2, default 18
+//   BRICS_BENCH_RMAT_EF     edge factor for table 2, default 16
+//   BRICS_BENCH_RMAT_RATE   sampling rate for table 2, default 0.002 —
+//                           the CI budget job trims this so wall clock
+//                           stays in smoke-test territory; memory use is
+//                           rate-independent
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.hpp"
+#include "obs/report.hpp"
+
+using namespace brics;
+using namespace brics::bench;
+
+namespace {
+
+std::uint32_t env_u32(const char* name, std::uint32_t def) {
+  if (const char* s = std::getenv(name)) {
+    const int v = std::atoi(s);
+    if (v >= 1 && v <= 30) return static_cast<std::uint32_t>(v);
+  }
+  return def;
+}
+
+double env_rate(const char* name, double def) {
+  if (const char* s = std::getenv(name)) {
+    const double v = std::atof(s);
+    if (v > 0.0 && v <= 1.0) return v;
+  }
+  return def;
+}
+
+double mb(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+double bytes_per_edge(const CsrGraph& g) {
+  return g.num_directed_edges() == 0
+             ? 0.0
+             : static_cast<double>(g.adjacency_bytes()) /
+                   static_cast<double>(g.num_directed_edges());
+}
+
+}  // namespace
+
+int main() {
+  BenchArtifact artifact("mem_substrate");
+  std::printf("Memory substrate — plain vs compact adjacency, scale=%.2f\n\n",
+              bench_scale());
+
+  const std::vector<int> w = {12, 8, 9, 9, 14, 7, 8, 8, 6};
+  print_header({"graph", "mode", "adj_mb", "total_mb", "bytes_per_edge",
+                "ratio", "t_est", "rss_mb", "equal"},
+               w);
+  for (const DatasetInfo& info : dataset_registry()) {
+    CsrGraph g = build_dataset(info.name, bench_scale());
+    const std::uint64_t plain_bytes = g.adjacency_bytes();
+    const double plain_bpe = bytes_per_edge(g);
+    const double plain_total = mb(g.memory().total());
+
+    EstimateOptions opts = config_cumulative(0.3);
+    Timer tp;
+    EstimateResult plain_est = estimate_farness(g, opts);
+    const double t_plain = tp.seconds();
+
+    CsrGraph gc = g;
+    gc.compress();
+    EstimateOptions copts = opts;
+    copts.storage = AdjacencyStorage::kCompact;
+    Timer tc;
+    EstimateResult compact_est = estimate_farness(gc, copts);
+    const double t_compact = tc.seconds();
+
+    const bool equal = plain_est.farness == compact_est.farness;
+    const double ratio = static_cast<double>(gc.adjacency_bytes()) /
+                         static_cast<double>(plain_bytes);
+    const double rss = mb(peak_rss_bytes());
+    print_row({info.name, "plain", fmt(mb(plain_bytes), 2),
+               fmt(plain_total, 2), fmt(plain_bpe, 2), "1.00",
+               fmt(t_plain, 3), fmt(rss, 1), equal ? "yes" : "NO"},
+              w);
+    print_row({info.name, "compact", fmt(mb(gc.adjacency_bytes()), 2),
+               fmt(mb(gc.memory().total()), 2), fmt(bytes_per_edge(gc), 2),
+               fmt(ratio, 2), fmt(t_compact, 3), fmt(rss, 1),
+               equal ? "yes" : "NO"},
+              w);
+    if (!equal) {
+      std::printf("FATAL: compact farness differs from plain on %s\n",
+                  info.name.c_str());
+      return 1;
+    }
+    if (ratio > 0.6) {
+      std::printf("FATAL: compact/plain adjacency ratio %.2f > 0.60 on %s\n",
+                  ratio, info.name.c_str());
+      return 1;
+    }
+  }
+
+  // ---- Streamed R-MAT: generator replay -> two-pass build -> compress. --
+  const std::uint32_t scale = env_u32("BRICS_BENCH_RMAT_SCALE", 18);
+  const std::uint32_t ef = env_u32("BRICS_BENCH_RMAT_EF", 16);
+  std::printf("\nStreamed R-MAT, scale=%u edge_factor=%u\n\n", scale, ef);
+  const std::vector<int> w2 = {7, 11, 9, 14, 8, 9, 8};
+  print_header({"scale", "edges", "adj_mb", "bytes_per_edge", "t_build",
+                "t_est", "rss_mb"},
+               w2);
+  Timer tb;
+  CsrGraph big = make_connected(
+      rmat_streamed(scale, ef, 0.57, 0.19, 0.19, 42,
+                    AdjacencyStorage::kCompact));
+  const double t_build = tb.seconds();
+  EstimateOptions bopts =
+      config_cumulative(env_rate("BRICS_BENCH_RMAT_RATE", 0.002));
+  bopts.storage = AdjacencyStorage::kCompact;
+  // A tiny rate of a big graph is plenty to exercise the full pipeline
+  // without dominating the harness runtime; memory use does not depend on
+  // the source count.
+  Timer te;
+  EstimateResult best = estimate_farness(big, bopts);
+  const double t_est = te.seconds();
+  (void)best;
+  print_row({std::to_string(scale), std::to_string(big.num_edges()),
+             fmt(mb(big.adjacency_bytes()), 2), fmt(bytes_per_edge(big), 2),
+             fmt(t_build, 3), fmt(t_est, 3), fmt(mb(peak_rss_bytes()), 1)},
+            w2);
+
+  std::printf(
+      "\nExpected shape: compact adjacency <= 0.6x plain bytes on every\n"
+      "dataset, identical farness bits, and the streamed R-MAT completing\n"
+      "within the CI job's address-space budget.\n");
+  return 0;
+}

@@ -9,10 +9,15 @@
 namespace brics {
 namespace {
 
-struct Frame {
+// The DFS stack is templated over the adjacency backend: a frame holds a
+// resumable row cursor (plain: span position, compact: decode state) so
+// descending into a child and returning later never re-decodes the prefix
+// of the parent's row.
+template <class Cursor>
+struct FrameT {
   NodeId node;
   NodeId parent;
-  std::uint64_t edge_cursor;  // index into CSR targets of `node`
+  Cursor cursor;
   bool skipped_parent = false;
 };
 
@@ -44,7 +49,6 @@ BccResult biconnected_components(const CsrGraph& g,
 
   std::vector<Dist> disc(n, kInfDist), low(n, kInfDist);
   std::vector<std::pair<NodeId, NodeId>> estack;
-  std::vector<Frame> fstack;
   std::vector<NodeId> stamp(n, kInvalidNode);  // last block id touching v
   Dist timer = 0;
 
@@ -68,58 +72,70 @@ BccResult biconnected_components(const CsrGraph& g,
     res.blocks_.push_back(std::move(nodes));
   };
 
-  for (NodeId root = 0; root < n; ++root) {
-    if (!is_present(root) || disc[root] != kInfDist) continue;
-    if (g.degree(root) == 0 ||
-        std::none_of(g.neighbors(root).begin(), g.neighbors(root).end(),
-                     is_present)) {
-      // Isolated present node: singleton block.
-      disc[root] = timer++;
-      res.blocks_.push_back({root});
-      continue;
-    }
+  // One backend dispatch for the whole decomposition; the DFS below is a
+  // single template instantiation per storage mode.
+  g.with_adjacency([&](const auto& adj) {
+    using Frame = FrameT<std::decay_t<decltype(adj.cursor(0))>>;
+    std::vector<Frame> fstack;
 
-    disc[root] = low[root] = timer++;
-    fstack.push_back({root, kInvalidNode, 0, false});
-    while (!fstack.empty()) {
-      Frame& f = fstack.back();
-      const NodeId u = f.node;
-      auto nb = g.neighbors(u);
-      bool descended = false;
-      while (f.edge_cursor < nb.size()) {
-        const NodeId w = nb[f.edge_cursor++];
-        if (!is_present(w)) continue;
-        if (w == f.parent && !f.skipped_parent) {
-          // The input graph is simple, so exactly one edge leads back to
-          // the DFS parent; skip it once.
-          f.skipped_parent = true;
-          continue;
-        }
-        if (disc[w] == kInfDist) {
-          estack.push_back({u, w});
-          disc[w] = low[w] = timer++;
-          fstack.push_back({w, u, 0, false});
-          descended = true;
+    for (NodeId root = 0; root < n; ++root) {
+      if (!is_present(root) || disc[root] != kInfDist) continue;
+      bool any_present = false;
+      for (auto c = adj.cursor(root); !c.done(); c.advance()) {
+        if (is_present(c.target())) {
+          any_present = true;
           break;
         }
-        if (disc[w] < disc[u]) {
-          estack.push_back({u, w});
-          low[u] = std::min(low[u], disc[w]);
-        }
       }
-      if (descended) continue;
+      if (!any_present) {
+        // Isolated present node: singleton block.
+        disc[root] = timer++;
+        res.blocks_.push_back({root});
+        continue;
+      }
 
-      // u exhausted: fold into parent. (Copy the parent out before the pop
-      // invalidates the frame reference.)
-      const NodeId p = f.parent;
-      fstack.pop_back();
-      if (p == kInvalidNode) break;  // root finished
-      low[p] = std::min(low[p], low[u]);
-      if (low[u] >= disc[p]) pop_block(p, u);
+      disc[root] = low[root] = timer++;
+      fstack.push_back({root, kInvalidNode, adj.cursor(root), false});
+      while (!fstack.empty()) {
+        Frame& f = fstack.back();
+        const NodeId u = f.node;
+        bool descended = false;
+        while (!f.cursor.done()) {
+          const NodeId w = f.cursor.target();
+          f.cursor.advance();
+          if (!is_present(w)) continue;
+          if (w == f.parent && !f.skipped_parent) {
+            // The input graph is simple, so exactly one edge leads back to
+            // the DFS parent; skip it once.
+            f.skipped_parent = true;
+            continue;
+          }
+          if (disc[w] == kInfDist) {
+            estack.push_back({u, w});
+            disc[w] = low[w] = timer++;
+            fstack.push_back({w, u, adj.cursor(w), false});
+            descended = true;
+            break;
+          }
+          if (disc[w] < disc[u]) {
+            estack.push_back({u, w});
+            low[u] = std::min(low[u], disc[w]);
+          }
+        }
+        if (descended) continue;
+
+        // u exhausted: fold into parent. (Copy the parent out before the
+        // pop invalidates the frame reference.)
+        const NodeId p = f.parent;
+        fstack.pop_back();
+        if (p == kInvalidNode) break;  // root finished
+        low[p] = std::min(low[p], low[u]);
+        if (low[u] >= disc[p]) pop_block(p, u);
+      }
+      BRICS_CHECK_MSG(estack.empty(), "edge stack not drained at root "
+                                          << root);
     }
-    BRICS_CHECK_MSG(estack.empty(), "edge stack not drained at root "
-                                        << root);
-  }
+  });
 
   // Memberships: (node, block) pairs -> CSR. A node is an articulation
   // point exactly when it belongs to more than one block.

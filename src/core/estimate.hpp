@@ -75,6 +75,12 @@ struct EstimateOptions {
   SampleStrategy strategy = SampleStrategy::kUniform;
   /// Traversal kernel for the Traverse stage; kAuto selects per block.
   KernelChoice kernel = KernelChoice::kAuto;
+  /// Adjacency backend the pipeline keeps its working graphs in. kCompact
+  /// holds the reduced graph and every block subgraph as delta+varint rows
+  /// (~40-60 % of plain CSR bytes on real graphs); all kernels decode
+  /// through the same iteration templates, so results are bit-identical to
+  /// kPlain at every sampling rate.
+  AdjacencyStorage storage = AdjacencyStorage::kPlain;
   /// Wall-clock / source-count limits. When a non-default budget cuts a
   /// run, the estimators degrade instead of abort (docs/ROBUSTNESS.md):
   /// the result is built from the sources completed in time and flagged

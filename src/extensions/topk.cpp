@@ -32,27 +32,31 @@ struct CutoffBfs {
     NodeId visited = 1;
     std::size_t level_begin = 0, level_end = 1;
     Dist level = 0;
-    while (level_begin < level_end) {
-      ++levels_expanded;
-      for (std::size_t i = level_begin; i < level_end; ++i) {
-        const NodeId u = queue[i];
-        for (NodeId w : g.neighbors(u)) {
-          if (dist[w] != kInfDist) continue;
-          dist[w] = level + 1;
-          partial += level + 1;
-          ++visited;
-          queue.push_back(w);
+    const FarnessSum out = g.with_adjacency([&](const auto& adj) {
+      while (level_begin < level_end) {
+        ++levels_expanded;
+        for (std::size_t i = level_begin; i < level_end; ++i) {
+          const NodeId u = queue[i];
+          adj.for_targets(u, [&](NodeId w) {
+            if (dist[w] != kInfDist) return;
+            dist[w] = level + 1;
+            partial += level + 1;
+            ++visited;
+            queue.push_back(w);
+          });
         }
+        level_begin = level_end;
+        level_end = queue.size();
+        ++level;
+        const FarnessSum lower =
+            partial + static_cast<FarnessSum>(n - visited) * (level + 1);
+        if (visited < n && lower > budget) return kInvalidFarness;
       }
-      level_begin = level_end;
-      level_end = queue.size();
-      ++level;
-      const FarnessSum lower =
-          partial + static_cast<FarnessSum>(n - visited) * (level + 1);
-      if (visited < n && lower > budget) return kInvalidFarness;
-    }
+      return partial;
+    });
+    if (out == kInvalidFarness) return kInvalidFarness;
     BRICS_CHECK_MSG(visited == n, "graph must be connected");
-    return partial;
+    return out;
   }
 };
 

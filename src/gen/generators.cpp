@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/stream_build.hpp"
 #include "util/check.hpp"
 
 namespace brics {
@@ -75,6 +76,46 @@ CsrGraph rmat(std::uint32_t scale, std::uint32_t edge_factor, double a,
     if (u != v) builder.add_edge(u, v);
   }
   return builder.build();
+}
+
+CsrGraph rmat_streamed(std::uint32_t scale, std::uint32_t edge_factor,
+                       double a, double b, double c, std::uint64_t seed,
+                       AdjacencyStorage storage) {
+  BRICS_CHECK(scale >= 1 && scale < 31);
+  BRICS_CHECK(a + b + c <= 1.0 + 1e-9);
+  const NodeId n = NodeId{1} << scale;
+  const std::uint64_t m = static_cast<std::uint64_t>(edge_factor) * n;
+  TwoPassBuilder builder(n);
+  // The Rng is the edge stream: restarting it from the seed replays the
+  // identical sequence through both passes, so nothing is materialized.
+  for (int pass = 0; pass < 2; ++pass) {
+    if (pass == 1) builder.begin_scatter();
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      NodeId u = 0, v = 0;
+      for (std::uint32_t bit = 0; bit < scale; ++bit) {
+        const double r = rng.uniform01();
+        u <<= 1;
+        v <<= 1;
+        if (r < a) {
+          // top-left quadrant: no bits set
+        } else if (r < a + b) {
+          v |= 1;
+        } else if (r < a + b + c) {
+          u |= 1;
+        } else {
+          u |= 1;
+          v |= 1;
+        }
+      }
+      if (u == v) continue;
+      if (pass == 0)
+        builder.count_edge(u, v);
+      else
+        builder.scatter_edge(u, v);
+    }
+  }
+  return builder.finish(storage);
 }
 
 CsrGraph planted_partition(NodeId blocks, NodeId block_size,

@@ -28,6 +28,16 @@ CsrGraph barabasi_albert(NodeId n, std::uint32_t edges_per_node, Rng& rng);
 CsrGraph rmat(std::uint32_t scale, std::uint32_t edge_factor, double a,
               double b, double c, Rng& rng);
 
+/// Streaming R-MAT: identical distribution to rmat(), but the edge stream
+/// is replayed from `seed` through both builder passes instead of being
+/// materialized — peak memory is the CSR under construction, never an edge
+/// list. With the same seed this produces the exact same graph as
+/// `Rng rng(seed); rmat(...)`. `storage` selects the adjacency backend of
+/// the result.
+CsrGraph rmat_streamed(std::uint32_t scale, std::uint32_t edge_factor,
+                       double a, double b, double c, std::uint64_t seed,
+                       AdjacencyStorage storage = AdjacencyStorage::kPlain);
+
 /// Planted-partition / stochastic block model: `blocks` equal blocks of
 /// `block_size` nodes, `m_in` intra-block edges per block, `m_out`
 /// inter-block edges total.

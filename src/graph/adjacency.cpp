@@ -1,0 +1,33 @@
+#include "graph/adjacency.hpp"
+
+#include <sstream>
+
+namespace brics {
+
+std::uint64_t varint_decode_checked(const std::uint8_t*& p,
+                                    const std::uint8_t* end) {
+  std::uint64_t x = 0;
+  unsigned shift = 0;
+  std::size_t len = 0;
+  std::uint8_t byte = 0;
+  do {
+    if (p == end) throw InputError("varint truncated: stream ends mid-value");
+    if (++len > kMaxVarintBytes)
+      throw InputError("varint too long: more than 10 bytes");
+    byte = *p++;
+    const std::uint64_t group = byte & 0x7F;
+    // Byte 10 may only contribute the 64th bit (value 0 or 1).
+    if (len == kMaxVarintBytes && group > 1)
+      throw InputError("varint overflows 64 bits");
+    x |= group << shift;
+    shift += 7;
+  } while (byte & 0x80);
+  if (len > 1 && (byte & 0x7F) == 0) {
+    std::ostringstream os;
+    os << "varint overlong: " << len << "-byte encoding of a shorter value";
+    throw InputError(os.str());
+  }
+  return x;
+}
+
+}  // namespace brics

@@ -1,0 +1,186 @@
+// Adjacency storage backends: the varint/delta codec and the two neighbor
+// views traversal kernels are templated over.
+//
+// Compact row encoding (per node v, row strictly sorted by target):
+//   varint(t0), varint(t1 - t0 - 1), varint(t2 - t1 - 1), ...
+// and, iff the graph is weighted (max_weight > 1), each target varint is
+// followed by varint(w - 1). Degrees are NOT encoded — they come from the
+// retained 64-bit element offsets, so a row's entry count is always known
+// before decoding starts.
+//
+// Varints are canonical LEB128: little-endian 7-bit groups, continuation
+// bit 0x80, at most 10 bytes, and no overlong encodings (the last byte of
+// a multi-byte varint is never 0x00). Two decoders implement the
+// harden-at-the-boundary rule:
+//   - varint_decode_checked: full validation (truncation, overlong form,
+//     64-bit overflow) throwing InputError. Used when bytes first enter the
+//     system: compress(), validate(), codec tests.
+//   - varint_decode: no validation. Used by the hot cursors below, which
+//     only ever run over byte streams the checked decoder accepted.
+//
+// PlainAdjacency and CompactAdjacency expose the same shape — degree(),
+// for_neighbors(v, fn) and a copyable resumable Cursor — so a kernel
+// templated over the view compiles to straight-line span iteration in plain
+// mode and to inline varint decoding in compact mode, with no virtual
+// dispatch and no per-node storage branch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/errors.hpp"
+#include "graph/types.hpp"
+
+namespace brics {
+
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Append the canonical LEB128 encoding of x.
+inline void varint_append(std::vector<std::uint8_t>& out, std::uint64_t x) {
+  while (x >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(x) | 0x80);
+    x >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(x));
+}
+
+/// Decode one varint, advancing p. No validation: p must point into a byte
+/// stream already accepted by varint_decode_checked.
+inline std::uint64_t varint_decode(const std::uint8_t*& p) {
+  std::uint64_t x = *p & 0x7F;
+  unsigned shift = 0;
+  while (*p++ & 0x80) {
+    shift += 7;
+    x |= static_cast<std::uint64_t>(*p & 0x7F) << shift;
+  }
+  return x;
+}
+
+/// Decode one varint with full validation, advancing p. Throws InputError
+/// on truncation (p reaches end mid-varint), overlong encodings (a
+/// multi-byte varint whose last byte is 0x00), and 64-bit overflow.
+std::uint64_t varint_decode_checked(const std::uint8_t*& p,
+                                    const std::uint8_t* end);
+
+/// View over a plain CSR's parallel arrays. Trivially copyable; holds
+/// non-owning pointers into the graph.
+struct PlainAdjacency {
+  const std::uint64_t* offsets = nullptr;
+  const NodeId* targets = nullptr;
+  const Weight* weights = nullptr;
+
+  std::uint32_t degree(NodeId v) const {
+    return static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
+  }
+
+  template <class Fn>
+  void for_neighbors(NodeId v, Fn&& fn) const {
+    for (std::uint64_t i = offsets[v], e = offsets[v + 1]; i < e; ++i)
+      fn(targets[i], weights[i]);
+  }
+
+  /// Targets only — the unit-weight BFS hot path never loads the weights.
+  template <class Fn>
+  void for_targets(NodeId v, Fn&& fn) const {
+    for (std::uint64_t i = offsets[v], e = offsets[v + 1]; i < e; ++i)
+      fn(targets[i]);
+  }
+
+  /// Resumable position inside one row (BCC's explicit DFS stack stores
+  /// one per frame). Copyable; done() must be checked before target().
+  struct Cursor {
+    const NodeId* t = nullptr;
+    const NodeId* end = nullptr;
+    const Weight* w = nullptr;
+
+    bool done() const { return t == end; }
+    NodeId target() const { return *t; }
+    Weight weight() const { return *w; }
+    void advance() {
+      ++t;
+      ++w;
+    }
+  };
+
+  Cursor cursor(NodeId v) const {
+    return {targets + offsets[v], targets + offsets[v + 1],
+            weights + offsets[v]};
+  }
+};
+
+/// View over a compact graph's delta+varint byte rows. Decoding is
+/// sequential per row; all random access goes through CsrGraph::row().
+struct CompactAdjacency {
+  const std::uint64_t* offsets = nullptr;       ///< element offsets (degrees)
+  const std::uint64_t* byte_offsets = nullptr;  ///< row byte ranges
+  const std::uint8_t* bytes = nullptr;
+  bool unit = true;  ///< no weight bytes interleaved
+
+  std::uint32_t degree(NodeId v) const {
+    return static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
+  }
+
+  template <class Fn>
+  void for_neighbors(NodeId v, Fn&& fn) const {
+    const std::uint8_t* p = bytes + byte_offsets[v];
+    std::uint64_t left = offsets[v + 1] - offsets[v];
+    NodeId t = 0;
+    bool first = true;
+    while (left--) {
+      const std::uint64_t d = varint_decode(p);
+      t = first ? static_cast<NodeId>(d) : static_cast<NodeId>(t + d + 1);
+      first = false;
+      Weight w = 1;
+      if (!unit) w = static_cast<Weight>(varint_decode(p) + 1);
+      fn(t, w);
+    }
+  }
+
+  /// Targets only. Interleaved weight varints (weighted graphs) must still
+  /// be skipped to advance — unit graphs carry no weight bytes at all.
+  template <class Fn>
+  void for_targets(NodeId v, Fn&& fn) const {
+    const std::uint8_t* p = bytes + byte_offsets[v];
+    std::uint64_t left = offsets[v + 1] - offsets[v];
+    NodeId t = 0;
+    bool first = true;
+    while (left--) {
+      const std::uint64_t d = varint_decode(p);
+      t = first ? static_cast<NodeId>(d) : static_cast<NodeId>(t + d + 1);
+      first = false;
+      if (!unit) varint_decode(p);
+      fn(t);
+    }
+  }
+
+  struct Cursor {
+    const std::uint8_t* p = nullptr;
+    std::uint64_t left = 0;
+    NodeId cur = 0;
+    Weight w = 1;
+    bool unit = true;
+
+    bool done() const { return left == 0; }
+    NodeId target() const { return cur; }
+    Weight weight() const { return w; }
+    void advance() {
+      if (--left == 0) return;
+      cur = static_cast<NodeId>(cur + varint_decode(p) + 1);
+      if (!unit) w = static_cast<Weight>(varint_decode(p) + 1);
+    }
+  };
+
+  Cursor cursor(NodeId v) const {
+    Cursor c;
+    c.p = bytes + byte_offsets[v];
+    c.left = offsets[v + 1] - offsets[v];
+    c.unit = unit;
+    if (c.left > 0) {
+      c.cur = static_cast<NodeId>(varint_decode(c.p));
+      if (!unit) c.w = static_cast<Weight>(varint_decode(c.p) + 1);
+    }
+    return c;
+  }
+};
+
+}  // namespace brics

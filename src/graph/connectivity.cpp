@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/stream_build.hpp"
 #include "util/check.hpp"
 
 namespace brics {
@@ -21,13 +22,13 @@ Components connected_components(const CsrGraph& g) {
     queue.push_back(s);
     for (std::size_t head = 0; head < queue.size(); ++head) {
       NodeId u = queue[head];
-      for (NodeId w : g.neighbors(u)) {
+      g.for_neighbors(u, [&](NodeId w, Weight) {
         if (c.label[w] == kInvalidNode) {
           c.label[w] = id;
           ++c.sizes[id];
           queue.push_back(w);
         }
-      }
+      });
     }
   }
   return c;
@@ -49,17 +50,23 @@ SubgraphMap induced_subgraph(const CsrGraph& g,
                     "duplicate node " << old << " in subgraph selection");
     out.to_new[old] = i;
   }
-  GraphBuilder b(static_cast<NodeId>(out.to_old.size()));
-  for (NodeId i = 0; i < out.to_old.size(); ++i) {
-    NodeId old = out.to_old[i];
-    auto nb = g.neighbors(old);
-    auto ws = g.weights(old);
-    for (std::size_t k = 0; k < nb.size(); ++k) {
-      NodeId j = out.to_new[nb[k]];
-      if (j != kInvalidNode && i < j) b.add_edge(i, j, ws[k]);
+  // Stream the selected rows twice instead of materialising an edge list;
+  // graph rows replay identically by construction.
+  TwoPassBuilder b(static_cast<NodeId>(out.to_old.size()));
+  for (int pass = 0; pass < 2; ++pass) {
+    if (pass == 1) b.begin_scatter();
+    for (NodeId i = 0; i < out.to_old.size(); ++i) {
+      g.for_neighbors(out.to_old[i], [&](NodeId t, Weight w) {
+        const NodeId j = out.to_new[t];
+        if (j == kInvalidNode || i >= j) return;
+        if (pass == 0)
+          b.count_edge(i, j, w);
+        else
+          b.scatter_edge(i, j, w);
+      });
     }
   }
-  out.graph = b.build();
+  out.graph = b.finish();
   return out;
 }
 
@@ -88,11 +95,25 @@ CsrGraph make_connected(const CsrGraph& g) {
   for (NodeId v = 0; v < g.num_nodes(); ++v)
     if (rep[c.label[v]] == kInvalidNode) rep[c.label[v]] = v;
 
-  GraphBuilder b(g.num_nodes());
-  b.add_edges(g.edge_list());
-  for (NodeId i = 0; i < c.count; ++i)
-    if (i != largest) b.add_edge(rep[i], rep[largest], 1);
-  return b.build();
+  // Stream the graph's own rows plus the stitch edges through both passes.
+  TwoPassBuilder b(g.num_nodes());
+  for (int pass = 0; pass < 2; ++pass) {
+    if (pass == 1) b.begin_scatter();
+    auto emit = [&](NodeId u, NodeId v, Weight w) {
+      if (pass == 0)
+        b.count_edge(u, v, w);
+      else
+        b.scatter_edge(u, v, w);
+    };
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      g.for_neighbors(v, [&](NodeId t, Weight w) {
+        if (v < t) emit(v, t, w);
+      });
+    }
+    for (NodeId i = 0; i < c.count; ++i)
+      if (i != largest) emit(rep[i], rep[largest], 1);
+  }
+  return b.finish(g.storage());
 }
 
 }  // namespace brics

@@ -2,42 +2,223 @@
 
 #include <algorithm>
 
+#include "graph/stream_build.hpp"
 #include "util/check.hpp"
 
 namespace brics {
 
+namespace {
+
+std::size_t varint_len(std::uint64_t x) {
+  std::size_t n = 1;
+  while (x >= 0x80) {
+    x >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::uint8_t* varint_write(std::uint8_t* p, std::uint64_t x) {
+  while (x >= 0x80) {
+    *p++ = static_cast<std::uint8_t>(x) | 0x80;
+    x >>= 7;
+  }
+  *p++ = static_cast<std::uint8_t>(x);
+  return p;
+}
+
+}  // namespace
+
+bool CsrGraph::find_edge(NodeId u, NodeId v, Weight& w) const {
+  if (storage_ == AdjacencyStorage::kPlain) {
+    auto nb = neighbors(u);
+    auto it = std::lower_bound(nb.begin(), nb.end(), v);
+    if (it == nb.end() || *it != v) return false;
+    w = weights(u)[static_cast<std::size_t>(it - nb.begin())];
+    return true;
+  }
+  // Rows are sorted, so the sequential decode can stop at the first
+  // target past v.
+  auto c = compact_view().cursor(u);
+  for (; !c.done(); c.advance()) {
+    if (c.target() >= v) {
+      if (c.target() != v) return false;
+      w = c.weight();
+      return true;
+    }
+  }
+  return false;
+}
+
 bool CsrGraph::has_edge(NodeId u, NodeId v) const {
-  auto nb = neighbors(u);
-  return std::binary_search(nb.begin(), nb.end(), v);
+  Weight w = 0;
+  return find_edge(u, v, w);
 }
 
 Weight CsrGraph::edge_weight(NodeId u, NodeId v) const {
-  auto nb = neighbors(u);
-  auto it = std::lower_bound(nb.begin(), nb.end(), v);
-  BRICS_CHECK_MSG(it != nb.end() && *it == v,
+  Weight w = 0;
+  BRICS_CHECK_MSG(find_edge(u, v, w),
                   "edge {" << u << "," << v << "} absent");
-  return weights(u)[static_cast<std::size_t>(it - nb.begin())];
+  return w;
+}
+
+RowRef CsrGraph::row(NodeId v, RowScratch& scratch) const {
+  if (storage_ == AdjacencyStorage::kPlain) return {neighbors(v), weights(v)};
+  const std::uint32_t deg = degree(v);
+  scratch.nbrs.resize(deg);
+  scratch.wts.resize(deg);
+  std::size_t i = 0;
+  compact_view().for_neighbors(v, [&](NodeId t, Weight w) {
+    scratch.nbrs[i] = t;
+    scratch.wts[i] = w;
+    ++i;
+  });
+  return {scratch.nbrs, scratch.wts};
+}
+
+void CsrGraph::compress() {
+  if (storage_ == AdjacencyStorage::kCompact) return;
+  const NodeId n = num_nodes();
+  const bool unit = unit_weights();
+  byte_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  const std::int64_t sn = static_cast<std::int64_t>(n);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < sn; ++v) {
+    const std::uint64_t b = offsets_[v], e = offsets_[v + 1];
+    std::uint64_t bytes = 0;
+    for (std::uint64_t i = b; i < e; ++i) {
+      const std::uint64_t gap =
+          i == b ? targets_[i] : targets_[i] - targets_[i - 1] - 1;
+      bytes += varint_len(gap);
+      if (!unit) bytes += varint_len(weights_[i] - 1);
+    }
+    byte_offsets_[v + 1] = bytes;
+  }
+  for (NodeId v = 0; v < n; ++v) byte_offsets_[v + 1] += byte_offsets_[v];
+  adj_bytes_.resize(byte_offsets_[n]);
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < sn; ++v) {
+    const std::uint64_t b = offsets_[v], e = offsets_[v + 1];
+    std::uint8_t* p = adj_bytes_.data() + byte_offsets_[v];
+    for (std::uint64_t i = b; i < e; ++i) {
+      const std::uint64_t gap =
+          i == b ? targets_[i] : targets_[i] - targets_[i - 1] - 1;
+      p = varint_write(p, gap);
+      if (!unit) p = varint_write(p, weights_[i] - 1);
+    }
+    BRICS_CHECK(p == adj_bytes_.data() + byte_offsets_[v + 1]);
+    // Re-read the row with the checked decoder and compare against the
+    // plain arrays before they are released: the unchecked hot decoders
+    // run only over bytes this pass has accepted.
+    const std::uint8_t* q = adj_bytes_.data() + byte_offsets_[v];
+    const std::uint8_t* qe = adj_bytes_.data() + byte_offsets_[v + 1];
+    NodeId prev = 0;
+    for (std::uint64_t i = b; i < e; ++i) {
+      const std::uint64_t gap = varint_decode_checked(q, qe);
+      const NodeId t = i == b ? static_cast<NodeId>(gap)
+                              : static_cast<NodeId>(prev + gap + 1);
+      BRICS_CHECK(t == targets_[i]);
+      const Weight w =
+          unit ? 1 : static_cast<Weight>(varint_decode_checked(q, qe) + 1);
+      BRICS_CHECK(w == weights_[i]);
+      prev = t;
+    }
+    BRICS_CHECK(q == qe);
+  }
+
+  targets_.clear();
+  targets_.shrink_to_fit();
+  weights_.clear();
+  weights_.shrink_to_fit();
+  storage_ = AdjacencyStorage::kCompact;
+}
+
+void CsrGraph::decompress() {
+  if (storage_ == AdjacencyStorage::kPlain) return;
+  const NodeId n = num_nodes();
+  targets_.resize(offsets_.back());
+  weights_.resize(offsets_.back());
+  const CompactAdjacency view = compact_view();
+  const std::int64_t sn = static_cast<std::int64_t>(n);
+  // Static schedule: each thread first-touches the row range it fills.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < sn; ++v) {
+    std::uint64_t i = offsets_[v];
+    view.for_neighbors(static_cast<NodeId>(v), [&](NodeId t, Weight w) {
+      targets_[i] = t;
+      weights_[i] = w;
+      ++i;
+    });
+  }
+  adj_bytes_.clear();
+  adj_bytes_.shrink_to_fit();
+  byte_offsets_.clear();
+  byte_offsets_.shrink_to_fit();
+  storage_ = AdjacencyStorage::kPlain;
+}
+
+std::uint64_t CsrGraph::adjacency_bytes() const {
+  if (storage_ == AdjacencyStorage::kPlain)
+    return targets_.size() * sizeof(NodeId) +
+           weights_.size() * sizeof(Weight);
+  return adj_bytes_.size();
+}
+
+GraphMemory CsrGraph::memory() const {
+  GraphMemory m;
+  m.offsets_bytes = offsets_.size() * sizeof(std::uint64_t);
+  m.targets_bytes = targets_.size() * sizeof(NodeId);
+  m.weights_bytes = weights_.size() * sizeof(Weight);
+  m.adj_payload_bytes = adj_bytes_.size();
+  m.byte_offsets_bytes = byte_offsets_.size() * sizeof(std::uint64_t);
+  return m;
 }
 
 void CsrGraph::validate() const {
   const NodeId n = num_nodes();
   BRICS_CHECK(offsets_.size() == static_cast<std::size_t>(n) + 1);
   BRICS_CHECK(offsets_.front() == 0);
-  BRICS_CHECK(offsets_.back() == targets_.size());
-  BRICS_CHECK(targets_.size() == weights_.size());
-  BRICS_CHECK(targets_.size() % 2 == 0);
+  BRICS_CHECK(offsets_.back() % 2 == 0);
+  if (storage_ == AdjacencyStorage::kPlain) {
+    BRICS_CHECK(offsets_.back() == targets_.size());
+    BRICS_CHECK(targets_.size() == weights_.size());
+    BRICS_CHECK(adj_bytes_.empty() && byte_offsets_.empty());
+  } else {
+    BRICS_CHECK(targets_.empty() && weights_.empty());
+    BRICS_CHECK(byte_offsets_.size() == static_cast<std::size_t>(n) + 1);
+    BRICS_CHECK(byte_offsets_.front() == 0);
+    BRICS_CHECK(byte_offsets_.back() == adj_bytes_.size());
+  }
+  RowScratch scratch;
   for (NodeId v = 0; v < n; ++v) {
-    auto nb = neighbors(v);
-    auto ws = weights(v);
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      BRICS_CHECK_MSG(nb[i] < n, "target out of range at node " << v);
-      BRICS_CHECK_MSG(nb[i] != v, "self loop at node " << v);
-      BRICS_CHECK_MSG(i == 0 || nb[i - 1] < nb[i],
+    if (storage_ == AdjacencyStorage::kCompact) {
+      // Re-decode the raw bytes with the checked decoder: malformed rows
+      // must raise InputError here, never reach the unchecked decoders.
+      BRICS_CHECK_MSG(byte_offsets_[v] <= byte_offsets_[v + 1],
+                      "byte offsets not monotone at node " << v);
+      const std::uint8_t* p = adj_bytes_.data() + byte_offsets_[v];
+      const std::uint8_t* pe = adj_bytes_.data() + byte_offsets_[v + 1];
+      for (std::uint32_t i = 0, d = degree(v); i < d; ++i) {
+        varint_decode_checked(p, pe);
+        if (!unit_weights()) varint_decode_checked(p, pe);
+      }
+      BRICS_CHECK_MSG(p == pe, "trailing bytes in row of node " << v);
+    }
+    const RowRef r = row(v, scratch);
+    BRICS_CHECK(r.nbrs.size() == degree(v));
+    for (std::size_t i = 0; i < r.nbrs.size(); ++i) {
+      BRICS_CHECK_MSG(r.nbrs[i] < n, "target out of range at node " << v);
+      BRICS_CHECK_MSG(r.nbrs[i] != v, "self loop at node " << v);
+      BRICS_CHECK_MSG(i == 0 || r.nbrs[i - 1] < r.nbrs[i],
                       "adjacency of " << v << " not strictly sorted");
-      BRICS_CHECK_MSG(ws[i] >= 1, "zero weight at node " << v);
+      BRICS_CHECK_MSG(r.wts[i] >= 1, "zero weight at node " << v);
+      BRICS_CHECK_MSG(r.wts[i] <= max_weight_,
+                      "weight above max_weight at node " << v);
       // Symmetry: the reverse edge must exist with equal weight.
-      BRICS_CHECK_MSG(edge_weight(nb[i], v) == ws[i],
-                      "asymmetric edge {" << v << "," << nb[i] << "}");
+      BRICS_CHECK_MSG(edge_weight(r.nbrs[i], v) == r.wts[i],
+                      "asymmetric edge {" << v << "," << r.nbrs[i] << "}");
     }
   }
 }
@@ -46,10 +227,9 @@ std::vector<Edge> CsrGraph::edge_list() const {
   std::vector<Edge> out;
   out.reserve(num_edges());
   for (NodeId v = 0; v < num_nodes(); ++v) {
-    auto nb = neighbors(v);
-    auto ws = weights(v);
-    for (std::size_t i = 0; i < nb.size(); ++i)
-      if (v < nb[i]) out.push_back({v, nb[i], ws[i]});
+    for_neighbors(v, [&](NodeId t, Weight w) {
+      if (v < t) out.push_back({v, t, w});
+    });
   }
   return out;
 }
@@ -66,63 +246,14 @@ void GraphBuilder::add_edges(std::span<const Edge> edges) {
   for (const Edge& e : edges) add_edge(e.u, e.v, e.w);
 }
 
-CsrGraph GraphBuilder::build() {
-  // Canonicalise: u < v, drop self loops.
-  std::vector<Edge> es;
-  es.reserve(edges_.size());
-  for (Edge e : edges_) {
-    if (e.u == e.v) continue;
-    if (e.u > e.v) std::swap(e.u, e.v);
-    es.push_back(e);
-  }
+CsrGraph GraphBuilder::build(AdjacencyStorage storage) {
+  TwoPassBuilder b(n_);
+  for (const Edge& e : edges_) b.count_edge(e.u, e.v, e.w);
+  b.begin_scatter();
+  for (const Edge& e : edges_) b.scatter_edge(e.u, e.v, e.w);
   edges_.clear();
   edges_.shrink_to_fit();
-
-  std::sort(es.begin(), es.end(), [](const Edge& a, const Edge& b) {
-    return a.u != b.u ? a.u < b.u : (a.v != b.v ? a.v < b.v : a.w < b.w);
-  });
-  // Merge parallel edges, keeping the minimum weight (sorted so first wins).
-  es.erase(std::unique(es.begin(), es.end(),
-                       [](const Edge& a, const Edge& b) {
-                         return a.u == b.u && a.v == b.v;
-                       }),
-           es.end());
-
-  CsrGraph g;
-  g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
-  for (const Edge& e : es) {
-    ++g.offsets_[e.u + 1];
-    ++g.offsets_[e.v + 1];
-  }
-  for (NodeId v = 0; v < n_; ++v) g.offsets_[v + 1] += g.offsets_[v];
-
-  g.targets_.resize(es.size() * 2);
-  g.weights_.resize(es.size() * 2);
-  std::vector<std::uint64_t> cursor(g.offsets_.begin(),
-                                    g.offsets_.end() - 1);
-  g.max_weight_ = 1;
-  for (const Edge& e : es) {
-    g.targets_[cursor[e.u]] = e.v;
-    g.weights_[cursor[e.u]++] = e.w;
-    g.targets_[cursor[e.v]] = e.u;
-    g.weights_[cursor[e.v]++] = e.w;
-    g.max_weight_ = std::max(g.max_weight_, e.w);
-  }
-  // Edges were added in ascending-u order per bucket of u but the v-side
-  // insertions interleave; sort each adjacency list by target.
-  for (NodeId v = 0; v < n_; ++v) {
-    auto b = g.offsets_[v], e = g.offsets_[v + 1];
-    std::vector<std::pair<NodeId, Weight>> row;
-    row.reserve(e - b);
-    for (auto i = b; i < e; ++i)
-      row.emplace_back(g.targets_[i], g.weights_[i]);
-    std::sort(row.begin(), row.end());
-    for (auto i = b; i < e; ++i) {
-      g.targets_[i] = row[i - b].first;
-      g.weights_[i] = row[i - b].second;
-    }
-  }
-  return g;
+  return b.finish(storage);
 }
 
 }  // namespace brics

@@ -1,18 +1,33 @@
 // Compressed-sparse-row representation of a simple undirected weighted graph.
 //
 // This is the substrate every other module operates on. Invariants
-// (established by GraphBuilder and asserted by validate()):
+// (established by the builders and asserted by validate()):
 //   - no self loops, no parallel edges (parallel inputs keep the min weight)
 //   - both directions of every undirected edge are stored
 //   - each adjacency list is sorted by target id
 //   - all weights are >= 1
+//
+// Storage backends (graph/adjacency.hpp): a graph holds its adjacency either
+// as plain parallel target/weight arrays or, after compress(), as delta+varint
+// byte rows (AdjacencyStorage::kCompact). The 64-bit element offsets are kept
+// in both modes, so degree() and num_edges() never depend on the backend.
+// Hot code iterates through with_adjacency() — one dispatch per traversal,
+// then a template instantiation per backend with zero per-node branching.
+// Cold code uses for_neighbors() / row(), which branch per call.
+//
+// neighbors()/weights() remain the plain-mode fast path and fail a check on a
+// compact graph: callers that can see compact graphs must go through the
+// backend-agnostic accessors.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "graph/adjacency.hpp"
 #include "graph/types.hpp"
+#include "util/check.hpp"
 
 namespace brics {
 
@@ -25,6 +40,34 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
+/// Reusable decode buffer for CsrGraph::row(). One per thread; row() never
+/// allocates after the buffer reaches the graph's max degree.
+struct RowScratch {
+  std::vector<NodeId> nbrs;
+  std::vector<Weight> wts;
+};
+
+/// One adjacency row, valid until the next row() call on the same scratch
+/// (compact mode decodes into the scratch; plain mode aliases the graph).
+struct RowRef {
+  std::span<const NodeId> nbrs;
+  std::span<const Weight> wts;
+};
+
+/// Per-structure byte accounting for the run report's memory section.
+struct GraphMemory {
+  std::uint64_t offsets_bytes = 0;       ///< 64-bit element offsets (both modes)
+  std::uint64_t targets_bytes = 0;       ///< plain targets array
+  std::uint64_t weights_bytes = 0;       ///< plain weights array
+  std::uint64_t adj_payload_bytes = 0;   ///< compact varint bytes
+  std::uint64_t byte_offsets_bytes = 0;  ///< compact per-row byte offsets
+
+  std::uint64_t total() const {
+    return offsets_bytes + targets_bytes + weights_bytes + adj_payload_bytes +
+           byte_offsets_bytes;
+  }
+};
+
 class CsrGraph {
  public:
   CsrGraph() = default;
@@ -33,30 +76,36 @@ class CsrGraph {
   NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size()) - 1; }
 
   /// Number of undirected edges.
-  std::uint64_t num_edges() const { return targets_.size() / 2; }
+  std::uint64_t num_edges() const { return offsets_.back() / 2; }
 
-  /// Degree of v (number of distinct neighbours).
+  /// Degree of v (number of distinct neighbours). Backend-independent.
   std::uint32_t degree(NodeId v) const {
     return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
   }
 
-  /// Neighbours of v, sorted ascending.
+  /// Neighbours of v, sorted ascending. Plain storage only.
   std::span<const NodeId> neighbors(NodeId v) const {
+    BRICS_CHECK(storage_ == AdjacencyStorage::kPlain);
     return {targets_.data() + offsets_[v],
             targets_.data() + offsets_[v + 1]};
   }
 
-  /// Weights parallel to neighbors(v).
+  /// Weights parallel to neighbors(v). Plain storage only.
   std::span<const Weight> weights(NodeId v) const {
+    BRICS_CHECK(storage_ == AdjacencyStorage::kPlain);
     return {weights_.data() + offsets_[v],
             weights_.data() + offsets_[v + 1]};
   }
 
-  /// True iff edge {u, v} exists (binary search, O(log deg)).
+  /// True iff edge {u, v} exists (binary search in plain mode, early-exit
+  /// sequential decode in compact mode).
   bool has_edge(NodeId u, NodeId v) const;
 
   /// Weight of edge {u, v}; fails a check if absent.
   Weight edge_weight(NodeId u, NodeId v) const;
+
+  /// If edge {u, v} exists, store its weight in w and return true.
+  bool find_edge(NodeId u, NodeId v, Weight& w) const;
 
   /// True iff every edge has weight 1 (pure BFS applies).
   bool unit_weights() const { return max_weight_ == 1; }
@@ -65,25 +114,97 @@ class CsrGraph {
   Weight max_weight() const { return max_weight_; }
 
   /// Sum over nodes of degree == 2 * num_edges().
-  std::uint64_t num_directed_edges() const { return targets_.size(); }
+  std::uint64_t num_directed_edges() const { return offsets_.back(); }
+
+  // ---- storage backend ---------------------------------------------------
+
+  AdjacencyStorage storage() const { return storage_; }
+  bool compact() const { return storage_ == AdjacencyStorage::kCompact; }
+
+  /// Re-encode the adjacency as delta+varint rows and free the plain
+  /// arrays. Every encoded row is re-read with the checked decoder before
+  /// the plain arrays are released, so the unchecked hot decoders only ever
+  /// run over validated bytes. No-op on an already-compact graph.
+  void compress();
+
+  /// Inverse of compress(): rebuild the plain arrays (parallel, first-touch
+  /// by row) and free the byte rows. No-op on an already-plain graph.
+  void decompress();
+
+  /// Views for template iteration (graph/adjacency.hpp). Calling the view
+  /// that does not match storage() fails a check.
+  PlainAdjacency plain_view() const {
+    BRICS_CHECK(storage_ == AdjacencyStorage::kPlain);
+    return {offsets_.data(), targets_.data(), weights_.data()};
+  }
+  CompactAdjacency compact_view() const {
+    BRICS_CHECK(storage_ == AdjacencyStorage::kCompact);
+    return {offsets_.data(), byte_offsets_.data(), adj_bytes_.data(),
+            unit_weights()};
+  }
+
+  /// Single dispatch point for hot loops: invokes fn with the view matching
+  /// the current backend. Both instantiations must return the same type.
+  template <class Fn>
+  decltype(auto) with_adjacency(Fn&& fn) const {
+    if (storage_ == AdjacencyStorage::kPlain) return fn(plain_view());
+    return fn(compact_view());
+  }
+
+  /// Backend-agnostic per-row iteration: fn(NodeId target, Weight w) in
+  /// ascending target order. Branches once per call — fine for cold paths,
+  /// use with_adjacency() in kernels.
+  template <class Fn>
+  void for_neighbors(NodeId v, Fn&& fn) const {
+    if (storage_ == AdjacencyStorage::kPlain)
+      plain_view().for_neighbors(v, std::forward<Fn>(fn));
+    else
+      compact_view().for_neighbors(v, std::forward<Fn>(fn));
+  }
+
+  /// Backend-agnostic random access to one row: zero-copy spans in plain
+  /// mode, a decode into `scratch` in compact mode. The returned spans are
+  /// invalidated by the next row() call with the same scratch.
+  RowRef row(NodeId v, RowScratch& scratch) const;
+
+  /// Current adjacency payload bytes (targets+weights, or varint rows).
+  /// Excludes the offsets kept by both modes — this is the quantity the
+  /// compact backend shrinks.
+  std::uint64_t adjacency_bytes() const;
+
+  /// Per-structure byte accounting of everything this graph holds.
+  GraphMemory memory() const;
 
   /// Recompute and verify all structural invariants; throws CheckFailure.
+  /// In compact mode every row is decoded with the checked (InputError on
+  /// malformed bytes) decoder.
   void validate() const;
 
-  /// All undirected edges, each reported once with u < v.
+  /// All undirected edges, each reported once with u < v. Works in both
+  /// storage modes (materialises — avoid on giant graphs).
   std::vector<Edge> edge_list() const;
 
  private:
   friend class GraphBuilder;
+  friend class TwoPassBuilder;
 
+  AdjacencyStorage storage_ = AdjacencyStorage::kPlain;
   std::vector<std::uint64_t> offsets_{0};
   std::vector<NodeId> targets_;
   std::vector<Weight> weights_;
+  // Compact backend: concatenated delta+varint rows and per-row byte
+  // offsets (size n+1). Empty in plain mode.
+  std::vector<std::uint8_t> adj_bytes_;
+  std::vector<std::uint64_t> byte_offsets_;
   Weight max_weight_ = 1;
 };
 
 /// Accumulates edges, then produces a canonical CsrGraph: self loops dropped,
 /// parallel edges merged keeping the minimum weight, adjacency sorted.
+/// Internally build() replays the accumulated edges through TwoPassBuilder
+/// (graph/stream_build.hpp), so both construction paths share one
+/// canonicalisation. Prefer streaming straight into TwoPassBuilder when the
+/// edges come from a replayable source — this class materialises them.
 class GraphBuilder {
  public:
   /// Create a builder for a graph on n nodes (node ids must be < n).
@@ -100,7 +221,7 @@ class GraphBuilder {
   NodeId num_nodes() const { return n_; }
 
   /// Finalise. The builder is left empty and reusable.
-  CsrGraph build();
+  CsrGraph build(AdjacencyStorage storage = AdjacencyStorage::kPlain);
 
  private:
   NodeId n_;

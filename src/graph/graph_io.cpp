@@ -10,6 +10,7 @@
 #include "exec/errors.hpp"
 #include "exec/failpoint.hpp"
 #include "graph/connectivity.hpp"
+#include "graph/stream_build.hpp"
 #include "util/check.hpp"
 
 namespace brics {
@@ -35,26 +36,14 @@ bool parse_u64(std::string_view tok, std::uint64_t& out) {
   throw InputError(os.str());
 }
 
-}  // namespace
-
-CsrGraph read_edge_list(std::istream& in, ConnectPolicy policy) {
-  BRICS_FAILPOINT("io.edge_list");
-  std::unordered_map<std::uint64_t, NodeId> ids;
-  std::vector<Edge> edges;
+// One full parse of the stream, invoking on_edge(a, b, w, lineno, line)
+// with raw (un-interned) 64-bit endpoints. All format validation lives
+// here so both passes of the streaming build reject identical inputs at
+// identical lines.
+template <class Fn>
+void parse_edge_lines(std::istream& in, Fn&& on_edge) {
   std::string line;
   std::size_t lineno = 0;
-
-  auto intern = [&](std::uint64_t raw, std::size_t ln,
-                    const std::string& l) {
-    auto [it, fresh] = ids.emplace(raw, static_cast<NodeId>(ids.size()));
-    // The dense id must stay below the kInvalidNode sentinel: one more
-    // distinct raw id than NodeId can address would otherwise wrap and
-    // silently alias node 0.
-    if (fresh && it->second == kInvalidNode)
-      bad_input(ln, l, "too many distinct node ids for 32-bit NodeId");
-    return it->second;
-  };
-
   while (std::getline(in, line)) {
     ++lineno;
     std::size_t i = line.find_first_not_of(" \t\r");
@@ -72,15 +61,12 @@ CsrGraph read_edge_list(std::istream& in, ConnectPolicy policy) {
     }
     if (w < 1 || w > std::numeric_limits<Weight>::max())
       bad_input(lineno, line, "weight out of range");
-    edges.push_back({intern(a, lineno, line), intern(b, lineno, line),
-                     static_cast<Weight>(w)});
+    on_edge(a, b, static_cast<Weight>(w), lineno, line);
   }
   if (in.bad()) throw InputError("I/O error while reading edge list");
+}
 
-  GraphBuilder builder(static_cast<NodeId>(ids.size()));
-  builder.add_edges(edges);
-  CsrGraph g = builder.build();
-
+CsrGraph apply_policy(CsrGraph g, ConnectPolicy policy) {
   switch (policy) {
     case ConnectPolicy::kKeepAsIs:
       return g;
@@ -92,17 +78,89 @@ CsrGraph read_edge_list(std::istream& in, ConnectPolicy policy) {
   return g;
 }
 
-CsrGraph read_edge_list_file(const std::string& path, ConnectPolicy policy) {
+}  // namespace
+
+CsrGraph read_edge_list(std::istream& in, ConnectPolicy policy,
+                        AdjacencyStorage storage) {
+  BRICS_FAILPOINT("io.edge_list");
+  std::unordered_map<std::uint64_t, NodeId> ids;
+
+  auto intern = [&](std::uint64_t raw, std::size_t ln,
+                    const std::string& l) {
+    auto [it, fresh] = ids.emplace(raw, static_cast<NodeId>(ids.size()));
+    // The dense id must stay below the kInvalidNode sentinel: one more
+    // distinct raw id than NodeId can address would otherwise wrap and
+    // silently alias node 0.
+    if (fresh && it->second == kInvalidNode)
+      bad_input(ln, l, "too many distinct node ids for 32-bit NodeId");
+    return it->second;
+  };
+
+  // Streaming two-pass build for rewindable streams (files, string
+  // streams): parse once to intern ids and count degrees, rewind, parse
+  // again to scatter. Peak memory is the CSR arrays plus the id map —
+  // never an Edge vector.
+  const std::istream::pos_type start = in.tellg();
+  CsrGraph g;
+  if (start != std::istream::pos_type(-1)) {
+    TwoPassBuilder b(TwoPassBuilder::kGrow);
+    parse_edge_lines(in, [&](std::uint64_t a, std::uint64_t bb, Weight w,
+                             std::size_t ln, const std::string& l) {
+      // Sequence the interns: argument evaluation order is unspecified,
+      // and dense ids must be assigned first-seen-first (the id contract
+      // callers and goldens rely on).
+      const NodeId ia = intern(a, ln, l);
+      const NodeId ib = intern(bb, ln, l);
+      b.count_edge(ia, ib, w);
+    });
+    in.clear();
+    in.seekg(start);
+    if (!in.good())
+      throw InputError("edge list stream lost its rewind position");
+    b.begin_scatter();
+    parse_edge_lines(in, [&](std::uint64_t a, std::uint64_t bb, Weight w,
+                             std::size_t ln, const std::string& l) {
+      const auto ia = ids.find(a);
+      const auto ib = ids.find(bb);
+      if (ia == ids.end() || ib == ids.end())
+        bad_input(ln, l, "node id not seen in the first pass");
+      b.scatter_edge(ia->second, ib->second, w);
+    });
+    g = b.finish();
+  } else {
+    // Non-seekable stream (pipe): buffer edges, same canonical result.
+    std::vector<Edge> edges;
+    parse_edge_lines(in, [&](std::uint64_t a, std::uint64_t bb, Weight w,
+                             std::size_t ln, const std::string& l) {
+      const NodeId ia = intern(a, ln, l);
+      const NodeId ib = intern(bb, ln, l);
+      edges.push_back({ia, ib, w});
+    });
+    GraphBuilder builder(static_cast<NodeId>(ids.size()));
+    builder.add_edges(edges);
+    g = builder.build();
+  }
+
+  g = apply_policy(std::move(g), policy);
+  if (storage == AdjacencyStorage::kCompact) g.compress();
+  return g;
+}
+
+CsrGraph read_edge_list_file(const std::string& path, ConnectPolicy policy,
+                             AdjacencyStorage storage) {
   std::ifstream in(path);
   if (!in.good()) throw InputError("cannot open '" + path + "'");
-  return read_edge_list(in, policy);
+  return read_edge_list(in, policy, storage);
 }
 
 void write_edge_list(const CsrGraph& g, std::ostream& out) {
-  for (const Edge& e : g.edge_list()) {
-    out << e.u << ' ' << e.v;
-    if (e.w != 1) out << ' ' << e.w;
-    out << '\n';
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    g.for_neighbors(v, [&](NodeId t, Weight w) {
+      if (v >= t) return;
+      out << v << ' ' << t;
+      if (w != 1) out << ' ' << w;
+      out << '\n';
+    });
   }
 }
 

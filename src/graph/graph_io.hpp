@@ -24,12 +24,19 @@ enum class ConnectPolicy {
 /// Parse an edge list from a stream. Throws InputError (exec/errors.hpp) on
 /// malformed input: garbage or signed tokens, out-of-range weights, or more
 /// distinct ids than NodeId can address.
+///
+/// Rewindable streams (files, string streams) are parsed twice and fed
+/// straight into the streaming two-pass builder — no intermediate edge
+/// vector; non-seekable streams fall back to buffering. With kCompact the
+/// returned graph is compressed after the connect policy runs.
 CsrGraph read_edge_list(std::istream& in,
-                        ConnectPolicy policy = ConnectPolicy::kStitchComponents);
+                        ConnectPolicy policy = ConnectPolicy::kStitchComponents,
+                        AdjacencyStorage storage = AdjacencyStorage::kPlain);
 
 /// Parse an edge list from a file path.
 CsrGraph read_edge_list_file(const std::string& path,
-                             ConnectPolicy policy = ConnectPolicy::kStitchComponents);
+                             ConnectPolicy policy = ConnectPolicy::kStitchComponents,
+                             AdjacencyStorage storage = AdjacencyStorage::kPlain);
 
 /// Write "u v w" lines (w omitted when 1).
 void write_edge_list(const CsrGraph& g, std::ostream& out);

@@ -6,6 +6,7 @@
 
 #include "exec/errors.hpp"
 #include "exec/failpoint.hpp"
+#include "graph/stream_build.hpp"
 #include "util/check.hpp"
 
 namespace brics {
@@ -25,12 +26,14 @@ bool parse_u64(std::string_view tok, std::uint64_t& out) {
   throw InputError("bad METIS input: " + why);
 }
 
-}  // namespace
+struct MetisHeader {
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  bool weighted = false;
+};
 
-CsrGraph read_metis(std::istream& in) {
-  BRICS_FAILPOINT("io.metis");
+MetisHeader parse_header(std::istream& in) {
   std::string line;
-  // Header: first non-comment line.
   std::uint64_t n = 0, m = 0, fmt = 0;
   bool have_header = false;
   while (std::getline(in, line)) {
@@ -55,11 +58,17 @@ CsrGraph read_metis(std::istream& in) {
   if (fmt != 0 && fmt != 1)
     bad_metis("unsupported fmt " + std::to_string(fmt) +
               " (only 0/1 supported)");
-  const bool weighted = fmt == 1;
+  return {n, m, fmt == 1};
+}
 
-  GraphBuilder b(static_cast<NodeId>(n));
+// Parse the adjacency body, invoking on_edge(u, v, w) once per undirected
+// edge (from its smaller endpoint). All format and count validation fires
+// here, identically in both passes of the streaming build.
+template <class Fn>
+void parse_body(std::istream& in, const MetisHeader& h, Fn&& on_edge) {
+  std::string line;
   std::uint64_t node = 0, directed_edges = 0;
-  while (node < n && std::getline(in, line)) {
+  while (node < h.n && std::getline(in, line)) {
     std::size_t i = line.find_first_not_of(" \t\r");
     if (i != std::string::npos && line[i] == '%') continue;
     std::istringstream ls(line);
@@ -69,11 +78,11 @@ CsrGraph read_metis(std::istream& in) {
       if (!parse_u64(tok, nb))
         bad_metis("malformed neighbour '" + tok + "' at node " +
                   std::to_string(node + 1));
-      if (nb < 1 || nb > n)
+      if (nb < 1 || nb > h.n)
         bad_metis("neighbour " + std::to_string(nb) +
                   " out of range at node " + std::to_string(node + 1));
       std::uint64_t w = 1;
-      if (weighted) {
+      if (h.weighted) {
         if (!(ls >> tok) || !parse_u64(tok, w))
           bad_metis("missing or malformed edge weight at node " +
                     std::to_string(node + 1));
@@ -83,29 +92,64 @@ CsrGraph read_metis(std::istream& in) {
       ++directed_edges;
       // Add each undirected edge once (from its smaller endpoint).
       if (node < nb - 1)
-        b.add_edge(static_cast<NodeId>(node), static_cast<NodeId>(nb - 1),
-                   static_cast<Weight>(w));
+        on_edge(static_cast<NodeId>(node), static_cast<NodeId>(nb - 1),
+                static_cast<Weight>(w));
     }
     ++node;
   }
   if (in.bad()) throw InputError("I/O error while reading METIS input");
-  if (node != n)
-    bad_metis("expected " + std::to_string(n) + " adjacency lines, got " +
+  if (node != h.n)
+    bad_metis("expected " + std::to_string(h.n) + " adjacency lines, got " +
               std::to_string(node));
-  if (directed_edges != 2 * m)
-    bad_metis("header claims " + std::to_string(m) + " edges but lists " +
+  if (directed_edges != 2 * h.m)
+    bad_metis("header claims " + std::to_string(h.m) + " edges but lists " +
               std::to_string(directed_edges) + " endpoints");
-  CsrGraph g = b.build();
+}
+
+void check_symmetric(const CsrGraph& g, std::uint64_t m) {
   if (g.num_edges() != m)
     bad_metis("asymmetric adjacency: " + std::to_string(g.num_edges()) +
               " undirected edges vs header " + std::to_string(m));
+}
+
+}  // namespace
+
+CsrGraph read_metis(std::istream& in, AdjacencyStorage storage) {
+  BRICS_FAILPOINT("io.metis");
+  const std::istream::pos_type start = in.tellg();
+  if (start != std::istream::pos_type(-1)) {
+    // Streaming two-pass build: header + body parsed twice (a divergent
+    // replay is caught by the builder), no intermediate edge vector.
+    MetisHeader h = parse_header(in);
+    TwoPassBuilder b(static_cast<NodeId>(h.n));
+    parse_body(in, h,
+               [&](NodeId u, NodeId v, Weight w) { b.count_edge(u, v, w); });
+    in.clear();
+    in.seekg(start);
+    if (!in.good())
+      throw InputError("METIS stream lost its rewind position");
+    parse_header(in);
+    b.begin_scatter();
+    parse_body(in, h,
+               [&](NodeId u, NodeId v, Weight w) { b.scatter_edge(u, v, w); });
+    CsrGraph g = b.finish(storage);
+    check_symmetric(g, h.m);
+    return g;
+  }
+  // Non-seekable stream (pipe): buffer edges, same canonical result.
+  MetisHeader h = parse_header(in);
+  GraphBuilder b(static_cast<NodeId>(h.n));
+  parse_body(in, h,
+             [&](NodeId u, NodeId v, Weight w) { b.add_edge(u, v, w); });
+  CsrGraph g = b.build(storage);
+  check_symmetric(g, h.m);
   return g;
 }
 
-CsrGraph read_metis_file(const std::string& path) {
+CsrGraph read_metis_file(const std::string& path, AdjacencyStorage storage) {
   std::ifstream in(path);
   if (!in.good()) throw InputError("cannot open '" + path + "'");
-  return read_metis(in);
+  return read_metis(in, storage);
 }
 
 void write_metis(const CsrGraph& g, std::ostream& out) {
@@ -114,13 +158,13 @@ void write_metis(const CsrGraph& g, std::ostream& out) {
   if (weighted) out << " 1";
   out << '\n';
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    auto nb = g.neighbors(v);
-    auto ws = g.weights(v);
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      if (i) out << ' ';
-      out << nb[i] + 1;
-      if (weighted) out << ' ' << ws[i];
-    }
+    bool first = true;
+    g.for_neighbors(v, [&](NodeId t, Weight w) {
+      if (!first) out << ' ';
+      first = false;
+      out << t + 1;
+      if (weighted) out << ' ' << w;
+    });
     out << '\n';
   }
 }

@@ -14,10 +14,13 @@
 namespace brics {
 
 /// Parse a METIS graph. Throws InputError (exec/errors.hpp) on malformed
-/// input, including
-/// header/edge-count mismatches and asymmetric adjacency.
-CsrGraph read_metis(std::istream& in);
-CsrGraph read_metis_file(const std::string& path);
+/// input, including header/edge-count mismatches and asymmetric adjacency.
+/// Rewindable streams feed the streaming two-pass builder (no intermediate
+/// edge vector); kCompact compresses the result.
+CsrGraph read_metis(std::istream& in,
+                    AdjacencyStorage storage = AdjacencyStorage::kPlain);
+CsrGraph read_metis_file(const std::string& path,
+                         AdjacencyStorage storage = AdjacencyStorage::kPlain);
 
 /// Write METIS format (fmt=1 emitted only when the graph has weights).
 void write_metis(const CsrGraph& g, std::ostream& out);

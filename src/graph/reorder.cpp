@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "graph/stream_build.hpp"
 #include "util/check.hpp"
 
 namespace brics {
@@ -48,12 +49,12 @@ Permutation bfs_order(const CsrGraph& g) {
     queue.push_back(s);
     order.push_back(s);
     for (std::size_t qi = queue.size() - 1; qi < queue.size(); ++qi) {
-      for (NodeId w : g.neighbors(queue[qi])) {
-        if (seen[w]) continue;
+      g.for_neighbors(queue[qi], [&](NodeId w, Weight) {
+        if (seen[w]) return;
         seen[w] = 1;
         queue.push_back(w);
         order.push_back(w);
-      }
+      });
     }
   };
   if (n > 0) bfs_from(root);
@@ -73,10 +74,22 @@ Permutation degree_order(const CsrGraph& g) {
 
 CsrGraph apply_permutation(const CsrGraph& g, const Permutation& p) {
   BRICS_CHECK(p.new_of.size() == g.num_nodes());
-  GraphBuilder b(g.num_nodes());
-  for (const Edge& e : g.edge_list())
-    b.add_edge(p.new_of[e.u], p.new_of[e.v], e.w);
-  return b.build();
+  // Stream the rows through both builder passes — no edge-list copy, and
+  // the result keeps the input's storage mode.
+  TwoPassBuilder b(g.num_nodes());
+  for (int pass = 0; pass < 2; ++pass) {
+    if (pass == 1) b.begin_scatter();
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      g.for_neighbors(v, [&](NodeId t, Weight w) {
+        if (v >= t) return;
+        if (pass == 0)
+          b.count_edge(p.new_of[v], p.new_of[t], w);
+        else
+          b.scatter_edge(p.new_of[v], p.new_of[t], w);
+      });
+    }
+  }
+  return b.finish(g.storage());
 }
 
 }  // namespace brics

@@ -1,0 +1,154 @@
+#include "graph/stream_build.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/errors.hpp"
+#include "util/check.hpp"
+
+namespace brics {
+
+TwoPassBuilder::TwoPassBuilder(NodeId n) {
+  if (n == kGrow) {
+    grow_ = true;
+    n_ = 0;
+  } else {
+    n_ = n;
+  }
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+}
+
+void TwoPassBuilder::stream_changed(const char* what) {
+  throw InputError(std::string("edge stream changed between passes: ") + what);
+}
+
+void TwoPassBuilder::count_edge(NodeId u, NodeId v, Weight w) {
+  BRICS_CHECK(phase_ == Phase::kCount);
+  BRICS_CHECK(w >= 1);
+  if (grow_) {
+    // Grow before the self-loop skip: a node that only ever appears in
+    // self loops still exists (isolated) in the result.
+    const NodeId hi = std::max(u, v);
+    if (hi >= n_) {
+      n_ = hi + 1;
+      offsets_.resize(static_cast<std::size_t>(n_) + 1, 0);
+    }
+  } else {
+    BRICS_CHECK_MSG(u < n_ && v < n_,
+                    "edge {" << u << "," << v << "} out of range, n=" << n_);
+  }
+  if (u == v) return;
+  // Counts live shifted one up so the in-place prefix sum lands directly in
+  // CSR offset position.
+  ++offsets_[u + 1];
+  ++offsets_[v + 1];
+  ++counted_;
+}
+
+void TwoPassBuilder::begin_scatter() {
+  BRICS_CHECK(phase_ == Phase::kCount);
+  for (NodeId v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
+  targets_.resize(offsets_[n_]);
+  weights_.resize(offsets_[n_]);
+  cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  phase_ = Phase::kScatter;
+}
+
+void TwoPassBuilder::scatter_edge(NodeId u, NodeId v, Weight w) {
+  BRICS_CHECK(phase_ == Phase::kScatter);
+  BRICS_CHECK(w >= 1);
+  if (u >= n_ || v >= n_) {
+    if (grow_) stream_changed("endpoint beyond the counted node range");
+    BRICS_CHECK_MSG(u < n_ && v < n_,
+                    "edge {" << u << "," << v << "} out of range, n=" << n_);
+  }
+  if (u == v) return;
+  if (scattered_ == counted_) stream_changed("more edges than counted");
+  if (cursor_[u] >= offsets_[u + 1] || cursor_[v] >= offsets_[v + 1])
+    stream_changed("row overflow (per-node degree mismatch)");
+  targets_[cursor_[u]] = v;
+  weights_[cursor_[u]++] = w;
+  targets_[cursor_[v]] = u;
+  weights_[cursor_[v]++] = w;
+  ++scattered_;
+}
+
+CsrGraph TwoPassBuilder::finish(AdjacencyStorage storage) {
+  BRICS_CHECK(phase_ == Phase::kScatter);
+  if (scattered_ != counted_) stream_changed("fewer edges than counted");
+  for (NodeId v = 0; v < n_; ++v)
+    if (cursor_[v] != offsets_[v + 1])
+      stream_changed("row underflow (per-node degree mismatch)");
+  cursor_.clear();
+  cursor_.shrink_to_fit();
+
+  // Canonicalise each row: sort by (target, weight) so the first entry of a
+  // parallel-edge run carries the minimum weight, then merge the run.
+  // Rows only shrink, so the later compaction moves data strictly left.
+  const std::int64_t n = static_cast<std::int64_t>(n_);
+  std::vector<std::uint32_t> new_deg(n_, 0);
+  Weight max_w = 1;
+#pragma omp parallel
+  {
+    std::vector<std::pair<NodeId, Weight>> row;
+    Weight local_max = 1;
+#pragma omp for schedule(dynamic, 1024)
+    for (std::int64_t v = 0; v < n; ++v) {
+      const std::uint64_t b = offsets_[v], e = offsets_[v + 1];
+      row.clear();
+      row.reserve(e - b);
+      for (std::uint64_t i = b; i < e; ++i)
+        row.emplace_back(targets_[i], weights_[i]);
+      std::sort(row.begin(), row.end());
+      std::uint64_t out = b;
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i > 0 && row[i].first == row[i - 1].first) continue;
+        targets_[out] = row[i].first;
+        weights_[out] = row[i].second;
+        local_max = std::max(local_max, row[i].second);
+        ++out;
+      }
+      new_deg[static_cast<std::size_t>(v)] =
+          static_cast<std::uint32_t>(out - b);
+    }
+#pragma omp critical
+    max_w = std::max(max_w, local_max);
+  }
+
+  // Compact the shrunken rows left and rebuild the offsets.
+  std::uint64_t write = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    const std::uint64_t b = offsets_[v];
+    const std::uint32_t d = new_deg[v];
+    if (write != b) {
+      std::copy_n(targets_.begin() + static_cast<std::ptrdiff_t>(b), d,
+                  targets_.begin() + static_cast<std::ptrdiff_t>(write));
+      std::copy_n(weights_.begin() + static_cast<std::ptrdiff_t>(b), d,
+                  weights_.begin() + static_cast<std::ptrdiff_t>(write));
+    }
+    offsets_[v] = write;
+    write += d;
+  }
+  offsets_[n_] = write;
+  targets_.resize(write);
+  targets_.shrink_to_fit();
+  weights_.resize(write);
+  weights_.shrink_to_fit();
+
+  CsrGraph g;
+  g.offsets_ = std::move(offsets_);
+  g.targets_ = std::move(targets_);
+  g.weights_ = std::move(weights_);
+  g.max_weight_ = max_w;
+  if (storage == AdjacencyStorage::kCompact) g.compress();
+
+  n_ = grow_ ? 0 : n_;
+  phase_ = Phase::kCount;
+  counted_ = scattered_ = 0;
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  targets_.clear();
+  weights_.clear();
+  return g;
+}
+
+}  // namespace brics

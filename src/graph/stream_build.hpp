@@ -1,0 +1,79 @@
+// Streaming two-pass CSR construction: count degrees, then scatter.
+//
+// The legacy build path materialised every edge in a std::vector<Edge>
+// (12 bytes each, ~1.2 GB for a 100M-edge graph) before constructing the
+// CSR. TwoPassBuilder instead consumes the edge stream twice — replayable
+// streams are cheap for generators (re-run the RNG from the seed) and for
+// seekable files (rewind) — and never holds more than the CSR arrays plus
+// one 8-byte write cursor per node:
+//
+//   TwoPassBuilder b(n);                 // or TwoPassBuilder::kGrow
+//   for (edge stream)  b.count_edge(u, v, w);
+//   b.begin_scatter();
+//   for (edge stream)  b.scatter_edge(u, v, w);
+//   CsrGraph g = b.finish(storage);
+//
+// finish() canonicalises rows in parallel (sort by target, merge parallel
+// edges keeping the min weight, drop nothing else — self loops were already
+// skipped at the stream boundary) and optionally compresses the result.
+//
+// A stream that does not replay identically is detected, not trusted:
+// scatter_edge() bounds every write by the counted row end and finish()
+// verifies every cursor landed exactly on it, throwing InputError
+// ("edge stream changed between passes") instead of corrupting memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace brics {
+
+class TwoPassBuilder {
+ public:
+  /// Node-count discovery mode: pass as `n` when the caller cannot know the
+  /// node count before the first pass (file loaders interning ids). The
+  /// count pass then grows the graph to max(u, v) + 1.
+  static constexpr NodeId kGrow = kInvalidNode;
+
+  explicit TwoPassBuilder(NodeId n);
+
+  /// Pass 1: count. Self loops are skipped. In fixed-n mode out-of-range
+  /// endpoints fail a check; in kGrow mode they grow the node count.
+  void count_edge(NodeId u, NodeId v, Weight w = 1);
+
+  /// Switch to pass 2: prefix-sums the degree counts and allocates the
+  /// adjacency arrays.
+  void begin_scatter();
+
+  /// Pass 2: scatter. Must replay the count pass's stream; a divergent
+  /// replay throws InputError before any out-of-bounds write.
+  void scatter_edge(NodeId u, NodeId v, Weight w = 1);
+
+  NodeId num_nodes() const { return n_; }
+  std::uint64_t counted_edges() const { return counted_; }
+
+  /// Verify the replay completed, canonicalise every row (parallel), and
+  /// produce the graph — compressed in place when storage is kCompact.
+  /// The builder is left in its just-constructed state and reusable.
+  CsrGraph finish(AdjacencyStorage storage = AdjacencyStorage::kPlain);
+
+ private:
+  enum class Phase { kCount, kScatter };
+
+  [[noreturn]] static void stream_changed(const char* what);
+
+  NodeId n_ = 0;
+  bool grow_ = false;
+  Phase phase_ = Phase::kCount;
+  std::uint64_t counted_ = 0;    ///< undirected edges seen in pass 1
+  std::uint64_t scattered_ = 0;  ///< undirected edges seen in pass 2
+  std::vector<std::uint64_t> offsets_;  ///< counts, then prefix sums
+  std::vector<std::uint64_t> cursor_;   ///< per-row write position (pass 2)
+  std::vector<NodeId> targets_;
+  std::vector<Weight> weights_;
+};
+
+}  // namespace brics

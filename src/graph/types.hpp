@@ -23,4 +23,15 @@ using FarnessSum = std::uint64_t;
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
 
+/// How a CsrGraph stores its adjacency. kPlain keeps parallel target/weight
+/// arrays (random access, largest footprint); kCompact stores each row as
+/// delta+varint bytes (sequential decode only, ~2-6 bytes per directed edge
+/// on reordered graphs). Kernels never branch on this per node — traversal
+/// entry points dispatch once to a template instantiation per storage mode.
+enum class AdjacencyStorage : std::uint8_t { kPlain = 0, kCompact = 1 };
+
+inline const char* to_string(AdjacencyStorage s) {
+  return s == AdjacencyStorage::kPlain ? "plain" : "compact";
+}
+
 }  // namespace brics

@@ -246,8 +246,9 @@ BlockDedup build_block_dedup(const BlockInfo& bi, const BlockPlan& bp,
     return !dec.bcc.is_cut(gv) && masses.node_mass[gv] == 1;
   };
   auto key_of = [&](NodeId lv, bool closed) {
-    std::vector<NodeId> key(bi.sub.graph.neighbors(lv).begin(),
-                            bi.sub.graph.neighbors(lv).end());
+    std::vector<NodeId> key;
+    key.reserve(bi.sub.graph.degree(lv) + (closed ? 1 : 0));
+    bi.sub.graph.for_neighbors(lv, [&](NodeId t, Weight) { key.push_back(t); });
     if (closed) key.push_back(lv);
     std::sort(key.begin(), key.end());
     return key;

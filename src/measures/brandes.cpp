@@ -64,40 +64,36 @@ void bc_dependency_pass(const CsrGraph& g, NodeId source,
   // so finalized by the ascending sweep). Pulling in CSR adjacency order
   // keeps the floating-point sum bit-deterministic.
   ws.sigma[source] = 1.0;
-  for (NodeId u : ws.order) {
-    if (u == source) continue;
-    const std::uint64_t du = dist[u];
-    auto nb = g.neighbors(u);
-    auto wt = g.weights(u);
-    double s = 0.0;
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      const NodeId v = nb[i];
-      if (dist[v] != kInfDist &&
-          static_cast<std::uint64_t>(dist[v]) + wt[i] == du)
-        s += ws.sigma[v];
+  g.with_adjacency([&](const auto& adj) {
+    for (NodeId u : ws.order) {
+      if (u == source) continue;
+      const std::uint64_t du = dist[u];
+      double s = 0.0;
+      adj.for_neighbors(u, [&](NodeId v, Weight w) {
+        if (dist[v] != kInfDist &&
+            static_cast<std::uint64_t>(dist[v]) + w == du)
+          s += ws.sigma[v];
+      });
+      ws.sigma[u] = s;
     }
-    ws.sigma[u] = s;
-  }
 
-  // Backward: δ(v) = Σ over DAG successors u of σ_v/σ_u · (tw(u) + δ(u)).
-  // Successors have strictly larger distance, so the descending sweep reads
-  // only finalized values — again pulled in CSR order.
-  for (auto it = ws.order.rbegin(); it != ws.order.rend(); ++it) {
-    const NodeId v = *it;
-    const std::uint64_t dv = dist[v];
-    auto nb = g.neighbors(v);
-    auto wt = g.weights(v);
-    double d = 0.0;
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      const NodeId u = nb[i];
-      if (dist[u] == kInfDist ||
-          dv + wt[i] != static_cast<std::uint64_t>(dist[u]))
-        continue;
-      const double tu = tw.empty() ? 1.0 : static_cast<double>(tw[u]);
-      d += ws.sigma[v] / ws.sigma[u] * (tu + ws.delta[u]);
+    // Backward: δ(v) = Σ over DAG successors u of σ_v/σ_u · (tw(u) + δ(u)).
+    // Successors have strictly larger distance, so the descending sweep
+    // reads only finalized values — again pulled in CSR order.
+    for (auto it = ws.order.rbegin(); it != ws.order.rend(); ++it) {
+      const NodeId v = *it;
+      const std::uint64_t dv = dist[v];
+      double d = 0.0;
+      adj.for_neighbors(v, [&](NodeId u, Weight w) {
+        if (dist[u] == kInfDist ||
+            dv + w != static_cast<std::uint64_t>(dist[u]))
+          return;
+        const double tu = tw.empty() ? 1.0 : static_cast<double>(tw[u]);
+        d += ws.sigma[v] / ws.sigma[u] * (tu + ws.delta[u]);
+      });
+      ws.delta[v] = d;
     }
-    ws.delta[v] = d;
-  }
+  });
 }
 
 std::vector<double> exact_betweenness(const CsrGraph& g) {

@@ -58,6 +58,16 @@ bool is_timing_column(const std::string& name) {
   return false;
 }
 
+bool is_memory_column(const std::string& name) {
+  if (name == "bytes_per_edge" || name == "rss_mb") return true;
+  if (name.size() >= 3 && name.compare(name.size() - 3, 3, "_mb") == 0)
+    return true;
+  if (name.size() >= 6 &&
+      name.compare(name.size() - 6, 6, "_bytes") == 0)
+    return true;
+  return false;
+}
+
 DiffResult diff_artifacts(const JsonValue& old_art, const JsonValue& new_art,
                           const DiffOptions& opts) {
   DiffResult out;
@@ -124,7 +134,9 @@ DiffResult diff_artifacts(const JsonValue& old_art, const JsonValue& new_art,
       for (std::size_t c = 0; c < ocols->arr.size(); ++c) {
         if (!ocols->arr[c].is_string()) continue;
         const std::string& col = ocols->arr[c].str_v;
-        if (!is_timing_column(col)) continue;
+        const bool timing = is_timing_column(col);
+        const bool memory = !timing && is_memory_column(col);
+        if (!timing && !memory) continue;
         auto nc_it = new_col_index.find(col);
         if (nc_it == new_col_index.end()) {
           out.notes.push_back("table " + std::to_string(ti) + ": column '" +
@@ -136,7 +148,10 @@ DiffResult diff_artifacts(const JsonValue& old_art, const JsonValue& new_art,
             !parse_cell(cell_at(rnew, nc_it->second), nv))
           continue;
         ++out.cells_compared;
-        if (ov < opts.abs_floor_s && nv < opts.abs_floor_s) continue;
+        // The absolute floor is timer-granularity noise control; memory
+        // cells are deterministic and compare at any magnitude.
+        if (timing && ov < opts.abs_floor_s && nv < opts.abs_floor_s)
+          continue;
         const double tol = tolerance_for(opts, col);
         if (ov <= 0.0) continue;
         const double delta_pct = (nv - ov) / ov * 100.0;
@@ -178,7 +193,7 @@ std::string format_diff(const DiffResult& r) {
   for (const DiffFinding& f : r.improvements) line(f, "improvement");
   for (const std::string& n : r.notes) os << "note: " << n << "\n";
   os << (r.ok() ? "PASS" : "FAIL") << ": " << r.cells_compared
-     << " timing cells compared, " << r.regressions.size()
+     << " timing/memory cells compared, " << r.regressions.size()
      << " regression(s), " << r.improvements.size() << " improvement(s), "
      << r.notes.size() << " note(s)\n";
   return os.str();

@@ -62,6 +62,13 @@ struct DiffResult {
 /// "time". Everything else (quality, speedup ratios, counts) is ignored.
 bool is_timing_column(const std::string& name);
 
+/// True for memory columns the diff also gates: "*_mb", "*_bytes",
+/// "rss_mb", "bytes_per_edge". Gated with the same relative tolerance as
+/// timings but without the absolute floor — byte counts are deterministic,
+/// so even small drifts are signal (a growing bytes_per_edge means the
+/// compact encoding regressed).
+bool is_memory_column(const std::string& name);
+
 /// Compare two parsed artifacts (schema v1 or v2). Tables are matched by
 /// index, rows by index with the first-cell key cross-checked (a key
 /// mismatch skips the row with a note — the harness changed shape, which

@@ -1,8 +1,26 @@
 #include "obs/report.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "obs/json.hpp"
 
 namespace brics {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 RunReport make_run_report(std::string tool, std::string dataset,
                           const CsrGraph& g, const EstimateOptions& opts,
@@ -32,6 +50,13 @@ RunReport make_run_report(std::string tool, std::string dataset,
   r.recovery = est.recovery;
   r.parallel = collect_parallel_stats(MetricsRegistry::global(),
                                       max_threads());
+  r.storage = to_string(g.storage());
+  r.graph_mem = g.memory();
+  const std::uint64_t directed = g.num_directed_edges();
+  r.bytes_per_edge = directed == 0 ? 0.0
+                                   : static_cast<double>(g.adjacency_bytes()) /
+                                         static_cast<double>(directed);
+  r.peak_rss_bytes = peak_rss_bytes();
   r.metrics = MetricsRegistry::global().snapshot();
   return r;
 }
@@ -146,6 +171,23 @@ std::string to_json(const RunReport& r) {
       .field("quarantined_blocks",
              static_cast<std::uint64_t>(r.recovery.quarantined_blocks))
       .field("cumulative_wall_s", r.recovery.cumulative_wall_s)
+      .end_object();
+
+  // v5: memory accounting — which structures hold the graph's bytes, what
+  // the adjacency costs per directed edge, and the process peak RSS. The
+  // proof obligation for compact mode ("adjacency <= 0.6x plain CSR, and
+  // here is where the bytes went") reads straight off this section.
+  w.key("memory")
+      .begin_object()
+      .field("storage", r.storage)
+      .field("offsets_bytes", r.graph_mem.offsets_bytes)
+      .field("targets_bytes", r.graph_mem.targets_bytes)
+      .field("weights_bytes", r.graph_mem.weights_bytes)
+      .field("adj_payload_bytes", r.graph_mem.adj_payload_bytes)
+      .field("byte_offsets_bytes", r.graph_mem.byte_offsets_bytes)
+      .field("graph_total_bytes", r.graph_mem.total())
+      .field("bytes_per_edge", r.bytes_per_edge)
+      .field("peak_rss_bytes", r.peak_rss_bytes)
       .end_object();
 
   // Embed the snapshot's own JSON shape under "metrics".

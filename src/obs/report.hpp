@@ -33,7 +33,10 @@ struct RunReport {
   // accounting, attempt number, cumulative wall across attempts).
   // v4: adds options.measure ("farness" | "betweenness") — which
   // centrality the pipeline computed.
-  static constexpr int kSchemaVersion = 4;
+  // v5: adds the "memory" section — adjacency storage mode, per-structure
+  // graph bytes (offsets / targets / weights / compressed payload),
+  // bytes-per-directed-edge, and the process peak RSS.
+  static constexpr int kSchemaVersion = 5;
 
   std::string tool;     ///< producing binary ("brics_cli", harness name)
   std::string dataset;  ///< input path or @registry-name
@@ -75,8 +78,19 @@ struct RunReport {
   // resilience (v3): checkpoint/retry accounting from the exec layer.
   RecoveryStats recovery;
 
+  // memory (v5): where the input graph's bytes live + process peak RSS.
+  std::string storage;  ///< "plain" | "compact"
+  GraphMemory graph_mem;
+  double bytes_per_edge = 0.0;  ///< adjacency bytes / directed edges
+  std::uint64_t peak_rss_bytes = 0;
+
   MetricsSnapshot metrics;
 };
+
+/// Process peak resident set size in bytes (getrusage ru_maxrss), 0 where
+/// unsupported. High-water mark since process start — not a per-phase
+/// delta — so report it alongside the structure-level byte counts.
+std::uint64_t peak_rss_bytes();
 
 /// Assemble a report from one finished estimate. Reads the global metrics
 /// registry; callers that want the snapshot scoped to this run reset the

@@ -15,6 +15,7 @@
 #include "pipeline/kernels.hpp"
 #include "pipeline/postprocess.hpp"
 #include "util/check.hpp"
+#include "util/first_touch.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -56,11 +57,16 @@ class ThreadSums {
   }
 
   std::vector<FarnessSum> merge() const {
-    std::vector<FarnessSum> total(n_, 0);
-    for (const auto& b : bufs_) {
-      if (b.empty()) continue;
-      for (NodeId v = 0; v < n_; ++v) total[v] += b[v];
-    }
+    // First-touch + merge in one parallel static sweep: each thread zeroes
+    // and sums the slice of `total` it will own under any later
+    // schedule(static) reader. Per-element buffer order is unchanged.
+    std::vector<FarnessSum> total;
+    first_touch_assign(total, n_, FarnessSum{0});
+    const std::int64_t sn = static_cast<std::int64_t>(n_);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t v = 0; v < sn; ++v)
+      for (const auto& b : bufs_)
+        if (!b.empty()) total[static_cast<std::size_t>(v)] += b[v];
     return total;
   }
 
@@ -138,6 +144,10 @@ ReducedGraph ReduceStage::run(PipelineContext& ctx) const {
   {
     PhaseScope scope("reduce", ctx.times().reduce_s);
     rg = reduce(ctx.graph(), ctx.opts().reduce);
+    // Derived graphs follow the requested backend: an input loaded plain
+    // still yields a compact working set from here on.
+    if (ctx.opts().storage == AdjacencyStorage::kCompact)
+      rg.graph.compress();
   }
   ctx.check_budget();
   return rg;
@@ -173,6 +183,8 @@ Decomposition DecomposeStage::run(PipelineContext& ctx,
       BlockInfo& bi = dec.blocks[b];
       auto nodes = dec.bcc.block_nodes(b);
       bi.sub = induced_subgraph(rg.graph, nodes);
+      if (ctx.opts().storage == AdjacencyStorage::kCompact)
+        bi.sub.graph.compress();
       bi.owned.assign(nodes.size(), 0);
       for (NodeId lv = 0; lv < nodes.size(); ++lv) {
         const NodeId gv = bi.sub.to_old[lv];

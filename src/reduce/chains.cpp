@@ -10,12 +10,14 @@ namespace brics {
 namespace {
 
 // One step of a chain walk: from `cur` (degree 2) move to the neighbour
-// that is not `prev`, returning the traversed edge weight.
-std::pair<NodeId, Weight> step(const CsrGraph& g, NodeId prev, NodeId cur) {
-  auto nb = g.neighbors(cur);
-  auto ws = g.weights(cur);
-  BRICS_CHECK(nb.size() == 2);
-  return nb[0] == prev ? std::pair{nb[1], ws[1]} : std::pair{nb[0], ws[0]};
+// that is not `prev`, returning the traversed edge weight. The scratch
+// backs the row decode on compact graphs (zero-copy on plain).
+std::pair<NodeId, Weight> step(const CsrGraph& g, RowScratch& scratch,
+                               NodeId prev, NodeId cur) {
+  const RowRef r = g.row(cur, scratch);
+  BRICS_CHECK(r.nbrs.size() == 2);
+  return r.nbrs[0] == prev ? std::pair{r.nbrs[1], r.wts[1]}
+                           : std::pair{r.nbrs[0], r.wts[0]};
 }
 
 struct Walk {
@@ -35,8 +37,9 @@ bool chain_interior(const CsrGraph& g, const ReductionLedger& ledger,
 
 // Walk from start (a chain interior) towards `first`, through chain
 // interiors, until a breaking node or `start` itself is reached.
-Walk walk_chain(const CsrGraph& g, const ReductionLedger& ledger,
-                NodeId start, NodeId first, Weight first_w) {
+Walk walk_chain(const CsrGraph& g, RowScratch& scratch,
+                const ReductionLedger& ledger, NodeId start, NodeId first,
+                Weight first_w) {
   Walk w;
   NodeId prev = start, cur = first;
   Weight into = first_w;
@@ -53,7 +56,7 @@ Walk walk_chain(const CsrGraph& g, const ReductionLedger& ledger,
     }
     w.interior.push_back(cur);
     w.interior_w.push_back(into);
-    auto [next, wt] = step(g, prev, cur);
+    auto [next, wt] = step(g, scratch, prev, cur);
     prev = cur;
     cur = next;
     into = wt;
@@ -71,6 +74,7 @@ ChainPassResult remove_chain_nodes(const CsrGraph& g,
   ChainPassStats& st = res.stats;
   const NodeId n = g.num_nodes();
   std::vector<std::uint8_t> visited(n, 0);
+  RowScratch scratch;
 
   // Members ordered from the anchor outwards; offsets are cumulative edge
   // weights from the anchor.
@@ -96,9 +100,17 @@ ChainPassResult remove_chain_nodes(const CsrGraph& g,
   // ---- Maximal chains with degree-2 interiors. ----
   for (NodeId c = 0; c < n; ++c) {
     if (!present[c] || visited[c] || !chain_interior(g, ledger, c)) continue;
-    auto nb = g.neighbors(c);
-    auto ws = g.weights(c);
-    Walk left = walk_chain(g, ledger, c, nb[0], ws[0]);
+    NodeId nb0, nb1;
+    Weight ws0, ws1;
+    {
+      // Copy the two entries out: the scratch is reused by the walks.
+      const RowRef r = g.row(c, scratch);
+      nb0 = r.nbrs[0];
+      nb1 = r.nbrs[1];
+      ws0 = r.wts[0];
+      ws1 = r.wts[1];
+    }
+    Walk left = walk_chain(g, scratch, ledger, c, nb0, ws0);
     if (left.closed_cycle) {
       // Whole component is a cycle; keep c as the anchor.
       std::vector<NodeId> members = std::move(left.interior);
@@ -116,7 +128,7 @@ ChainPassResult remove_chain_nodes(const CsrGraph& g,
       emit(c, c, std::move(members), std::move(offsets), total);
       continue;
     }
-    Walk right = walk_chain(g, ledger, c, nb[1], ws[1]);
+    Walk right = walk_chain(g, scratch, ledger, c, nb1, ws1);
     BRICS_CHECK(!right.closed_cycle);
 
     // Assemble the full chain left.endpoint .. c .. right.endpoint with
@@ -211,8 +223,9 @@ ChainPassResult remove_chain_nodes(const CsrGraph& g,
   for (NodeId t = 0; t < n; ++t) {
     if (!present[t] || visited[t] || g.degree(t) != 1 || ledger.pinned(t))
       continue;
-    NodeId a = g.neighbors(t)[0];
-    Weight w = g.weights(t)[0];
+    const RowRef tip = g.row(t, scratch);
+    NodeId a = tip.nbrs[0];
+    Weight w = tip.wts[0];
     if (!present[a]) continue;  // anchor consumed by an earlier chain
     if (g.degree(a) == 1) {
       // K2 component: keep one end as the anchor (t is never pinned here;

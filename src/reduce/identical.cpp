@@ -10,71 +10,85 @@ namespace brics {
 namespace {
 
 // Order-sensitive hash of a (neighbour, weight) sequence. Adjacency lists
-// are sorted, so equal sets hash equally.
-std::uint64_t hash_adjacency(std::span<const NodeId> nbrs,
-                             std::span<const Weight> wts,
-                             NodeId skip = kInvalidNode,
-                             bool include_self = false, NodeId self = 0) {
+// are sorted, so equal sets hash equally. Templated over the adjacency
+// backend — this is the reduction's costliest kernel (bench/micro_engines)
+// and must not branch per entry on the storage mode.
+template <class Adj>
+std::uint64_t hash_adjacency(const Adj& adj, NodeId v,
+                             bool include_self = false) {
   std::uint64_t h = 0x9e3779b97f4a7c15ULL;
   auto feed = [&h](std::uint64_t x) {
     h ^= mix64(x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
   };
   bool self_emitted = false;
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    if (nbrs[i] == skip) continue;
-    if (include_self && !self_emitted && nbrs[i] > self) {
-      feed(self);
+  adj.for_neighbors(v, [&](NodeId t, Weight w) {
+    if (include_self && !self_emitted && t > v) {
+      feed(v);
       feed(1);
       self_emitted = true;
     }
-    feed(nbrs[i]);
-    feed(wts[i]);
-  }
+    feed(t);
+    feed(w);
+  });
   if (include_self && !self_emitted) {
-    feed(self);
+    feed(v);
     feed(1);
   }
   return h;
 }
 
 // Exact open-twin test: equal (neighbour, weight) lists.
-bool open_twins(const CsrGraph& g, NodeId u, NodeId v) {
-  auto nu = g.neighbors(u), nv = g.neighbors(v);
-  auto wu = g.weights(u), wv = g.weights(v);
-  return nu.size() == nv.size() &&
-         std::equal(nu.begin(), nu.end(), nv.begin()) &&
-         std::equal(wu.begin(), wu.end(), wv.begin());
+template <class Adj>
+bool open_twins(const Adj& adj, NodeId u, NodeId v) {
+  if (adj.degree(u) != adj.degree(v)) return false;
+  auto cu = adj.cursor(u);
+  auto cv = adj.cursor(v);
+  for (; !cu.done(); cu.advance(), cv.advance())
+    if (cu.target() != cv.target() || cu.weight() != cv.weight())
+      return false;
+  return true;
 }
 
 // Exact closed-twin test: u ~ v and N(u)\{v} == N(v)\{u} with equal
 // weights; only called for nodes with all-unit incident weights.
-bool closed_twins(const CsrGraph& g, NodeId u, NodeId v) {
+template <class Adj>
+bool closed_twins(const CsrGraph& g, const Adj& adj, NodeId u, NodeId v) {
   if (!g.has_edge(u, v)) return false;
-  auto nu = g.neighbors(u), nv = g.neighbors(v);
-  if (nu.size() != nv.size()) return false;
-  std::size_t i = 0, j = 0;
-  while (i < nu.size() && j < nv.size()) {
-    if (nu[i] == v) {
-      ++i;
+  if (adj.degree(u) != adj.degree(v)) return false;
+  auto cu = adj.cursor(u);
+  auto cv = adj.cursor(v);
+  while (!cu.done() && !cv.done()) {
+    if (cu.target() == v) {
+      cu.advance();
       continue;
     }
-    if (nv[j] == u) {
-      ++j;
+    if (cv.target() == u) {
+      cv.advance();
       continue;
     }
-    if (nu[i] != nv[j]) return false;
-    ++i;
-    ++j;
+    if (cu.target() != cv.target()) return false;
+    cu.advance();
+    cv.advance();
   }
-  while (i < nu.size() && nu[i] == v) ++i;
-  while (j < nv.size() && nv[j] == u) ++j;
-  return i == nu.size() && j == nv.size();
+  while (!cu.done() && cu.target() == v) cu.advance();
+  while (!cv.done() && cv.target() == u) cv.advance();
+  return cu.done() && cv.done();
 }
 
-bool all_unit_weights(const CsrGraph& g, NodeId v) {
-  for (Weight w : g.weights(v))
-    if (w != 1) return false;
-  return true;
+template <class Adj>
+bool all_unit_weights(const Adj& adj, NodeId v) {
+  bool unit = true;
+  adj.for_neighbors(v, [&](NodeId, Weight w) {
+    if (w != 1) unit = false;
+  });
+  return unit;
+}
+
+template <class Adj>
+Weight min_incident_weight(const Adj& adj, NodeId v) {
+  Weight wmin = std::numeric_limits<Weight>::max();
+  adj.for_neighbors(v, [&](NodeId, Weight w) { wmin = std::min(wmin, w); });
+  return wmin;
 }
 
 }  // namespace
@@ -86,98 +100,96 @@ IdenticalPassStats remove_identical_nodes(const CsrGraph& g,
   IdenticalPassStats stats;
   const NodeId n = g.num_nodes();
 
-  // ---- Open twins: bucket by adjacency hash, verify, keep smallest id. ----
-  // Hashing every adjacency list is the pass's hot loop (and the costliest
-  // kernel of the whole reduction, per bench/micro_engines) — compute the
-  // hashes in parallel, then fill buckets sequentially.
-  std::vector<std::uint64_t> open_hash(n, 0);
+  g.with_adjacency([&](const auto& adj) {
+    // ---- Open twins: bucket by adjacency hash, verify, keep smallest
+    // id. Hashing every adjacency list is the pass's hot loop — compute
+    // the hashes in parallel, then fill buckets sequentially.
+    std::vector<std::uint64_t> open_hash(n, 0);
 #pragma omp parallel for schedule(dynamic, 1024)
-  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-    const NodeId u = static_cast<NodeId>(v);
-    if (!present[u] || g.degree(u) == 0) continue;
-    open_hash[u] = hash_adjacency(g.neighbors(u), g.weights(u));
-  }
-  std::unordered_map<std::uint64_t, std::vector<NodeId>> buckets;
-  buckets.reserve(n);
-  for (NodeId v = 0; v < n; ++v) {
-    if (!present[v] || g.degree(v) == 0) continue;
-    buckets[open_hash[v]].push_back(v);
-  }
-  for (auto& [h, cand] : buckets) {
-    (void)h;
-    if (cand.size() < 2) continue;
-    // Partition the bucket into exact-equality groups (collision-safe).
-    std::vector<std::uint8_t> grouped(cand.size(), 0);
-    for (std::size_t i = 0; i < cand.size(); ++i) {
-      if (grouped[i]) continue;
-      std::vector<NodeId> group{cand[i]};
-      for (std::size_t j = i + 1; j < cand.size(); ++j) {
-        if (grouped[j] || !open_twins(g, cand[i], cand[j])) continue;
-        grouped[j] = 1;
-        group.push_back(cand[j]);
-      }
-      if (group.size() < 2) continue;
-      ++stats.groups;
-      // A pinned member (anchor of an earlier record) must survive, so it
-      // makes the best representative; other pinned members simply stay.
-      NodeId rep = group[0];
-      for (NodeId m : group)
-        if (ledger.pinned(m)) {
-          rep = m;
-          break;
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      const NodeId u = static_cast<NodeId>(v);
+      if (!present[u] || adj.degree(u) == 0) continue;
+      open_hash[u] = hash_adjacency(adj, u);
+    }
+    std::unordered_map<std::uint64_t, std::vector<NodeId>> buckets;
+    buckets.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!present[v] || adj.degree(v) == 0) continue;
+      buckets[open_hash[v]].push_back(v);
+    }
+    for (auto& [h, cand] : buckets) {
+      (void)h;
+      if (cand.size() < 2) continue;
+      // Partition the bucket into exact-equality groups (collision-safe).
+      std::vector<std::uint8_t> grouped(cand.size(), 0);
+      for (std::size_t i = 0; i < cand.size(); ++i) {
+        if (grouped[i]) continue;
+        std::vector<NodeId> group{cand[i]};
+        for (std::size_t j = i + 1; j < cand.size(); ++j) {
+          if (grouped[j] || !open_twins(adj, cand[i], cand[j])) continue;
+          grouped[j] = 1;
+          group.push_back(cand[j]);
         }
-      // d(rep, twin) = 2 * cheapest common incident weight.
-      Weight wmin = g.weights(rep)[0];
-      for (Weight w : g.weights(rep)) wmin = std::min(wmin, w);
-      for (NodeId m : group) {
-        if (m == rep || ledger.pinned(m)) continue;
-        ledger.record_identical(m, rep, 2 * wmin);
-        present[m] = 0;
-        ++stats.removed;
-        ++stats.open_removed;
+        if (group.size() < 2) continue;
+        ++stats.groups;
+        // A pinned member (anchor of an earlier record) must survive, so
+        // it makes the best representative; other pinned members stay.
+        NodeId rep = group[0];
+        for (NodeId m : group)
+          if (ledger.pinned(m)) {
+            rep = m;
+            break;
+          }
+        // d(rep, twin) = 2 * cheapest common incident weight.
+        const Weight wmin = min_incident_weight(adj, rep);
+        for (NodeId m : group) {
+          if (m == rep || ledger.pinned(m)) continue;
+          ledger.record_identical(m, rep, 2 * wmin);
+          present[m] = 0;
+          ++stats.removed;
+          ++stats.open_removed;
+        }
       }
     }
-  }
 
-  // ---- Closed twins among the survivors with unit incident weights. ----
-  std::unordered_map<std::uint64_t, std::vector<NodeId>> cbuckets;
-  for (NodeId v = 0; v < n; ++v) {
-    if (!present[v] || g.degree(v) == 0) continue;
-    if (!all_unit_weights(g, v)) continue;
-    cbuckets[hash_adjacency(g.neighbors(v), g.weights(v), kInvalidNode,
-                            /*include_self=*/true, v)]
-        .push_back(v);
-  }
-  for (auto& [h, cand] : cbuckets) {
-    (void)h;
-    if (cand.size() < 2) continue;
-    std::vector<std::uint8_t> grouped(cand.size(), 0);
-    for (std::size_t i = 0; i < cand.size(); ++i) {
-      if (grouped[i] || !present[cand[i]]) continue;
-      std::vector<NodeId> group{cand[i]};
-      for (std::size_t j = i + 1; j < cand.size(); ++j) {
-        if (grouped[j] || !present[cand[j]]) continue;
-        if (!closed_twins(g, cand[i], cand[j])) continue;
-        grouped[j] = 1;
-        group.push_back(cand[j]);
-      }
-      if (group.size() < 2) continue;
-      ++stats.groups;
-      NodeId rep = group[0];
-      for (NodeId m : group)
-        if (ledger.pinned(m)) {
-          rep = m;
-          break;
+    // ---- Closed twins among the survivors with unit incident weights. ---
+    std::unordered_map<std::uint64_t, std::vector<NodeId>> cbuckets;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!present[v] || adj.degree(v) == 0) continue;
+      if (!all_unit_weights(adj, v)) continue;
+      cbuckets[hash_adjacency(adj, v, /*include_self=*/true)].push_back(v);
+    }
+    for (auto& [h, cand] : cbuckets) {
+      (void)h;
+      if (cand.size() < 2) continue;
+      std::vector<std::uint8_t> grouped(cand.size(), 0);
+      for (std::size_t i = 0; i < cand.size(); ++i) {
+        if (grouped[i] || !present[cand[i]]) continue;
+        std::vector<NodeId> group{cand[i]};
+        for (std::size_t j = i + 1; j < cand.size(); ++j) {
+          if (grouped[j] || !present[cand[j]]) continue;
+          if (!closed_twins(g, adj, cand[i], cand[j])) continue;
+          grouped[j] = 1;
+          group.push_back(cand[j]);
         }
-      for (NodeId m : group) {
-        if (m == rep || ledger.pinned(m)) continue;
-        ledger.record_identical(m, rep, g.edge_weight(rep, m));
-        present[m] = 0;
-        ++stats.removed;
-        ++stats.closed_removed;
+        if (group.size() < 2) continue;
+        ++stats.groups;
+        NodeId rep = group[0];
+        for (NodeId m : group)
+          if (ledger.pinned(m)) {
+            rep = m;
+            break;
+          }
+        for (NodeId m : group) {
+          if (m == rep || ledger.pinned(m)) continue;
+          ledger.record_identical(m, rep, g.edge_weight(rep, m));
+          present[m] = 0;
+          ++stats.removed;
+          ++stats.closed_removed;
+        }
       }
     }
-  }
+  });
 
   return stats;
 }

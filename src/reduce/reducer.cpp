@@ -1,6 +1,7 @@
 #include "reduce/reducer.hpp"
 
 #include "exec/failpoint.hpp"
+#include "graph/stream_build.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -9,22 +10,32 @@ namespace brics {
 namespace {
 
 // Rebuild a CSR graph containing only edges between present nodes, plus the
-// compressed-chain edges produced by the latest chain pass.
+// compressed-chain edges produced by the latest chain pass. Streams the
+// surviving rows through both builder passes — no edge-list copy — and
+// keeps the input's storage mode.
 CsrGraph rebuild(const CsrGraph& g, const std::vector<std::uint8_t>& present,
                  std::span<const Edge> extra) {
-  GraphBuilder b(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (!present[v]) continue;
-    auto nb = g.neighbors(v);
-    auto ws = g.weights(v);
-    for (std::size_t i = 0; i < nb.size(); ++i)
-      if (v < nb[i] && present[nb[i]]) b.add_edge(v, nb[i], ws[i]);
+  TwoPassBuilder b(g.num_nodes());
+  for (int pass = 0; pass < 2; ++pass) {
+    if (pass == 1) b.begin_scatter();
+    auto emit = [&](NodeId u, NodeId v, Weight w) {
+      if (pass == 0)
+        b.count_edge(u, v, w);
+      else
+        b.scatter_edge(u, v, w);
+    };
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!present[v]) continue;
+      g.for_neighbors(v, [&](NodeId t, Weight w) {
+        if (v < t && present[t]) emit(v, t, w);
+      });
+    }
+    for (const Edge& e : extra) {
+      BRICS_CHECK(present[e.u] && present[e.v]);
+      if (e.u != e.v) emit(e.u, e.v, e.w);
+    }
   }
-  for (const Edge& e : extra) {
-    BRICS_CHECK(present[e.u] && present[e.v]);
-    if (e.u != e.v) b.add_edge(e.u, e.v, e.w);
-  }
-  return b.build();
+  return b.finish(g.storage());
 }
 
 void accumulate(IdenticalPassStats& a, const IdenticalPassStats& b) {

@@ -18,18 +18,18 @@ struct LiveNbrs {
 };
 
 LiveNbrs live_neighbors(const CsrGraph& g,
-                        const std::vector<std::uint8_t>& present, NodeId v) {
+                        const std::vector<std::uint8_t>& present,
+                        RowScratch& scratch, NodeId v) {
   LiveNbrs out;
-  auto nb = g.neighbors(v);
-  auto ws = g.weights(v);
-  for (std::size_t i = 0; i < nb.size(); ++i) {
-    if (!present[nb[i]]) continue;
+  const RowRef r = g.row(v, scratch);
+  for (std::size_t i = 0; i < r.nbrs.size(); ++i) {
+    if (!present[r.nbrs[i]]) continue;
     if (out.count == 5) {
       out.overflow = true;
       break;
     }
-    out.ids[out.count] = nb[i];
-    out.wts[out.count] = ws[i];
+    out.ids[out.count] = r.nbrs[i];
+    out.wts[out.count] = r.wts[i];
     ++out.count;
   }
   if (out.count == 5) out.overflow = true;
@@ -41,10 +41,9 @@ Dist live_edge_weight(const CsrGraph& g,
                       const std::vector<std::uint8_t>& present, NodeId a,
                       NodeId b) {
   if (!present[a] || !present[b]) return kInfDist;
-  auto nb = g.neighbors(a);
-  auto it = std::lower_bound(nb.begin(), nb.end(), b);
-  if (it == nb.end() || *it != b) return kInfDist;
-  return g.weights(a)[static_cast<std::size_t>(it - nb.begin())];
+  Weight w = 0;
+  if (!g.find_edge(a, b, w)) return kInfDist;
+  return w;
 }
 
 /// True iff v matches the paper's redundancy criterion, extended with
@@ -95,11 +94,12 @@ RedundantPassStats remove_redundant_nodes(const CsrGraph& g,
   BRICS_CHECK(present.size() == g.num_nodes());
   RedundantPassStats stats;
   const NodeId n = g.num_nodes();
+  RowScratch scratch;
   for (NodeId v = 0; v < n; ++v) {
     if (!present[v] || ledger.pinned(v)) continue;
     const std::uint32_t deg = g.degree(v);
     if (deg < 3) continue;  // degree 1/2 belongs to the chain pass
-    LiveNbrs nb = live_neighbors(g, present, v);
+    LiveNbrs nb = live_neighbors(g, present, scratch, v);
     if (nb.overflow || nb.count < 3) continue;
     if (!is_redundant(g, present, nb)) continue;
     ledger.record_redundant(

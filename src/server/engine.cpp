@@ -78,6 +78,7 @@ std::uint64_t engine_state_hash(const EstimateOptions& opts) {
   hash_mix(h, static_cast<std::uint64_t>(opts.strategy));
   hash_mix(h, static_cast<std::uint64_t>(opts.kernel));
   hash_mix(h, static_cast<std::uint64_t>(opts.measure));
+  hash_mix(h, static_cast<std::uint64_t>(opts.storage));
   return h;
 }
 

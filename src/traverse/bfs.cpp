@@ -59,25 +59,31 @@ bool bfs(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
                      const auto busy_start = std::chrono::steady_clock::now();)
   dist[source] = 0;
   queue.push_back(source);
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    if (cancel && head % kPollStride == 0 && cancel->poll()) {
-      BRICS_COUNTER_ADD(c_cancelled, 1);
-      BRICS_METRICS_ONLY(c_busy.add(elapsed_ns(busy_start));)
-      return false;
+  // One dispatch on the storage backend, then a branch-free frontier loop
+  // per instantiation (plain span walk / inline varint decode).
+  const bool done = g.with_adjacency([&](const auto& adj) {
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      if (cancel && head % kPollStride == 0 && cancel->poll()) return false;
+      const NodeId u = queue[head];
+      const Dist du = dist[u];
+      BRICS_METRICS_ONLY(edges += adj.degree(u); if (du != level) {
+        h_frontier.observe(head - level_start);
+        level = du;
+        level_start = head;
+      })
+      adj.for_targets(u, [&](NodeId w) {
+        if (dist[w] == kInfDist) {
+          dist[w] = du + 1;
+          queue.push_back(w);
+        }
+      });
     }
-    const NodeId u = queue[head];
-    const Dist du = dist[u];
-    BRICS_METRICS_ONLY(edges += g.degree(u); if (du != level) {
-      h_frontier.observe(head - level_start);
-      level = du;
-      level_start = head;
-    })
-    for (NodeId w : g.neighbors(u)) {
-      if (dist[w] == kInfDist) {
-        dist[w] = du + 1;
-        queue.push_back(w);
-      }
-    }
+    return true;
+  });
+  if (!done) {
+    BRICS_COUNTER_ADD(c_cancelled, 1);
+    BRICS_METRICS_ONLY(c_busy.add(elapsed_ns(busy_start));)
+    return false;
   }
   BRICS_METRICS_ONLY(h_frontier.observe(queue.size() - level_start);
                      c_sources.add(1); c_nodes.add(queue.size());
@@ -105,44 +111,46 @@ bool dial_sssp(const CsrGraph& g, NodeId source, TraversalWorkspace& ws,
                      const auto busy_start = std::chrono::steady_clock::now();)
   dist[source] = 0;
   buckets[0].push_back(source);
-  std::size_t remaining = 1;
-  std::size_t settled = 0;
-  for (Dist d = 0; remaining > 0; ++d) {
-    auto& bucket = buckets[d % nb];
-    // Bucket size as the frontier proxy (may include stale entries).
-    BRICS_METRICS_ONLY(if (!bucket.empty())
-                           h_frontier.observe(bucket.size());)
-    // Process bucket d; relaxations may append to buckets d+1 .. d+c, all
-    // distinct modulo nb, so the current bucket is never appended to.
-    for (std::size_t i = 0; i < bucket.size(); ++i) {
-      if (cancel && ++settled % kPollStride == 0 && cancel->poll()) {
-        // Leave the workspace reusable: clear every touched bucket.
-        for (auto& b : buckets) b.clear();
-        BRICS_COUNTER_ADD(c_cancelled, 1);
-        BRICS_METRICS_ONLY(c_busy.add(elapsed_ns(busy_start));)
-        return false;
+  const bool done = g.with_adjacency([&](const auto& adj) {
+    std::size_t remaining = 1;
+    std::size_t settled = 0;
+    for (Dist d = 0; remaining > 0; ++d) {
+      auto& bucket = buckets[d % nb];
+      // Bucket size as the frontier proxy (may include stale entries).
+      BRICS_METRICS_ONLY(if (!bucket.empty())
+                             h_frontier.observe(bucket.size());)
+      // Process bucket d; relaxations may append to buckets d+1 .. d+c, all
+      // distinct modulo nb, so the current bucket is never appended to.
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (cancel && ++settled % kPollStride == 0 && cancel->poll())
+          return false;
+        const NodeId u = bucket[i];
+        if (dist[u] != d) continue;  // stale entry, settled earlier
+        BRICS_METRICS_ONLY(edges += adj.degree(u); ++nodes;)
+        adj.for_neighbors(u, [&](NodeId v, Weight w) {
+          const Dist cand = d + w;
+          if (cand < dist[v]) {
+            dist[v] = cand;
+            buckets[cand % nb].push_back(v);
+            ++remaining;
+          }
+        });
       }
-      const NodeId u = bucket[i];
-      if (dist[u] != d) continue;  // stale entry, settled earlier
-      auto nbrs = g.neighbors(u);
-      auto wts = g.weights(u);
-      BRICS_METRICS_ONLY(edges += nbrs.size(); ++nodes;)
-      for (std::size_t k = 0; k < nbrs.size(); ++k) {
-        const NodeId v = nbrs[k];
-        const Dist cand = d + wts[k];
-        if (cand < dist[v]) {
-          dist[v] = cand;
-          buckets[cand % nb].push_back(v);
-          ++remaining;
-        }
-      }
+      remaining -= bucket.size();
+      bucket.clear();
     }
-    remaining -= bucket.size();
-    bucket.clear();
+    return true;
+  });
+  if (!done) {
+    // Leave the workspace reusable: clear every touched bucket.
+    for (auto& b : buckets) b.clear();
+    BRICS_COUNTER_ADD(c_cancelled, 1);
+    BRICS_METRICS_ONLY(c_busy.add(elapsed_ns(busy_start));)
+    return false;
   }
   BRICS_METRICS_ONLY(c_sources.add(1); c_nodes.add(nodes);
-                     c_edges.add(edges);
-                     c_busy.add(elapsed_ns(busy_start));)
+                     c_busy.add(elapsed_ns(busy_start));
+                     c_edges.add(edges);)
   return true;
 }
 

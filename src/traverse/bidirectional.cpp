@@ -34,14 +34,14 @@ Dist bidirectional_distance(const CsrGraph& g, NodeId s, NodeId t) {
 
     next.clear();
     for (NodeId u : frontier) {
-      for (NodeId w : g.neighbors(u)) {
-        if (mine[w] != kInfDist) continue;
+      g.for_neighbors(u, [&](NodeId w, Weight) {
+        if (mine[w] != kInfDist) return;
         mine[w] = mine[u] + 1;
         if (theirs[w] != kInfDist)
           best = std::min(best,
                           static_cast<Dist>(mine[w] + theirs[w]));
         next.push_back(w);
-      }
+      });
     }
     frontier.swap(next);
     ++radius;
@@ -68,16 +68,14 @@ Dist point_to_point(const CsrGraph& g, NodeId s, NodeId t) {
       const NodeId u = bucket[i];
       if (dist[u] != d) continue;
       if (u == t) return d;
-      auto nbrs = g.neighbors(u);
-      auto wts = g.weights(u);
-      for (std::size_t j = 0; j < nbrs.size(); ++j) {
-        const Dist cand = d + wts[j];
-        if (cand < dist[nbrs[j]]) {
-          dist[nbrs[j]] = cand;
-          buckets[cand % nb].push_back(nbrs[j]);
+      g.for_neighbors(u, [&](NodeId v, Weight w) {
+        const Dist cand = d + w;
+        if (cand < dist[v]) {
+          dist[v] = cand;
+          buckets[cand % nb].push_back(v);
           ++remaining;
         }
-      }
+      });
     }
     remaining -= bucket.size();
     bucket.clear();

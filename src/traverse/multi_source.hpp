@@ -16,6 +16,7 @@
 
 #include "graph/csr_graph.hpp"
 #include "traverse/bfs.hpp"
+#include "util/first_touch.hpp"
 #include "util/parallel.hpp"
 
 namespace brics {
@@ -120,13 +121,18 @@ class DistanceSumAccumulator {
       if (dist[v] != kInfDist) buf[v] += dist[v];
   }
 
-  /// Merge all thread buffers into one total (call outside parallel region).
+  /// Merge all thread buffers into one total (call outside parallel
+  /// region). The merge is a parallel static sweep over nodes so the
+  /// result pages are first-touched by the threads that later read them;
+  /// per-node buffer order is preserved (integer sums — order-free anyway).
   std::vector<FarnessSum> merge() const {
-    std::vector<FarnessSum> total(n_, 0);
-    for (const auto& buf : per_thread_) {
-      if (buf.empty()) continue;
-      for (NodeId v = 0; v < n_; ++v) total[v] += buf[v];
-    }
+    std::vector<FarnessSum> total;
+    first_touch_assign(total, n_, FarnessSum{0});
+    const std::int64_t sn = static_cast<std::int64_t>(n_);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t v = 0; v < sn; ++v)
+      for (const auto& buf : per_thread_)
+        if (!buf.empty()) total[static_cast<std::size_t>(v)] += buf[v];
     return total;
   }
 

@@ -1,0 +1,83 @@
+// NUMA-aware first-touch array initialisation.
+//
+// On NUMA machines the OS homes each page of an allocation on the memory
+// node of the thread that FIRST writes it. A sequential `assign(n, 0)` on
+// the driver thread therefore lands every page of a gigabyte-scale
+// accumulator on one socket, and all remote threads pay cross-socket
+// latency for the array's whole lifetime. These helpers write every
+// element from an OpenMP `schedule(static)` loop — the same deterministic
+// thread→range mapping the parallel kernels use to read and merge the
+// array later — so page homes match the access pattern.
+//
+// first_touch_array() is the strong form: it allocates with
+// make_unique_for_overwrite (no value-init, so the parallel fill is the
+// genuine first touch) and hands the buffer back as a vector-compatible
+// owner. first_touch_assign() is the retrofit form for call sites that
+// must keep std::vector: on a freshly reserved vector the zero-fill of
+// resize() already touches pages, so the parallel pass only fixes re-used
+// buffers — still worthwhile for per-round re-initialisation, and a no-op
+// cost otherwise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace brics {
+
+/// Owning first-touch buffer: allocation is uninitialised, the parallel
+/// static fill performs the actual first touch of every page.
+template <class T>
+class FirstTouchArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "first-touch skips construction; T must be trivial");
+
+ public:
+  FirstTouchArray() = default;
+  FirstTouchArray(std::size_t n, T value) { assign(n, value); }
+
+  void assign(std::size_t n, T value) {
+    if (n > cap_) {
+      data_ = std::make_unique_for_overwrite<T[]>(n);
+      cap_ = n;
+    }
+    size_ = n;
+    T* p = data_.get();
+    const std::int64_t sn = static_cast<std::int64_t>(n);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < sn; ++i) p[i] = value;
+  }
+
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T* begin() { return data_.get(); }
+  T* end() { return data_.get() + size_; }
+  const T* begin() const { return data_.get(); }
+  const T* end() const { return data_.get() + size_; }
+
+ private:
+  std::unique_ptr<T[]> data_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+/// Parallel static re-initialisation of an existing vector. Guarantees the
+/// same thread→page mapping as a `schedule(static)` reader; for a buffer
+/// that is being re-used (capacity already present) this IS the first
+/// touch of any page evicted or remapped since, and re-homes nothing
+/// otherwise.
+template <class T>
+void first_touch_assign(std::vector<T>& v, std::size_t n, T value) {
+  v.resize(n);
+  T* p = v.data();
+  const std::int64_t sn = static_cast<std::int64_t>(n);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < sn; ++i) p[i] = value;
+}
+
+}  // namespace brics

@@ -1,0 +1,193 @@
+// Varint/delta codec and adjacency-view tests: known-answer LEB128
+// encodings, adversarial byte streams (truncated / overlong / overflowing
+// varints must raise InputError, never read out of bounds), and
+// compress()/decompress() round trips that must reproduce every row
+// bit-for-bit in both unit-weight and weighted graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "exec/errors.hpp"
+#include "graph/adjacency.hpp"
+#include "graph/csr_graph.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+using test::make_graph;
+
+std::vector<std::uint8_t> enc(std::uint64_t x) {
+  std::vector<std::uint8_t> out;
+  varint_append(out, x);
+  return out;
+}
+
+std::uint64_t dec_checked(const std::vector<std::uint8_t>& bytes) {
+  const std::uint8_t* p = bytes.data();
+  return varint_decode_checked(p, bytes.data() + bytes.size());
+}
+
+// ---- Known-answer encodings ---------------------------------------------
+
+TEST(Varint, KnownAnswerEncodings) {
+  EXPECT_EQ(enc(0), (std::vector<std::uint8_t>{0x00}));
+  EXPECT_EQ(enc(1), (std::vector<std::uint8_t>{0x01}));
+  EXPECT_EQ(enc(127), (std::vector<std::uint8_t>{0x7F}));
+  EXPECT_EQ(enc(128), (std::vector<std::uint8_t>{0x80, 0x01}));
+  EXPECT_EQ(enc(300), (std::vector<std::uint8_t>{0xAC, 0x02}));
+  EXPECT_EQ(enc(16383), (std::vector<std::uint8_t>{0xFF, 0x7F}));
+  EXPECT_EQ(enc(16384), (std::vector<std::uint8_t>{0x80, 0x80, 0x01}));
+  // UINT64_MAX: nine 0xFF groups carrying 63 bits, final byte 0x01.
+  EXPECT_EQ(enc(std::numeric_limits<std::uint64_t>::max()),
+            (std::vector<std::uint8_t>{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                                       0xFF, 0xFF, 0xFF, 0x01}));
+}
+
+TEST(Varint, RoundTripAtGroupBoundaries) {
+  std::vector<std::uint64_t> values = {0, 1, 2, 63, 64, 65};
+  for (unsigned k = 1; k <= 9; ++k) {
+    const std::uint64_t b = std::uint64_t{1} << (7 * k);
+    values.push_back(b - 1);
+    values.push_back(b);
+    values.push_back(b + 1);
+  }
+  values.push_back(std::numeric_limits<std::uint64_t>::max());
+  for (std::uint64_t v : values) {
+    const std::vector<std::uint8_t> bytes = enc(v);
+    ASSERT_LE(bytes.size(), kMaxVarintBytes);
+    EXPECT_EQ(dec_checked(bytes), v) << v;
+    // The unchecked hot-path decoder must agree on every accepted stream.
+    const std::uint8_t* p = bytes.data();
+    EXPECT_EQ(varint_decode(p), v) << v;
+    EXPECT_EQ(p, bytes.data() + bytes.size()) << v;
+  }
+}
+
+TEST(Varint, CheckedDecodeAdvancesPastEachValue) {
+  std::vector<std::uint8_t> bytes;
+  varint_append(bytes, 5);
+  varint_append(bytes, 300);
+  varint_append(bytes, 0);
+  const std::uint8_t* p = bytes.data();
+  const std::uint8_t* end = bytes.data() + bytes.size();
+  EXPECT_EQ(varint_decode_checked(p, end), 5u);
+  EXPECT_EQ(varint_decode_checked(p, end), 300u);
+  EXPECT_EQ(varint_decode_checked(p, end), 0u);
+  EXPECT_EQ(p, end);
+}
+
+// ---- Adversarial byte streams -------------------------------------------
+
+TEST(Varint, TruncatedStreamRaises) {
+  // Continuation bit set but the stream ends.
+  const std::vector<std::vector<std::uint8_t>> streams = {
+      {}, {0x80}, {0xFF, 0xFF}, {0x80, 0x80, 0x80}};
+  for (const std::vector<std::uint8_t>& bytes : streams)
+    EXPECT_THROW(dec_checked(bytes), InputError) << bytes.size();
+}
+
+TEST(Varint, OverlongEncodingRaises) {
+  // A canonical encoder never emits a multi-byte varint whose last byte is
+  // 0x00 — 128 encoded in two groups, say. Decoding one is adversarial
+  // input, not an alternate spelling.
+  EXPECT_THROW(dec_checked({0x80, 0x00}), InputError);
+  EXPECT_THROW(dec_checked({0xFF, 0x80, 0x00}), InputError);
+}
+
+TEST(Varint, OverflowRaises) {
+  // Ten full groups: bit 70 would be set — does not fit in 64 bits.
+  EXPECT_THROW(
+      dec_checked({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                   0x02}),
+      InputError);
+  // Eleven bytes: longer than any canonical 64-bit varint.
+  EXPECT_THROW(
+      dec_checked({0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                   0x80, 0x01}),
+      InputError);
+}
+
+// ---- Compress / decompress round trips ----------------------------------
+
+CsrGraph weighted_fixture() {
+  return make_graph(6, {{0, 1, 3}, {0, 2, 1}, {1, 2, 7}, {2, 3, 2},
+                        {3, 4, 300}, {4, 5, 1}, {0, 5, 128}});
+}
+
+TEST(CompactStorage, RoundTripPreservesEveryRow) {
+  for (const CsrGraph& orig :
+       {make_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}, {1, 3}}),
+        weighted_fixture()}) {
+    CsrGraph g = orig;
+    g.compress();
+    EXPECT_EQ(g.storage(), AdjacencyStorage::kCompact);
+    g.validate();
+    EXPECT_TRUE(test::graphs_equal(g, orig));
+    g.decompress();
+    EXPECT_EQ(g.storage(), AdjacencyStorage::kPlain);
+    for (NodeId v = 0; v < orig.num_nodes(); ++v) {
+      ASSERT_EQ(g.degree(v), orig.degree(v));
+      EXPECT_TRUE(std::ranges::equal(g.neighbors(v), orig.neighbors(v)));
+      EXPECT_TRUE(std::ranges::equal(g.weights(v), orig.weights(v)));
+    }
+  }
+}
+
+TEST(CompactStorage, ViewsAgreeAcrossBackends) {
+  const CsrGraph plain = weighted_fixture();
+  CsrGraph compact = plain;
+  compact.compress();
+  for (NodeId v = 0; v < plain.num_nodes(); ++v) {
+    std::vector<std::pair<NodeId, Weight>> a, b, c;
+    plain.for_neighbors(v, [&](NodeId t, Weight w) { a.emplace_back(t, w); });
+    compact.for_neighbors(v,
+                          [&](NodeId t, Weight w) { b.emplace_back(t, w); });
+    compact.with_adjacency([&](const auto& adj) {
+      for (auto cur = adj.cursor(v); !cur.done(); cur.advance())
+        c.emplace_back(cur.target(), cur.weight());
+    });
+    EXPECT_EQ(a, b) << "node " << v;
+    EXPECT_EQ(a, c) << "node " << v;
+  }
+}
+
+TEST(CompactStorage, RowAndFindEdgeDecodeCompactRows) {
+  const CsrGraph plain = weighted_fixture();
+  CsrGraph compact = plain;
+  compact.compress();
+  RowScratch scratch;
+  for (NodeId v = 0; v < plain.num_nodes(); ++v) {
+    const RowRef r = compact.row(v, scratch);
+    EXPECT_TRUE(std::ranges::equal(r.nbrs, plain.neighbors(v)));
+    EXPECT_TRUE(std::ranges::equal(r.wts, plain.weights(v)));
+  }
+  Weight w = 0;
+  EXPECT_TRUE(compact.find_edge(3, 4, w));
+  EXPECT_EQ(w, 300);
+  EXPECT_FALSE(compact.find_edge(0, 3, w));
+}
+
+TEST(CompactStorage, AdjacencyBytesShrinkOnRandomGraphs) {
+  for (const char* recipe : {"erdos_renyi", "barabasi_albert", "tree"}) {
+    const CsrGraph plain = test::RandomGraphCase{recipe, 400, 9}.build();
+    CsrGraph compact = plain;
+    compact.compress();
+    EXPECT_TRUE(test::graphs_equal(compact, plain)) << recipe;
+    EXPECT_LE(compact.adjacency_bytes(),
+              (plain.adjacency_bytes() * 6) / 10)
+        << recipe;
+    const GraphMemory m = compact.memory();
+    EXPECT_EQ(m.targets_bytes, 0u);
+    EXPECT_EQ(m.weights_bytes, 0u);
+    EXPECT_GT(m.adj_payload_bytes, 0u);
+    EXPECT_GT(m.byte_offsets_bytes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace brics

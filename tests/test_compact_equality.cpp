@@ -1,0 +1,136 @@
+// Cross-backend equality: the compact (delta+varint) adjacency backend
+// must be an observationally invisible storage change. Every kernel, both
+// measures, the standard random-graph classes, and multiple sampling rates
+// (including 1.0) are run on plain and compact storage and compared
+// bit-for-bit — EXPECT_EQ on the double vectors, no tolerance. A reorder
+// round trip (BFS and degree orderings, results mapped back through the
+// permutation) rides along at rate 1.0, where the source set is the whole
+// graph and therefore permutation-invariant.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/brics.hpp"
+#include "graph/reorder.hpp"
+#include "measures/betweenness.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace brics {
+namespace {
+
+CsrGraph case_graph(const std::string& recipe) {
+  return test::RandomGraphCase{recipe, 260, 11}.build();
+}
+
+EstimateResult run(const CsrGraph& g, const EstimateOptions& opts) {
+  return opts.measure == Measure::kBetweenness ? estimate_betweenness(g, opts)
+                                               : estimate_farness(g, opts);
+}
+
+std::vector<double> run_compact(const CsrGraph& g, EstimateOptions opts) {
+  CsrGraph gc = g;
+  gc.compress();
+  opts.storage = AdjacencyStorage::kCompact;
+  return run(gc, opts).farness;
+}
+
+struct EqualityCase {
+  std::string recipe;
+  KernelChoice kernel;
+};
+
+class CompactEquality : public ::testing::TestWithParam<EqualityCase> {};
+
+TEST_P(CompactEquality, FarnessBitIdenticalAcrossRates) {
+  const EqualityCase& p = GetParam();
+  const CsrGraph g = case_graph(p.recipe);
+  for (double rate : {0.3, 1.0}) {
+    EstimateOptions opts;
+    opts.sample_rate = rate;
+    opts.kernel = p.kernel;
+    const EstimateResult plain = run(g, opts);
+    EXPECT_EQ(plain.farness, run_compact(g, opts))
+        << p.recipe << " kernel=" << to_string(p.kernel) << " rate=" << rate;
+  }
+}
+
+TEST_P(CompactEquality, BetweennessBitIdenticalAtFullRate) {
+  const EqualityCase& p = GetParam();
+  const CsrGraph g = case_graph(p.recipe);
+  EstimateOptions opts;
+  opts.measure = Measure::kBetweenness;
+  opts.sample_rate = 1.0;
+  opts.kernel = p.kernel;
+  const EstimateResult plain = run(g, opts);
+  EXPECT_EQ(plain.farness, run_compact(g, opts))
+      << p.recipe << " kernel=" << to_string(p.kernel);
+}
+
+std::vector<EqualityCase> equality_cases() {
+  std::vector<EqualityCase> out;
+  for (const char* recipe :
+       {"erdos_renyi", "tree", "twins_and_chains", "grid_subdivided",
+        "web_copy"})
+    for (KernelChoice k : {KernelChoice::kAuto, KernelChoice::kBfs,
+                           KernelChoice::kDial, KernelChoice::kBatched})
+      out.push_back({recipe, k});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphClassesTimesKernels, CompactEquality,
+    ::testing::ValuesIn(equality_cases()),
+    [](const ::testing::TestParamInfo<EqualityCase>& info) {
+      return info.param.recipe + "_" + to_string(info.param.kernel);
+    });
+
+// Weighted graphs drive the Dial kernel's weight decoding; cover it beyond
+// the unit-weight recipes above.
+TEST(CompactEqualityWeighted, DialOnSubdividedWeightsBitIdentical) {
+  Rng rng(17);
+  CsrGraph g = grid2d(12, 12, 0.85, rng);
+  g = make_connected(subdivide_edges(g, 0.7, 2, 9, rng));
+  for (double rate : {0.4, 1.0}) {
+    EstimateOptions opts;
+    opts.sample_rate = rate;
+    const EstimateResult plain = run(g, opts);
+    EXPECT_EQ(plain.farness, run_compact(g, opts)) << rate;
+  }
+}
+
+// Random-sampling baseline (no reduction, no BCC) through the compact
+// backend — the estimator the paper's Alg. 1 comparisons run.
+TEST(CompactEqualityBaseline, RandomSamplingBitIdentical) {
+  const CsrGraph g = case_graph("erdos_renyi");
+  EstimateOptions opts;
+  opts.sample_rate = 0.5;
+  opts.reduce = ReduceOptions{false, false, false};
+  opts.use_bcc = false;
+  const EstimateResult plain = run(g, opts);
+  EXPECT_EQ(plain.farness, run_compact(g, opts));
+}
+
+// Reorder round trip: estimate on the permuted graph (plain and compact),
+// map the values back with Permutation::to_original, compare against the
+// unpermuted run. Rate 1.0 with reduction and BCC off makes every value an
+// exact integer distance sum — permutation-invariant bit-for-bit. (The
+// full pipeline's ledger reconstruction is order-sensitive in its float
+// arithmetic, so reduced runs only match approximately under reordering.)
+TEST(CompactEqualityReorder, PermutedRunsMapBackBitIdentical) {
+  const CsrGraph g = case_graph("twins_and_chains");
+  EstimateOptions opts;
+  opts.sample_rate = 1.0;
+  opts.reduce = ReduceOptions{false, false, false};
+  opts.use_bcc = false;
+  const std::vector<double> base = run(g, opts).farness;
+  for (const Permutation& p : {bfs_order(g), degree_order(g)}) {
+    const CsrGraph pg = apply_permutation(g, p);
+    EXPECT_EQ(p.to_original(run(pg, opts).farness), base);
+    EXPECT_EQ(p.to_original(run_compact(pg, opts)), base);
+  }
+}
+
+}  // namespace
+}  // namespace brics

@@ -21,6 +21,12 @@ inline CsrGraph make_graph(NodeId n, const std::vector<Edge>& edges) {
   return b.build();
 }
 
+/// Structural equality across storage modes: node count plus the canonical
+/// materialised edge list (each undirected edge once, u < v, sorted).
+inline bool graphs_equal(const CsrGraph& a, const CsrGraph& b) {
+  return a.num_nodes() == b.num_nodes() && a.edge_list() == b.edge_list();
+}
+
 /// A named random-graph recipe for parameterized property suites; every
 /// recipe yields a *connected* graph.
 struct RandomGraphCase {

@@ -331,21 +331,43 @@ TEST(RunReport, JsonIsValidAndSchemaVersioned) {
   EstimateResult est = estimate_farness(g, o);
   RunReport r = make_run_report("test", "@road-grid-a", g, o, "cumulative",
                                 est, est.times.total_s);
-  EXPECT_EQ(RunReport::kSchemaVersion, 4);
+  EXPECT_EQ(RunReport::kSchemaVersion, 5);
   EXPECT_EQ(r.nodes, static_cast<std::uint64_t>(g.num_nodes()));
   EXPECT_EQ(r.cut_phase, "none");
   EXPECT_EQ(r.measure, "farness");
+  EXPECT_EQ(r.storage, "plain");
+  EXPECT_GT(r.bytes_per_edge, 0.0);
   const std::string js = to_json(r);
   std::string err;
   EXPECT_TRUE(json_valid(js, &err)) << err;
-  EXPECT_NE(js.find("\"schema_version\":4"), std::string::npos);
+  EXPECT_NE(js.find("\"schema_version\":5"), std::string::npos);
   EXPECT_NE(js.find("\"measure\":\"farness\""), std::string::npos);
   EXPECT_NE(js.find("\"phases\""), std::string::npos);
   EXPECT_NE(js.find("\"reduction\""), std::string::npos);
   EXPECT_NE(js.find("\"exec\""), std::string::npos);
   EXPECT_NE(js.find("\"parallel\""), std::string::npos);
   EXPECT_NE(js.find("\"recovery\""), std::string::npos);
+  EXPECT_NE(js.find("\"memory\""), std::string::npos);
+  EXPECT_NE(js.find("\"storage\":\"plain\""), std::string::npos);
+  EXPECT_NE(js.find("\"peak_rss_bytes\""), std::string::npos);
   EXPECT_NE(js.find("\"metrics\""), std::string::npos);
+}
+
+TEST(RunReport, CompactGraphReportsCompactStorage) {
+  CsrGraph g = pipeline_graph();
+  g.compress();
+  EstimateOptions o;
+  o.sample_rate = 0.2;
+  o.storage = AdjacencyStorage::kCompact;
+  EstimateResult est = estimate_farness(g, o);
+  RunReport r = make_run_report("test", "@road-grid-a", g, o, "cumulative",
+                                est, est.times.total_s);
+  EXPECT_EQ(r.storage, "compact");
+  EXPECT_EQ(r.graph_mem.targets_bytes, 0u);
+  EXPECT_GT(r.graph_mem.adj_payload_bytes, 0u);
+  const std::string js = to_json(r);
+  EXPECT_TRUE(json_valid(js));
+  EXPECT_NE(js.find("\"storage\":\"compact\""), std::string::npos);
 }
 
 TEST(RunReport, DegradedRunCarriesExecState) {

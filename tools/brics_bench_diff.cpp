@@ -4,13 +4,15 @@
 //                    [--abs-floor-ms X]
 //
 // Compares two BENCH_*.json artifacts (docs/OBSERVABILITY.md): timing
-// columns (t_*, *_s, seconds, time) are matched table-by-table and
-// row-by-row, and a new median exceeding the old by more than the relative
-// tolerance is a regression. Cells where both sides sit below the absolute
-// floor are ignored (timer granularity). --col grants a per-column
-// tolerance (repeatable), e.g. --col t_rand=50. Counter drift between the
-// artifacts' metrics blocks is printed as a note — changed work is a
-// reason to distrust a "speedup", not a regression by itself.
+// columns (t_*, *_s, seconds, time) and memory columns (*_mb, *_bytes,
+// rss_mb, bytes_per_edge) are matched table-by-table and row-by-row, and a
+// new value exceeding the old by more than the relative tolerance is a
+// regression. Timing cells where both sides sit below the absolute floor
+// are ignored (timer granularity); memory cells have no floor — byte
+// counts are deterministic, so drift is always signal. --col grants a
+// per-column tolerance (repeatable), e.g. --col t_rand=50. Counter drift
+// between the artifacts' metrics blocks is printed as a note — changed
+// work is a reason to distrust a "speedup", not a regression by itself.
 //
 // Exit codes: 0 no regression, 1 regression beyond tolerance, 2 usage
 // error, 3 unreadable/invalid artifact.
