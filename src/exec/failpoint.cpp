@@ -6,7 +6,9 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request.hpp"
 
 namespace brics {
 namespace {
@@ -118,6 +120,11 @@ bool FailPointRegistry::should_fail(const char* name) {
   }
   BRICS_COUNTER(c_fired, "exec.failpoints_fired");
   BRICS_COUNTER_ADD(c_fired, 1);
+  // The black box records every fired site (name is a string literal at
+  // every BRICS_FAILPOINT site, so storing the pointer is safe) — a chaos
+  // failure's dump shows which injected fault preceded it.
+  FlightRecorder::global().record(FlightEventKind::kFailPoint,
+                                  current_request_id(), 0, 0, name);
   if (action == FailAction::kKill) {
     // Simulated hard crash: no unwinding, no atexit, no flushed buffers —
     // exactly what the checkpoint/resume machinery must survive.

@@ -58,6 +58,11 @@ bool is_timing_column(const std::string& name) {
   return false;
 }
 
+bool is_latency_ms_column(const std::string& name) {
+  return name.size() >= 3 &&
+         name.compare(name.size() - 3, 3, "_ms") == 0;
+}
+
 bool is_memory_column(const std::string& name) {
   if (name == "bytes_per_edge" || name == "rss_mb") return true;
   if (name.size() >= 3 && name.compare(name.size() - 3, 3, "_mb") == 0)
@@ -135,8 +140,9 @@ DiffResult diff_artifacts(const JsonValue& old_art, const JsonValue& new_art,
         if (!ocols->arr[c].is_string()) continue;
         const std::string& col = ocols->arr[c].str_v;
         const bool timing = is_timing_column(col);
-        const bool memory = !timing && is_memory_column(col);
-        if (!timing && !memory) continue;
+        const bool lat_ms = !timing && is_latency_ms_column(col);
+        const bool memory = !timing && !lat_ms && is_memory_column(col);
+        if (!timing && !lat_ms && !memory) continue;
         auto nc_it = new_col_index.find(col);
         if (nc_it == new_col_index.end()) {
           out.notes.push_back("table " + std::to_string(ti) + ": column '" +
@@ -149,8 +155,12 @@ DiffResult diff_artifacts(const JsonValue& old_art, const JsonValue& new_art,
           continue;
         ++out.cells_compared;
         // The absolute floor is timer-granularity noise control; memory
-        // cells are deterministic and compare at any magnitude.
-        if (timing && ov < opts.abs_floor_s && nv < opts.abs_floor_s)
+        // cells are deterministic and compare at any magnitude. Latency
+        // columns carry milliseconds, so scale them to seconds before
+        // the floor comparison — one knob covers both units.
+        const double unit_s = lat_ms ? 1e-3 : 1.0;
+        if ((timing || lat_ms) && ov * unit_s < opts.abs_floor_s &&
+            nv * unit_s < opts.abs_floor_s)
           continue;
         const double tol = tolerance_for(opts, col);
         if (ov <= 0.0) continue;
@@ -180,11 +190,15 @@ std::string format_diff(const DiffResult& r) {
   os.setf(std::ios::fixed);
   os.precision(3);
   const auto line = [&os](const DiffFinding& f, const char* tag) {
+    const char* unit = is_latency_ms_column(f.column) &&
+                               !is_timing_column(f.column)
+                           ? "ms"
+                           : "s";
     os << tag << " " << f.harness << " table " << f.table << " row "
        << f.row;
     if (!f.row_key.empty()) os << " (" << f.row_key << ")";
-    os << " col " << f.column << ": " << f.old_v << "s -> " << f.new_v
-       << "s (";
+    os << " col " << f.column << ": " << f.old_v << unit << " -> " << f.new_v
+       << unit << " (";
     os.precision(1);
     os << (f.delta_pct >= 0 ? "+" : "") << f.delta_pct << "%)\n";
     os.precision(3);

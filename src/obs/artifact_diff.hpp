@@ -62,6 +62,13 @@ struct DiffResult {
 /// "time". Everything else (quality, speedup ratios, counts) is ignored.
 bool is_timing_column(const std::string& name);
 
+/// True for millisecond latency-percentile columns ("p50_ms", "p95_ms",
+/// "p99_ms" — the soak summary's client-observed latencies, and any other
+/// "*_ms" column). Gated like timings; the absolute floor compares against
+/// the value converted to seconds, so the same abs_floor_s governs both
+/// units.
+bool is_latency_ms_column(const std::string& name);
+
 /// True for memory columns the diff also gates: "*_mb", "*_bytes",
 /// "rss_mb", "bytes_per_edge". Gated with the same relative tolerance as
 /// timings but without the absolute floor — byte counts are deterministic,

@@ -1,0 +1,54 @@
+#include "obs/exposition.hpp"
+
+#include <cstdio>
+
+namespace brics {
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string exposition_name(const std::string& name) {
+  std::string out = "brics_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out += c == '.' ? '_' : c;
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    const std::string en = exposition_name(name);
+    out += "# TYPE " + en + " counter\n";
+    out += en + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string en = exposition_name(name);
+    out += "# TYPE " + en + " gauge\n";
+    out += en + " ";
+    append_double(out, v);
+    out += "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string en = exposition_name(name);
+    out += "# TYPE " + en + " histogram\n";
+    // Cumulative buckets, Prometheus style: each le series counts all
+    // observations <= its bound; the registry stores per-bucket counts.
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += i < h.counts.size() ? h.counts[i] : 0;
+      out += en + "_bucket{le=\"" + std::to_string(h.bounds[i]) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += en + "_bucket{le=\"+Inf\"} " + std::to_string(h.total) + "\n";
+    out += en + "_count " + std::to_string(h.total) + "\n";
+  }
+  return out;
+}
+
+}  // namespace brics

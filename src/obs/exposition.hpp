@@ -1,0 +1,29 @@
+// Prometheus-style text exposition over a MetricsSnapshot.
+//
+// The daemon's kMetrics request returns two renderings of one snapshot:
+// this text exposition (for scraping / eyeballing) and the JSON snapshot
+// (metrics_snapshot_json in src/server). The format follows the Prometheus
+// text conventions — `# TYPE` comments, `_bucket{le="..."}` cumulative
+// histogram series with a `+Inf` bucket and a `_count` series — with the
+// one deviation that histogram `_sum` is omitted (the fixed-bucket
+// histograms do not track an exact sum; docs/OBSERVABILITY.md).
+//
+// Metric names are mangled "brics." -> "brics_" style: every '.' in a
+// registry name becomes '_' and the "brics_" namespace prefix is added,
+// so "server.request_latency_us" exposes as
+// "brics_server_request_latency_us".
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace brics {
+
+/// Registry name -> exposition name ('.' -> '_', "brics_" prefix).
+std::string exposition_name(const std::string& name);
+
+/// Render a full snapshot in Prometheus text exposition style.
+std::string to_prometheus(const MetricsSnapshot& snap);
+
+}  // namespace brics

@@ -1,0 +1,184 @@
+#include "obs/flight.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/json.hpp"
+
+namespace brics {
+namespace {
+
+// write(2) the whole buffer, retrying on EINTR/short writes. Returns false
+// on a hard error; the fatal-signal path has nothing useful to do about it.
+bool write_all(int fd, const char* buf, std::size_t n) noexcept {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, buf + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(FlightEventKind k) {
+  switch (k) {
+    case FlightEventKind::kAdmit: return "admit";
+    case FlightEventKind::kReply: return "reply";
+    case FlightEventKind::kShed: return "shed";
+    case FlightEventKind::kRefuse: return "refuse";
+    case FlightEventKind::kQuarantine: return "quarantine";
+    case FlightEventKind::kCommit: return "commit";
+    case FlightEventKind::kFailPoint: return "failpoint";
+    case FlightEventKind::kDrain: return "drain";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : t0_(std::chrono::steady_clock::now()),
+      slots_(std::bit_ceil(capacity == 0 ? std::size_t{1} : capacity)) {}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* rec = new FlightRecorder();  // never destroyed
+  return *rec;
+}
+
+void FlightRecorder::record(FlightEventKind kind, std::uint64_t req,
+                            std::uint32_t a, std::uint32_t b,
+                            const char* label) noexcept {
+  const std::uint64_t ticket =
+      head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[ticket & (slots_.size() - 1)];
+  const std::uint64_t ts = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count());
+  // Invalidate, write payload, publish: a reader that overlaps any part of
+  // this sees a seq mismatch and skips the slot.
+  s.seq.store(0, std::memory_order_release);
+  s.ts_us.store(ts, std::memory_order_relaxed);
+  s.req.store(req, std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  s.label.store(label, std::memory_order_relaxed);
+  s.seq.store(ticket + 1, std::memory_order_release);
+}
+
+bool FlightRecorder::read_slot(std::size_t idx,
+                               FlightEvent& out) const noexcept {
+  const Slot& s = slots_[idx];
+  const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+  if (s1 == 0) return false;
+  out.ts_us = s.ts_us.load(std::memory_order_relaxed);
+  out.req = s.req.load(std::memory_order_relaxed);
+  out.a = s.a.load(std::memory_order_relaxed);
+  out.b = s.b.load(std::memory_order_relaxed);
+  out.kind =
+      static_cast<FlightEventKind>(s.kind.load(std::memory_order_relaxed));
+  out.label = s.label.load(std::memory_order_relaxed);
+  return s.seq.load(std::memory_order_acquire) == s1;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t n =
+      head < slots_.size() ? head : static_cast<std::uint64_t>(slots_.size());
+  std::vector<FlightEvent> out;
+  out.reserve(static_cast<std::size_t>(n));
+  // Oldest surviving ticket first: [head - n, head).
+  for (std::uint64_t t = head - n; t < head; ++t) {
+    FlightEvent e;
+    if (read_slot(static_cast<std::size_t>(t & (slots_.size() - 1)), e))
+      out.push_back(e);
+  }
+  return out;
+}
+
+std::string FlightRecorder::to_json(const char* reason) const {
+  const std::vector<FlightEvent> events = snapshot();
+  const std::uint64_t rec = recorded();
+  JsonWriter w;
+  w.begin_object();
+  w.field("flight_schema_version", std::uint64_t{1});
+  w.field("reason", reason != nullptr ? reason : "");
+  w.field("recorded", rec);
+  w.field("dropped",
+          rec > events.size() ? rec - events.size() : std::uint64_t{0});
+  w.key("events").begin_array();
+  for (const FlightEvent& e : events) {
+    w.begin_object()
+        .field("ts_us", e.ts_us)
+        .field("kind", to_string(e.kind))
+        .field("req", e.req)
+        .field("a", static_cast<std::uint64_t>(e.a))
+        .field("b", static_cast<std::uint64_t>(e.b));
+    if (e.label != nullptr) w.field("label", e.label);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path,
+                                  const char* reason) const {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const std::string body = to_json(reason);
+  const bool ok = write_all(fd, body.data(), body.size());
+  ::close(fd);
+  return ok;
+}
+
+void FlightRecorder::dump_to_fd(int fd, const char* reason) const noexcept {
+  // No allocation, no locks, no stdio streams: this runs under a fatal
+  // signal. Events are read straight off the ring one at a time and
+  // formatted into a stack buffer. Labels are trusted to be plain literal
+  // words (they are — see the recording sites), so no JSON escaping.
+  char buf[256];
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t cnt =
+      head < slots_.size() ? head : static_cast<std::uint64_t>(slots_.size());
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      "{\"flight_schema_version\": 1, \"reason\": \"%s\", "
+      "\"recorded\": %" PRIu64 ", \"dropped\": %" PRIu64
+      ", \"events\": [",
+      reason != nullptr ? reason : "", head, head - cnt);
+  if (n < 0 || !write_all(fd, buf, static_cast<std::size_t>(n))) return;
+  bool first = true;
+  for (std::uint64_t t = head - cnt; t < head; ++t) {
+    FlightEvent e;
+    if (!read_slot(static_cast<std::size_t>(t & (slots_.size() - 1)), e))
+      continue;
+    n = std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"ts_us\": %" PRIu64 ", \"kind\": \"%s\", \"req\": %" PRIu64
+        ", \"a\": %u, \"b\": %u%s%s%s}",
+        first ? "" : ", ", e.ts_us, to_string(e.kind), e.req, e.a, e.b,
+        e.label != nullptr ? ", \"label\": \"" : "",
+        e.label != nullptr ? e.label : "", e.label != nullptr ? "\"" : "");
+    if (n < 0 ||
+        !write_all(fd, buf, static_cast<std::size_t>(
+                                n < static_cast<int>(sizeof(buf))
+                                    ? n
+                                    : static_cast<int>(sizeof(buf) - 1))))
+      return;
+    first = false;
+  }
+  write_all(fd, "]}\n", 3);
+}
+
+}  // namespace brics

@@ -1,0 +1,122 @@
+// Flight recorder: a fixed-size lock-free ring of recent daemon events.
+//
+// Always on, in both metrics configurations — this is the black box that
+// ships a postmortem with every soak/chaos failure, so it must not vanish
+// with -DBRICS_METRICS=OFF. The event-kind labels below are deliberately
+// plain words ("admit", "shed", ...), never dotted metric names, so the
+// zero-metric-strings guarantee of the OFF build survives (CI greps the
+// stripped binaries).
+//
+// Writer path (record()): one fetch_add to claim a slot, plain stores of
+// the fixed-size payload, one release store of the slot sequence. No
+// locks, no allocation, wait-free — safe from the accept loop, readers,
+// workers, the watchdog, and the engine's commit path concurrently.
+// Readers (snapshot()/dump) run a per-slot seqlock check and simply skip
+// slots that are mid-write or got overwritten during the copy: a dump
+// taken while the server is under load is a consistent set of whole
+// events, merely possibly missing the one being written that instant.
+//
+// dump_to_fd() is the fatal-signal path: it formats events with snprintf
+// into a stack buffer and write(2)s them — no allocation, no locks, no
+// stdio streams — so a SIGSEGV handler can leave a readable
+// `<socket>.flight.json` behind before re-raising.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace brics {
+
+enum class FlightEventKind : std::uint8_t {
+  kAdmit = 1,       ///< request admitted to the worker queue (or inline)
+  kReply = 2,       ///< reply written; a = status, b = latency (us, capped)
+  kShed = 3,        ///< admission queue full; request shed OVERLOADED
+  kRefuse = 4,      ///< draining; request refused SHUTTING-DOWN
+  kQuarantine = 5,  ///< watchdog quarantined the worker serving req
+  kCommit = 6,      ///< engine committed a graph-state segment; b = version
+  kFailPoint = 7,   ///< an armed fail point fired; label = site name
+  kDrain = 8,       ///< graceful drain started / finished
+};
+
+/// Render as a short lower-case word (stable — part of the dump schema).
+const char* to_string(FlightEventKind k);
+
+/// One recorded event. `label` must be a string literal (or otherwise
+/// immortal): the ring stores the pointer, and the fatal-signal dump
+/// formats it long after the recording scope unwound.
+struct FlightEvent {
+  std::uint64_t ts_us = 0;  ///< microseconds since recorder construction
+  std::uint64_t req = 0;    ///< server request sequence id (0 = none)
+  std::uint32_t a = 0;      ///< kind-specific small payload
+  std::uint32_t b = 0;      ///< kind-specific small payload
+  FlightEventKind kind = FlightEventKind::kAdmit;
+  const char* label = nullptr;  ///< optional (fail-point site, status word)
+};
+
+class FlightRecorder {
+ public:
+  /// Ring capacity is rounded up to a power of two; the default keeps the
+  /// recorder at a few hundred KB and a dump at "the last ~4k events".
+  explicit FlightRecorder(std::size_t capacity = 4096);
+
+  static FlightRecorder& global();
+
+  /// Record one event (wait-free, never throws, never blocks).
+  void record(FlightEventKind kind, std::uint64_t req, std::uint32_t a = 0,
+              std::uint32_t b = 0, const char* label = nullptr) noexcept;
+
+  /// Whole events currently in the ring, oldest first. Torn slots are
+  /// skipped, not repaired.
+  std::vector<FlightEvent> snapshot() const;
+
+  /// Total events ever recorded (>= ring capacity means the oldest were
+  /// overwritten — the dump reports how many are gone).
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Dump schema (docs/OBSERVABILITY.md):
+  ///   {"flight_schema_version": 1, "reason": "...", "recorded": N,
+  ///    "dropped": M, "events": [{"ts_us":..., "kind":"admit",
+  ///    "req":..., "a":..., "b":..., "label":"..."}]}
+  std::string to_json(const char* reason) const;
+
+  /// Write to_json(reason) to `path` (truncate). Returns false on I/O
+  /// failure; never throws. This is the watchdog/drain dump path.
+  bool dump_to_file(const std::string& path, const char* reason) const;
+
+  /// Signal-tolerable dump: snprintf into a stack buffer + write(2), no
+  /// allocation or locks. The fatal-signal handler in brics_serve opens
+  /// the file with open(2) and calls this.
+  void dump_to_fd(int fd, const char* reason) const noexcept;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  // Payload fields are relaxed atomics so a dump racing a writer is a
+  // skipped slot, not a data race (the tsan CI job runs the watchdog
+  // tests, which dump mid-flight). The seq field brackets the payload:
+  // 0 = never written; otherwise claim-ticket + 1, release-stored after
+  // the payload so an acquire re-load validates the copy.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> ts_us{0};
+    std::atomic<std::uint64_t> req{0};
+    std::atomic<std::uint32_t> a{0};
+    std::atomic<std::uint32_t> b{0};
+    std::atomic<std::uint8_t> kind{0};
+    std::atomic<const char*> label{nullptr};
+  };
+
+  /// Seqlock read of one slot; false = empty or torn.
+  bool read_slot(std::size_t idx, FlightEvent& out) const noexcept;
+
+  std::chrono::steady_clock::time_point t0_;
+  std::atomic<std::uint64_t> head_{0};
+  std::vector<Slot> slots_;
+};
+
+}  // namespace brics

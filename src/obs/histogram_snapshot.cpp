@@ -1,0 +1,58 @@
+#include "obs/histogram_snapshot.hpp"
+
+#include <algorithm>
+
+namespace brics {
+
+double histogram_quantile(const MetricsSnapshot::Hist& h, double q) {
+  if (h.total == 0 || h.bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(h.total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const std::uint64_t c = h.counts[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      if (i >= h.bounds.size())  // overflow bucket: clamp to the last bound
+        return static_cast<double>(h.bounds.back());
+      const double lo =
+          i == 0 ? 0.0 : static_cast<double>(h.bounds[i - 1]);
+      const double hi = static_cast<double>(h.bounds[i]);
+      const double into =
+          (target - static_cast<double>(cum)) / static_cast<double>(c);
+      return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+    }
+    cum += c;
+  }
+  return static_cast<double>(h.bounds.back());
+}
+
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& prev,
+                               const MetricsSnapshot& cur) {
+  MetricsSnapshot out;
+  for (const auto& [name, v] : cur.counters) {
+    const auto it = prev.counters.find(name);
+    const std::uint64_t p = it == prev.counters.end() ? 0 : it->second;
+    out.counters[name] = v >= p ? v - p : v;
+  }
+  out.gauges = cur.gauges;
+  for (const auto& [name, h] : cur.histograms) {
+    MetricsSnapshot::Hist d;
+    d.bounds = h.bounds;
+    d.counts = h.counts;
+    const auto it = prev.histograms.find(name);
+    if (it != prev.histograms.end() &&
+        it->second.counts.size() == d.counts.size() &&
+        it->second.bounds == d.bounds) {
+      for (std::size_t i = 0; i < d.counts.size(); ++i) {
+        const std::uint64_t p = it->second.counts[i];
+        if (d.counts[i] >= p) d.counts[i] -= p;
+      }
+    }
+    for (std::uint64_t c : d.counts) d.total += c;
+    out.histograms[name] = std::move(d);
+  }
+  return out;
+}
+
+}  // namespace brics

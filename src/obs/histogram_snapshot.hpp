@@ -1,0 +1,36 @@
+// Quantile estimation and interval deltas over histogram snapshots.
+//
+// The registry's fixed-bucket histograms are cumulative-forever: a running
+// daemon's "server.request_latency_us" mixes the warm-up's slow requests
+// with the steady state. These helpers turn raw snapshots into the two
+// things an operator actually wants:
+//
+//   - histogram_quantile(): a bucket-interpolated quantile estimate (the
+//     p50/p95/p99 in the kMetrics JSON body and the soak report). With
+//     pow2 bounds the estimate is exact to within one bucket — the same
+//     contract Prometheus' histogram_quantile() gives.
+//   - snapshot_delta(): new-minus-old over two snapshots of the same
+//     registry, so "latency over the last interval" is a subtraction, not
+//     a registry reset (resetting a live daemon's registry would race the
+//     writers and destroy the monotonic counters).
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace brics {
+
+/// Estimated value at quantile q in [0, 1] from a bucketed histogram.
+/// Linear interpolation inside the containing bucket ([prev_bound, bound],
+/// with 0 as the floor of the first bucket); observations in the overflow
+/// bucket clamp to the last bound (a lower-bound estimate, like
+/// Prometheus). Returns 0 for an empty histogram.
+double histogram_quantile(const MetricsSnapshot::Hist& h, double q);
+
+/// `cur` minus `prev`, per metric: counters and histogram bucket counts
+/// subtract (saturating at 0, so a registry reset between snapshots yields
+/// `cur` rather than garbage); gauges are last-write-wins and pass through
+/// from `cur`; metrics absent from `prev` pass through unchanged.
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& prev,
+                               const MetricsSnapshot& cur);
+
+}  // namespace brics

@@ -72,6 +72,15 @@ std::span<const std::uint64_t> pow2_bounds() {
   return bounds;
 }
 
+std::span<const std::uint64_t> pow2_time_bounds() {
+  static const std::vector<std::uint64_t> bounds = [] {
+    std::vector<std::uint64_t> b;
+    for (std::uint64_t v = 1; v <= (1u << 30); v <<= 1) b.push_back(v);
+    return b;
+  }();
+  return bounds;
+}
+
 std::string MetricsSnapshot::to_json() const {
   JsonWriter w;
   w.begin_object();

@@ -130,6 +130,11 @@ class Histogram {
 /// frontier sizes and block sizes.
 std::span<const std::uint64_t> pow2_bounds();
 
+/// Power-of-two bounds 1, 2, 4, ..., 2^30 — the microsecond-latency scale
+/// (covers 1 us .. ~18 min), used by the server's request-latency
+/// histograms.
+std::span<const std::uint64_t> pow2_time_bounds();
+
 /// Point-in-time merged view of a registry, ready for JSON export.
 struct MetricsSnapshot {
   struct Hist {

@@ -1,0 +1,53 @@
+// Per-request correlation id, threaded through the daemon's thread hops.
+//
+// The server assigns every admitted request a monotonic sequence number
+// (distinct from the client-chosen, echoed request_id — clients may reuse
+// theirs; the server's is unique for the process lifetime). The worker
+// serving the request enters a RequestIdScope, and everything downstream
+// that runs on that thread — tracing spans, flight-recorder events, the
+// engine's commit hook — reads current_request_id() without any plumbing
+// through the estimator's call graph.
+//
+// The id is thread-local, so it does NOT cross an OpenMP fork on its own:
+// parallel regions that want their spans attributed to the request capture
+// the id before the fork and re-enter a RequestIdScope inside the region
+// (see pipeline/stages.cpp). Id 0 means "no request context" and renders
+// on the owning thread's worker lane instead of a request lane.
+//
+// Always compiled in (the flight recorder needs it in OFF builds too);
+// the cost is one thread-local store per scope.
+#pragma once
+
+#include <cstdint>
+
+namespace brics {
+
+namespace detail {
+inline std::uint64_t& request_id_tls() {
+  thread_local std::uint64_t id = 0;
+  return id;
+}
+}  // namespace detail
+
+/// The request id of the request this thread is currently serving, or 0.
+inline std::uint64_t current_request_id() { return detail::request_id_tls(); }
+
+/// RAII: set the calling thread's request id for the scope's duration,
+/// restoring the previous value on exit (scopes nest across the worker ->
+/// engine -> pipeline call chain).
+class RequestIdScope {
+ public:
+  explicit RequestIdScope(std::uint64_t id)
+      : prev_(detail::request_id_tls()) {
+    detail::request_id_tls() = id;
+  }
+  ~RequestIdScope() { detail::request_id_tls() = prev_; }
+
+  RequestIdScope(const RequestIdScope&) = delete;
+  RequestIdScope& operator=(const RequestIdScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+}  // namespace brics

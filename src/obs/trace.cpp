@@ -1,10 +1,25 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "obs/json.hpp"
 
 namespace brics {
+namespace {
+
+/// Chrome-trace lane for one event: request-carrying events render on a
+/// per-request lane far above the worker lanes; everything else stays on
+/// its recording thread's lane. (tid is only a display key to the trace
+/// viewer — any unique integer works.)
+constexpr std::uint64_t kRequestLaneBase = 1u << 20;
+
+std::uint64_t event_lane(const TraceEvent& e) {
+  return e.req != 0 ? kRequestLaneBase + e.req
+                    : static_cast<std::uint64_t>(e.tid);
+}
+
+}  // namespace
 
 TraceRecorder& TraceRecorder::global() {
   static TraceRecorder* rec = new TraceRecorder();  // never destroyed
@@ -13,7 +28,9 @@ TraceRecorder& TraceRecorder::global() {
 
 TraceRecorder::TraceRecorder()
     : t0_(std::chrono::steady_clock::now()),
-      per_thread_(metric_thread_slots()) {}
+      per_thread_(metric_thread_slots()) {
+  for (auto& buf : per_thread_) buf = std::make_unique<Buffer>();
+}
 
 void TraceRecorder::enable() {
   clear();
@@ -22,17 +39,24 @@ void TraceRecorder::enable() {
 }
 
 void TraceRecorder::clear() {
-  for (auto& buf : per_thread_) buf.clear();
+  for (auto& buf : per_thread_) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->events.clear();
+  }
 }
 
 void TraceRecorder::record(const TraceEvent& e) {
-  per_thread_[e.tid].push_back(e);
+  Buffer& buf = *per_thread_[e.tid];
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(e);
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
   std::vector<TraceEvent> all;
-  for (const auto& buf : per_thread_)
-    all.insert(all.end(), buf.begin(), buf.end());
+  for (const auto& buf : per_thread_) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+  }
   std::sort(all.begin(), all.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
               return a.ts_us < b.ts_us;
@@ -40,38 +64,55 @@ std::vector<TraceEvent> TraceRecorder::events() const {
   return all;
 }
 
-std::string TraceRecorder::to_chrome_json() const {
+std::vector<TraceEvent> TraceRecorder::drain() {
+  std::vector<TraceEvent> all;
+  for (auto& buf : per_thread_) {
+    std::vector<TraceEvent> taken;
+    {
+      std::lock_guard<std::mutex> lock(buf->mu);
+      taken.swap(buf->events);
+    }
+    all.insert(all.end(), taken.begin(), taken.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return all;
+}
+
+std::string trace_events_to_chrome_json(
+    const std::vector<TraceEvent>& evs) {
   JsonWriter w;
   w.begin_object().key("traceEvents").begin_array();
-  // Name the per-thread lanes up front ("M" metadata events) so the
-  // viewer labels each worker's row and keeps them in slot order — the
-  // lanes are what make per-thread load imbalance visible at a glance.
-  std::vector<std::uint32_t> tids;
-  for (std::size_t t = 0; t < per_thread_.size(); ++t)
-    if (!per_thread_[t].empty()) tids.push_back(static_cast<std::uint32_t>(t));
-  for (std::uint32_t t : tids) {
+  // Name the lanes up front ("M" metadata events) so the viewer labels and
+  // orders each row: worker lanes first (per-thread load imbalance at a
+  // glance), then one lane per request id (concurrent daemon requests as
+  // separate rows with their own span nesting).
+  std::map<std::uint64_t, std::string> lanes;
+  for (const TraceEvent& e : evs) {
+    const std::uint64_t lane = event_lane(e);
+    if (lanes.count(lane)) continue;
+    lanes[lane] = e.req != 0 ? "req-" + std::to_string(e.req)
+                             : "worker-" + std::to_string(e.tid);
+  }
+  for (const auto& [lane, name] : lanes) {
     w.begin_object()
         .field("name", "thread_name")
         .field("ph", "M")
         .field("pid", 1)
-        .field("tid", static_cast<std::uint64_t>(t));
-    w.key("args")
-        .begin_object()
-        .field("name", "worker-" + std::to_string(t))
-        .end_object();
+        .field("tid", lane);
+    w.key("args").begin_object().field("name", name).end_object();
     w.end_object();
     w.begin_object()
         .field("name", "thread_sort_index")
         .field("ph", "M")
         .field("pid", 1)
-        .field("tid", static_cast<std::uint64_t>(t));
-    w.key("args")
-        .begin_object()
-        .field("sort_index", static_cast<std::uint64_t>(t))
-        .end_object();
+        .field("tid", lane);
+    w.key("args").begin_object().field("sort_index", lane).end_object();
     w.end_object();
   }
-  for (const TraceEvent& e : events()) {
+  for (const TraceEvent& e : evs) {
     w.begin_object()
         .field("name", e.name)
         .field("cat", "brics")
@@ -79,11 +120,22 @@ std::string TraceRecorder::to_chrome_json() const {
         .field("ts", e.ts_us)
         .field("dur", e.dur_us)
         .field("pid", 1)
-        .field("tid", static_cast<std::uint64_t>(e.tid))
-        .end_object();
+        .field("tid", event_lane(e));
+    if (e.req != 0) {
+      w.key("args")
+          .begin_object()
+          .field("req", e.req)
+          .field("worker", static_cast<std::uint64_t>(e.tid))
+          .end_object();
+    }
+    w.end_object();
   }
   w.end_array().end_object();
   return w.str();
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  return trace_events_to_chrome_json(events());
 }
 
 }  // namespace brics

@@ -1,11 +1,23 @@
-// RAII tracing spans with nesting and thread attribution.
+// RAII tracing spans with nesting, thread and request attribution.
 //
 // Recording is off by default: an unarmed Span construct/destruct is one
 // relaxed atomic load each. When the recorder is enabled (CLI --trace-out,
-// tests), every span buffers one complete event into the calling thread's
-// private buffer — no locks on the recording path — and the recorder
-// serialises them as Chrome trace_event JSON, loadable in chrome://tracing
-// or https://ui.perfetto.dev (docs/OBSERVABILITY.md).
+// brics_serve --trace-out, tests), every span buffers one complete event
+// into the calling thread's buffer and the recorder serialises them as
+// Chrome trace_event JSON, loadable in chrome://tracing or
+// https://ui.perfetto.dev (docs/OBSERVABILITY.md).
+//
+// Each per-thread buffer carries its own mutex so a live daemon can
+// drain()/export while spans are still being recorded: the lock is only
+// ever contended between one recording thread and the exporter, and spans
+// are coarse (phases, kernels, request segments), so the recording path
+// stays effectively lock-free in practice.
+//
+// Request lanes: a span records the thread's current_request_id()
+// (obs/request.hpp). In the Chrome export, events carrying a request id
+// render on a per-request lane ("req-<id>") instead of the worker lane,
+// so concurrent daemon requests appear as separate named rows with their
+// own nesting — the per-request half of ROADMAP item 1.
 //
 // PhaseScope couples a span with the PhaseTimes bookkeeping the estimators
 // must fill either way; the span/gauge half compiles away under
@@ -15,29 +27,36 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/request.hpp"
 #include "util/timer.hpp"
 
 namespace brics {
 
 /// One completed span. Times are microseconds since the recorder was
 /// enabled; tid is the metric slot of the recording thread; depth is the
-/// span-nesting level on that thread (0 = outermost).
+/// span-nesting level on that thread (0 = outermost); req is the server
+/// request id the recording thread was serving (0 = none).
 struct TraceEvent {
   const char* name;  ///< must outlive the recorder (string literals)
   double ts_us;
   double dur_us;
   std::uint32_t tid;
   std::uint32_t depth;
+  std::uint64_t req = 0;
 };
 
-/// Process-wide trace buffer. Per-thread event vectors are written without
-/// synchronisation by their owning thread; events()/to_chrome_json() must
-/// only run while no span is being recorded (i.e. outside parallel
-/// regions), which is when exporters run anyway.
+/// Chrome trace_event JSON ({"traceEvents":[...]}, "X" phase events) over
+/// an explicit event list — the daemon's continuous exporter serialises
+/// accumulated drained events through this.
+std::string trace_events_to_chrome_json(const std::vector<TraceEvent>& evs);
+
+/// Process-wide trace buffer; safe to export or drain while recording.
 class TraceRecorder {
  public:
   static TraceRecorder& global();
@@ -54,7 +73,12 @@ class TraceRecorder {
   /// All buffered events, merged and sorted by start time.
   std::vector<TraceEvent> events() const;
 
-  /// Chrome trace_event JSON ({"traceEvents":[...]}, "X" phase events).
+  /// Move the buffered events out (sorted by start time), leaving the
+  /// buffers empty — the daemon's periodic trace flusher consumes these
+  /// while recording continues.
+  std::vector<TraceEvent> drain();
+
+  /// trace_events_to_chrome_json(events()).
   std::string to_chrome_json() const;
 
   /// Recording epoch, for Span internals.
@@ -63,14 +87,20 @@ class TraceRecorder {
   void record(const TraceEvent& e);
 
  private:
+  struct Buffer {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
   TraceRecorder();
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point t0_;
-  std::vector<std::vector<TraceEvent>> per_thread_;
+  std::vector<std::unique_ptr<Buffer>> per_thread_;
 };
 
 /// RAII span: records [construction, destruction) on the global recorder
-/// when it is enabled, with automatic per-thread nesting depth.
+/// when it is enabled, with automatic per-thread nesting depth and the
+/// current request id.
 class Span {
  public:
   explicit Span(const char* name) {
@@ -78,6 +108,7 @@ class Span {
     name_ = name;
     start_ = std::chrono::steady_clock::now();
     depth_ = depth_tls()++;
+    req_ = current_request_id();
   }
 
   ~Span() {
@@ -92,7 +123,7 @@ class Span {
         std::chrono::duration<double, std::micro>(now - start_).count();
     rec.record({name_, ts, dur,
                 static_cast<std::uint32_t>(metric_slot()),
-                static_cast<std::uint32_t>(depth_)});
+                static_cast<std::uint32_t>(depth_), req_});
   }
 
   Span(const Span&) = delete;
@@ -107,6 +138,7 @@ class Span {
   const char* name_ = nullptr;
   std::chrono::steady_clock::time_point start_;
   std::uint32_t depth_ = 0;
+  std::uint64_t req_ = 0;
 };
 
 /// Times a region into a PhaseTimes field (accumulating, like the Timer

@@ -15,6 +15,7 @@
 #include "exec/budget.hpp"
 #include "exec/errors.hpp"
 #include "graph/csr_graph.hpp"
+#include "obs/request.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -34,6 +35,12 @@ class PipelineContext {
   const CsrGraph& graph() const { return graph_; }
   const EstimateOptions& opts() const { return opts_; }
   const CancelToken& token() const { return token_; }
+
+  /// Server request id this pipeline run serves (0 outside the daemon) —
+  /// captured from the constructing thread's RequestIdScope
+  /// (obs/request.hpp), so a stage that forks an OpenMP region can
+  /// re-establish the scope for its worker threads.
+  std::uint64_t request_id() const { return request_id_; }
 
   /// Per-phase wall-clock sums; stages open PhaseScopes on these fields.
   PhaseTimes& times() { return times_; }
@@ -88,6 +95,7 @@ class PipelineContext {
   ExecPhase* mirror_ = nullptr;
   Recovery* recovery_ = nullptr;
   RecoveryStats rstats_;
+  std::uint64_t request_id_ = current_request_id();
 };
 
 }  // namespace brics

@@ -1,5 +1,6 @@
 #include "pipeline/kernels.hpp"
 
+#include "obs/request.hpp"
 #include "obs/trace.hpp"
 #include "traverse/multi_source.hpp"
 #include "util/check.hpp"
@@ -151,8 +152,13 @@ std::size_t traverse_flat(const CsrGraph& g, std::span<const NodeId> sources,
                       completed, sink);
   }
   const std::int64_t k = static_cast<std::int64_t>(sources.size());
+  // The request id is thread-local and does not cross the OpenMP fork on
+  // its own; re-enter the scope inside the region so kernel spans land on
+  // the serving request's trace lane (obs/request.hpp).
+  const std::uint64_t req_id = current_request_id();
 #pragma omp parallel
   {
+    RequestIdScope rscope(req_id);
     TraversalWorkspace ws;
 #pragma omp for schedule(dynamic, 4)
     for (std::int64_t i = 0; i < k; ++i) {

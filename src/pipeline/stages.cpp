@@ -11,6 +11,7 @@
 #include "exec/failpoint.hpp"
 #include "exec/recovery.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/kernels.hpp"
 #include "pipeline/postprocess.hpp"
@@ -538,10 +539,15 @@ TraversalResults TraverseStage::run(PipelineContext& ctx,
   std::size_t wave = nt;
   if (rec != nullptr && rec->checkpoint_every() > 0)
     wave = std::min<std::size_t>(rec->checkpoint_every(), nt);
+  // Thread-local request id does not cross the OpenMP fork; re-enter the
+  // scope inside each region so task/kernel spans land on the serving
+  // request's trace lane (obs/request.hpp).
+  const std::uint64_t req_id = current_request_id();
   for (std::size_t begin = 0; begin < nt; begin += wave) {
     const std::size_t end = std::min(nt, begin + wave);
 #pragma omp parallel
     {
+      RequestIdScope rscope(req_id);
       TraversalWorkspace ws;
       GlobalResolveScratch scratch(n);
 #pragma omp for schedule(dynamic, 4)
@@ -738,8 +744,10 @@ EstimateResult AggregateStage::run(PipelineContext& ctx,
       cut_tasks.emplace_back(b, ci);
 
   ThreadSums cross(n);
+  const std::uint64_t req_id = current_request_id();
 #pragma omp parallel
   {
+    RequestIdScope rscope(req_id);
     TraversalWorkspace ws;
     GlobalResolveScratch scratch(n);
 #pragma omp for schedule(dynamic, 4)

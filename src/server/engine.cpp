@@ -8,8 +8,11 @@
 #include "exec/checkpoint.hpp"
 #include "exec/failpoint.hpp"
 #include "measures/betweenness.hpp"
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/request.hpp"
 #include "util/timer.hpp"
 
 namespace brics {
@@ -130,9 +133,32 @@ std::uint64_t ServerEngine::num_edges() const {
   return dyn_.graph().num_edges();
 }
 
-std::string ServerEngine::stats_text() const {
+std::string ServerEngine::stats_json() const {
   std::shared_lock lk(mu_);
-  return to_string(summarize_graph(dyn_.graph()));
+  const GraphSummary s = summarize_graph(dyn_.graph());
+  JsonWriter w;
+  w.begin_object();
+  w.field("stats_schema_version", std::uint64_t{1});
+  w.field("version", version_);
+  w.key("graph").begin_object();
+  w.field("nodes", static_cast<std::uint64_t>(s.nodes));
+  w.field("edges", s.edges);
+  w.field("min_degree", static_cast<std::uint64_t>(s.min_degree));
+  w.field("max_degree", static_cast<std::uint64_t>(s.max_degree));
+  w.field("avg_degree", s.avg_degree);
+  w.field("deg_le2", static_cast<std::uint64_t>(s.deg_le2));
+  w.field("components", static_cast<std::uint64_t>(s.components));
+  w.field("diameter_lb", static_cast<std::uint64_t>(s.diameter_lb));
+  w.field("identical_nodes", static_cast<std::uint64_t>(s.identical_nodes));
+  w.field("chain_nodes", static_cast<std::uint64_t>(s.chain_nodes));
+  w.field("redundant_nodes", static_cast<std::uint64_t>(s.redundant_nodes));
+  w.field("bcc_count", static_cast<std::uint64_t>(s.bcc_count));
+  w.field("bcc_max", static_cast<std::uint64_t>(s.bcc_max));
+  w.field("bcc_avg", s.bcc_avg);
+  w.end_object();
+  w.field("text", to_string(s));
+  w.end_object();
+  return w.str();
 }
 
 ServerEngine::QueryResult ServerEngine::farness(
@@ -178,6 +204,10 @@ ServerEngine::TopKQuery ServerEngine::topk(NodeId k,
   std::shared_lock lk(mu_);
   TopKQuery out;
   out.version = version_;
+  // Lookup counters pair with the *_cache_hits counters: the live hit
+  // ratio an operator reads off the kMetrics snapshot is hits / lookups.
+  BRICS_COUNTER(c_look, "server.topk_cache_lookups");
+  BRICS_COUNTER_ADD(c_look, 1);
   {
     std::lock_guard<std::mutex> clk(topk_mu_);
     if (topk_valid_ && topk_version_ == version_ && topk_k_ == k) {
@@ -206,6 +236,8 @@ ServerEngine::TopKQuery ServerEngine::topk(NodeId k,
 void ServerEngine::with_bc_estimate(
     std::int64_t deadline_ms,
     const std::function<void(const EstimateResult&)>& fn) const {
+  BRICS_COUNTER(c_look, "server.bc_cache_lookups");
+  BRICS_COUNTER_ADD(c_look, 1);
   {
     std::lock_guard<std::mutex> clk(bc_mu_);
     if (bc_valid_ && bc_version_ == version_) {
@@ -339,6 +371,9 @@ void ServerEngine::commit_locked(ApplyResult* res) {
                   SegmentKind::kGraphState, state_hash_,
                   encode_state(version_, dyn_.graph()));
     res->persisted = true;
+    FlightRecorder::global().record(
+        FlightEventKind::kCommit, current_request_id(), 0,
+        static_cast<std::uint32_t>(version_));
     BRICS_COUNTER(c, "server.state_commits");
     BRICS_COUNTER_ADD(c, 1);
   } catch (const CheckpointError&) {

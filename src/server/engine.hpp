@@ -80,8 +80,13 @@ class ServerEngine {
   NodeId num_nodes() const;
   std::uint64_t num_edges() const;
 
-  /// Structural summary of the current graph (analysis/analysis.hpp).
-  std::string stats_text() const;
+  /// Versioned, machine-parseable structural summary of the current graph
+  /// (analysis/analysis.hpp), served on kStats:
+  ///   {"stats_schema_version": 1, "version": N, "graph": {...},
+  ///    "text": "<aligned key/value lines for humans>"}
+  /// The schema'd fields are the stability contract (regression-tested);
+  /// the "text" field stays free-form.
+  std::string stats_json() const;
 
   struct QueryResult {
     std::uint64_t version = 0;

@@ -63,6 +63,7 @@ std::string encode_request(const Request& r) {
     case MsgType::kHello:
     case MsgType::kStats:
     case MsgType::kServerStats:
+    case MsgType::kMetrics:
       break;
     case MsgType::kFarness:
       w.u8(r.closeness ? 1 : 0);
@@ -97,7 +98,7 @@ Request decode_request(const std::string& payload) {
     bad_frame("unsupported protocol version");
   Request r;
   const std::uint8_t type = rd.u8();
-  if (type < 1 || type > 8) bad_frame("unknown message type");
+  if (type < 1 || type > 9) bad_frame("unknown message type");
   r.type = static_cast<MsgType>(type);
   r.request_id = rd.u32();
   r.deadline_ms = rd.u32();
@@ -106,6 +107,7 @@ Request decode_request(const std::string& payload) {
     case MsgType::kHello:
     case MsgType::kStats:
     case MsgType::kServerStats:
+    case MsgType::kMetrics:
       break;
     case MsgType::kFarness: {
       r.closeness = rd.u8() != 0;
@@ -191,6 +193,9 @@ std::string encode_reply(const Reply& r) {
       w.u8(r.persisted ? 1 : 0);
       put_string(w, r.report_json);
       break;
+    case MsgType::kMetrics:
+      put_string(w, r.metrics_json);
+      break;
   }
   return w.str();
 }
@@ -202,7 +207,7 @@ Reply decode_reply(const std::string& payload) {
     bad_frame("unsupported protocol version");
   Reply r;
   const std::uint8_t type = rd.u8();
-  if (type < 1 || type > 8) bad_frame("unknown message type");
+  if (type < 1 || type > 9) bad_frame("unknown message type");
   r.type = static_cast<MsgType>(type);
   r.request_id = rd.u32();
   const std::uint8_t status = rd.u8();
@@ -259,6 +264,9 @@ Reply decode_reply(const std::string& payload) {
       r.applied = rd.u32();
       r.persisted = rd.u8() != 0;
       r.report_json = get_string(rd);
+      break;
+    case MsgType::kMetrics:
+      r.metrics_json = get_string(rd);
       break;
   }
   if (!rd.done()) bad_frame("reply has trailing bytes");

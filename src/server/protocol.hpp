@@ -26,9 +26,10 @@
 
 namespace brics {
 
-// v2: adds kBc / kTopKBc (betweenness queries, ISSUE 8). Both sides of
-// this repo speak v2; a version mismatch drops the connection.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+// v2 added kBc / kTopKBc (betweenness queries); v3 adds kMetrics (live
+// telemetry exposition + JSON snapshot). Both sides of this repo speak
+// v3; a version mismatch drops the connection.
+inline constexpr std::uint8_t kProtocolVersion = 3;
 /// Upper bound on a single frame; bigger lengths mean a corrupt or
 /// malicious peer and drop the connection before allocating.
 inline constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
@@ -42,6 +43,7 @@ enum class MsgType : std::uint8_t {
   kServerStats = 6,  ///< server counters (queue, shed, quarantine, ...)
   kBc = 7,           ///< per-node betweenness from the version-keyed cache
   kTopKBc = 8,       ///< top-k betweenness, derived from the same cache
+  kMetrics = 9,      ///< live telemetry: exposition text + JSON snapshot
 };
 
 enum class ReplyStatus : std::uint8_t {
@@ -108,6 +110,9 @@ struct Reply {
   std::uint32_t applied = 0;
   bool persisted = true;
   std::string report_json;
+
+  // kMetrics (message holds the Prometheus-style text exposition)
+  std::string metrics_json;  ///< schema'd JSON snapshot
 };
 
 std::string encode_request(const Request& r);

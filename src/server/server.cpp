@@ -15,7 +15,13 @@
 #include <unistd.h>
 
 #include "exec/failpoint.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight.hpp"
+#include "obs/histogram_snapshot.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request.hpp"
+#include "obs/trace.hpp"
 #include "obs/version.hpp"
 #include "server/admission.hpp"
 #include "server/protocol.hpp"
@@ -57,6 +63,10 @@ struct Connection {
 struct Job {
   Request req;
   std::shared_ptr<Connection> conn;
+  /// Server-assigned monotonic request id (obs/request.hpp) — distinct
+  /// from the client-chosen, echoed req.request_id.
+  std::uint64_t seq = 0;
+  Clock::time_point admitted_at{};
 };
 
 struct Worker {
@@ -70,9 +80,43 @@ struct Worker {
   bool busy = false;
   Clock::time_point busy_since{};
   std::uint32_t job_id = 0;
+  std::uint64_t job_seq = 0;
   MsgType job_type = MsgType::kHello;
   std::shared_ptr<Connection> job_conn;
 };
+
+std::uint64_t us_since(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            t0)
+          .count());
+}
+
+/// Latency capped into the flight event's 32-bit payload.
+std::uint32_t cap_u32(std::uint64_t v) {
+  return v > 0xffffffffull ? 0xffffffffu : static_cast<std::uint32_t>(v);
+}
+
+#if BRICS_METRICS_ENABLED
+/// {"server.request_latency_us": {"p50_us":..., "p95_us":..., ...}, ...}
+/// for every microsecond-scale histogram in the snapshot.
+std::string quantiles_json(const MetricsSnapshot& snap) {
+  JsonWriter w;
+  w.begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.size() < 3 || name.compare(name.size() - 3, 3, "_us") != 0)
+      continue;
+    w.key(name)
+        .begin_object()
+        .field("p50_us", histogram_quantile(h, 0.50))
+        .field("p95_us", histogram_quantile(h, 0.95))
+        .field("p99_us", histogram_quantile(h, 0.99))
+        .end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+#endif
 
 }  // namespace
 
@@ -100,6 +144,8 @@ struct Server::Impl {
   std::atomic<std::uint64_t> c_connections{0}, c_requests{0}, c_served{0},
       c_shed{0}, c_refused{0}, c_errors{0}, c_quarantined{0},
       c_dropped{0};
+  /// Monotonic server-side request sequence; 0 is reserved for "none".
+  std::atomic<std::uint64_t> req_seq{0};
 
   void spawn_worker();
   void worker_loop(std::shared_ptr<Worker> self);
@@ -107,11 +153,15 @@ struct Server::Impl {
   void watchdog_loop();
   void handle(const Request& req, const std::shared_ptr<Connection>& conn);
   Reply serve(const Request& req);
-  void send_and_count(Connection& conn, const Reply& rep);
+  void send_and_count(Connection& conn, const Reply& rep,
+                      std::uint64_t seq = 0, std::uint64_t latency_us = 0);
   std::string counters_json();
 };
 
-void Server::Impl::send_and_count(Connection& conn, const Reply& rep) {
+void Server::Impl::send_and_count(Connection& conn, const Reply& rep,
+                                  std::uint64_t seq,
+                                  std::uint64_t latency_us) {
+  FlightEventKind fk = FlightEventKind::kReply;
   switch (rep.status) {
     case ReplyStatus::kOk:
     case ReplyStatus::kDegraded:
@@ -119,19 +169,33 @@ void Server::Impl::send_and_count(Connection& conn, const Reply& rep) {
       break;
     case ReplyStatus::kOverloaded: {
       ++c_shed;
+      fk = FlightEventKind::kShed;
       BRICS_COUNTER(c, "server.requests_shed");
       BRICS_COUNTER_ADD(c, 1);
       break;
     }
     case ReplyStatus::kShuttingDown:
       ++c_refused;
+      fk = FlightEventKind::kRefuse;
       break;
     case ReplyStatus::kError:
       ++c_errors;
       break;
   }
+  const Clock::time_point write_start = Clock::now();
   try {
     conn.send_reply(rep);
+    BRICS_HISTOGRAM(h_write, "server.reply_write_us", pow2_time_bounds());
+    BRICS_HISTOGRAM_OBSERVE(h_write, us_since(write_start));
+    if (latency_us > 0) {
+      // End-to-end: admission (or decode, for inline serves) through the
+      // written reply — the decomposition is queue_wait + execute +
+      // reply_write.
+      BRICS_HISTOGRAM(h_lat, "server.request_latency_us",
+                      pow2_time_bounds());
+      BRICS_HISTOGRAM_OBSERVE(h_lat,
+                              latency_us + us_since(write_start));
+    }
   } catch (const std::exception&) {
     // Reply lost (peer gone, or the server.write fail point). Hang up so
     // the client observes EOF instead of waiting forever for a frame
@@ -139,9 +203,15 @@ void Server::Impl::send_and_count(Connection& conn, const Reply& rep) {
     ++c_dropped;
     conn.hang_up();
   }
+  FlightRecorder::global().record(
+      fk, seq, static_cast<std::uint32_t>(rep.status), cap_u32(latency_us),
+      to_string(rep.status));
 }
 
 Reply Server::Impl::serve(const Request& req) {
+  // Nested under the worker's "server.request" span (same request lane);
+  // the gap between the two is decode/admission bookkeeping.
+  BRICS_SPAN(sp, "server.execute");
   Reply rep;
   rep.type = req.type;
   rep.request_id = req.request_id;
@@ -166,9 +236,29 @@ Reply Server::Impl::serve(const Request& req) {
         rep.version = engine.version();
         break;
       case MsgType::kStats:
-        rep.message = engine.stats_text();
+        rep.message = engine.stats_json();
         rep.version = engine.version();
         break;
+      case MsgType::kMetrics: {
+#if BRICS_METRICS_ENABLED
+        const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+        rep.message = to_prometheus(snap);
+        // Concatenation of three independently valid JSON objects; the
+        // server-counters body carries its own schema version field.
+        rep.metrics_json = "{\"metrics_schema_version\": 1, \"server\": " +
+                           counters_json() + ", \"quantiles\": " +
+                           quantiles_json(snap) + ", \"metrics\": " +
+                           snap.to_json() + "}";
+        rep.version = engine.version();
+#else
+        // The OFF build keeps the protocol (the frame decodes) but has no
+        // registry to serve — and must contain no metric-name strings.
+        rep.status = ReplyStatus::kError;
+        rep.error = WireError::kInternal;
+        rep.message = "metrics disabled in this build";
+#endif
+        break;
+      }
       case MsgType::kFarness: {
         auto qr = engine.farness(req.nodes, req.closeness);
         rep.version = qr.version;
@@ -230,22 +320,33 @@ Reply Server::Impl::serve(const Request& req) {
 
 void Server::Impl::handle(const Request& req,
                           const std::shared_ptr<Connection>& conn) {
+  const std::uint64_t seq =
+      req_seq.fetch_add(1, std::memory_order_relaxed) + 1;
   Reply rep;
   rep.type = req.type;
   rep.request_id = req.request_id;
 
-  // Hello and ServerStats are answered inline by the reader: they touch
-  // no estimator state, so they stay responsive even when the queue is
-  // saturated — exactly when an operator wants to see the counters.
-  if (req.type == MsgType::kHello || req.type == MsgType::kServerStats) {
-    send_and_count(*conn, serve(req));
+  // Hello, ServerStats and Metrics are answered inline by the reader:
+  // they touch no estimator state, so they stay responsive even when the
+  // queue is saturated — exactly when an operator wants to see the
+  // counters and latency histograms.
+  if (req.type == MsgType::kHello || req.type == MsgType::kServerStats ||
+      req.type == MsgType::kMetrics) {
+    const Clock::time_point start = Clock::now();
+    FlightRecorder::global().record(
+        FlightEventKind::kAdmit, seq,
+        static_cast<std::uint32_t>(req.type), 0, "inline");
+    RequestIdScope rscope(seq);
+    BRICS_SPAN(sp, "server.request");
+    Reply out = serve(req);
+    send_and_count(*conn, out, seq, us_since(start));
     return;
   }
 
   if (draining.load(std::memory_order_relaxed)) {
     rep.status = ReplyStatus::kShuttingDown;
     rep.message = "server is draining";
-    send_and_count(*conn, rep);
+    send_and_count(*conn, rep, seq);
     return;
   }
 
@@ -255,11 +356,15 @@ void Server::Impl::handle(const Request& req,
     rep.status = ReplyStatus::kError;
     rep.error = WireError::kFailPoint;
     rep.message = e.what();
-    send_and_count(*conn, rep);
+    send_and_count(*conn, rep, seq);
     return;
   }
 
-  if (!queue.try_push(Job{req, conn})) {
+  const std::size_t depth = queue.size();
+  BRICS_HISTOGRAM(h_depth, "server.queue_depth", pow2_bounds());
+  BRICS_HISTOGRAM_OBSERVE(h_depth, depth);
+
+  if (!queue.try_push(Job{req, conn, seq, Clock::now()})) {
     if (queue.closed()) {
       rep.status = ReplyStatus::kShuttingDown;
       rep.message = "server is draining";
@@ -268,7 +373,11 @@ void Server::Impl::handle(const Request& req,
       rep.message = "admission queue full (capacity " +
                     std::to_string(queue.capacity()) + "); retry later";
     }
-    send_and_count(*conn, rep);
+    send_and_count(*conn, rep, seq);
+  } else {
+    FlightRecorder::global().record(FlightEventKind::kAdmit, seq,
+                                    static_cast<std::uint32_t>(req.type),
+                                    static_cast<std::uint32_t>(depth));
   }
 }
 
@@ -276,15 +385,32 @@ void Server::Impl::worker_loop(std::shared_ptr<Worker> self) {
   while (true) {
     std::optional<Job> job = queue.pop();
     if (!job) break;
+    const Clock::time_point popped = Clock::now();
+    BRICS_HISTOGRAM(h_wait, "server.queue_wait_us", pow2_time_bounds());
+    BRICS_HISTOGRAM_OBSERVE(
+        h_wait, static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        popped - job->admitted_at)
+                        .count()));
     {
       std::lock_guard<std::mutex> lock(self->job_mu);
       self->busy = true;
-      self->busy_since = Clock::now();
+      self->busy_since = popped;
       self->job_id = job->req.request_id;
+      self->job_seq = job->seq;
       self->job_type = job->req.type;
       self->job_conn = job->conn;
     }
-    Reply rep = serve(job->req);
+    Reply rep;
+    {
+      // Everything the engine and pipeline record on this thread — spans,
+      // flight events, commit hooks — carries this request id.
+      RequestIdScope rscope(job->seq);
+      BRICS_SPAN(sp, "server.request");
+      rep = serve(job->req);
+    }
+    BRICS_HISTOGRAM(h_exec, "server.execute_us", pow2_time_bounds());
+    BRICS_HISTOGRAM_OBSERVE(h_exec, us_since(popped));
     bool discard;
     {
       std::lock_guard<std::mutex> lock(self->job_mu);
@@ -293,7 +419,8 @@ void Server::Impl::worker_loop(std::shared_ptr<Worker> self) {
       self->job_conn.reset();
     }
     if (discard) break;  // the watchdog already failed this request
-    send_and_count(*job->conn, rep);
+    send_and_count(*job->conn, rep, job->seq,
+                   us_since(job->admitted_at));
   }
   self->done.store(true, std::memory_order_release);
 }
@@ -319,6 +446,7 @@ void Server::Impl::watchdog_loop() {
       if (w->quarantined.load(std::memory_order_relaxed)) continue;
       std::shared_ptr<Connection> conn;
       std::uint32_t id = 0;
+      std::uint64_t seq = 0;
       MsgType type = MsgType::kHello;
       bool wedged = false;
       {
@@ -328,6 +456,7 @@ void Server::Impl::watchdog_loop() {
           wedged = true;
           conn = w->job_conn;
           id = w->job_id;
+          seq = w->job_seq;
           type = w->job_type;
         }
       }
@@ -335,6 +464,15 @@ void Server::Impl::watchdog_loop() {
       ++c_quarantined;
       BRICS_COUNTER(c, "server.workers_quarantined");
       BRICS_COUNTER_ADD(c, 1);
+      // The black box ships a postmortem with the wedged request's id in
+      // it: record the quarantine first so the dump always contains it.
+      FlightRecorder::global().record(
+          FlightEventKind::kQuarantine, seq,
+          static_cast<std::uint32_t>(type),
+          static_cast<std::uint32_t>(opts.watchdog_ms));
+      if (!opts.flight_path.empty())
+        FlightRecorder::global().dump_to_file(opts.flight_path,
+                                              "quarantine");
       Reply rep;
       rep.type = type;
       rep.request_id = id;
@@ -343,7 +481,7 @@ void Server::Impl::watchdog_loop() {
       rep.message = "request exceeded the watchdog threshold (" +
                     std::to_string(opts.watchdog_ms) +
                     " ms); worker quarantined";
-      if (conn) send_and_count(*conn, rep);
+      if (conn) send_and_count(*conn, rep, seq);
       // Keep the pool at full strength; the wedged thread's eventual
       // result is discarded by the quarantined flag.
       spawn_worker();
@@ -371,10 +509,11 @@ void Server::Impl::reader_loop(std::shared_ptr<Connection> conn) {
 }
 
 std::string Server::Impl::counters_json() {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
-      "{\"connections\": %llu, \"requests\": %llu, \"served\": %llu, "
+      "{\"server_stats_schema_version\": 1, "
+      "\"connections\": %llu, \"requests\": %llu, \"served\": %llu, "
       "\"shed\": %llu, \"refused\": %llu, \"errors\": %llu, "
       "\"quarantined\": %llu, \"dropped_connections\": %llu, "
       "\"queue_depth\": %zu, \"queue_capacity\": %zu, \"workers\": %zu, "
@@ -473,6 +612,8 @@ void Server::run() {
   ::close(lfd);
   ::unlink(path.c_str());
   im.draining.store(true, std::memory_order_relaxed);
+  FlightRecorder::global().record(FlightEventKind::kDrain, 0, 0, 0,
+                                  "start");
 
   // Refuse everything still queued, explicitly.
   for (Job& job : im.queue.close()) {
@@ -481,7 +622,7 @@ void Server::run() {
     rep.request_id = job.req.request_id;
     rep.status = ReplyStatus::kShuttingDown;
     rep.message = "server is draining";
-    im.send_and_count(*job.conn, rep);
+    im.send_and_count(*job.conn, rep, job.seq);
   }
 
   // Join workers: in-flight requests finish and reply. The workers vector
@@ -526,6 +667,10 @@ void Server::run() {
     readers.swap(im.readers);
   }
   for (std::thread& t : readers) t.join();
+  FlightRecorder::global().record(FlightEventKind::kDrain, 0, 0, 0,
+                                  "done");
+  if (!im.opts.flight_path.empty())
+    FlightRecorder::global().dump_to_file(im.opts.flight_path, "drain");
   ready_.store(false, std::memory_order_release);
 }
 

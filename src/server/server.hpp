@@ -49,6 +49,12 @@ struct ServerOptions {
   std::int64_t watchdog_ms = 0;
   /// Deadline applied to requests that carry none; 0 = unlimited.
   std::uint32_t default_deadline_ms = 0;
+  /// Flight-recorder dump file (obs/flight.hpp). When non-empty, the ring
+  /// is dumped here on every watchdog quarantine and at the end of the
+  /// graceful drain; brics_serve defaults it to `<socket>.flight.json`
+  /// and additionally dumps on fatal signals. Empty = no dumps (the ring
+  /// still records).
+  std::string flight_path;
   EngineOptions engine;
 };
 

@@ -32,7 +32,7 @@ mkdir -p "$WORK"
 STATE="$WORK/state"
 # sockaddr_un caps the path at ~107 bytes; keep the socket in /tmp.
 SOCK=$(mktemp -u /tmp/brics_soak_XXXXXX.sock)
-trap 'rm -f "$SOCK"' EXIT
+trap 'rm -f "$SOCK" "$SOCK.flight.json"' EXIT
 
 fail() { echo "server_soak: FAIL — $1" >&2; exit 1; }
 
@@ -71,6 +71,39 @@ start_server "$WORK/serve1.log" "$FAILPOINTS"
   --recv-timeout-ms "$RECV_TIMEOUT_MS" > "$WORK/soak.log" 2>&1 \
   || { cat "$WORK/soak.log" >&2; fail "soak reported hangs or died"; }
 cat "$WORK/soak.log"
+
+# The summary carries client-observed latency percentiles; a soak that
+# answered requests must report a positive p99.
+grep -q 'p50_ms=' "$WORK/soak.log" || fail "soak summary missing p50_ms"
+grep -q 'p95_ms=' "$WORK/soak.log" || fail "soak summary missing p95_ms"
+P99=$(sed -n 's/.*p99_ms=\([0-9.]*\).*/\1/p' "$WORK/soak.log" | head -1)
+[ -n "$P99" ] || fail "soak summary missing p99_ms"
+case "$P99" in
+  0|0.000) fail "p99_ms is zero after a non-empty soak" ;;
+esac
+
+# Live telemetry under load: the metrics request must answer on a build
+# with metrics compiled in (exposition text), and answer with an explicit
+# error (exit 3) — never a hang — on a -DBRICS_METRICS=OFF build.
+if "$CLIENT" "$SOCK" metrics > "$WORK/metrics.txt" 2>&1; then
+  grep -q '# TYPE brics_server_request_latency_us histogram' \
+    "$WORK/metrics.txt" \
+    || fail "metrics exposition missing request latency histogram"
+  grep -q 'brics_server_request_latency_us_bucket{le="+Inf"}' \
+    "$WORK/metrics.txt" \
+    || fail "metrics exposition missing +Inf bucket"
+  "$CLIENT" "$SOCK" metrics --json > "$WORK/metrics.json" 2>&1 \
+    || fail "metrics --json failed on a metrics-on build"
+  grep -q '"metrics_schema_version": 1' "$WORK/metrics.json" \
+    || fail "metrics snapshot missing schema version"
+  grep -q '"server\.request_latency_us"' "$WORK/metrics.json" \
+    || fail "metrics snapshot missing request latency histogram"
+else
+  rc=$?
+  [ "$rc" -eq 3 ] || fail "metrics request failed with unexpected code $rc"
+  grep -q 'disabled' "$WORK/metrics.txt" \
+    || fail "metrics-off reply should say the feature is disabled"
+fi
 
 V_BEFORE=$(hello_version)
 [ -n "$V_BEFORE" ] || fail "could not read version from hello"
@@ -121,4 +154,16 @@ if wait "$PID"; then :; else fail "clean drain exited non-zero ($?)"; fi
 [ ! -S "$SOCK" ] || fail "socket not unlinked after drain"
 grep -q 'drained' "$WORK/serve3.log" || true
 
-echo "server_soak: OK (soaked, killed, resumed v$V_BEFORE bit-identical, drained)"
+# The drain leaves the flight recorder's black box behind (default
+# <socket>.flight.json): well-formed, drain-reasoned, and carrying the
+# request events of the run.
+FLIGHT="$SOCK.flight.json"
+[ -f "$FLIGHT" ] || fail "drain left no flight dump at $FLIGHT"
+grep -q '"flight_schema_version": *1' "$FLIGHT" \
+  || fail "flight dump missing schema version"
+grep -q '"reason": *"drain"' "$FLIGHT" || fail "flight dump reason != drain"
+grep -q '"kind": *"drain"' "$FLIGHT" || fail "flight dump has no drain event"
+grep -q '"kind": *"reply"' "$FLIGHT" || fail "flight dump has no reply events"
+cp "$FLIGHT" "$WORK/flight.drain.json" 2>/dev/null || true
+
+echo "server_soak: OK (soaked, killed, resumed v$V_BEFORE bit-identical, drained, flight dump verified)"

@@ -105,6 +105,60 @@ TEST(ArtifactDiff, TimingColumnDetection) {
   EXPECT_FALSE(is_timing_column("threads"));
 }
 
+TEST(ArtifactDiff, LatencyMsColumnDetection) {
+  EXPECT_TRUE(is_latency_ms_column("p50_ms"));
+  EXPECT_TRUE(is_latency_ms_column("p95_ms"));
+  EXPECT_TRUE(is_latency_ms_column("p99_ms"));
+  EXPECT_TRUE(is_latency_ms_column("soak_ms"));
+  EXPECT_FALSE(is_latency_ms_column("p50"));
+  EXPECT_FALSE(is_latency_ms_column("t_brics"));
+  EXPECT_FALSE(is_latency_ms_column("rss_mb"));
+  // _ms columns are their own class, not seconds-timings.
+  EXPECT_FALSE(is_timing_column("p95_ms"));
+}
+
+// One soak-shaped table with the client-observed latency percentiles.
+std::string lat_art(const std::string& p50, const std::string& p95,
+                    const std::string& p99) {
+  return "{\"schema_version\":2,\"harness\":\"soak\",\"tables\":[{"
+         "\"columns\":[\"run\",\"p50_ms\",\"p95_ms\",\"p99_ms\"],"
+         "\"rows\":[[\"steady\",\"" + p50 + "\",\"" + p95 + "\",\"" +
+         p99 + "\"]]}]}";
+}
+
+TEST(ArtifactDiff, LatencyPercentileRegressionIsFlagged) {
+  JsonValue old_a = parse_ok(lat_art("12.0", "40.0", "80.0"));
+  JsonValue new_a = parse_ok(lat_art("12.5", "70.0", "82.0"));
+  DiffOptions opts;
+  opts.tol_pct = 10.0;
+  DiffResult r = diff_artifacts(old_a, new_a, opts);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.regressions.size(), 1u);  // only p95 moved beyond tolerance
+  EXPECT_EQ(r.regressions[0].column, "p95_ms");
+  EXPECT_DOUBLE_EQ(r.regressions[0].old_v, 40.0);
+  EXPECT_DOUBLE_EQ(r.regressions[0].new_v, 70.0);
+  EXPECT_EQ(r.cells_compared, 3u);
+  // The rendering carries the right unit.
+  const std::string text = format_diff(r);
+  EXPECT_NE(text.find("40.000ms -> 70.000ms"), std::string::npos) << text;
+}
+
+TEST(ArtifactDiff, LatencyFloorAppliesInSeconds) {
+  // 1ms -> 4ms is +300%, but 0.004s sits under the 5ms abs floor —
+  // the same noise control that governs seconds-columns, unit-scaled.
+  JsonValue old_a = parse_ok(lat_art("1.0", "40.0", "80.0"));
+  JsonValue new_a = parse_ok(lat_art("4.0", "40.0", "80.0"));
+  DiffResult r = diff_artifacts(old_a, new_a, DiffOptions{});
+  EXPECT_TRUE(r.ok());
+  // Above the floor the percentage gate applies as usual.
+  JsonValue big_old = parse_ok(lat_art("6.0", "40.0", "80.0"));
+  JsonValue big_new = parse_ok(lat_art("9.0", "40.0", "80.0"));
+  DiffResult r2 = diff_artifacts(big_old, big_new, DiffOptions{});
+  EXPECT_FALSE(r2.ok());
+  ASSERT_EQ(r2.regressions.size(), 1u);
+  EXPECT_EQ(r2.regressions[0].column, "p50_ms");
+}
+
 TEST(ArtifactDiff, IdenticalArtifactsPass) {
   JsonValue a = parse_ok(art("1.000", "2.000"));
   DiffResult r = diff_artifacts(a, a, DiffOptions{});

@@ -2,12 +2,20 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <limits>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "brics/brics.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight.hpp"
+#include "obs/histogram_snapshot.hpp"
 #include "obs/json.hpp"
+#include "obs/request.hpp"
 #include "util/parallel.hpp"
 
 namespace brics {
@@ -218,6 +226,253 @@ TEST(Trace, PhaseScopeAccumulatesTime) {
     PhaseScope p("unit_test_phase", acc);
   }
   EXPECT_GE(acc, first);  // accumulates, does not overwrite
+}
+
+// ---- Request-id propagation ---------------------------------------------
+
+TEST(RequestId, ScopeNestsAndRestores) {
+  EXPECT_EQ(current_request_id(), 0u);
+  {
+    RequestIdScope outer(7);
+    EXPECT_EQ(current_request_id(), 7u);
+    {
+      RequestIdScope inner(9);
+      EXPECT_EQ(current_request_id(), 9u);
+    }
+    EXPECT_EQ(current_request_id(), 7u);
+  }
+  EXPECT_EQ(current_request_id(), 0u);
+}
+
+TEST(RequestId, IsThreadLocal) {
+  RequestIdScope scope(42);
+  std::uint64_t seen = 99;
+  std::thread t([&] { seen = current_request_id(); });
+  t.join();
+  EXPECT_EQ(seen, 0u);  // other threads start unattributed
+  EXPECT_EQ(current_request_id(), 42u);
+}
+
+// ---- Flight recorder ----------------------------------------------------
+
+TEST(Flight, RecordsAndSnapshotsInOrder) {
+  FlightRecorder fr(16);
+  fr.record(FlightEventKind::kAdmit, 1, 3);
+  fr.record(FlightEventKind::kReply, 1, 0, 250, "OK");
+  fr.record(FlightEventKind::kShed, 2);
+  std::vector<FlightEvent> ev = fr.snapshot();
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_EQ(ev[0].kind, FlightEventKind::kAdmit);
+  EXPECT_EQ(ev[0].req, 1u);
+  EXPECT_EQ(ev[0].a, 3u);
+  EXPECT_EQ(ev[1].kind, FlightEventKind::kReply);
+  EXPECT_EQ(ev[1].b, 250u);
+  EXPECT_STREQ(ev[1].label, "OK");
+  EXPECT_EQ(ev[2].req, 2u);
+  EXPECT_LE(ev[0].ts_us, ev[1].ts_us);
+}
+
+TEST(Flight, RingWrapsKeepingNewest) {
+  FlightRecorder fr(8);  // power of two already
+  ASSERT_EQ(fr.capacity(), 8u);
+  for (std::uint64_t i = 1; i <= 20; ++i)
+    fr.record(FlightEventKind::kAdmit, i);
+  EXPECT_EQ(fr.recorded(), 20u);
+  std::vector<FlightEvent> ev = fr.snapshot();
+  ASSERT_EQ(ev.size(), 8u);
+  // Oldest-first window over the newest 8 events: reqs 13..20.
+  for (std::size_t i = 0; i < ev.size(); ++i)
+    EXPECT_EQ(ev[i].req, 13u + i);
+}
+
+TEST(Flight, CapacityRoundsUpToPowerOfTwo) {
+  FlightRecorder fr(5);
+  EXPECT_EQ(fr.capacity(), 8u);
+}
+
+TEST(Flight, ConcurrentWritersLoseNothingWhole) {
+  FlightRecorder fr(1 << 12);
+  constexpr int kPerThread = 500;
+#pragma omp parallel for
+  for (int i = 0; i < 4 * kPerThread; ++i)
+    fr.record(FlightEventKind::kCommit, static_cast<std::uint64_t>(i) + 1);
+  EXPECT_EQ(fr.recorded(), static_cast<std::uint64_t>(4 * kPerThread));
+  // Fewer events than capacity: all of them must read back whole.
+  EXPECT_EQ(fr.snapshot().size(), static_cast<std::size_t>(4 * kPerThread));
+}
+
+TEST(Flight, JsonDumpIsValidAndCarriesSchema) {
+  FlightRecorder fr(16);
+  fr.record(FlightEventKind::kQuarantine, 11, 4, 200);
+  fr.record(FlightEventKind::kFailPoint, 0, 0, 0, "server.read");
+  const std::string js = fr.to_json("unit-test");
+  std::string err;
+  ASSERT_TRUE(json_valid(js, &err)) << err << "\n" << js;
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(js, doc, &err)) << err;
+  EXPECT_EQ(doc.get("flight_schema_version")->num_v, 1.0);
+  EXPECT_EQ(doc.get("reason")->str_v, "unit-test");
+  const JsonValue* evs = doc.get("events");
+  ASSERT_NE(evs, nullptr);
+  ASSERT_EQ(evs->arr.size(), 2u);
+  EXPECT_EQ(evs->arr[0].get("kind")->str_v, "quarantine");
+  EXPECT_EQ(evs->arr[0].get("req")->num_v, 11.0);
+  EXPECT_EQ(evs->arr[1].get("kind")->str_v, "failpoint");
+  EXPECT_EQ(evs->arr[1].get("label")->str_v, "server.read");
+}
+
+TEST(Flight, FdDumpMatchesJsonDump) {
+  FlightRecorder fr(16);
+  for (std::uint64_t i = 1; i <= 5; ++i)
+    fr.record(FlightEventKind::kReply, i, 0, 10 * i, "OK");
+  const std::string path =
+      testing::TempDir() + "/flight_fd_dump_test.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fr.dump_to_fd(fileno(f), "fd-test");
+  std::fclose(f);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  ASSERT_TRUE(json_valid(ss.str(), &err)) << err << "\n" << ss.str();
+  // The signal-safe formatter carries the same schema as to_json
+  // (whitespace differs; compare parsed content).
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(ss.str(), doc, &err)) << err;
+  EXPECT_EQ(doc.get("flight_schema_version")->num_v, 1.0);
+  EXPECT_EQ(doc.get("reason")->str_v, "fd-test");
+  EXPECT_EQ(doc.get("recorded")->num_v, 5.0);
+  EXPECT_EQ(doc.get("dropped")->num_v, 0.0);
+  const JsonValue* evs = doc.get("events");
+  ASSERT_NE(evs, nullptr);
+  ASSERT_EQ(evs->arr.size(), 5u);
+  EXPECT_EQ(evs->arr[4].get("req")->num_v, 5.0);
+  EXPECT_EQ(evs->arr[4].get("b")->num_v, 50.0);
+  EXPECT_EQ(evs->arr[4].get("label")->str_v, "OK");
+  std::remove(path.c_str());
+}
+
+TEST(Flight, DumpToFileReportsDropped) {
+  FlightRecorder fr(4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    fr.record(FlightEventKind::kAdmit, i + 1);
+  const std::string path = testing::TempDir() + "/flight_dump_test.json";
+  ASSERT_TRUE(fr.dump_to_file(path, "wrap"));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(json_parse(ss.str(), doc, &err)) << err;
+  EXPECT_EQ(doc.get("recorded")->num_v, 10.0);
+  EXPECT_EQ(doc.get("dropped")->num_v, 6.0);
+  std::remove(path.c_str());
+}
+
+TEST(Flight, KindWordsAreStable) {
+  EXPECT_STREQ(to_string(FlightEventKind::kAdmit), "admit");
+  EXPECT_STREQ(to_string(FlightEventKind::kReply), "reply");
+  EXPECT_STREQ(to_string(FlightEventKind::kShed), "shed");
+  EXPECT_STREQ(to_string(FlightEventKind::kRefuse), "refuse");
+  EXPECT_STREQ(to_string(FlightEventKind::kQuarantine), "quarantine");
+  EXPECT_STREQ(to_string(FlightEventKind::kCommit), "commit");
+  EXPECT_STREQ(to_string(FlightEventKind::kFailPoint), "failpoint");
+  EXPECT_STREQ(to_string(FlightEventKind::kDrain), "drain");
+}
+
+// ---- Exposition ---------------------------------------------------------
+
+TEST(Exposition, NameManglingAddsPrefixAndUnderscores) {
+  EXPECT_EQ(exposition_name("server.request_latency_us"),
+            "brics_server_request_latency_us");
+  EXPECT_EQ(exposition_name("plain"), "brics_plain");
+}
+
+TEST(Exposition, RendersCountersGaugesAndCumulativeBuckets) {
+  MetricsSnapshot snap;
+  snap.counters["server.served"] = 42;
+  snap.gauges["exec.degraded"] = 0.0;
+  MetricsSnapshot::Hist h;
+  h.bounds = {10, 20};
+  h.counts = {3, 2, 1};  // 1 overflow observation
+  h.total = 6;
+  snap.histograms["server.queue_depth"] = h;
+  const std::string text = to_prometheus(snap);
+  EXPECT_NE(text.find("# TYPE brics_server_served counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("brics_server_served 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE brics_exec_degraded gauge"),
+            std::string::npos);
+  // Cumulative buckets: le="10" -> 3, le="20" -> 5, le="+Inf" -> 6.
+  EXPECT_NE(text.find("brics_server_queue_depth_bucket{le=\"10\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("brics_server_queue_depth_bucket{le=\"20\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("brics_server_queue_depth_bucket{le=\"+Inf\"} 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("brics_server_queue_depth_count 6"),
+            std::string::npos);
+  EXPECT_TRUE(text.empty() || text.back() == '\n');
+}
+
+// ---- Histogram quantiles / deltas ---------------------------------------
+
+TEST(HistogramQuantile, InterpolatesWithinBuckets) {
+  MetricsSnapshot::Hist h;
+  h.bounds = {10, 20};
+  h.counts = {10, 0, 0};
+  h.total = 10;
+  // All mass in [0, 10]: the median interpolates to ~the bucket middle.
+  EXPECT_NEAR(histogram_quantile(h, 0.5), 5.0, 1.001);
+  EXPECT_LE(histogram_quantile(h, 1.0), 10.0);
+}
+
+TEST(HistogramQuantile, OverflowClampsToLastBound) {
+  MetricsSnapshot::Hist h;
+  h.bounds = {10, 20};
+  h.counts = {0, 0, 8};
+  h.total = 8;
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 20.0);
+}
+
+TEST(HistogramQuantile, EmptyIsZero) {
+  MetricsSnapshot::Hist h;
+  h.bounds = {10};
+  h.counts = {0, 0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 0.0);
+}
+
+TEST(SnapshotDelta, SubtractsCountersAndBuckets) {
+  MetricsSnapshot prev, cur;
+  prev.counters["c"] = 10;
+  cur.counters["c"] = 25;
+  cur.counters["fresh"] = 3;
+  prev.gauges["g"] = 1.0;
+  cur.gauges["g"] = 2.5;
+  MetricsSnapshot::Hist hp, hc;
+  hp.bounds = hc.bounds = {10};
+  hp.counts = {4, 1};
+  hp.total = 5;
+  hc.counts = {9, 2};
+  hc.total = 11;
+  prev.histograms["h"] = hp;
+  cur.histograms["h"] = hc;
+  MetricsSnapshot d = snapshot_delta(prev, cur);
+  EXPECT_EQ(d.counters.at("c"), 15u);
+  EXPECT_EQ(d.counters.at("fresh"), 3u);
+  EXPECT_DOUBLE_EQ(d.gauges.at("g"), 2.5);  // gauges pass through
+  EXPECT_EQ(d.histograms.at("h").counts[0], 5u);
+  EXPECT_EQ(d.histograms.at("h").counts[1], 1u);
+  EXPECT_EQ(d.histograms.at("h").total, 6u);
+}
+
+TEST(SnapshotDelta, SaturatesOnRegistryReset) {
+  MetricsSnapshot prev, cur;
+  prev.counters["c"] = 100;
+  cur.counters["c"] = 7;  // registry was reset in between
+  MetricsSnapshot d = snapshot_delta(prev, cur);
+  EXPECT_EQ(d.counters.at("c"), 7u);
 }
 
 // ---- PhaseTimes normalization (satellite: total vs phase sums) ----------

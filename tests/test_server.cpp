@@ -27,6 +27,9 @@
 #include "gen/dataset.hpp"
 #include "graph/connectivity.hpp"
 #include "measures/brandes.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "server/admission.hpp"
 #include "server/protocol.hpp"
 #include "server/server.hpp"
@@ -211,6 +214,30 @@ TEST(ServerProtocol, ReplyRoundtripPerType) {
     EXPECT_EQ(d.status, ReplyStatus::kError);
     EXPECT_EQ(d.error, WireError::kWedged);
     EXPECT_EQ(d.message, r.message);
+  }
+}
+
+TEST(ServerProtocol, MetricsRoundtripAndVersion) {
+  // kMetrics arrived with protocol v3.
+  EXPECT_EQ(kProtocolVersion, 3u);
+  {
+    Request r;
+    r.type = MsgType::kMetrics;
+    r.request_id = 21;
+    const Request d = decode_request(encode_request(r));
+    EXPECT_EQ(d.type, MsgType::kMetrics);
+    EXPECT_EQ(d.request_id, 21u);
+  }
+  {
+    Reply r;
+    r.type = MsgType::kMetrics;
+    r.request_id = 21;
+    r.message = "# TYPE brics_server_served counter\n";
+    r.metrics_json = "{\"metrics_schema_version\": 1}";
+    const Reply d = decode_reply(encode_reply(r));
+    EXPECT_EQ(d.type, MsgType::kMetrics);
+    EXPECT_EQ(d.message, r.message);
+    EXPECT_EQ(d.metrics_json, r.metrics_json);
   }
 }
 
@@ -401,6 +428,37 @@ TEST_F(ServerEngineTest, TopKIsCachedByGraphVersion) {
   auto third = eng.topk(3, 0);  // version bump invalidated the cache
   EXPECT_EQ(third.version, 2u);
   ASSERT_EQ(third.result.nodes.size(), 3u);
+}
+
+TEST_F(ServerEngineTest, StatsJsonFieldsAreStable) {
+  // Regression gate for the machine-parseable stats body: dashboards and
+  // the soak harness key on these exact field names. Removing or renaming
+  // one is a schema break and must bump stats_schema_version.
+  ServerEngine eng(g_ref(), EngineOptions{exact_opts(), "", 64});
+  const std::string js = eng.stats_json();
+  std::string err;
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(js, doc, &err)) << err << "\n" << js;
+  ASSERT_NE(doc.get("stats_schema_version"), nullptr);
+  EXPECT_EQ(doc.get("stats_schema_version")->num_v, 1.0);
+  ASSERT_NE(doc.get("version"), nullptr);
+  EXPECT_EQ(doc.get("version")->num_v, 1.0);
+  const JsonValue* graph = doc.get("graph");
+  ASSERT_NE(graph, nullptr);
+  for (const char* field :
+       {"nodes", "edges", "min_degree", "max_degree", "avg_degree",
+        "deg_le2", "components", "diameter_lb", "identical_nodes",
+        "chain_nodes", "redundant_nodes", "bcc_count", "bcc_max",
+        "bcc_avg"}) {
+    ASSERT_NE(graph->get(field), nullptr) << "missing graph." << field;
+    EXPECT_TRUE(graph->get(field)->is_number()) << field;
+  }
+  EXPECT_EQ(graph->get("nodes")->num_v, 6.0);
+  // The free-form rendering rides along for humans.
+  const JsonValue* text = doc.get("text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_TRUE(text->is_string());
+  EXPECT_NE(text->str_v.find("nodes"), std::string::npos);
 }
 
 TEST_F(ServerEngineTest, BcIsVersionKeyedAndOracleChecked) {
@@ -691,6 +749,154 @@ TEST_F(LiveServerTest, WatchdogQuarantinesAWedgedWorker) {
   // Drain must complete even with a quarantined worker in the pool.
   stop();
 }
+
+TEST_F(LiveServerTest, ServerStatsBodyIsSchemaVersioned) {
+  start(ServerOptions{});
+  const int fd = connect_unix(sock_);
+  ASSERT_GE(fd, 0);
+  Request sstats;
+  sstats.type = MsgType::kServerStats;
+  sstats.request_id = 1;
+  Reply ss = ask(fd, sstats);
+  ::close(fd);
+  EXPECT_EQ(ss.status, ReplyStatus::kOk);
+  std::string err;
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(ss.message, doc, &err)) << err << "\n"
+                                                 << ss.message;
+  ASSERT_NE(doc.get("server_stats_schema_version"), nullptr);
+  EXPECT_EQ(doc.get("server_stats_schema_version")->num_v, 1.0);
+  for (const char* field :
+       {"connections", "requests", "served", "shed", "refused", "errors",
+        "quarantined", "dropped_connections", "queue_depth",
+        "queue_capacity", "workers", "draining"}) {
+    ASSERT_NE(doc.get(field), nullptr) << "missing " << field;
+  }
+}
+
+TEST_F(LiveServerTest, MetricsRequestServesExpositionAndJson) {
+  start(ServerOptions{});
+  const int fd = connect_unix(sock_);
+  ASSERT_GE(fd, 0);
+  Request m;
+  m.type = MsgType::kMetrics;
+  m.request_id = 9;
+  Reply rep = ask(fd, m);
+  ::close(fd);
+#if BRICS_METRICS_ENABLED
+  EXPECT_EQ(rep.status, ReplyStatus::kOk);
+  // Text exposition in message, schema'd JSON snapshot alongside.
+  EXPECT_NE(rep.message.find("# TYPE brics_"), std::string::npos)
+      << rep.message.substr(0, 200);
+  std::string err;
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(rep.metrics_json, doc, &err))
+      << err << "\n" << rep.metrics_json.substr(0, 400);
+  ASSERT_NE(doc.get("metrics_schema_version"), nullptr);
+  EXPECT_EQ(doc.get("metrics_schema_version")->num_v, 1.0);
+  ASSERT_NE(doc.get("server"), nullptr);
+  EXPECT_NE(doc.get("server")->get("server_stats_schema_version"), nullptr);
+  ASSERT_NE(doc.get("quantiles"), nullptr);
+  ASSERT_NE(doc.get("metrics"), nullptr);
+  EXPECT_NE(doc.get("metrics")->get("counters"), nullptr);
+#else
+  // The OFF build keeps the wire type but declines: no metric name ever
+  // reaches the binary.
+  EXPECT_EQ(rep.status, ReplyStatus::kError);
+  EXPECT_NE(rep.message.find("disabled"), std::string::npos);
+  EXPECT_TRUE(rep.metrics_json.empty());
+#endif
+}
+
+#if BRICS_METRICS_ENABLED
+
+TEST_F(LiveServerTest, ConcurrentRequestsExportDisjointTraceLanes) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.enable();
+  ServerOptions opts;
+  opts.num_workers = 2;
+  start(opts);
+
+  // Two connections fire sleeping requests that overlap in time, so both
+  // are in flight at once on different workers.
+  auto one = [&](std::uint32_t id) {
+    const int fd = connect_unix(sock_);
+    ASSERT_GE(fd, 0);
+    Request far;
+    far.type = MsgType::kFarness;
+    far.request_id = id;
+    far.nodes = {0};
+    far.debug_sleep_ms = 150;
+    const Reply rep = ask(fd, far);
+    EXPECT_EQ(rep.status, ReplyStatus::kOk);
+    ::close(fd);
+  };
+  std::thread a(one, 101);
+  std::thread b(one, 102);
+  a.join();
+  b.join();
+  stop();
+  rec.disable();
+
+  const std::vector<TraceEvent> evs = rec.events();
+  rec.clear();
+
+  // Each request got its own server-side sequence id; its request span
+  // and everything nested inside share that id.
+  std::map<std::uint64_t, std::vector<const TraceEvent*>> by_req;
+  for (const TraceEvent& e : evs)
+    if (e.req != 0) by_req[e.req].push_back(&e);
+  ASSERT_GE(by_req.size(), 2u) << "expected two request lanes";
+
+  std::size_t overlapping_roots = 0;
+  std::vector<const TraceEvent*> roots;
+  for (const auto& [req, lane] : by_req) {
+    const TraceEvent* root = nullptr;
+    for (const TraceEvent* e : lane)
+      if (std::strcmp(e->name, "server.request") == 0) root = e;
+    if (root == nullptr) continue;
+    roots.push_back(root);
+    ++overlapping_roots;
+    // Nesting: every same-request span lies within the request span.
+    for (const TraceEvent* e : lane) {
+      EXPECT_GE(e->ts_us, root->ts_us - 1.0) << e->name;
+      EXPECT_LE(e->ts_us + e->dur_us, root->ts_us + root->dur_us + 1.0)
+          << e->name;
+    }
+  }
+  ASSERT_GE(overlapping_roots, 2u);
+  // The two sleeping requests really ran concurrently (trace proves it).
+  const TraceEvent* r0 = roots[0];
+  const TraceEvent* r1 = roots[1];
+  EXPECT_LT(r0->ts_us, r1->ts_us + r1->dur_us);
+  EXPECT_LT(r1->ts_us, r0->ts_us + r0->dur_us);
+
+  // The Chrome export renders them as separate named lanes with the
+  // request id as the synthetic tid — and is valid JSON end to end.
+  const std::string js = trace_events_to_chrome_json(evs);
+  std::string err;
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(js, doc, &err)) << err;
+  const JsonValue* arr = doc.get("traceEvents");
+  ASSERT_NE(arr, nullptr);
+  std::map<double, std::string> lane_names;
+  std::map<double, int> lane_events;
+  for (const JsonValue& e : arr->arr) {
+    const JsonValue* ph = e.get("ph");
+    if (ph == nullptr || !ph->is_string()) continue;
+    if (ph->str_v == "M" && e.get("name")->str_v == "thread_name")
+      lane_names[e.get("tid")->num_v] = e.get("args")->get("name")->str_v;
+    if (ph->str_v == "X" && e.get("tid")->num_v >= 1048576.0)
+      ++lane_events[e.get("tid")->num_v];
+  }
+  int req_lanes = 0;
+  for (const auto& [tid, name] : lane_names)
+    if (name.rfind("req-", 0) == 0) ++req_lanes;
+  EXPECT_GE(req_lanes, 2) << "expected req-<id> lane metadata";
+  EXPECT_GE(lane_events.size(), 2u) << "expected events on two req lanes";
+}
+
+#endif  // BRICS_METRICS_ENABLED
 
 }  // namespace
 }  // namespace brics

@@ -4,6 +4,7 @@
 //   brics_client <socket> hello
 //   brics_client <socket> stats
 //   brics_client <socket> server-stats
+//   brics_client <socket> metrics [--json]
 //   brics_client <socket> farness [--nodes a,b,c] [--closeness]
 //                          [--deadline-ms N]
 //   brics_client <socket> bc [--nodes a,b,c] [--deadline-ms N]
@@ -19,13 +20,22 @@
 // The soak mode is the no-hangs contract, executable: N concurrent
 // connections each fire M requests (farness / topk / update mix) and
 // every single one must end in a reply or a visible connection error
-// within the receive timeout — a silent hang fails the run.
+// within the receive timeout — a silent hang fails the run. Each thread
+// records every reply's round-trip latency; the summary line reports
+// client-observed p50_ms/p95_ms/p99_ms across all replies.
+//
+// `metrics` fetches the server's live telemetry (protocol v3 kMetrics):
+// Prometheus-style text exposition by default, the schema'd JSON snapshot
+// with --json. A server built with -DBRICS_METRICS=OFF answers kError;
+// that surfaces as exit code 3 with the server's message.
 //
 // Exit codes: 0 ok, 2 usage, 3 error reply, 4 degraded, 5 connection or
 // protocol failure, 6 overloaded, 7 server shutting down. Soak: 0 when no
 // request hung, 1 otherwise.
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -47,8 +57,8 @@ using namespace brics;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: brics_client <socket> "
-      "hello|stats|server-stats|farness|bc|topk|topk-bc|update|sleep|soak "
+      "usage: brics_client <socket> hello|stats|server-stats|metrics|"
+      "farness|bc|topk|topk-bc|update|sleep|soak "
       "[options]\n"
       "exit codes: 0 ok, 2 usage, 3 error reply, 4 degraded,\n"
       "            5 connection failure, 6 overloaded, 7 shutting down\n");
@@ -183,9 +193,21 @@ struct SoakTotals {
       shutdown{0}, errors{0}, dropped{0}, hangs{0};
 };
 
+/// Client-observed percentile over round-trip latencies (ms). Nearest-rank
+/// on the sorted sample; `lat` must be sorted ascending.
+double latency_percentile_ms(const std::vector<double>& lat, double q) {
+  if (lat.empty()) return 0.0;
+  const double rank = q * static_cast<double>(lat.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, lat.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return lat[lo] + (lat[hi] - lat[lo]) * frac;
+}
+
 void soak_thread(const std::string& sock, int tid, int requests,
                  int update_every, std::uint32_t deadline_ms,
-                 int recv_timeout_ms, SoakTotals* totals) {
+                 int recv_timeout_ms, SoakTotals* totals,
+                 std::vector<double>* latencies_ms) {
   int fd = connect_unix(sock, recv_timeout_ms);
   std::uint64_t nodes = 0;
   if (fd >= 0) {
@@ -238,7 +260,12 @@ void soak_thread(const std::string& sock, int tid, int requests,
     }
     ++totals->sent;
     try {
+      const auto t0 = std::chrono::steady_clock::now();
       const Reply rep = roundtrip(fd, req);
+      latencies_ms->push_back(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
       if (rep.request_id != req.request_id)
         throw InputError("reply id mismatch");
       switch (rep.status) {
@@ -277,6 +304,7 @@ int main(int argc, char** argv) {
   int clients = 4, requests = 50, update_every = 10;
   int recv_timeout_ms = 30000;
   bool want_report = false;
+  bool want_json = false;
   std::vector<NodeId> nodes;
   std::vector<Edge> edges;
   std::uint32_t sleep_ms = 0;
@@ -302,6 +330,8 @@ int main(int argc, char** argv) {
       if (!parse_edges(v, &edges)) return usage();
     } else if (arg == "--report") {
       want_report = true;
+    } else if (arg == "--json") {
+      want_json = true;
     } else if (arg == "--ms" && (v = next())) {
       sleep_ms = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--clients" && (v = next())) {
@@ -320,15 +350,23 @@ int main(int argc, char** argv) {
   if (cmd == "soak") {
     if (clients < 1 || requests < 1) return usage();
     SoakTotals totals;
+    std::vector<std::vector<double>> per_thread_lat(
+        static_cast<std::size_t>(clients));
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(clients));
     for (int t = 0; t < clients; ++t)
       threads.emplace_back(soak_thread, sock, t, requests, update_every,
-                           deadline_ms, recv_timeout_ms, &totals);
+                           deadline_ms, recv_timeout_ms, &totals,
+                           &per_thread_lat[static_cast<std::size_t>(t)]);
     for (std::thread& th : threads) th.join();
+    std::vector<double> lat;
+    for (const std::vector<double>& v : per_thread_lat)
+      lat.insert(lat.end(), v.begin(), v.end());
+    std::sort(lat.begin(), lat.end());
     std::printf(
         "soak: sent=%llu ok=%llu degraded=%llu overloaded=%llu "
-        "shutdown=%llu errors=%llu dropped=%llu hangs=%llu\n",
+        "shutdown=%llu errors=%llu dropped=%llu hangs=%llu "
+        "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f\n",
         static_cast<unsigned long long>(totals.sent.load()),
         static_cast<unsigned long long>(totals.ok.load()),
         static_cast<unsigned long long>(totals.degraded.load()),
@@ -336,7 +374,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(totals.shutdown.load()),
         static_cast<unsigned long long>(totals.errors.load()),
         static_cast<unsigned long long>(totals.dropped.load()),
-        static_cast<unsigned long long>(totals.hangs.load()));
+        static_cast<unsigned long long>(totals.hangs.load()),
+        latency_percentile_ms(lat, 0.50), latency_percentile_ms(lat, 0.95),
+        latency_percentile_ms(lat, 0.99));
     if (totals.hangs.load() > 0) {
       std::fprintf(stderr, "soak: FAIL — %llu request(s) hung\n",
                    static_cast<unsigned long long>(totals.hangs.load()));
@@ -351,6 +391,8 @@ int main(int argc, char** argv) {
     req.type = MsgType::kStats;
   } else if (cmd == "server-stats") {
     req.type = MsgType::kServerStats;
+  } else if (cmd == "metrics") {
+    req.type = MsgType::kMetrics;
   } else if (cmd == "farness") {
     req.type = MsgType::kFarness;
     req.nodes = nodes;
@@ -386,6 +428,14 @@ int main(int argc, char** argv) {
   try {
     const Reply rep = roundtrip(fd, req);
     ::close(fd);
+    if (cmd == "metrics" && rep.status == ReplyStatus::kOk) {
+      // Raw body only: text exposition (message) or the JSON snapshot —
+      // pipeable straight into a scraper / jq without header lines.
+      const std::string& body = want_json ? rep.metrics_json : rep.message;
+      std::fwrite(body.data(), 1, body.size(), stdout);
+      if (body.empty() || body.back() != '\n') std::printf("\n");
+      return 0;
+    }
     print_reply(rep);
     return status_exit_code(rep);
   } catch (const std::exception& e) {

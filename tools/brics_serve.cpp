@@ -3,6 +3,7 @@
 //   brics_serve <edge_list|@dataset> --socket PATH [--scale X] [--rate R]
 //               [--seed S] [--workers N] [--queue N] [--watchdog-ms N]
 //               [--state-dir D] [--default-deadline-ms N]
+//               [--flight-out PATH|none] [--trace-out PATH]
 //
 // Loads (or, with --state-dir, resumes) the graph, runs the initial
 // estimate, then serves protocol requests on the AF_UNIX socket until
@@ -10,6 +11,17 @@
 // queued ones are refused with SHUTTING-DOWN, and the last committed
 // graph version is already on disk (commit-then-reply), so a restart
 // resumes exactly where clients last saw the server.
+//
+// The flight recorder (obs/flight.hpp) always records; its ring is dumped
+// to --flight-out (default `<socket>.flight.json`) on watchdog quarantine,
+// at the end of a graceful drain, and — via a signal-tolerable write(2)
+// path — on SIGSEGV/SIGABRT/SIGBUS before the default action re-runs.
+// `--flight-out none` disables the dumps.
+//
+// --trace-out enables span recording and starts a flusher thread that
+// periodically drains completed spans and rewrites PATH as a complete
+// Chrome trace (atomic tmp+rename), so the file is loadable in
+// ui.perfetto.dev at any moment while the daemon is live.
 //
 // BRICS_FAILPOINTS is honoured like in brics_cli — the soak harness arms
 // server.* sites through it.
@@ -20,10 +32,17 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "brics/brics.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
 #include "obs/version.hpp"
 #include "server/server.hpp"
 
@@ -35,6 +54,86 @@ std::atomic<bool> g_stop{false};
 
 void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
+// Fatal-signal flight dump. The handler may only touch pre-formatted
+// state and async-signal-safe calls: the path is copied into a fixed
+// buffer at startup, and the dump itself is snprintf+write(2)
+// (FlightRecorder::dump_to_fd). After dumping, restore the default
+// disposition and re-raise so the exit status still reports the signal.
+char g_flight_path[512] = {0};
+
+void on_fatal(int sig) {
+  if (g_flight_path[0] != '\0') {
+    const int fd =
+        ::open(g_flight_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      FlightRecorder::global().dump_to_fd(fd, "fatal-signal");
+      ::close(fd);
+    }
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+// Continuous trace exporter: drains completed spans out of the recorder
+// and rewrites the output as a full Chrome trace document via tmp+rename,
+// so readers never observe a truncated JSON file. The accumulator is
+// bounded — a soak that records millions of spans keeps the newest window
+// instead of growing without limit.
+class TraceFlusher {
+ public:
+  explicit TraceFlusher(std::string path) : path_(std::move(path)) {
+    TraceRecorder::global().enable();
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~TraceFlusher() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    TraceRecorder::global().disable();
+    flush();
+  }
+
+ private:
+  static constexpr std::size_t kMaxEvents = 200000;
+
+  void loop() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      flush();
+    }
+  }
+
+  void flush() {
+    std::vector<TraceEvent> fresh = TraceRecorder::global().drain();
+    if (!fresh.empty()) {
+      events_.insert(events_.end(), fresh.begin(), fresh.end());
+      if (events_.size() > kMaxEvents) {
+        dropped_ += events_.size() - kMaxEvents;
+        events_.erase(events_.begin(),
+                      events_.end() -
+                          static_cast<std::ptrdiff_t>(kMaxEvents));
+      }
+    } else if (clean_) {
+      return;  // nothing new since the last rewrite
+    }
+    const std::string json = trace_events_to_chrome_json(events_);
+    const std::string tmp = path_ + ".tmp";
+    FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) return;
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    if (ok && std::rename(tmp.c_str(), path_.c_str()) == 0) clean_ = true;
+  }
+
+  std::string path_;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+  bool clean_ = false;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
 int usage() {
   std::fprintf(
       stderr,
@@ -42,6 +141,7 @@ int usage() {
       "                   [--rate R] [--seed S] [--workers N] [--queue N]\n"
       "                   [--watchdog-ms N] [--state-dir D]\n"
       "                   [--default-deadline-ms N]\n"
+      "                   [--flight-out PATH|none] [--trace-out PATH]\n"
       "exit codes: 0 clean drain, 2 usage, 3 bad input\n");
   return 2;
 }
@@ -55,6 +155,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string input = argv[1];
   double scale = 0.2;
+  std::string flight_out;  // empty = default <socket>.flight.json
+  std::string trace_out;
+  bool flight_disabled = false;
   ServerOptions sopts;
   sopts.engine.estimate.sample_rate = 1.0;
   for (int i = 2; i < argc; ++i) {
@@ -87,11 +190,30 @@ int main(int argc, char** argv) {
     } else if (arg == "--default-deadline-ms" && (v = next())) {
       sopts.default_deadline_ms =
           static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--flight-out" && (v = next())) {
+      if (std::strcmp(v, "none") == 0) {
+        flight_disabled = true;
+      } else {
+        flight_out = v;
+      }
+    } else if (arg == "--trace-out" && (v = next())) {
+      trace_out = v;
     } else {
       return usage();
     }
   }
   if (sopts.socket_path.empty()) return usage();
+
+  if (!flight_disabled) {
+    if (flight_out.empty()) flight_out = sopts.socket_path + ".flight.json";
+    sopts.flight_path = flight_out;
+    if (flight_out.size() < sizeof(g_flight_path)) {
+      std::memcpy(g_flight_path, flight_out.c_str(), flight_out.size() + 1);
+      std::signal(SIGSEGV, on_fatal);
+      std::signal(SIGABRT, on_fatal);
+      std::signal(SIGBUS, on_fatal);
+    }
+  }
 
   try {
     FailPointRegistry::instance().arm_from_env();
@@ -131,7 +253,12 @@ int main(int argc, char** argv) {
     std::printf("ready\n");
     std::fflush(stdout);
 
-    server.run();
+    {
+      std::unique_ptr<TraceFlusher> flusher;
+      if (!trace_out.empty())
+        flusher = std::make_unique<TraceFlusher>(trace_out);
+      server.run();
+    }  // final trace flush (if enabled) before counters print
 
     g_stop.store(true, std::memory_order_relaxed);
     relay.join();
